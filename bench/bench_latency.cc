@@ -1,0 +1,161 @@
+// Extension experiment: end-to-end lookup timing with google-benchmark.
+// The paper evaluates with the implementation-independent Ratio Loss
+// because the original authors' optimized timing harness is private;
+// this bench adds the timing evidence on our own substrate: clean RMI vs
+// poisoned RMI vs B+Tree vs binary search, same key multiset sizes.
+//
+// Runs as a normal google-benchmark binary (supports --benchmark_filter
+// etc.). Default key count kept modest so the full bench suite stays
+// fast; override with --keys=N before the benchmark flags.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "attack/rmi_poisoner.h"
+#include "common/rng.h"
+#include "data/generators.h"
+#include "index/binary_search_index.h"
+#include "index/btree.h"
+#include "index/learned_index.h"
+
+namespace lispoison {
+namespace {
+
+constexpr std::int64_t kKeys = 100000;
+constexpr std::int64_t kModelSize = 500;
+constexpr double kPoisonFraction = 0.10;
+
+/// Shared fixture state, built once: clean keyset, poisoned keyset, and
+/// the four indexes.
+struct Fixture {
+  KeySet clean;
+  KeySet poisoned;
+  std::unique_ptr<LearnedIndex> clean_rmi;
+  std::unique_ptr<LearnedIndex> poisoned_rmi;
+  std::unique_ptr<BPlusTree> btree;
+  std::unique_ptr<BinarySearchIndex> binary;
+  std::vector<Key> probe_keys;  // Shuffled stored keys to look up.
+
+  static Fixture* Get() {
+    static Fixture* instance = Build();
+    return instance;
+  }
+
+  static Fixture* Build() {
+    auto* f = new Fixture();
+    Rng rng(20220613);
+    auto clean_or = GenerateUniform(kKeys, KeyDomain{0, 100 * kKeys}, &rng);
+    if (!clean_or.ok()) {
+      std::fprintf(stderr, "fixture generation failed: %s\n",
+                   clean_or.status().ToString().c_str());
+      std::exit(1);
+    }
+    f->clean = *clean_or;
+
+    RmiAttackOptions attack_opts;
+    attack_opts.poison_fraction = kPoisonFraction;
+    attack_opts.model_size = kModelSize;
+    auto attack_or = PoisonRmi(f->clean, attack_opts);
+    if (!attack_or.ok()) {
+      std::fprintf(stderr, "fixture attack failed: %s\n",
+                   attack_or.status().ToString().c_str());
+      std::exit(1);
+    }
+    auto poisoned_or = f->clean.Union(attack_or->AllPoisonKeys());
+    f->poisoned = *poisoned_or;
+
+    RmiOptions idx_opts;
+    idx_opts.target_model_size = kModelSize;
+    idx_opts.root_kind = RootModelKind::kOracle;
+    f->clean_rmi = std::make_unique<LearnedIndex>(
+        *LearnedIndex::Build(f->clean, idx_opts));
+    RmiOptions pois_opts = idx_opts;
+    pois_opts.target_model_size = static_cast<std::int64_t>(
+        kModelSize * (1.0 + kPoisonFraction));  // Keep N models equal.
+    f->poisoned_rmi = std::make_unique<LearnedIndex>(
+        *LearnedIndex::Build(f->poisoned, pois_opts));
+    auto btree_or = BPlusTree::Build(f->clean, 64);
+    f->btree = std::make_unique<BPlusTree>(std::move(btree_or).value());
+    f->binary = std::make_unique<BinarySearchIndex>(f->clean);
+
+    f->probe_keys = f->clean.keys();
+    rng.Shuffle(&f->probe_keys);
+    return f;
+  }
+};
+
+void BM_CleanRmiLookup(benchmark::State& state) {
+  Fixture* f = Fixture::Get();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const Key k = f->probe_keys[i++ % f->probe_keys.size()];
+    benchmark::DoNotOptimize(f->clean_rmi->Lookup(k));
+  }
+  state.counters["mean_probes"] =
+      f->clean_rmi->ProfileAllKeys().MeanProbes();
+  state.counters["mean_err_window"] =
+      f->clean_rmi->rmi().MeanErrorWindow();
+}
+BENCHMARK(BM_CleanRmiLookup);
+
+void BM_PoisonedRmiLookup(benchmark::State& state) {
+  Fixture* f = Fixture::Get();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const Key k = f->probe_keys[i++ % f->probe_keys.size()];
+    benchmark::DoNotOptimize(f->poisoned_rmi->Lookup(k));
+  }
+  state.counters["mean_probes"] =
+      f->poisoned_rmi->ProfileAllKeys().MeanProbes();
+  state.counters["mean_err_window"] =
+      f->poisoned_rmi->rmi().MeanErrorWindow();
+}
+BENCHMARK(BM_PoisonedRmiLookup);
+
+void BM_CleanRmiLookupBounded(benchmark::State& state) {
+  Fixture* f = Fixture::Get();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const Key k = f->probe_keys[i++ % f->probe_keys.size()];
+    benchmark::DoNotOptimize(f->clean_rmi->LookupBounded(k));
+  }
+}
+BENCHMARK(BM_CleanRmiLookupBounded);
+
+void BM_PoisonedRmiLookupBounded(benchmark::State& state) {
+  Fixture* f = Fixture::Get();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const Key k = f->probe_keys[i++ % f->probe_keys.size()];
+    benchmark::DoNotOptimize(f->poisoned_rmi->LookupBounded(k));
+  }
+}
+BENCHMARK(BM_PoisonedRmiLookupBounded);
+
+void BM_BPlusTreeLookup(benchmark::State& state) {
+  Fixture* f = Fixture::Get();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const Key k = f->probe_keys[i++ % f->probe_keys.size()];
+    benchmark::DoNotOptimize(f->btree->Lookup(k));
+  }
+}
+BENCHMARK(BM_BPlusTreeLookup);
+
+void BM_BinarySearchLookup(benchmark::State& state) {
+  Fixture* f = Fixture::Get();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const Key k = f->probe_keys[i++ % f->probe_keys.size()];
+    benchmark::DoNotOptimize(f->binary->Lookup(k));
+  }
+}
+BENCHMARK(BM_BinarySearchLookup);
+
+}  // namespace
+}  // namespace lispoison
+
+BENCHMARK_MAIN();

@@ -1,0 +1,116 @@
+// Domain-scenario example: a defender's-eye evaluation. Given a keyset
+// that may have been poisoned, run the mitigation toolbox (range / IQR /
+// density filters, TRIM-for-CDF) and report what each would have caught
+// and what it would have cost — reproducing the Section VI discussion.
+//
+//   $ ./defense_evaluation [--keys=1000] [--pct=15] [--seed=5]
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "attack/greedy_poisoner.h"
+#include "common/flags.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "data/generators.h"
+#include "defense/filters.h"
+#include "defense/trim.h"
+#include "index/cdf_regression.h"
+
+using namespace lispoison;
+
+namespace {
+
+long double LossOf(std::vector<Key> keys) {
+  std::sort(keys.begin(), keys.end());
+  if (keys.empty()) return 0;
+  MomentAccumulator acc;
+  Rank r = 1;
+  const Key shift = keys.front();
+  for (Key k : keys) acc.Add(k - shift, r++);
+  return FitFromMoments(acc).mse;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser flags(argc, argv);
+  const std::int64_t n = flags.GetInt("keys", 1000);
+  const double pct = flags.GetDouble("pct", 15);
+  Rng rng(static_cast<std::uint64_t>(flags.GetInt("seed", 5)));
+  const std::int64_t p =
+      static_cast<std::int64_t>(static_cast<double>(n) * pct / 100.0);
+
+  auto keyset = GenerateUniform(n, KeyDomain{0, 20 * n}, &rng);
+  if (!keyset.ok()) {
+    std::fprintf(stderr, "%s\n", keyset.status().ToString().c_str());
+    return 1;
+  }
+  auto attack = GreedyPoisonCdf(*keyset, p);
+  if (!attack.ok()) {
+    std::fprintf(stderr, "%s\n", attack.status().ToString().c_str());
+    return 1;
+  }
+  auto poisoned = ApplyPoison(*keyset, attack->poison_keys);
+  const long double clean_loss = LossOf(keyset->keys());
+
+  std::printf("=== Defense evaluation ===\n");
+  std::printf("n=%lld legitimate keys + %lld poisons (ratio loss %.1fx)\n\n",
+              static_cast<long long>(n), static_cast<long long>(p),
+              attack->RatioLoss());
+
+  TextTable table;
+  table.SetHeader({"defense", "removed", "poison caught", "legit lost",
+                   "precision", "recall", "post ratio"});
+  auto report = [&](const char* name, const std::vector<Key>& removed,
+                    const std::vector<Key>& kept) {
+    const DefenseQuality q = ScoreDefense(removed, attack->poison_keys);
+    table.AddRow({name,
+                  TextTable::Fmt(static_cast<std::int64_t>(removed.size())),
+                  TextTable::Fmt(q.true_positives),
+                  TextTable::Fmt(q.false_positives),
+                  TextTable::Fmt(q.precision, 3),
+                  TextTable::Fmt(q.recall, 3),
+                  TextTable::Fmt(SafeRatioLoss(LossOf(kept), clean_loss),
+                                 4)});
+  };
+
+  {
+    std::vector<Key> keys = poisoned->keys();
+    auto removed = RangeFilter(&keys, keyset->keys().front(),
+                               keyset->keys().back());
+    report("range-filter", removed, keys);
+  }
+  {
+    std::vector<Key> keys = poisoned->keys();
+    auto removed = IqrOutlierFilter(&keys, 1.5);
+    report("iqr-outlier", removed, keys);
+  }
+  {
+    std::vector<Key> keys = poisoned->keys();
+    auto removed = DensitySpikeFilter(&keys, poisoned->domain(), 64, 2.5);
+    report("density-spike", removed, keys);
+  }
+  {
+    TrimOptions opts;
+    opts.assumed_poison_fraction =
+        static_cast<double>(p) / static_cast<double>(n + p);
+    auto trim = TrimDefense(*poisoned, opts);
+    if (trim.ok()) {
+      report("trim-cdf", trim->removed_keys, trim->kept_keys);
+      std::printf("TRIM converged=%d after %lld iterations\n",
+                  trim->converged,
+                  static_cast<long long>(trim->iterations));
+    }
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\n'post ratio' is the retrained MSE over the clean MSE: 1.0 means\n"
+      "full recovery, %.1f means no defense at all. The attack stays in\n"
+      "range and inside dense regions, so simple filters are blind and\n"
+      "TRIM trades poison removal for legitimate-key collateral.\n",
+      attack->RatioLoss());
+  return 0;
+}

@@ -1,0 +1,202 @@
+// lispoison_cli: a small command-line tool driving the library on key
+// files, so the pipeline can be scripted without writing C++:
+//
+//   lispoison_cli generate --dist=uniform --keys=1000 --domain=100000 \
+//                 --out=/tmp/keys.txt
+//   lispoison_cli inspect  --in=/tmp/keys.txt
+//   lispoison_cli attack   --in=/tmp/keys.txt --pct=10 \
+//                 --out=/tmp/poisoned.txt [--rmi --model-size=100]
+//   lispoison_cli evaluate --clean=/tmp/keys.txt --poisoned=/tmp/poisoned.txt
+//   lispoison_cli defend   --in=/tmp/poisoned.txt --assumed-pct=9 \
+//                 --out=/tmp/sanitized.txt
+//
+// Each subcommand prints a short report to stdout and returns non-zero
+// on failure.
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "attack/greedy_poisoner.h"
+#include "attack/rmi_poisoner.h"
+#include "common/ascii_plot.h"
+#include "common/flags.h"
+#include "common/rng.h"
+#include "data/generators.h"
+#include "data/io.h"
+#include "data/surrogates.h"
+#include "defense/trim.h"
+#include "eval/ratio_loss.h"
+#include "index/cdf_regression.h"
+
+using namespace lispoison;
+
+namespace {
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int CmdGenerate(const FlagParser& flags) {
+  const std::string dist = flags.GetString("dist", "uniform");
+  const std::int64_t n = flags.GetInt("keys", 1000);
+  const Key domain_hi = flags.GetInt("domain", 100000) - 1;
+  const std::string out = flags.GetString("out");
+  Rng rng(static_cast<std::uint64_t>(flags.GetInt("seed", 42)));
+  if (out.empty()) {
+    std::fprintf(stderr, "generate requires --out=<path>\n");
+    return 1;
+  }
+  Result<KeySet> keyset = Status::InvalidArgument("unknown dist " + dist);
+  const KeyDomain domain{0, domain_hi};
+  if (dist == "uniform") {
+    keyset = GenerateUniform(n, domain, &rng);
+  } else if (dist == "lognormal") {
+    keyset = GenerateLogNormal(n, domain, &rng);
+  } else if (dist == "normal") {
+    keyset = GenerateNormal(n, domain, &rng);
+  } else if (dist == "salaries") {
+    keyset = MakeMiamiSalariesSurrogate(&rng, n);
+  } else if (dist == "latitudes") {
+    keyset = MakeOsmLatitudesSurrogate(&rng, n);
+  }
+  if (!keyset.ok()) return Fail(keyset.status());
+  if (Status st = SaveKeys(*keyset, out); !st.ok()) return Fail(st);
+  std::printf("wrote %lld %s keys to %s (domain [%lld, %lld])\n",
+              static_cast<long long>(keyset->size()), dist.c_str(),
+              out.c_str(), static_cast<long long>(keyset->domain().lo),
+              static_cast<long long>(keyset->domain().hi));
+  return 0;
+}
+
+int CmdInspect(const FlagParser& flags) {
+  const std::string in = flags.GetString("in");
+  if (in.empty()) {
+    std::fprintf(stderr, "inspect requires --in=<path>\n");
+    return 1;
+  }
+  auto keyset = LoadKeys(in);
+  if (!keyset.ok()) return Fail(keyset.status());
+  auto fit = FitCdfRegression(*keyset);
+  if (!fit.ok()) return Fail(fit.status());
+  std::printf("keys: %lld, domain [%lld, %lld], density %.2f%%\n",
+              static_cast<long long>(keyset->size()),
+              static_cast<long long>(keyset->domain().lo),
+              static_cast<long long>(keyset->domain().hi),
+              100.0 * keyset->density());
+  std::printf("linear CDF fit: rank = %.6g*key %+.6g, MSE %.6g\n\n",
+              fit->model.w, fit->model.b, static_cast<double>(fit->mse));
+  std::printf("CDF:\n");
+  RenderCdfStaircase(std::cout, keyset->keys(), 72, 14);
+  std::printf("\nkey density:\n");
+  RenderKeyHistogram(std::cout, keyset->keys(), {},
+                     keyset->domain().lo, keyset->domain().hi, 72);
+  return 0;
+}
+
+int CmdAttack(const FlagParser& flags) {
+  const std::string in = flags.GetString("in");
+  const std::string out = flags.GetString("out");
+  const double pct = flags.GetDouble("pct", 10);
+  if (in.empty() || out.empty()) {
+    std::fprintf(stderr, "attack requires --in and --out\n");
+    return 1;
+  }
+  auto keyset = LoadKeys(in);
+  if (!keyset.ok()) return Fail(keyset.status());
+  std::vector<Key> poison;
+  double ratio = 0;
+  if (flags.GetBool("rmi")) {
+    RmiAttackOptions opts;
+    opts.poison_fraction = pct / 100.0;
+    opts.model_size = flags.GetInt("model-size", 100);
+    opts.alpha = flags.GetDouble("alpha", 3.0);
+    auto attack = PoisonRmi(*keyset, opts);
+    if (!attack.ok()) return Fail(attack.status());
+    poison = attack->AllPoisonKeys();
+    ratio = attack->rmi_ratio_loss;
+    std::printf("RMI attack: %zu poison keys, RMI ratio loss %.2fx "
+                "(victim retrained: %.2fx), %lld exchanges\n",
+                poison.size(), ratio, attack->retrained_rmi_ratio,
+                static_cast<long long>(attack->exchanges_applied));
+  } else {
+    const std::int64_t p = static_cast<std::int64_t>(
+        static_cast<double>(keyset->size()) * pct / 100.0);
+    auto attack = GreedyPoisonCdf(*keyset, p);
+    if (!attack.ok()) return Fail(attack.status());
+    poison = attack->poison_keys;
+    ratio = attack->RatioLoss();
+    std::printf("greedy attack: %zu poison keys, ratio loss %.2fx\n",
+                poison.size(), ratio);
+  }
+  auto poisoned = keyset->Union(poison);
+  if (!poisoned.ok()) return Fail(poisoned.status());
+  if (Status st = SaveKeys(*poisoned, out); !st.ok()) return Fail(st);
+  std::printf("wrote %lld keys (legit + poison) to %s\n",
+              static_cast<long long>(poisoned->size()), out.c_str());
+  return 0;
+}
+
+int CmdEvaluate(const FlagParser& flags) {
+  const std::string clean_path = flags.GetString("clean");
+  const std::string poisoned_path = flags.GetString("poisoned");
+  if (clean_path.empty() || poisoned_path.empty()) {
+    std::fprintf(stderr, "evaluate requires --clean and --poisoned\n");
+    return 1;
+  }
+  auto clean = LoadKeys(clean_path);
+  if (!clean.ok()) return Fail(clean.status());
+  auto poisoned = LoadKeys(poisoned_path);
+  if (!poisoned.ok()) return Fail(poisoned.status());
+  auto ratio = ComputeRatioLoss(*clean, *poisoned);
+  if (!ratio.ok()) return Fail(ratio.status());
+  std::printf("ratio loss (poisoned MSE / clean MSE): %.4f\n", *ratio);
+  return 0;
+}
+
+int CmdDefend(const FlagParser& flags) {
+  const std::string in = flags.GetString("in");
+  const std::string out = flags.GetString("out");
+  const double assumed = flags.GetDouble("assumed-pct", 10);
+  if (in.empty() || out.empty()) {
+    std::fprintf(stderr, "defend requires --in and --out\n");
+    return 1;
+  }
+  auto keyset = LoadKeys(in);
+  if (!keyset.ok()) return Fail(keyset.status());
+  TrimOptions opts;
+  opts.assumed_poison_fraction = assumed / 100.0;
+  auto trim = TrimDefense(*keyset, opts);
+  if (!trim.ok()) return Fail(trim.status());
+  auto kept = KeySet::Create(trim->kept_keys, keyset->domain());
+  if (!kept.ok()) return Fail(kept.status());
+  if (Status st = SaveKeys(*kept, out); !st.ok()) return Fail(st);
+  std::printf("TRIM kept %zu keys (removed %zu), trimmed MSE %.4g, "
+              "converged=%d after %lld iterations; wrote %s\n",
+              trim->kept_keys.size(), trim->removed_keys.size(),
+              static_cast<double>(trim->trimmed_loss), trim->converged,
+              static_cast<long long>(trim->iterations), out.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser flags(argc, argv);
+  if (flags.positional().empty()) {
+    std::fprintf(
+        stderr,
+        "usage: %s <generate|inspect|attack|evaluate|defend> [--flags]\n",
+        argv[0]);
+    return 1;
+  }
+  const std::string& cmd = flags.positional().front();
+  if (cmd == "generate") return CmdGenerate(flags);
+  if (cmd == "inspect") return CmdInspect(flags);
+  if (cmd == "attack") return CmdAttack(flags);
+  if (cmd == "evaluate") return CmdEvaluate(flags);
+  if (cmd == "defend") return CmdDefend(flags);
+  std::fprintf(stderr, "unknown subcommand: %s\n", cmd.c_str());
+  return 1;
+}

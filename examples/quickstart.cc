@@ -1,0 +1,80 @@
+// Quickstart: build a learned index, query it, and see what a poisoning
+// adversary can do to it — the 60-second tour of the library.
+//
+//   $ ./quickstart [--keys=10000] [--seed=1]
+
+#include <cstdio>
+
+#include "attack/rmi_poisoner.h"
+#include "common/flags.h"
+#include "common/rng.h"
+#include "data/generators.h"
+#include "index/learned_index.h"
+
+using namespace lispoison;
+
+int main(int argc, char** argv) {
+  FlagParser flags(argc, argv);
+  const std::int64_t n = flags.GetInt("keys", 10000);
+  Rng rng(static_cast<std::uint64_t>(flags.GetInt("seed", 1)));
+
+  // 1. Make a dataset: n unique keys, uniform over a sparse domain.
+  auto keyset = GenerateUniform(n, KeyDomain{0, 100 * n}, &rng);
+  if (!keyset.ok()) {
+    std::fprintf(stderr, "%s\n", keyset.status().ToString().c_str());
+    return 1;
+  }
+
+  // 2. Build a learned index (two-stage RMI, 100 keys per leaf model).
+  RmiOptions options;
+  options.target_model_size = 100;
+  auto index = LearnedIndex::Build(*keyset, options);
+  if (!index.ok()) {
+    std::fprintf(stderr, "%s\n", index.status().ToString().c_str());
+    return 1;
+  }
+
+  // 3. Query it.
+  const Key probe = keyset->at(n / 2);
+  const LookupResult hit = index->Lookup(probe);
+  std::printf("lookup(%lld): found=%d position=%lld probes=%lld\n",
+              static_cast<long long>(probe), hit.found,
+              static_cast<long long>(hit.position),
+              static_cast<long long>(hit.probes));
+
+  const LookupStats clean_stats = index->ProfileAllKeys();
+  std::printf("clean index: mean last-mile probes %.2f, mean |pred err| "
+              "%.2f slots, RMI loss %.3f\n",
+              clean_stats.MeanProbes(), clean_stats.MeanAbsError(),
+              static_cast<double>(index->rmi().RmiLoss()));
+
+  // 4. Attack it: 10% poisoning keys crafted before training.
+  RmiAttackOptions attack_options;
+  attack_options.poison_fraction = 0.10;
+  attack_options.model_size = 100;
+  auto attack = PoisonRmi(*keyset, attack_options);
+  if (!attack.ok()) {
+    std::fprintf(stderr, "%s\n", attack.status().ToString().c_str());
+    return 1;
+  }
+
+  // 5. The victim trains on the poisoned data...
+  auto poisoned = keyset->Union(attack->AllPoisonKeys());
+  RmiOptions poisoned_options;
+  poisoned_options.target_model_size = 110;  // Same N models over n+p keys.
+  auto poisoned_index = LearnedIndex::Build(*poisoned, poisoned_options);
+  const LookupStats poisoned_stats = poisoned_index->ProfileAllKeys();
+
+  std::printf("\nafter 10%% poisoning (ratio loss %.1fx):\n",
+              attack->rmi_ratio_loss);
+  std::printf("poisoned index: mean last-mile probes %.2f (was %.2f), "
+              "mean |pred err| %.2f slots (was %.2f)\n",
+              poisoned_stats.MeanProbes(), clean_stats.MeanProbes(),
+              poisoned_stats.MeanAbsError(), clean_stats.MeanAbsError());
+  std::printf("every key is still found -- it just costs more:\n");
+  const LookupResult hit2 = poisoned_index->Lookup(probe);
+  std::printf("lookup(%lld): found=%d probes=%lld\n",
+              static_cast<long long>(probe), hit2.found,
+              static_cast<long long>(hit2.probes));
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Domain-scenario example: an end-to-end poisoning study against a
+// salary-keyed RMI — the paper's Miami-Dade motivating scenario, where
+// index keys are contributed by many parties (employees' salary records)
+// and an adversary controls a small slice of the contributions.
+//
+//   $ ./rmi_poisoning_study [--n=5300] [--model-size=100] [--pct=10]
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "attack/rmi_poisoner.h"
+#include "common/flags.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "data/surrogates.h"
+#include "index/btree.h"
+#include "index/learned_index.h"
+
+using namespace lispoison;
+
+int main(int argc, char** argv) {
+  FlagParser flags(argc, argv);
+  const std::int64_t n = flags.GetInt("n", 5300);
+  const std::int64_t model_size = flags.GetInt("model-size", 100);
+  const double pct = flags.GetDouble("pct", 10);
+  Rng rng(static_cast<std::uint64_t>(flags.GetInt("seed", 42)));
+
+  std::printf("=== RMI poisoning study: salary-keyed index ===\n\n");
+  auto salaries = MakeMiamiSalariesSurrogate(&rng, n == 5300 ? 0 : n);
+  if (!salaries.ok()) {
+    std::fprintf(stderr, "%s\n", salaries.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("dataset: %lld unique salaries in [$%lld, $%lld] "
+              "(density %.2f%%)\n",
+              static_cast<long long>(salaries->size()),
+              static_cast<long long>(salaries->keys().front()),
+              static_cast<long long>(salaries->keys().back()),
+              100.0 * salaries->density());
+
+  // Clean index.
+  RmiOptions idx_opts;
+  idx_opts.target_model_size = model_size;
+  auto clean_idx = LearnedIndex::Build(*salaries, idx_opts);
+  const LookupStats clean_stats = clean_idx->ProfileAllKeys();
+  std::printf("clean RMI (%lld leaf models): RMI loss %.3f, mean probes "
+              "%.2f\n\n",
+              static_cast<long long>(clean_idx->rmi().num_models()),
+              static_cast<double>(clean_idx->rmi().RmiLoss()),
+              clean_stats.MeanProbes());
+
+  // Attack.
+  RmiAttackOptions attack_opts;
+  attack_opts.poison_fraction = pct / 100.0;
+  attack_opts.model_size = model_size;
+  attack_opts.alpha = 3.0;
+  auto attack = PoisonRmi(*salaries, attack_opts);
+  if (!attack.ok()) {
+    std::fprintf(stderr, "%s\n", attack.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("attack: %lld poisoning salaries (%.0f%% of n), alpha=3, "
+              "%lld volume-exchanges applied\n",
+              static_cast<long long>(attack->total_poison_keys), pct,
+              static_cast<long long>(attack->exchanges_applied));
+  std::printf("RMI ratio loss: %.2fx (attacker bookkeeping), %.2fx "
+              "(victim retrained)\n\n",
+              attack->rmi_ratio_loss, attack->retrained_rmi_ratio);
+
+  // Which second-stage models suffered most?
+  std::vector<std::pair<double, std::size_t>> ranked;
+  for (std::size_t i = 0; i < attack->per_model_ratio.size(); ++i) {
+    ranked.emplace_back(attack->per_model_ratio[i], i);
+  }
+  std::sort(ranked.rbegin(), ranked.rend());
+  TextTable table;
+  table.SetHeader({"model#", "clean MSE", "poisoned MSE", "ratio",
+                   "poisons"});
+  for (std::size_t i = 0; i < std::min<std::size_t>(8, ranked.size()); ++i) {
+    const std::size_t m = ranked[i].second;
+    table.AddRow(
+        {TextTable::Fmt(static_cast<std::int64_t>(m)),
+         TextTable::Fmt(static_cast<double>(attack->clean_losses[m]), 4),
+         TextTable::Fmt(static_cast<double>(attack->poisoned_losses[m]), 4),
+         TextTable::Fmt(attack->per_model_ratio[m], 4),
+         TextTable::Fmt(
+             static_cast<std::int64_t>(attack->per_model_poison[m].size()))});
+  }
+  std::printf("hardest-hit second-stage models:\n");
+  table.Print(std::cout);
+
+  // Victim-side impact on real lookups.
+  auto poisoned = salaries->Union(attack->AllPoisonKeys());
+  RmiOptions pois_opts;
+  pois_opts.num_models = clean_idx->rmi().num_models();
+  auto poisoned_idx = LearnedIndex::Build(*poisoned, pois_opts);
+  const LookupStats poisoned_stats = poisoned_idx->ProfileAllKeys();
+  std::printf("\nlookup cost: mean probes %.2f -> %.2f, max |pred err| "
+              "%lld -> %lld slots\n",
+              clean_stats.MeanProbes(), poisoned_stats.MeanProbes(),
+              static_cast<long long>(clean_stats.max_abs_error),
+              static_cast<long long>(poisoned_stats.max_abs_error));
+
+  // The traditional baseline is oblivious.
+  auto tree_clean = BPlusTree::Build(*salaries, 64);
+  auto tree_poisoned = BPlusTree::Build(*poisoned, 64);
+  std::printf("B+Tree control: height %d -> %d (a B+Tree absorbs the same "
+              "insertions without degradation)\n",
+              tree_clean->height(), tree_poisoned->height());
+  return 0;
+}

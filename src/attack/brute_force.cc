@@ -1,0 +1,136 @@
+#include "attack/brute_force.h"
+
+#include <algorithm>
+#include <string>
+
+#include "common/stats.h"
+#include "index/cdf_regression.h"
+
+namespace lispoison {
+namespace {
+
+/// Recomputes the minimized loss of the regression on `keys` (sorted,
+/// unique) with ranks 1..n, from scratch.
+long double LossOfSortedKeys(const std::vector<Key>& keys) {
+  MomentAccumulator acc;
+  Rank r = 1;
+  for (Key k : keys) acc.Add(k, r++);
+  CdfFit fit = FitFromMoments(acc);
+  return fit.mse;
+}
+
+/// Candidate poisoning keys: every unoccupied domain key, optionally
+/// restricted to the interior (min(K), max(K)).
+std::vector<Key> Candidates(const KeySet& keyset, bool interior_only) {
+  std::vector<Key> out;
+  const Key lo = interior_only ? keyset.keys().front() + 1
+                               : keyset.domain().lo;
+  const Key hi = interior_only ? keyset.keys().back() - 1
+                               : keyset.domain().hi;
+  for (Key k = lo; k <= hi; ++k) {
+    if (!keyset.Contains(k)) out.push_back(k);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<SinglePointResult> BruteForceSinglePoint(const KeySet& keyset,
+                                                const AttackOptions& options) {
+  if (keyset.empty()) {
+    return Status::InvalidArgument("cannot poison an empty keyset");
+  }
+  const std::vector<Key> candidates =
+      Candidates(keyset, options.interior_only);
+  if (candidates.empty()) {
+    return Status::ResourceExhausted(
+        "no unoccupied candidate keys in the poisoning range");
+  }
+  SinglePointResult best;
+  best.base_loss = LossOfSortedKeys(keyset.keys());
+  bool have = false;
+  std::vector<Key> work = keyset.keys();
+  for (const Key kp : candidates) {
+    // Insert kp in sorted position, recompute everything, remove it.
+    const auto pos = std::lower_bound(work.begin(), work.end(), kp);
+    const auto idx = pos - work.begin();
+    work.insert(pos, kp);
+    const long double loss = LossOfSortedKeys(work);
+    work.erase(work.begin() + idx);
+    if (!have || loss > best.poisoned_loss) {
+      best.poison_key = kp;
+      best.poisoned_loss = loss;
+      have = true;
+    }
+  }
+  return best;
+}
+
+Result<BruteForceMultiResult> BruteForceMultiPoint(
+    const KeySet& keyset, std::int64_t p, const AttackOptions& options,
+    std::int64_t max_combinations) {
+  if (keyset.empty()) {
+    return Status::InvalidArgument("cannot poison an empty keyset");
+  }
+  if (p < 1) return Status::InvalidArgument("p must be >= 1");
+  const std::vector<Key> candidates =
+      Candidates(keyset, options.interior_only);
+  const std::int64_t c = static_cast<std::int64_t>(candidates.size());
+  if (c < p) {
+    return Status::ResourceExhausted(
+        "only " + std::to_string(c) + " candidate keys available for p=" +
+        std::to_string(p));
+  }
+  // Count combinations C(c, p) with overflow-safe early exit.
+  long double combos = 1;
+  for (std::int64_t i = 0; i < p; ++i) {
+    combos *= static_cast<long double>(c - i) / static_cast<long double>(i + 1);
+    if (combos > static_cast<long double>(max_combinations)) {
+      return Status::ResourceExhausted(
+          "combination count exceeds max_combinations; shrink the instance");
+    }
+  }
+
+  BruteForceMultiResult best;
+  best.base_loss = LossOfSortedKeys(keyset.keys());
+  bool have = false;
+
+  // Iterate all size-p index subsets of `candidates` in lexicographic
+  // order using a simple odometer.
+  std::vector<std::int64_t> pick(static_cast<std::size_t>(p));
+  for (std::int64_t i = 0; i < p; ++i) pick[static_cast<std::size_t>(i)] = i;
+  std::vector<Key> work;
+  while (true) {
+    work = keyset.keys();
+    for (std::int64_t i = 0; i < p; ++i) {
+      const Key kp = candidates[static_cast<std::size_t>(
+          pick[static_cast<std::size_t>(i)])];
+      work.insert(std::lower_bound(work.begin(), work.end(), kp), kp);
+    }
+    const long double loss = LossOfSortedKeys(work);
+    if (!have || loss > best.poisoned_loss) {
+      best.poisoned_loss = loss;
+      best.poison_keys.clear();
+      for (std::int64_t i = 0; i < p; ++i) {
+        best.poison_keys.push_back(candidates[static_cast<std::size_t>(
+            pick[static_cast<std::size_t>(i)])]);
+      }
+      have = true;
+    }
+    // Advance the odometer.
+    std::int64_t i = p - 1;
+    while (i >= 0 &&
+           pick[static_cast<std::size_t>(i)] == c - p + i) {
+      --i;
+    }
+    if (i < 0) break;
+    pick[static_cast<std::size_t>(i)] += 1;
+    for (std::int64_t j = i + 1; j < p; ++j) {
+      pick[static_cast<std::size_t>(j)] =
+          pick[static_cast<std::size_t>(j - 1)] + 1;
+    }
+  }
+  return best;
+}
+
+}  // namespace lispoison

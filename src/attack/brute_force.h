@@ -1,0 +1,43 @@
+// Copyright (c) lispoison authors. Licensed under the MIT license.
+//
+// Brute-force reference attacks — the paper's O(mn) "first attempt".
+// These exist as correctness oracles for the optimal attack (Section IV-C
+// must match them exactly) and for the endpoint-vs-sweep runtime ablation
+// bench; they are not meant for production-size domains.
+
+#ifndef LISPOISON_ATTACK_BRUTE_FORCE_H_
+#define LISPOISON_ATTACK_BRUTE_FORCE_H_
+
+#include <vector>
+
+#include "attack/single_point.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "data/keyset.h"
+
+namespace lispoison {
+
+/// \brief Single-point brute force: recomputes the full regression from
+/// scratch for every unoccupied candidate key. O(m*n).
+Result<SinglePointResult> BruteForceSinglePoint(
+    const KeySet& keyset, const AttackOptions& options = {});
+
+/// \brief Result of the exhaustive multi-point search.
+struct BruteForceMultiResult {
+  std::vector<Key> poison_keys;
+  long double base_loss = 0;
+  long double poisoned_loss = 0;
+  double RatioLoss() const { return SafeRatioLoss(poisoned_loss, base_loss); }
+};
+
+/// \brief Exhaustive multi-point poisoning: tries every size-p subset of
+/// unoccupied candidate keys and returns the global optimum. Exponential;
+/// guarded by \p max_combinations (default 2,000,000) so tests cannot
+/// explode. Used to validate the greedy attack on tiny instances.
+Result<BruteForceMultiResult> BruteForceMultiPoint(
+    const KeySet& keyset, std::int64_t p, const AttackOptions& options = {},
+    std::int64_t max_combinations = 2000000);
+
+}  // namespace lispoison
+
+#endif  // LISPOISON_ATTACK_BRUTE_FORCE_H_

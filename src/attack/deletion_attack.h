@@ -1,0 +1,71 @@
+// Copyright (c) lispoison authors. Licensed under the MIT license.
+//
+// Extension (paper §VI, future directions): adversaries that REMOVE or
+// MODIFY keys instead of only inserting them. Deleting a key k_j has a
+// mirror-image compound effect to insertion: every key larger than k_j
+// loses one rank, so the deletion loss sequence admits the same O(1)
+// aggregate evaluation as LossLandscape and a greedy multi-key attack.
+// Modification (relocating a key the adversary owns) composes one
+// deletion with one insertion per round.
+
+#ifndef LISPOISON_ATTACK_DELETION_ATTACK_H_
+#define LISPOISON_ATTACK_DELETION_ATTACK_H_
+
+#include <vector>
+
+#include "attack/single_point.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "data/keyset.h"
+
+namespace lispoison {
+
+/// \brief Result of the greedy deletion attack.
+struct DeletionAttackResult {
+  /// Keys removed, in removal order.
+  std::vector<Key> removed_keys;
+  /// Loss of the regression trained on the intact keyset K.
+  long double base_loss = 0;
+  /// Loss of the regression retrained on K minus the removals.
+  long double attacked_loss = 0;
+  /// Loss after each individual removal.
+  std::vector<long double> loss_trajectory;
+
+  double RatioLoss() const { return SafeRatioLoss(attacked_loss, base_loss); }
+};
+
+/// \brief Greedy deletion attack: removes \p d keys, each round choosing
+/// the stored key whose removal maximizes the retrained loss.
+///
+/// The adversary may only delete keys it plausibly controls; pass
+/// \p deletable to restrict candidates (empty = any key may go). Fails
+/// when fewer than d + 2 keys remain available (the regression needs
+/// at least two points).
+Result<DeletionAttackResult> GreedyDeleteCdf(
+    const KeySet& keyset, std::int64_t d,
+    const std::vector<Key>& deletable = {});
+
+/// \brief Result of the greedy modification (relocation) attack.
+struct ModificationAttackResult {
+  /// (old key, new key) pairs in application order.
+  std::vector<std::pair<Key, Key>> moves;
+  long double base_loss = 0;
+  long double attacked_loss = 0;
+
+  double RatioLoss() const { return SafeRatioLoss(attacked_loss, base_loss); }
+};
+
+/// \brief Greedy modification attack: performs \p moves rounds, each
+/// deleting the loss-maximizing deletable key and re-inserting it at
+/// the loss-maximizing unoccupied position (keeping |K| constant — the
+/// adversary "edits" records it controls, e.g. OpenStreetMap entries).
+///
+/// \p movable restricts which keys may be relocated (empty = any).
+Result<ModificationAttackResult> GreedyModifyCdf(
+    const KeySet& keyset, std::int64_t moves,
+    const std::vector<Key>& movable = {},
+    const AttackOptions& options = {});
+
+}  // namespace lispoison
+
+#endif  // LISPOISON_ATTACK_DELETION_ATTACK_H_

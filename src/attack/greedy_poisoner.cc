@@ -1,0 +1,56 @@
+#include "attack/greedy_poisoner.h"
+
+#include <algorithm>
+#include <string>
+
+#include "attack/loss_landscape.h"
+
+namespace lispoison {
+
+Result<GreedyPoisonResult> GreedyPoisonCdf(const KeySet& keyset,
+                                           std::int64_t p,
+                                           const AttackOptions& options) {
+  if (keyset.empty()) {
+    return Status::InvalidArgument("cannot poison an empty keyset");
+  }
+  if (p < 1) {
+    return Status::InvalidArgument("poisoning budget p must be >= 1");
+  }
+
+  GreedyPoisonResult result;
+  result.poison_keys.reserve(static_cast<std::size_t>(p));
+  result.loss_trajectory.reserve(static_cast<std::size_t>(p));
+
+  // The working set starts as K and absorbs each committed poisoning key;
+  // the next round's landscape sees updated ranks automatically (the
+  // compound effect is recomputed exactly each round).
+  std::vector<Key> work = keyset.keys();
+  const KeyDomain domain = keyset.domain();
+
+  for (std::int64_t round = 0; round < p; ++round) {
+    LISPOISON_ASSIGN_OR_RETURN(
+        KeySet current, KeySet::Create(work, domain));
+    LISPOISON_ASSIGN_OR_RETURN(LossLandscape landscape,
+                               LossLandscape::Create(current));
+    if (round == 0) result.base_loss = landscape.BaseLoss();
+    auto best = landscape.FindOptimal(options.interior_only);
+    if (!best.ok()) {
+      return Status::ResourceExhausted(
+          "poisoning range exhausted after " + std::to_string(round) +
+          " of " + std::to_string(p) + " insertions");
+    }
+    const Key kp = best->key;
+    work.insert(std::lower_bound(work.begin(), work.end(), kp), kp);
+    result.poison_keys.push_back(kp);
+    result.loss_trajectory.push_back(best->loss);
+  }
+  result.poisoned_loss = result.loss_trajectory.back();
+  return result;
+}
+
+Result<KeySet> ApplyPoison(const KeySet& keyset,
+                           const std::vector<Key>& poison_keys) {
+  return keyset.Union(poison_keys);
+}
+
+}  // namespace lispoison

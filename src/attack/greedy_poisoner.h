@@ -1,0 +1,53 @@
+// Copyright (c) lispoison authors. Licensed under the MIT license.
+//
+// Algorithm 1 — GREEDYPOISONINGREGRESSIONCDF: multi-point poisoning of a
+// linear regression on a CDF. Each round runs the optimal single-point
+// attack on the keyset augmented with the poisoning keys chosen so far
+// and commits the locally optimal insertion.
+
+#ifndef LISPOISON_ATTACK_GREEDY_POISONER_H_
+#define LISPOISON_ATTACK_GREEDY_POISONER_H_
+
+#include <vector>
+
+#include "attack/single_point.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "data/keyset.h"
+
+namespace lispoison {
+
+/// \brief Result of the greedy multi-point attack (Algorithm 1).
+struct GreedyPoisonResult {
+  /// Poisoning keys P in insertion order; |P| equals the requested p.
+  std::vector<Key> poison_keys;
+  /// Loss of the regression trained on K alone.
+  long double base_loss = 0;
+  /// Loss of the regression trained on K ∪ P (ranks over n + p keys).
+  long double poisoned_loss = 0;
+  /// Loss after each individual insertion (size p); poisoned_loss is its
+  /// back(). Exposes the per-round marginal gains for the ablation bench.
+  std::vector<long double> loss_trajectory;
+
+  /// \brief The paper's evaluation metric: poisoned MSE / clean MSE.
+  double RatioLoss() const { return SafeRatioLoss(poisoned_loss, base_loss); }
+};
+
+/// \brief Runs Algorithm 1: inserts \p p poisoning keys greedily, each
+/// round choosing the unoccupied gap-endpoint key that maximizes the
+/// retrained loss.
+///
+/// Fails with InvalidArgument for empty keysets or p < 1, and with
+/// ResourceExhausted if the allowed range runs out of unoccupied keys
+/// before p insertions (the caller's budget exceeds the domain).
+Result<GreedyPoisonResult> GreedyPoisonCdf(const KeySet& keyset,
+                                           std::int64_t p,
+                                           const AttackOptions& options = {});
+
+/// \brief Convenience: returns keyset ∪ poison_keys as a new KeySet.
+Result<KeySet> ApplyPoison(const KeySet& keyset,
+                           const std::vector<Key>& poison_keys);
+
+}  // namespace lispoison
+
+#endif  // LISPOISON_ATTACK_GREEDY_POISONER_H_

@@ -1,0 +1,159 @@
+#include "attack/loss_landscape.h"
+
+#include <algorithm>
+#include <string>
+
+namespace lispoison {
+namespace {
+
+/// Theorem 1 loss from exact (n^2-scaled) aggregate numerators:
+/// L = [VarY_n - CovXY_n^2 / VarX_n] / n^2 where *_n = n^2 * moment.
+long double LossFromSums(std::int64_t n, Int128 sum_x, Int128 sum_x2,
+                         Int128 sum_y, Int128 sum_y2, Int128 sum_xy) {
+  const Int128 nn = static_cast<Int128>(n);
+  const Int128 var_x_n = nn * sum_x2 - sum_x * sum_x;
+  const Int128 var_y_n = nn * sum_y2 - sum_y * sum_y;
+  const Int128 cov_n = nn * sum_xy - sum_x * sum_y;
+  const long double n2 = static_cast<long double>(n) *
+                         static_cast<long double>(n);
+  if (var_x_n <= 0) {
+    // All keys identical: the regression degenerates to a constant.
+    long double loss = ToLongDouble(var_y_n) / n2;
+    return loss < 0 ? 0 : loss;
+  }
+  const long double cov = ToLongDouble(cov_n);
+  long double loss =
+      (ToLongDouble(var_y_n) - cov * cov / ToLongDouble(var_x_n)) / n2;
+  return loss < 0 ? 0 : loss;
+}
+
+}  // namespace
+
+Result<LossLandscape> LossLandscape::Create(const KeySet& keyset) {
+  if (keyset.empty()) {
+    return Status::InvalidArgument(
+        "loss landscape requires a non-empty keyset");
+  }
+  LossLandscape ll;
+  ll.keys_ = keyset.keys();
+  ll.domain_ = keyset.domain();
+  ll.n_ = keyset.size();
+  ll.shift_ = ll.keys_.front();
+  ll.suffix_key_sum_.assign(static_cast<std::size_t>(ll.n_) + 1, 0);
+  for (std::int64_t i = ll.n_ - 1; i >= 0; --i) {
+    const Int128 shifted =
+        static_cast<Int128>(ll.keys_[static_cast<std::size_t>(i)]) -
+        ll.shift_;
+    ll.suffix_key_sum_[static_cast<std::size_t>(i)] =
+        ll.suffix_key_sum_[static_cast<std::size_t>(i) + 1] + shifted;
+    ll.sum_k_ += shifted;
+    ll.sum_k2_ += shifted * shifted;
+    ll.sum_kr_ += shifted * (i + 1);
+  }
+  // Base (unpoisoned) loss over ranks 1..n.
+  const Int128 n = ll.n_;
+  const Int128 sum_r = n * (n + 1) / 2;
+  const Int128 sum_r2 = n * (n + 1) * (2 * n + 1) / 6;
+  ll.base_loss_ =
+      LossFromSums(ll.n_, ll.sum_k_, ll.sum_k2_, sum_r, sum_r2, ll.sum_kr_);
+  return ll;
+}
+
+long double LossLandscape::LossWithInsertion(Key kp, Rank count_less) const {
+  const std::int64_t n1 = n_ + 1;
+  const Int128 kp_s = static_cast<Int128>(kp) - shift_;
+  const Int128 sum_x = sum_k_ + kp_s;
+  const Int128 sum_x2 = sum_k2_ + kp_s * kp_s;
+  // Every legitimate key above kp gains one rank, adding its (shifted)
+  // value once to sum(XY); kp itself enters with rank count_less + 1.
+  const Int128 sum_xy =
+      sum_kr_ + suffix_key_sum_[static_cast<std::size_t>(count_less)] +
+      kp_s * (count_less + 1);
+  const Int128 m = n1;
+  const Int128 sum_y = m * (m + 1) / 2;
+  const Int128 sum_y2 = m * (m + 1) * (2 * m + 1) / 6;
+  return LossFromSums(n1, sum_x, sum_x2, sum_y, sum_y2, sum_xy);
+}
+
+Result<long double> LossLandscape::LossAt(Key kp) const {
+  if (!domain_.Contains(kp)) {
+    return Status::OutOfRange("poisoning key " + std::to_string(kp) +
+                              " outside the key domain");
+  }
+  const auto it = std::lower_bound(keys_.begin(), keys_.end(), kp);
+  if (it != keys_.end() && *it == kp) {
+    return Status::InvalidArgument("poisoning key " + std::to_string(kp) +
+                                   " is already occupied");
+  }
+  const Rank count_less = static_cast<Rank>(it - keys_.begin());
+  return LossWithInsertion(kp, count_less);
+}
+
+std::vector<Key> LossLandscape::GapEndpoints(bool interior_only) const {
+  std::vector<Key> endpoints;
+  const Key lo = interior_only ? keys_.front() + 1 : domain_.lo;
+  const Key hi = interior_only ? keys_.back() - 1 : domain_.hi;
+  if (lo > hi) return endpoints;
+
+  // Walk the gaps between consecutive legitimate keys intersected with
+  // [lo, hi]; emit each gap's first and last unoccupied key.
+  auto add_gap = [&endpoints](Key gap_lo, Key gap_hi) {
+    if (gap_lo > gap_hi) return;
+    endpoints.push_back(gap_lo);
+    if (gap_hi != gap_lo) endpoints.push_back(gap_hi);
+  };
+  Key cursor = lo;
+  for (const Key k : keys_) {
+    if (k > hi) break;
+    if (k < cursor) continue;
+    add_gap(cursor, k - 1);
+    cursor = k + 1;
+  }
+  if (cursor <= hi) add_gap(cursor, hi);
+  return endpoints;
+}
+
+std::vector<std::pair<Key, long double>> LossLandscape::Sweep(
+    bool interior_only) const {
+  std::vector<std::pair<Key, long double>> out;
+  const Key lo = interior_only ? keys_.front() + 1 : domain_.lo;
+  const Key hi = interior_only ? keys_.back() - 1 : domain_.hi;
+  if (lo > hi) return out;
+  out.reserve(static_cast<std::size_t>(hi - lo + 1));
+  auto next_key = std::lower_bound(keys_.begin(), keys_.end(), lo);
+  Rank count_less = static_cast<Rank>(next_key - keys_.begin());
+  for (Key kp = lo; kp <= hi; ++kp) {
+    if (next_key != keys_.end() && *next_key == kp) {
+      ++next_key;
+      ++count_less;
+      continue;  // Occupied: the paper's ⊥.
+    }
+    out.emplace_back(kp, LossWithInsertion(kp, count_less));
+  }
+  return out;
+}
+
+Result<LossLandscape::Candidate> LossLandscape::FindOptimal(
+    bool interior_only) const {
+  const std::vector<Key> endpoints = GapEndpoints(interior_only);
+  if (endpoints.empty()) {
+    return Status::ResourceExhausted(
+        "no unoccupied candidate keys in the poisoning range");
+  }
+  Candidate best;
+  bool have = false;
+  auto next_key = keys_.begin();
+  for (const Key kp : endpoints) {
+    next_key = std::lower_bound(next_key, keys_.end(), kp);
+    const Rank count_less = static_cast<Rank>(next_key - keys_.begin());
+    const long double loss = LossWithInsertion(kp, count_less);
+    if (!have || loss > best.loss) {
+      best.key = kp;
+      best.loss = loss;
+      have = true;
+    }
+  }
+  return best;
+}
+
+}  // namespace lispoison

@@ -1,0 +1,100 @@
+// Copyright (c) lispoison authors. Licensed under the MIT license.
+//
+// The "loss as a sequence" view of Section IV: for a fixed legitimate
+// keyset K, the minimized regression loss after inserting one poisoning
+// key kp is a function L(kp) over the unoccupied keys of the domain.
+// LossLandscape precomputes exact prefix aggregates over K so L(kp) can
+// be evaluated in O(1) for any candidate — the engine behind both the
+// optimal single-point attack (gap-endpoint enumeration, Theorem 2) and
+// the full-domain sweeps of Fig. 3.
+
+#ifndef LISPOISON_ATTACK_LOSS_LANDSCAPE_H_
+#define LISPOISON_ATTACK_LOSS_LANDSCAPE_H_
+
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "data/keyset.h"
+
+namespace lispoison {
+
+/// \brief Exact O(1) evaluator of the post-insertion minimized loss
+/// L(kp) = min_{w,b} MSE(K ∪ {kp}) for any candidate poisoning key.
+///
+/// The compound effect of CDF poisoning (every legitimate key above kp
+/// has its rank shifted by one) is folded into the aggregates: with
+/// c = |{k in K : k < kp}| keys below the candidate,
+///
+///   sum(X)   = sum(K) + kp
+///   sum(X^2) = sum(K^2) + kp^2
+///   sum(XY)  = sum_i k_i * r_i + SuffixKeySum(c) + kp * (c + 1)
+///   sum(Y), sum(Y^2) depend only on n (ranks are a permutation of
+///   1..n+1).
+///
+/// All aggregates are exact 128-bit integers (keys are shifted by the
+/// smallest legitimate key first, making the arithmetic safe for key
+/// magnitudes up to ~3x10^9 spread and n up to ~10^8); floating point
+/// enters only in the final Theorem 1 ratio
+/// L = Var_R - Cov^2_{KR} / Var_K.
+class LossLandscape {
+ public:
+  /// \brief Builds the landscape over \p keyset. Requires >= 1 key.
+  static Result<LossLandscape> Create(const KeySet& keyset);
+
+  /// \brief The loss of the unpoisoned regression on K (Theorem 1).
+  long double BaseLoss() const { return base_loss_; }
+
+  /// \brief Number of legitimate keys n.
+  std::int64_t size() const { return n_; }
+
+  /// \brief The key domain of the underlying keyset.
+  const KeyDomain& domain() const { return domain_; }
+
+  /// \brief L(kp): minimized MSE of the regression trained on K ∪ {kp}.
+  ///
+  /// Fails with InvalidArgument when kp is occupied (the paper's ⊥ case)
+  /// and OutOfRange when kp lies outside the domain.
+  Result<long double> LossAt(Key kp) const;
+
+  /// \brief Candidate keys per Theorem 2: the first and last unoccupied
+  /// key of every maximal gap. With \p interior_only (the paper's
+  /// default) only gaps strictly between min(K) and max(K) are
+  /// considered, excluding out-of-range/outlier insertions that simple
+  /// defenses would catch.
+  std::vector<Key> GapEndpoints(bool interior_only) const;
+
+  /// \brief Evaluates L at every unoccupied key (optionally interior
+  /// only), in increasing key order — the Fig. 3 sweep and the
+  /// brute-force oracle. Cost O(m + n).
+  std::vector<std::pair<Key, long double>> Sweep(bool interior_only) const;
+
+  /// \brief The best single poisoning key and its loss.
+  struct Candidate {
+    Key key = 0;
+    long double loss = 0;
+  };
+
+  /// \brief Maximizes L over the gap endpoints (the optimal single-point
+  /// attack). Fails with ResourceExhausted when no unoccupied candidate
+  /// exists.
+  Result<Candidate> FindOptimal(bool interior_only) const;
+
+ private:
+  std::vector<Key> keys_;                 // Sorted legitimate keys.
+  KeyDomain domain_;
+  Key shift_ = 0;                         // keys_[0]; all sums use k - shift_.
+  std::int64_t n_ = 0;
+  Int128 sum_k_ = 0;                      // sum of shifted keys.
+  Int128 sum_k2_ = 0;                     // sum of shifted keys squared.
+  Int128 sum_kr_ = 0;                     // sum of shifted_key * rank.
+  std::vector<Int128> suffix_key_sum_;    // suffix[c] = sum_{i>=c} shifted.
+  long double base_loss_ = 0;
+
+  long double LossWithInsertion(Key kp, Rank count_less) const;
+};
+
+}  // namespace lispoison
+
+#endif  // LISPOISON_ATTACK_LOSS_LANDSCAPE_H_

@@ -1,0 +1,70 @@
+#include "attack/partial_knowledge.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "attack/greedy_poisoner.h"
+#include "index/cdf_regression.h"
+
+namespace lispoison {
+
+Result<PartialKnowledgeResult> PoisonWithPartialKnowledge(
+    const KeySet& keyset, const PartialKnowledgeOptions& options, Rng* rng) {
+  if (keyset.empty()) {
+    return Status::InvalidArgument("cannot attack an empty keyset");
+  }
+  if (options.observe_fraction <= 0 || options.observe_fraction > 1) {
+    return Status::InvalidArgument("observe_fraction must lie in (0, 1]");
+  }
+  if (options.poison_fraction <= 0 || options.poison_fraction > 0.5) {
+    return Status::InvalidArgument("poison_fraction must lie in (0, 0.5]");
+  }
+  const std::int64_t n = keyset.size();
+  const std::int64_t budget = static_cast<std::int64_t>(
+      std::floor(options.poison_fraction * static_cast<double>(n)));
+  if (budget < 1) {
+    return Status::InvalidArgument("effective poisoning budget is zero");
+  }
+
+  // Sample the attacker's view of K without replacement.
+  std::vector<Key> shuffled = keyset.keys();
+  rng->Shuffle(&shuffled);
+  const std::int64_t observed = std::max<std::int64_t>(
+      2, static_cast<std::int64_t>(std::llround(
+             options.observe_fraction * static_cast<double>(n))));
+  shuffled.resize(static_cast<std::size_t>(std::min(observed, n)));
+  LISPOISON_ASSIGN_OR_RETURN(
+      KeySet sample, KeySet::Create(std::move(shuffled), keyset.domain()));
+
+  // Plan against the sample with the full budget (the attacker knows
+  // roughly how many keys it may contribute, not how many exist).
+  LISPOISON_ASSIGN_OR_RETURN(
+      GreedyPoisonResult plan,
+      GreedyPoisonCdf(sample, budget, options.attack));
+
+  PartialKnowledgeResult result;
+  result.observed_keys = sample.size();
+  result.planned_keys = plan.poison_keys;
+  result.predicted_loss = plan.poisoned_loss;
+
+  // Injection: keys that collide with unobserved legitimate keys are
+  // rejected by the index (no multiplicities) and silently dropped.
+  for (Key kp : plan.poison_keys) {
+    if (!keyset.Contains(kp)) result.injected_keys.push_back(kp);
+  }
+
+  LISPOISON_ASSIGN_OR_RETURN(CdfFit clean_fit, FitCdfRegression(keyset));
+  result.base_loss = clean_fit.mse;
+  if (result.injected_keys.empty()) {
+    result.achieved_loss = clean_fit.mse;
+    return result;
+  }
+  LISPOISON_ASSIGN_OR_RETURN(KeySet poisoned,
+                             keyset.Union(result.injected_keys));
+  LISPOISON_ASSIGN_OR_RETURN(CdfFit poisoned_fit, FitCdfRegression(poisoned));
+  result.achieved_loss = poisoned_fit.mse;
+  return result;
+}
+
+}  // namespace lispoison

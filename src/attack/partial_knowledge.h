@@ -1,0 +1,67 @@
+// Copyright (c) lispoison authors. Licensed under the MIT license.
+//
+// Extension (paper §VI, future directions): adversaries with limited
+// knowledge of the training data. The white-box attacks assume the
+// attacker knows the full keyset K; here the attacker only observes a
+// random fraction of K (e.g. the slice of records it contributed or
+// scraped), plans the greedy attack against that sample, and we measure
+// how well the damage transfers to the model the victim actually
+// trains on the full poisoned keyset.
+
+#ifndef LISPOISON_ATTACK_PARTIAL_KNOWLEDGE_H_
+#define LISPOISON_ATTACK_PARTIAL_KNOWLEDGE_H_
+
+#include <vector>
+
+#include "attack/single_point.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "data/keyset.h"
+
+namespace lispoison {
+
+/// \brief Outcome of the partial-knowledge attack.
+struct PartialKnowledgeResult {
+  /// Keys the attacker observed (its sample of K).
+  std::int64_t observed_keys = 0;
+  /// Poisoning keys planned against the sample. Keys colliding with
+  /// unobserved legitimate keys are dropped at injection time (the
+  /// index rejects duplicates), so this may exceed injected_keys.
+  std::vector<Key> planned_keys;
+  /// Poisoning keys actually injected (planned minus collisions).
+  std::vector<Key> injected_keys;
+  /// Loss of the victim model trained on the clean full keyset.
+  long double base_loss = 0;
+  /// Loss the attacker *predicted* on its sample (sample ∪ P).
+  long double predicted_loss = 0;
+  /// Loss of the victim model trained on the full poisoned keyset.
+  long double achieved_loss = 0;
+
+  /// \brief Damage actually achieved on the victim.
+  double AchievedRatioLoss() const {
+    return SafeRatioLoss(achieved_loss, base_loss);
+  }
+};
+
+/// \brief Options for the partial-knowledge attack.
+struct PartialKnowledgeOptions {
+  /// Fraction of K the attacker observes, in (0, 1].
+  double observe_fraction = 0.5;
+  /// Poisoning budget as a fraction of the *true* n (the attacker
+  /// scales its sample budget accordingly).
+  double poison_fraction = 0.10;
+  AttackOptions attack;
+};
+
+/// \brief Runs the greedy attack with partial knowledge: samples
+/// observe_fraction of K with \p rng, plans Algorithm 1 against the
+/// sample, injects the surviving keys into the full keyset, and
+/// retrains the victim. Fails on degenerate inputs (empty keyset,
+/// fraction out of range, zero effective budget).
+Result<PartialKnowledgeResult> PoisonWithPartialKnowledge(
+    const KeySet& keyset, const PartialKnowledgeOptions& options, Rng* rng);
+
+}  // namespace lispoison
+
+#endif  // LISPOISON_ATTACK_PARTIAL_KNOWLEDGE_H_

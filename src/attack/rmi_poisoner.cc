@@ -1,0 +1,395 @@
+#include "attack/rmi_poisoner.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <limits>
+#include <string>
+#include <unordered_set>
+
+#include "attack/loss_landscape.h"
+#include "common/stats.h"
+#include "index/cdf_regression.h"
+
+namespace lispoison {
+namespace {
+
+constexpr long double kInfeasible =
+    -std::numeric_limits<long double>::infinity();
+
+/// Attacker-side state of one second-stage model: its legitimate keys
+/// (sorted), its poisoning keys (insertion order), and the trained loss
+/// of the combined local CDF regression.
+struct ModelState {
+  std::vector<Key> legit;
+  std::vector<Key> poisons;
+  long double loss = 0;
+
+  std::int64_t combined_size() const {
+    return static_cast<std::int64_t>(legit.size() + poisons.size());
+  }
+};
+
+/// Retrains the model's local regression (ranks 1..size on the combined
+/// sorted keys). Keys are shifted by the smallest combined key, which
+/// leaves the minimized MSE unchanged but keeps the exact 128-bit
+/// aggregates far from overflow.
+long double ComputeModelLoss(const ModelState& state) {
+  std::vector<Key> combined = state.legit;
+  combined.insert(combined.end(), state.poisons.begin(), state.poisons.end());
+  std::sort(combined.begin(), combined.end());
+  if (combined.empty()) return 0;
+  const Key shift = combined.front();
+  MomentAccumulator acc;
+  Rank r = 1;
+  for (Key k : combined) acc.Add(k - shift, r++);
+  return FitFromMoments(acc).mse;
+}
+
+/// Runs one greedy single-point insertion (one step of Algorithm 1) on
+/// the model's combined keyset, appending the chosen poison and updating
+/// the loss. `occupied` holds every key taken globally (legitimate keys
+/// of all models plus every committed poison): after boundary exchanges
+/// the spans of adjacent models can overlap, so a candidate optimal for
+/// this model may already be another model's poison and must be skipped.
+/// Returns false when no unoccupied candidate remains.
+bool GreedyInsertOne(ModelState* state,
+                     const std::unordered_set<Key>& occupied,
+                     bool interior_only) {
+  std::vector<Key> combined = state->legit;
+  combined.insert(combined.end(), state->poisons.begin(),
+                  state->poisons.end());
+  std::sort(combined.begin(), combined.end());
+  if (combined.empty()) return false;
+  auto keyset = KeySet::CreateWithTightDomain(std::move(combined));
+  if (!keyset.ok()) return false;
+  auto landscape = LossLandscape::Create(*keyset);
+  if (!landscape.ok()) return false;
+  // Evaluate every gap endpoint and take the best globally available one
+  // (the model's own keys are excluded by construction; other models'
+  // poisons via `occupied`).
+  bool have = false;
+  Key best_key = 0;
+  long double best_loss = 0;
+  for (const Key kp : landscape->GapEndpoints(interior_only)) {
+    if (occupied.count(kp)) continue;
+    auto loss = landscape->LossAt(kp);
+    if (!loss.ok()) continue;
+    if (!have || *loss > best_loss) {
+      best_key = kp;
+      best_loss = *loss;
+      have = true;
+    }
+  }
+  if (!have) return false;
+  state->poisons.push_back(best_key);
+  state->loss = best_loss;
+  return true;
+}
+
+/// Simulates the directed exchange donor -> receiver of one poisoning
+/// slot between neighbouring models, together with the reverse move of
+/// the boundary legitimate key, and returns the resulting change in the
+/// *sum* of the two model losses (kInfeasible when the move is not
+/// allowed). `left_to_right` distinguishes i->i+1 from i<-i+1.
+long double SimulateExchange(const ModelState& donor,
+                             const ModelState& receiver, bool left_to_right,
+                             const std::unordered_set<Key>& occupied,
+                             std::int64_t threshold, bool interior_only) {
+  if (donor.poisons.empty()) return kInfeasible;
+  if (static_cast<std::int64_t>(receiver.poisons.size()) + 1 > threshold) {
+    return kInfeasible;
+  }
+  // The legitimate donor is the *receiver of the poison slot*: it gives
+  // its boundary legitimate key to the poison-donor model so both models
+  // keep their total key counts.
+  if (receiver.legit.size() < 2) return kInfeasible;
+
+  ModelState d = donor;
+  ModelState r = receiver;
+  // (C) remove a poisoning key from the donor.
+  d.poisons.pop_back();
+  // (B) move the boundary legitimate key.
+  if (left_to_right) {
+    // i -> i+1: receiver is the right neighbour; its smallest legitimate
+    // key moves left into the donor.
+    const Key boundary = r.legit.front();
+    r.legit.erase(r.legit.begin());
+    d.legit.push_back(boundary);  // >= all of d's keys: stays sorted.
+  } else {
+    // i <- i+1: receiver is the left neighbour; the donor (right model)
+    // takes the receiver's largest legitimate key.
+    const Key boundary = r.legit.back();
+    r.legit.pop_back();
+    d.legit.insert(d.legit.begin(), boundary);  // <= all of d's keys.
+  }
+  d.loss = ComputeModelLoss(d);
+  // (A) greedy-insert one poisoning key into the receiver.
+  r.loss = ComputeModelLoss(r);
+  if (!GreedyInsertOne(&r, occupied, interior_only)) return kInfeasible;
+  const long double before = donor.loss + receiver.loss;
+  const long double after = d.loss + r.loss;
+  return after - before;
+}
+
+/// Applies the exchange for real (same move order as SimulateExchange).
+/// Returns false if the move turned out infeasible (callers only apply
+/// entries that simulated feasibly, but the state may have drifted).
+bool ApplyExchange(ModelState* donor, ModelState* receiver,
+                   bool left_to_right, std::unordered_set<Key>* occupied,
+                   std::int64_t threshold, bool interior_only) {
+  if (donor->poisons.empty()) return false;
+  if (static_cast<std::int64_t>(receiver->poisons.size()) + 1 > threshold) {
+    return false;
+  }
+  if (receiver->legit.size() < 2) return false;
+  ModelState d = *donor;
+  ModelState r = *receiver;
+  d.poisons.pop_back();
+  if (left_to_right) {
+    const Key boundary = r.legit.front();
+    r.legit.erase(r.legit.begin());
+    d.legit.push_back(boundary);
+  } else {
+    const Key boundary = r.legit.back();
+    r.legit.pop_back();
+    d.legit.insert(d.legit.begin(), boundary);
+  }
+  const Key removed_poison = donor->poisons.back();
+  d.loss = ComputeModelLoss(d);
+  r.loss = ComputeModelLoss(r);
+  // The freed key becomes available again before the receiver's insert.
+  occupied->erase(removed_poison);
+  if (!GreedyInsertOne(&r, *occupied, interior_only)) {
+    occupied->insert(removed_poison);
+    return false;
+  }
+  occupied->insert(r.poisons.back());
+  *donor = std::move(d);
+  *receiver = std::move(r);
+  return true;
+}
+
+}  // namespace
+
+std::vector<Key> RmiAttackResult::AllPoisonKeys() const {
+  std::vector<Key> all;
+  for (const auto& p : per_model_poison) {
+    all.insert(all.end(), p.begin(), p.end());
+  }
+  return all;
+}
+
+Result<RmiAttackResult> PoisonRmi(const KeySet& keyset,
+                                  const RmiAttackOptions& options) {
+  if (keyset.empty()) {
+    return Status::InvalidArgument("cannot poison an empty keyset");
+  }
+  if (options.poison_fraction <= 0 || options.poison_fraction > 0.5) {
+    return Status::InvalidArgument(
+        "poison_fraction must lie in (0, 0.5]; the paper bounds it by 20%");
+  }
+  if (options.alpha < 1.0) {
+    return Status::InvalidArgument("alpha must be >= 1");
+  }
+  const std::int64_t n = keyset.size();
+  std::int64_t num_models = options.num_models;
+  if (num_models <= 0) {
+    if (options.model_size <= 0) {
+      return Status::InvalidArgument(
+          "either num_models or model_size must be positive");
+    }
+    num_models = (n + options.model_size - 1) / options.model_size;
+  }
+  if (num_models > n) num_models = n;
+  const std::int64_t budget =
+      static_cast<std::int64_t>(std::floor(options.poison_fraction *
+                                           static_cast<double>(n)));
+  if (budget < 1) {
+    return Status::InvalidArgument(
+        "poisoning budget floor(phi*n) is zero; increase phi or n");
+  }
+  const std::int64_t threshold = static_cast<std::int64_t>(std::ceil(
+      options.alpha * options.poison_fraction * static_cast<double>(n) /
+      static_cast<double>(num_models)));
+
+  // ---- Clean baseline: equal partition of K into N models. ----
+  const std::int64_t base = n / num_models;
+  const std::int64_t extra = n % num_models;
+  std::vector<ModelState> models(static_cast<std::size_t>(num_models));
+  RmiAttackResult result;
+  result.clean_losses.reserve(static_cast<std::size_t>(num_models));
+  {
+    std::int64_t first = 0;
+    for (std::int64_t i = 0; i < num_models; ++i) {
+      const std::int64_t count = base + (i < extra ? 1 : 0);
+      auto& m = models[static_cast<std::size_t>(i)];
+      m.legit.assign(keyset.keys().begin() + first,
+                     keyset.keys().begin() + first + count);
+      m.loss = ComputeModelLoss(m);
+      result.clean_losses.push_back(m.loss);
+      first += count;
+    }
+  }
+  long double clean_sum = 0;
+  for (const auto l : result.clean_losses) clean_sum += l;
+  result.clean_rmi_loss = clean_sum / static_cast<long double>(num_models);
+
+  // Global occupancy: every legitimate key plus every committed poison.
+  // Adjacent models' spans can overlap after boundary exchanges, so
+  // availability must be checked globally, not per model.
+  std::unordered_set<Key> occupied(keyset.keys().begin(),
+                                   keyset.keys().end());
+
+  // ---- Initial volume allocation: budget / N poisons per model. ----
+  const std::int64_t per_model = budget / num_models;
+  std::int64_t remainder = budget % num_models;
+  std::int64_t unplaced = 0;
+  for (std::int64_t i = 0; i < num_models; ++i) {
+    auto& m = models[static_cast<std::size_t>(i)];
+    std::int64_t quota = per_model + (remainder > 0 ? 1 : 0);
+    if (remainder > 0) --remainder;
+    quota = std::min(quota, threshold);
+    for (std::int64_t q = 0; q < quota; ++q) {
+      if (!GreedyInsertOne(&m, occupied, options.interior_only)) {
+        unplaced += quota - q;
+        break;
+      }
+      occupied.insert(m.poisons.back());
+    }
+  }
+  // Second pass: place any leftovers wherever the threshold and domain
+  // allow, scanning models round-robin.
+  if (unplaced > 0) {
+    bool progress = true;
+    while (unplaced > 0 && progress) {
+      progress = false;
+      for (auto& m : models) {
+        if (unplaced == 0) break;
+        if (static_cast<std::int64_t>(m.poisons.size()) >= threshold) {
+          continue;
+        }
+        if (GreedyInsertOne(&m, occupied, options.interior_only)) {
+          occupied.insert(m.poisons.back());
+          --unplaced;
+          progress = true;
+        }
+      }
+    }
+    if (unplaced > 0) {
+      return Status::ResourceExhausted(
+          "key domain cannot absorb the poisoning budget: " +
+          std::to_string(unplaced) + " keys unplaced");
+    }
+  }
+
+  // ---- Greedy volume re-allocation via CHANGELOSS. ----
+  // Directed entries: change[i][0] is the i -> i+1 exchange (poison slot
+  // moves right), change[i][1] is i <- i+1 (slot moves left).
+  const std::int64_t pairs = num_models - 1;
+  std::vector<std::array<long double, 2>> change(
+      static_cast<std::size_t>(std::max<std::int64_t>(pairs, 0)));
+  auto recompute_pair = [&](std::int64_t i) {
+    if (i < 0 || i >= pairs) return;
+    auto& left = models[static_cast<std::size_t>(i)];
+    auto& right = models[static_cast<std::size_t>(i) + 1];
+    change[static_cast<std::size_t>(i)][0] =
+        SimulateExchange(left, right, /*left_to_right=*/true, occupied,
+                         threshold, options.interior_only);
+    change[static_cast<std::size_t>(i)][1] =
+        SimulateExchange(right, left, /*left_to_right=*/false, occupied,
+                         threshold, options.interior_only);
+  };
+  for (std::int64_t i = 0; i < pairs; ++i) recompute_pair(i);
+
+  const std::int64_t max_exchanges =
+      options.max_exchanges > 0
+          ? options.max_exchanges
+          : (options.max_exchanges < 0 ? 0 : 16 * num_models);
+  const long double eps_sum =
+      options.epsilon * static_cast<long double>(num_models);
+  while (result.exchanges_applied < max_exchanges) {
+    std::int64_t best_pair = -1;
+    int best_dir = 0;
+    long double best_delta = eps_sum;
+    for (std::int64_t i = 0; i < pairs; ++i) {
+      for (int dir = 0; dir < 2; ++dir) {
+        const long double d = change[static_cast<std::size_t>(i)][dir];
+        if (d > best_delta) {
+          best_delta = d;
+          best_pair = i;
+          best_dir = dir;
+        }
+      }
+    }
+    if (best_pair < 0) break;  // No exchange improves L_RMI by > epsilon.
+    ModelState* donor;
+    ModelState* receiver;
+    bool left_to_right;
+    if (best_dir == 0) {
+      donor = &models[static_cast<std::size_t>(best_pair)];
+      receiver = &models[static_cast<std::size_t>(best_pair) + 1];
+      left_to_right = true;
+    } else {
+      donor = &models[static_cast<std::size_t>(best_pair) + 1];
+      receiver = &models[static_cast<std::size_t>(best_pair)];
+      left_to_right = false;
+    }
+    if (!ApplyExchange(donor, receiver, left_to_right, &occupied, threshold,
+                       options.interior_only)) {
+      // Mark infeasible so the loop does not retry it forever.
+      change[static_cast<std::size_t>(best_pair)][best_dir] = kInfeasible;
+      continue;
+    }
+    result.exchanges_applied += 1;
+    // Six entries reference the two touched models: the pair itself and
+    // both neighbouring pairs.
+    recompute_pair(best_pair - 1);
+    recompute_pair(best_pair);
+    recompute_pair(best_pair + 1);
+  }
+
+  // ---- Collect results. ----
+  result.per_model_poison.reserve(models.size());
+  result.poisoned_losses.reserve(models.size());
+  result.per_model_ratio.reserve(models.size());
+  long double poisoned_sum = 0;
+  for (std::size_t i = 0; i < models.size(); ++i) {
+    result.per_model_poison.push_back(models[i].poisons);
+    result.poisoned_losses.push_back(models[i].loss);
+    result.per_model_ratio.push_back(
+        SafeRatioLoss(models[i].loss, result.clean_losses[i]));
+    poisoned_sum += models[i].loss;
+    result.total_poison_keys +=
+        static_cast<std::int64_t>(models[i].poisons.size());
+  }
+  result.poisoned_rmi_loss =
+      poisoned_sum / static_cast<long double>(num_models);
+  result.rmi_ratio_loss =
+      SafeRatioLoss(result.poisoned_rmi_loss, result.clean_rmi_loss);
+
+  // ---- Victim-side validation: retrain on K ∪ P re-partitioned. ----
+  {
+    LISPOISON_ASSIGN_OR_RETURN(KeySet poisoned,
+                               keyset.Union(result.AllPoisonKeys()));
+    const std::int64_t np = poisoned.size();
+    const std::int64_t vbase = np / num_models;
+    const std::int64_t vextra = np % num_models;
+    std::int64_t first = 0;
+    long double sum = 0;
+    for (std::int64_t i = 0; i < num_models; ++i) {
+      const std::int64_t count = vbase + (i < vextra ? 1 : 0);
+      ModelState vm;
+      vm.legit.assign(poisoned.keys().begin() + first,
+                      poisoned.keys().begin() + first + count);
+      sum += ComputeModelLoss(vm);
+      first += count;
+    }
+    result.retrained_rmi_loss = sum / static_cast<long double>(num_models);
+    result.retrained_rmi_ratio =
+        SafeRatioLoss(result.retrained_rmi_loss, result.clean_rmi_loss);
+  }
+  return result;
+}
+
+}  // namespace lispoison

@@ -1,0 +1,30 @@
+#include "attack/single_point.h"
+
+#include <limits>
+
+namespace lispoison {
+
+double SafeRatioLoss(long double poisoned, long double base) {
+  if (base > 0) return static_cast<double>(poisoned / base);
+  if (poisoned > 0) return std::numeric_limits<double>::infinity();
+  return 1.0;
+}
+
+double SinglePointResult::RatioLoss() const {
+  return SafeRatioLoss(poisoned_loss, base_loss);
+}
+
+Result<SinglePointResult> OptimalSinglePoint(const KeySet& keyset,
+                                             const AttackOptions& options) {
+  LISPOISON_ASSIGN_OR_RETURN(LossLandscape landscape,
+                             LossLandscape::Create(keyset));
+  LISPOISON_ASSIGN_OR_RETURN(LossLandscape::Candidate best,
+                             landscape.FindOptimal(options.interior_only));
+  SinglePointResult result;
+  result.poison_key = best.key;
+  result.base_loss = landscape.BaseLoss();
+  result.poisoned_loss = best.loss;
+  return result;
+}
+
+}  // namespace lispoison

@@ -1,0 +1,51 @@
+// Copyright (c) lispoison authors. Licensed under the MIT license.
+//
+// The optimal single-point poisoning attack of Section IV-C: find the
+// unoccupied key whose insertion maximizes the minimized regression loss,
+// in time linear in the number of legitimate keys (gap-endpoint
+// enumeration justified by the per-gap convexity of Theorem 2).
+
+#ifndef LISPOISON_ATTACK_SINGLE_POINT_H_
+#define LISPOISON_ATTACK_SINGLE_POINT_H_
+
+#include "attack/loss_landscape.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "data/keyset.h"
+
+namespace lispoison {
+
+/// \brief Attack-wide knobs shared by the single- and multi-point
+/// attacks.
+struct AttackOptions {
+  /// Restrict poisoning keys to lie strictly between the smallest and
+  /// largest legitimate key (the paper's default, which keeps the attack
+  /// invisible to out-of-range and outlier filters).
+  bool interior_only = true;
+};
+
+/// \brief Result of the optimal single-point attack.
+struct SinglePointResult {
+  Key poison_key = 0;            ///< The loss-maximizing insertion.
+  long double base_loss = 0;     ///< MSE before poisoning.
+  long double poisoned_loss = 0; ///< MSE after inserting poison_key.
+
+  /// \brief The paper's Ratio Loss; +inf when base_loss is zero and the
+  /// poisoned loss is positive, 1 when both are zero.
+  double RatioLoss() const;
+};
+
+/// \brief Finds the optimal single poisoning key for \p keyset in O(n).
+///
+/// Fails with InvalidArgument for empty keysets and ResourceExhausted
+/// when no unoccupied candidate key exists in the allowed range.
+Result<SinglePointResult> OptimalSinglePoint(const KeySet& keyset,
+                                             const AttackOptions& options = {});
+
+/// \brief Shared helper: safe ratio-loss division used by every attack
+/// result type.
+double SafeRatioLoss(long double poisoned, long double base);
+
+}  // namespace lispoison
+
+#endif  // LISPOISON_ATTACK_SINGLE_POINT_H_

@@ -1,0 +1,75 @@
+#include "common/ascii_plot.h"
+
+#include <algorithm>
+
+namespace lispoison {
+
+void RenderKeyHistogram(std::ostream& os, const std::vector<Key>& primary,
+                        const std::vector<Key>& overlay, Key lo, Key hi,
+                        int width) {
+  if (width < 1 || hi < lo) return;
+  std::vector<int> p_counts(static_cast<std::size_t>(width), 0);
+  std::vector<int> o_counts(static_cast<std::size_t>(width), 0);
+  const double scale =
+      static_cast<double>(width) / static_cast<double>(hi - lo + 1);
+  auto bucket = [&](Key k) {
+    double pos = static_cast<double>(k - lo) * scale;
+    if (pos < 0) pos = 0;
+    auto b = static_cast<std::size_t>(pos);
+    if (b >= static_cast<std::size_t>(width)) {
+      b = static_cast<std::size_t>(width) - 1;
+    }
+    return b;
+  };
+  for (Key k : primary) p_counts[bucket(k)] += 1;
+  for (Key k : overlay) o_counts[bucket(k)] += 1;
+  int max_count = 1;
+  for (int i = 0; i < width; ++i) {
+    max_count = std::max(max_count, p_counts[static_cast<std::size_t>(i)] +
+                                        o_counts[static_cast<std::size_t>(i)]);
+  }
+  for (int level = max_count; level >= 1; --level) {
+    std::string row = "  ";
+    for (int i = 0; i < width; ++i) {
+      const int p = p_counts[static_cast<std::size_t>(i)];
+      const int total = p + o_counts[static_cast<std::size_t>(i)];
+      if (total >= level) {
+        // Primary fills the bottom of the stack, overlay the top.
+        row += (level > p) ? '*' : '#';
+      } else {
+        row += ' ';
+      }
+    }
+    os << row << "\n";
+  }
+  os << "  " << std::string(static_cast<std::size_t>(width), '-') << "\n";
+}
+
+void RenderCdfStaircase(std::ostream& os, const std::vector<Key>& sorted_keys,
+                        int width, int height) {
+  if (sorted_keys.empty() || width < 1 || height < 1) return;
+  const Key lo = sorted_keys.front();
+  const Key hi = sorted_keys.back();
+  const double x_scale = hi > lo ? static_cast<double>(width - 1) /
+                                       static_cast<double>(hi - lo)
+                                 : 0.0;
+  const double y_scale =
+      sorted_keys.size() > 1
+          ? static_cast<double>(height - 1) /
+                static_cast<double>(sorted_keys.size() - 1)
+          : 0.0;
+  std::vector<std::string> grid(static_cast<std::size_t>(height),
+                                std::string(static_cast<std::size_t>(width),
+                                            ' '));
+  for (std::size_t i = 0; i < sorted_keys.size(); ++i) {
+    const auto col = static_cast<std::size_t>(
+        static_cast<double>(sorted_keys[i] - lo) * x_scale);
+    const auto row = static_cast<std::size_t>(static_cast<double>(i) *
+                                              y_scale);
+    grid[static_cast<std::size_t>(height) - 1 - row][col] = 'o';
+  }
+  for (const auto& row : grid) os << "  " << row << "\n";
+  os << "  " << std::string(static_cast<std::size_t>(width), '-') << "\n";
+}
+
+}  // namespace lispoison

@@ -1,0 +1,38 @@
+// Copyright (c) lispoison authors. Licensed under the MIT license.
+//
+// Terminal-friendly plotting helpers used by the examples and benches:
+// a key-density histogram (legitimate vs poisoning keys) and a coarse
+// CDF staircase, both rendered as plain text.
+
+#ifndef LISPOISON_COMMON_ASCII_PLOT_H_
+#define LISPOISON_COMMON_ASCII_PLOT_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace lispoison {
+
+/// \brief Renders a two-series key-density histogram: '#' for primary
+/// keys and '*' for overlay keys (e.g. poisons), one text column per
+/// key-range bucket. Rows are density levels, top-down.
+///
+/// \p lo/\p hi bound the plotted key range; \p width is the number of
+/// buckets/columns. Keys outside [lo, hi] are clamped to the edge
+/// buckets. No-op for width < 1.
+void RenderKeyHistogram(std::ostream& os, const std::vector<Key>& primary,
+                        const std::vector<Key>& overlay, Key lo, Key hi,
+                        int width);
+
+/// \brief Renders the (non-normalized) CDF of \p sorted_keys as a
+/// height x width staircase of 'o' marks: X is the key value, Y the
+/// rank. Assumes the input is sorted ascending; no-op for empty input
+/// or non-positive dimensions.
+void RenderCdfStaircase(std::ostream& os, const std::vector<Key>& sorted_keys,
+                        int width, int height);
+
+}  // namespace lispoison
+
+#endif  // LISPOISON_COMMON_ASCII_PLOT_H_

@@ -1,0 +1,94 @@
+#include "common/flags.h"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace lispoison {
+
+FlagParser::FlagParser(int argc, char** argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      continue;
+    }
+    // `--name value` when the next token is not itself a flag and parses as
+    // a value; otherwise treat as boolean.
+    if (i + 1 < argc) {
+      std::string next = argv[i + 1];
+      if (next.rfind("--", 0) != 0) {
+        values_[arg] = next;
+        ++i;
+        continue;
+      }
+    }
+    values_[arg] = "";
+  }
+}
+
+bool FlagParser::Has(const std::string& name) const {
+  return values_.count(name) > 0;
+}
+
+std::int64_t FlagParser::GetInt(const std::string& name,
+                                std::int64_t def) const {
+  auto it = values_.find(name);
+  if (it == values_.end() || it->second.empty()) return def;
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double FlagParser::GetDouble(const std::string& name, double def) const {
+  auto it = values_.find(name);
+  if (it == values_.end() || it->second.empty()) return def;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+std::string FlagParser::GetString(const std::string& name,
+                                  const std::string& def) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  return it->second;
+}
+
+bool FlagParser::GetBool(const std::string& name, bool def) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  const std::string& v = it->second;
+  if (v.empty() || v == "true" || v == "1" || v == "yes") return true;
+  return false;
+}
+
+std::vector<std::int64_t> FlagParser::GetIntList(
+    const std::string& name, const std::vector<std::int64_t>& def) const {
+  auto it = values_.find(name);
+  if (it == values_.end() || it->second.empty()) return def;
+  std::vector<std::int64_t> out;
+  std::stringstream ss(it->second);
+  std::string token;
+  while (std::getline(ss, token, ',')) {
+    if (!token.empty()) out.push_back(std::strtoll(token.c_str(), nullptr, 10));
+  }
+  return out;
+}
+
+std::vector<double> FlagParser::GetDoubleList(
+    const std::string& name, const std::vector<double>& def) const {
+  auto it = values_.find(name);
+  if (it == values_.end() || it->second.empty()) return def;
+  std::vector<double> out;
+  std::stringstream ss(it->second);
+  std::string token;
+  while (std::getline(ss, token, ',')) {
+    if (!token.empty()) out.push_back(std::strtod(token.c_str(), nullptr));
+  }
+  return out;
+}
+
+}  // namespace lispoison

@@ -1,0 +1,71 @@
+// Copyright (c) lispoison authors. Licensed under the MIT license.
+//
+// A tiny command-line flag parser for the bench and example binaries.
+// Supports `--name=value`, `--name value`, and boolean `--name`.
+
+#ifndef LISPOISON_COMMON_FLAGS_H_
+#define LISPOISON_COMMON_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace lispoison {
+
+/// \brief Parses `--flag[=value]` style command lines for bench/example
+/// binaries.
+///
+/// Usage:
+/// \code
+///   FlagParser flags(argc, argv);
+///   int64_t n = flags.GetInt("keys", 1000);
+///   double phi = flags.GetDouble("poison-pct", 10.0);
+///   bool full = flags.GetBool("full");
+/// \endcode
+class FlagParser {
+ public:
+  /// Parses argv; unknown positional arguments are collected separately.
+  FlagParser(int argc, char** argv);
+
+  /// \brief True iff the flag was supplied on the command line.
+  bool Has(const std::string& name) const;
+
+  /// \brief Integer flag with default.
+  std::int64_t GetInt(const std::string& name, std::int64_t def) const;
+
+  /// \brief Floating-point flag with default.
+  double GetDouble(const std::string& name, double def) const;
+
+  /// \brief String flag with default.
+  std::string GetString(const std::string& name,
+                        const std::string& def = "") const;
+
+  /// \brief Boolean flag: present without value, or =true/=false/=1/=0.
+  bool GetBool(const std::string& name, bool def = false) const;
+
+  /// \brief Comma-separated list of integers, e.g. `--sizes=50,100,200`.
+  std::vector<std::int64_t> GetIntList(
+      const std::string& name, const std::vector<std::int64_t>& def) const;
+
+  /// \brief Comma-separated list of doubles.
+  std::vector<double> GetDoubleList(const std::string& name,
+                                    const std::vector<double>& def) const;
+
+  /// \brief Positional (non-flag) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// \brief The binary name (argv[0]).
+  const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace lispoison
+
+#endif  // LISPOISON_COMMON_FLAGS_H_

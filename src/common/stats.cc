@@ -1,0 +1,66 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+
+namespace lispoison {
+
+double Quantile(const std::vector<double>& sorted_values, double q) {
+  if (sorted_values.empty()) return 0.0;
+  if (q <= 0.0) return sorted_values.front();
+  if (q >= 1.0) return sorted_values.back();
+  const double pos = q * static_cast<double>(sorted_values.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= sorted_values.size()) return sorted_values.back();
+  return sorted_values[lo] * (1.0 - frac) + sorted_values[lo + 1] * frac;
+}
+
+BoxplotSummary ComputeBoxplot(std::vector<double> values) {
+  BoxplotSummary s;
+  if (values.empty()) return s;
+  std::sort(values.begin(), values.end());
+  s.count = values.size();
+  s.min = values.front();
+  s.max = values.back();
+  s.q1 = Quantile(values, 0.25);
+  s.median = Quantile(values, 0.5);
+  s.q3 = Quantile(values, 0.75);
+  s.mean = Mean(values);
+  const double iqr = s.q3 - s.q1;
+  const double lo_fence = s.q1 - 1.5 * iqr;
+  const double hi_fence = s.q3 + 1.5 * iqr;
+  s.whisker_lo = s.max;
+  s.whisker_hi = s.min;
+  for (double v : values) {
+    if (v >= lo_fence) {
+      s.whisker_lo = v;
+      break;
+    }
+  }
+  for (auto it = values.rbegin(); it != values.rend(); ++it) {
+    if (*it <= hi_fence) {
+      s.whisker_hi = *it;
+      break;
+    }
+  }
+  return s;
+}
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  const double sum = std::accumulate(values.begin(), values.end(), 0.0);
+  return sum / static_cast<double>(values.size());
+}
+
+std::string BoxplotSummary::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "min=%.3g q1=%.3g med=%.3g q3=%.3g max=%.3g mean=%.3g",
+                min, q1, median, q3, max, mean);
+  return buf;
+}
+
+}  // namespace lispoison

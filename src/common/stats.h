@@ -1,0 +1,128 @@
+// Copyright (c) lispoison authors. Licensed under the MIT license.
+//
+// Statistical accumulators and summaries used throughout the attack and
+// evaluation code: exact bivariate moments over (key, rank) pairs, sample
+// quantiles, and boxplot five-number summaries matching the paper's plots.
+
+#ifndef LISPOISON_COMMON_STATS_H_
+#define LISPOISON_COMMON_STATS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace lispoison {
+
+/// \brief Exact accumulator of first and second bivariate moments of
+/// integer (x, y) pairs.
+///
+/// Sums are kept in 128-bit integers so they are exact for every
+/// configuration in the paper (n <= 10^7 keys from a <= 10^9 domain);
+/// floating point enters only in the final mean/variance/covariance
+/// ratios. Population (not sample) normalization is used, matching the
+/// MSE definition of the paper (Definition 1 / Theorem 1).
+class MomentAccumulator {
+ public:
+  MomentAccumulator() = default;
+
+  /// \brief Adds one (x, y) observation.
+  void Add(Key x, Rank y) {
+    n_ += 1;
+    sum_x_ += x;
+    sum_y_ += y;
+    sum_xx_ += static_cast<Int128>(x) * x;
+    sum_yy_ += static_cast<Int128>(y) * y;
+    sum_xy_ += static_cast<Int128>(x) * y;
+  }
+
+  /// \brief Removes one previously added (x, y) observation.
+  void Remove(Key x, Rank y) {
+    n_ -= 1;
+    sum_x_ -= x;
+    sum_y_ -= y;
+    sum_xx_ -= static_cast<Int128>(x) * x;
+    sum_yy_ -= static_cast<Int128>(y) * y;
+    sum_xy_ -= static_cast<Int128>(x) * y;
+  }
+
+  /// \brief Number of observations currently accumulated.
+  std::int64_t count() const { return n_; }
+
+  /// \name Exact raw sums.
+  /// @{
+  Int128 sum_x() const { return sum_x_; }
+  Int128 sum_y() const { return sum_y_; }
+  Int128 sum_xx() const { return sum_xx_; }
+  Int128 sum_yy() const { return sum_yy_; }
+  Int128 sum_xy() const { return sum_xy_; }
+  /// @}
+
+  /// \name Population moments (valid when count() > 0).
+  ///
+  /// Variances and covariance are computed from the exact 128-bit
+  /// numerator n*sum_xy - sum_x*sum_y, so no catastrophic cancellation
+  /// occurs even when keys are large (~10^9) and the spread is tiny —
+  /// the regime of RMI second-stage partitions. The numerators stay
+  /// within 128 bits for n <= ~10^8 keys of magnitude <= ~3*10^9.
+  /// @{
+  long double MeanX() const { return ToLongDouble(sum_x_) / n_; }
+  long double MeanY() const { return ToLongDouble(sum_y_) / n_; }
+  long double VarX() const {
+    const Int128 num = static_cast<Int128>(n_) * sum_xx_ - sum_x_ * sum_x_;
+    const long double nn = static_cast<long double>(n_);
+    return ToLongDouble(num) / (nn * nn);
+  }
+  long double VarY() const {
+    const Int128 num = static_cast<Int128>(n_) * sum_yy_ - sum_y_ * sum_y_;
+    const long double nn = static_cast<long double>(n_);
+    return ToLongDouble(num) / (nn * nn);
+  }
+  long double CovXY() const {
+    const Int128 num = static_cast<Int128>(n_) * sum_xy_ - sum_x_ * sum_y_;
+    const long double nn = static_cast<long double>(n_);
+    return ToLongDouble(num) / (nn * nn);
+  }
+  /// @}
+
+ private:
+  std::int64_t n_ = 0;
+  Int128 sum_x_ = 0;
+  Int128 sum_y_ = 0;
+  Int128 sum_xx_ = 0;
+  Int128 sum_yy_ = 0;
+  Int128 sum_xy_ = 0;
+};
+
+/// \brief Linearly interpolated sample quantile of \p sorted_values
+/// (which must be sorted ascending); q in [0, 1].
+double Quantile(const std::vector<double>& sorted_values, double q);
+
+/// \brief Boxplot summary matching the paper's figures: quartiles plus
+/// 1.5*IQR whiskers clamped to the data range.
+struct BoxplotSummary {
+  double min = 0;      ///< Smallest observation.
+  double whisker_lo = 0;  ///< Lowest observation >= q1 - 1.5*IQR.
+  double q1 = 0;       ///< First quartile.
+  double median = 0;   ///< Second quartile.
+  double q3 = 0;       ///< Third quartile.
+  double whisker_hi = 0;  ///< Highest observation <= q3 + 1.5*IQR.
+  double max = 0;      ///< Largest observation.
+  double mean = 0;     ///< Arithmetic mean.
+  std::size_t count = 0;  ///< Number of observations.
+
+  /// \brief Compact single-line rendering used by the bench tables.
+  std::string ToString() const;
+};
+
+/// \brief Computes the boxplot summary of \p values (need not be sorted).
+/// Returns a zeroed summary when \p values is empty.
+BoxplotSummary ComputeBoxplot(std::vector<double> values);
+
+/// \brief Arithmetic mean; 0 for empty input.
+double Mean(const std::vector<double>& values);
+
+}  // namespace lispoison
+
+#endif  // LISPOISON_COMMON_STATS_H_

@@ -1,0 +1,170 @@
+// Copyright (c) lispoison authors. Licensed under the MIT license.
+//
+// Minimal Status / Result error-handling vocabulary, following the
+// RocksDB/Arrow idiom: fallible operations return a Status (or a Result<T>
+// carrying either a value or a Status) instead of throwing.
+
+#ifndef LISPOISON_COMMON_STATUS_H_
+#define LISPOISON_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace lispoison {
+
+/// \brief Canonical error categories used across the library.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,    ///< Caller passed a malformed argument.
+  kOutOfRange,         ///< A key/index fell outside the valid domain.
+  kFailedPrecondition, ///< Object state does not allow the operation.
+  kNotFound,           ///< Lookup target does not exist.
+  kResourceExhausted,  ///< A budget (e.g. poisoning budget) is exhausted.
+  kInternal,           ///< Invariant violation inside the library.
+  kIOError,            ///< Filesystem / stream failure.
+};
+
+/// \brief Returns a short human-readable name for a StatusCode.
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Result of a fallible operation: a code plus an optional message.
+///
+/// A default-constructed Status is OK. Statuses are cheap to copy and are
+/// expected to be checked by the caller; the library never throws for
+/// anticipated failures.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// \name Factory helpers for each canonical code.
+  /// @{
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  /// @}
+
+  /// \brief True iff the operation succeeded.
+  bool ok() const { return code_ == StatusCode::kOk; }
+
+  /// \brief The canonical code.
+  StatusCode code() const { return code_; }
+
+  /// \brief The (possibly empty) diagnostic message.
+  const std::string& message() const { return message_; }
+
+  /// \brief "OK" or "<code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// \brief Either a value of type T or an error Status.
+///
+/// Mirrors arrow::Result / absl::StatusOr. Access to the value asserts that
+/// the Result is OK; use `ok()` / `status()` to branch first.
+template <typename T>
+class Result {
+ public:
+  /// Constructs an OK result holding \p value.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs an error result from a non-OK status.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result(Status) requires a non-OK status");
+  }
+
+  /// \brief True iff a value is present.
+  bool ok() const { return status_.ok(); }
+
+  /// \brief The status (OK when a value is present).
+  const Status& status() const { return status_; }
+
+  /// \brief Const access to the held value. Requires ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+
+  /// \brief Mutable access to the held value. Requires ok().
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+
+  /// \brief Moves the held value out. Requires ok().
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// \brief Value access shorthand.
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates a non-OK Status from the evaluated expression.
+#define LISPOISON_RETURN_IF_ERROR(expr)          \
+  do {                                           \
+    ::lispoison::Status _st = (expr);            \
+    if (!_st.ok()) return _st;                   \
+  } while (false)
+
+#define LISPOISON_MACRO_CONCAT_INNER(a, b) a##b
+#define LISPOISON_MACRO_CONCAT(a, b) LISPOISON_MACRO_CONCAT_INNER(a, b)
+
+#define LISPOISON_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                    \
+  if (!tmp.ok()) return tmp.status();                    \
+  lhs = std::move(tmp).value()
+
+/// Evaluates a Result expression; on error returns its Status, otherwise
+/// assigns the value to `lhs`.
+#define LISPOISON_ASSIGN_OR_RETURN(lhs, rexpr)                           \
+  LISPOISON_ASSIGN_OR_RETURN_IMPL(                                       \
+      LISPOISON_MACRO_CONCAT(_lispoison_result_, __LINE__), lhs, rexpr)
+
+}  // namespace lispoison
+
+#endif  // LISPOISON_COMMON_STATUS_H_

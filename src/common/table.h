@@ -1,0 +1,47 @@
+// Copyright (c) lispoison authors. Licensed under the MIT license.
+//
+// Aligned plain-text table rendering for the bench binaries, which print
+// the paper's figure series as rows instead of plots.
+
+#ifndef LISPOISON_COMMON_TABLE_H_
+#define LISPOISON_COMMON_TABLE_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace lispoison {
+
+/// \brief Builds and prints a column-aligned text table.
+class TextTable {
+ public:
+  /// \brief Sets the header row.
+  void SetHeader(std::vector<std::string> header);
+
+  /// \brief Appends a data row (cells as preformatted strings).
+  void AddRow(std::vector<std::string> row);
+
+  /// \brief Convenience: formats a double with \p precision digits.
+  static std::string Fmt(double v, int precision = 3);
+
+  /// \brief Convenience: formats an integer.
+  static std::string Fmt(std::int64_t v);
+
+  /// \brief Renders the table to \p os with a separator under the header.
+  void Print(std::ostream& os) const;
+
+  /// \brief Renders as CSV (no alignment, comma-separated).
+  void PrintCsv(std::ostream& os) const;
+
+  /// \brief Number of data rows.
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace lispoison
+
+#endif  // LISPOISON_COMMON_TABLE_H_

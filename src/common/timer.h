@@ -1,0 +1,37 @@
+// Copyright (c) lispoison authors. Licensed under the MIT license.
+
+#ifndef LISPOISON_COMMON_TIMER_H_
+#define LISPOISON_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace lispoison {
+
+/// \brief Simple monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// \brief Restarts the stopwatch.
+  void Restart() { start_ = Clock::now(); }
+
+  /// \brief Seconds since construction or last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// \brief Nanoseconds since construction or last Restart().
+  std::int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace lispoison
+
+#endif  // LISPOISON_COMMON_TIMER_H_

@@ -1,0 +1,33 @@
+// Copyright (c) lispoison authors. Licensed under the MIT license.
+//
+// Fundamental scalar types shared across the library.
+
+#ifndef LISPOISON_COMMON_TYPES_H_
+#define LISPOISON_COMMON_TYPES_H_
+
+#include <cstdint>
+
+namespace lispoison {
+
+/// \brief An index key. The paper assumes keys are non-negative integers so
+/// a total order is always available; we use a signed 64-bit carrier so key
+/// arithmetic (gaps, midpoints) never wraps for the domains studied
+/// (|K| <= 10^9).
+using Key = std::int64_t;
+
+/// \brief A rank, i.e. the 1-based position of a key in the sorted keyset.
+/// The regression target: the (non-normalized) CDF maps key -> rank.
+using Rank = std::int64_t;
+
+/// \brief Exact wide integer used for key aggregates (sum of k, k^2, k*r).
+/// With n <= 10^7 keys from a 10^9 domain, sum(k^2) can reach ~10^25, which
+/// overflows int64 but fits comfortably in 128 bits.
+using Int128 = __int128;
+
+/// \brief Converts an exact 128-bit aggregate to long double for the final
+/// floating-point loss computation.
+inline long double ToLongDouble(Int128 v) { return static_cast<long double>(v); }
+
+}  // namespace lispoison
+
+#endif  // LISPOISON_COMMON_TYPES_H_

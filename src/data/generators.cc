@@ -1,0 +1,181 @@
+#include "data/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <unordered_set>
+
+namespace lispoison {
+namespace {
+
+Status ValidateRequest(std::int64_t n, const KeyDomain& domain) {
+  if (n < 0) return Status::InvalidArgument("negative key count");
+  if (domain.hi < domain.lo) {
+    return Status::InvalidArgument("key domain is empty (hi < lo)");
+  }
+  if (n > domain.size()) {
+    return Status::InvalidArgument(
+        "cannot draw " + std::to_string(n) + " unique keys from a domain of " +
+        std::to_string(domain.size()) + " values");
+  }
+  return Status::OK();
+}
+
+// Draws `n` distinct keys by repeated sampling from `draw()` (which must
+// return in-domain keys) until n unique values are collected. `max_tries`
+// guards against distributions too narrow for the requested uniqueness.
+template <typename DrawFn>
+Result<KeySet> RejectionSampleUnique(std::int64_t n, KeyDomain domain,
+                                     DrawFn draw) {
+  std::unordered_set<Key> seen;
+  seen.reserve(static_cast<std::size_t>(n) * 2);
+  std::vector<Key> keys;
+  keys.reserve(static_cast<std::size_t>(n));
+  const std::int64_t max_tries = 200 * (n + 16);
+  std::int64_t tries = 0;
+  while (static_cast<std::int64_t>(keys.size()) < n) {
+    if (++tries > max_tries) {
+      return Status::ResourceExhausted(
+          "rejection sampling failed to find " + std::to_string(n) +
+          " unique keys after " + std::to_string(tries) + " draws");
+    }
+    Key k = draw();
+    if (!domain.Contains(k)) continue;
+    if (seen.insert(k).second) keys.push_back(k);
+  }
+  return KeySet::Create(std::move(keys), domain);
+}
+
+}  // namespace
+
+Result<KeySet> GenerateUniform(std::int64_t n, KeyDomain domain, Rng* rng) {
+  LISPOISON_RETURN_IF_ERROR(ValidateRequest(n, domain));
+  const Key m = domain.size();
+  // Dense request: materialize the whole domain and knock out m-n keys.
+  // Only triggered for small domains (the paper's dense settings have
+  // m <= ~10^5), so the O(m) cost is fine and avoids rejection stalls.
+  if (n > m / 2) {
+    std::vector<Key> all;
+    all.reserve(static_cast<std::size_t>(m));
+    for (Key k = domain.lo; k <= domain.hi; ++k) all.push_back(k);
+    // Partial Fisher-Yates: move n chosen keys to the front.
+    for (std::int64_t i = 0; i < n; ++i) {
+      const std::int64_t j = rng->UniformInt(i, m - 1);
+      std::swap(all[static_cast<std::size_t>(i)],
+                all[static_cast<std::size_t>(j)]);
+    }
+    all.resize(static_cast<std::size_t>(n));
+    return KeySet::Create(std::move(all), domain);
+  }
+  return RejectionSampleUnique(n, domain, [&] {
+    return rng->UniformInt(domain.lo, domain.hi);
+  });
+}
+
+Result<KeySet> GenerateLogNormal(std::int64_t n, KeyDomain domain, Rng* rng,
+                                 double mu, double sigma, double q_hi) {
+  LISPOISON_RETURN_IF_ERROR(ValidateRequest(n, domain));
+  if (sigma <= 0) return Status::InvalidArgument("sigma must be positive");
+  if (q_hi <= 0.5 || q_hi >= 1.0) {
+    return Status::InvalidArgument("q_hi must lie in (0.5, 1)");
+  }
+  // Map the q_hi quantile of LogNormal(mu, sigma) to the top of the domain.
+  // Phi^{-1}(q_hi) via Acklam-style approximation is overkill; for the fixed
+  // default q_hi=0.9995 the standard-normal quantile is ~3.2905. Compute it
+  // generically with a small bisection on erf instead.
+  auto normal_quantile = [](double q) {
+    double lo = -10.0, hi = 10.0;
+    for (int i = 0; i < 200; ++i) {
+      const double mid = 0.5 * (lo + hi);
+      const double cdf = 0.5 * (1.0 + std::erf(mid / std::sqrt(2.0)));
+      (cdf < q ? lo : hi) = mid;
+    }
+    return 0.5 * (lo + hi);
+  };
+  const double v_hi = std::exp(mu + sigma * normal_quantile(q_hi));
+  const double width = static_cast<double>(domain.size() - 1);
+  const double scale = width / v_hi;
+  return RejectionSampleUnique(n, domain, [&]() -> Key {
+    const double v = rng->LogNormal(mu, sigma);
+    return domain.lo + static_cast<Key>(std::llround(v * scale));
+  });
+}
+
+Result<KeySet> GenerateNormal(std::int64_t n, KeyDomain domain, Rng* rng) {
+  LISPOISON_RETURN_IF_ERROR(ValidateRequest(n, domain));
+  const double a = static_cast<double>(domain.lo);
+  const double b = static_cast<double>(domain.hi);
+  const double mu = (a + b) / 2.0;
+  const double sigma = (b - a) / 3.0;
+  if (sigma <= 0) {
+    // Single-point domain: the only possible keyset is {lo} (n <= 1 here
+    // because ValidateRequest bounds n by the domain size).
+    std::vector<Key> keys;
+    if (n == 1) keys.push_back(domain.lo);
+    return KeySet::Create(std::move(keys), domain);
+  }
+  return RejectionSampleUnique(n, domain, [&]() -> Key {
+    return static_cast<Key>(std::llround(rng->Normal(mu, sigma)));
+  });
+}
+
+Result<KeySet> GenerateClustered(std::int64_t n, KeyDomain domain,
+                                 const std::vector<ClusterSpec>& clusters,
+                                 Rng* rng) {
+  LISPOISON_RETURN_IF_ERROR(ValidateRequest(n, domain));
+  if (clusters.empty()) {
+    return Status::InvalidArgument("clustered generator needs >= 1 cluster");
+  }
+  double total_weight = 0;
+  for (const auto& c : clusters) {
+    if (c.weight < 0 || c.stddev_frac <= 0) {
+      return Status::InvalidArgument(
+          "cluster weights must be >= 0 and stddevs > 0");
+    }
+    total_weight += c.weight;
+  }
+  if (total_weight <= 0) {
+    return Status::InvalidArgument("total cluster weight must be positive");
+  }
+  const double width = static_cast<double>(domain.size() - 1);
+  return RejectionSampleUnique(n, domain, [&]() -> Key {
+    double pick = rng->NextDouble() * total_weight;
+    const ClusterSpec* chosen = &clusters.back();
+    for (const auto& c : clusters) {
+      pick -= c.weight;
+      if (pick <= 0) {
+        chosen = &c;
+        break;
+      }
+    }
+    const double center =
+        static_cast<double>(domain.lo) + chosen->center_frac * width;
+    const double sd = chosen->stddev_frac * width;
+    return static_cast<Key>(std::llround(rng->Normal(center, sd)));
+  });
+}
+
+Result<KeySet> GenerateEvenlySpaced(std::int64_t n, KeyDomain domain) {
+  LISPOISON_RETURN_IF_ERROR(ValidateRequest(n, domain));
+  std::vector<Key> keys;
+  keys.reserve(static_cast<std::size_t>(n));
+  if (n == 1) {
+    keys.push_back(domain.lo);
+  } else {
+    const long double step =
+        static_cast<long double>(domain.size() - 1) / (n - 1);
+    for (std::int64_t i = 0; i < n; ++i) {
+      keys.push_back(domain.lo +
+                     static_cast<Key>(std::llround(
+                         static_cast<double>(step * i))));
+    }
+    // Evenly spaced rounding can collide only when n > m; ValidateRequest
+    // excludes that, but de-duplicate defensively by nudging forward.
+    for (std::size_t i = 1; i < keys.size(); ++i) {
+      if (keys[i] <= keys[i - 1]) keys[i] = keys[i - 1] + 1;
+    }
+  }
+  return KeySet::Create(std::move(keys), domain);
+}
+
+}  // namespace lispoison

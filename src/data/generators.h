@@ -1,0 +1,64 @@
+// Copyright (c) lispoison authors. Licensed under the MIT license.
+//
+// Synthetic key-distribution generators matching the paper's evaluation:
+// uniform (Fig. 5, Fig. 6 rows 1-2), log-normal(0, 2) (Fig. 6 rows 3-4,
+// same parameterization as Kraska et al.), truncated normal with
+// mu=(a+b)/2, sigma=(b-a)/3 (Fig. 8), plus clustered mixtures used in the
+// Section VI discussion experiments.
+
+#ifndef LISPOISON_DATA_GENERATORS_H_
+#define LISPOISON_DATA_GENERATORS_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "data/keyset.h"
+
+namespace lispoison {
+
+/// \brief Draws \p n unique keys uniformly at random from \p domain.
+///
+/// Fails with InvalidArgument when n exceeds the domain size. Uses
+/// hash-set rejection for sparse sets and complement sampling for dense
+/// ones, so both the paper's 20% and 80% density settings are cheap.
+Result<KeySet> GenerateUniform(std::int64_t n, KeyDomain domain, Rng* rng);
+
+/// \brief Draws \p n unique keys from a log-normal(mu, sigma) shape
+/// stretched over \p domain.
+///
+/// Values v ~ LogNormal(mu, sigma) are mapped into the domain by scaling
+/// so that the quantile `q_hi` of the distribution lands at the domain's
+/// upper edge; samples beyond the edge are rejected. With the paper's
+/// mu=0, sigma=2 this produces the highly skewed key sets of Fig. 6.
+Result<KeySet> GenerateLogNormal(std::int64_t n, KeyDomain domain, Rng* rng,
+                                 double mu = 0.0, double sigma = 2.0,
+                                 double q_hi = 0.9995);
+
+/// \brief Draws \p n unique keys from a normal distribution truncated to
+/// the domain [a, b], with mu=(a+b)/2 and sigma=(b-a)/3 exactly as in the
+/// Fig. 8 appendix experiments.
+Result<KeySet> GenerateNormal(std::int64_t n, KeyDomain domain, Rng* rng);
+
+/// \brief Parameters of one Gaussian cluster for GenerateClustered,
+/// expressed as fractions of the domain width.
+struct ClusterSpec {
+  double center_frac;  ///< Cluster center as a fraction of the domain.
+  double stddev_frac;  ///< Cluster stddev as a fraction of the domain.
+  double weight;       ///< Relative sampling weight (need not sum to 1).
+};
+
+/// \brief Draws \p n unique keys from a mixture of Gaussian clusters.
+/// Used for the "dense clusters far apart" discussion in Section VI and
+/// for the OSM latitude surrogate.
+Result<KeySet> GenerateClustered(std::int64_t n, KeyDomain domain,
+                                 const std::vector<ClusterSpec>& clusters,
+                                 Rng* rng);
+
+/// \brief Evenly spaced keys (a perfectly linear CDF); useful in tests as
+/// the zero-loss baseline for linear regression.
+Result<KeySet> GenerateEvenlySpaced(std::int64_t n, KeyDomain domain);
+
+}  // namespace lispoison
+
+#endif  // LISPOISON_DATA_GENERATORS_H_

@@ -1,0 +1,40 @@
+#include "data/io.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <vector>
+
+namespace lispoison {
+
+Status SaveKeys(const KeySet& keyset, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  out << "# lispoison keyset: n=" << keyset.size()
+      << " domain=[" << keyset.domain().lo << "," << keyset.domain().hi
+      << "]\n";
+  for (Key k : keyset.keys()) out << k << "\n";
+  if (!out) return Status::IOError("write to " + path + " failed");
+  return Status::OK();
+}
+
+Result<KeySet> LoadKeys(const std::string& path, KeyDomain domain) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path + " for reading");
+  std::vector<Key> keys;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    char* end = nullptr;
+    const long long v = std::strtoll(line.c_str(), &end, 10);
+    if (end == line.c_str()) {
+      return Status::IOError("unparsable line in " + path + ": " + line);
+    }
+    keys.push_back(static_cast<Key>(v));
+  }
+  if (domain.hi < domain.lo) {
+    return KeySet::CreateWithTightDomain(std::move(keys));
+  }
+  return KeySet::Create(std::move(keys), domain);
+}
+
+}  // namespace lispoison

@@ -1,0 +1,28 @@
+// Copyright (c) lispoison authors. Licensed under the MIT license.
+//
+// Plain-text persistence for keysets so example binaries can exchange
+// datasets with external tooling (one key per line, '#' comments allowed).
+
+#ifndef LISPOISON_DATA_IO_H_
+#define LISPOISON_DATA_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "data/keyset.h"
+
+namespace lispoison {
+
+/// \brief Writes the keys of \p keyset to \p path, one per line, preceded
+/// by a comment header recording the domain.
+Status SaveKeys(const KeySet& keyset, const std::string& path);
+
+/// \brief Loads keys from \p path (one integer per line; blank lines and
+/// lines starting with '#' ignored) into a KeySet with the given domain.
+/// If \p domain is unset (hi < lo), a tight domain is derived.
+Result<KeySet> LoadKeys(const std::string& path,
+                        KeyDomain domain = KeyDomain{0, -1});
+
+}  // namespace lispoison
+
+#endif  // LISPOISON_DATA_IO_H_

@@ -1,0 +1,78 @@
+#include "data/keyset.h"
+
+#include <algorithm>
+#include <string>
+
+namespace lispoison {
+
+Result<KeySet> KeySet::Create(std::vector<Key> keys, KeyDomain domain) {
+  if (domain.hi < domain.lo) {
+    return Status::InvalidArgument("key domain is empty (hi < lo)");
+  }
+  std::sort(keys.begin(), keys.end());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    if (!domain.Contains(keys[i])) {
+      return Status::OutOfRange("key " + std::to_string(keys[i]) +
+                                " outside domain [" +
+                                std::to_string(domain.lo) + ", " +
+                                std::to_string(domain.hi) + "]");
+    }
+    if (i > 0 && keys[i] == keys[i - 1]) {
+      return Status::InvalidArgument("duplicate key " +
+                                     std::to_string(keys[i]));
+    }
+  }
+  KeySet ks;
+  ks.keys_ = std::move(keys);
+  ks.domain_ = domain;
+  return ks;
+}
+
+Result<KeySet> KeySet::CreateWithTightDomain(std::vector<Key> keys) {
+  if (keys.empty()) {
+    return Status::InvalidArgument(
+        "cannot derive a tight domain from an empty keyset");
+  }
+  auto [mn, mx] = std::minmax_element(keys.begin(), keys.end());
+  KeyDomain domain{*mn, *mx};
+  return Create(std::move(keys), domain);
+}
+
+Result<Rank> KeySet::RankOf(Key k) const {
+  auto it = std::lower_bound(keys_.begin(), keys_.end(), k);
+  if (it == keys_.end() || *it != k) {
+    return Status::NotFound("key " + std::to_string(k) + " not in keyset");
+  }
+  return static_cast<Rank>(it - keys_.begin()) + 1;
+}
+
+Rank KeySet::CountLess(Key k) const {
+  auto it = std::lower_bound(keys_.begin(), keys_.end(), k);
+  return static_cast<Rank>(it - keys_.begin());
+}
+
+bool KeySet::Contains(Key k) const {
+  return std::binary_search(keys_.begin(), keys_.end(), k);
+}
+
+Result<KeySet> KeySet::Union(const std::vector<Key>& extra) const {
+  std::vector<Key> merged = keys_;
+  merged.insert(merged.end(), extra.begin(), extra.end());
+  return Create(std::move(merged), domain_);
+}
+
+Result<KeySet> KeySet::Slice(std::int64_t first, std::int64_t count) const {
+  if (first < 0 || count < 0 || first + count > size()) {
+    return Status::OutOfRange("slice [" + std::to_string(first) + ", " +
+                              std::to_string(first + count) +
+                              ") outside keyset of size " +
+                              std::to_string(size()));
+  }
+  std::vector<Key> sub(keys_.begin() + first, keys_.begin() + first + count);
+  KeySet ks;
+  ks.keys_ = std::move(sub);
+  ks.domain_ = domain_;
+  return ks;
+}
+
+}  // namespace lispoison

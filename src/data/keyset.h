@@ -1,0 +1,101 @@
+// Copyright (c) lispoison authors. Licensed under the MIT license.
+//
+// KeySet: the fundamental data object of the paper — a set of unique,
+// non-negative integer keys drawn from a finite key universe ("key
+// domain"), totally ordered, where each key's rank (1-based position in
+// sorted order) is the regression target of the learned index.
+
+#ifndef LISPOISON_DATA_KEYSET_H_
+#define LISPOISON_DATA_KEYSET_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace lispoison {
+
+/// \brief The key universe K = [lo, hi], an inclusive integer interval.
+/// The paper denotes its size by m = |K|.
+struct KeyDomain {
+  Key lo = 0;
+  Key hi = 0;
+
+  /// \brief Number of representable keys m = hi - lo + 1.
+  Key size() const { return hi - lo + 1; }
+
+  /// \brief True iff k lies inside the universe.
+  bool Contains(Key k) const { return k >= lo && k <= hi; }
+};
+
+/// \brief A sorted set of unique keys from a KeyDomain.
+///
+/// Invariants (established by Create, preserved thereafter):
+///  - keys are strictly increasing (unique, sorted);
+///  - every key lies inside the domain.
+///
+/// The rank of keys()[i] is i+1, matching the paper's non-normalized CDF
+/// where the Y-axis is the rank in [1, n].
+class KeySet {
+ public:
+  KeySet() = default;
+
+  /// \brief Builds a KeySet from arbitrary-order keys.
+  ///
+  /// Sorts the input and fails with InvalidArgument on duplicates or
+  /// out-of-domain keys.
+  static Result<KeySet> Create(std::vector<Key> keys, KeyDomain domain);
+
+  /// \brief Builds a KeySet whose domain is exactly [min_key, max_key].
+  static Result<KeySet> CreateWithTightDomain(std::vector<Key> keys);
+
+  /// \brief The sorted unique keys.
+  const std::vector<Key>& keys() const { return keys_; }
+
+  /// \brief Number of keys n.
+  std::int64_t size() const { return static_cast<std::int64_t>(keys_.size()); }
+
+  /// \brief True iff the set is empty.
+  bool empty() const { return keys_.empty(); }
+
+  /// \brief The key universe.
+  const KeyDomain& domain() const { return domain_; }
+
+  /// \brief Key density n/m in (0, 1].
+  double density() const {
+    return domain_.size() == 0
+               ? 0.0
+               : static_cast<double>(size()) /
+                     static_cast<double>(domain_.size());
+  }
+
+  /// \brief 1-based rank of \p k if present; NotFound otherwise.
+  Result<Rank> RankOf(Key k) const;
+
+  /// \brief Number of stored keys strictly less than \p k (0-based
+  /// insertion position). This is the rank, minus one, that \p k would
+  /// receive if inserted.
+  Rank CountLess(Key k) const;
+
+  /// \brief True iff \p k is stored.
+  bool Contains(Key k) const;
+
+  /// \brief The i-th smallest key (0-based). Requires 0 <= i < size().
+  Key at(std::int64_t i) const { return keys_[static_cast<std::size_t>(i)]; }
+
+  /// \brief Returns a new KeySet containing this set plus \p extra keys
+  /// (which must be disjoint from the current keys and in-domain).
+  Result<KeySet> Union(const std::vector<Key>& extra) const;
+
+  /// \brief Returns the contiguous slice [first, first+count) as a KeySet
+  /// with this set's domain. Used to form RMI second-stage partitions.
+  Result<KeySet> Slice(std::int64_t first, std::int64_t count) const;
+
+ private:
+  std::vector<Key> keys_;
+  KeyDomain domain_;
+};
+
+}  // namespace lispoison
+
+#endif  // LISPOISON_DATA_KEYSET_H_

@@ -1,0 +1,77 @@
+#include "data/surrogates.h"
+
+#include <cmath>
+
+#include "data/generators.h"
+
+namespace lispoison {
+
+SurrogateSpec MiamiSalariesSpec() {
+  SurrogateSpec spec;
+  spec.n = 5300;
+  spec.domain = KeyDomain{22733, 190034};  // m = 167,302 (paper: 167,301).
+  spec.density = 0.0371;
+  return spec;
+}
+
+SurrogateSpec OsmLatitudesSpec() {
+  SurrogateSpec spec;
+  spec.n = 302973;
+  // Latitudes in [-30, 50] scaled by 15,000 and shifted to start at 0:
+  // universe [0, 1.2M], matching the paper's "Key Domain: 1.2M".
+  spec.domain = KeyDomain{0, 1200000};
+  spec.density = 0.2525;
+  return spec;
+}
+
+Result<KeySet> MakeMiamiSalariesSurrogate(Rng* rng, std::int64_t n_override) {
+  const SurrogateSpec spec = MiamiSalariesSpec();
+  const std::int64_t n = n_override > 0 ? n_override : spec.n;
+  // Log-normal in dollars: median ~$62k, sigma 0.38 puts ~90% of mass in
+  // [$33k, $117k] — the dense bulk visible in the paper's Fig. 7 CDF —
+  // with a thin tail reaching the $190k cap.
+  const double mu = std::log(62000.0);
+  const double sigma = 0.38;
+  // Rejection-sample unique integer salaries inside the domain.
+  std::vector<Key> keys;
+  keys.reserve(static_cast<std::size_t>(n));
+  std::vector<bool> seen;  // domain is small (167k), use a bitmap.
+  seen.assign(static_cast<std::size_t>(spec.domain.size()), false);
+  const std::int64_t max_tries = 500 * (n + 16);
+  std::int64_t tries = 0;
+  while (static_cast<std::int64_t>(keys.size()) < n) {
+    if (++tries > max_tries) {
+      return Status::ResourceExhausted(
+          "salary surrogate sampling exhausted; lower n_override");
+    }
+    const double v = rng->LogNormal(mu, sigma);
+    const Key k = static_cast<Key>(std::llround(v));
+    if (!spec.domain.Contains(k)) continue;
+    const std::size_t idx = static_cast<std::size_t>(k - spec.domain.lo);
+    if (seen[idx]) continue;
+    seen[idx] = true;
+    keys.push_back(k);
+  }
+  return KeySet::Create(std::move(keys), spec.domain);
+}
+
+Result<KeySet> MakeOsmLatitudesSurrogate(Rng* rng, std::int64_t n_override) {
+  const SurrogateSpec spec = OsmLatitudesSpec();
+  const std::int64_t n = n_override > 0 ? n_override : spec.n;
+  // Latitude bands (degrees) of school-dense regions within [-30, 50],
+  // expressed as fractions of the [-30, 50] => [0, 1.2M] domain:
+  //   frac = (lat + 30) / 80.
+  auto frac = [](double lat) { return (lat + 30.0) / 80.0; };
+  const std::vector<ClusterSpec> bands = {
+      {frac(47.0), 5.0 / 80.0, 0.28},   // Western/Central Europe.
+      {frac(40.0), 4.0 / 80.0, 0.12},   // Mediterranean / US north.
+      {frac(35.0), 5.0 / 80.0, 0.14},   // East Asia / US south.
+      {frac(22.0), 6.0 / 80.0, 0.18},   // South Asia.
+      {frac(5.0), 8.0 / 80.0, 0.12},    // Equatorial Africa / SE Asia.
+      {frac(-12.0), 8.0 / 80.0, 0.10},  // Brazil / southern Africa.
+      {frac(-27.0), 4.0 / 80.0, 0.06},  // Argentina / South Africa / Aus.
+  };
+  return GenerateClustered(n, spec.domain, bands, rng);
+}
+
+}  // namespace lispoison

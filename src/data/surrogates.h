@@ -1,0 +1,57 @@
+// Copyright (c) lispoison authors. Licensed under the MIT license.
+//
+// Surrogate generators for the two real-world datasets of the paper's
+// Section V-C evaluation (Fig. 7). The original raw data (a Miami-Dade
+// County ArcGIS salary dump and an OpenStreetMap planet extract) is not
+// redistributable/available offline; these surrogates match the published
+// summary statistics — key count n, key universe size m, density, range,
+// and CDF shape — which are the only properties the attack interacts
+// with. See DESIGN.md "Substitutions" for the full rationale.
+
+#ifndef LISPOISON_DATA_SURROGATES_H_
+#define LISPOISON_DATA_SURROGATES_H_
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "data/keyset.h"
+
+namespace lispoison {
+
+/// \brief Summary statistics the Fig. 7 captions report for each dataset.
+struct SurrogateSpec {
+  std::int64_t n;   ///< Number of unique keys.
+  KeyDomain domain; ///< Key universe.
+  double density;   ///< n / m as reported in the paper.
+};
+
+/// \brief Paper statistics for the Miami-Dade salary dataset:
+/// n = 5,300 unique salaries in [$22,733, $190,034], density 3.71%.
+SurrogateSpec MiamiSalariesSpec();
+
+/// \brief Paper statistics for the OSM school-latitude dataset:
+/// n = 302,973 scaled latitudes, universe 1.2M, density 25.25%.
+SurrogateSpec OsmLatitudesSpec();
+
+/// \brief Generates a salary-shaped keyset matching MiamiSalariesSpec().
+///
+/// Salaries follow a right-skewed log-normal (bulk between ~$40k and
+/// ~$100k, thinning tail to the max), truncated to the paper's range and
+/// rejection-sampled to unique integers. Pass a smaller \p n_override to
+/// produce a proportionally scaled dataset for quick runs (<= 0 keeps the
+/// paper's n).
+Result<KeySet> MakeMiamiSalariesSurrogate(Rng* rng,
+                                          std::int64_t n_override = 0);
+
+/// \brief Generates a latitude-shaped keyset matching OsmLatitudesSpec().
+///
+/// School locations cluster in population bands (Europe, South/East Asia,
+/// equatorial Africa, the Americas) between latitude -30 and +50; the
+/// surrogate mixes Gaussian bands with those weights, scales by 15,000,
+/// rounds, and de-duplicates — the paper's own pre-processing. Pass a
+/// smaller \p n_override for quick runs (<= 0 keeps the paper's n).
+Result<KeySet> MakeOsmLatitudesSurrogate(Rng* rng,
+                                         std::int64_t n_override = 0);
+
+}  // namespace lispoison
+
+#endif  // LISPOISON_DATA_SURROGATES_H_

@@ -1,0 +1,75 @@
+#include "defense/filters.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/stats.h"
+
+namespace lispoison {
+
+std::vector<Key> RangeFilter(std::vector<Key>* keys, Key lo, Key hi) {
+  std::vector<Key> removed;
+  auto new_end = std::remove_if(keys->begin(), keys->end(), [&](Key k) {
+    if (k < lo || k > hi) {
+      removed.push_back(k);
+      return true;
+    }
+    return false;
+  });
+  keys->erase(new_end, keys->end());
+  return removed;
+}
+
+std::vector<Key> IqrOutlierFilter(std::vector<Key>* keys, double k) {
+  if (keys->size() < 4) return {};
+  std::vector<double> sorted(keys->begin(), keys->end());
+  std::sort(sorted.begin(), sorted.end());
+  const double q1 = Quantile(sorted, 0.25);
+  const double q3 = Quantile(sorted, 0.75);
+  const double iqr = q3 - q1;
+  const double lo = q1 - k * iqr;
+  const double hi = q3 + k * iqr;
+  std::vector<Key> removed;
+  auto new_end = std::remove_if(keys->begin(), keys->end(), [&](Key key) {
+    const double v = static_cast<double>(key);
+    if (v < lo || v > hi) {
+      removed.push_back(key);
+      return true;
+    }
+    return false;
+  });
+  keys->erase(new_end, keys->end());
+  return removed;
+}
+
+std::vector<Key> DensitySpikeFilter(std::vector<Key>* keys, KeyDomain domain,
+                                    std::int64_t num_windows, double factor) {
+  if (keys->empty() || num_windows < 1 || domain.size() <= 0) return {};
+  const long double width =
+      static_cast<long double>(domain.size()) /
+      static_cast<long double>(num_windows);
+  std::vector<std::int64_t> counts(static_cast<std::size_t>(num_windows), 0);
+  auto window_of = [&](Key k) {
+    std::int64_t w = static_cast<std::int64_t>(
+        static_cast<long double>(k - domain.lo) / width);
+    if (w < 0) w = 0;
+    if (w >= num_windows) w = num_windows - 1;
+    return w;
+  };
+  for (Key k : *keys) counts[static_cast<std::size_t>(window_of(k))] += 1;
+  const double avg = static_cast<double>(keys->size()) /
+                     static_cast<double>(num_windows);
+  std::vector<Key> removed;
+  auto new_end = std::remove_if(keys->begin(), keys->end(), [&](Key k) {
+    const auto w = static_cast<std::size_t>(window_of(k));
+    if (static_cast<double>(counts[w]) > factor * avg) {
+      removed.push_back(k);
+      return true;
+    }
+    return false;
+  });
+  keys->erase(new_end, keys->end());
+  return removed;
+}
+
+}  // namespace lispoison

@@ -1,0 +1,37 @@
+// Copyright (c) lispoison authors. Licensed under the MIT license.
+//
+// Simple sanitization filters — the mitigations the paper's attack is
+// explicitly designed to evade (Section IV-C restricts poisoning keys to
+// the interior of the legitimate range precisely so that range and
+// outlier filters see nothing anomalous). Implemented so the defense
+// bench can demonstrate that evasion quantitatively.
+
+#ifndef LISPOISON_DEFENSE_FILTERS_H_
+#define LISPOISON_DEFENSE_FILTERS_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "data/keyset.h"
+
+namespace lispoison {
+
+/// \brief Removes keys outside [lo, hi]; returns the removed keys.
+std::vector<Key> RangeFilter(std::vector<Key>* keys, Key lo, Key hi);
+
+/// \brief Tukey-fence outlier filter: removes keys outside
+/// [q1 - k*IQR, q3 + k*IQR] of the key values. Returns removed keys.
+std::vector<Key> IqrOutlierFilter(std::vector<Key>* keys, double k = 1.5);
+
+/// \brief Local-density spike filter: flags keys lying in windows whose
+/// empirical density exceeds \p factor times the global average (the
+/// only signature CDF poisoning leaves, since greedy poisons cluster in
+/// already-dense regions — expect heavy collateral damage on legitimate
+/// dense data). Window width is domain_size / num_windows.
+std::vector<Key> DensitySpikeFilter(std::vector<Key>* keys, KeyDomain domain,
+                                    std::int64_t num_windows, double factor);
+
+}  // namespace lispoison
+
+#endif  // LISPOISON_DEFENSE_FILTERS_H_

@@ -1,0 +1,123 @@
+#include "defense/trim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <unordered_set>
+
+#include "common/stats.h"
+#include "index/cdf_regression.h"
+
+namespace lispoison {
+namespace {
+
+/// Fits the CDF regression on `keys` (sorted) with ranks 1..n and returns
+/// the fit; keys shifted for exact arithmetic.
+CdfFit FitSorted(const std::vector<Key>& keys) {
+  MomentAccumulator acc;
+  const Key shift = keys.front();
+  Rank r = 1;
+  for (Key k : keys) acc.Add(k - shift, r++);
+  return FitFromMoments(acc);
+}
+
+}  // namespace
+
+Result<TrimResult> TrimDefense(const KeySet& keyset,
+                               const TrimOptions& options) {
+  if (keyset.empty()) {
+    return Status::InvalidArgument("cannot run TRIM on an empty keyset");
+  }
+  if (options.assumed_poison_fraction < 0 ||
+      options.assumed_poison_fraction >= 1) {
+    return Status::InvalidArgument(
+        "assumed_poison_fraction must lie in [0, 1)");
+  }
+  const std::int64_t n = keyset.size();
+  const std::int64_t n_keep = static_cast<std::int64_t>(std::llround(
+      (1.0 - options.assumed_poison_fraction) * static_cast<double>(n)));
+  if (n_keep < 2) {
+    return Status::InvalidArgument(
+        "TRIM would keep fewer than two keys; lower the assumed fraction");
+  }
+
+  // Start from the full set; alternate (fit on kept, re-rank, keep the
+  // n_keep lowest-residual keys) until the kept set stabilizes.
+  std::vector<Key> kept = keyset.keys();
+  TrimResult result;
+  for (std::int64_t iter = 0; iter < options.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    const CdfFit fit = FitSorted(kept);
+    const Key shift = kept.front();
+
+    // Residual of every original key against the model, using the rank
+    // it would have within the *kept* set (CDF re-ranking).
+    struct Scored {
+      Key key;
+      long double residual;
+    };
+    std::vector<Scored> scored;
+    scored.reserve(static_cast<std::size_t>(n));
+    for (Key k : keyset.keys()) {
+      const auto it = std::lower_bound(kept.begin(), kept.end(), k);
+      // Rank within kept: position + 1 (if k itself is kept this is its
+      // rank; otherwise the rank it would take).
+      const Rank rank = static_cast<Rank>(it - kept.begin()) + 1;
+      const long double pred =
+          static_cast<long double>(fit.model.w) *
+              static_cast<long double>(k - shift) +
+          static_cast<long double>(fit.model.b);
+      const long double res = pred - static_cast<long double>(rank);
+      scored.push_back({k, res * res});
+    }
+    std::stable_sort(scored.begin(), scored.end(),
+                     [](const Scored& a, const Scored& b) {
+                       return a.residual < b.residual;
+                     });
+    std::vector<Key> next;
+    next.reserve(static_cast<std::size_t>(n_keep));
+    for (std::int64_t i = 0; i < n_keep; ++i) {
+      next.push_back(scored[static_cast<std::size_t>(i)].key);
+    }
+    std::sort(next.begin(), next.end());
+    if (next == kept) {
+      result.converged = true;
+      break;
+    }
+    kept = std::move(next);
+  }
+
+  const CdfFit final_fit = FitSorted(kept);
+  result.trimmed_loss = final_fit.mse;
+  std::unordered_set<Key> kept_set(kept.begin(), kept.end());
+  for (Key k : keyset.keys()) {
+    if (!kept_set.count(k)) result.removed_keys.push_back(k);
+  }
+  result.kept_keys = std::move(kept);
+  return result;
+}
+
+DefenseQuality ScoreDefense(const std::vector<Key>& removed,
+                            const std::vector<Key>& poison_keys) {
+  DefenseQuality q;
+  const std::set<Key> poison(poison_keys.begin(), poison_keys.end());
+  for (Key k : removed) {
+    if (poison.count(k)) {
+      q.true_positives += 1;
+    } else {
+      q.false_positives += 1;
+    }
+  }
+  q.false_negatives =
+      static_cast<std::int64_t>(poison.size()) - q.true_positives;
+  const std::int64_t flagged = q.true_positives + q.false_positives;
+  q.precision = flagged ? static_cast<double>(q.true_positives) /
+                              static_cast<double>(flagged)
+                        : 0.0;
+  q.recall = poison.empty() ? 0.0
+                            : static_cast<double>(q.true_positives) /
+                                  static_cast<double>(poison.size());
+  return q;
+}
+
+}  // namespace lispoison

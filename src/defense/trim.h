@@ -1,0 +1,68 @@
+// Copyright (c) lispoison authors. Licensed under the MIT license.
+//
+// TRIM-style trimmed regression adapted to CDFs, implementing the defense
+// the paper discusses (and predicts to struggle) in Section VI. Classic
+// TRIM alternately fits the model on the lowest-residual subset and
+// re-selects that subset. On a CDF the wrinkle the paper highlights is
+// that removing a key changes the rank of every larger key, so the
+// defense must re-rank the kept subset on every iteration.
+
+#ifndef LISPOISON_DEFENSE_TRIM_H_
+#define LISPOISON_DEFENSE_TRIM_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "data/keyset.h"
+
+namespace lispoison {
+
+/// \brief Options for the TRIM-for-CDF defense.
+struct TrimOptions {
+  /// Fraction of keys assumed poisoned; the defense keeps
+  /// n_keep = round((1 - assumed_poison_fraction) * n) keys.
+  double assumed_poison_fraction = 0.10;
+
+  /// Maximum alternating iterations before giving up on convergence.
+  std::int64_t max_iterations = 64;
+};
+
+/// \brief Result of running the defense over a (possibly poisoned)
+/// keyset.
+struct TrimResult {
+  /// Keys the defense kept (sorted); the sanitized training set.
+  std::vector<Key> kept_keys;
+  /// Keys the defense removed, flagged as suspected poison.
+  std::vector<Key> removed_keys;
+  /// MSE of the regression trained on the kept keys (re-ranked 1..|kept|).
+  long double trimmed_loss = 0;
+  /// Iterations until the kept set stabilized.
+  std::int64_t iterations = 0;
+  bool converged = false;
+};
+
+/// \brief Runs iterative trimmed regression with CDF re-ranking on
+/// \p keyset. Fails on empty input or when the options would keep
+/// fewer than two keys.
+Result<TrimResult> TrimDefense(const KeySet& keyset,
+                               const TrimOptions& options = {});
+
+/// \brief Quality of a defense run against known ground truth:
+/// how many true poison keys were removed and how many legitimate keys
+/// were lost as collateral.
+struct DefenseQuality {
+  std::int64_t true_positives = 0;   ///< Poison keys removed.
+  std::int64_t false_positives = 0;  ///< Legitimate keys removed.
+  std::int64_t false_negatives = 0;  ///< Poison keys kept.
+  double precision = 0;
+  double recall = 0;
+};
+
+/// \brief Scores \p removed against the ground-truth \p poison_keys.
+DefenseQuality ScoreDefense(const std::vector<Key>& removed,
+                            const std::vector<Key>& poison_keys);
+
+}  // namespace lispoison
+
+#endif  // LISPOISON_DEFENSE_TRIM_H_

@@ -1,0 +1,142 @@
+#include "eval/experiments.h"
+
+#include <cmath>
+#include <string>
+
+#include "attack/greedy_poisoner.h"
+#include "attack/rmi_poisoner.h"
+#include "common/rng.h"
+#include "data/generators.h"
+#include "data/surrogates.h"
+
+namespace lispoison {
+namespace {
+
+Result<KeySet> Generate(KeyDistribution dist, std::int64_t n, KeyDomain domain,
+                        Rng* rng) {
+  switch (dist) {
+    case KeyDistribution::kUniform:
+      return GenerateUniform(n, domain, rng);
+    case KeyDistribution::kLogNormal:
+      return GenerateLogNormal(n, domain, rng);
+    case KeyDistribution::kNormal:
+      return GenerateNormal(n, domain, rng);
+  }
+  return Status::InvalidArgument("unknown key distribution");
+}
+
+}  // namespace
+
+Result<std::vector<LinearGridCell>> RunLinearPoisonGrid(
+    const LinearGridConfig& config) {
+  if (config.trials < 1) {
+    return Status::InvalidArgument("trials must be >= 1");
+  }
+  std::vector<LinearGridCell> cells;
+  Rng master(config.seed);
+  for (const std::int64_t n : config.key_counts) {
+    for (const double density : config.densities) {
+      if (density <= 0 || density > 1) {
+        return Status::InvalidArgument("density must lie in (0, 1]");
+      }
+      const std::int64_t m = static_cast<std::int64_t>(
+          std::llround(static_cast<double>(n) / density));
+      const KeyDomain domain{0, m - 1};
+      for (const double pct : config.poison_pcts) {
+        const std::int64_t p = static_cast<std::int64_t>(
+            std::floor(static_cast<double>(n) * pct / 100.0));
+        if (p < 1) {
+          return Status::InvalidArgument(
+              "poisoning percentage " + std::to_string(pct) +
+              "% yields zero keys for n=" + std::to_string(n));
+        }
+        std::vector<double> ratios;
+        ratios.reserve(static_cast<std::size_t>(config.trials));
+        for (std::int64_t t = 0; t < config.trials; ++t) {
+          Rng trial_rng = master.Fork(
+              static_cast<std::uint64_t>(cells.size() * 1000 + t));
+          LISPOISON_ASSIGN_OR_RETURN(
+              KeySet keyset,
+              Generate(config.distribution, n, domain, &trial_rng));
+          LISPOISON_ASSIGN_OR_RETURN(GreedyPoisonResult attack,
+                                     GreedyPoisonCdf(keyset, p));
+          ratios.push_back(attack.RatioLoss());
+        }
+        LinearGridCell cell;
+        cell.keys = n;
+        cell.density = density;
+        cell.key_domain = m;
+        cell.poison_pct = pct;
+        cell.ratio_loss = ComputeBoxplot(std::move(ratios));
+        cells.push_back(cell);
+      }
+    }
+  }
+  return cells;
+}
+
+Result<std::vector<RmiExperimentCell>> RunRmiSynthetic(
+    const RmiSyntheticConfig& config) {
+  std::vector<RmiExperimentCell> cells;
+  Rng master(config.seed);
+  const KeyDomain domain{0, config.key_domain - 1};
+  std::uint64_t stream = 0;
+  for (const double alpha : config.alphas) {
+    for (const double pct : config.poison_pcts) {
+      Rng rng = master.Fork(stream++);
+      LISPOISON_ASSIGN_OR_RETURN(
+          KeySet keyset,
+          Generate(config.distribution, config.keys, domain, &rng));
+      RmiAttackOptions options;
+      options.poison_fraction = pct / 100.0;
+      options.model_size = config.model_size;
+      options.alpha = alpha;
+      LISPOISON_ASSIGN_OR_RETURN(RmiAttackResult attack,
+                                 PoisonRmi(keyset, options));
+      RmiExperimentCell cell;
+      cell.poison_pct = pct;
+      cell.alpha = alpha;
+      cell.per_model_ratio = ComputeBoxplot(
+          std::vector<double>(attack.per_model_ratio.begin(),
+                              attack.per_model_ratio.end()));
+      cell.rmi_ratio = attack.rmi_ratio_loss;
+      cell.retrained_rmi_ratio = attack.retrained_rmi_ratio;
+      cell.exchanges = attack.exchanges_applied;
+      cells.push_back(cell);
+    }
+  }
+  return cells;
+}
+
+Result<std::vector<RmiExperimentCell>> RunRmiReal(const RmiRealConfig& config) {
+  std::vector<RmiExperimentCell> cells;
+  Rng master(config.seed);
+  std::uint64_t stream = 0;
+  for (const double pct : config.poison_pcts) {
+    Rng rng = master.Fork(stream++);
+    Result<KeySet> keyset_or =
+        config.dataset == RealDataset::kMiamiSalaries
+            ? MakeMiamiSalariesSurrogate(&rng, config.n_override)
+            : MakeOsmLatitudesSurrogate(&rng, config.n_override);
+    if (!keyset_or.ok()) return keyset_or.status();
+    RmiAttackOptions options;
+    options.poison_fraction = pct / 100.0;
+    options.model_size = config.model_size;
+    options.alpha = config.alpha;
+    LISPOISON_ASSIGN_OR_RETURN(RmiAttackResult attack,
+                               PoisonRmi(*keyset_or, options));
+    RmiExperimentCell cell;
+    cell.poison_pct = pct;
+    cell.alpha = config.alpha;
+    cell.per_model_ratio = ComputeBoxplot(
+        std::vector<double>(attack.per_model_ratio.begin(),
+                            attack.per_model_ratio.end()));
+    cell.rmi_ratio = attack.rmi_ratio_loss;
+    cell.retrained_rmi_ratio = attack.retrained_rmi_ratio;
+    cell.exchanges = attack.exchanges_applied;
+    cells.push_back(cell);
+  }
+  return cells;
+}
+
+}  // namespace lispoison

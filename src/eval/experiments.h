@@ -1,0 +1,117 @@
+// Copyright (c) lispoison authors. Licensed under the MIT license.
+//
+// Shared experiment runners behind the per-figure bench binaries and the
+// integration tests. Each runner reproduces one figure's parameter grid
+// and returns the aggregated series (boxplots of Ratio Loss over trials
+// or over second-stage models), leaving presentation to the caller.
+
+#ifndef LISPOISON_EVAL_EXPERIMENTS_H_
+#define LISPOISON_EVAL_EXPERIMENTS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace lispoison {
+
+/// \brief Key distribution choices for the synthetic experiments.
+enum class KeyDistribution {
+  kUniform,    ///< Figs. 5 and 6 (rows 1-2).
+  kLogNormal,  ///< Fig. 6 (rows 3-4), mu=0 sigma=2 as in Kraska et al.
+  kNormal,     ///< Fig. 8, mu=(a+b)/2 sigma=(b-a)/3.
+};
+
+// ---------------------------------------------------------------------------
+// Figures 5 and 8: multi-point poisoning of one linear regression model.
+// ---------------------------------------------------------------------------
+
+/// \brief Parameter grid for the single-model poisoning experiments.
+struct LinearGridConfig {
+  std::vector<std::int64_t> key_counts = {100, 1000, 10000};
+  std::vector<double> densities = {0.2, 0.5, 0.8};
+  /// Poisoning percentages (of n), the X axis of each boxplot.
+  std::vector<double> poison_pcts = {2, 4, 6, 8, 10, 12, 14};
+  std::int64_t trials = 20;
+  KeyDistribution distribution = KeyDistribution::kUniform;
+  std::uint64_t seed = 42;
+};
+
+/// \brief One grid cell: a boxplot of Ratio Loss over the trials.
+struct LinearGridCell {
+  std::int64_t keys = 0;
+  double density = 0;
+  std::int64_t key_domain = 0;
+  double poison_pct = 0;
+  BoxplotSummary ratio_loss;
+};
+
+/// \brief Runs the Fig. 5 (uniform) / Fig. 8 (normal) grid.
+Result<std::vector<LinearGridCell>> RunLinearPoisonGrid(
+    const LinearGridConfig& config);
+
+// ---------------------------------------------------------------------------
+// Figure 6: RMI poisoning on synthetic keysets.
+// ---------------------------------------------------------------------------
+
+/// \brief One Fig. 6 panel: a fixed (keys, model size, domain,
+/// distribution) architecture swept over poisoning percentages and alpha.
+struct RmiSyntheticConfig {
+  std::int64_t keys = 100000;        ///< Paper: 10^7 (scaled by default).
+  std::int64_t model_size = 1000;    ///< Paper: 10^2, 10^3, 10^4.
+  std::int64_t key_domain = 500000000;  ///< Paper: 5*10^7 or 10^9.
+  std::vector<double> poison_pcts = {1, 5, 10};
+  std::vector<double> alphas = {2, 3};
+  KeyDistribution distribution = KeyDistribution::kUniform;
+  std::uint64_t seed = 42;
+};
+
+/// \brief One point of an RMI experiment series.
+struct RmiExperimentCell {
+  double poison_pct = 0;
+  double alpha = 0;
+  /// Boxplot of per-second-stage-model Ratio Loss (the paper's boxes).
+  BoxplotSummary per_model_ratio;
+  /// Ratio of L_RMI poisoned / clean (the paper's black line).
+  double rmi_ratio = 0;
+  /// Victim-side check: ratio after retraining on the re-partitioned
+  /// poisoned keyset.
+  double retrained_rmi_ratio = 0;
+  /// Greedy volume-allocation exchanges applied.
+  std::int64_t exchanges = 0;
+};
+
+/// \brief Runs one Fig. 6 panel.
+Result<std::vector<RmiExperimentCell>> RunRmiSynthetic(
+    const RmiSyntheticConfig& config);
+
+// ---------------------------------------------------------------------------
+// Figure 7: RMI poisoning on the real-data surrogates.
+// ---------------------------------------------------------------------------
+
+/// \brief Which real-world surrogate to attack.
+enum class RealDataset {
+  kMiamiSalaries,
+  kOsmLatitudes,
+};
+
+/// \brief One Fig. 7 panel: a dataset and a second-stage model size,
+/// swept over poisoning percentages at fixed alpha = 3.
+struct RmiRealConfig {
+  RealDataset dataset = RealDataset::kMiamiSalaries;
+  /// Scale the dataset down for quick runs; <= 0 keeps the paper's n.
+  std::int64_t n_override = 0;
+  std::int64_t model_size = 100;  ///< Paper: 50, 100, 200.
+  std::vector<double> poison_pcts = {5, 10, 20};
+  double alpha = 3.0;
+  std::uint64_t seed = 42;
+};
+
+/// \brief Runs one Fig. 7 panel; reuses RmiExperimentCell (alpha fixed).
+Result<std::vector<RmiExperimentCell>> RunRmiReal(const RmiRealConfig& config);
+
+}  // namespace lispoison
+
+#endif  // LISPOISON_EVAL_EXPERIMENTS_H_

@@ -1,0 +1,14 @@
+#include "eval/ratio_loss.h"
+
+#include "index/cdf_regression.h"
+
+namespace lispoison {
+
+Result<double> ComputeRatioLoss(const KeySet& legitimate,
+                                const KeySet& poisoned) {
+  LISPOISON_ASSIGN_OR_RETURN(CdfFit base, FitCdfRegression(legitimate));
+  LISPOISON_ASSIGN_OR_RETURN(CdfFit pois, FitCdfRegression(poisoned));
+  return SafeRatioLoss(pois.mse, base.mse);
+}
+
+}  // namespace lispoison

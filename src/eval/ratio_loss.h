@@ -1,0 +1,27 @@
+// Copyright (c) lispoison authors. Licensed under the MIT license.
+//
+// The paper's evaluation metric (Section III-C): Ratio Loss — the MSE of
+// the model trained on the poisoned keyset divided by the MSE of the
+// model trained on the legitimate keyset. Implementation-independent by
+// design, since the original authors' optimized timing code is not
+// public.
+
+#ifndef LISPOISON_EVAL_RATIO_LOSS_H_
+#define LISPOISON_EVAL_RATIO_LOSS_H_
+
+#include "attack/single_point.h"
+#include "common/status.h"
+#include "data/keyset.h"
+
+namespace lispoison {
+
+/// \brief Computes the Ratio Loss between an explicit poisoned keyset and
+/// the legitimate keyset by retraining the linear regression on both.
+/// (For attack results, prefer the precomputed fields on the result
+/// structs; this helper exists for externally supplied poison sets.)
+Result<double> ComputeRatioLoss(const KeySet& legitimate,
+                                const KeySet& poisoned);
+
+}  // namespace lispoison
+
+#endif  // LISPOISON_EVAL_RATIO_LOSS_H_

@@ -1,0 +1,62 @@
+// Copyright (c) lispoison authors. Licensed under the MIT license.
+//
+// Plain binary search over the sorted dense array: the minimal baseline.
+// Its cost is unaffected by poisoning, which makes it the control in the
+// latency experiments.
+
+#ifndef LISPOISON_INDEX_BINARY_SEARCH_INDEX_H_
+#define LISPOISON_INDEX_BINARY_SEARCH_INDEX_H_
+
+#include <vector>
+
+#include "common/types.h"
+#include "data/keyset.h"
+
+namespace lispoison {
+
+/// \brief Outcome of a binary-search lookup with comparison accounting.
+struct BinarySearchResult {
+  bool found = false;
+  std::int64_t position = -1;
+  std::int64_t comparisons = 0;
+};
+
+/// \brief Classic binary search over a sorted key array.
+class BinarySearchIndex {
+ public:
+  /// \brief Wraps (copies) the sorted keys of \p keyset.
+  explicit BinarySearchIndex(const KeySet& keyset) : keys_(keyset.keys()) {}
+
+  /// \brief Point lookup counting key comparisons.
+  BinarySearchResult Lookup(Key k) const {
+    BinarySearchResult res;
+    std::int64_t lo = 0;
+    std::int64_t hi = static_cast<std::int64_t>(keys_.size()) - 1;
+    while (lo <= hi) {
+      const std::int64_t mid = lo + (hi - lo) / 2;
+      const Key v = keys_[static_cast<std::size_t>(mid)];
+      res.comparisons += 1;
+      if (v == k) {
+        res.found = true;
+        res.position = mid;
+        return res;
+      }
+      if (v < k) {
+        lo = mid + 1;
+      } else {
+        hi = mid - 1;
+      }
+    }
+    return res;
+  }
+
+  /// \brief Number of stored keys.
+  std::int64_t size() const { return static_cast<std::int64_t>(keys_.size()); }
+
+ private:
+  std::vector<Key> keys_;
+};
+
+}  // namespace lispoison
+
+#endif  // LISPOISON_INDEX_BINARY_SEARCH_INDEX_H_

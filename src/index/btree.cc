@@ -1,0 +1,94 @@
+#include "index/btree.h"
+
+#include <algorithm>
+
+namespace lispoison {
+
+Result<BPlusTree> BPlusTree::Build(const KeySet& keyset, int fanout) {
+  if (fanout < 3) {
+    return Status::InvalidArgument("B+Tree fanout must be >= 3");
+  }
+  BPlusTree tree;
+  tree.n_ = keyset.size();
+  if (tree.n_ == 0) {
+    tree.root_ = std::make_unique<Node>();
+    tree.root_->leaf = true;
+    tree.height_ = 1;
+    tree.node_count_ = 1;
+    return tree;
+  }
+
+  // Build leaf level from sorted keys.
+  std::vector<std::unique_ptr<Node>> level;
+  const auto& keys = keyset.keys();
+  for (std::size_t i = 0; i < keys.size();) {
+    auto leaf = std::make_unique<Node>();
+    leaf->leaf = true;
+    leaf->first_position = static_cast<std::int64_t>(i);
+    const std::size_t end =
+        std::min(keys.size(), i + static_cast<std::size_t>(fanout));
+    leaf->keys.assign(keys.begin() + static_cast<std::ptrdiff_t>(i),
+                      keys.begin() + static_cast<std::ptrdiff_t>(end));
+    level.push_back(std::move(leaf));
+    i = end;
+  }
+  tree.node_count_ += static_cast<std::int64_t>(level.size());
+  tree.height_ = 1;
+
+  // Build internal levels until a single root remains. Each internal node
+  // holding c children stores c-1 separators: the smallest key reachable
+  // under each child except the first.
+  while (level.size() > 1) {
+    std::vector<std::unique_ptr<Node>> parents;
+    for (std::size_t i = 0; i < level.size();) {
+      auto parent = std::make_unique<Node>();
+      parent->leaf = false;
+      const std::size_t end =
+          std::min(level.size(), i + static_cast<std::size_t>(fanout));
+      for (std::size_t j = i; j < end; ++j) {
+        if (j > i) {
+          // Smallest key in the subtree rooted at level[j].
+          const Node* probe = level[j].get();
+          while (!probe->leaf) probe = probe->children.front().get();
+          parent->keys.push_back(probe->keys.front());
+        }
+        parent->children.push_back(std::move(level[j]));
+      }
+      parents.push_back(std::move(parent));
+      i = end;
+    }
+    tree.node_count_ += static_cast<std::int64_t>(parents.size());
+    level = std::move(parents);
+    tree.height_ += 1;
+  }
+  tree.root_ = std::move(level.front());
+  return tree;
+}
+
+BTreeLookupResult BPlusTree::Lookup(Key k) const {
+  BTreeLookupResult res;
+  const Node* node = root_.get();
+  if (node == nullptr) return res;
+  while (true) {
+    res.nodes_visited += 1;
+    if (node->leaf) {
+      const auto it = std::lower_bound(node->keys.begin(), node->keys.end(), k);
+      res.comparisons += static_cast<std::int64_t>(
+          std::max<std::ptrdiff_t>(1, it - node->keys.begin()));
+      if (it != node->keys.end() && *it == k) {
+        res.found = true;
+        res.position =
+            node->first_position + (it - node->keys.begin());
+      }
+      return res;
+    }
+    // Internal: child index = number of separators <= k.
+    const auto it = std::upper_bound(node->keys.begin(), node->keys.end(), k);
+    res.comparisons += static_cast<std::int64_t>(
+        std::max<std::ptrdiff_t>(1, it - node->keys.begin()));
+    node = node->children[static_cast<std::size_t>(it - node->keys.begin())]
+               .get();
+  }
+}
+
+}  // namespace lispoison

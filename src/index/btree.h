@@ -1,0 +1,68 @@
+// Copyright (c) lispoison authors. Licensed under the MIT license.
+//
+// An in-memory B+Tree over integer keys: the traditional baseline the RMI
+// is measured against in Kraska et al. and referenced throughout the
+// paper. Bulk-loaded from sorted keys; lookups report the number of nodes
+// visited and cells compared so costs are comparable with the learned
+// index's probe counts.
+
+#ifndef LISPOISON_INDEX_BTREE_H_
+#define LISPOISON_INDEX_BTREE_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "data/keyset.h"
+
+namespace lispoison {
+
+/// \brief Outcome of a B+Tree lookup with cost accounting.
+struct BTreeLookupResult {
+  bool found = false;
+  std::int64_t position = -1;  ///< 0-based rank-1 position when found.
+  std::int64_t nodes_visited = 0;
+  std::int64_t comparisons = 0;
+};
+
+/// \brief A read-only bulk-loaded B+Tree.
+///
+/// Leaves store (key, position) runs of up to `fanout` entries; internal
+/// nodes store separator keys. The tree answers point lookups and
+/// rank queries; updates are out of scope (the paper studies static
+/// indexes poisoned before construction).
+class BPlusTree {
+ public:
+  /// \brief Bulk-loads a tree of the given fanout (>= 3) from \p keyset.
+  static Result<BPlusTree> Build(const KeySet& keyset, int fanout = 64);
+
+  /// \brief Point lookup with cost accounting.
+  BTreeLookupResult Lookup(Key k) const;
+
+  /// \brief Number of keys stored.
+  std::int64_t size() const { return n_; }
+
+  /// \brief Height of the tree (1 = just leaves).
+  int height() const { return height_; }
+
+  /// \brief Total nodes allocated (memory accounting).
+  std::int64_t node_count() const { return node_count_; }
+
+ private:
+  struct Node {
+    bool leaf = false;
+    std::vector<Key> keys;  // Leaf: stored keys; internal: separators.
+    std::vector<std::unique_ptr<Node>> children;  // Internal only.
+    std::int64_t first_position = 0;  // Leaf: rank-1 of keys.front().
+  };
+
+  std::unique_ptr<Node> root_;
+  std::int64_t n_ = 0;
+  int height_ = 0;
+  std::int64_t node_count_ = 0;
+};
+
+}  // namespace lispoison
+
+#endif  // LISPOISON_INDEX_BTREE_H_

@@ -1,0 +1,69 @@
+#include "index/cdf_regression.h"
+
+#include <string>
+
+namespace lispoison {
+
+CdfFit FitFromMoments(const MomentAccumulator& acc) {
+  CdfFit fit;
+  fit.n = acc.count();
+  const long double var_k = acc.VarX();
+  const long double var_r = acc.VarY();
+  const long double cov = acc.CovXY();
+  if (var_k <= 0) {
+    // Degenerate: all keys equal (only possible with a single point here).
+    fit.model.w = 0.0;
+    fit.model.b = static_cast<double>(acc.MeanY());
+    fit.mse = var_r;
+    return fit;
+  }
+  const long double w = cov / var_k;
+  const long double b = acc.MeanY() - w * acc.MeanX();
+  fit.model.w = static_cast<double>(w);
+  fit.model.b = static_cast<double>(b);
+  // Theorem 1: L = Var_R - Cov^2 / Var_K. Clamp tiny negative round-off.
+  long double mse = var_r - cov * cov / var_k;
+  if (mse < 0) mse = 0;
+  fit.mse = mse;
+  return fit;
+}
+
+Result<CdfFit> FitCdfRegression(const KeySet& keyset) {
+  if (keyset.empty()) {
+    return Status::InvalidArgument("cannot fit a regression on no keys");
+  }
+  MomentAccumulator acc;
+  Rank r = 1;
+  for (Key k : keyset.keys()) acc.Add(k, r++);
+  return FitFromMoments(acc);
+}
+
+Result<CdfFit> FitCdfRegression(const std::vector<Key>& keys,
+                                const std::vector<Rank>& ranks) {
+  if (keys.empty()) {
+    return Status::InvalidArgument("cannot fit a regression on no keys");
+  }
+  if (keys.size() != ranks.size()) {
+    return Status::InvalidArgument(
+        "keys/ranks size mismatch: " + std::to_string(keys.size()) + " vs " +
+        std::to_string(ranks.size()));
+  }
+  MomentAccumulator acc;
+  for (std::size_t i = 0; i < keys.size(); ++i) acc.Add(keys[i], ranks[i]);
+  return FitFromMoments(acc);
+}
+
+long double EvaluateMse(const LinearModel& model, const std::vector<Key>& keys,
+                        const std::vector<Rank>& ranks) {
+  if (keys.empty() || keys.size() != ranks.size()) return 0;
+  long double sum = 0;
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    const long double err =
+        static_cast<long double>(model.Predict(keys[i])) -
+        static_cast<long double>(ranks[i]);
+    sum += err * err;
+  }
+  return sum / static_cast<long double>(keys.size());
+}
+
+}  // namespace lispoison

@@ -1,0 +1,51 @@
+// Copyright (c) lispoison authors. Licensed under the MIT license.
+//
+// Linear regression on the (non-normalized) CDF — Definition 1 and
+// Theorem 1 of the paper. Keys are the X values, ranks 1..n the Y values;
+// the closed-form least-squares solution and its minimized MSE are
+// computed from exact integer aggregates.
+
+#ifndef LISPOISON_INDEX_CDF_REGRESSION_H_
+#define LISPOISON_INDEX_CDF_REGRESSION_H_
+
+#include <vector>
+
+#include "common/stats.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "data/keyset.h"
+#include "index/linear_model.h"
+
+namespace lispoison {
+
+/// \brief Result of fitting a linear regression on a CDF.
+struct CdfFit {
+  LinearModel model;     ///< Least-squares (w*, b*).
+  long double mse = 0;   ///< Minimized loss L = Var_R - Cov^2_KR / Var_K.
+  std::int64_t n = 0;    ///< Number of (key, rank) points fitted.
+};
+
+/// \brief Fits the closed-form linear regression of Theorem 1 on the
+/// ranks 1..n of \p keyset. Fails on empty input; a single key or a
+/// zero-variance keyset yields w=0 and b=MeanR with mse=Var_R.
+Result<CdfFit> FitCdfRegression(const KeySet& keyset);
+
+/// \brief Fits on explicit (key, rank) pairs; ranks need not be 1..n
+/// (RMI second-stage models may use global ranks). Keys must be
+/// non-empty; duplicates are allowed here (callers enforce their own
+/// uniqueness invariants).
+Result<CdfFit> FitCdfRegression(const std::vector<Key>& keys,
+                                const std::vector<Rank>& ranks);
+
+/// \brief Fits from pre-accumulated moments (used by the attack inner
+/// loops, which maintain aggregates incrementally). Requires count > 0.
+CdfFit FitFromMoments(const MomentAccumulator& acc);
+
+/// \brief Evaluates the MSE of an arbitrary (not necessarily optimal)
+/// linear model on (key, rank) pairs. Used by tests and the defense.
+long double EvaluateMse(const LinearModel& model, const std::vector<Key>& keys,
+                        const std::vector<Rank>& ranks);
+
+}  // namespace lispoison
+
+#endif  // LISPOISON_INDEX_CDF_REGRESSION_H_

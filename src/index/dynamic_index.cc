@@ -1,0 +1,93 @@
+#include "index/dynamic_index.h"
+
+#include <algorithm>
+#include <string>
+
+namespace lispoison {
+
+Result<DynamicLearnedIndex> DynamicLearnedIndex::Build(
+    const KeySet& keyset, const DynamicIndexOptions& options) {
+  if (options.retrain_threshold <= 0) {
+    return Status::InvalidArgument("retrain_threshold must be positive");
+  }
+  LISPOISON_ASSIGN_OR_RETURN(LearnedIndex base,
+                             LearnedIndex::Build(keyset, options.rmi));
+  DynamicLearnedIndex idx;
+  idx.options_ = options;
+  idx.domain_ = keyset.domain();
+  idx.base_ = std::move(base);
+  return idx;
+}
+
+Status DynamicLearnedIndex::Insert(Key k) {
+  if (!domain_.Contains(k)) {
+    return Status::OutOfRange("key " + std::to_string(k) +
+                              " outside the index domain");
+  }
+  const auto it = std::lower_bound(buffer_.begin(), buffer_.end(), k);
+  if (it != buffer_.end() && *it == k) {
+    return Status::InvalidArgument("duplicate key " + std::to_string(k));
+  }
+  if (base_.Lookup(k).found) {
+    return Status::InvalidArgument("duplicate key " + std::to_string(k));
+  }
+  buffer_.insert(it, k);
+  const double threshold = options_.retrain_threshold *
+                           static_cast<double>(base_.size());
+  if (static_cast<double>(buffer_.size()) >= std::max(1.0, threshold)) {
+    return Retrain();
+  }
+  return Status::OK();
+}
+
+LookupResult DynamicLearnedIndex::Lookup(Key k) const {
+  // Base first: most keys live there.
+  LookupResult res = base_.Lookup(k);
+  if (res.found) return res;
+  // Delta buffer: binary search, each comparison counted as a probe.
+  std::int64_t lo = 0;
+  std::int64_t hi = static_cast<std::int64_t>(buffer_.size()) - 1;
+  while (lo <= hi) {
+    const std::int64_t mid = lo + (hi - lo) / 2;
+    res.probes += 1;
+    const Key v = buffer_[static_cast<std::size_t>(mid)];
+    if (v == k) {
+      res.found = true;
+      // Position within the merged order: base keys below + buffer pos.
+      res.position = -1;  // Buffer keys have no stable array slot yet.
+      return res;
+    }
+    if (v < k) {
+      lo = mid + 1;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  return res;
+}
+
+std::int64_t DynamicLearnedIndex::size() const {
+  return base_.size() + static_cast<std::int64_t>(buffer_.size());
+}
+
+Status DynamicLearnedIndex::ForceRetrain() {
+  if (buffer_.empty()) return Status::OK();
+  return Retrain();
+}
+
+Status DynamicLearnedIndex::Retrain() {
+  std::vector<Key> merged;
+  merged.reserve(base_.keys().size() + buffer_.size());
+  std::merge(base_.keys().begin(), base_.keys().end(), buffer_.begin(),
+             buffer_.end(), std::back_inserter(merged));
+  LISPOISON_ASSIGN_OR_RETURN(KeySet keyset,
+                             KeySet::Create(std::move(merged), domain_));
+  LISPOISON_ASSIGN_OR_RETURN(LearnedIndex rebuilt,
+                             LearnedIndex::Build(keyset, options_.rmi));
+  base_ = std::move(rebuilt);
+  buffer_.clear();
+  retrains_ += 1;
+  return Status::OK();
+}
+
+}  // namespace lispoison

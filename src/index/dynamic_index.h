@@ -1,0 +1,85 @@
+// Copyright (c) lispoison authors. Licensed under the MIT license.
+//
+// A minimal updatable learned index in the spirit of the delta-buffer
+// designs the paper cites ([10], ALEX [7]): the trained RMI serves the
+// bulk of the data while new insertions accumulate in a sorted delta
+// buffer; when the buffer exceeds a threshold the index merges and
+// retrains. This is the substrate for the paper's §VI future-work
+// adversary that poisons THROUGH the update path: poisoning keys enter
+// as ordinary inserts and take effect at the next retrain.
+
+#ifndef LISPOISON_INDEX_DYNAMIC_INDEX_H_
+#define LISPOISON_INDEX_DYNAMIC_INDEX_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "data/keyset.h"
+#include "index/learned_index.h"
+
+namespace lispoison {
+
+/// \brief Options for the updatable learned index.
+struct DynamicIndexOptions {
+  /// RMI configuration used at every (re)train.
+  RmiOptions rmi;
+  /// Retrain when the delta buffer reaches this fraction of the base
+  /// size (e.g. 0.05 = retrain after 5% growth).
+  double retrain_threshold = 0.05;
+};
+
+/// \brief An updatable learned index: trained base + sorted delta
+/// buffer + automatic retrain.
+///
+/// Lookup cost = base RMI lookup + binary search of the delta buffer;
+/// the probe accounting includes both so update-path poisoning damage
+/// is measurable with the same metrics as the static index.
+class DynamicLearnedIndex {
+ public:
+  /// \brief Builds the initial index over \p keyset.
+  static Result<DynamicLearnedIndex> Build(const KeySet& keyset,
+                                           const DynamicIndexOptions& options);
+
+  /// \brief Inserts a new key. Duplicate keys are rejected with
+  /// InvalidArgument, out-of-domain keys with OutOfRange. May trigger a
+  /// retrain (absorbing the buffer into the base).
+  Status Insert(Key k);
+
+  /// \brief Point lookup across base + buffer with probe accounting.
+  LookupResult Lookup(Key k) const;
+
+  /// \brief Total keys stored (base + buffer).
+  std::int64_t size() const;
+
+  /// \brief Keys currently waiting in the delta buffer.
+  std::int64_t buffer_size() const {
+    return static_cast<std::int64_t>(buffer_.size());
+  }
+
+  /// \brief Number of retrains performed since Build.
+  std::int64_t retrain_count() const { return retrains_; }
+
+  /// \brief The current trained base index.
+  const LearnedIndex& base() const { return base_; }
+
+  /// \brief MSE-based loss of the current base RMI (the poisoning
+  /// target measure).
+  long double BaseRmiLoss() const { return base_.rmi().RmiLoss(); }
+
+  /// \brief Forces a merge + retrain regardless of the threshold.
+  Status ForceRetrain();
+
+ private:
+  DynamicIndexOptions options_;
+  KeyDomain domain_;
+  LearnedIndex base_;
+  std::vector<Key> buffer_;  // Sorted.
+  std::int64_t retrains_ = 0;
+
+  Status Retrain();
+};
+
+}  // namespace lispoison
+
+#endif  // LISPOISON_INDEX_DYNAMIC_INDEX_H_

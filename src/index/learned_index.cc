@@ -1,0 +1,205 @@
+#include "index/learned_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace lispoison {
+
+Result<LearnedIndex> LearnedIndex::Build(const KeySet& keyset,
+                                         const RmiOptions& options) {
+  LISPOISON_ASSIGN_OR_RETURN(Rmi rmi, Rmi::Train(keyset, options));
+  LearnedIndex idx;
+  idx.keys_ = keyset.keys();
+  idx.rmi_ = std::move(rmi);
+  return idx;
+}
+
+LookupResult LearnedIndex::Lookup(Key k) const {
+  LookupResult res;
+  const std::int64_t n = size();
+  if (n == 0) return res;
+  const std::int64_t guess = rmi_.PredictPosition(k);
+  res.predicted = guess;
+
+  // Exponential search outward from the guess: widen the radius until the
+  // bracket [lo, hi] provably contains k's position, then binary search.
+  std::int64_t probes = 0;
+  auto key_at = [&](std::int64_t i) {
+    ++probes;
+    return keys_[static_cast<std::size_t>(i)];
+  };
+
+  std::int64_t lo = guess, hi = guess;
+  const Key at_guess = key_at(guess);
+  if (at_guess == k) {
+    res.found = true;
+    res.position = guess;
+    res.probes = probes;
+    return res;
+  }
+  std::int64_t radius = 1;
+  if (at_guess < k) {
+    lo = guess;
+    hi = guess;
+    while (hi < n - 1) {
+      hi = std::min<std::int64_t>(n - 1, guess + radius);
+      if (key_at(hi) >= k) break;
+      lo = hi;
+      radius *= 2;
+    }
+  } else {
+    hi = guess;
+    while (lo > 0) {
+      lo = std::max<std::int64_t>(0, guess - radius);
+      if (key_at(lo) <= k) break;
+      hi = lo;
+      radius *= 2;
+    }
+  }
+  // Binary search within [lo, hi].
+  while (lo <= hi) {
+    const std::int64_t mid = lo + (hi - lo) / 2;
+    const Key v = key_at(mid);
+    if (v == k) {
+      res.found = true;
+      res.position = mid;
+      res.probes = probes;
+      return res;
+    }
+    if (v < k) {
+      lo = mid + 1;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  res.found = false;
+  res.position = -1;
+  res.probes = probes;
+  return res;
+}
+
+LookupResult LearnedIndex::LookupBounded(Key k) const {
+  LookupResult res;
+  const std::int64_t n = size();
+  if (n == 0) return res;
+  auto [lo, hi] = rmi_.SearchWindow(k);
+  res.predicted = rmi_.PredictPosition(k);
+
+  // The window is guaranteed only for keys routed to their trained
+  // model; verify the bracket can contain k, else fall back.
+  res.probes += 2;
+  if (keys_[static_cast<std::size_t>(lo)] > k ||
+      keys_[static_cast<std::size_t>(hi)] < k) {
+    // k cannot be inside [lo, hi]. For an Oracle root this means k is
+    // simply not stored; for a learned root it may be misrouting, so
+    // delegate to the always-correct exponential search.
+    LookupResult fallback = Lookup(k);
+    fallback.probes += res.probes;
+    return fallback;
+  }
+  while (lo <= hi) {
+    const std::int64_t mid = lo + (hi - lo) / 2;
+    res.probes += 1;
+    const Key v = keys_[static_cast<std::size_t>(mid)];
+    if (v == k) {
+      res.found = true;
+      res.position = mid;
+      return res;
+    }
+    if (v < k) {
+      lo = mid + 1;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  return res;
+}
+
+Result<LearnedIndex::RangeResult> LearnedIndex::LookupRange(Key lo,
+                                                            Key hi) const {
+  if (lo > hi) {
+    return Status::InvalidArgument("range lower bound exceeds upper bound");
+  }
+  RangeResult res;
+  const std::int64_t n = size();
+  if (n == 0) return res;
+
+  // Locate the first position with key >= bound, starting the bracket
+  // from the model's prediction and widening exponentially until it
+  // provably contains the boundary, then binary-searching.
+  auto lower_bound_pos = [&](Key bound) -> std::int64_t {
+    std::int64_t guess = rmi_.PredictPosition(bound);
+    std::int64_t lo_i = guess, hi_i = guess;
+    std::int64_t radius = 1;
+    ++res.probes;
+    if (keys_[static_cast<std::size_t>(guess)] >= bound) {
+      // Walk the bracket left until keys_[lo_i - 1] < bound is certain.
+      while (lo_i > 0) {
+        const std::int64_t probe =
+            std::max<std::int64_t>(0, guess - radius);
+        ++res.probes;
+        if (keys_[static_cast<std::size_t>(probe)] < bound) {
+          lo_i = probe;
+          break;
+        }
+        hi_i = probe;
+        lo_i = probe;
+        radius *= 2;
+      }
+    } else {
+      while (hi_i < n - 1) {
+        const std::int64_t probe =
+            std::min<std::int64_t>(n - 1, guess + radius);
+        ++res.probes;
+        if (keys_[static_cast<std::size_t>(probe)] >= bound) {
+          hi_i = probe;
+          break;
+        }
+        lo_i = probe;
+        hi_i = probe;
+        radius *= 2;
+      }
+      if (keys_[static_cast<std::size_t>(hi_i)] < bound) return n;
+    }
+    // Binary search in [lo_i, hi_i] for the first key >= bound.
+    while (lo_i < hi_i) {
+      const std::int64_t mid = lo_i + (hi_i - lo_i) / 2;
+      ++res.probes;
+      if (keys_[static_cast<std::size_t>(mid)] >= bound) {
+        hi_i = mid;
+      } else {
+        lo_i = mid + 1;
+      }
+    }
+    if (keys_[static_cast<std::size_t>(lo_i)] < bound) return n;
+    return lo_i;
+  };
+
+  const std::int64_t first = lower_bound_pos(lo);
+  if (first >= n) return res;  // Everything below lo.
+  // First position strictly above hi (lower bound of hi + 1; watch for
+  // overflow at the top of the key space).
+  const std::int64_t past =
+      hi == std::numeric_limits<Key>::max() ? n : lower_bound_pos(hi + 1);
+  res.first = first;
+  res.count = past > first ? past - first : 0;
+  return res;
+}
+
+LookupStats LearnedIndex::ProfileAllKeys() const {
+  LookupStats stats;
+  for (std::int64_t i = 0; i < size(); ++i) {
+    const Key k = keys_[static_cast<std::size_t>(i)];
+    const LookupResult r = Lookup(k);
+    stats.lookups += 1;
+    stats.total_probes += r.probes;
+    stats.max_probes = std::max(stats.max_probes, r.probes);
+    const std::int64_t err = std::llabs(r.predicted - i);
+    stats.total_abs_error += err;
+    stats.max_abs_error = std::max(stats.max_abs_error, err);
+  }
+  return stats;
+}
+
+}  // namespace lispoison

@@ -1,0 +1,106 @@
+// Copyright (c) lispoison authors. Licensed under the MIT license.
+//
+// LearnedIndex: the user-facing index facade. It owns the sorted dense
+// array of keys (the paper's in-memory key-record layout), an RMI that
+// predicts positions, and the "last mile" local search that corrects
+// prediction error — the component whose cost the poisoning attacks
+// inflate.
+
+#ifndef LISPOISON_INDEX_LEARNED_INDEX_H_
+#define LISPOISON_INDEX_LEARNED_INDEX_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "data/keyset.h"
+#include "index/rmi.h"
+
+namespace lispoison {
+
+/// \brief Outcome of one lookup, including the work performed — the
+/// implementation-independent cost signal the benchmarks report.
+struct LookupResult {
+  bool found = false;        ///< True iff the key is stored.
+  std::int64_t position = -1;  ///< 0-based array position when found.
+  std::int64_t predicted = -1; ///< Position the model predicted.
+  std::int64_t probes = 0;     ///< Array cells touched by last-mile search.
+};
+
+/// \brief Aggregate last-mile statistics over many lookups.
+struct LookupStats {
+  std::int64_t lookups = 0;
+  std::int64_t total_probes = 0;
+  std::int64_t max_probes = 0;
+  std::int64_t total_abs_error = 0;  ///< Sum |predicted - actual|.
+  std::int64_t max_abs_error = 0;
+
+  double MeanProbes() const {
+    return lookups ? static_cast<double>(total_probes) /
+                         static_cast<double>(lookups)
+                   : 0.0;
+  }
+  double MeanAbsError() const {
+    return lookups ? static_cast<double>(total_abs_error) /
+                         static_cast<double>(lookups)
+                   : 0.0;
+  }
+};
+
+/// \brief A learned range index: RMI prediction + last-mile exponential
+/// search over a sorted dense key array.
+class LearnedIndex {
+ public:
+  /// \brief Builds (trains) the index over \p keyset.
+  static Result<LearnedIndex> Build(const KeySet& keyset,
+                                    const RmiOptions& options);
+
+  /// \brief Looks up \p k: predicts a position, then exponential-searches
+  /// outward from the prediction until the key (or its absence) is
+  /// certain. Probe accounting is exact.
+  LookupResult Lookup(Key k) const;
+
+  /// \brief Lookup using the RMI's stored error bounds: binary search
+  /// within the guaranteed window [pred + err_lo, pred + err_hi] of the
+  /// routed model (reference-RMI style). Falls back to the exponential
+  /// search when the routed window provably cannot contain \p k (which
+  /// happens only under learned-root misrouting), so the result is
+  /// always correct.
+  LookupResult LookupBounded(Key k) const;
+
+  /// \brief Outcome of a range query.
+  struct RangeResult {
+    std::int64_t first = 0;  ///< Position of the first key >= lo.
+    std::int64_t count = 0;  ///< Number of stored keys in [lo, hi].
+    std::int64_t probes = 0; ///< Array cells touched locating the bounds.
+  };
+
+  /// \brief Range query [lo, hi]: the range-index ADT the paper's
+  /// learned indexes implement. Locates the lower bound with a model
+  /// prediction plus last-mile search; the upper bound by a second
+  /// prediction. Returns an empty range (count 0) when no stored key
+  /// falls inside. Requires lo <= hi.
+  Result<RangeResult> LookupRange(Key lo, Key hi) const;
+
+  /// \brief Runs Lookup over every stored key, aggregating statistics.
+  LookupStats ProfileAllKeys() const;
+
+  /// \brief The trained RMI.
+  const Rmi& rmi() const { return rmi_; }
+
+  /// \brief Number of stored keys.
+  std::int64_t size() const {
+    return static_cast<std::int64_t>(keys_.size());
+  }
+
+  /// \brief The backing sorted key array.
+  const std::vector<Key>& keys() const { return keys_; }
+
+ private:
+  std::vector<Key> keys_;
+  Rmi rmi_;
+};
+
+}  // namespace lispoison
+
+#endif  // LISPOISON_INDEX_LEARNED_INDEX_H_

@@ -1,0 +1,36 @@
+// Copyright (c) lispoison authors. Licensed under the MIT license.
+//
+// The two-parameter linear model f(k) = w*k + b, the storage- and
+// compute-minimal building block the paper identifies as the reason LIS
+// beats B-Trees (one multiply, one add, two stored parameters).
+
+#ifndef LISPOISON_INDEX_LINEAR_MODEL_H_
+#define LISPOISON_INDEX_LINEAR_MODEL_H_
+
+#include <cmath>
+
+#include "common/types.h"
+
+namespace lispoison {
+
+/// \brief A fitted linear model predicting rank from key.
+struct LinearModel {
+  double w = 0.0;  ///< Slope.
+  double b = 0.0;  ///< Intercept.
+
+  /// \brief Real-valued rank prediction f(k) = w*k + b.
+  double Predict(Key k) const { return w * static_cast<double>(k) + b; }
+
+  /// \brief Prediction rounded to the nearest integer rank and clamped to
+  /// [lo, hi]; the index uses this as the probe position.
+  Rank PredictClamped(Key k, Rank lo, Rank hi) const {
+    const double p = std::llround(Predict(k));
+    if (p < static_cast<double>(lo)) return lo;
+    if (p > static_cast<double>(hi)) return hi;
+    return static_cast<Rank>(p);
+  }
+};
+
+}  // namespace lispoison
+
+#endif  // LISPOISON_INDEX_LINEAR_MODEL_H_

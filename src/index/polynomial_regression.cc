@@ -1,0 +1,129 @@
+#include "index/polynomial_regression.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+namespace lispoison {
+namespace {
+
+/// Solves the (d+1)x(d+1) normal equations A^T A c = A^T y by Gaussian
+/// elimination with partial pivoting. Returns false when the system is
+/// singular (fewer distinct x values than coefficients).
+bool SolveNormalEquations(int degree, const long double ata_in[5][5],
+                          const long double aty_in[5], double* out) {
+  const int dim = degree + 1;
+  long double aug[5][6];
+  for (int i = 0; i < dim; ++i) {
+    for (int j = 0; j < dim; ++j) aug[i][j] = ata_in[i][j];
+    aug[i][dim] = aty_in[i];
+  }
+  for (int col = 0; col < dim; ++col) {
+    int pivot = col;
+    for (int row = col + 1; row < dim; ++row) {
+      if (std::fabs(static_cast<double>(aug[row][col])) >
+          std::fabs(static_cast<double>(aug[pivot][col]))) {
+        pivot = row;
+      }
+    }
+    for (int j = 0; j <= dim; ++j) std::swap(aug[col][j], aug[pivot][j]);
+    if (std::fabs(static_cast<double>(aug[col][col])) < 1e-30) return false;
+    for (int row = col + 1; row < dim; ++row) {
+      const long double f = aug[row][col] / aug[col][col];
+      for (int j = col; j <= dim; ++j) aug[row][j] -= f * aug[col][j];
+    }
+  }
+  for (int i = dim - 1; i >= 0; --i) {
+    long double acc = aug[i][dim];
+    for (int j = i + 1; j < dim; ++j) {
+      acc -= aug[i][j] * static_cast<long double>(out[j]);
+    }
+    out[i] = static_cast<double>(acc / aug[i][i]);
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<PolynomialFit> FitPolynomialCdf(const std::vector<Key>& keys,
+                                       const std::vector<Rank>& ranks,
+                                       int degree) {
+  if (keys.empty()) {
+    return Status::InvalidArgument("cannot fit a polynomial on no keys");
+  }
+  if (keys.size() != ranks.size()) {
+    return Status::InvalidArgument("keys/ranks size mismatch");
+  }
+  if (degree < 1 || degree > 4) {
+    return Status::InvalidArgument("degree must lie in [1, 4], got " +
+                                   std::to_string(degree));
+  }
+  const auto [mn, mx] = std::minmax_element(keys.begin(), keys.end());
+  const double lo = static_cast<double>(*mn);
+  const double width = static_cast<double>(*mx - *mn);
+  const double inv_width = width > 0 ? 1.0 / width : 1.0;
+
+  PolynomialFit fit;
+  fit.n = static_cast<std::int64_t>(keys.size());
+
+  // Accumulate the normal equations for the requested degree; on a
+  // singular system retry with a lower degree (e.g. two distinct keys
+  // cannot support a cubic).
+  for (int d = degree; d >= 1; --d) {
+    long double ata[5][5] = {};
+    long double aty[5] = {};
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      const long double x =
+          (static_cast<double>(keys[i]) - lo) * inv_width;
+      long double pow_x[9];
+      pow_x[0] = 1;
+      for (int e = 1; e <= 2 * d; ++e) pow_x[e] = pow_x[e - 1] * x;
+      for (int a = 0; a <= d; ++a) {
+        for (int b = 0; b <= d; ++b) ata[a][b] += pow_x[a + b];
+        aty[a] += pow_x[a] * static_cast<long double>(ranks[i]);
+      }
+    }
+    double coef[5] = {};
+    if (!SolveNormalEquations(d, ata, aty, coef)) continue;
+    fit.model.degree = d;
+    fit.model.lo = lo;
+    fit.model.inv_width = inv_width;
+    for (int i = 0; i <= d; ++i) {
+      fit.model.coef[static_cast<std::size_t>(i)] = coef[i];
+    }
+    long double sse = 0;
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      const long double err =
+          static_cast<long double>(fit.model.Predict(keys[i])) -
+          static_cast<long double>(ranks[i]);
+      sse += err * err;
+    }
+    fit.mse = sse / static_cast<long double>(keys.size());
+    return fit;
+  }
+  // Even degree 1 singular: all keys identical. Constant predictor.
+  fit.model.degree = 1;
+  fit.model.lo = lo;
+  fit.model.inv_width = inv_width;
+  long double mean_rank = 0;
+  for (Rank r : ranks) mean_rank += static_cast<long double>(r);
+  mean_rank /= static_cast<long double>(ranks.size());
+  fit.model.coef[0] = static_cast<double>(mean_rank);
+  fit.model.coef[1] = 0;
+  long double sse = 0;
+  for (Rank r : ranks) {
+    const long double err = mean_rank - static_cast<long double>(r);
+    sse += err * err;
+  }
+  fit.mse = sse / static_cast<long double>(ranks.size());
+  return fit;
+}
+
+Result<PolynomialFit> FitPolynomialCdf(const KeySet& keyset, int degree) {
+  std::vector<Rank> ranks;
+  ranks.reserve(static_cast<std::size_t>(keyset.size()));
+  for (Rank r = 1; r <= keyset.size(); ++r) ranks.push_back(r);
+  return FitPolynomialCdf(keyset.keys(), ranks, degree);
+}
+
+}  // namespace lispoison

@@ -1,0 +1,65 @@
+// Copyright (c) lispoison authors. Licensed under the MIT license.
+//
+// Polynomial least-squares regression on CDFs — the "more complex and
+// robust second-stage model" the paper's §VI discussion proposes as a
+// mitigation, at the cost of the storage/compute advantage that makes
+// LIS attractive in the first place. Degrees 1..4 are supported (the
+// normal equations are solved exactly with long-double Gaussian
+// elimination on normalized keys).
+
+#ifndef LISPOISON_INDEX_POLYNOMIAL_REGRESSION_H_
+#define LISPOISON_INDEX_POLYNOMIAL_REGRESSION_H_
+
+#include <array>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "data/keyset.h"
+
+namespace lispoison {
+
+/// \brief A fitted polynomial rank predictor of degree <= 4 over
+/// normalized keys x = (k - lo) / width.
+struct PolynomialModel {
+  int degree = 1;
+  std::array<double, 5> coef{};  ///< coef[i] multiplies x^i.
+  double lo = 0;                 ///< Normalization offset.
+  double inv_width = 1;          ///< Normalization scale.
+
+  /// \brief Real-valued rank prediction.
+  double Predict(Key k) const {
+    const double x = (static_cast<double>(k) - lo) * inv_width;
+    double acc = 0;
+    for (int i = degree; i >= 0; --i) {
+      acc = acc * x + coef[static_cast<std::size_t>(i)];
+    }
+    return acc;
+  }
+
+  /// \brief Stored parameters (coefficients + normalization), for the
+  /// storage-overhead accounting of the complexity bench.
+  std::int64_t ParameterCount() const { return degree + 1 + 2; }
+};
+
+/// \brief Result of a polynomial fit on a CDF.
+struct PolynomialFit {
+  PolynomialModel model;
+  long double mse = 0;
+  std::int64_t n = 0;
+};
+
+/// \brief Fits a degree-\p degree polynomial on the ranks 1..n of
+/// \p keyset and reports the achieved MSE. Degree must lie in [1, 4];
+/// fails on empty input. Degenerate systems (fewer distinct keys than
+/// coefficients) fall back to the highest solvable degree.
+Result<PolynomialFit> FitPolynomialCdf(const KeySet& keyset, int degree);
+
+/// \brief Same on explicit (key, rank) pairs.
+Result<PolynomialFit> FitPolynomialCdf(const std::vector<Key>& keys,
+                                       const std::vector<Rank>& ranks,
+                                       int degree);
+
+}  // namespace lispoison
+
+#endif  // LISPOISON_INDEX_POLYNOMIAL_REGRESSION_H_

@@ -1,0 +1,172 @@
+#include "index/rmi.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+namespace lispoison {
+
+Result<Rmi> Rmi::Train(const KeySet& keyset, const RmiOptions& options) {
+  if (keyset.empty()) {
+    return Status::InvalidArgument("cannot train an RMI on no keys");
+  }
+  const std::int64_t n = keyset.size();
+  std::int64_t num_models = options.num_models;
+  if (num_models <= 0) {
+    if (options.target_model_size <= 0) {
+      return Status::InvalidArgument(
+          "either num_models or target_model_size must be positive");
+    }
+    num_models = (n + options.target_model_size - 1) /
+                 options.target_model_size;
+  }
+  if (num_models > n) num_models = n;
+
+  Rmi rmi;
+  rmi.n_ = n;
+  LISPOISON_ASSIGN_OR_RETURN(
+      auto root,
+      TrainRootModel(options.root_kind, keyset, options.root_segments));
+  rmi.root_ = std::move(root);
+
+  // Equal-size partition: the first (n mod N) models take one extra key,
+  // matching the paper's "non-overlapping subsets of equal size".
+  if (options.second_stage_degree < 1 || options.second_stage_degree > 4) {
+    return Status::InvalidArgument(
+        "second_stage_degree must lie in [1, 4]");
+  }
+  const std::int64_t base = n / num_models;
+  const std::int64_t extra = n % num_models;
+  std::int64_t first = 0;
+  rmi.models_.reserve(static_cast<std::size_t>(num_models));
+  rmi.partition_first_keys_.reserve(static_cast<std::size_t>(num_models));
+  for (std::int64_t i = 0; i < num_models; ++i) {
+    const std::int64_t count = base + (i < extra ? 1 : 0);
+    SecondStageModel m;
+    m.first = first;
+    m.count = count;
+    MomentAccumulator acc;
+    for (std::int64_t j = 0; j < count; ++j) {
+      // Global rank = global index + 1 so predictions are positions.
+      acc.Add(keyset.at(first + j), first + j + 1);
+    }
+    m.fit = FitFromMoments(acc);
+    if (options.second_stage_degree > 1) {
+      std::vector<Key> part_keys;
+      std::vector<Rank> part_ranks;
+      part_keys.reserve(static_cast<std::size_t>(count));
+      part_ranks.reserve(static_cast<std::size_t>(count));
+      for (std::int64_t j = 0; j < count; ++j) {
+        part_keys.push_back(keyset.at(first + j));
+        part_ranks.push_back(first + j + 1);
+      }
+      LISPOISON_ASSIGN_OR_RETURN(
+          m.poly_fit, FitPolynomialCdf(part_keys, part_ranks,
+                                       options.second_stage_degree));
+      m.use_poly = true;
+    }
+    // Reference-RMI style error bounds: residual extrema over the
+    // partition, so lookups get a guaranteed search window.
+    for (std::int64_t j = 0; j < count; ++j) {
+      const double resid = static_cast<double>(first + j + 1) -
+                           m.Predict(keyset.at(first + j));
+      if (j == 0) {
+        m.err_lo = resid;
+        m.err_hi = resid;
+      } else {
+        m.err_lo = std::min(m.err_lo, resid);
+        m.err_hi = std::max(m.err_hi, resid);
+      }
+    }
+    rmi.partition_first_keys_.push_back(keyset.at(first));
+    rmi.models_.push_back(m);
+    first += count;
+  }
+  return rmi;
+}
+
+std::int64_t Rmi::Route(Key k) const {
+  const double est = root_->EstimateRank(k);
+  // Convert the rank estimate into a model index via the partition map:
+  // model sizes are uniform up to one key, so divide by the average size.
+  const double avg = static_cast<double>(n_) /
+                     static_cast<double>(models_.size());
+  std::int64_t idx = static_cast<std::int64_t>(std::floor((est - 0.5) / avg));
+  if (idx < 0) idx = 0;
+  if (idx >= num_models()) idx = num_models() - 1;
+  return idx;
+}
+
+std::int64_t Rmi::TrueModelOf(Key k) const {
+  // Last partition whose first key is <= k.
+  const auto it = std::upper_bound(partition_first_keys_.begin(),
+                                   partition_first_keys_.end(), k);
+  std::int64_t idx =
+      static_cast<std::int64_t>(it - partition_first_keys_.begin()) - 1;
+  if (idx < 0) idx = 0;
+  return idx;
+}
+
+double Rmi::PredictRank(Key k) const {
+  const std::int64_t i = Route(k);
+  return models_[static_cast<std::size_t>(i)].Predict(k);
+}
+
+std::int64_t Rmi::PredictPosition(Key k) const {
+  const double r = PredictRank(k);
+  std::int64_t pos = static_cast<std::int64_t>(std::llround(r)) - 1;
+  if (pos < 0) pos = 0;
+  if (pos >= n_) pos = n_ - 1;
+  return pos;
+}
+
+std::pair<std::int64_t, std::int64_t> Rmi::SearchWindow(Key k) const {
+  const std::int64_t i = Route(k);
+  const auto& m = models_[static_cast<std::size_t>(i)];
+  const double pred = m.Predict(k);
+  // Positions are rank - 1; round the window outward.
+  std::int64_t lo =
+      static_cast<std::int64_t>(std::floor(pred + m.err_lo)) - 1;
+  std::int64_t hi =
+      static_cast<std::int64_t>(std::ceil(pred + m.err_hi)) - 1;
+  if (lo < 0) lo = 0;
+  if (hi >= n_) hi = n_ - 1;
+  if (hi < lo) hi = lo;
+  return {lo, hi};
+}
+
+double Rmi::MeanErrorWindow() const {
+  if (models_.empty()) return 0;
+  double sum = 0;
+  for (const auto& m : models_) sum += m.ErrorWindow();
+  return sum / static_cast<double>(models_.size());
+}
+
+double Rmi::MaxErrorWindow() const {
+  double mx = 0;
+  for (const auto& m : models_) mx = std::max(mx, m.ErrorWindow());
+  return mx;
+}
+
+long double Rmi::RmiLoss() const {
+  long double sum = 0;
+  for (const auto& m : models_) sum += m.Loss();
+  return sum / static_cast<long double>(models_.size());
+}
+
+std::vector<long double> Rmi::SecondStageLosses() const {
+  std::vector<long double> out;
+  out.reserve(models_.size());
+  for (const auto& m : models_) out.push_back(m.Loss());
+  return out;
+}
+
+std::int64_t Rmi::ParameterCount() const {
+  std::int64_t second_stage = 0;
+  for (const auto& m : models_) {
+    second_stage += m.use_poly ? m.poly_fit.model.ParameterCount() : 2;
+  }
+  return root_->ParameterCount() + second_stage;
+}
+
+}  // namespace lispoison

@@ -1,0 +1,154 @@
+// Copyright (c) lispoison authors. Licensed under the MIT license.
+//
+// The two-stage Recursive Model Index of Kraska et al. as described in
+// Section III-A of the paper: a root model routes a key to one of N
+// second-stage linear regressions, each the "expert" for a contiguous
+// equal-size partition of the sorted keys, and the chosen expert predicts
+// the key's position in the backing array.
+
+#ifndef LISPOISON_INDEX_RMI_H_
+#define LISPOISON_INDEX_RMI_H_
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "data/keyset.h"
+#include "index/cdf_regression.h"
+#include "index/polynomial_regression.h"
+#include "index/root_model.h"
+
+namespace lispoison {
+
+/// \brief Configuration of a two-stage RMI.
+struct RmiOptions {
+  /// Number of second-stage models N. If <= 0, derived from
+  /// `target_model_size` instead.
+  std::int64_t num_models = 0;
+
+  /// Desired number of keys per second-stage model ("Model Size" in the
+  /// paper's figures). Used when `num_models <= 0`.
+  std::int64_t target_model_size = 1000;
+
+  /// First-stage model kind. Defaults to the paper's §V assumption of a
+  /// perfectly routing root.
+  RootModelKind root_kind = RootModelKind::kOracle;
+
+  /// Segment count for the piecewise-linear root.
+  std::int64_t root_segments = 256;
+
+  /// Polynomial degree of the second-stage models. 1 (the paper's
+  /// linear regression, via the exact closed form) by default; 2-4 fit
+  /// least-squares polynomials — the "more complex final-stage model"
+  /// mitigation of §VI, trading parameters for robustness.
+  int second_stage_degree = 1;
+};
+
+/// \brief One trained second-stage model and its key partition.
+struct SecondStageModel {
+  std::int64_t first = 0;   ///< Index of the partition's first key.
+  std::int64_t count = 0;   ///< Number of keys in the partition.
+  CdfFit fit;               ///< Linear regression on (key, global rank).
+  /// Present when RmiOptions::second_stage_degree > 1; overrides `fit`
+  /// for prediction and loss.
+  PolynomialFit poly_fit;
+  bool use_poly = false;
+
+  /// \brief Real-valued global-rank prediction of this expert.
+  double Predict(Key k) const {
+    return use_poly ? poly_fit.model.Predict(k) : fit.model.Predict(k);
+  }
+
+  /// \brief Training MSE of this expert (the poisoning target metric).
+  long double Loss() const { return use_poly ? poly_fit.mse : fit.mse; }
+
+  /// \name Stored residual bounds (reference-RMI style).
+  ///
+  /// min/max over the partition of (true rank - predicted rank),
+  /// recorded at training time. Every trained key's position lies in
+  /// [prediction + err_lo, prediction + err_hi], so the last-mile
+  /// search can use a guaranteed window instead of exponential
+  /// widening. Poisoning inflates these bounds — that is exactly the
+  /// mechanism by which the attack slows lookups.
+  /// @{
+  double err_lo = 0;
+  double err_hi = 0;
+  /// @}
+
+  /// \brief Width of the guaranteed search window in slots.
+  double ErrorWindow() const { return err_hi - err_lo; }
+};
+
+/// \brief A trained two-stage Recursive Model Index.
+///
+/// The RMI predicts *global* positions: each second-stage model is fitted
+/// on (key, global rank) so its output can be used directly as an array
+/// position. `RmiLoss` matches the paper's definition
+/// L_RMI = (1/N) * sum_i L_i, where L_i is each expert's MSE evaluated on
+/// the *local* CDF (rank translation does not change the MSE, so local
+/// and global fits give identical losses; see cdf_regression_test).
+class Rmi {
+ public:
+  /// \brief Trains the RMI on \p keyset with the given options.
+  static Result<Rmi> Train(const KeySet& keyset, const RmiOptions& options);
+
+  /// \brief Number of second-stage models N.
+  std::int64_t num_models() const {
+    return static_cast<std::int64_t>(models_.size());
+  }
+
+  /// \brief The i-th second-stage model.
+  const SecondStageModel& model(std::int64_t i) const {
+    return models_[static_cast<std::size_t>(i)];
+  }
+
+  /// \brief Index of the second-stage model the root routes \p k to.
+  std::int64_t Route(Key k) const;
+
+  /// \brief Index of the model whose partition actually contains \p k's
+  /// position (ground truth; what the Oracle root returns).
+  std::int64_t TrueModelOf(Key k) const;
+
+  /// \brief Full two-stage prediction: real-valued global rank of \p k.
+  double PredictRank(Key k) const;
+
+  /// \brief Predicted 0-based array position, clamped to [0, n-1].
+  std::int64_t PredictPosition(Key k) const;
+
+  /// \brief Guaranteed position window for \p k from the routed model's
+  /// stored error bounds: if \p k is stored AND the root routes it to
+  /// the model that trained on it, its position lies in
+  /// [window.first, window.second] (0-based, clamped to the array).
+  std::pair<std::int64_t, std::int64_t> SearchWindow(Key k) const;
+
+  /// \brief Mean width (in slots) of the stored error windows across
+  /// second-stage models — the storage-level signal poisoning inflates.
+  double MeanErrorWindow() const;
+
+  /// \brief Largest stored error window across second-stage models.
+  double MaxErrorWindow() const;
+
+  /// \brief Number of keys the RMI was trained on.
+  std::int64_t key_count() const { return n_; }
+
+  /// \brief The paper's RMI loss: mean of second-stage MSEs.
+  long double RmiLoss() const;
+
+  /// \brief MSE of each second-stage model, in partition order.
+  std::vector<long double> SecondStageLosses() const;
+
+  /// \brief Total stored parameters (root + 2 per second-stage model).
+  std::int64_t ParameterCount() const;
+
+ private:
+  std::int64_t n_ = 0;
+  std::shared_ptr<const RootModel> root_;
+  std::vector<SecondStageModel> models_;
+  std::vector<Key> partition_first_keys_;  // For TrueModelOf.
+};
+
+}  // namespace lispoison
+
+#endif  // LISPOISON_INDEX_RMI_H_

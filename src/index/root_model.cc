@@ -1,0 +1,200 @@
+#include "index/root_model.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "index/cdf_regression.h"
+
+namespace lispoison {
+namespace {
+
+/// Routes by exact binary search on the stored keys: the "always correct"
+/// root of Section V. EstimateRank returns the true insertion rank.
+class OracleRoot : public RootModel {
+ public:
+  explicit OracleRoot(std::vector<Key> keys) : keys_(std::move(keys)) {}
+
+  double EstimateRank(Key k) const override {
+    const auto it = std::upper_bound(keys_.begin(), keys_.end(), k);
+    // Number of keys <= k; the true rank of a stored key.
+    return static_cast<double>(it - keys_.begin());
+  }
+
+  std::int64_t ParameterCount() const override {
+    return static_cast<std::int64_t>(keys_.size());
+  }
+
+ private:
+  std::vector<Key> keys_;
+};
+
+class LinearRoot : public RootModel {
+ public:
+  explicit LinearRoot(LinearModel model) : model_(model) {}
+
+  double EstimateRank(Key k) const override { return model_.Predict(k); }
+  std::int64_t ParameterCount() const override { return 2; }
+
+ private:
+  LinearModel model_;
+};
+
+/// Cubic least squares on (normalized key, rank): solves the 4x4 normal
+/// equations by Gaussian elimination with partial pivoting. Keys are
+/// normalized to [0, 1] before forming powers to keep the system well
+/// conditioned on large domains.
+class CubicRoot : public RootModel {
+ public:
+  CubicRoot(std::array<double, 4> coef, double lo, double scale)
+      : coef_(coef), lo_(lo), scale_(scale) {}
+
+  static Result<std::unique_ptr<RootModel>> Train(const KeySet& keyset) {
+    const auto& keys = keyset.keys();
+    const double lo = static_cast<double>(keyset.domain().lo);
+    const double width = static_cast<double>(keyset.domain().size() - 1);
+    const double scale = width > 0 ? 1.0 / width : 1.0;
+
+    // Normal equations: A^T A c = A^T y with A rows (1, x, x^2, x^3).
+    long double ata[4][4] = {};
+    long double aty[4] = {};
+    Rank r = 1;
+    for (Key k : keys) {
+      const long double x = (static_cast<double>(k) - lo) * scale;
+      long double pow_x[7];
+      pow_x[0] = 1;
+      for (int i = 1; i < 7; ++i) pow_x[i] = pow_x[i - 1] * x;
+      for (int i = 0; i < 4; ++i) {
+        for (int j = 0; j < 4; ++j) ata[i][j] += pow_x[i + j];
+        aty[i] += pow_x[i] * static_cast<long double>(r);
+      }
+      ++r;
+    }
+    // Gaussian elimination with partial pivoting.
+    long double aug[4][5];
+    for (int i = 0; i < 4; ++i) {
+      for (int j = 0; j < 4; ++j) aug[i][j] = ata[i][j];
+      aug[i][4] = aty[i];
+    }
+    for (int col = 0; col < 4; ++col) {
+      int pivot = col;
+      for (int row = col + 1; row < 4; ++row) {
+        if (std::fabs(static_cast<double>(aug[row][col])) >
+            std::fabs(static_cast<double>(aug[pivot][col]))) {
+          pivot = row;
+        }
+      }
+      std::swap(aug[col], aug[pivot]);
+      if (aug[col][col] == 0) {
+        return Status::FailedPrecondition(
+            "singular normal equations for cubic root model");
+      }
+      for (int row = col + 1; row < 4; ++row) {
+        const long double f = aug[row][col] / aug[col][col];
+        for (int j = col; j < 5; ++j) aug[row][j] -= f * aug[col][j];
+      }
+    }
+    std::array<double, 4> coef{};
+    for (int i = 3; i >= 0; --i) {
+      long double acc = aug[i][4];
+      for (int j = i + 1; j < 4; ++j) acc -= aug[i][j] * coef[j];
+      coef[i] = static_cast<double>(acc / aug[i][i]);
+    }
+    return std::unique_ptr<RootModel>(new CubicRoot(coef, lo, scale));
+  }
+
+  double EstimateRank(Key k) const override {
+    const double x = (static_cast<double>(k) - lo_) * scale_;
+    return ((coef_[3] * x + coef_[2]) * x + coef_[1]) * x + coef_[0];
+  }
+
+  std::int64_t ParameterCount() const override { return 6; }
+
+ private:
+  std::array<double, 4> coef_;
+  double lo_;
+  double scale_;
+};
+
+/// Monotone piecewise-linear approximation of the CDF: the domain is cut
+/// into equal-width segments; each boundary stores the empirical rank
+/// (count of keys below), and queries interpolate linearly inside their
+/// segment. This is exactly the function class a one-hidden-layer ReLU
+/// network with `segments` units realizes on a monotone target.
+class PiecewiseLinearRoot : public RootModel {
+ public:
+  PiecewiseLinearRoot(std::vector<double> boundary_ranks, double lo,
+                      double seg_width)
+      : boundary_ranks_(std::move(boundary_ranks)),
+        lo_(lo),
+        seg_width_(seg_width) {}
+
+  static Result<std::unique_ptr<RootModel>> Train(const KeySet& keyset,
+                                                  std::int64_t segments) {
+    if (segments < 1) {
+      return Status::InvalidArgument("piecewise root needs >= 1 segment");
+    }
+    const auto& keys = keyset.keys();
+    const double lo = static_cast<double>(keyset.domain().lo);
+    const double width = static_cast<double>(keyset.domain().size() - 1);
+    const double seg_width =
+        width > 0 ? width / static_cast<double>(segments) : 1.0;
+    std::vector<double> boundary_ranks(static_cast<std::size_t>(segments) + 1);
+    for (std::int64_t s = 0; s <= segments; ++s) {
+      const double boundary = lo + seg_width * static_cast<double>(s);
+      const Key bk = static_cast<Key>(std::floor(boundary));
+      const auto it = std::upper_bound(keys.begin(), keys.end(), bk);
+      boundary_ranks[static_cast<std::size_t>(s)] =
+          static_cast<double>(it - keys.begin());
+    }
+    return std::unique_ptr<RootModel>(
+        new PiecewiseLinearRoot(std::move(boundary_ranks), lo, seg_width));
+  }
+
+  double EstimateRank(Key k) const override {
+    const double pos = (static_cast<double>(k) - lo_) / seg_width_;
+    const std::int64_t seg_count =
+        static_cast<std::int64_t>(boundary_ranks_.size()) - 1;
+    std::int64_t s = static_cast<std::int64_t>(std::floor(pos));
+    if (s < 0) s = 0;
+    if (s >= seg_count) s = seg_count - 1;
+    const double frac = pos - static_cast<double>(s);
+    const double r0 = boundary_ranks_[static_cast<std::size_t>(s)];
+    const double r1 = boundary_ranks_[static_cast<std::size_t>(s) + 1];
+    return r0 + (r1 - r0) * std::clamp(frac, 0.0, 1.0);
+  }
+
+  std::int64_t ParameterCount() const override {
+    return static_cast<std::int64_t>(boundary_ranks_.size());
+  }
+
+ private:
+  std::vector<double> boundary_ranks_;
+  double lo_;
+  double seg_width_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<RootModel>> TrainRootModel(RootModelKind kind,
+                                                  const KeySet& keyset,
+                                                  std::int64_t segments) {
+  if (keyset.empty()) {
+    return Status::InvalidArgument("cannot train a root model on no keys");
+  }
+  switch (kind) {
+    case RootModelKind::kOracle:
+      return std::unique_ptr<RootModel>(new OracleRoot(keyset.keys()));
+    case RootModelKind::kLinear: {
+      LISPOISON_ASSIGN_OR_RETURN(CdfFit fit, FitCdfRegression(keyset));
+      return std::unique_ptr<RootModel>(new LinearRoot(fit.model));
+    }
+    case RootModelKind::kCubic:
+      return CubicRoot::Train(keyset);
+    case RootModelKind::kPiecewiseLinear:
+      return PiecewiseLinearRoot::Train(keyset, segments);
+  }
+  return Status::InvalidArgument("unknown root model kind");
+}
+
+}  // namespace lispoison

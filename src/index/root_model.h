@@ -1,0 +1,55 @@
+// Copyright (c) lispoison authors. Licensed under the MIT license.
+//
+// First-stage ("root") models for the two-stage RMI. The paper's RMI uses
+// a small neural network at the root; since the attacks never target the
+// root (Section V assumes it always routes to the correct second-stage
+// model), we provide an exact Oracle router reproducing that assumption
+// plus three learned routers — linear, cubic, and a monotone
+// piecewise-linear spline (the function class a small ReLU net realizes)
+// — so routing error can be measured as an extension.
+
+#ifndef LISPOISON_INDEX_ROOT_MODEL_H_
+#define LISPOISON_INDEX_ROOT_MODEL_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "data/keyset.h"
+
+namespace lispoison {
+
+/// \brief Which first-stage model the RMI uses.
+enum class RootModelKind {
+  kOracle,           ///< Always routes correctly (paper's assumption in §V).
+  kLinear,           ///< Single linear regression on the CDF.
+  kCubic,            ///< Cubic least-squares regression on the CDF.
+  kPiecewiseLinear,  ///< Monotone piecewise-linear CDF approximation.
+};
+
+/// \brief Interface: maps a key to a real-valued estimate of its rank in
+/// the full keyset; the RMI converts that estimate into a second-stage
+/// model index.
+class RootModel {
+ public:
+  virtual ~RootModel() = default;
+
+  /// \brief Estimated rank (1-based, unclamped) of \p k in the trained
+  /// keyset.
+  virtual double EstimateRank(Key k) const = 0;
+
+  /// \brief Storage cost in doubles, for the memory-accounting bench.
+  virtual std::int64_t ParameterCount() const = 0;
+};
+
+/// \brief Trains a root model of the requested kind on \p keyset.
+/// \p segments controls the piecewise-linear resolution (ignored by the
+/// other kinds).
+Result<std::unique_ptr<RootModel>> TrainRootModel(RootModelKind kind,
+                                                  const KeySet& keyset,
+                                                  std::int64_t segments = 64);
+
+}  // namespace lispoison
+
+#endif  // LISPOISON_INDEX_ROOT_MODEL_H_

@@ -1,0 +1,77 @@
+#include "common/ascii_plot.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace lispoison {
+namespace {
+
+TEST(RenderKeyHistogramTest, MarksPrimaryAndOverlay) {
+  std::ostringstream os;
+  RenderKeyHistogram(os, {0, 1, 2}, {8, 9}, 0, 9, 10);
+  const std::string out = os.str();
+  EXPECT_NE(out.find('#'), std::string::npos);
+  EXPECT_NE(out.find('*'), std::string::npos);
+  EXPECT_NE(out.find("----------"), std::string::npos);
+}
+
+TEST(RenderKeyHistogramTest, StackHeightMatchesDensity) {
+  std::ostringstream os;
+  // Three keys in one bucket: three rows of output plus the axis.
+  RenderKeyHistogram(os, {0, 0, 0}, {}, 0, 9, 10);
+  std::istringstream lines(os.str());
+  std::string line;
+  int rows = 0;
+  while (std::getline(lines, line)) ++rows;
+  EXPECT_EQ(rows, 4);  // 3 density levels + axis.
+}
+
+TEST(RenderKeyHistogramTest, DegenerateInputsAreNoOps) {
+  std::ostringstream os;
+  RenderKeyHistogram(os, {1}, {}, 0, 9, 0);    // width < 1
+  RenderKeyHistogram(os, {1}, {}, 9, 0, 10);   // hi < lo
+  EXPECT_TRUE(os.str().empty());
+}
+
+TEST(RenderKeyHistogramTest, OutOfRangeKeysClampToEdges) {
+  std::ostringstream os;
+  RenderKeyHistogram(os, {-100, 500}, {}, 0, 9, 10);
+  // Should not crash; both keys land in edge buckets.
+  EXPECT_FALSE(os.str().empty());
+}
+
+TEST(RenderCdfStaircaseTest, MonotoneStaircase) {
+  std::ostringstream os;
+  RenderCdfStaircase(os, {0, 10, 20, 30, 40, 50}, 20, 6);
+  const std::string out = os.str();
+  EXPECT_NE(out.find('o'), std::string::npos);
+  // First output row (highest rank) contains the rightmost mark; last
+  // content row contains the leftmost. Verify column of 'o' in the top
+  // row exceeds that of the bottom content row.
+  std::istringstream lines(out);
+  std::string first, line, last;
+  std::getline(lines, first);
+  last = first;
+  while (std::getline(lines, line)) {
+    if (line.find('o') != std::string::npos) last = line;
+  }
+  EXPECT_GT(first.find('o'), last.find('o'));
+}
+
+TEST(RenderCdfStaircaseTest, DegenerateInputsAreNoOps) {
+  std::ostringstream os;
+  RenderCdfStaircase(os, {}, 10, 5);
+  RenderCdfStaircase(os, {1, 2}, 0, 5);
+  RenderCdfStaircase(os, {1, 2}, 10, 0);
+  EXPECT_TRUE(os.str().empty());
+}
+
+TEST(RenderCdfStaircaseTest, SingleKeyRenders) {
+  std::ostringstream os;
+  RenderCdfStaircase(os, {42}, 10, 3);
+  EXPECT_NE(os.str().find('o'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lispoison

@@ -1,0 +1,55 @@
+#include "index/binary_search_index.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "data/generators.h"
+
+namespace lispoison {
+namespace {
+
+TEST(BinarySearchIndexTest, FindsAllKeys) {
+  Rng rng(1);
+  auto ks = GenerateUniform(1000, KeyDomain{0, 99999}, &rng);
+  ASSERT_TRUE(ks.ok());
+  BinarySearchIndex idx(*ks);
+  for (std::int64_t i = 0; i < ks->size(); ++i) {
+    const auto r = idx.Lookup(ks->at(i));
+    EXPECT_TRUE(r.found);
+    EXPECT_EQ(r.position, i);
+  }
+}
+
+TEST(BinarySearchIndexTest, MissingKeyNotFound) {
+  auto ks = KeySet::Create({1, 3, 5}, KeyDomain{0, 10});
+  ASSERT_TRUE(ks.ok());
+  BinarySearchIndex idx(*ks);
+  EXPECT_FALSE(idx.Lookup(2).found);
+  EXPECT_FALSE(idx.Lookup(0).found);
+  EXPECT_FALSE(idx.Lookup(10).found);
+}
+
+TEST(BinarySearchIndexTest, ComparisonsLogarithmic) {
+  Rng rng(2);
+  auto ks = GenerateUniform(4096, KeyDomain{0, 999999}, &rng);
+  ASSERT_TRUE(ks.ok());
+  BinarySearchIndex idx(*ks);
+  const std::int64_t bound =
+      static_cast<std::int64_t>(std::ceil(std::log2(4096.0))) + 1;
+  for (std::int64_t i = 0; i < ks->size(); i += 111) {
+    EXPECT_LE(idx.Lookup(ks->at(i)).comparisons, bound);
+  }
+}
+
+TEST(BinarySearchIndexTest, EmptyIndex) {
+  auto ks = KeySet::Create({}, KeyDomain{0, 10});
+  ASSERT_TRUE(ks.ok());
+  BinarySearchIndex idx(*ks);
+  EXPECT_EQ(idx.size(), 0);
+  EXPECT_FALSE(idx.Lookup(5).found);
+}
+
+}  // namespace
+}  // namespace lispoison

@@ -1,0 +1,101 @@
+#include "attack/brute_force.h"
+
+#include <gtest/gtest.h>
+
+#include "attack/greedy_poisoner.h"
+#include "attack/single_point.h"
+#include "common/rng.h"
+#include "data/generators.h"
+
+namespace lispoison {
+namespace {
+
+// The headline correctness claim of Section IV-C: the O(n) endpoint
+// attack must return exactly the brute-force optimum.
+TEST(BruteForceOracleTest, OptimalSinglePointMatchesBruteForce) {
+  Rng rng(1);
+  for (int trial = 0; trial < 25; ++trial) {
+    const std::int64_t n = 10 + rng.UniformInt(0, 40);
+    const Key domain_hi = 100 + rng.UniformInt(0, 400);
+    auto ks = GenerateUniform(n, KeyDomain{0, domain_hi}, &rng);
+    ASSERT_TRUE(ks.ok());
+    auto fast = OptimalSinglePoint(*ks);
+    auto slow = BruteForceSinglePoint(*ks);
+    ASSERT_TRUE(fast.ok());
+    ASSERT_TRUE(slow.ok());
+    // Equal loss (the argmax key may tie; the loss value must match).
+    EXPECT_NEAR(static_cast<double>(fast->poisoned_loss),
+                static_cast<double>(slow->poisoned_loss),
+                1e-9 * std::max(1.0,
+                                static_cast<double>(slow->poisoned_loss)))
+        << "trial " << trial << " n=" << n << " m=" << domain_hi + 1;
+  }
+}
+
+TEST(BruteForceOracleTest, MatchesOnLogNormalKeys) {
+  Rng rng(2);
+  for (int trial = 0; trial < 10; ++trial) {
+    auto ks = GenerateLogNormal(30, KeyDomain{0, 599}, &rng);
+    ASSERT_TRUE(ks.ok());
+    auto fast = OptimalSinglePoint(*ks);
+    auto slow = BruteForceSinglePoint(*ks);
+    ASSERT_TRUE(fast.ok());
+    ASSERT_TRUE(slow.ok());
+    EXPECT_NEAR(static_cast<double>(fast->poisoned_loss),
+                static_cast<double>(slow->poisoned_loss),
+                1e-9 * std::max(1.0,
+                                static_cast<double>(slow->poisoned_loss)));
+  }
+}
+
+TEST(BruteForceMultiTest, GreedyMatchesExhaustiveOnTinyInstances) {
+  // The paper reports greedy matched brute force on every tested
+  // dataset; verify on instances small enough to enumerate.
+  Rng rng(3);
+  for (int trial = 0; trial < 5; ++trial) {
+    auto ks = GenerateUniform(8, KeyDomain{0, 29}, &rng);
+    ASSERT_TRUE(ks.ok());
+    const std::int64_t p = 2;
+    auto greedy = GreedyPoisonCdf(*ks, p);
+    auto exhaustive = BruteForceMultiPoint(*ks, p);
+    ASSERT_TRUE(greedy.ok());
+    ASSERT_TRUE(exhaustive.ok());
+    // Greedy is a heuristic: allow it to reach at least 95% of optimal.
+    EXPECT_GE(static_cast<double>(greedy->poisoned_loss),
+              0.95 * static_cast<double>(exhaustive->poisoned_loss))
+        << "trial " << trial;
+    // And never beat the true optimum.
+    EXPECT_LE(static_cast<double>(greedy->poisoned_loss),
+              static_cast<double>(exhaustive->poisoned_loss) + 1e-9);
+  }
+}
+
+TEST(BruteForceMultiTest, CombinationGuardTriggers) {
+  Rng rng(4);
+  auto ks = GenerateUniform(50, KeyDomain{0, 9999}, &rng);
+  ASSERT_TRUE(ks.ok());
+  auto result = BruteForceMultiPoint(*ks, 5, AttackOptions{},
+                                     /*max_combinations=*/1000);
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(BruteForceMultiTest, ParameterValidation) {
+  auto ks = KeySet::Create({1, 5, 9}, KeyDomain{0, 10});
+  ASSERT_TRUE(ks.ok());
+  EXPECT_FALSE(BruteForceMultiPoint(*ks, 0).ok());
+  auto empty = KeySet::Create({}, KeyDomain{0, 10});
+  ASSERT_TRUE(empty.ok());
+  EXPECT_FALSE(BruteForceMultiPoint(*empty, 1).ok());
+  EXPECT_FALSE(BruteForceSinglePoint(*empty).ok());
+}
+
+TEST(BruteForceMultiTest, InsufficientCandidatesFails) {
+  // Interior of {4,6} has exactly one free key (5); p=2 must fail.
+  auto ks = KeySet::Create({4, 6}, KeyDomain{0, 10});
+  ASSERT_TRUE(ks.ok());
+  EXPECT_EQ(BruteForceMultiPoint(*ks, 2).status().code(),
+            StatusCode::kResourceExhausted);
+}
+
+}  // namespace
+}  // namespace lispoison

@@ -1,0 +1,100 @@
+#include "index/btree.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/generators.h"
+
+namespace lispoison {
+namespace {
+
+TEST(BPlusTreeTest, FindsEveryKeyWithPosition) {
+  Rng rng(1);
+  auto ks = GenerateUniform(5000, KeyDomain{0, 499999}, &rng);
+  ASSERT_TRUE(ks.ok());
+  auto tree = BPlusTree::Build(*ks, 16);
+  ASSERT_TRUE(tree.ok());
+  for (std::int64_t i = 0; i < ks->size(); ++i) {
+    const BTreeLookupResult r = tree->Lookup(ks->at(i));
+    EXPECT_TRUE(r.found);
+    EXPECT_EQ(r.position, i);
+  }
+}
+
+TEST(BPlusTreeTest, MissingKeysNotFound) {
+  auto ks = KeySet::Create({2, 4, 6, 8, 10}, KeyDomain{0, 20});
+  ASSERT_TRUE(ks.ok());
+  auto tree = BPlusTree::Build(*ks, 3);
+  ASSERT_TRUE(tree.ok());
+  for (Key missing : {0, 1, 3, 5, 7, 9, 11, 20}) {
+    EXPECT_FALSE(tree->Lookup(missing).found) << missing;
+  }
+}
+
+TEST(BPlusTreeTest, HeightGrowsLogarithmically) {
+  Rng rng(2);
+  auto small = GenerateUniform(10, KeyDomain{0, 999}, &rng);
+  auto large = GenerateUniform(10000, KeyDomain{0, 999999}, &rng);
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(large.ok());
+  auto t_small = BPlusTree::Build(*small, 8);
+  auto t_large = BPlusTree::Build(*large, 8);
+  ASSERT_TRUE(t_small.ok());
+  ASSERT_TRUE(t_large.ok());
+  EXPECT_LE(t_small->height(), 2);
+  // 10^4 keys at fanout 8: height about ceil(log8(10^4/8)) + 1 <= 5.
+  EXPECT_LE(t_large->height(), 6);
+  EXPECT_GT(t_large->height(), t_small->height());
+}
+
+TEST(BPlusTreeTest, LookupCostIsBoundedByHeight) {
+  Rng rng(3);
+  auto ks = GenerateUniform(4096, KeyDomain{0, 99999}, &rng);
+  ASSERT_TRUE(ks.ok());
+  auto tree = BPlusTree::Build(*ks, 32);
+  ASSERT_TRUE(tree.ok());
+  for (std::int64_t i = 0; i < ks->size(); i += 97) {
+    const auto r = tree->Lookup(ks->at(i));
+    EXPECT_EQ(r.nodes_visited, tree->height());
+  }
+}
+
+TEST(BPlusTreeTest, EmptyTree) {
+  auto ks = KeySet::Create({}, KeyDomain{0, 10});
+  ASSERT_TRUE(ks.ok());
+  auto tree = BPlusTree::Build(*ks, 4);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->size(), 0);
+  EXPECT_FALSE(tree->Lookup(5).found);
+}
+
+TEST(BPlusTreeTest, SingleKey) {
+  auto ks = KeySet::Create({7}, KeyDomain{0, 10});
+  ASSERT_TRUE(ks.ok());
+  auto tree = BPlusTree::Build(*ks, 4);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_TRUE(tree->Lookup(7).found);
+  EXPECT_EQ(tree->Lookup(7).position, 0);
+  EXPECT_EQ(tree->height(), 1);
+}
+
+TEST(BPlusTreeTest, FanoutValidation) {
+  auto ks = KeySet::Create({1, 2}, KeyDomain{0, 10});
+  ASSERT_TRUE(ks.ok());
+  EXPECT_FALSE(BPlusTree::Build(*ks, 2).ok());
+  EXPECT_TRUE(BPlusTree::Build(*ks, 3).ok());
+}
+
+TEST(BPlusTreeTest, NodeCountReasonable) {
+  Rng rng(4);
+  auto ks = GenerateUniform(1000, KeyDomain{0, 99999}, &rng);
+  ASSERT_TRUE(ks.ok());
+  auto tree = BPlusTree::Build(*ks, 10);
+  ASSERT_TRUE(tree.ok());
+  // 100 leaves + ~10 internals + root.
+  EXPECT_GE(tree->node_count(), 100);
+  EXPECT_LE(tree->node_count(), 130);
+}
+
+}  // namespace
+}  // namespace lispoison

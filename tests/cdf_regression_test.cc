@@ -1,0 +1,136 @@
+#include "index/cdf_regression.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/generators.h"
+
+namespace lispoison {
+namespace {
+
+TEST(CdfRegressionTest, PerfectLineHasZeroLoss) {
+  // Keys 0, 10, 20, ..., 90 with ranks 1..10: exactly linear CDF.
+  auto ks = GenerateEvenlySpaced(10, KeyDomain{0, 90});
+  ASSERT_TRUE(ks.ok());
+  auto fit = FitCdfRegression(*ks);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(static_cast<double>(fit->mse), 0.0, 1e-12);
+  EXPECT_NEAR(fit->model.w, 0.1, 1e-12);
+  EXPECT_NEAR(fit->model.b, 1.0, 1e-12);
+}
+
+TEST(CdfRegressionTest, ClosedFormMatchesHandComputation) {
+  // Keys {2, 6, 7, 12}, ranks {1,2,3,4} (the paper's running example).
+  auto ks = KeySet::Create({2, 6, 7, 12}, KeyDomain{1, 13});
+  ASSERT_TRUE(ks.ok());
+  auto fit = FitCdfRegression(*ks);
+  ASSERT_TRUE(fit.ok());
+  // Hand computation: MK=6.75, MR=2.5, MKR=83/4=20.75,
+  // Cov = 20.75 - 6.75*2.5 = 3.875, VarK = 233/4 - 6.75^2 = 12.6875.
+  const double w = 3.875 / 12.6875;
+  const double b = 2.5 - w * 6.75;
+  EXPECT_NEAR(fit->model.w, w, 1e-12);
+  EXPECT_NEAR(fit->model.b, b, 1e-12);
+  // Loss: VarR - Cov^2 / VarK with VarR = 1.25.
+  EXPECT_NEAR(static_cast<double>(fit->mse), 1.25 - 3.875 * w, 1e-12);
+}
+
+TEST(CdfRegressionTest, FitMinimizesMseAgainstPerturbations) {
+  Rng rng(5);
+  auto ks = GenerateUniform(200, KeyDomain{0, 999}, &rng);
+  ASSERT_TRUE(ks.ok());
+  auto fit = FitCdfRegression(*ks);
+  ASSERT_TRUE(fit.ok());
+  std::vector<Rank> ranks;
+  for (Rank r = 1; r <= ks->size(); ++r) ranks.push_back(r);
+  const long double opt = EvaluateMse(fit->model, ks->keys(), ranks);
+  EXPECT_NEAR(static_cast<double>(opt), static_cast<double>(fit->mse), 1e-6);
+  // Any perturbed model must be at least as bad.
+  for (const double dw : {-1e-4, 1e-4}) {
+    for (const double db : {-1.0, 1.0}) {
+      LinearModel perturbed{fit->model.w + dw, fit->model.b + db};
+      EXPECT_GE(static_cast<double>(
+                    EvaluateMse(perturbed, ks->keys(), ranks)) +
+                    1e-9,
+                static_cast<double>(opt));
+    }
+  }
+}
+
+TEST(CdfRegressionTest, LossInvariantUnderRankTranslation) {
+  // Fitting on global ranks r+c gives the same loss as local ranks r.
+  auto ks = KeySet::Create({10, 25, 31, 47, 60}, KeyDomain{0, 100});
+  ASSERT_TRUE(ks.ok());
+  std::vector<Rank> local{1, 2, 3, 4, 5};
+  std::vector<Rank> global{101, 102, 103, 104, 105};
+  auto f_local = FitCdfRegression(ks->keys(), local);
+  auto f_global = FitCdfRegression(ks->keys(), global);
+  ASSERT_TRUE(f_local.ok());
+  ASSERT_TRUE(f_global.ok());
+  EXPECT_NEAR(static_cast<double>(f_local->mse),
+              static_cast<double>(f_global->mse), 1e-9);
+  EXPECT_NEAR(f_local->model.w, f_global->model.w, 1e-12);
+  EXPECT_NEAR(f_global->model.b, f_local->model.b + 100.0, 1e-9);
+}
+
+TEST(CdfRegressionTest, LossInvariantUnderKeyTranslation) {
+  std::vector<Key> keys{10, 25, 31, 47, 60};
+  std::vector<Key> shifted;
+  for (Key k : keys) shifted.push_back(k + 1000000000);
+  std::vector<Rank> ranks{1, 2, 3, 4, 5};
+  auto f1 = FitCdfRegression(keys, ranks);
+  auto f2 = FitCdfRegression(shifted, ranks);
+  ASSERT_TRUE(f1.ok());
+  ASSERT_TRUE(f2.ok());
+  EXPECT_NEAR(static_cast<double>(f1->mse), static_cast<double>(f2->mse),
+              1e-6);
+  EXPECT_NEAR(f1->model.w, f2->model.w, 1e-12);
+}
+
+TEST(CdfRegressionTest, SingleKeyDegenerates) {
+  auto ks = KeySet::Create({5}, KeyDomain{0, 10});
+  ASSERT_TRUE(ks.ok());
+  auto fit = FitCdfRegression(*ks);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_DOUBLE_EQ(fit->model.w, 0.0);
+  EXPECT_DOUBLE_EQ(fit->model.b, 1.0);
+  EXPECT_DOUBLE_EQ(static_cast<double>(fit->mse), 0.0);
+}
+
+TEST(CdfRegressionTest, EmptyKeysetFails) {
+  auto ks = KeySet::Create({}, KeyDomain{0, 10});
+  ASSERT_TRUE(ks.ok());
+  EXPECT_FALSE(FitCdfRegression(*ks).ok());
+}
+
+TEST(CdfRegressionTest, MismatchedVectorsFail) {
+  EXPECT_FALSE(FitCdfRegression({1, 2}, {1}).ok());
+}
+
+TEST(CdfRegressionTest, TwoPointsFitExactly) {
+  auto fit = FitCdfRegression({3, 9}, {1, 2});
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(static_cast<double>(fit->mse), 0.0, 1e-15);
+  EXPECT_NEAR(fit->model.Predict(3), 1.0, 1e-12);
+  EXPECT_NEAR(fit->model.Predict(9), 2.0, 1e-12);
+}
+
+TEST(CdfRegressionTest, EvaluateMseOfArbitraryModel) {
+  const LinearModel m{0.0, 2.0};  // Constant prediction 2.
+  // Residuals vs ranks {1,2,3}: 1,0,1 -> MSE = 2/3.
+  EXPECT_NEAR(static_cast<double>(EvaluateMse(m, {5, 6, 7}, {1, 2, 3})),
+              2.0 / 3.0, 1e-12);
+}
+
+TEST(LinearModelTest, PredictClamped) {
+  const LinearModel m{1.0, 0.0};
+  EXPECT_EQ(m.PredictClamped(5, 1, 10), 5);
+  EXPECT_EQ(m.PredictClamped(-3, 1, 10), 1);
+  EXPECT_EQ(m.PredictClamped(99, 1, 10), 10);
+}
+
+}  // namespace
+}  // namespace lispoison

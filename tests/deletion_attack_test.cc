@@ -1,0 +1,174 @@
+#include "attack/deletion_attack.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "data/generators.h"
+#include "index/cdf_regression.h"
+
+namespace lispoison {
+namespace {
+
+long double DirectLoss(std::vector<Key> keys) {
+  std::sort(keys.begin(), keys.end());
+  MomentAccumulator acc;
+  Rank r = 1;
+  for (Key k : keys) acc.Add(k, r++);
+  return FitFromMoments(acc).mse;
+}
+
+TEST(DeletionAttackTest, RemovesExactlyDStoredKeys) {
+  Rng rng(1);
+  auto ks = GenerateUniform(100, KeyDomain{0, 999}, &rng);
+  ASSERT_TRUE(ks.ok());
+  auto result = GreedyDeleteCdf(*ks, 10);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->removed_keys.size(), 10u);
+  std::set<Key> unique(result->removed_keys.begin(),
+                       result->removed_keys.end());
+  EXPECT_EQ(unique.size(), 10u);
+  for (Key k : result->removed_keys) EXPECT_TRUE(ks->Contains(k));
+}
+
+TEST(DeletionAttackTest, AttackedLossMatchesRetrain) {
+  Rng rng(2);
+  auto ks = GenerateUniform(80, KeyDomain{0, 799}, &rng);
+  ASSERT_TRUE(ks.ok());
+  auto result = GreedyDeleteCdf(*ks, 8);
+  ASSERT_TRUE(result.ok());
+  std::vector<Key> survivors;
+  std::set<Key> removed(result->removed_keys.begin(),
+                        result->removed_keys.end());
+  for (Key k : ks->keys()) {
+    if (!removed.count(k)) survivors.push_back(k);
+  }
+  EXPECT_NEAR(static_cast<double>(result->attacked_loss),
+              static_cast<double>(DirectLoss(survivors)),
+              1e-6 * std::max(1.0, static_cast<double>(result->attacked_loss)));
+}
+
+TEST(DeletionAttackTest, FirstRemovalIsOptimalAgainstBruteForce) {
+  Rng rng(3);
+  for (int trial = 0; trial < 10; ++trial) {
+    auto ks = GenerateUniform(30, KeyDomain{0, 299}, &rng);
+    ASSERT_TRUE(ks.ok());
+    auto fast = GreedyDeleteCdf(*ks, 1);
+    ASSERT_TRUE(fast.ok());
+    // Brute force: try every single deletion.
+    long double best = 0;
+    for (std::int64_t j = 0; j < ks->size(); ++j) {
+      std::vector<Key> remaining = ks->keys();
+      remaining.erase(remaining.begin() + j);
+      best = std::max(best, DirectLoss(remaining));
+    }
+    EXPECT_NEAR(static_cast<double>(fast->attacked_loss),
+                static_cast<double>(best),
+                1e-9 * std::max(1.0, static_cast<double>(best)))
+        << "trial " << trial;
+  }
+}
+
+TEST(DeletionAttackTest, DeletionIncreasesLoss) {
+  Rng rng(4);
+  auto ks = GenerateUniform(200, KeyDomain{0, 1999}, &rng);
+  ASSERT_TRUE(ks.ok());
+  auto result = GreedyDeleteCdf(*ks, 20);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->RatioLoss(), 1.0);
+}
+
+TEST(DeletionAttackTest, RestrictedDeletableSetHonored) {
+  Rng rng(5);
+  auto ks = GenerateUniform(50, KeyDomain{0, 499}, &rng);
+  ASSERT_TRUE(ks.ok());
+  std::vector<Key> deletable(ks->keys().begin(), ks->keys().begin() + 10);
+  auto result = GreedyDeleteCdf(*ks, 5, deletable);
+  ASSERT_TRUE(result.ok());
+  std::set<Key> allowed(deletable.begin(), deletable.end());
+  for (Key k : result->removed_keys) {
+    EXPECT_TRUE(allowed.count(k)) << k;
+  }
+}
+
+TEST(DeletionAttackTest, BudgetExceedsDeletableFails) {
+  Rng rng(6);
+  auto ks = GenerateUniform(50, KeyDomain{0, 499}, &rng);
+  ASSERT_TRUE(ks.ok());
+  std::vector<Key> deletable(ks->keys().begin(), ks->keys().begin() + 3);
+  EXPECT_EQ(GreedyDeleteCdf(*ks, 5, deletable).status().code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(DeletionAttackTest, Validation) {
+  auto empty = KeySet::Create({}, KeyDomain{0, 10});
+  ASSERT_TRUE(empty.ok());
+  EXPECT_FALSE(GreedyDeleteCdf(*empty, 1).ok());
+  auto tiny = KeySet::Create({1, 2, 3}, KeyDomain{0, 10});
+  ASSERT_TRUE(tiny.ok());
+  EXPECT_FALSE(GreedyDeleteCdf(*tiny, 0).ok());
+  EXPECT_FALSE(GreedyDeleteCdf(*tiny, 2).ok());  // Leaves < 2 keys.
+  EXPECT_FALSE(GreedyDeleteCdf(*tiny, 1, {99}).ok());  // Not stored.
+}
+
+TEST(ModificationAttackTest, MovesPreserveKeyCount) {
+  Rng rng(7);
+  auto ks = GenerateUniform(100, KeyDomain{0, 999}, &rng);
+  ASSERT_TRUE(ks.ok());
+  auto result = GreedyModifyCdf(*ks, 10);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->moves.size(), 10u);
+  for (const auto& [from, to] : result->moves) {
+    EXPECT_NE(from, to);
+  }
+}
+
+TEST(ModificationAttackTest, ModificationIncreasesLoss) {
+  Rng rng(8);
+  auto ks = GenerateUniform(150, KeyDomain{0, 1499}, &rng);
+  ASSERT_TRUE(ks.ok());
+  auto result = GreedyModifyCdf(*ks, 15);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->RatioLoss(), 1.0);
+}
+
+TEST(ModificationAttackTest, ModificationBeatsNothingButCostsNoBudgetGrowth) {
+  // A modification adversary never grows |K|: the defender cannot even
+  // detect a size anomaly. Verify the final loss corresponds to a keyset
+  // of the original size.
+  Rng rng(9);
+  auto ks = GenerateUniform(60, KeyDomain{0, 599}, &rng);
+  ASSERT_TRUE(ks.ok());
+  auto result = GreedyModifyCdf(*ks, 6);
+  ASSERT_TRUE(result.ok());
+  // Replay the moves and retrain.
+  std::vector<Key> keys = ks->keys();
+  for (const auto& [from, to] : result->moves) {
+    keys.erase(std::find(keys.begin(), keys.end(), from));
+    keys.insert(std::lower_bound(keys.begin(), keys.end(), to), to);
+  }
+  EXPECT_EQ(static_cast<std::int64_t>(keys.size()), ks->size());
+  EXPECT_NEAR(static_cast<double>(DirectLoss(keys)),
+              static_cast<double>(result->attacked_loss),
+              1e-6 * std::max(1.0,
+                              static_cast<double>(result->attacked_loss)));
+}
+
+TEST(ModificationAttackTest, Validation) {
+  auto tiny = KeySet::Create({1, 2, 3}, KeyDomain{0, 10});
+  ASSERT_TRUE(tiny.ok());
+  EXPECT_FALSE(GreedyModifyCdf(*tiny, 1).ok());  // Needs >= 4 keys.
+  auto empty = KeySet::Create({}, KeyDomain{0, 10});
+  ASSERT_TRUE(empty.ok());
+  EXPECT_FALSE(GreedyModifyCdf(*empty, 1).ok());
+  auto ok = KeySet::Create({1, 4, 7, 9}, KeyDomain{0, 10});
+  ASSERT_TRUE(ok.ok());
+  EXPECT_FALSE(GreedyModifyCdf(*ok, 0).ok());
+  EXPECT_FALSE(GreedyModifyCdf(*ok, 1, {42}).ok());  // Not stored.
+}
+
+}  // namespace
+}  // namespace lispoison

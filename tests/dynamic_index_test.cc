@@ -1,0 +1,148 @@
+#include "index/dynamic_index.h"
+
+#include <gtest/gtest.h>
+
+#include "attack/greedy_poisoner.h"
+#include "attack/rmi_poisoner.h"
+#include "common/rng.h"
+#include "data/generators.h"
+
+namespace lispoison {
+namespace {
+
+DynamicIndexOptions SmallOptions(double threshold = 0.05) {
+  DynamicIndexOptions opts;
+  opts.rmi.target_model_size = 50;
+  opts.rmi.root_kind = RootModelKind::kOracle;
+  opts.retrain_threshold = threshold;
+  return opts;
+}
+
+TEST(DynamicIndexTest, BuildAndLookup) {
+  Rng rng(1);
+  auto ks = GenerateUniform(1000, KeyDomain{0, 99999}, &rng);
+  ASSERT_TRUE(ks.ok());
+  auto idx = DynamicLearnedIndex::Build(*ks, SmallOptions());
+  ASSERT_TRUE(idx.ok());
+  EXPECT_EQ(idx->size(), 1000);
+  for (std::int64_t i = 0; i < ks->size(); i += 37) {
+    EXPECT_TRUE(idx->Lookup(ks->at(i)).found);
+  }
+  EXPECT_FALSE(idx->Lookup(ks->at(0) == 0 ? 100000 : 0).found ||
+               false);  // Out-of-set key may or may not be stored at 0.
+}
+
+TEST(DynamicIndexTest, InsertedKeysAreFoundBeforeRetrain) {
+  Rng rng(2);
+  auto ks = GenerateUniform(1000, KeyDomain{0, 99999}, &rng);
+  ASSERT_TRUE(ks.ok());
+  auto idx = DynamicLearnedIndex::Build(*ks, SmallOptions(0.5));
+  ASSERT_TRUE(idx.ok());
+  std::vector<Key> added;
+  for (Key k = 0; added.size() < 20 && k < 100000; ++k) {
+    if (!ks->Contains(k)) {
+      ASSERT_TRUE(idx->Insert(k).ok());
+      added.push_back(k);
+    }
+  }
+  EXPECT_EQ(idx->retrain_count(), 0);
+  EXPECT_EQ(idx->buffer_size(), 20);
+  for (Key k : added) EXPECT_TRUE(idx->Lookup(k).found) << k;
+}
+
+TEST(DynamicIndexTest, ThresholdTriggersRetrain) {
+  Rng rng(3);
+  auto ks = GenerateUniform(100, KeyDomain{0, 9999}, &rng);
+  ASSERT_TRUE(ks.ok());
+  auto idx = DynamicLearnedIndex::Build(*ks, SmallOptions(0.05));
+  ASSERT_TRUE(idx.ok());
+  // Threshold = 5 keys; the fifth insert retrains.
+  std::int64_t inserted = 0;
+  for (Key k = 0; inserted < 5 && k < 10000; ++k) {
+    if (!ks->Contains(k)) {
+      ASSERT_TRUE(idx->Insert(k).ok());
+      ++inserted;
+    }
+  }
+  EXPECT_EQ(idx->retrain_count(), 1);
+  EXPECT_EQ(idx->buffer_size(), 0);
+  EXPECT_EQ(idx->size(), 105);
+}
+
+TEST(DynamicIndexTest, DuplicatesRejectedEverywhere) {
+  Rng rng(4);
+  auto ks = GenerateUniform(100, KeyDomain{0, 9999}, &rng);
+  ASSERT_TRUE(ks.ok());
+  auto idx = DynamicLearnedIndex::Build(*ks, SmallOptions(0.5));
+  ASSERT_TRUE(idx.ok());
+  // Duplicate of a base key.
+  EXPECT_EQ(idx->Insert(ks->at(0)).code(), StatusCode::kInvalidArgument);
+  // Duplicate of a buffered key.
+  Key fresh = 0;
+  while (ks->Contains(fresh)) ++fresh;
+  ASSERT_TRUE(idx->Insert(fresh).ok());
+  EXPECT_EQ(idx->Insert(fresh).code(), StatusCode::kInvalidArgument);
+  // Out of domain.
+  EXPECT_EQ(idx->Insert(10000).code(), StatusCode::kOutOfRange);
+}
+
+TEST(DynamicIndexTest, ForceRetrainAbsorbsBuffer) {
+  Rng rng(5);
+  auto ks = GenerateUniform(200, KeyDomain{0, 19999}, &rng);
+  ASSERT_TRUE(ks.ok());
+  auto idx = DynamicLearnedIndex::Build(*ks, SmallOptions(0.5));
+  ASSERT_TRUE(idx.ok());
+  Key fresh = 0;
+  while (ks->Contains(fresh)) ++fresh;
+  ASSERT_TRUE(idx->Insert(fresh).ok());
+  EXPECT_EQ(idx->buffer_size(), 1);
+  ASSERT_TRUE(idx->ForceRetrain().ok());
+  EXPECT_EQ(idx->buffer_size(), 0);
+  EXPECT_EQ(idx->retrain_count(), 1);
+  EXPECT_TRUE(idx->Lookup(fresh).found);
+  // Idempotent on empty buffer.
+  ASSERT_TRUE(idx->ForceRetrain().ok());
+  EXPECT_EQ(idx->retrain_count(), 1);
+}
+
+TEST(DynamicIndexTest, UpdateStreamPoisoningDegradesAfterRetrain) {
+  // The §VI update-path adversary: poison keys arrive as ordinary
+  // inserts among legitimate traffic; after the automatic retrain the
+  // base RMI is trained on the poisoned keyset and its loss jumps.
+  // The adversary must use the RMI-aware attack (Algorithm 2) — a
+  // single-model greedy plan concentrates all keys in one partition and
+  // dilutes across the other second-stage models.
+  Rng rng(6);
+  auto ks = GenerateUniform(2000, KeyDomain{0, 199999}, &rng);
+  ASSERT_TRUE(ks.ok());
+  auto idx = DynamicLearnedIndex::Build(*ks, SmallOptions(0.11));
+  ASSERT_TRUE(idx.ok());
+  const long double clean_loss = idx->BaseRmiLoss();
+
+  // Plan the attack offline against the observable keyset.
+  RmiAttackOptions attack_opts;
+  attack_opts.poison_fraction = 0.10;
+  attack_opts.model_size = 50;
+  auto attack = PoisonRmi(*ks, attack_opts);
+  ASSERT_TRUE(attack.ok());
+  for (Key kp : attack->AllPoisonKeys()) {
+    ASSERT_TRUE(idx->Insert(kp).ok());
+  }
+  ASSERT_TRUE(idx->ForceRetrain().ok());
+  EXPECT_GT(static_cast<double>(idx->BaseRmiLoss()),
+            2.0 * static_cast<double>(clean_loss));
+}
+
+TEST(DynamicIndexTest, Validation) {
+  auto ks = KeySet::Create({1, 2, 3}, KeyDomain{0, 10});
+  ASSERT_TRUE(ks.ok());
+  DynamicIndexOptions opts = SmallOptions();
+  opts.retrain_threshold = 0;
+  EXPECT_FALSE(DynamicLearnedIndex::Build(*ks, opts).ok());
+  auto empty = KeySet::Create({}, KeyDomain{0, 10});
+  ASSERT_TRUE(empty.ok());
+  EXPECT_FALSE(DynamicLearnedIndex::Build(*empty, SmallOptions()).ok());
+}
+
+}  // namespace
+}  // namespace lispoison

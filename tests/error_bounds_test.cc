@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "attack/rmi_poisoner.h"
+#include "common/rng.h"
+#include "data/generators.h"
+#include "index/learned_index.h"
+
+namespace lispoison {
+namespace {
+
+RmiOptions Options(std::int64_t model_size, RootModelKind root) {
+  RmiOptions opts;
+  opts.target_model_size = model_size;
+  opts.root_kind = root;
+  return opts;
+}
+
+TEST(ErrorBoundsTest, WindowContainsEveryTrainedKey) {
+  Rng rng(1);
+  auto ks = GenerateLogNormal(3000, KeyDomain{0, 299999}, &rng);
+  ASSERT_TRUE(ks.ok());
+  auto rmi = Rmi::Train(*ks, Options(100, RootModelKind::kOracle));
+  ASSERT_TRUE(rmi.ok());
+  for (std::int64_t i = 0; i < ks->size(); ++i) {
+    const auto [lo, hi] = rmi->SearchWindow(ks->at(i));
+    ASSERT_LE(lo, i) << "key index " << i;
+    ASSERT_GE(hi, i) << "key index " << i;
+  }
+}
+
+TEST(ErrorBoundsTest, WindowStatsAreConsistent) {
+  Rng rng(2);
+  auto ks = GenerateUniform(2000, KeyDomain{0, 199999}, &rng);
+  ASSERT_TRUE(ks.ok());
+  auto rmi = Rmi::Train(*ks, Options(100, RootModelKind::kOracle));
+  ASSERT_TRUE(rmi.ok());
+  EXPECT_GE(rmi->MaxErrorWindow(), rmi->MeanErrorWindow());
+  EXPECT_GE(rmi->MeanErrorWindow(), 0.0);
+  for (std::int64_t i = 0; i < rmi->num_models(); ++i) {
+    EXPECT_LE(rmi->model(i).err_lo, rmi->model(i).err_hi + 1e-12);
+  }
+}
+
+TEST(ErrorBoundsTest, BoundedLookupFindsEveryKeyOracleRoot) {
+  Rng rng(3);
+  auto ks = GenerateUniform(2500, KeyDomain{0, 249999}, &rng);
+  ASSERT_TRUE(ks.ok());
+  auto idx = LearnedIndex::Build(*ks, Options(125, RootModelKind::kOracle));
+  ASSERT_TRUE(idx.ok());
+  for (std::int64_t i = 0; i < ks->size(); ++i) {
+    const LookupResult r = idx->LookupBounded(ks->at(i));
+    ASSERT_TRUE(r.found) << ks->at(i);
+    ASSERT_EQ(r.position, i);
+  }
+}
+
+TEST(ErrorBoundsTest, BoundedLookupCorrectUnderLearnedRoot) {
+  // A learned root can misroute; LookupBounded must stay correct via
+  // its fallback.
+  Rng rng(4);
+  auto ks = GenerateLogNormal(2000, KeyDomain{0, 499999}, &rng);
+  ASSERT_TRUE(ks.ok());
+  RmiOptions opts = Options(50, RootModelKind::kPiecewiseLinear);
+  opts.root_segments = 32;  // Deliberately coarse: force misrouting.
+  auto idx = LearnedIndex::Build(*ks, opts);
+  ASSERT_TRUE(idx.ok());
+  for (std::int64_t i = 0; i < ks->size(); i += 3) {
+    const LookupResult r = idx->LookupBounded(ks->at(i));
+    ASSERT_TRUE(r.found) << ks->at(i);
+    ASSERT_EQ(r.position, i);
+  }
+  // Missing keys stay missing.
+  for (Key probe = 1; probe < 499999; probe += 9973) {
+    if (ks->Contains(probe)) continue;
+    EXPECT_FALSE(idx->LookupBounded(probe).found) << probe;
+  }
+}
+
+TEST(ErrorBoundsTest, PoisoningInflatesStoredWindows) {
+  // The storage-level mechanism of the attack: the victim's trained
+  // error bounds widen, which directly budgets more last-mile work.
+  Rng rng(5);
+  auto ks = GenerateUniform(3000, KeyDomain{0, 299999}, &rng);
+  ASSERT_TRUE(ks.ok());
+  auto clean = Rmi::Train(*ks, Options(150, RootModelKind::kOracle));
+  ASSERT_TRUE(clean.ok());
+
+  RmiAttackOptions attack_opts;
+  attack_opts.poison_fraction = 0.15;
+  attack_opts.model_size = 150;
+  auto attack = PoisonRmi(*ks, attack_opts);
+  ASSERT_TRUE(attack.ok());
+  auto poisoned_set = ks->Union(attack->AllPoisonKeys());
+  ASSERT_TRUE(poisoned_set.ok());
+  auto poisoned =
+      Rmi::Train(*poisoned_set, Options(172, RootModelKind::kOracle));
+  ASSERT_TRUE(poisoned.ok());
+  EXPECT_GT(poisoned->MeanErrorWindow(), clean->MeanErrorWindow());
+}
+
+TEST(ErrorBoundsTest, BoundedBeatsExponentialOnCleanData) {
+  Rng rng(6);
+  auto ks = GenerateUniform(4000, KeyDomain{0, 399999}, &rng);
+  ASSERT_TRUE(ks.ok());
+  auto idx = LearnedIndex::Build(*ks, Options(200, RootModelKind::kOracle));
+  ASSERT_TRUE(idx.ok());
+  std::int64_t bounded = 0, exponential = 0;
+  for (std::int64_t i = 0; i < ks->size(); i += 5) {
+    bounded += idx->LookupBounded(ks->at(i)).probes;
+    exponential += idx->Lookup(ks->at(i)).probes;
+  }
+  // Bounded search should not be substantially worse; typically better.
+  EXPECT_LT(bounded, exponential * 2);
+}
+
+}  // namespace
+}  // namespace lispoison

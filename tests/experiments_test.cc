@@ -1,0 +1,114 @@
+#include "eval/experiments.h"
+
+#include <gtest/gtest.h>
+
+namespace lispoison {
+namespace {
+
+TEST(LinearGridTest, TinyGridShapeAndMonotonicity) {
+  LinearGridConfig config;
+  config.key_counts = {100};
+  config.densities = {0.2};
+  config.poison_pcts = {2, 10};
+  config.trials = 5;
+  config.seed = 7;
+  auto cells = RunLinearPoisonGrid(config);
+  ASSERT_TRUE(cells.ok());
+  ASSERT_EQ(cells->size(), 2u);
+  const auto& low = (*cells)[0];
+  const auto& high = (*cells)[1];
+  EXPECT_EQ(low.keys, 100);
+  EXPECT_EQ(low.key_domain, 500);
+  EXPECT_DOUBLE_EQ(low.poison_pct, 2);
+  // More poisoning -> larger median ratio loss.
+  EXPECT_GT(high.ratio_loss.median, low.ratio_loss.median);
+  EXPECT_GE(low.ratio_loss.median, 1.0);
+}
+
+TEST(LinearGridTest, NormalDistributionRuns) {
+  LinearGridConfig config;
+  config.key_counts = {100};
+  config.densities = {0.5};
+  config.poison_pcts = {10};
+  config.trials = 3;
+  config.distribution = KeyDistribution::kNormal;
+  auto cells = RunLinearPoisonGrid(config);
+  ASSERT_TRUE(cells.ok());
+  EXPECT_EQ(cells->size(), 1u);
+  EXPECT_GT((*cells)[0].ratio_loss.median, 1.0);
+}
+
+TEST(LinearGridTest, Validation) {
+  LinearGridConfig config;
+  config.trials = 0;
+  EXPECT_FALSE(RunLinearPoisonGrid(config).ok());
+
+  config = LinearGridConfig{};
+  config.key_counts = {100};
+  config.densities = {1.5};
+  config.poison_pcts = {10};
+  config.trials = 1;
+  EXPECT_FALSE(RunLinearPoisonGrid(config).ok());
+
+  config = LinearGridConfig{};
+  config.key_counts = {10};
+  config.densities = {0.5};
+  config.poison_pcts = {1};  // floor(10 * 0.01) = 0 keys.
+  config.trials = 1;
+  EXPECT_FALSE(RunLinearPoisonGrid(config).ok());
+}
+
+TEST(RmiSyntheticTest, TinyPanelRuns) {
+  RmiSyntheticConfig config;
+  config.keys = 1000;
+  config.model_size = 100;
+  config.key_domain = 100000;
+  config.poison_pcts = {1, 10};
+  config.alphas = {2};
+  config.seed = 11;
+  auto cells = RunRmiSynthetic(config);
+  ASSERT_TRUE(cells.ok());
+  ASSERT_EQ(cells->size(), 2u);
+  EXPECT_LT((*cells)[0].rmi_ratio, (*cells)[1].rmi_ratio);
+  EXPECT_GT((*cells)[1].rmi_ratio, 1.0);
+}
+
+TEST(RmiSyntheticTest, LogNormalPanelRuns) {
+  RmiSyntheticConfig config;
+  config.keys = 1000;
+  config.model_size = 100;
+  config.key_domain = 100000;
+  config.poison_pcts = {10};
+  config.alphas = {3};
+  config.distribution = KeyDistribution::kLogNormal;
+  auto cells = RunRmiSynthetic(config);
+  ASSERT_TRUE(cells.ok());
+  EXPECT_GT((*cells)[0].rmi_ratio, 1.0);
+}
+
+TEST(RmiRealTest, MiamiPanelScaledRuns) {
+  RmiRealConfig config;
+  config.dataset = RealDataset::kMiamiSalaries;
+  config.n_override = 1000;
+  config.model_size = 50;
+  config.poison_pcts = {5, 20};
+  auto cells = RunRmiReal(config);
+  ASSERT_TRUE(cells.ok());
+  ASSERT_EQ(cells->size(), 2u);
+  EXPECT_GT((*cells)[1].rmi_ratio, (*cells)[0].rmi_ratio * 0.8);
+  EXPECT_GT((*cells)[1].rmi_ratio, 1.0);
+}
+
+TEST(RmiRealTest, OsmPanelScaledRuns) {
+  RmiRealConfig config;
+  config.dataset = RealDataset::kOsmLatitudes;
+  config.n_override = 2000;
+  config.model_size = 100;
+  config.poison_pcts = {10};
+  auto cells = RunRmiReal(config);
+  ASSERT_TRUE(cells.ok());
+  EXPECT_GT((*cells)[0].rmi_ratio, 1.0);
+}
+
+}  // namespace
+}  // namespace lispoison

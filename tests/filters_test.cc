@@ -1,0 +1,81 @@
+#include "defense/filters.h"
+
+#include <gtest/gtest.h>
+
+#include "attack/greedy_poisoner.h"
+#include "common/rng.h"
+#include "data/generators.h"
+
+namespace lispoison {
+namespace {
+
+TEST(RangeFilterTest, RemovesOutOfRange) {
+  std::vector<Key> keys{1, 5, 10, 15, 20};
+  const auto removed = RangeFilter(&keys, 5, 15);
+  EXPECT_EQ(removed, (std::vector<Key>{1, 20}));
+  EXPECT_EQ(keys, (std::vector<Key>{5, 10, 15}));
+}
+
+TEST(RangeFilterTest, NoOpWhenAllInside) {
+  std::vector<Key> keys{5, 10};
+  EXPECT_TRUE(RangeFilter(&keys, 0, 100).empty());
+  EXPECT_EQ(keys.size(), 2u);
+}
+
+TEST(IqrFilterTest, RemovesFarOutliers) {
+  std::vector<Key> keys{10, 11, 12, 13, 14, 15, 16, 17, 18, 1000};
+  const auto removed = IqrOutlierFilter(&keys, 1.5);
+  ASSERT_EQ(removed.size(), 1u);
+  EXPECT_EQ(removed[0], 1000);
+}
+
+TEST(IqrFilterTest, SmallInputsUntouched) {
+  std::vector<Key> keys{1, 100, 10000};
+  EXPECT_TRUE(IqrOutlierFilter(&keys).empty());
+  EXPECT_EQ(keys.size(), 3u);
+}
+
+TEST(InteriorPoisoningEvadesFilters, RangeAndIqrSeeNothing) {
+  // The central claim the attack design makes: poisons placed strictly
+  // inside the legitimate range are invisible to range and IQR filters.
+  Rng rng(1);
+  auto ks = GenerateUniform(150, KeyDomain{0, 1499}, &rng);
+  ASSERT_TRUE(ks.ok());
+  auto attack = GreedyPoisonCdf(*ks, 15);
+  ASSERT_TRUE(attack.ok());
+  auto poisoned = ApplyPoison(*ks, attack->poison_keys);
+  ASSERT_TRUE(poisoned.ok());
+
+  std::vector<Key> keys = poisoned->keys();
+  const auto range_removed =
+      RangeFilter(&keys, ks->keys().front(), ks->keys().back());
+  EXPECT_TRUE(range_removed.empty());
+  const auto iqr_removed = IqrOutlierFilter(&keys, 1.5);
+  for (Key k : iqr_removed) {
+    // Whatever IQR removes (if anything) must not be poison: poisons sit
+    // in the dense bulk by construction.
+    for (Key kp : attack->poison_keys) EXPECT_NE(k, kp);
+  }
+}
+
+TEST(DensitySpikeFilterTest, FlagsDenseWindow) {
+  // 50 keys crowded into one window plus 50 spread out.
+  std::vector<Key> keys;
+  for (Key k = 0; k < 50; ++k) keys.push_back(k);           // Window 0.
+  for (Key k = 0; k < 50; ++k) keys.push_back(1000 + k * 90);  // Spread.
+  const auto removed =
+      DensitySpikeFilter(&keys, KeyDomain{0, 5499}, 10, 3.0);
+  EXPECT_GE(removed.size(), 45u);  // The crowded window gets flagged.
+  for (Key k : removed) EXPECT_LT(k, 550);
+}
+
+TEST(DensitySpikeFilterTest, DegenerateInputs) {
+  std::vector<Key> empty;
+  EXPECT_TRUE(DensitySpikeFilter(&empty, KeyDomain{0, 9}, 4, 2.0).empty());
+  std::vector<Key> keys{1, 2};
+  EXPECT_TRUE(DensitySpikeFilter(&keys, KeyDomain{0, 9}, 0, 2.0).empty());
+  EXPECT_EQ(keys.size(), 2u);
+}
+
+}  // namespace
+}  // namespace lispoison

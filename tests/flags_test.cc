@@ -1,0 +1,84 @@
+#include "common/flags.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace lispoison {
+namespace {
+
+FlagParser Parse(std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  std::vector<char*> argv;
+  for (const char* a : args) argv.push_back(const_cast<char*>(a));
+  return FlagParser(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(FlagsTest, EqualsSyntax) {
+  auto f = Parse({"--keys=500", "--pct=12.5", "--name=uniform"});
+  EXPECT_EQ(f.GetInt("keys", 0), 500);
+  EXPECT_DOUBLE_EQ(f.GetDouble("pct", 0), 12.5);
+  EXPECT_EQ(f.GetString("name"), "uniform");
+}
+
+TEST(FlagsTest, SpaceSyntax) {
+  auto f = Parse({"--keys", "42", "--label", "abc"});
+  EXPECT_EQ(f.GetInt("keys", 0), 42);
+  EXPECT_EQ(f.GetString("label"), "abc");
+}
+
+TEST(FlagsTest, DefaultsWhenMissing) {
+  auto f = Parse({});
+  EXPECT_EQ(f.GetInt("keys", 77), 77);
+  EXPECT_DOUBLE_EQ(f.GetDouble("pct", 1.5), 1.5);
+  EXPECT_EQ(f.GetString("name", "def"), "def");
+  EXPECT_FALSE(f.GetBool("full"));
+  EXPECT_FALSE(f.Has("keys"));
+}
+
+TEST(FlagsTest, BooleanForms) {
+  auto f = Parse({"--full", "--csv=true", "--quiet=false", "--deep=1"});
+  EXPECT_TRUE(f.GetBool("full"));
+  EXPECT_TRUE(f.GetBool("csv"));
+  EXPECT_FALSE(f.GetBool("quiet"));
+  EXPECT_TRUE(f.GetBool("deep"));
+}
+
+TEST(FlagsTest, BareFlagFollowedByFlag) {
+  auto f = Parse({"--full", "--keys=3"});
+  EXPECT_TRUE(f.GetBool("full"));
+  EXPECT_EQ(f.GetInt("keys", 0), 3);
+}
+
+TEST(FlagsTest, PositionalArguments) {
+  auto f = Parse({"input.csv", "--keys=1", "output.csv"});
+  ASSERT_EQ(f.positional().size(), 2u);
+  EXPECT_EQ(f.positional()[0], "input.csv");
+  EXPECT_EQ(f.positional()[1], "output.csv");
+}
+
+TEST(FlagsTest, IntList) {
+  auto f = Parse({"--sizes=50,100,200"});
+  const auto v = f.GetIntList("sizes", {});
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], 50);
+  EXPECT_EQ(v[2], 200);
+  const auto def = f.GetIntList("missing", {7});
+  ASSERT_EQ(def.size(), 1u);
+  EXPECT_EQ(def[0], 7);
+}
+
+TEST(FlagsTest, DoubleList) {
+  auto f = Parse({"--pcts=1,5.5,10"});
+  const auto v = f.GetDoubleList("pcts", {});
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_DOUBLE_EQ(v[1], 5.5);
+}
+
+TEST(FlagsTest, ProgramName) {
+  auto f = Parse({});
+  EXPECT_EQ(f.program(), "prog");
+}
+
+}  // namespace
+}  // namespace lispoison

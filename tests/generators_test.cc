@@ -1,0 +1,154 @@
+#include "data/generators.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace lispoison {
+namespace {
+
+TEST(GenerateUniformTest, SizeAndDomain) {
+  Rng rng(1);
+  auto ks = GenerateUniform(100, KeyDomain{0, 999}, &rng);
+  ASSERT_TRUE(ks.ok());
+  EXPECT_EQ(ks->size(), 100);
+  EXPECT_GE(ks->keys().front(), 0);
+  EXPECT_LE(ks->keys().back(), 999);
+}
+
+TEST(GenerateUniformTest, DensePathProducesUniqueKeys) {
+  Rng rng(2);
+  // 80% density forces the complement-sampling path.
+  auto ks = GenerateUniform(800, KeyDomain{0, 999}, &rng);
+  ASSERT_TRUE(ks.ok());
+  EXPECT_EQ(ks->size(), 800);
+  EXPECT_NEAR(ks->density(), 0.8, 1e-9);
+}
+
+TEST(GenerateUniformTest, FullDomain) {
+  Rng rng(3);
+  auto ks = GenerateUniform(10, KeyDomain{5, 14}, &rng);
+  ASSERT_TRUE(ks.ok());
+  EXPECT_EQ(ks->size(), 10);
+  EXPECT_EQ(ks->keys().front(), 5);
+  EXPECT_EQ(ks->keys().back(), 14);
+}
+
+TEST(GenerateUniformTest, RejectsOverfullRequest) {
+  Rng rng(4);
+  auto ks = GenerateUniform(11, KeyDomain{0, 9}, &rng);
+  EXPECT_EQ(ks.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(GenerateUniformTest, ZeroKeysIsEmpty) {
+  Rng rng(5);
+  auto ks = GenerateUniform(0, KeyDomain{0, 9}, &rng);
+  ASSERT_TRUE(ks.ok());
+  EXPECT_TRUE(ks->empty());
+}
+
+TEST(GenerateUniformTest, RoughlyUniformSpread) {
+  Rng rng(6);
+  auto ks = GenerateUniform(10000, KeyDomain{0, 99999}, &rng);
+  ASSERT_TRUE(ks.ok());
+  // Mean of uniform keys should be near the domain midpoint.
+  long double sum = 0;
+  for (Key k : ks->keys()) sum += k;
+  const double mean = static_cast<double>(sum / ks->size());
+  EXPECT_NEAR(mean, 50000.0, 1500.0);
+}
+
+TEST(GenerateLogNormalTest, SkewsLow) {
+  Rng rng(7);
+  auto ks = GenerateLogNormal(2000, KeyDomain{0, 999999}, &rng);
+  ASSERT_TRUE(ks.ok());
+  EXPECT_EQ(ks->size(), 2000);
+  // Log-normal(0,2) mass concentrates near the low end of the domain:
+  // the median key must sit far below the midpoint.
+  const Key median = ks->at(ks->size() / 2);
+  EXPECT_LT(median, 200000);
+}
+
+TEST(GenerateLogNormalTest, ParameterValidation) {
+  Rng rng(8);
+  EXPECT_FALSE(GenerateLogNormal(10, KeyDomain{0, 99}, &rng, 0.0, -1.0).ok());
+  EXPECT_FALSE(
+      GenerateLogNormal(10, KeyDomain{0, 99}, &rng, 0.0, 2.0, 1.5).ok());
+}
+
+TEST(GenerateNormalTest, CentersOnDomainMidpoint) {
+  Rng rng(9);
+  auto ks = GenerateNormal(5000, KeyDomain{0, 99999}, &rng);
+  ASSERT_TRUE(ks.ok());
+  long double sum = 0;
+  for (Key k : ks->keys()) sum += k;
+  const double mean = static_cast<double>(sum / ks->size());
+  EXPECT_NEAR(mean, 50000.0, 3000.0);
+}
+
+TEST(GenerateNormalTest, WithinDomain) {
+  Rng rng(10);
+  auto ks = GenerateNormal(1000, KeyDomain{100, 1099}, &rng);
+  ASSERT_TRUE(ks.ok());
+  EXPECT_GE(ks->keys().front(), 100);
+  EXPECT_LE(ks->keys().back(), 1099);
+}
+
+TEST(GenerateClusteredTest, MassFollowsClusters) {
+  Rng rng(11);
+  const std::vector<ClusterSpec> clusters = {
+      {0.2, 0.02, 1.0},
+      {0.8, 0.02, 1.0},
+  };
+  auto ks = GenerateClustered(2000, KeyDomain{0, 99999}, clusters, &rng);
+  ASSERT_TRUE(ks.ok());
+  // Almost no keys should fall near the middle (0.45..0.55 band).
+  std::int64_t mid = 0;
+  for (Key k : ks->keys()) {
+    if (k > 45000 && k < 55000) ++mid;
+  }
+  EXPECT_LT(mid, 40);
+}
+
+TEST(GenerateClusteredTest, Validation) {
+  Rng rng(12);
+  EXPECT_FALSE(GenerateClustered(10, KeyDomain{0, 99}, {}, &rng).ok());
+  EXPECT_FALSE(GenerateClustered(10, KeyDomain{0, 99},
+                                 {{0.5, 0.0, 1.0}}, &rng)
+                   .ok());
+  EXPECT_FALSE(GenerateClustered(10, KeyDomain{0, 99},
+                                 {{0.5, 0.1, 0.0}}, &rng)
+                   .ok());
+}
+
+TEST(GenerateEvenlySpacedTest, LinearCdf) {
+  auto ks = GenerateEvenlySpaced(11, KeyDomain{0, 100});
+  ASSERT_TRUE(ks.ok());
+  EXPECT_EQ(ks->size(), 11);
+  EXPECT_EQ(ks->keys().front(), 0);
+  EXPECT_EQ(ks->keys().back(), 100);
+  // Consecutive gaps all equal 10.
+  for (std::int64_t i = 1; i < ks->size(); ++i) {
+    EXPECT_EQ(ks->at(i) - ks->at(i - 1), 10);
+  }
+}
+
+TEST(GenerateEvenlySpacedTest, SingleKey) {
+  auto ks = GenerateEvenlySpaced(1, KeyDomain{7, 100});
+  ASSERT_TRUE(ks.ok());
+  EXPECT_EQ(ks->at(0), 7);
+}
+
+TEST(GeneratorDeterminismTest, SameSeedSameKeys) {
+  Rng a(99), b(99);
+  auto ka = GenerateUniform(500, KeyDomain{0, 9999}, &a);
+  auto kb = GenerateUniform(500, KeyDomain{0, 9999}, &b);
+  ASSERT_TRUE(ka.ok());
+  ASSERT_TRUE(kb.ok());
+  EXPECT_EQ(ka->keys(), kb->keys());
+}
+
+}  // namespace
+}  // namespace lispoison

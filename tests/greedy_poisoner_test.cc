@@ -1,0 +1,156 @@
+#include "attack/greedy_poisoner.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "data/generators.h"
+#include "index/cdf_regression.h"
+
+namespace lispoison {
+namespace {
+
+TEST(GreedyPoisonerTest, ProducesExactlyPKeys) {
+  Rng rng(1);
+  auto ks = GenerateUniform(90, KeyDomain{0, 499}, &rng);
+  ASSERT_TRUE(ks.ok());
+  auto result = GreedyPoisonCdf(*ks, 10);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->poison_keys.size(), 10u);
+  EXPECT_EQ(result->loss_trajectory.size(), 10u);
+}
+
+TEST(GreedyPoisonerTest, PoisonKeysDisjointFromLegitimate) {
+  Rng rng(2);
+  auto ks = GenerateUniform(100, KeyDomain{0, 999}, &rng);
+  ASSERT_TRUE(ks.ok());
+  auto result = GreedyPoisonCdf(*ks, 15);
+  ASSERT_TRUE(result.ok());
+  std::set<Key> unique(result->poison_keys.begin(),
+                       result->poison_keys.end());
+  EXPECT_EQ(unique.size(), result->poison_keys.size());
+  for (Key kp : result->poison_keys) {
+    EXPECT_FALSE(ks->Contains(kp));
+    EXPECT_GT(kp, ks->keys().front());
+    EXPECT_LT(kp, ks->keys().back());
+  }
+}
+
+TEST(GreedyPoisonerTest, PoisonedLossMatchesRetrainedModel) {
+  Rng rng(3);
+  auto ks = GenerateUniform(80, KeyDomain{0, 799}, &rng);
+  ASSERT_TRUE(ks.ok());
+  auto result = GreedyPoisonCdf(*ks, 8);
+  ASSERT_TRUE(result.ok());
+  auto poisoned = ApplyPoison(*ks, result->poison_keys);
+  ASSERT_TRUE(poisoned.ok());
+  auto fit = FitCdfRegression(*poisoned);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(static_cast<double>(result->poisoned_loss),
+              static_cast<double>(fit->mse),
+              1e-7 * static_cast<double>(fit->mse));
+}
+
+TEST(GreedyPoisonerTest, RatioGrowsWithBudget) {
+  Rng rng(4);
+  auto ks = GenerateUniform(200, KeyDomain{0, 1999}, &rng);
+  ASSERT_TRUE(ks.ok());
+  double prev_ratio = 1.0;
+  for (std::int64_t p : {2, 6, 12, 24}) {
+    auto result = GreedyPoisonCdf(*ks, p);
+    ASSERT_TRUE(result.ok());
+    EXPECT_GE(result->RatioLoss(), prev_ratio - 1e-9);
+    prev_ratio = result->RatioLoss();
+  }
+  EXPECT_GT(prev_ratio, 2.0);  // 12% poisoning must at least double MSE.
+}
+
+TEST(GreedyPoisonerTest, TrajectoryIsMonotoneNondecreasing) {
+  // Each greedy round maximizes the new loss; adding a key the attacker
+  // chose can only have been picked because it increased the loss, and
+  // experimentally the trajectory is monotone on uniform data.
+  Rng rng(5);
+  auto ks = GenerateUniform(100, KeyDomain{0, 999}, &rng);
+  ASSERT_TRUE(ks.ok());
+  auto result = GreedyPoisonCdf(*ks, 12);
+  ASSERT_TRUE(result.ok());
+  for (std::size_t i = 1; i < result->loss_trajectory.size(); ++i) {
+    EXPECT_GE(static_cast<double>(result->loss_trajectory[i]),
+              static_cast<double>(result->loss_trajectory[i - 1]) * 0.999);
+  }
+}
+
+TEST(GreedyPoisonerTest, Fig4ScenarioAchievesPaperMagnitude) {
+  // Fig. 4: 10 poisoning keys on 90 uniform keys increased the error
+  // 7.4x. Averaged over seeds our greedy attack must land in the same
+  // regime (>= 3x, typically 5-10x).
+  Rng rng(6);
+  double total_ratio = 0;
+  const int trials = 10;
+  for (int t = 0; t < trials; ++t) {
+    auto ks = GenerateUniform(90, KeyDomain{0, 449}, &rng);
+    ASSERT_TRUE(ks.ok());
+    auto result = GreedyPoisonCdf(*ks, 10);
+    ASSERT_TRUE(result.ok());
+    total_ratio += result->RatioLoss();
+  }
+  EXPECT_GT(total_ratio / trials, 3.0);
+}
+
+TEST(GreedyPoisonerTest, BudgetValidation) {
+  auto ks = KeySet::Create({1, 5, 9}, KeyDomain{0, 10});
+  ASSERT_TRUE(ks.ok());
+  EXPECT_FALSE(GreedyPoisonCdf(*ks, 0).ok());
+  EXPECT_FALSE(GreedyPoisonCdf(*ks, -3).ok());
+  auto empty = KeySet::Create({}, KeyDomain{0, 10});
+  ASSERT_TRUE(empty.ok());
+  EXPECT_FALSE(GreedyPoisonCdf(*empty, 1).ok());
+}
+
+TEST(GreedyPoisonerTest, SaturatedInteriorFailsCleanly) {
+  // Interior of {4,5,6,7} is fully occupied.
+  auto ks = KeySet::Create({4, 5, 6, 7}, KeyDomain{0, 20});
+  ASSERT_TRUE(ks.ok());
+  EXPECT_EQ(GreedyPoisonCdf(*ks, 1).status().code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(GreedyPoisonerTest, PartialSaturationReportsProgress) {
+  // Interior of {4, 8} has 3 free keys; p=5 must fail after 3.
+  auto ks = KeySet::Create({4, 8}, KeyDomain{0, 20});
+  ASSERT_TRUE(ks.ok());
+  auto result = GreedyPoisonCdf(*ks, 5);
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(result.status().message().find("3 of 5"), std::string::npos);
+}
+
+TEST(GreedyPoisonerTest, PoisonsClusterInDenseRegions) {
+  // Build a keyset with a dense left half and sparse right half; the
+  // paper observes greedy poisons cluster where keys are dense, to
+  // exacerbate the CDF's non-linearity.
+  std::vector<Key> keys;
+  for (Key k = 0; k < 60; ++k) keys.push_back(k * 2);       // Dense half.
+  for (Key k = 0; k < 10; ++k) keys.push_back(200 + k * 40);  // Sparse half.
+  auto ks = KeySet::Create(std::move(keys), KeyDomain{0, 600});
+  ASSERT_TRUE(ks.ok());
+  auto result = GreedyPoisonCdf(*ks, 8);
+  ASSERT_TRUE(result.ok());
+  std::int64_t dense_side = 0;
+  for (Key kp : result->poison_keys) {
+    if (kp < 150) ++dense_side;
+  }
+  EXPECT_GE(dense_side, 6);
+}
+
+TEST(ApplyPoisonTest, UnionProducesPoisonedKeyset) {
+  auto ks = KeySet::Create({10, 30}, KeyDomain{0, 50});
+  ASSERT_TRUE(ks.ok());
+  auto poisoned = ApplyPoison(*ks, {20});
+  ASSERT_TRUE(poisoned.ok());
+  EXPECT_EQ(poisoned->size(), 3);
+  EXPECT_TRUE(poisoned->Contains(20));
+}
+
+}  // namespace
+}  // namespace lispoison

@@ -1,0 +1,159 @@
+// End-to-end integration tests spanning data generation, attack,
+// index construction, lookup, and defense — the full pipeline a
+// downstream user of the library would run.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "attack/greedy_poisoner.h"
+#include "attack/rmi_poisoner.h"
+#include "common/rng.h"
+#include "data/generators.h"
+#include "data/surrogates.h"
+#include "defense/trim.h"
+#include "eval/experiments.h"
+#include "index/btree.h"
+#include "index/learned_index.h"
+
+namespace lispoison {
+namespace {
+
+TEST(IntegrationTest, FullPipelineUniform) {
+  // Generate -> attack -> victim trains on poisoned data -> all lookups
+  // still succeed but cost more -> B+Tree is unaffected.
+  Rng rng(1);
+  auto ks = GenerateUniform(3000, KeyDomain{0, 299999}, &rng);
+  ASSERT_TRUE(ks.ok());
+
+  RmiAttackOptions attack_opts;
+  attack_opts.poison_fraction = 0.10;
+  attack_opts.model_size = 150;
+  auto attack = PoisonRmi(*ks, attack_opts);
+  ASSERT_TRUE(attack.ok());
+
+  auto poisoned = ks->Union(attack->AllPoisonKeys());
+  ASSERT_TRUE(poisoned.ok());
+
+  RmiOptions idx_opts;
+  idx_opts.target_model_size = 165;  // (n + p) / N keeps N models.
+  idx_opts.root_kind = RootModelKind::kOracle;
+  auto clean_idx = LearnedIndex::Build(*ks, idx_opts);
+  auto poisoned_idx = LearnedIndex::Build(*poisoned, idx_opts);
+  ASSERT_TRUE(clean_idx.ok());
+  ASSERT_TRUE(poisoned_idx.ok());
+
+  // Correctness: every legitimate key is still found after poisoning.
+  for (std::int64_t i = 0; i < ks->size(); i += 17) {
+    EXPECT_TRUE(poisoned_idx->Lookup(ks->at(i)).found);
+  }
+
+  // Cost: poisoned index does more last-mile work per lookup.
+  const LookupStats clean_stats = clean_idx->ProfileAllKeys();
+  const LookupStats poisoned_stats = poisoned_idx->ProfileAllKeys();
+  EXPECT_GT(poisoned_stats.MeanAbsError(), clean_stats.MeanAbsError());
+
+  // Control: B+Tree lookup cost is oblivious to the poisoning.
+  auto clean_tree = BPlusTree::Build(*ks, 64);
+  auto poisoned_tree = BPlusTree::Build(*poisoned, 64);
+  ASSERT_TRUE(clean_tree.ok());
+  ASSERT_TRUE(poisoned_tree.ok());
+  EXPECT_EQ(clean_tree->height(), poisoned_tree->height());
+}
+
+TEST(IntegrationTest, SurrogatePipelineMiami) {
+  Rng rng(2);
+  auto ks = MakeMiamiSalariesSurrogate(&rng, 1500);
+  ASSERT_TRUE(ks.ok());
+  RmiAttackOptions opts;
+  opts.poison_fraction = 0.20;
+  opts.model_size = 50;
+  opts.alpha = 3.0;
+  auto attack = PoisonRmi(*ks, opts);
+  ASSERT_TRUE(attack.ok());
+  // Fig. 7 regime: RMI error grows by at least ~2x at 20% poisoning.
+  EXPECT_GT(attack->rmi_ratio_loss, 2.0);
+}
+
+TEST(IntegrationTest, DefenseRecoversSomeLossButHurtsLegitKeys) {
+  Rng rng(3);
+  auto ks = GenerateUniform(400, KeyDomain{0, 3999}, &rng);
+  ASSERT_TRUE(ks.ok());
+  auto attack = GreedyPoisonCdf(*ks, 40);
+  ASSERT_TRUE(attack.ok());
+  auto poisoned = ApplyPoison(*ks, attack->poison_keys);
+  ASSERT_TRUE(poisoned.ok());
+
+  TrimOptions trim_opts;
+  trim_opts.assumed_poison_fraction = 40.0 / 440.0;
+  auto defense = TrimDefense(*poisoned, trim_opts);
+  ASSERT_TRUE(defense.ok());
+
+  // TRIM reduces the training loss relative to the poisoned fit...
+  EXPECT_LT(static_cast<double>(defense->trimmed_loss),
+            static_cast<double>(attack->poisoned_loss));
+  // ...but pays for it: the kept set is smaller than K, so either some
+  // legitimate keys were removed or some poisons survive.
+  const DefenseQuality q =
+      ScoreDefense(defense->removed_keys, attack->poison_keys);
+  EXPECT_TRUE(q.false_positives > 0 || q.false_negatives > 0);
+}
+
+TEST(IntegrationTest, ExperimentRunnerEndToEnd) {
+  // Drive the Fig. 5 runner at miniature scale and sanity-check the
+  // qualitative claims of the paper hold even there.
+  LinearGridConfig config;
+  config.key_counts = {100, 300};
+  config.densities = {0.2, 0.8};
+  config.poison_pcts = {6, 14};
+  config.trials = 4;
+  config.seed = 99;
+  auto cells = RunLinearPoisonGrid(config);
+  ASSERT_TRUE(cells.ok());
+  ASSERT_EQ(cells->size(), 8u);
+  // Claim 1: for fixed n and density, ratio grows with poisoning %.
+  for (std::size_t i = 0; i + 1 < cells->size(); i += 2) {
+    EXPECT_GE((*cells)[i + 1].ratio_loss.median,
+              (*cells)[i].ratio_loss.median * 0.7)
+        << "cell " << i;
+  }
+  // Claim 2: lower density (more candidate keys) allows more damage:
+  // compare density 0.2 vs 0.8 at 14% for each n.
+  for (std::size_t base : {0u, 4u}) {
+    const auto& sparse = (*cells)[base + 1];     // d=0.2, pct=14.
+    const auto& dense = (*cells)[base + 3];      // d=0.8, pct=14.
+    EXPECT_GT(sparse.ratio_loss.median, dense.ratio_loss.median * 0.5);
+  }
+}
+
+TEST(IntegrationTest, LookupDegradationTracksRatioLoss) {
+  // The implementation-independent Ratio Loss must translate into real
+  // extra probes on the learned index (the paper's motivation for the
+  // metric).
+  Rng rng(4);
+  auto ks = GenerateUniform(4000, KeyDomain{0, 399999}, &rng);
+  ASSERT_TRUE(ks.ok());
+
+  RmiOptions idx_opts;
+  idx_opts.target_model_size = 200;
+  idx_opts.root_kind = RootModelKind::kOracle;
+  auto clean_idx = LearnedIndex::Build(*ks, idx_opts);
+  ASSERT_TRUE(clean_idx.ok());
+  const double clean_probes = clean_idx->ProfileAllKeys().MeanProbes();
+
+  RmiAttackOptions attack_opts;
+  attack_opts.poison_fraction = 0.15;
+  attack_opts.model_size = 200;
+  auto attack = PoisonRmi(*ks, attack_opts);
+  ASSERT_TRUE(attack.ok());
+  auto poisoned = ks->Union(attack->AllPoisonKeys());
+  ASSERT_TRUE(poisoned.ok());
+  auto poisoned_idx = LearnedIndex::Build(*poisoned, idx_opts);
+  ASSERT_TRUE(poisoned_idx.ok());
+  const double poisoned_probes =
+      poisoned_idx->ProfileAllKeys().MeanProbes();
+  EXPECT_GT(poisoned_probes, clean_probes);
+}
+
+}  // namespace
+}  // namespace lispoison

@@ -1,0 +1,65 @@
+#include "data/io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+namespace lispoison {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+TEST(IoTest, SaveLoadRoundTrip) {
+  auto ks = KeySet::Create({3, 1, 4, 15, 9}, KeyDomain{0, 20});
+  ASSERT_TRUE(ks.ok());
+  const std::string path = TempPath("roundtrip.keys");
+  ASSERT_TRUE(SaveKeys(*ks, path).ok());
+  auto loaded = LoadKeys(path, KeyDomain{0, 20});
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->keys(), ks->keys());
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, LoadDerivesTightDomain) {
+  const std::string path = TempPath("tight.keys");
+  {
+    std::ofstream out(path);
+    out << "# comment\n5\n2\n\n8\n";
+  }
+  auto loaded = LoadKeys(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->domain().lo, 2);
+  EXPECT_EQ(loaded->domain().hi, 8);
+  EXPECT_EQ(loaded->size(), 3);
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, LoadMissingFileFails) {
+  auto loaded = LoadKeys(TempPath("does_not_exist.keys"));
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIOError);
+}
+
+TEST(IoTest, LoadRejectsGarbageLine) {
+  const std::string path = TempPath("garbage.keys");
+  {
+    std::ofstream out(path);
+    out << "12\nnot_a_number\n";
+  }
+  auto loaded = LoadKeys(path);
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIOError);
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, SaveToUnwritablePathFails) {
+  auto ks = KeySet::Create({1}, KeyDomain{0, 5});
+  ASSERT_TRUE(ks.ok());
+  EXPECT_EQ(SaveKeys(*ks, "/nonexistent_dir_xyz/file.keys").code(),
+            StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace lispoison

@@ -1,0 +1,143 @@
+#include "data/keyset.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace lispoison {
+namespace {
+
+TEST(KeyDomainTest, SizeAndContains) {
+  KeyDomain d{10, 19};
+  EXPECT_EQ(d.size(), 10);
+  EXPECT_TRUE(d.Contains(10));
+  EXPECT_TRUE(d.Contains(19));
+  EXPECT_FALSE(d.Contains(9));
+  EXPECT_FALSE(d.Contains(20));
+}
+
+TEST(KeySetTest, CreateSortsInput) {
+  auto ks = KeySet::Create({5, 1, 3}, KeyDomain{0, 10});
+  ASSERT_TRUE(ks.ok());
+  EXPECT_EQ(ks->keys(), (std::vector<Key>{1, 3, 5}));
+  EXPECT_EQ(ks->size(), 3);
+}
+
+TEST(KeySetTest, RejectsDuplicates) {
+  auto ks = KeySet::Create({1, 2, 2}, KeyDomain{0, 10});
+  EXPECT_EQ(ks.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(KeySetTest, RejectsOutOfDomain) {
+  auto ks = KeySet::Create({1, 11}, KeyDomain{0, 10});
+  EXPECT_EQ(ks.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(KeySetTest, RejectsEmptyDomain) {
+  auto ks = KeySet::Create({}, KeyDomain{5, 4});
+  EXPECT_EQ(ks.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(KeySetTest, EmptyKeysetIsValid) {
+  auto ks = KeySet::Create({}, KeyDomain{0, 10});
+  ASSERT_TRUE(ks.ok());
+  EXPECT_TRUE(ks->empty());
+  EXPECT_EQ(ks->size(), 0);
+}
+
+TEST(KeySetTest, TightDomain) {
+  auto ks = KeySet::CreateWithTightDomain({7, 3, 9});
+  ASSERT_TRUE(ks.ok());
+  EXPECT_EQ(ks->domain().lo, 3);
+  EXPECT_EQ(ks->domain().hi, 9);
+}
+
+TEST(KeySetTest, TightDomainRejectsEmpty) {
+  auto ks = KeySet::CreateWithTightDomain({});
+  EXPECT_FALSE(ks.ok());
+}
+
+TEST(KeySetTest, DensityMatchesDefinition) {
+  auto ks = KeySet::Create({0, 1, 2, 3}, KeyDomain{0, 7});
+  ASSERT_TRUE(ks.ok());
+  EXPECT_DOUBLE_EQ(ks->density(), 0.5);
+}
+
+TEST(KeySetTest, RankOfPresentKeys) {
+  auto ks = KeySet::Create({2, 6, 7, 12}, KeyDomain{1, 13});
+  ASSERT_TRUE(ks.ok());
+  EXPECT_EQ(*ks->RankOf(2), 1);
+  EXPECT_EQ(*ks->RankOf(6), 2);
+  EXPECT_EQ(*ks->RankOf(7), 3);
+  EXPECT_EQ(*ks->RankOf(12), 4);
+}
+
+TEST(KeySetTest, RankOfMissingKeyFails) {
+  auto ks = KeySet::Create({2, 6}, KeyDomain{1, 13});
+  ASSERT_TRUE(ks.ok());
+  EXPECT_EQ(ks->RankOf(5).status().code(), StatusCode::kNotFound);
+}
+
+TEST(KeySetTest, CountLess) {
+  auto ks = KeySet::Create({2, 6, 7, 12}, KeyDomain{1, 13});
+  ASSERT_TRUE(ks.ok());
+  EXPECT_EQ(ks->CountLess(1), 0);
+  EXPECT_EQ(ks->CountLess(2), 0);
+  EXPECT_EQ(ks->CountLess(3), 1);
+  EXPECT_EQ(ks->CountLess(7), 2);
+  EXPECT_EQ(ks->CountLess(13), 4);
+}
+
+TEST(KeySetTest, Contains) {
+  auto ks = KeySet::Create({2, 6}, KeyDomain{1, 13});
+  ASSERT_TRUE(ks.ok());
+  EXPECT_TRUE(ks->Contains(2));
+  EXPECT_FALSE(ks->Contains(3));
+}
+
+TEST(KeySetTest, UnionAddsKeys) {
+  auto ks = KeySet::Create({2, 6}, KeyDomain{1, 13});
+  ASSERT_TRUE(ks.ok());
+  auto merged = ks->Union({4, 9});
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(merged->keys(), (std::vector<Key>{2, 4, 6, 9}));
+}
+
+TEST(KeySetTest, UnionRejectsCollision) {
+  auto ks = KeySet::Create({2, 6}, KeyDomain{1, 13});
+  ASSERT_TRUE(ks.ok());
+  EXPECT_FALSE(ks->Union({6}).ok());
+}
+
+TEST(KeySetTest, UnionRejectsOutOfDomain) {
+  auto ks = KeySet::Create({2, 6}, KeyDomain{1, 13});
+  ASSERT_TRUE(ks.ok());
+  EXPECT_FALSE(ks->Union({99}).ok());
+}
+
+TEST(KeySetTest, SliceGivesContiguousSubset) {
+  auto ks = KeySet::Create({1, 3, 5, 7, 9}, KeyDomain{0, 10});
+  ASSERT_TRUE(ks.ok());
+  auto slice = ks->Slice(1, 3);
+  ASSERT_TRUE(slice.ok());
+  EXPECT_EQ(slice->keys(), (std::vector<Key>{3, 5, 7}));
+  EXPECT_EQ(slice->domain().hi, 10);
+}
+
+TEST(KeySetTest, SliceBoundsChecked) {
+  auto ks = KeySet::Create({1, 3, 5}, KeyDomain{0, 10});
+  ASSERT_TRUE(ks.ok());
+  EXPECT_FALSE(ks->Slice(2, 2).ok());
+  EXPECT_FALSE(ks->Slice(-1, 1).ok());
+  EXPECT_TRUE(ks->Slice(0, 3).ok());
+}
+
+TEST(KeySetTest, AtAccessor) {
+  auto ks = KeySet::Create({4, 8}, KeyDomain{0, 10});
+  ASSERT_TRUE(ks.ok());
+  EXPECT_EQ(ks->at(0), 4);
+  EXPECT_EQ(ks->at(1), 8);
+}
+
+}  // namespace
+}  // namespace lispoison

@@ -1,0 +1,107 @@
+#include "index/learned_index.h"
+
+#include <gtest/gtest.h>
+
+#include "attack/greedy_poisoner.h"
+#include "common/rng.h"
+#include "data/generators.h"
+
+namespace lispoison {
+namespace {
+
+RmiOptions OracleOptions(std::int64_t num_models) {
+  RmiOptions opts;
+  opts.num_models = num_models;
+  opts.root_kind = RootModelKind::kOracle;
+  return opts;
+}
+
+TEST(LearnedIndexTest, FindsEveryStoredKey) {
+  Rng rng(1);
+  auto ks = GenerateUniform(2000, KeyDomain{0, 199999}, &rng);
+  ASSERT_TRUE(ks.ok());
+  auto idx = LearnedIndex::Build(*ks, OracleOptions(20));
+  ASSERT_TRUE(idx.ok());
+  for (std::int64_t i = 0; i < ks->size(); ++i) {
+    const LookupResult r = idx->Lookup(ks->at(i));
+    EXPECT_TRUE(r.found);
+    EXPECT_EQ(r.position, i);
+    EXPECT_GE(r.probes, 1);
+  }
+}
+
+TEST(LearnedIndexTest, MissingKeysReportNotFound) {
+  auto ks = KeySet::Create({10, 20, 30, 40, 50}, KeyDomain{0, 100});
+  ASSERT_TRUE(ks.ok());
+  auto idx = LearnedIndex::Build(*ks, OracleOptions(1));
+  ASSERT_TRUE(idx.ok());
+  for (Key missing : {0, 15, 25, 45, 100}) {
+    const LookupResult r = idx->Lookup(missing);
+    EXPECT_FALSE(r.found);
+    EXPECT_EQ(r.position, -1);
+  }
+}
+
+TEST(LearnedIndexTest, LogNormalKeysStillAllFound) {
+  Rng rng(2);
+  auto ks = GenerateLogNormal(3000, KeyDomain{0, 999999}, &rng);
+  ASSERT_TRUE(ks.ok());
+  auto idx = LearnedIndex::Build(*ks, OracleOptions(30));
+  ASSERT_TRUE(idx.ok());
+  const LookupStats stats = idx->ProfileAllKeys();
+  EXPECT_EQ(stats.lookups, 3000);
+  EXPECT_GT(stats.total_probes, 0);
+}
+
+TEST(LearnedIndexTest, PoisoningIncreasesLastMileWork) {
+  Rng rng(3);
+  auto ks = GenerateUniform(2000, KeyDomain{0, 99999}, &rng);
+  ASSERT_TRUE(ks.ok());
+  auto clean_idx = LearnedIndex::Build(*ks, OracleOptions(20));
+  ASSERT_TRUE(clean_idx.ok());
+  const LookupStats clean = clean_idx->ProfileAllKeys();
+
+  // Poison 10% and rebuild (the victim trains on K ∪ P).
+  auto attack = GreedyPoisonCdf(*ks, 200);
+  ASSERT_TRUE(attack.ok());
+  auto poisoned_set = ApplyPoison(*ks, attack->poison_keys);
+  ASSERT_TRUE(poisoned_set.ok());
+  auto poisoned_idx = LearnedIndex::Build(*poisoned_set, OracleOptions(20));
+  ASSERT_TRUE(poisoned_idx.ok());
+  const LookupStats poisoned = poisoned_idx->ProfileAllKeys();
+
+  // The attack degrades mean prediction error, which drives probe count.
+  EXPECT_GT(poisoned.MeanAbsError(), clean.MeanAbsError());
+}
+
+TEST(LearnedIndexTest, ProfileAggregatesAreConsistent) {
+  Rng rng(4);
+  auto ks = GenerateUniform(500, KeyDomain{0, 9999}, &rng);
+  ASSERT_TRUE(ks.ok());
+  auto idx = LearnedIndex::Build(*ks, OracleOptions(5));
+  ASSERT_TRUE(idx.ok());
+  const LookupStats stats = idx->ProfileAllKeys();
+  EXPECT_EQ(stats.lookups, 500);
+  EXPECT_LE(stats.max_probes * 1.0, 500.0);
+  EXPECT_GE(stats.max_probes, 1);
+  EXPECT_GE(stats.MeanProbes(), 1.0);
+  EXPECT_LE(stats.MeanAbsError(), static_cast<double>(stats.max_abs_error));
+}
+
+TEST(LearnedIndexTest, SingleKeyIndex) {
+  auto ks = KeySet::Create({42}, KeyDomain{0, 100});
+  ASSERT_TRUE(ks.ok());
+  auto idx = LearnedIndex::Build(*ks, OracleOptions(1));
+  ASSERT_TRUE(idx.ok());
+  EXPECT_TRUE(idx->Lookup(42).found);
+  EXPECT_FALSE(idx->Lookup(41).found);
+}
+
+TEST(LookupStatsTest, EmptyStats) {
+  LookupStats stats;
+  EXPECT_DOUBLE_EQ(stats.MeanProbes(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.MeanAbsError(), 0.0);
+}
+
+}  // namespace
+}  // namespace lispoison

@@ -1,0 +1,172 @@
+#include "attack/loss_landscape.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "data/generators.h"
+#include "index/cdf_regression.h"
+
+namespace lispoison {
+namespace {
+
+/// Reference implementation: insert kp, recompute ranks, retrain.
+long double ReferenceLossAt(const KeySet& keyset, Key kp) {
+  std::vector<Key> keys = keyset.keys();
+  keys.insert(std::lower_bound(keys.begin(), keys.end(), kp), kp);
+  MomentAccumulator acc;
+  Rank r = 1;
+  for (Key k : keys) acc.Add(k, r++);
+  return FitFromMoments(acc).mse;
+}
+
+TEST(LossLandscapeTest, BaseLossMatchesDirectFit) {
+  auto ks = KeySet::Create({2, 6, 7, 12}, KeyDomain{1, 13});
+  ASSERT_TRUE(ks.ok());
+  auto ll = LossLandscape::Create(*ks);
+  ASSERT_TRUE(ll.ok());
+  auto fit = FitCdfRegression(*ks);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(static_cast<double>(ll->BaseLoss()),
+              static_cast<double>(fit->mse), 1e-12);
+}
+
+TEST(LossLandscapeTest, LossAtMatchesReferenceEverywhere) {
+  Rng rng(1);
+  auto ks = GenerateUniform(50, KeyDomain{0, 499}, &rng);
+  ASSERT_TRUE(ks.ok());
+  auto ll = LossLandscape::Create(*ks);
+  ASSERT_TRUE(ll.ok());
+  for (Key kp = 0; kp <= 499; ++kp) {
+    if (ks->Contains(kp)) continue;
+    auto loss = ll->LossAt(kp);
+    ASSERT_TRUE(loss.ok());
+    EXPECT_NEAR(static_cast<double>(*loss),
+                static_cast<double>(ReferenceLossAt(*ks, kp)), 1e-7)
+        << "kp=" << kp;
+  }
+}
+
+TEST(LossLandscapeTest, OccupiedKeyIsBottom) {
+  auto ks = KeySet::Create({5, 9}, KeyDomain{0, 20});
+  ASSERT_TRUE(ks.ok());
+  auto ll = LossLandscape::Create(*ks);
+  ASSERT_TRUE(ll.ok());
+  EXPECT_EQ(ll->LossAt(5).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(LossLandscapeTest, OutOfDomainRejected) {
+  auto ks = KeySet::Create({5, 9}, KeyDomain{0, 20});
+  ASSERT_TRUE(ks.ok());
+  auto ll = LossLandscape::Create(*ks);
+  ASSERT_TRUE(ll.ok());
+  EXPECT_EQ(ll->LossAt(21).status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(ll->LossAt(-1).status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(LossLandscapeTest, EmptyKeysetRejected) {
+  auto ks = KeySet::Create({}, KeyDomain{0, 20});
+  ASSERT_TRUE(ks.ok());
+  EXPECT_FALSE(LossLandscape::Create(*ks).ok());
+}
+
+TEST(LossLandscapeTest, GapEndpointsPaperExample) {
+  // Keys {2, 6, 7, 12} in domain [1, 13]; the paper lists interior-free
+  // subsequences {3,4,5} and {8,9,10,11} plus exterior {1} and {13}.
+  auto ks = KeySet::Create({2, 6, 7, 12}, KeyDomain{1, 13});
+  ASSERT_TRUE(ks.ok());
+  auto ll = LossLandscape::Create(*ks);
+  ASSERT_TRUE(ll.ok());
+  const auto interior = ll->GapEndpoints(/*interior_only=*/true);
+  EXPECT_EQ(interior, (std::vector<Key>{3, 5, 8, 11}));
+  const auto all = ll->GapEndpoints(/*interior_only=*/false);
+  EXPECT_EQ(all, (std::vector<Key>{1, 3, 5, 8, 11, 13}));
+}
+
+TEST(LossLandscapeTest, GapEndpointsDenseSetHasNone) {
+  auto ks = KeySet::Create({4, 5, 6, 7}, KeyDomain{4, 7});
+  ASSERT_TRUE(ks.ok());
+  auto ll = LossLandscape::Create(*ks);
+  ASSERT_TRUE(ll.ok());
+  EXPECT_TRUE(ll->GapEndpoints(true).empty());
+  EXPECT_TRUE(ll->GapEndpoints(false).empty());
+}
+
+TEST(LossLandscapeTest, SweepSkipsOccupiedAndCoversRest) {
+  auto ks = KeySet::Create({2, 6, 7, 12}, KeyDomain{1, 13});
+  ASSERT_TRUE(ks.ok());
+  auto ll = LossLandscape::Create(*ks);
+  ASSERT_TRUE(ll.ok());
+  const auto sweep = ll->Sweep(/*interior_only=*/false);
+  // Domain has 13 keys, 4 occupied -> 9 candidates.
+  EXPECT_EQ(sweep.size(), 9u);
+  for (const auto& [kp, loss] : sweep) {
+    EXPECT_FALSE(ks->Contains(kp));
+    EXPECT_NEAR(static_cast<double>(loss),
+                static_cast<double>(ReferenceLossAt(*ks, kp)), 1e-9);
+  }
+}
+
+TEST(LossLandscapeTest, FindOptimalAgreesWithSweepMaximum) {
+  Rng rng(2);
+  for (int trial = 0; trial < 10; ++trial) {
+    auto ks = GenerateUniform(30, KeyDomain{0, 299}, &rng);
+    ASSERT_TRUE(ks.ok());
+    auto ll = LossLandscape::Create(*ks);
+    ASSERT_TRUE(ll.ok());
+    auto best = ll->FindOptimal(/*interior_only=*/true);
+    ASSERT_TRUE(best.ok());
+    const auto sweep = ll->Sweep(/*interior_only=*/true);
+    long double max_loss = 0;
+    for (const auto& [kp, loss] : sweep) max_loss = std::max(max_loss, loss);
+    EXPECT_NEAR(static_cast<double>(best->loss),
+                static_cast<double>(max_loss),
+                1e-9 * std::max(1.0, static_cast<double>(max_loss)))
+        << "trial " << trial;
+  }
+}
+
+TEST(LossLandscapeTest, FindOptimalFailsWhenSaturated) {
+  auto ks = KeySet::Create({4, 5, 6}, KeyDomain{4, 6});
+  ASSERT_TRUE(ks.ok());
+  auto ll = LossLandscape::Create(*ks);
+  ASSERT_TRUE(ll.ok());
+  EXPECT_EQ(ll->FindOptimal(true).status().code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(LossLandscapeTest, LargeKeyMagnitudesStayExact) {
+  // Shifted aggregates must keep precision with keys near 10^9.
+  std::vector<Key> keys;
+  const Key base = 999000000;
+  for (Key i = 0; i < 40; ++i) keys.push_back(base + 7 * i * i);
+  auto ks = KeySet::CreateWithTightDomain(keys);
+  ASSERT_TRUE(ks.ok());
+  auto ll = LossLandscape::Create(*ks);
+  ASSERT_TRUE(ll.ok());
+  auto best = ll->FindOptimal(true);
+  ASSERT_TRUE(best.ok());
+  const long double ref = ReferenceLossAt(*ks, best->key);
+  EXPECT_NEAR(static_cast<double>(best->loss), static_cast<double>(ref),
+              1e-6 * static_cast<double>(ref));
+}
+
+TEST(LossLandscapeTest, InsertionIncreasesRanksAboveOnly) {
+  // Direct check of the compound effect: inserting below the whole set
+  // vs above it changes sum(XY) differently; compare to reference.
+  auto ks = KeySet::Create({100, 200, 300}, KeyDomain{0, 400});
+  ASSERT_TRUE(ks.ok());
+  auto ll = LossLandscape::Create(*ks);
+  ASSERT_TRUE(ll.ok());
+  for (Key kp : {0, 150, 250, 400}) {
+    auto loss = ll->LossAt(kp);
+    ASSERT_TRUE(loss.ok());
+    EXPECT_NEAR(static_cast<double>(*loss),
+                static_cast<double>(ReferenceLossAt(*ks, kp)), 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace lispoison

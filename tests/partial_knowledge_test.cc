@@ -1,0 +1,110 @@
+#include "attack/partial_knowledge.h"
+
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+
+namespace lispoison {
+namespace {
+
+TEST(PartialKnowledgeTest, FullKnowledgeMatchesWhiteBox) {
+  Rng rng(1);
+  auto ks = GenerateUniform(200, KeyDomain{0, 1999}, &rng);
+  ASSERT_TRUE(ks.ok());
+  PartialKnowledgeOptions opts;
+  opts.observe_fraction = 1.0;
+  opts.poison_fraction = 0.10;
+  Rng attack_rng(2);
+  auto result = PoisonWithPartialKnowledge(*ks, opts, &attack_rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->observed_keys, 200);
+  // With full knowledge nothing collides and prediction is exact.
+  EXPECT_EQ(result->planned_keys.size(), result->injected_keys.size());
+  EXPECT_NEAR(static_cast<double>(result->predicted_loss),
+              static_cast<double>(result->achieved_loss),
+              1e-6 * static_cast<double>(result->achieved_loss));
+  EXPECT_GT(result->AchievedRatioLoss(), 1.0);
+}
+
+TEST(PartialKnowledgeTest, HalfKnowledgeStillDamages) {
+  Rng rng(3);
+  auto ks = GenerateUniform(400, KeyDomain{0, 3999}, &rng);
+  ASSERT_TRUE(ks.ok());
+  PartialKnowledgeOptions opts;
+  opts.observe_fraction = 0.5;
+  opts.poison_fraction = 0.10;
+  Rng attack_rng(4);
+  auto result = PoisonWithPartialKnowledge(*ks, opts, &attack_rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->observed_keys, 200);
+  EXPECT_GT(result->AchievedRatioLoss(), 1.5);
+}
+
+TEST(PartialKnowledgeTest, DamageGrowsWithKnowledge) {
+  Rng rng(5);
+  auto ks = GenerateUniform(500, KeyDomain{0, 4999}, &rng);
+  ASSERT_TRUE(ks.ok());
+  double low_knowledge = 0, high_knowledge = 0;
+  const int trials = 5;
+  for (int t = 0; t < trials; ++t) {
+    Rng r1(static_cast<std::uint64_t>(100 + t));
+    Rng r2(static_cast<std::uint64_t>(100 + t));
+    PartialKnowledgeOptions low;
+    low.observe_fraction = 0.1;
+    low.poison_fraction = 0.10;
+    PartialKnowledgeOptions high;
+    high.observe_fraction = 0.9;
+    high.poison_fraction = 0.10;
+    auto rl = PoisonWithPartialKnowledge(*ks, low, &r1);
+    auto rh = PoisonWithPartialKnowledge(*ks, high, &r2);
+    ASSERT_TRUE(rl.ok());
+    ASSERT_TRUE(rh.ok());
+    low_knowledge += rl->AchievedRatioLoss();
+    high_knowledge += rh->AchievedRatioLoss();
+  }
+  // On average, a better-informed attacker does at least as well.
+  EXPECT_GE(high_knowledge, low_knowledge * 0.8);
+}
+
+TEST(PartialKnowledgeTest, CollisionsAreDropped) {
+  // Dense keyset: planning against a small sample makes collisions with
+  // unobserved keys likely; injected must be a subset of planned and
+  // disjoint from K.
+  Rng rng(6);
+  auto ks = GenerateUniform(300, KeyDomain{0, 599}, &rng);
+  ASSERT_TRUE(ks.ok());
+  PartialKnowledgeOptions opts;
+  opts.observe_fraction = 0.2;
+  opts.poison_fraction = 0.10;
+  Rng attack_rng(7);
+  auto result = PoisonWithPartialKnowledge(*ks, opts, &attack_rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(result->injected_keys.size(), result->planned_keys.size());
+  for (Key k : result->injected_keys) {
+    EXPECT_FALSE(ks->Contains(k));
+  }
+}
+
+TEST(PartialKnowledgeTest, Validation) {
+  Rng rng(8);
+  auto ks = GenerateUniform(50, KeyDomain{0, 499}, &rng);
+  ASSERT_TRUE(ks.ok());
+  Rng attack_rng(9);
+  PartialKnowledgeOptions opts;
+  opts.observe_fraction = 0.0;
+  EXPECT_FALSE(PoisonWithPartialKnowledge(*ks, opts, &attack_rng).ok());
+  opts.observe_fraction = 1.5;
+  EXPECT_FALSE(PoisonWithPartialKnowledge(*ks, opts, &attack_rng).ok());
+  opts = PartialKnowledgeOptions{};
+  opts.poison_fraction = 0.0;
+  EXPECT_FALSE(PoisonWithPartialKnowledge(*ks, opts, &attack_rng).ok());
+  auto empty = KeySet::Create({}, KeyDomain{0, 10});
+  ASSERT_TRUE(empty.ok());
+  EXPECT_FALSE(
+      PoisonWithPartialKnowledge(*empty, PartialKnowledgeOptions{},
+                                 &attack_rng)
+          .ok());
+}
+
+}  // namespace
+}  // namespace lispoison

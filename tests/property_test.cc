@@ -1,0 +1,280 @@
+// Property-based tests: parameterized sweeps over instance families that
+// check the structural theorems and invariants the attacks rely on —
+// Theorem 2's per-gap convexity, endpoint optimality, rank-shift
+// identities, loss invariances, and attack-budget invariants.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "attack/greedy_poisoner.h"
+#include "attack/loss_landscape.h"
+#include "attack/rmi_poisoner.h"
+#include "attack/single_point.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "data/generators.h"
+#include "index/cdf_regression.h"
+
+namespace lispoison {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Theorem 2: per-gap convexity of the loss sequence.
+// ---------------------------------------------------------------------------
+
+class ConvexityProperty
+    : public testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(ConvexityProperty, LossIsConvexWithinEveryGap) {
+  const auto [n, domain, seed] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed));
+  auto ks = GenerateUniform(n, KeyDomain{0, domain - 1}, &rng);
+  ASSERT_TRUE(ks.ok());
+  auto ll = LossLandscape::Create(*ks);
+  ASSERT_TRUE(ll.ok());
+  const auto sweep = ll->Sweep(/*interior_only=*/false);
+  // Walk runs of consecutive keys (same gap) and check the discrete
+  // second derivative is non-negative: L(k-1) + L(k+1) >= 2 L(k).
+  for (std::size_t i = 1; i + 1 < sweep.size(); ++i) {
+    const auto& [k_prev, l_prev] = sweep[i - 1];
+    const auto& [k_mid, l_mid] = sweep[i];
+    const auto& [k_next, l_next] = sweep[i + 1];
+    if (k_mid != k_prev + 1 || k_next != k_mid + 1) continue;  // Gap break.
+    const long double lhs = l_prev + l_next;
+    const long double rhs = 2.0L * l_mid;
+    EXPECT_GE(static_cast<double>(lhs),
+              static_cast<double>(rhs) -
+                  1e-7 * std::max(1.0, static_cast<double>(rhs)))
+        << "non-convex at key " << k_mid;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    UniformInstances, ConvexityProperty,
+    testing::Values(std::make_tuple(10, 100, 1), std::make_tuple(20, 100, 2),
+                    std::make_tuple(30, 300, 3), std::make_tuple(50, 200, 4),
+                    std::make_tuple(80, 1000, 5),
+                    std::make_tuple(15, 1000, 6)));
+
+// ---------------------------------------------------------------------------
+// Endpoint optimality: the maximum over the full sweep is attained at a
+// gap endpoint (corollary of Theorem 2 that the fast attack exploits).
+// ---------------------------------------------------------------------------
+
+class EndpointOptimalityProperty : public testing::TestWithParam<int> {};
+
+TEST_P(EndpointOptimalityProperty, SweepMaximumIsAGapEndpoint) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const std::int64_t n = 10 + rng.UniformInt(0, 50);
+  const Key domain = 100 + rng.UniformInt(0, 900);
+  auto ks = GenerateUniform(n, KeyDomain{0, domain - 1}, &rng);
+  ASSERT_TRUE(ks.ok());
+  auto ll = LossLandscape::Create(*ks);
+  ASSERT_TRUE(ll.ok());
+  const auto sweep = ll->Sweep(/*interior_only=*/true);
+  if (sweep.empty()) return;
+  long double max_loss = 0;
+  for (const auto& [kp, loss] : sweep) max_loss = std::max(max_loss, loss);
+  const auto endpoints = ll->GapEndpoints(/*interior_only=*/true);
+  long double max_at_endpoints = 0;
+  for (Key e : endpoints) {
+    auto l = ll->LossAt(e);
+    ASSERT_TRUE(l.ok());
+    max_at_endpoints = std::max(max_at_endpoints, *l);
+  }
+  EXPECT_NEAR(static_cast<double>(max_at_endpoints),
+              static_cast<double>(max_loss),
+              1e-9 * std::max(1.0, static_cast<double>(max_loss)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EndpointOptimalityProperty,
+                         testing::Range(1, 21));
+
+// ---------------------------------------------------------------------------
+// Rank-shift identity: inserting kp shifts sum(XY) by exactly the suffix
+// key sum above kp plus kp*rank(kp).
+// ---------------------------------------------------------------------------
+
+class RankShiftProperty : public testing::TestWithParam<int> {};
+
+TEST_P(RankShiftProperty, AggregateIdentityHolds) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919);
+  auto ks = GenerateUniform(40, KeyDomain{0, 399}, &rng);
+  ASSERT_TRUE(ks.ok());
+  // Pick a random unoccupied key.
+  Key kp;
+  do {
+    kp = rng.UniformInt(0, 399);
+  } while (ks->Contains(kp));
+
+  // Direct aggregates after insertion.
+  std::vector<Key> keys = ks->keys();
+  keys.insert(std::lower_bound(keys.begin(), keys.end(), kp), kp);
+  Int128 direct_sum_xy = 0;
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    direct_sum_xy += static_cast<Int128>(keys[i]) *
+                     static_cast<Int128>(i + 1);
+  }
+
+  // Identity-based aggregates.
+  Int128 base_sum_xy = 0;
+  Int128 suffix = 0;
+  const Rank c = ks->CountLess(kp);
+  for (std::int64_t i = 0; i < ks->size(); ++i) {
+    base_sum_xy += static_cast<Int128>(ks->at(i)) * (i + 1);
+    if (i >= c) suffix += ks->at(i);
+  }
+  const Int128 predicted =
+      base_sum_xy + suffix + static_cast<Int128>(kp) * (c + 1);
+  EXPECT_EQ(static_cast<long long>(direct_sum_xy - predicted), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RankShiftProperty, testing::Range(1, 26));
+
+// ---------------------------------------------------------------------------
+// Loss invariances of the closed-form fit.
+// ---------------------------------------------------------------------------
+
+class InvarianceProperty : public testing::TestWithParam<int> {};
+
+TEST_P(InvarianceProperty, LossInvariantUnderKeyAndRankTranslation) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729);
+  auto ks = GenerateUniform(60, KeyDomain{0, 599}, &rng);
+  ASSERT_TRUE(ks.ok());
+  std::vector<Rank> ranks;
+  for (Rank r = 1; r <= ks->size(); ++r) ranks.push_back(r);
+  auto f0 = FitCdfRegression(ks->keys(), ranks);
+  ASSERT_TRUE(f0.ok());
+
+  const Key key_shift = rng.UniformInt(1, 1000000);
+  const Rank rank_shift = rng.UniformInt(1, 100000);
+  std::vector<Key> keys2;
+  std::vector<Rank> ranks2;
+  for (std::int64_t i = 0; i < ks->size(); ++i) {
+    keys2.push_back(ks->at(i) + key_shift);
+    ranks2.push_back(ranks[static_cast<std::size_t>(i)] + rank_shift);
+  }
+  auto f1 = FitCdfRegression(keys2, ranks2);
+  ASSERT_TRUE(f1.ok());
+  EXPECT_NEAR(static_cast<double>(f0->mse), static_cast<double>(f1->mse),
+              1e-6 * std::max(1.0, static_cast<double>(f0->mse)));
+  EXPECT_NEAR(f0->model.w, f1->model.w, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InvarianceProperty, testing::Range(1, 16));
+
+// ---------------------------------------------------------------------------
+// Attack invariants across budgets and densities.
+// ---------------------------------------------------------------------------
+
+class GreedyInvariantProperty
+    : public testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(GreedyInvariantProperty, BudgetRangeAndDisjointness) {
+  const auto [p, density] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(p * 31 + static_cast<int>(density * 100)));
+  const std::int64_t n = 120;
+  const Key m = static_cast<Key>(std::llround(n / density));
+  auto ks = GenerateUniform(n, KeyDomain{0, m - 1}, &rng);
+  ASSERT_TRUE(ks.ok());
+  auto result = GreedyPoisonCdf(*ks, p);
+  ASSERT_TRUE(result.ok());
+  // |P| = p, P ∩ K = ∅, all interior, no duplicates.
+  EXPECT_EQ(static_cast<int>(result->poison_keys.size()), p);
+  std::set<Key> seen;
+  for (Key kp : result->poison_keys) {
+    EXPECT_TRUE(seen.insert(kp).second);
+    EXPECT_FALSE(ks->Contains(kp));
+    EXPECT_GT(kp, ks->keys().front());
+    EXPECT_LT(kp, ks->keys().back());
+  }
+  // Poisoning never decreases the loss.
+  EXPECT_GE(static_cast<double>(result->poisoned_loss),
+            static_cast<double>(result->base_loss));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, GreedyInvariantProperty,
+    testing::Combine(testing::Values(1, 5, 12, 18),
+                     testing::Values(0.2, 0.5, 0.8)));
+
+// ---------------------------------------------------------------------------
+// RMI attack invariants across architectures.
+// ---------------------------------------------------------------------------
+
+class RmiInvariantProperty
+    : public testing::TestWithParam<std::tuple<int, double, double>> {};
+
+TEST_P(RmiInvariantProperty, BudgetThresholdAndDisjointness) {
+  const auto [model_size, pct, alpha] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(model_size * 1000 +
+                                     static_cast<int>(pct * 10)));
+  const std::int64_t n = 1200;
+  auto ks = GenerateUniform(n, KeyDomain{0, 119999}, &rng);
+  ASSERT_TRUE(ks.ok());
+  RmiAttackOptions opts;
+  opts.poison_fraction = pct / 100.0;
+  opts.model_size = model_size;
+  opts.alpha = alpha;
+  auto result = PoisonRmi(*ks, opts);
+  ASSERT_TRUE(result.ok());
+
+  const std::int64_t budget =
+      static_cast<std::int64_t>(std::floor(n * pct / 100.0));
+  EXPECT_EQ(result->total_poison_keys, budget);
+  const std::int64_t num_models =
+      static_cast<std::int64_t>(result->per_model_poison.size());
+  const std::int64_t threshold = static_cast<std::int64_t>(
+      std::ceil(alpha * (pct / 100.0) * static_cast<double>(n) /
+                static_cast<double>(num_models)));
+  std::set<Key> seen;
+  for (const auto& pm : result->per_model_poison) {
+    EXPECT_LE(static_cast<std::int64_t>(pm.size()), threshold);
+    for (Key kp : pm) {
+      EXPECT_TRUE(seen.insert(kp).second) << "duplicate poison " << kp;
+      EXPECT_FALSE(ks->Contains(kp));
+    }
+  }
+  EXPECT_GE(result->rmi_ratio_loss, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, RmiInvariantProperty,
+    testing::Combine(testing::Values(60, 120, 300),
+                     testing::Values(5.0, 10.0),
+                     testing::Values(2.0, 3.0)));
+
+// ---------------------------------------------------------------------------
+// Greedy single-point optimality on every instance: the first greedy key
+// equals the brute-force single optimum (checked via full sweep).
+// ---------------------------------------------------------------------------
+
+class FirstKeyOptimalityProperty : public testing::TestWithParam<int> {};
+
+TEST_P(FirstKeyOptimalityProperty, FirstGreedyKeyIsGloballyOptimal) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7);
+  auto ks = GenerateUniform(25, KeyDomain{0, 299}, &rng);
+  ASSERT_TRUE(ks.ok());
+  auto single = OptimalSinglePoint(*ks);
+  ASSERT_TRUE(single.ok());
+  auto ll = LossLandscape::Create(*ks);
+  ASSERT_TRUE(ll.ok());
+  long double best_sweep = 0;
+  for (const auto& [kp, loss] : ll->Sweep(true)) {
+    best_sweep = std::max(best_sweep, loss);
+  }
+  EXPECT_NEAR(static_cast<double>(single->poisoned_loss),
+              static_cast<double>(best_sweep),
+              1e-9 * std::max(1.0, static_cast<double>(best_sweep)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FirstKeyOptimalityProperty,
+                         testing::Range(1, 16));
+
+}  // namespace
+}  // namespace lispoison

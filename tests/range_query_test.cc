@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "attack/rmi_poisoner.h"
+#include "common/rng.h"
+#include "data/generators.h"
+#include "index/learned_index.h"
+
+namespace lispoison {
+namespace {
+
+RmiOptions OracleOptions(std::int64_t model_size) {
+  RmiOptions opts;
+  opts.target_model_size = model_size;
+  opts.root_kind = RootModelKind::kOracle;
+  return opts;
+}
+
+/// Reference range count via std::lower_bound / std::upper_bound.
+std::pair<std::int64_t, std::int64_t> ReferenceRange(
+    const std::vector<Key>& keys, Key lo, Key hi) {
+  const auto first = std::lower_bound(keys.begin(), keys.end(), lo);
+  const auto past = std::upper_bound(keys.begin(), keys.end(), hi);
+  return {first - keys.begin(), std::max<std::int64_t>(0, past - first)};
+}
+
+TEST(RangeQueryTest, MatchesReferenceOnRandomRanges) {
+  Rng rng(1);
+  auto ks = GenerateUniform(5000, KeyDomain{0, 499999}, &rng);
+  ASSERT_TRUE(ks.ok());
+  auto idx = LearnedIndex::Build(*ks, OracleOptions(100));
+  ASSERT_TRUE(idx.ok());
+  for (int t = 0; t < 500; ++t) {
+    Key a = rng.UniformInt(0, 499999);
+    Key b = rng.UniformInt(0, 499999);
+    if (a > b) std::swap(a, b);
+    auto res = idx->LookupRange(a, b);
+    ASSERT_TRUE(res.ok());
+    const auto [ref_first, ref_count] = ReferenceRange(ks->keys(), a, b);
+    EXPECT_EQ(res->count, ref_count) << "[" << a << "," << b << "]";
+    if (ref_count > 0) EXPECT_EQ(res->first, ref_first);
+  }
+}
+
+TEST(RangeQueryTest, ExactBoundariesInclusive) {
+  auto ks = KeySet::Create({10, 20, 30, 40, 50}, KeyDomain{0, 100});
+  ASSERT_TRUE(ks.ok());
+  auto idx = LearnedIndex::Build(*ks, OracleOptions(5));
+  ASSERT_TRUE(idx.ok());
+  auto res = idx->LookupRange(20, 40);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res->first, 1);
+  EXPECT_EQ(res->count, 3);
+}
+
+TEST(RangeQueryTest, EmptyAndDegenerateRanges) {
+  auto ks = KeySet::Create({10, 20, 30}, KeyDomain{0, 100});
+  ASSERT_TRUE(ks.ok());
+  auto idx = LearnedIndex::Build(*ks, OracleOptions(3));
+  ASSERT_TRUE(idx.ok());
+  // Between stored keys.
+  auto gap = idx->LookupRange(11, 19);
+  ASSERT_TRUE(gap.ok());
+  EXPECT_EQ(gap->count, 0);
+  // Entirely below / above.
+  EXPECT_EQ(idx->LookupRange(0, 5)->count, 0);
+  EXPECT_EQ(idx->LookupRange(60, 100)->count, 0);
+  // Point range on a stored key.
+  auto point = idx->LookupRange(20, 20);
+  ASSERT_TRUE(point.ok());
+  EXPECT_EQ(point->count, 1);
+  EXPECT_EQ(point->first, 1);
+  // Invalid range.
+  EXPECT_FALSE(idx->LookupRange(30, 10).ok());
+}
+
+TEST(RangeQueryTest, FullRangeCoversEverything) {
+  Rng rng(2);
+  auto ks = GenerateUniform(1000, KeyDomain{0, 99999}, &rng);
+  ASSERT_TRUE(ks.ok());
+  auto idx = LearnedIndex::Build(*ks, OracleOptions(50));
+  ASSERT_TRUE(idx.ok());
+  auto res = idx->LookupRange(0, 99999);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res->count, 1000);
+  EXPECT_EQ(res->first, 0);
+}
+
+TEST(RangeQueryTest, PoisoningInflatesRangeProbes) {
+  Rng rng(3);
+  auto ks = GenerateUniform(4000, KeyDomain{0, 399999}, &rng);
+  ASSERT_TRUE(ks.ok());
+  auto clean_idx = LearnedIndex::Build(*ks, OracleOptions(200));
+  ASSERT_TRUE(clean_idx.ok());
+
+  RmiAttackOptions attack_opts;
+  attack_opts.poison_fraction = 0.15;
+  attack_opts.model_size = 200;
+  auto attack = PoisonRmi(*ks, attack_opts);
+  ASSERT_TRUE(attack.ok());
+  auto poisoned = ks->Union(attack->AllPoisonKeys());
+  ASSERT_TRUE(poisoned.ok());
+  auto pois_idx = LearnedIndex::Build(*poisoned, OracleOptions(230));
+  ASSERT_TRUE(pois_idx.ok());
+
+  Rng probe_rng(4);
+  std::int64_t clean_probes = 0, pois_probes = 0;
+  for (int t = 0; t < 300; ++t) {
+    Key a = probe_rng.UniformInt(0, 399999);
+    Key b = std::min<Key>(399999, a + 5000);
+    clean_probes += clean_idx->LookupRange(a, b)->probes;
+    pois_probes += pois_idx->LookupRange(a, b)->probes;
+  }
+  EXPECT_GT(pois_probes, clean_probes);
+}
+
+TEST(RmiPolynomialSecondStageTest, TrainsAndPredicts) {
+  Rng rng(5);
+  auto ks = GenerateLogNormal(2000, KeyDomain{0, 199999}, &rng);
+  ASSERT_TRUE(ks.ok());
+  RmiOptions linear = OracleOptions(100);
+  RmiOptions cubic = OracleOptions(100);
+  cubic.second_stage_degree = 3;
+  auto rmi_linear = Rmi::Train(*ks, linear);
+  auto rmi_cubic = Rmi::Train(*ks, cubic);
+  ASSERT_TRUE(rmi_linear.ok());
+  ASSERT_TRUE(rmi_cubic.ok());
+  // Higher-capacity experts fit at least as well...
+  EXPECT_LE(static_cast<double>(rmi_cubic->RmiLoss()),
+            static_cast<double>(rmi_linear->RmiLoss()) * (1.0 + 1e-9));
+  // ...and cost more parameters (the §VI storage trade-off).
+  EXPECT_GT(rmi_cubic->ParameterCount(), rmi_linear->ParameterCount());
+}
+
+TEST(RmiPolynomialSecondStageTest, LookupsStillCorrect) {
+  Rng rng(6);
+  auto ks = GenerateUniform(1500, KeyDomain{0, 149999}, &rng);
+  ASSERT_TRUE(ks.ok());
+  RmiOptions opts = OracleOptions(100);
+  opts.second_stage_degree = 2;
+  auto idx = LearnedIndex::Build(*ks, opts);
+  ASSERT_TRUE(idx.ok());
+  for (std::int64_t i = 0; i < ks->size(); i += 13) {
+    const LookupResult r = idx->Lookup(ks->at(i));
+    EXPECT_TRUE(r.found);
+    EXPECT_EQ(r.position, i);
+  }
+}
+
+TEST(RmiPolynomialSecondStageTest, DegreeValidation) {
+  auto ks = KeySet::Create({1, 2, 3, 4}, KeyDomain{0, 10});
+  ASSERT_TRUE(ks.ok());
+  RmiOptions opts = OracleOptions(2);
+  opts.second_stage_degree = 0;
+  EXPECT_FALSE(Rmi::Train(*ks, opts).ok());
+  opts.second_stage_degree = 5;
+  EXPECT_FALSE(Rmi::Train(*ks, opts).ok());
+}
+
+}  // namespace
+}  // namespace lispoison

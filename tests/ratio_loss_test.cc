@@ -1,0 +1,44 @@
+#include "eval/ratio_loss.h"
+
+#include <gtest/gtest.h>
+
+#include "attack/greedy_poisoner.h"
+#include "common/rng.h"
+#include "data/generators.h"
+
+namespace lispoison {
+namespace {
+
+TEST(RatioLossTest, MatchesAttackReportedRatio) {
+  Rng rng(1);
+  auto ks = GenerateUniform(120, KeyDomain{0, 1199}, &rng);
+  ASSERT_TRUE(ks.ok());
+  auto attack = GreedyPoisonCdf(*ks, 12);
+  ASSERT_TRUE(attack.ok());
+  auto poisoned = ApplyPoison(*ks, attack->poison_keys);
+  ASSERT_TRUE(poisoned.ok());
+  auto ratio = ComputeRatioLoss(*ks, *poisoned);
+  ASSERT_TRUE(ratio.ok());
+  EXPECT_NEAR(*ratio, attack->RatioLoss(), 1e-6 * attack->RatioLoss());
+}
+
+TEST(RatioLossTest, IdenticalSetsGiveOne) {
+  Rng rng(2);
+  auto ks = GenerateUniform(50, KeyDomain{0, 499}, &rng);
+  ASSERT_TRUE(ks.ok());
+  auto ratio = ComputeRatioLoss(*ks, *ks);
+  ASSERT_TRUE(ratio.ok());
+  EXPECT_NEAR(*ratio, 1.0, 1e-12);
+}
+
+TEST(RatioLossTest, EmptyInputsFail) {
+  auto empty = KeySet::Create({}, KeyDomain{0, 10});
+  auto some = KeySet::Create({1, 2}, KeyDomain{0, 10});
+  ASSERT_TRUE(empty.ok());
+  ASSERT_TRUE(some.ok());
+  EXPECT_FALSE(ComputeRatioLoss(*empty, *some).ok());
+  EXPECT_FALSE(ComputeRatioLoss(*some, *empty).ok());
+}
+
+}  // namespace
+}  // namespace lispoison

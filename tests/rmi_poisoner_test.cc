@@ -1,0 +1,195 @@
+#include "attack/rmi_poisoner.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "data/generators.h"
+
+namespace lispoison {
+namespace {
+
+RmiAttackOptions BasicOptions(double pct, std::int64_t model_size,
+                              double alpha = 3.0) {
+  RmiAttackOptions opts;
+  opts.poison_fraction = pct / 100.0;
+  opts.model_size = model_size;
+  opts.alpha = alpha;
+  return opts;
+}
+
+TEST(RmiPoisonerTest, BudgetIsFullyPlaced) {
+  Rng rng(1);
+  auto ks = GenerateUniform(2000, KeyDomain{0, 199999}, &rng);
+  ASSERT_TRUE(ks.ok());
+  auto result = PoisonRmi(*ks, BasicOptions(10, 100));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->total_poison_keys, 200);  // floor(0.10 * 2000)
+  std::int64_t sum = 0;
+  for (const auto& p : result->per_model_poison) {
+    sum += static_cast<std::int64_t>(p.size());
+  }
+  EXPECT_EQ(sum, 200);
+}
+
+TEST(RmiPoisonerTest, ThresholdRespectedPerModel) {
+  Rng rng(2);
+  auto ks = GenerateUniform(2000, KeyDomain{0, 199999}, &rng);
+  ASSERT_TRUE(ks.ok());
+  const double alpha = 2.0;
+  auto result = PoisonRmi(*ks, BasicOptions(10, 100, alpha));
+  ASSERT_TRUE(result.ok());
+  // t = ceil(alpha * phi * n / N) = ceil(2 * 200 / 20) = 20.
+  for (const auto& p : result->per_model_poison) {
+    EXPECT_LE(static_cast<std::int64_t>(p.size()), 20);
+  }
+}
+
+TEST(RmiPoisonerTest, PoisonKeysDisjointFromLegitimate) {
+  Rng rng(3);
+  auto ks = GenerateUniform(1000, KeyDomain{0, 99999}, &rng);
+  ASSERT_TRUE(ks.ok());
+  auto result = PoisonRmi(*ks, BasicOptions(10, 100));
+  ASSERT_TRUE(result.ok());
+  std::set<Key> all;
+  for (Key kp : result->AllPoisonKeys()) {
+    EXPECT_FALSE(ks->Contains(kp)) << kp;
+    EXPECT_TRUE(all.insert(kp).second) << "duplicate poison " << kp;
+  }
+}
+
+TEST(RmiPoisonerTest, LossIncreasesOverClean) {
+  Rng rng(4);
+  auto ks = GenerateUniform(2000, KeyDomain{0, 199999}, &rng);
+  ASSERT_TRUE(ks.ok());
+  auto result = PoisonRmi(*ks, BasicOptions(10, 100));
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->rmi_ratio_loss, 2.0);
+  EXPECT_GT(static_cast<double>(result->poisoned_rmi_loss),
+            static_cast<double>(result->clean_rmi_loss));
+}
+
+TEST(RmiPoisonerTest, RetrainedVictimSeesComparableDamage) {
+  Rng rng(5);
+  auto ks = GenerateUniform(2000, KeyDomain{0, 199999}, &rng);
+  ASSERT_TRUE(ks.ok());
+  auto result = PoisonRmi(*ks, BasicOptions(10, 100));
+  ASSERT_TRUE(result.ok());
+  // The victim retrains on K ∪ P with its own partitioning; the attack
+  // must survive the re-partition (within a factor ~3 of the attacker's
+  // bookkeeping, and clearly above no-attack).
+  EXPECT_GT(result->retrained_rmi_ratio, result->rmi_ratio_loss / 3.0);
+  EXPECT_GT(result->retrained_rmi_ratio, 1.5);
+}
+
+TEST(RmiPoisonerTest, HigherBudgetMoreDamage) {
+  Rng rng(6);
+  auto ks = GenerateUniform(3000, KeyDomain{0, 299999}, &rng);
+  ASSERT_TRUE(ks.ok());
+  auto low = PoisonRmi(*ks, BasicOptions(1, 100));
+  auto high = PoisonRmi(*ks, BasicOptions(10, 100));
+  ASSERT_TRUE(low.ok());
+  ASSERT_TRUE(high.ok());
+  EXPECT_GT(high->rmi_ratio_loss, low->rmi_ratio_loss);
+}
+
+TEST(RmiPoisonerTest, PerModelVectorsAreConsistent) {
+  Rng rng(7);
+  auto ks = GenerateUniform(1000, KeyDomain{0, 99999}, &rng);
+  ASSERT_TRUE(ks.ok());
+  auto result = PoisonRmi(*ks, BasicOptions(5, 100));
+  ASSERT_TRUE(result.ok());
+  const std::size_t n_models = result->per_model_poison.size();
+  EXPECT_EQ(n_models, 10u);
+  EXPECT_EQ(result->clean_losses.size(), n_models);
+  EXPECT_EQ(result->poisoned_losses.size(), n_models);
+  EXPECT_EQ(result->per_model_ratio.size(), n_models);
+  for (std::size_t i = 0; i < n_models; ++i) {
+    EXPECT_GE(result->per_model_ratio[i], 0.0);
+  }
+}
+
+TEST(RmiPoisonerTest, LogNormalShowsWiderPerModelSpread) {
+  // Section V-B observes the attack behaves differently on log-normal
+  // keys: models owning dense clusters amplify non-linearity, giving a
+  // larger spread of per-model ratios (bigger whiskers/median) even when
+  // the aggregate ratio ordering only emerges at paper scale. Assert the
+  // scale-robust parts: both attacks are effective and the log-normal
+  // per-model median dominates.
+  Rng rng(8);
+  auto uniform = GenerateUniform(4000, KeyDomain{0, 999999}, &rng);
+  auto lognorm = GenerateLogNormal(4000, KeyDomain{0, 999999}, &rng);
+  ASSERT_TRUE(uniform.ok());
+  ASSERT_TRUE(lognorm.ok());
+  auto ru = PoisonRmi(*uniform, BasicOptions(10, 200));
+  auto rl = PoisonRmi(*lognorm, BasicOptions(10, 200));
+  ASSERT_TRUE(ru.ok());
+  ASSERT_TRUE(rl.ok());
+  EXPECT_GT(ru->rmi_ratio_loss, 1.5);
+  EXPECT_GT(rl->rmi_ratio_loss, 1.5);
+  const auto box_l = ComputeBoxplot(std::vector<double>(
+      rl->per_model_ratio.begin(), rl->per_model_ratio.end()));
+  // Wide spread: the hardest-hit log-normal model suffers far more than
+  // the median one (the paper's enlarged whiskers).
+  EXPECT_GT(box_l.max, 2.0 * box_l.median);
+  EXPECT_GT(box_l.max, 5.0);
+}
+
+TEST(RmiPoisonerTest, ExchangesAreBookkept) {
+  Rng rng(9);
+  auto ks = GenerateLogNormal(2000, KeyDomain{0, 199999}, &rng);
+  ASSERT_TRUE(ks.ok());
+  auto result = PoisonRmi(*ks, BasicOptions(10, 100));
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(result->exchanges_applied, 0);
+  // With alpha=3 headroom on skewed data, some exchanges usually fire.
+  auto fixed = BasicOptions(10, 100);
+  fixed.max_exchanges = -0;  // Default cap.
+}
+
+TEST(RmiPoisonerTest, OptionValidation) {
+  Rng rng(10);
+  auto ks = GenerateUniform(100, KeyDomain{0, 9999}, &rng);
+  ASSERT_TRUE(ks.ok());
+  auto opts = BasicOptions(10, 10);
+  opts.poison_fraction = 0;
+  EXPECT_FALSE(PoisonRmi(*ks, opts).ok());
+  opts = BasicOptions(10, 10);
+  opts.poison_fraction = 0.9;
+  EXPECT_FALSE(PoisonRmi(*ks, opts).ok());
+  opts = BasicOptions(10, 10);
+  opts.alpha = 0.5;
+  EXPECT_FALSE(PoisonRmi(*ks, opts).ok());
+  opts = BasicOptions(10, 10);
+  opts.num_models = 0;
+  opts.model_size = 0;
+  EXPECT_FALSE(PoisonRmi(*ks, opts).ok());
+  auto empty = KeySet::Create({}, KeyDomain{0, 10});
+  ASSERT_TRUE(empty.ok());
+  EXPECT_FALSE(PoisonRmi(*empty, BasicOptions(10, 10)).ok());
+}
+
+TEST(RmiPoisonerTest, TinyBudgetRejected) {
+  Rng rng(11);
+  auto ks = GenerateUniform(20, KeyDomain{0, 999}, &rng);
+  ASSERT_TRUE(ks.ok());
+  auto opts = BasicOptions(1, 10);  // floor(0.01 * 20) = 0 keys.
+  EXPECT_EQ(PoisonRmi(*ks, opts).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(RmiPoisonerTest, NumModelsOverridesModelSize) {
+  Rng rng(12);
+  auto ks = GenerateUniform(1000, KeyDomain{0, 99999}, &rng);
+  ASSERT_TRUE(ks.ok());
+  auto opts = BasicOptions(10, 9999);
+  opts.num_models = 4;
+  auto result = PoisonRmi(*ks, opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->per_model_poison.size(), 4u);
+}
+
+}  // namespace
+}  // namespace lispoison

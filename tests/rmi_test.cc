@@ -1,0 +1,164 @@
+#include "index/rmi.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "data/generators.h"
+
+namespace lispoison {
+namespace {
+
+RmiOptions OracleOptions(std::int64_t num_models) {
+  RmiOptions opts;
+  opts.num_models = num_models;
+  opts.root_kind = RootModelKind::kOracle;
+  return opts;
+}
+
+TEST(RmiTest, PartitionsAreEqualSize) {
+  Rng rng(1);
+  auto ks = GenerateUniform(1000, KeyDomain{0, 99999}, &rng);
+  ASSERT_TRUE(ks.ok());
+  auto rmi = Rmi::Train(*ks, OracleOptions(10));
+  ASSERT_TRUE(rmi.ok());
+  EXPECT_EQ(rmi->num_models(), 10);
+  for (std::int64_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(rmi->model(i).count, 100);
+  }
+}
+
+TEST(RmiTest, UnevenPartitionSpreadsRemainder) {
+  Rng rng(2);
+  auto ks = GenerateUniform(103, KeyDomain{0, 9999}, &rng);
+  ASSERT_TRUE(ks.ok());
+  auto rmi = Rmi::Train(*ks, OracleOptions(10));
+  ASSERT_TRUE(rmi.ok());
+  std::int64_t total = 0;
+  for (std::int64_t i = 0; i < rmi->num_models(); ++i) {
+    const auto& m = rmi->model(i);
+    EXPECT_GE(m.count, 10);
+    EXPECT_LE(m.count, 11);
+    total += m.count;
+  }
+  EXPECT_EQ(total, 103);
+}
+
+TEST(RmiTest, ModelSizeDerivesModelCount) {
+  Rng rng(3);
+  auto ks = GenerateUniform(1000, KeyDomain{0, 99999}, &rng);
+  ASSERT_TRUE(ks.ok());
+  RmiOptions opts;
+  opts.target_model_size = 100;
+  opts.root_kind = RootModelKind::kOracle;
+  auto rmi = Rmi::Train(*ks, opts);
+  ASSERT_TRUE(rmi.ok());
+  EXPECT_EQ(rmi->num_models(), 10);
+}
+
+TEST(RmiTest, OracleRoutesEveryKeyToItsPartition) {
+  Rng rng(4);
+  auto ks = GenerateUniform(500, KeyDomain{0, 49999}, &rng);
+  ASSERT_TRUE(ks.ok());
+  auto rmi = Rmi::Train(*ks, OracleOptions(25));
+  ASSERT_TRUE(rmi.ok());
+  for (Key k : ks->keys()) {
+    EXPECT_EQ(rmi->Route(k), rmi->TrueModelOf(k)) << "key " << k;
+  }
+}
+
+TEST(RmiTest, PredictionErrorIsSmallOnUniformKeys) {
+  Rng rng(5);
+  auto ks = GenerateUniform(10000, KeyDomain{0, 999999}, &rng);
+  ASSERT_TRUE(ks.ok());
+  auto rmi = Rmi::Train(*ks, OracleOptions(100));
+  ASSERT_TRUE(rmi.ok());
+  double total_err = 0;
+  for (std::int64_t i = 0; i < ks->size(); ++i) {
+    const double pred = rmi->PredictRank(ks->at(i));
+    total_err += std::fabs(pred - static_cast<double>(i + 1));
+  }
+  // Local linear models on locally-uniform data: mean error a few slots.
+  EXPECT_LT(total_err / static_cast<double>(ks->size()), 10.0);
+}
+
+TEST(RmiTest, RmiLossIsMeanOfSecondStageLosses) {
+  Rng rng(6);
+  auto ks = GenerateLogNormal(2000, KeyDomain{0, 199999}, &rng);
+  ASSERT_TRUE(ks.ok());
+  auto rmi = Rmi::Train(*ks, OracleOptions(20));
+  ASSERT_TRUE(rmi.ok());
+  const auto losses = rmi->SecondStageLosses();
+  ASSERT_EQ(losses.size(), 20u);
+  long double sum = 0;
+  for (auto l : losses) sum += l;
+  EXPECT_NEAR(static_cast<double>(rmi->RmiLoss()),
+              static_cast<double>(sum / 20.0), 1e-9);
+}
+
+TEST(RmiTest, PredictPositionClamped) {
+  auto ks = KeySet::Create({10, 20, 30}, KeyDomain{0, 100});
+  ASSERT_TRUE(ks.ok());
+  auto rmi = Rmi::Train(*ks, OracleOptions(1));
+  ASSERT_TRUE(rmi.ok());
+  EXPECT_GE(rmi->PredictPosition(0), 0);
+  EXPECT_LE(rmi->PredictPosition(100), 2);
+}
+
+TEST(RmiTest, MoreModelsThanKeysClamps) {
+  auto ks = KeySet::Create({1, 2, 3}, KeyDomain{0, 10});
+  ASSERT_TRUE(ks.ok());
+  auto rmi = Rmi::Train(*ks, OracleOptions(10));
+  ASSERT_TRUE(rmi.ok());
+  EXPECT_EQ(rmi->num_models(), 3);
+}
+
+TEST(RmiTest, EmptyKeysetFails) {
+  auto ks = KeySet::Create({}, KeyDomain{0, 10});
+  ASSERT_TRUE(ks.ok());
+  EXPECT_FALSE(Rmi::Train(*ks, OracleOptions(4)).ok());
+}
+
+TEST(RmiTest, BadOptionsFail) {
+  auto ks = KeySet::Create({1, 2, 3}, KeyDomain{0, 10});
+  ASSERT_TRUE(ks.ok());
+  RmiOptions opts;
+  opts.num_models = 0;
+  opts.target_model_size = 0;
+  EXPECT_FALSE(Rmi::Train(*ks, opts).ok());
+}
+
+TEST(RmiTest, LearnedRootRoutesMostKeysCorrectly) {
+  Rng rng(7);
+  auto ks = GenerateUniform(5000, KeyDomain{0, 499999}, &rng);
+  ASSERT_TRUE(ks.ok());
+  RmiOptions opts;
+  opts.num_models = 50;
+  opts.root_kind = RootModelKind::kPiecewiseLinear;
+  opts.root_segments = 256;
+  auto rmi = Rmi::Train(*ks, opts);
+  ASSERT_TRUE(rmi.ok());
+  std::int64_t correct = 0;
+  for (Key k : ks->keys()) {
+    if (rmi->Route(k) == rmi->TrueModelOf(k)) ++correct;
+  }
+  EXPECT_GT(static_cast<double>(correct) / static_cast<double>(ks->size()),
+            0.9);
+}
+
+TEST(RmiTest, ParameterCountAccounting) {
+  Rng rng(8);
+  auto ks = GenerateUniform(100, KeyDomain{0, 9999}, &rng);
+  ASSERT_TRUE(ks.ok());
+  RmiOptions opts;
+  opts.num_models = 10;
+  opts.root_kind = RootModelKind::kLinear;
+  auto rmi = Rmi::Train(*ks, opts);
+  ASSERT_TRUE(rmi.ok());
+  // Linear root: 2 params; 10 second-stage models: 20 params.
+  EXPECT_EQ(rmi->ParameterCount(), 22);
+}
+
+}  // namespace
+}  // namespace lispoison

@@ -1,0 +1,135 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace lispoison {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIntRespectsBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const std::int64_t v = rng.UniformInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, UniformIntSingleton) {
+  Rng rng(10);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.UniformInt(42, 42), 42);
+}
+
+TEST(RngTest, UniformIntCoversRange) {
+  Rng rng(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.UniformInt(0, 9));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(RngTest, UniformIntRoughlyUniform) {
+  Rng rng(13);
+  std::vector<int> counts(10, 0);
+  const int draws = 100000;
+  for (int i = 0; i < draws; ++i) {
+    counts[static_cast<std::size_t>(rng.UniformInt(0, 9))] += 1;
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, draws / 10, draws / 100);  // within 10% of expectation
+  }
+}
+
+TEST(RngTest, NormalMomentsMatch) {
+  Rng rng(17);
+  const int draws = 200000;
+  double sum = 0, sum2 = 0;
+  for (int i = 0; i < draws; ++i) {
+    const double v = rng.Normal(3.0, 2.0);
+    sum += v;
+    sum2 += v * v;
+  }
+  const double mean = sum / draws;
+  const double var = sum2 / draws - mean * mean;
+  EXPECT_NEAR(mean, 3.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.15);
+}
+
+TEST(RngTest, LogNormalIsPositive) {
+  Rng rng(19);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GT(rng.LogNormal(0.0, 2.0), 0.0);
+  }
+}
+
+TEST(RngTest, LogNormalMedianNearExpMu) {
+  Rng rng(23);
+  std::vector<double> draws;
+  for (int i = 0; i < 50001; ++i) draws.push_back(rng.LogNormal(1.0, 0.5));
+  std::nth_element(draws.begin(), draws.begin() + 25000, draws.end());
+  EXPECT_NEAR(draws[25000], std::exp(1.0), 0.1);
+}
+
+TEST(RngTest, ShufflePermutes) {
+  Rng rng(29);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, orig);
+}
+
+TEST(RngTest, ShuffleEmptyAndSingleton) {
+  Rng rng(31);
+  std::vector<int> empty;
+  rng.Shuffle(&empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one{9};
+  rng.Shuffle(&one);
+  EXPECT_EQ(one, std::vector<int>{9});
+}
+
+TEST(RngTest, ForkedStreamsAreIndependentAndDeterministic) {
+  Rng base(37);
+  Rng f1 = base.Fork(1);
+  Rng f2 = base.Fork(2);
+  Rng f1_again = base.Fork(1);
+  EXPECT_EQ(f1.NextU64(), f1_again.NextU64());
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (f1.NextU64() == f2.NextU64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+}  // namespace
+}  // namespace lispoison

@@ -1,0 +1,114 @@
+#include "index/root_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "data/generators.h"
+
+namespace lispoison {
+namespace {
+
+TEST(OracleRootTest, ReturnsExactRanks) {
+  auto ks = KeySet::Create({10, 20, 30, 40}, KeyDomain{0, 50});
+  ASSERT_TRUE(ks.ok());
+  auto root = TrainRootModel(RootModelKind::kOracle, *ks);
+  ASSERT_TRUE(root.ok());
+  EXPECT_DOUBLE_EQ((*root)->EstimateRank(10), 1.0);
+  EXPECT_DOUBLE_EQ((*root)->EstimateRank(40), 4.0);
+  EXPECT_DOUBLE_EQ((*root)->EstimateRank(25), 2.0);  // Keys <= 25.
+  EXPECT_DOUBLE_EQ((*root)->EstimateRank(5), 0.0);
+}
+
+TEST(LinearRootTest, TracksLinearCdf) {
+  auto ks = GenerateEvenlySpaced(101, KeyDomain{0, 1000});
+  ASSERT_TRUE(ks.ok());
+  auto root = TrainRootModel(RootModelKind::kLinear, *ks);
+  ASSERT_TRUE(root.ok());
+  // Evenly spaced keys: rank ~ k/10 + 1.
+  EXPECT_NEAR((*root)->EstimateRank(500), 51.0, 0.5);
+  EXPECT_EQ((*root)->ParameterCount(), 2);
+}
+
+TEST(CubicRootTest, FitsCubicCdfBetterThanLinear) {
+  // Keys spaced so the CDF is strongly convex: k_i = i^3.
+  std::vector<Key> keys;
+  for (Key i = 1; i <= 30; ++i) keys.push_back(i * i * i);
+  auto ks = KeySet::CreateWithTightDomain(keys);
+  ASSERT_TRUE(ks.ok());
+  auto cubic = TrainRootModel(RootModelKind::kCubic, *ks);
+  auto linear = TrainRootModel(RootModelKind::kLinear, *ks);
+  ASSERT_TRUE(cubic.ok());
+  ASSERT_TRUE(linear.ok());
+  double cubic_err = 0, linear_err = 0;
+  Rank r = 1;
+  for (Key k : ks->keys()) {
+    cubic_err += std::fabs((*cubic)->EstimateRank(k) - static_cast<double>(r));
+    linear_err +=
+        std::fabs((*linear)->EstimateRank(k) - static_cast<double>(r));
+    ++r;
+  }
+  EXPECT_LT(cubic_err, linear_err * 0.5);
+}
+
+TEST(PiecewiseRootTest, InterpolatesCdfClosely) {
+  Rng rng(3);
+  auto ks = GenerateLogNormal(5000, KeyDomain{0, 999999}, &rng);
+  ASSERT_TRUE(ks.ok());
+  auto root = TrainRootModel(RootModelKind::kPiecewiseLinear, *ks, 256);
+  ASSERT_TRUE(root.ok());
+  // Mean absolute rank error should be a small fraction of n. The
+  // log-normal(0, 2) spike concentrates most keys into a handful of
+  // equal-width segments, so allow 5% of n (a linear root is far worse).
+  double total_err = 0;
+  Rank r = 1;
+  for (Key k : ks->keys()) {
+    total_err += std::fabs((*root)->EstimateRank(k) - static_cast<double>(r));
+    ++r;
+  }
+  EXPECT_LT(total_err / static_cast<double>(ks->size()),
+            static_cast<double>(ks->size()) * 0.05);
+  // And the piecewise root must beat the linear root by a wide margin.
+  auto linear = TrainRootModel(RootModelKind::kLinear, *ks);
+  ASSERT_TRUE(linear.ok());
+  double linear_err = 0;
+  r = 1;
+  for (Key k : ks->keys()) {
+    linear_err +=
+        std::fabs((*linear)->EstimateRank(k) - static_cast<double>(r));
+    ++r;
+  }
+  EXPECT_LT(total_err, 0.25 * linear_err);
+}
+
+TEST(PiecewiseRootTest, MonotoneOnSamples) {
+  Rng rng(4);
+  auto ks = GenerateUniform(1000, KeyDomain{0, 99999}, &rng);
+  ASSERT_TRUE(ks.ok());
+  auto root = TrainRootModel(RootModelKind::kPiecewiseLinear, *ks, 64);
+  ASSERT_TRUE(root.ok());
+  double prev = -1;
+  for (Key k = 0; k <= 99999; k += 997) {
+    const double est = (*root)->EstimateRank(k);
+    EXPECT_GE(est, prev - 1e-9);
+    prev = est;
+  }
+}
+
+TEST(PiecewiseRootTest, SegmentValidation) {
+  auto ks = KeySet::Create({1, 2, 3}, KeyDomain{0, 10});
+  ASSERT_TRUE(ks.ok());
+  EXPECT_FALSE(
+      TrainRootModel(RootModelKind::kPiecewiseLinear, *ks, 0).ok());
+}
+
+TEST(RootModelTest, EmptyKeysetFails) {
+  auto ks = KeySet::Create({}, KeyDomain{0, 10});
+  ASSERT_TRUE(ks.ok());
+  EXPECT_FALSE(TrainRootModel(RootModelKind::kOracle, *ks).ok());
+  EXPECT_FALSE(TrainRootModel(RootModelKind::kLinear, *ks).ok());
+}
+
+}  // namespace
+}  // namespace lispoison

@@ -1,0 +1,76 @@
+#include "attack/single_point.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "data/generators.h"
+
+namespace lispoison {
+namespace {
+
+TEST(SinglePointTest, PoisonedLossExceedsBase) {
+  Rng rng(1);
+  auto ks = GenerateUniform(100, KeyDomain{0, 999}, &rng);
+  ASSERT_TRUE(ks.ok());
+  auto result = OptimalSinglePoint(*ks);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(static_cast<double>(result->poisoned_loss),
+            static_cast<double>(result->base_loss));
+  EXPECT_GT(result->RatioLoss(), 1.0);
+}
+
+TEST(SinglePointTest, PoisonKeyIsInteriorAndUnoccupied) {
+  Rng rng(2);
+  for (int trial = 0; trial < 20; ++trial) {
+    auto ks = GenerateUniform(50, KeyDomain{0, 499}, &rng);
+    ASSERT_TRUE(ks.ok());
+    auto result = OptimalSinglePoint(*ks);
+    ASSERT_TRUE(result.ok());
+    EXPECT_FALSE(ks->Contains(result->poison_key));
+    EXPECT_GT(result->poison_key, ks->keys().front());
+    EXPECT_LT(result->poison_key, ks->keys().back());
+  }
+}
+
+TEST(SinglePointTest, ExteriorAllowedWhenInteriorOnlyOff) {
+  // Two adjacent keys: no interior gap, but exterior candidates exist.
+  auto ks = KeySet::Create({10, 11}, KeyDomain{0, 20});
+  ASSERT_TRUE(ks.ok());
+  AttackOptions interior;
+  EXPECT_EQ(OptimalSinglePoint(*ks, interior).status().code(),
+            StatusCode::kResourceExhausted);
+  AttackOptions anywhere;
+  anywhere.interior_only = false;
+  auto result = OptimalSinglePoint(*ks, anywhere);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->poison_key < 10 || result->poison_key > 11);
+}
+
+TEST(SinglePointTest, EmptyKeysetFails) {
+  auto ks = KeySet::Create({}, KeyDomain{0, 10});
+  ASSERT_TRUE(ks.ok());
+  EXPECT_FALSE(OptimalSinglePoint(*ks).ok());
+}
+
+TEST(SinglePointTest, EvenlySpacedKeysGainLittleButPositive) {
+  // A perfectly linear CDF has zero base loss; one poisoning key makes
+  // the ratio infinite by definition (the paper's metric blows up).
+  auto ks = GenerateEvenlySpaced(11, KeyDomain{0, 100});
+  ASSERT_TRUE(ks.ok());
+  auto result = OptimalSinglePoint(*ks);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(static_cast<double>(result->base_loss), 0.0, 1e-9);
+  EXPECT_GT(static_cast<double>(result->poisoned_loss), 0.0);
+  EXPECT_TRUE(std::isinf(result->RatioLoss()));
+}
+
+TEST(SafeRatioLossTest, Cases) {
+  EXPECT_DOUBLE_EQ(SafeRatioLoss(10.0L, 2.0L), 5.0);
+  EXPECT_TRUE(std::isinf(SafeRatioLoss(1.0L, 0.0L)));
+  EXPECT_DOUBLE_EQ(SafeRatioLoss(0.0L, 0.0L), 1.0);
+}
+
+}  // namespace
+}  // namespace lispoison

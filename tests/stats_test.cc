@@ -1,0 +1,128 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace lispoison {
+namespace {
+
+TEST(MomentAccumulatorTest, CountAndMeans) {
+  MomentAccumulator acc;
+  acc.Add(2, 1);
+  acc.Add(4, 2);
+  acc.Add(6, 3);
+  EXPECT_EQ(acc.count(), 3);
+  EXPECT_DOUBLE_EQ(static_cast<double>(acc.MeanX()), 4.0);
+  EXPECT_DOUBLE_EQ(static_cast<double>(acc.MeanY()), 2.0);
+}
+
+TEST(MomentAccumulatorTest, VarianceAndCovarianceExact) {
+  MomentAccumulator acc;
+  // X = {0, 2, 4}; Y = {1, 2, 3}. VarX = 8/3, VarY = 2/3, Cov = 4/3.
+  acc.Add(0, 1);
+  acc.Add(2, 2);
+  acc.Add(4, 3);
+  EXPECT_NEAR(static_cast<double>(acc.VarX()), 8.0 / 3.0, 1e-15);
+  EXPECT_NEAR(static_cast<double>(acc.VarY()), 2.0 / 3.0, 1e-15);
+  EXPECT_NEAR(static_cast<double>(acc.CovXY()), 4.0 / 3.0, 1e-15);
+}
+
+TEST(MomentAccumulatorTest, RemoveUndoesAdd) {
+  MomentAccumulator acc;
+  acc.Add(10, 1);
+  acc.Add(20, 2);
+  acc.Add(30, 3);
+  acc.Remove(20, 2);
+  MomentAccumulator ref;
+  ref.Add(10, 1);
+  ref.Add(30, 3);
+  EXPECT_EQ(acc.count(), ref.count());
+  EXPECT_EQ(static_cast<double>(acc.VarX()), static_cast<double>(ref.VarX()));
+  EXPECT_EQ(static_cast<double>(acc.CovXY()),
+            static_cast<double>(ref.CovXY()));
+}
+
+TEST(MomentAccumulatorTest, LargeKeysNoCancellation) {
+  // Keys near 10^9 with tiny spread: naive float aggregates would lose
+  // the variance entirely; the exact 128-bit numerators must not.
+  MomentAccumulator acc;
+  const Key base = 1000000000;
+  for (int i = 0; i < 100; ++i) {
+    acc.Add(base + i, i + 1);
+  }
+  // X is an arithmetic sequence of step 1, so VarX = (100^2 - 1)/12.
+  EXPECT_NEAR(static_cast<double>(acc.VarX()), (100.0 * 100.0 - 1.0) / 12.0,
+              1e-9);
+}
+
+TEST(QuantileTest, EdgesAndMidpoints) {
+  const std::vector<double> v{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.25), 2.0);
+}
+
+TEST(QuantileTest, InterpolatesBetweenPoints) {
+  const std::vector<double> v{0, 10};
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.75), 7.5);
+}
+
+TEST(QuantileTest, EmptyReturnsZero) {
+  EXPECT_DOUBLE_EQ(Quantile({}, 0.5), 0.0);
+}
+
+TEST(BoxplotTest, FiveNumberSummary) {
+  std::vector<double> v{1, 2, 3, 4, 5, 6, 7, 8, 9};
+  const BoxplotSummary s = ComputeBoxplot(v);
+  EXPECT_DOUBLE_EQ(s.min, 1);
+  EXPECT_DOUBLE_EQ(s.max, 9);
+  EXPECT_DOUBLE_EQ(s.median, 5);
+  EXPECT_DOUBLE_EQ(s.q1, 3);
+  EXPECT_DOUBLE_EQ(s.q3, 7);
+  EXPECT_DOUBLE_EQ(s.mean, 5);
+  EXPECT_EQ(s.count, 9u);
+}
+
+TEST(BoxplotTest, WhiskersExcludeOutliers) {
+  // 1..9 plus a far outlier at 100: the high whisker must stay at 9.
+  std::vector<double> v{1, 2, 3, 4, 5, 6, 7, 8, 9, 100};
+  const BoxplotSummary s = ComputeBoxplot(v);
+  EXPECT_DOUBLE_EQ(s.max, 100);
+  EXPECT_LT(s.whisker_hi, 100);
+  EXPECT_GE(s.whisker_lo, 1);
+}
+
+TEST(BoxplotTest, EmptyIsZeroed) {
+  const BoxplotSummary s = ComputeBoxplot({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.min, 0);
+  EXPECT_DOUBLE_EQ(s.max, 0);
+}
+
+TEST(BoxplotTest, SingletonCollapses) {
+  const BoxplotSummary s = ComputeBoxplot({3.5});
+  EXPECT_DOUBLE_EQ(s.min, 3.5);
+  EXPECT_DOUBLE_EQ(s.q1, 3.5);
+  EXPECT_DOUBLE_EQ(s.median, 3.5);
+  EXPECT_DOUBLE_EQ(s.q3, 3.5);
+  EXPECT_DOUBLE_EQ(s.max, 3.5);
+}
+
+TEST(BoxplotTest, ToStringMentionsQuartiles) {
+  const BoxplotSummary s = ComputeBoxplot({1, 2, 3});
+  const std::string str = s.ToString();
+  EXPECT_NE(str.find("med="), std::string::npos);
+  EXPECT_NE(str.find("q1="), std::string::npos);
+}
+
+TEST(MeanTest, Basics) {
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Mean({2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(Mean({1.0, 2.0, 3.0}), 2.0);
+}
+
+}  // namespace
+}  // namespace lispoison

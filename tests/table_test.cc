@@ -1,0 +1,75 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace lispoison {
+namespace {
+
+TEST(TextTableTest, AlignedOutputContainsCells) {
+  TextTable t;
+  t.SetHeader({"name", "value"});
+  t.AddRow({"alpha", "1"});
+  t.AddRow({"beta", "22"});
+  std::ostringstream os;
+  t.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TextTableTest, ColumnsAreAligned) {
+  TextTable t;
+  t.SetHeader({"a", "b"});
+  t.AddRow({"xxxxxx", "1"});
+  t.AddRow({"y", "2"});
+  std::ostringstream os;
+  t.Print(os);
+  // Both data rows place column b at the same offset.
+  std::istringstream lines(os.str());
+  std::string header, sep, row1, row2;
+  std::getline(lines, header);
+  std::getline(lines, sep);
+  std::getline(lines, row1);
+  std::getline(lines, row2);
+  EXPECT_EQ(row1.find('1'), row2.find('2'));
+}
+
+TEST(TextTableTest, CsvOutput) {
+  TextTable t;
+  t.SetHeader({"a", "b"});
+  t.AddRow({"1", "2"});
+  std::ostringstream os;
+  t.PrintCsv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(TextTableTest, FmtDouble) {
+  EXPECT_EQ(TextTable::Fmt(1.5), "1.5");
+  EXPECT_EQ(TextTable::Fmt(0.123456, 3), "0.123");
+  EXPECT_EQ(TextTable::Fmt(static_cast<std::int64_t>(42)), "42");
+}
+
+TEST(TextTableTest, RowCount) {
+  TextTable t;
+  t.SetHeader({"x"});
+  EXPECT_EQ(t.row_count(), 0u);
+  t.AddRow({"1"});
+  t.AddRow({"2"});
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(TextTableTest, RaggedRowsDoNotCrash) {
+  TextTable t;
+  t.SetHeader({"a"});
+  t.AddRow({"1", "extra"});
+  std::ostringstream os;
+  t.Print(os);
+  EXPECT_NE(os.str().find("extra"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lispoison

@@ -1,0 +1,129 @@
+#include "defense/trim.h"
+
+#include <gtest/gtest.h>
+
+#include "attack/greedy_poisoner.h"
+#include "common/rng.h"
+#include "data/generators.h"
+#include "index/cdf_regression.h"
+
+namespace lispoison {
+namespace {
+
+TEST(TrimTest, KeepsExpectedCount) {
+  Rng rng(1);
+  auto ks = GenerateUniform(200, KeyDomain{0, 1999}, &rng);
+  ASSERT_TRUE(ks.ok());
+  TrimOptions opts;
+  opts.assumed_poison_fraction = 0.10;
+  auto result = TrimDefense(*ks, opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->kept_keys.size(), 180u);
+  EXPECT_EQ(result->removed_keys.size(), 20u);
+}
+
+TEST(TrimTest, TrimmedLossNotWorseThanFullLoss) {
+  Rng rng(2);
+  auto ks = GenerateUniform(300, KeyDomain{0, 2999}, &rng);
+  ASSERT_TRUE(ks.ok());
+  auto poisoned_attack = GreedyPoisonCdf(*ks, 30);
+  ASSERT_TRUE(poisoned_attack.ok());
+  auto poisoned = ApplyPoison(*ks, poisoned_attack->poison_keys);
+  ASSERT_TRUE(poisoned.ok());
+  TrimOptions opts;
+  opts.assumed_poison_fraction = 30.0 / 330.0;
+  auto result = TrimDefense(*poisoned, opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LT(static_cast<double>(result->trimmed_loss),
+            static_cast<double>(poisoned_attack->poisoned_loss));
+}
+
+TEST(TrimTest, StrugglesAgainstInteriorPoisoning) {
+  // Section VI's claim: TRIM cannot cleanly separate CDF poisons because
+  // they hide inside dense legitimate regions. Expect recall well below
+  // 1 and/or meaningful collateral damage on most instances.
+  Rng rng(3);
+  double total_collateral = 0;
+  int trials = 0;
+  for (int t = 0; t < 5; ++t) {
+    auto ks = GenerateUniform(200, KeyDomain{0, 1999}, &rng);
+    ASSERT_TRUE(ks.ok());
+    auto attack = GreedyPoisonCdf(*ks, 20);
+    ASSERT_TRUE(attack.ok());
+    auto poisoned = ApplyPoison(*ks, attack->poison_keys);
+    ASSERT_TRUE(poisoned.ok());
+    TrimOptions opts;
+    opts.assumed_poison_fraction = 20.0 / 220.0;
+    auto result = TrimDefense(*poisoned, opts);
+    ASSERT_TRUE(result.ok());
+    const DefenseQuality q =
+        ScoreDefense(result->removed_keys, attack->poison_keys);
+    total_collateral += static_cast<double>(q.false_positives);
+    ++trials;
+  }
+  // Across trials TRIM removes legitimate keys as collateral.
+  EXPECT_GT(total_collateral / trials, 0.5);
+}
+
+TEST(TrimTest, CleanDataMostlyConverges) {
+  Rng rng(4);
+  auto ks = GenerateUniform(150, KeyDomain{0, 1499}, &rng);
+  ASSERT_TRUE(ks.ok());
+  auto result = TrimDefense(*ks, TrimOptions{});
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(result->iterations, 1);
+  EXPECT_LE(result->iterations, 64);
+}
+
+TEST(TrimTest, Validation) {
+  auto empty = KeySet::Create({}, KeyDomain{0, 10});
+  ASSERT_TRUE(empty.ok());
+  EXPECT_FALSE(TrimDefense(*empty).ok());
+
+  auto tiny = KeySet::Create({1, 2}, KeyDomain{0, 10});
+  ASSERT_TRUE(tiny.ok());
+  TrimOptions opts;
+  opts.assumed_poison_fraction = 0.9;  // Would keep < 2 keys.
+  EXPECT_FALSE(TrimDefense(*tiny, opts).ok());
+
+  opts.assumed_poison_fraction = -0.1;
+  EXPECT_FALSE(TrimDefense(*tiny, opts).ok());
+  opts.assumed_poison_fraction = 1.0;
+  EXPECT_FALSE(TrimDefense(*tiny, opts).ok());
+}
+
+TEST(TrimTest, ZeroAssumedFractionKeepsEverything) {
+  auto ks = KeySet::Create({1, 5, 9, 14}, KeyDomain{0, 20});
+  ASSERT_TRUE(ks.ok());
+  TrimOptions opts;
+  opts.assumed_poison_fraction = 0.0;
+  auto result = TrimDefense(*ks, opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->kept_keys.size(), 4u);
+  EXPECT_TRUE(result->removed_keys.empty());
+  EXPECT_TRUE(result->converged);
+}
+
+TEST(ScoreDefenseTest, PrecisionRecall) {
+  const std::vector<Key> removed{1, 2, 3, 4};
+  const std::vector<Key> poison{3, 4, 5, 6};
+  const DefenseQuality q = ScoreDefense(removed, poison);
+  EXPECT_EQ(q.true_positives, 2);
+  EXPECT_EQ(q.false_positives, 2);
+  EXPECT_EQ(q.false_negatives, 2);
+  EXPECT_DOUBLE_EQ(q.precision, 0.5);
+  EXPECT_DOUBLE_EQ(q.recall, 0.5);
+}
+
+TEST(ScoreDefenseTest, EmptyCases) {
+  const DefenseQuality none = ScoreDefense({}, {1, 2});
+  EXPECT_EQ(none.true_positives, 0);
+  EXPECT_EQ(none.false_negatives, 2);
+  EXPECT_DOUBLE_EQ(none.precision, 0.0);
+  const DefenseQuality no_poison = ScoreDefense({1}, {});
+  EXPECT_EQ(no_poison.false_positives, 1);
+  EXPECT_DOUBLE_EQ(no_poison.recall, 0.0);
+}
+
+}  // namespace
+}  // namespace lispoison
