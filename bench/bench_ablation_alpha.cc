@@ -52,6 +52,7 @@ int Run(int argc, char** argv) {
     opts.alpha = alpha;
     opts.epsilon = epsilon;
     opts.max_exchanges = exchanges ? 0 : -1;  // -1 disables re-allocation.
+    opts.num_threads = 0;  // One worker per hardware thread.
     auto result = PoisonRmi(*keyset_or, opts);
     if (!result.ok()) {
       std::fprintf(stderr, "attack failed: %s\n",

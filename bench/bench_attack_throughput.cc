@@ -1,0 +1,192 @@
+// Attack-construction throughput: the incremental landscape engine and
+// the parallel RMI poisoner against their pre-refactor rebuild-per-round
+// references, on the key distributions the paper evaluates (clustered /
+// OSM-like dense runs, log-normal skew, sparse uniform).
+//
+// Run the acceptance configuration and commit the JSON trajectory:
+//   ./bench_attack_throughput --benchmark_out=BENCH_attack_throughput.json \
+//       --benchmark_out_format=json
+// CI smoke-runs this binary with a small --benchmark_filter +
+// --benchmark_min_time cap; the committed JSON comes from a full run.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <map>
+#include <utility>
+
+#include "attack/greedy_poisoner.h"
+#include "attack/rmi_poisoner.h"
+#include "common/rng.h"
+#include "data/generators.h"
+#include "data/keyset.h"
+
+namespace lispoison {
+namespace {
+
+enum Dataset : std::int64_t {
+  kDenseRuns = 0,  // Contiguous ID runs far apart (Section VI's dense
+                   // clusters; sequential IDs / timestamps with holes).
+  kUniform = 1,    // Sparse uniform over a wide domain.
+  kLogNormal = 2,  // The paper's skewed synthetic workload.
+};
+
+/// Deterministic keyset cache so every engine benchmarks the same keys.
+const KeySet& CachedKeyset(Dataset dataset, std::int64_t n) {
+  static std::map<std::pair<std::int64_t, std::int64_t>, KeySet>* cache =
+      new std::map<std::pair<std::int64_t, std::int64_t>, KeySet>();
+  const auto key = std::make_pair(static_cast<std::int64_t>(dataset), n);
+  auto it = cache->find(key);
+  if (it != cache->end()) return it->second;
+  Rng rng(0xC0FFEE + static_cast<std::uint64_t>(dataset));
+  Result<KeySet> ks = Status::Internal("unset");
+  switch (dataset) {
+    case kDenseRuns: {
+      // 50 contiguous runs separated by equally sized holes: long dense
+      // stretches with few maximal gaps, the regime of real learned-index
+      // keys (sequential IDs, timestamps, OSM latitudes).
+      const std::int64_t runs = 50;
+      const std::int64_t run_len = n / runs;
+      std::vector<Key> keys;
+      keys.reserve(static_cast<std::size_t>(n));
+      Key cursor = 0;
+      for (std::int64_t b = 0; b < runs; ++b) {
+        for (std::int64_t i = 0; i < run_len; ++i) keys.push_back(cursor + i);
+        cursor += 2 * run_len;  // run, then an equally long hole.
+      }
+      ks = KeySet::Create(std::move(keys), KeyDomain{0, cursor});
+      break;
+    }
+    case kUniform:
+      ks = GenerateUniform(n, KeyDomain{0, 100 * n}, &rng);
+      break;
+    case kLogNormal:
+      ks = GenerateLogNormal(n, KeyDomain{0, 100 * n}, &rng);
+      break;
+  }
+  if (!ks.ok()) {
+    std::fprintf(stderr, "keyset generation failed: %s\n",
+                 ks.status().message().c_str());
+    std::abort();
+  }
+  return cache->emplace(key, std::move(*ks)).first->second;
+}
+
+void ReportGreedy(benchmark::State& state, const GreedyPoisonResult& r,
+                  std::int64_t p) {
+  state.counters["poisons_per_sec"] = benchmark::Counter(
+      static_cast<double>(p), benchmark::Counter::kIsIterationInvariantRate);
+  state.counters["ratio_loss"] = r.RatioLoss();
+}
+
+void BM_GreedyPoisonCdf_Incremental(benchmark::State& state) {
+  const auto dataset = static_cast<Dataset>(state.range(0));
+  const std::int64_t n = state.range(1);
+  const std::int64_t p = state.range(2);
+  const KeySet& ks = CachedKeyset(dataset, n);
+  GreedyPoisonResult last;
+  for (auto _ : state) {
+    auto r = GreedyPoisonCdf(ks, p);
+    if (!r.ok()) {
+      state.SkipWithError(r.status().message().c_str());
+      break;
+    }
+    last = std::move(*r);
+    benchmark::DoNotOptimize(last.poisoned_loss);
+  }
+  ReportGreedy(state, last, p);
+}
+
+void BM_GreedyPoisonCdf_Reference(benchmark::State& state) {
+  const auto dataset = static_cast<Dataset>(state.range(0));
+  const std::int64_t n = state.range(1);
+  const std::int64_t p = state.range(2);
+  const KeySet& ks = CachedKeyset(dataset, n);
+  GreedyPoisonResult last;
+  for (auto _ : state) {
+    auto r = GreedyPoisonCdfReference(ks, p);
+    if (!r.ok()) {
+      state.SkipWithError(r.status().message().c_str());
+      break;
+    }
+    last = std::move(*r);
+    benchmark::DoNotOptimize(last.poisoned_loss);
+  }
+  ReportGreedy(state, last, p);
+}
+
+void BM_PoisonRmi_Incremental(benchmark::State& state) {
+  const auto dataset = static_cast<Dataset>(state.range(0));
+  const std::int64_t n = state.range(1);
+  const std::int64_t num_models = state.range(2);
+  const int num_threads = static_cast<int>(state.range(3));
+  const KeySet& ks = CachedKeyset(dataset, n);
+  RmiAttackOptions opts;
+  opts.poison_fraction = 0.10;
+  opts.num_models = num_models;
+  opts.num_threads = num_threads;
+  for (auto _ : state) {
+    auto r = PoisonRmi(ks, opts);
+    if (!r.ok()) {
+      state.SkipWithError(r.status().message().c_str());
+      break;
+    }
+    benchmark::DoNotOptimize(r->poisoned_rmi_loss);
+    state.counters["rmi_ratio_loss"] = r->rmi_ratio_loss;
+    state.counters["exchanges"] = static_cast<double>(r->exchanges_applied);
+  }
+}
+
+void BM_PoisonRmi_Reference(benchmark::State& state) {
+  const auto dataset = static_cast<Dataset>(state.range(0));
+  const std::int64_t n = state.range(1);
+  const std::int64_t num_models = state.range(2);
+  const KeySet& ks = CachedKeyset(dataset, n);
+  RmiAttackOptions opts;
+  opts.poison_fraction = 0.10;
+  opts.num_models = num_models;
+  for (auto _ : state) {
+    auto r = PoisonRmiReference(ks, opts);
+    if (!r.ok()) {
+      state.SkipWithError(r.status().message().c_str());
+      break;
+    }
+    benchmark::DoNotOptimize(r->poisoned_rmi_loss);
+    state.counters["rmi_ratio_loss"] = r->rmi_ratio_loss;
+    state.counters["exchanges"] = static_cast<double>(r->exchanges_applied);
+  }
+}
+
+// Acceptance configuration: n=100k, p=1000 greedy; n=100k, 200 models
+// RMI. Smaller variants first so CI smoke filters stay cheap.
+BENCHMARK(BM_GreedyPoisonCdf_Incremental)
+    ->Unit(benchmark::kMillisecond)
+    ->Args({kDenseRuns, 10000, 100})
+    ->Args({kDenseRuns, 100000, 1000})
+    ->Args({kLogNormal, 100000, 1000})
+    ->Args({kUniform, 100000, 1000});
+BENCHMARK(BM_GreedyPoisonCdf_Reference)
+    ->Unit(benchmark::kMillisecond)
+    ->Args({kDenseRuns, 10000, 100})
+    ->Args({kDenseRuns, 100000, 1000})
+    ->Args({kLogNormal, 100000, 1000})
+    ->Args({kUniform, 100000, 1000});
+// Dense runs saturate the per-model budget at paper scale (most models
+// own a fully contiguous span with no interior candidate), so the RMI
+// configurations use the paper's skewed and uniform workloads.
+BENCHMARK(BM_PoisonRmi_Incremental)
+    ->Unit(benchmark::kMillisecond)
+    ->Args({kDenseRuns, 10000, 20, 1})
+    ->Args({kLogNormal, 100000, 200, 1})
+    ->Args({kLogNormal, 100000, 200, 0})
+    ->Args({kUniform, 100000, 200, 1});
+BENCHMARK(BM_PoisonRmi_Reference)
+    ->Unit(benchmark::kMillisecond)
+    ->Args({kDenseRuns, 10000, 20})
+    ->Args({kLogNormal, 100000, 200})
+    ->Args({kUniform, 100000, 200});
+
+}  // namespace
+}  // namespace lispoison
+
+BENCHMARK_MAIN();

@@ -57,6 +57,7 @@ int main(int argc, char** argv) {
   attack_opts.poison_fraction = pct / 100.0;
   attack_opts.model_size = model_size;
   attack_opts.alpha = 3.0;
+  attack_opts.num_threads = 0;  // One worker per hardware thread.
   auto attack = PoisonRmi(*salaries, attack_opts);
   if (!attack.ok()) {
     std::fprintf(stderr, "%s\n", attack.status().ToString().c_str());

@@ -21,6 +21,41 @@ Result<GreedyPoisonResult> GreedyPoisonCdf(const KeySet& keyset,
   result.poison_keys.reserve(static_cast<std::size_t>(p));
   result.loss_trajectory.reserve(static_cast<std::size_t>(p));
 
+  // One landscape for the whole attack: each committed poison updates
+  // the aggregates and the gap decomposition in place, so the next
+  // round's argmax sees the compound rank shifts exactly.
+  LISPOISON_ASSIGN_OR_RETURN(LossLandscape landscape,
+                             LossLandscape::Create(keyset));
+  result.base_loss = landscape.BaseLoss();
+
+  for (std::int64_t round = 0; round < p; ++round) {
+    auto best = landscape.FindOptimal(options.interior_only);
+    if (!best.ok()) {
+      return Status::ResourceExhausted(
+          "poisoning range exhausted after " + std::to_string(round) +
+          " of " + std::to_string(p) + " insertions");
+    }
+    LISPOISON_RETURN_IF_ERROR(landscape.InsertKey(best->key));
+    result.poison_keys.push_back(best->key);
+    result.loss_trajectory.push_back(best->loss);
+  }
+  result.poisoned_loss = result.loss_trajectory.back();
+  return result;
+}
+
+Result<GreedyPoisonResult> GreedyPoisonCdfReference(
+    const KeySet& keyset, std::int64_t p, const AttackOptions& options) {
+  if (keyset.empty()) {
+    return Status::InvalidArgument("cannot poison an empty keyset");
+  }
+  if (p < 1) {
+    return Status::InvalidArgument("poisoning budget p must be >= 1");
+  }
+
+  GreedyPoisonResult result;
+  result.poison_keys.reserve(static_cast<std::size_t>(p));
+  result.loss_trajectory.reserve(static_cast<std::size_t>(p));
+
   // The working set starts as K and absorbs each committed poisoning key;
   // the next round's landscape sees updated ranks automatically (the
   // compound effect is recomputed exactly each round).

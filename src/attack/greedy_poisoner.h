@@ -37,12 +37,25 @@ struct GreedyPoisonResult {
 /// round choosing the unoccupied gap-endpoint key that maximizes the
 /// retrained loss.
 ///
+/// Implemented on the incremental LossLandscape engine: the landscape is
+/// built once and each committed poison updates it in place, so a round
+/// costs O(G) candidate evaluations (G = current gap count) with no
+/// per-round KeySet/landscape reconstruction. Selects bit-identical
+/// poison sequences to GreedyPoisonCdfReference.
+///
 /// Fails with InvalidArgument for empty keysets or p < 1, and with
 /// ResourceExhausted if the allowed range runs out of unoccupied keys
 /// before p insertions (the caller's budget exceeds the domain).
 Result<GreedyPoisonResult> GreedyPoisonCdf(const KeySet& keyset,
                                            std::int64_t p,
                                            const AttackOptions& options = {});
+
+/// \brief The pre-refactor rebuild-per-round implementation of
+/// Algorithm 1: every round re-creates the KeySet and LossLandscape from
+/// scratch (O(p * n) total). Kept as the differential-testing oracle and
+/// the baseline of bench_attack_throughput; do not use on hot paths.
+Result<GreedyPoisonResult> GreedyPoisonCdfReference(
+    const KeySet& keyset, std::int64_t p, const AttackOptions& options = {});
 
 /// \brief Convenience: returns keyset ∪ poison_keys as a new KeySet.
 Result<KeySet> ApplyPoison(const KeySet& keyset,

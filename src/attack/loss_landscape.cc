@@ -6,6 +6,11 @@
 namespace lispoison {
 namespace {
 
+/// Largest up-front Sweep reservation. A wide KeyDomain used to drive
+/// out.reserve(hi - lo + 1) into an allocation bomb; beyond this cap the
+/// vector grows geometrically like any other.
+constexpr std::int64_t kSweepReserveCap = 1 << 20;
+
 /// Theorem 1 loss from exact (n^2-scaled) aggregate numerators:
 /// L = [VarY_n - CovXY_n^2 / VarX_n] / n^2 where *_n = n^2 * moment.
 long double LossFromSums(std::int64_t n, Int128 sum_x, Int128 sum_x2,
@@ -27,6 +32,16 @@ long double LossFromSums(std::int64_t n, Int128 sum_x, Int128 sum_x2,
   return loss < 0 ? 0 : loss;
 }
 
+/// Rank-moment sums for ranks 1..n.
+inline Int128 SumRanks(std::int64_t n) {
+  const Int128 m = n;
+  return m * (m + 1) / 2;
+}
+inline Int128 SumRankSquares(std::int64_t n) {
+  const Int128 m = n;
+  return m * (m + 1) * (2 * m + 1) / 6;
+}
+
 }  // namespace
 
 Result<LossLandscape> LossLandscape::Create(const KeySet& keyset) {
@@ -35,44 +50,130 @@ Result<LossLandscape> LossLandscape::Create(const KeySet& keyset) {
         "loss landscape requires a non-empty keyset");
   }
   LossLandscape ll;
-  ll.keys_ = keyset.keys();
+  ll.base_keys_ = keyset.keys();
   ll.domain_ = keyset.domain();
   ll.n_ = keyset.size();
-  ll.shift_ = ll.keys_.front();
-  ll.suffix_key_sum_.assign(static_cast<std::size_t>(ll.n_) + 1, 0);
-  for (std::int64_t i = ll.n_ - 1; i >= 0; --i) {
+  ll.shift_ = ll.base_keys_.front();
+  ll.min_key_ = ll.base_keys_.front();
+  ll.max_key_ = ll.base_keys_.back();
+  ll.base_prefix_.assign(static_cast<std::size_t>(ll.n_) + 1, 0);
+  for (std::int64_t i = 0; i < ll.n_; ++i) {
     const Int128 shifted =
-        static_cast<Int128>(ll.keys_[static_cast<std::size_t>(i)]) -
+        static_cast<Int128>(ll.base_keys_[static_cast<std::size_t>(i)]) -
         ll.shift_;
-    ll.suffix_key_sum_[static_cast<std::size_t>(i)] =
-        ll.suffix_key_sum_[static_cast<std::size_t>(i) + 1] + shifted;
-    ll.sum_k_ += shifted;
+    ll.base_prefix_[static_cast<std::size_t>(i) + 1] =
+        ll.base_prefix_[static_cast<std::size_t>(i)] + shifted;
     ll.sum_k2_ += shifted * shifted;
     ll.sum_kr_ += shifted * (i + 1);
   }
-  // Base (unpoisoned) loss over ranks 1..n.
-  const Int128 n = ll.n_;
-  const Int128 sum_r = n * (n + 1) / 2;
-  const Int128 sum_r2 = n * (n + 1) * (2 * n + 1) / 6;
-  ll.base_loss_ =
-      LossFromSums(ll.n_, ll.sum_k_, ll.sum_k2_, sum_r, sum_r2, ll.sum_kr_);
+  ll.sum_k_ = ll.base_prefix_[static_cast<std::size_t>(ll.n_)];
+  ll.inserted_slot_sum_.Reset(static_cast<std::size_t>(ll.n_) + 1);
+
+  // Maximal unoccupied runs over the whole domain; interior clipping
+  // happens at query time against the current min/max key.
+  Key cursor = ll.domain_.lo;
+  std::int64_t base_count = 0;
+  for (const Key k : ll.base_keys_) {
+    if (cursor <= k - 1) {
+      ll.gaps_.push_back(Gap{cursor, k - 1, base_count});
+    }
+    cursor = k + 1;
+    ++base_count;
+  }
+  if (cursor <= ll.domain_.hi) {
+    ll.gaps_.push_back(Gap{cursor, ll.domain_.hi, base_count});
+  }
+
+  ll.RecomputeCurrentLoss();
   return ll;
 }
 
-long double LossLandscape::LossWithInsertion(Key kp, Rank count_less) const {
+void LossLandscape::RecomputeCurrentLoss() {
+  base_loss_ = LossFromSums(n_, sum_k_, sum_k2_, SumRanks(n_),
+                            SumRankSquares(n_), sum_kr_);
+}
+
+LossLandscape::PrefixStats LossLandscape::PrefixAt(Key kp) const {
+  const auto base_it =
+      std::lower_bound(base_keys_.begin(), base_keys_.end(), kp);
+  const std::size_t j = static_cast<std::size_t>(base_it - base_keys_.begin());
+  const auto ins_it = std::lower_bound(inserted_.begin(), inserted_.end(), kp);
+
+  PrefixStats stats;
+  stats.count_less = static_cast<Rank>(j) +
+                     static_cast<Rank>(ins_it - inserted_.begin());
+  stats.prefix_sum = base_prefix_[j] + inserted_slot_sum_.PrefixSum(j);
+  // Inserted keys sharing base slot j but below kp are not covered by the
+  // Fenwick prefix; they form a contiguous overlay range.
+  auto slot_begin = inserted_.begin();
+  if (j > 0) {
+    slot_begin = std::lower_bound(inserted_.begin(), ins_it,
+                                  base_keys_[j - 1]);
+  }
+  for (auto it = slot_begin; it != ins_it; ++it) {
+    stats.prefix_sum += static_cast<Int128>(*it) - shift_;
+  }
+  return stats;
+}
+
+Status LossLandscape::InsertKey(Key kp) {
+  if (!domain_.Contains(kp)) {
+    return Status::OutOfRange("poisoning key " + std::to_string(kp) +
+                              " outside the key domain");
+  }
+  // A key is unoccupied iff it lies inside a gap.
+  auto gap_it = std::upper_bound(
+      gaps_.begin(), gaps_.end(), kp,
+      [](Key k, const Gap& g) { return k < g.lo; });
+  if (gap_it == gaps_.begin() || (--gap_it)->hi < kp) {
+    return Status::InvalidArgument("poisoning key " + std::to_string(kp) +
+                                   " is already occupied");
+  }
+
+  const PrefixStats stats = PrefixAt(kp);
+  const Int128 kp_s = static_cast<Int128>(kp) - shift_;
+  // Compound effect: every key above kp gains one rank (adding the
+  // suffix key-sum once), and kp enters with rank count_less + 1.
+  sum_kr_ += (sum_k_ - stats.prefix_sum) + kp_s * (stats.count_less + 1);
+  sum_k_ += kp_s;
+  sum_k2_ += kp_s * kp_s;
+  n_ += 1;
+  RecomputeCurrentLoss();
+
+  inserted_slot_sum_.Add(static_cast<std::size_t>(gap_it->base_count), kp_s);
+  inserted_.insert(std::lower_bound(inserted_.begin(), inserted_.end(), kp),
+                   kp);
+
+  // Split the gap around kp (it contains no other key by construction).
+  Gap& g = *gap_it;
+  if (g.lo == kp && g.hi == kp) {
+    gaps_.erase(gap_it);
+  } else if (g.lo == kp) {
+    g.lo = kp + 1;
+  } else if (g.hi == kp) {
+    g.hi = kp - 1;
+  } else {
+    const Gap right{kp + 1, g.hi, g.base_count};
+    g.hi = kp - 1;
+    gaps_.insert(gap_it + 1, right);
+  }
+
+  if (kp < min_key_) min_key_ = kp;
+  if (kp > max_key_) max_key_ = kp;
+  return Status::OK();
+}
+
+long double LossLandscape::LossWithInsertion(Key kp, Rank count_less,
+                                             Int128 suffix_sum) const {
   const std::int64_t n1 = n_ + 1;
   const Int128 kp_s = static_cast<Int128>(kp) - shift_;
   const Int128 sum_x = sum_k_ + kp_s;
   const Int128 sum_x2 = sum_k2_ + kp_s * kp_s;
   // Every legitimate key above kp gains one rank, adding its (shifted)
   // value once to sum(XY); kp itself enters with rank count_less + 1.
-  const Int128 sum_xy =
-      sum_kr_ + suffix_key_sum_[static_cast<std::size_t>(count_less)] +
-      kp_s * (count_less + 1);
-  const Int128 m = n1;
-  const Int128 sum_y = m * (m + 1) / 2;
-  const Int128 sum_y2 = m * (m + 1) * (2 * m + 1) / 6;
-  return LossFromSums(n1, sum_x, sum_x2, sum_y, sum_y2, sum_xy);
+  const Int128 sum_xy = sum_kr_ + suffix_sum + kp_s * (count_less + 1);
+  return LossFromSums(n1, sum_x, sum_x2, SumRanks(n1), SumRankSquares(n1),
+                      sum_xy);
 }
 
 Result<long double> LossLandscape::LossAt(Key kp) const {
@@ -80,80 +181,141 @@ Result<long double> LossLandscape::LossAt(Key kp) const {
     return Status::OutOfRange("poisoning key " + std::to_string(kp) +
                               " outside the key domain");
   }
-  const auto it = std::lower_bound(keys_.begin(), keys_.end(), kp);
-  if (it != keys_.end() && *it == kp) {
+  const bool in_base = std::binary_search(base_keys_.begin(),
+                                          base_keys_.end(), kp);
+  if (in_base ||
+      std::binary_search(inserted_.begin(), inserted_.end(), kp)) {
     return Status::InvalidArgument("poisoning key " + std::to_string(kp) +
                                    " is already occupied");
   }
-  const Rank count_less = static_cast<Rank>(it - keys_.begin());
-  return LossWithInsertion(kp, count_less);
+  const PrefixStats stats = PrefixAt(kp);
+  return LossWithInsertion(kp, stats.count_less, sum_k_ - stats.prefix_sum);
 }
 
 std::vector<Key> LossLandscape::GapEndpoints(bool interior_only) const {
   std::vector<Key> endpoints;
-  const Key lo = interior_only ? keys_.front() + 1 : domain_.lo;
-  const Key hi = interior_only ? keys_.back() - 1 : domain_.hi;
-  if (lo > hi) return endpoints;
-
-  // Walk the gaps between consecutive legitimate keys intersected with
-  // [lo, hi]; emit each gap's first and last unoccupied key.
-  auto add_gap = [&endpoints](Key gap_lo, Key gap_hi) {
-    if (gap_lo > gap_hi) return;
-    endpoints.push_back(gap_lo);
-    if (gap_hi != gap_lo) endpoints.push_back(gap_hi);
-  };
-  Key cursor = lo;
-  for (const Key k : keys_) {
-    if (k > hi) break;
-    if (k < cursor) continue;
-    add_gap(cursor, k - 1);
-    cursor = k + 1;
-  }
-  if (cursor <= hi) add_gap(cursor, hi);
+  ForEachGap(interior_only,
+             [&endpoints](Key lo, Key hi, Rank, Int128) {
+               endpoints.push_back(lo);
+               if (hi != lo) endpoints.push_back(hi);
+             });
   return endpoints;
 }
 
 std::vector<std::pair<Key, long double>> LossLandscape::Sweep(
     bool interior_only) const {
   std::vector<std::pair<Key, long double>> out;
-  const Key lo = interior_only ? keys_.front() + 1 : domain_.lo;
-  const Key hi = interior_only ? keys_.back() - 1 : domain_.hi;
+  const Key lo = interior_only ? min_key_ + 1 : domain_.lo;
+  const Key hi = interior_only ? max_key_ - 1 : domain_.hi;
   if (lo > hi) return out;
-  out.reserve(static_cast<std::size_t>(hi - lo + 1));
-  auto next_key = std::lower_bound(keys_.begin(), keys_.end(), lo);
-  Rank count_less = static_cast<Rank>(next_key - keys_.begin());
-  for (Key kp = lo; kp <= hi; ++kp) {
-    if (next_key != keys_.end() && *next_key == kp) {
-      ++next_key;
-      ++count_less;
-      continue;  // Occupied: the paper's ⊥.
-    }
-    out.emplace_back(kp, LossWithInsertion(kp, count_less));
-  }
+  out.reserve(static_cast<std::size_t>(
+      std::min<std::int64_t>(hi - lo + 1, kSweepReserveCap)));
+  ForEachGapInRange(lo, hi,
+                    [this, &out](Key glo, Key ghi, Rank count_less,
+                                 Int128 prefix_sum) {
+                      const Int128 suffix = sum_k_ - prefix_sum;
+                      for (Key kp = glo; kp <= ghi; ++kp) {
+                        out.emplace_back(
+                            kp, LossWithInsertion(kp, count_less, suffix));
+                      }
+                    });
   return out;
 }
 
 Result<LossLandscape::Candidate> LossLandscape::FindOptimal(
-    bool interior_only) const {
-  const std::vector<Key> endpoints = GapEndpoints(interior_only);
-  if (endpoints.empty()) {
+    bool interior_only, const std::unordered_set<Key>* excluded) const {
+  Candidate best;
+  bool have = false;
+  ForEachGap(interior_only,
+             [this, excluded, &best, &have](Key lo, Key hi, Rank count_less,
+                                            Int128 prefix_sum) {
+               const Int128 suffix = sum_k_ - prefix_sum;
+               auto consider = [&](Key kp) {
+                 if (excluded != nullptr && excluded->count(kp) != 0) {
+                   return;
+                 }
+                 const long double loss =
+                     LossWithInsertion(kp, count_less, suffix);
+                 if (!have || loss > best.loss) {
+                   best.key = kp;
+                   best.loss = loss;
+                   have = true;
+                 }
+               };
+               consider(lo);
+               if (hi != lo) consider(hi);
+             });
+  if (!have) {
     return Status::ResourceExhausted(
         "no unoccupied candidate keys in the poisoning range");
   }
-  Candidate best;
-  bool have = false;
-  auto next_key = keys_.begin();
-  for (const Key kp : endpoints) {
-    next_key = std::lower_bound(next_key, keys_.end(), kp);
-    const Rank count_less = static_cast<Rank>(next_key - keys_.begin());
-    const long double loss = LossWithInsertion(kp, count_less);
-    if (!have || loss > best.loss) {
-      best.key = kp;
-      best.loss = loss;
-      have = true;
-    }
-  }
   return best;
+}
+
+Key LossLandscape::SecondMinKey() const {
+  const Key a = base_keys_.front();
+  if (inserted_.empty()) return base_keys_[1];
+  const Key b = inserted_.front();
+  if (b < a) {
+    return inserted_.size() > 1 ? std::min(a, inserted_[1]) : a;
+  }
+  return base_keys_.size() > 1 ? std::min(b, base_keys_[1]) : b;
+}
+
+Key LossLandscape::SecondMaxKey() const {
+  const Key a = base_keys_.back();
+  if (inserted_.empty()) return base_keys_[base_keys_.size() - 2];
+  const Key b = inserted_.back();
+  if (b > a) {
+    return inserted_.size() > 1
+               ? std::max(a, inserted_[inserted_.size() - 2])
+               : a;
+  }
+  return base_keys_.size() > 1
+             ? std::max(b, base_keys_[base_keys_.size() - 2])
+             : b;
+}
+
+LossLandscape::Aggregates LossLandscape::aggregates() const {
+  Aggregates agg;
+  agg.n = n_;
+  agg.shift = shift_;
+  agg.sum_k = sum_k_;
+  agg.sum_k2 = sum_k2_;
+  agg.sum_kr = sum_kr_;
+  return agg;
+}
+
+long double LossLandscape::Aggregates::Loss() const {
+  return LossFromSums(n, sum_k, sum_k2, SumRanks(n), SumRankSquares(n),
+                      sum_kr);
+}
+
+long double LossLandscape::Aggregates::LossAfterInsert(
+    Key kp, Rank count_less, Int128 suffix_sum) const {
+  const std::int64_t n1 = n + 1;
+  const Int128 kp_s = static_cast<Int128>(kp) - shift;
+  return LossFromSums(n1, sum_k + kp_s, sum_k2 + kp_s * kp_s, SumRanks(n1),
+                      SumRankSquares(n1),
+                      sum_kr + suffix_sum + kp_s * (count_less + 1));
+}
+
+void LossLandscape::Aggregates::Insert(Key kp, Rank count_less,
+                                       Int128 suffix_sum) {
+  const Int128 kp_s = static_cast<Int128>(kp) - shift;
+  sum_kr += suffix_sum + kp_s * (count_less + 1);
+  sum_k += kp_s;
+  sum_k2 += kp_s * kp_s;
+  n += 1;
+}
+
+void LossLandscape::Aggregates::Remove(Key kp, Rank count_less,
+                                       Int128 suffix_sum_above) {
+  const Int128 kp_s = static_cast<Int128>(kp) - shift;
+  sum_kr -= suffix_sum_above + kp_s * (count_less + 1);
+  sum_k -= kp_s;
+  sum_k2 -= kp_s * kp_s;
+  n -= 1;
 }
 
 }  // namespace lispoison

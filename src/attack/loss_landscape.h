@@ -7,13 +7,39 @@
 // be evaluated in O(1) for any candidate — the engine behind both the
 // optimal single-point attack (gap-endpoint enumeration, Theorem 2) and
 // the full-domain sweeps of Fig. 3.
+//
+// Unlike the original rebuild-per-round engine, this landscape is
+// *incrementally updatable*: InsertKey commits a poisoning key in
+// O(log n) aggregate work (plus an O(p) sorted-overlay insert, p =
+// number of inserted keys), after which every query reflects the
+// enlarged keyset exactly — bit-identical to a fresh landscape built on
+// the combined keys. The greedy multi-point attacks exploit this to
+// skip the per-round KeySet/landscape reconstruction entirely.
+//
+// Invariants of the incremental representation:
+//  - base_keys_ (the Create-time keys) never change; their prefix sums
+//    are a static array.
+//  - inserted keys live in a sorted overlay plus a Fenwick tree indexed
+//    by *base slot* (the base-key gap an inserted key falls into), so
+//    prefix key-sums at any candidate stay O(log n).
+//  - gaps_ is the maximal-unoccupied-interval decomposition of the
+//    domain; an insertion splits exactly the gap containing it, and no
+//    gap ever contains a key, so each gap's count of base keys below it
+//    is immutable.
+//  - all aggregate arithmetic is exact 128-bit; shifting keys by the
+//    smallest Create-time key keeps magnitudes safe, and the final
+//    Theorem 1 ratio is shift-invariant bit-for-bit because the
+//    variance/covariance numerators are shift-invariant in exact
+//    integer arithmetic.
 
 #ifndef LISPOISON_ATTACK_LOSS_LANDSCAPE_H_
 #define LISPOISON_ATTACK_LOSS_LANDSCAPE_H_
 
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
+#include "common/fenwick.h"
 #include "common/status.h"
 #include "common/types.h"
 #include "data/keyset.h"
@@ -21,7 +47,8 @@
 namespace lispoison {
 
 /// \brief Exact O(1) evaluator of the post-insertion minimized loss
-/// L(kp) = min_{w,b} MSE(K ∪ {kp}) for any candidate poisoning key.
+/// L(kp) = min_{w,b} MSE(K ∪ {kp}) for any candidate poisoning key,
+/// with O(log n) incremental commits via InsertKey.
 ///
 /// The compound effect of CDF poisoning (every legitimate key above kp
 /// has its rank shifted by one) is folded into the aggregates: with
@@ -32,27 +59,42 @@ namespace lispoison {
 ///   sum(XY)  = sum_i k_i * r_i + SuffixKeySum(c) + kp * (c + 1)
 ///   sum(Y), sum(Y^2) depend only on n (ranks are a permutation of
 ///   1..n+1).
-///
-/// All aggregates are exact 128-bit integers (keys are shifted by the
-/// smallest legitimate key first, making the arithmetic safe for key
-/// magnitudes up to ~3x10^9 spread and n up to ~10^8); floating point
-/// enters only in the final Theorem 1 ratio
-/// L = Var_R - Cov^2_{KR} / Var_K.
 class LossLandscape {
  public:
   /// \brief Builds the landscape over \p keyset. Requires >= 1 key.
   static Result<LossLandscape> Create(const KeySet& keyset);
 
-  /// \brief The loss of the unpoisoned regression on K (Theorem 1).
+  /// \brief The loss of the unpoisoned regression on the *current* keys
+  /// (base keys plus everything committed through InsertKey).
   long double BaseLoss() const { return base_loss_; }
 
-  /// \brief Number of legitimate keys n.
+  /// \brief Current number of keys n (base + inserted).
   std::int64_t size() const { return n_; }
 
   /// \brief The key domain of the underlying keyset.
   const KeyDomain& domain() const { return domain_; }
 
-  /// \brief L(kp): minimized MSE of the regression trained on K ∪ {kp}.
+  /// \brief Smallest / largest current key.
+  Key min_key() const { return min_key_; }
+  Key max_key() const { return max_key_; }
+
+  /// \brief Second-smallest / second-largest current key. Requires
+  /// size() >= 2. Used by the RMI exchange simulation, which evaluates
+  /// the landscape with one boundary key hypothetically removed.
+  Key SecondMinKey() const;
+  Key SecondMaxKey() const;
+
+  /// \brief Commits poisoning key \p kp into the landscape: all
+  /// aggregates, the gap decomposition, and BaseLoss() now describe the
+  /// enlarged keyset, exactly as if the landscape had been rebuilt.
+  ///
+  /// Fails with OutOfRange outside the domain and InvalidArgument when
+  /// kp is occupied. Cost O(log n) aggregate work + O(p) overlay insert
+  /// + O(G) gap-vector splice.
+  Status InsertKey(Key kp);
+
+  /// \brief L(kp): minimized MSE of the regression trained on the
+  /// current keys plus kp.
   ///
   /// Fails with InvalidArgument when kp is occupied (the paper's ⊥ case)
   /// and OutOfRange when kp lies outside the domain.
@@ -60,9 +102,9 @@ class LossLandscape {
 
   /// \brief Candidate keys per Theorem 2: the first and last unoccupied
   /// key of every maximal gap. With \p interior_only (the paper's
-  /// default) only gaps strictly between min(K) and max(K) are
-  /// considered, excluding out-of-range/outlier insertions that simple
-  /// defenses would catch.
+  /// default) only gaps strictly between min and max of the current keys
+  /// are considered, excluding out-of-range/outlier insertions that
+  /// simple defenses would catch.
   std::vector<Key> GapEndpoints(bool interior_only) const;
 
   /// \brief Evaluates L at every unoccupied key (optionally interior
@@ -78,21 +120,124 @@ class LossLandscape {
 
   /// \brief Maximizes L over the gap endpoints (the optimal single-point
   /// attack). Fails with ResourceExhausted when no unoccupied candidate
-  /// exists.
-  Result<Candidate> FindOptimal(bool interior_only) const;
+  /// exists. With \p excluded non-null, keys in that set are skipped
+  /// (the RMI attack's globally occupied poisons).
+  Result<Candidate> FindOptimal(bool interior_only,
+                                const std::unordered_set<Key>* excluded =
+                                    nullptr) const;
+
+  /// \brief Exact prefix statistics over the current keys strictly
+  /// below \p kp. prefix_sum is over shifted keys (k - shift()).
+  struct PrefixStats {
+    Rank count_less = 0;
+    Int128 prefix_sum = 0;
+  };
+  PrefixStats PrefixAt(Key kp) const;
+
+  /// \brief The shift subtracted from every key inside the aggregates.
+  Key shift() const { return shift_; }
+
+  /// \brief Detached copy of the exact aggregates, supporting O(1)
+  /// what-if edits and loss evaluation without touching the landscape.
+  /// The RMI CHANGELOSS simulation runs entirely on these snapshots.
+  struct Aggregates {
+    std::int64_t n = 0;
+    Key shift = 0;
+    Int128 sum_k = 0;   // sum of shifted keys
+    Int128 sum_k2 = 0;  // sum of shifted keys squared
+    Int128 sum_kr = 0;  // sum of shifted_key * rank
+
+    /// \brief Theorem 1 loss of the current n keys.
+    long double Loss() const;
+
+    /// \brief Loss after hypothetically inserting \p kp with
+    /// \p count_less keys below it; \p suffix_sum is the shifted key-sum
+    /// of the keys above kp. Does not modify the snapshot.
+    long double LossAfterInsert(Key kp, Rank count_less,
+                                Int128 suffix_sum) const;
+
+    /// \brief Commits an insertion into the snapshot.
+    void Insert(Key kp, Rank count_less, Int128 suffix_sum);
+    /// \brief Removes a present key; \p suffix_sum_above excludes kp.
+    void Remove(Key kp, Rank count_less, Int128 suffix_sum_above);
+
+    /// \name O(1) edge edits used by the exchange simulation.
+    /// @{
+    void InsertBelowAll(Key k) { Insert(k, 0, sum_k); }
+    void InsertAboveAll(Key k) { Insert(k, n, 0); }
+    void RemoveSmallest(Key k) {
+      Remove(k, 0, sum_k - (static_cast<Int128>(k) - shift));
+    }
+    void RemoveLargest(Key k) { Remove(k, n - 1, 0); }
+    /// @}
+  };
+  Aggregates aggregates() const;
+
+  /// \brief Visits every maximal gap intersected with [lo_bound,
+  /// hi_bound] in increasing key order as f(gap_lo, gap_hi, count_less,
+  /// prefix_sum), where count_less / prefix_sum describe the current
+  /// keys strictly below gap_lo (identical for every candidate inside
+  /// the gap, since gaps contain no keys). Amortized O(1) per gap.
+  template <typename F>
+  void ForEachGapInRange(Key lo_bound, Key hi_bound, F&& f) const {
+    if (lo_bound > hi_bound) return;
+    std::size_t ins_idx = 0;
+    Rank ins_cnt = 0;
+    Int128 ins_sum = 0;
+    for (const Gap& g : gaps_) {
+      if (g.lo > hi_bound) break;
+      if (g.hi < lo_bound) continue;
+      // Advance the overlay pointer to the inserted keys below this gap.
+      while (ins_idx < inserted_.size() && inserted_[ins_idx] < g.lo) {
+        ins_sum += static_cast<Int128>(inserted_[ins_idx]) - shift_;
+        ++ins_cnt;
+        ++ins_idx;
+      }
+      const Key lo = g.lo < lo_bound ? lo_bound : g.lo;
+      const Key hi = g.hi > hi_bound ? hi_bound : g.hi;
+      f(lo, hi, g.base_count + ins_cnt,
+        base_prefix_[static_cast<std::size_t>(g.base_count)] + ins_sum);
+    }
+  }
+
+  /// \brief ForEachGapInRange over the standard candidate range: the
+  /// interior (min, max) of the current keys, or the whole domain.
+  template <typename F>
+  void ForEachGap(bool interior_only, F&& f) const {
+    const Key lo = interior_only ? min_key_ + 1 : domain_.lo;
+    const Key hi = interior_only ? max_key_ - 1 : domain_.hi;
+    ForEachGapInRange(lo, hi, std::forward<F>(f));
+  }
 
  private:
-  std::vector<Key> keys_;                 // Sorted legitimate keys.
-  KeyDomain domain_;
-  Key shift_ = 0;                         // keys_[0]; all sums use k - shift_.
-  std::int64_t n_ = 0;
-  Int128 sum_k_ = 0;                      // sum of shifted keys.
-  Int128 sum_k2_ = 0;                     // sum of shifted keys squared.
-  Int128 sum_kr_ = 0;                     // sum of shifted_key * rank.
-  std::vector<Int128> suffix_key_sum_;    // suffix[c] = sum_{i>=c} shifted.
-  long double base_loss_ = 0;
+  /// A maximal run of unoccupied domain keys. base_count — the number of
+  /// base keys below lo — is immutable because gaps never contain keys
+  /// and base keys never move.
+  struct Gap {
+    Key lo = 0;
+    Key hi = 0;
+    std::int64_t base_count = 0;
+  };
 
-  long double LossWithInsertion(Key kp, Rank count_less) const;
+  long double LossWithInsertion(Key kp, Rank count_less,
+                                Int128 suffix_sum) const;
+  void RecomputeCurrentLoss();
+
+  std::vector<Key> base_keys_;       // Create-time keys, sorted, static.
+  std::vector<Int128> base_prefix_;  // base_prefix_[i] = sum first i shifted.
+  std::vector<Key> inserted_;        // Keys committed via InsertKey, sorted.
+  FenwickTree<Int128> inserted_slot_sum_;  // Shifted inserted-key sums per
+                                           // base slot (see PrefixAt).
+  std::vector<Gap> gaps_;            // Maximal unoccupied runs, sorted.
+  KeyDomain domain_;
+  Key shift_ = 0;                    // base_keys_[0]; sums use k - shift_.
+  Key min_key_ = 0;
+  Key max_key_ = 0;
+  std::int64_t n_ = 0;               // Current key count (base + inserted).
+  Int128 sum_k_ = 0;
+  Int128 sum_k2_ = 0;
+  Int128 sum_kr_ = 0;
+  long double base_loss_ = 0;
 };
 
 }  // namespace lispoison

@@ -48,6 +48,13 @@ struct RmiAttackOptions {
 
   /// Poisoning keys stay strictly inside each model's key span.
   bool interior_only = true;
+
+  /// Worker threads for the parallel phases: clean-baseline fitting, the
+  /// initial per-model volume allocation, and the CHANGELOSS exchange
+  /// simulations. 0 means one per hardware thread; 1 runs fully inline.
+  /// The result is identical for every value: parallel tasks write to
+  /// disjoint slots and every decision reduces over them in fixed order.
+  int num_threads = 0;
 };
 
 /// \brief Outcome of the RMI attack with everything the Fig. 6 / Fig. 7
@@ -93,11 +100,25 @@ struct RmiAttackResult {
 
 /// \brief Runs Algorithm 2 against \p keyset.
 ///
+/// Each second-stage model keeps a persistent incremental LossLandscape,
+/// so greedy insertions never re-sort or retrain the model from scratch,
+/// and CHANGELOSS exchanges are simulated on O(1) aggregate snapshots.
+/// The embarrassingly parallel phases fan out over
+/// RmiAttackOptions::num_threads workers with a thread-count-independent
+/// result.
+///
 /// Fails with InvalidArgument on an empty keyset, non-positive budget or
 /// malformed options, and ResourceExhausted when the key domain cannot
 /// absorb the requested budget.
 Result<RmiAttackResult> PoisonRmi(const KeySet& keyset,
                                   const RmiAttackOptions& options);
+
+/// \brief The pre-refactor implementation: copy + sort + retrain every
+/// second-stage model inside every greedy insertion and exchange
+/// simulation, single-threaded. Kept as the differential-testing oracle
+/// and the baseline of bench_attack_throughput; do not use on hot paths.
+Result<RmiAttackResult> PoisonRmiReference(const KeySet& keyset,
+                                           const RmiAttackOptions& options);
 
 }  // namespace lispoison
 

@@ -1,0 +1,59 @@
+// Copyright (c) lispoison authors. Licensed under the MIT license.
+//
+// A Fenwick tree (binary indexed tree) over a fixed index space with
+// point updates and prefix-sum queries, both O(log size). Used by the
+// incremental loss landscape to keep key-sum aggregates queryable after
+// poisoning insertions without rebuilding the O(n) suffix-sum array.
+
+#ifndef LISPOISON_COMMON_FENWICK_H_
+#define LISPOISON_COMMON_FENWICK_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace lispoison {
+
+/// \brief Fenwick tree over `size` slots indexed 0..size-1.
+///
+/// T must be an additive group (operator+=, operator-, value-initialized
+/// zero). The tree is fixed-size: slots are allocated up front and only
+/// their values change.
+template <typename T>
+class FenwickTree {
+ public:
+  FenwickTree() = default;
+  explicit FenwickTree(std::size_t size) : tree_(size + 1, T{}) {}
+
+  /// \brief Discards all values and re-sizes to \p size slots.
+  void Reset(std::size_t size) { tree_.assign(size + 1, T{}); }
+
+  /// \brief Number of slots.
+  std::size_t size() const { return tree_.empty() ? 0 : tree_.size() - 1; }
+
+  /// \brief Adds \p delta to slot \p i (0-based).
+  void Add(std::size_t i, T delta) {
+    for (std::size_t j = i + 1; j < tree_.size(); j += j & (~j + 1)) {
+      tree_[j] += delta;
+    }
+  }
+
+  /// \brief Sum of the first \p count slots (indices 0..count-1).
+  T PrefixSum(std::size_t count) const {
+    T sum{};
+    if (count > size()) count = size();
+    for (std::size_t j = count; j > 0; j -= j & (~j + 1)) {
+      sum += tree_[j];
+    }
+    return sum;
+  }
+
+  /// \brief Sum over every slot.
+  T Total() const { return PrefixSum(size()); }
+
+ private:
+  std::vector<T> tree_;  // 1-based internal layout.
+};
+
+}  // namespace lispoison
+
+#endif  // LISPOISON_COMMON_FENWICK_H_

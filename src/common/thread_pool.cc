@@ -1,0 +1,97 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <utility>
+
+namespace lispoison {
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads <= 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    num_threads = hw == 0 ? 1 : static_cast<int>(hw);
+  }
+  num_threads_ = num_threads;
+  if (num_threads_ <= 1) return;  // Inline mode: no workers.
+  workers_.reserve(static_cast<std::size_t>(num_threads_));
+  for (int i = 0; i < num_threads_; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stop_) return;
+        continue;
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (--pending_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  if (workers_.empty()) {
+    task();
+    return;
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+    ++pending_;
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  if (workers_.empty()) return;
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return pending_ == 0; });
+}
+
+void ThreadPool::ParallelFor(std::int64_t count,
+                             const std::function<void(std::int64_t)>& fn) {
+  if (count <= 0) return;
+  if (workers_.empty() || count == 1) {
+    for (std::int64_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  // Dynamic self-scheduling over a shared atomic cursor: workers pull the
+  // next index until exhausted. Iterations write disjoint state, so the
+  // pull order cannot affect results.
+  auto cursor = std::make_shared<std::atomic<std::int64_t>>(0);
+  const int tasks = static_cast<int>(
+      std::min<std::int64_t>(count, static_cast<std::int64_t>(num_threads_)));
+  for (int t = 0; t < tasks; ++t) {
+    Submit([cursor, count, &fn] {
+      for (;;) {
+        const std::int64_t i = cursor->fetch_add(1);
+        if (i >= count) return;
+        fn(i);
+      }
+    });
+  }
+  Wait();
+}
+
+}  // namespace lispoison

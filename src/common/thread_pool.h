@@ -1,0 +1,70 @@
+// Copyright (c) lispoison authors. Licensed under the MIT license.
+//
+// A minimal fixed-size thread pool (single shared queue, no work
+// stealing) for the embarrassingly parallel parts of the attacks:
+// per-model volume allocation and CHANGELOSS simulations. With
+// num_threads <= 1 every call runs inline on the caller's thread, which
+// doubles as the determinism baseline for the parallel paths.
+
+#ifndef LISPOISON_COMMON_THREAD_POOL_H_
+#define LISPOISON_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace lispoison {
+
+/// \brief Fixed-size thread pool with a single mutex-guarded FIFO queue.
+///
+/// Tasks must not throw (the codebase is Status-based and exception
+/// free). Determinism contract: callers only submit tasks that write to
+/// disjoint, pre-allocated result slots, so results are independent of
+/// scheduling order; every decision that depends on task results happens
+/// after Wait()/ParallelFor() returns, in a fixed reduction order.
+class ThreadPool {
+ public:
+  /// \brief Spawns \p num_threads workers; 0 means
+  /// std::thread::hardware_concurrency(), and <= 1 means inline
+  /// execution with no worker threads at all.
+  explicit ThreadPool(int num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// \brief Number of worker threads (1 in inline mode).
+  int num_threads() const { return num_threads_; }
+
+  /// \brief Enqueues one task (runs it immediately in inline mode).
+  void Submit(std::function<void()> task);
+
+  /// \brief Blocks until every submitted task has finished.
+  void Wait();
+
+  /// \brief Runs fn(i) for every i in [0, count), spread across the
+  /// pool, and blocks until all iterations finish. Iterations must be
+  /// independent.
+  void ParallelFor(std::int64_t count,
+                   const std::function<void(std::int64_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  int num_threads_ = 1;
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // Signals workers: queue or stop.
+  std::condition_variable done_cv_;   // Signals waiters: pending hit 0.
+  std::int64_t pending_ = 0;          // Queued + running tasks.
+  bool stop_ = false;
+};
+
+}  // namespace lispoison
+
+#endif  // LISPOISON_COMMON_THREAD_POOL_H_

@@ -91,6 +91,7 @@ Result<std::vector<RmiExperimentCell>> RunRmiSynthetic(
       options.poison_fraction = pct / 100.0;
       options.model_size = config.model_size;
       options.alpha = alpha;
+      options.num_threads = config.num_threads;
       LISPOISON_ASSIGN_OR_RETURN(RmiAttackResult attack,
                                  PoisonRmi(keyset, options));
       RmiExperimentCell cell;
@@ -123,6 +124,7 @@ Result<std::vector<RmiExperimentCell>> RunRmiReal(const RmiRealConfig& config) {
     options.poison_fraction = pct / 100.0;
     options.model_size = config.model_size;
     options.alpha = config.alpha;
+    options.num_threads = config.num_threads;
     LISPOISON_ASSIGN_OR_RETURN(RmiAttackResult attack,
                                PoisonRmi(*keyset_or, options));
     RmiExperimentCell cell;

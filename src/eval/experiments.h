@@ -66,6 +66,9 @@ struct RmiSyntheticConfig {
   std::vector<double> alphas = {2, 3};
   KeyDistribution distribution = KeyDistribution::kUniform;
   std::uint64_t seed = 42;
+  /// Worker threads for the parallel attack phases (0 = hardware);
+  /// results are thread-count independent.
+  int num_threads = 0;
 };
 
 /// \brief One point of an RMI experiment series.
@@ -107,6 +110,9 @@ struct RmiRealConfig {
   std::vector<double> poison_pcts = {5, 10, 20};
   double alpha = 3.0;
   std::uint64_t seed = 42;
+  /// Worker threads for the parallel attack phases (0 = hardware);
+  /// results are thread-count independent.
+  int num_threads = 0;
 };
 
 /// \brief Runs one Fig. 7 panel; reuses RmiExperimentCell (alpha fixed).

@@ -1,0 +1,73 @@
+#include "common/fenwick.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace lispoison {
+namespace {
+
+TEST(FenwickTest, EmptyTree) {
+  FenwickTree<std::int64_t> fen;
+  EXPECT_EQ(fen.size(), 0u);
+  EXPECT_EQ(fen.PrefixSum(0), 0);
+  EXPECT_EQ(fen.Total(), 0);
+}
+
+TEST(FenwickTest, SingleSlot) {
+  FenwickTree<std::int64_t> fen(1);
+  fen.Add(0, 7);
+  fen.Add(0, 3);
+  EXPECT_EQ(fen.PrefixSum(0), 0);
+  EXPECT_EQ(fen.PrefixSum(1), 10);
+  EXPECT_EQ(fen.Total(), 10);
+}
+
+TEST(FenwickTest, PrefixCountClampsToSize) {
+  FenwickTree<std::int64_t> fen(4);
+  fen.Add(3, 5);
+  EXPECT_EQ(fen.PrefixSum(100), 5);
+}
+
+TEST(FenwickTest, MatchesNaivePrefixSums) {
+  Rng rng(42);
+  const std::size_t size = 257;  // Crosses several power-of-two levels.
+  FenwickTree<std::int64_t> fen(size);
+  std::vector<std::int64_t> naive(size, 0);
+  for (int step = 0; step < 2000; ++step) {
+    const auto i = static_cast<std::size_t>(
+        rng.UniformInt(0, static_cast<std::int64_t>(size) - 1));
+    const std::int64_t delta = rng.UniformInt(-1000, 1000);
+    fen.Add(i, delta);
+    naive[i] += delta;
+  }
+  std::int64_t running = 0;
+  for (std::size_t c = 0; c <= size; ++c) {
+    EXPECT_EQ(fen.PrefixSum(c), running) << "prefix length " << c;
+    if (c < size) running += naive[c];
+  }
+}
+
+TEST(FenwickTest, WorksWithInt128) {
+  FenwickTree<Int128> fen(8);
+  const Int128 big = static_cast<Int128>(1) << 100;
+  fen.Add(2, big);
+  fen.Add(5, big);
+  EXPECT_TRUE(fen.PrefixSum(3) == big);
+  EXPECT_TRUE(fen.Total() == 2 * big);
+}
+
+TEST(FenwickTest, ResetClearsValues) {
+  FenwickTree<std::int64_t> fen(4);
+  fen.Add(1, 9);
+  fen.Reset(2);
+  EXPECT_EQ(fen.size(), 2u);
+  EXPECT_EQ(fen.Total(), 0);
+}
+
+}  // namespace
+}  // namespace lispoison

@@ -1,0 +1,123 @@
+// Differential proof that the incremental GreedyPoisonCdf selects
+// byte-identical poison sequences to the pre-refactor rebuild-per-round
+// algorithm. Two oracles are compared against: the library's exported
+// GreedyPoisonCdfReference, and an independent inline copy of the
+// original Algorithm 1 loop kept verbatim in this test so a regression
+// in the exported reference cannot mask one in the engine.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "attack/greedy_poisoner.h"
+#include "attack/loss_landscape.h"
+#include "common/rng.h"
+#include "data/generators.h"
+#include "data/keyset.h"
+
+namespace lispoison {
+namespace {
+
+/// Verbatim pre-refactor Algorithm 1: rebuild the KeySet and the
+/// landscape every round, commit the argmax gap endpoint.
+std::vector<Key> InlineReferenceGreedy(const KeySet& keyset, std::int64_t p,
+                                       bool interior_only) {
+  std::vector<Key> poison_keys;
+  std::vector<Key> work = keyset.keys();
+  const KeyDomain domain = keyset.domain();
+  for (std::int64_t round = 0; round < p; ++round) {
+    auto current = KeySet::Create(work, domain);
+    if (!current.ok()) break;
+    auto landscape = LossLandscape::Create(*current);
+    if (!landscape.ok()) break;
+    auto best = landscape->FindOptimal(interior_only);
+    if (!best.ok()) break;
+    const Key kp = best->key;
+    work.insert(std::lower_bound(work.begin(), work.end(), kp), kp);
+    poison_keys.push_back(kp);
+  }
+  return poison_keys;
+}
+
+void ExpectIdenticalAttacks(const KeySet& keyset, std::int64_t p,
+                            bool interior_only) {
+  AttackOptions options;
+  options.interior_only = interior_only;
+  auto fast = GreedyPoisonCdf(keyset, p, options);
+  auto reference = GreedyPoisonCdfReference(keyset, p, options);
+  ASSERT_TRUE(fast.ok()) << fast.status().message();
+  ASSERT_TRUE(reference.ok()) << reference.status().message();
+
+  // Byte-identical selections and bit-identical losses.
+  EXPECT_EQ(fast->poison_keys, reference->poison_keys);
+  EXPECT_EQ(fast->base_loss, reference->base_loss);
+  EXPECT_EQ(fast->poisoned_loss, reference->poisoned_loss);
+  ASSERT_EQ(fast->loss_trajectory.size(), reference->loss_trajectory.size());
+  for (std::size_t i = 0; i < fast->loss_trajectory.size(); ++i) {
+    EXPECT_EQ(fast->loss_trajectory[i], reference->loss_trajectory[i])
+        << "round " << i;
+  }
+
+  EXPECT_EQ(fast->poison_keys,
+            InlineReferenceGreedy(keyset, p, interior_only));
+}
+
+TEST(GreedyDifferentialTest, UniformKeysInterior) {
+  Rng rng(21);
+  auto ks = GenerateUniform(500, KeyDomain{0, 49999}, &rng);
+  ASSERT_TRUE(ks.ok());
+  ExpectIdenticalAttacks(*ks, 50, /*interior_only=*/true);
+}
+
+TEST(GreedyDifferentialTest, UniformKeysFullDomain) {
+  Rng rng(22);
+  auto ks = GenerateUniform(300, KeyDomain{0, 9999}, &rng);
+  ASSERT_TRUE(ks.ok());
+  ExpectIdenticalAttacks(*ks, 40, /*interior_only=*/false);
+}
+
+TEST(GreedyDifferentialTest, LogNormalKeys) {
+  Rng rng(23);
+  auto ks = GenerateLogNormal(400, KeyDomain{0, 99999}, &rng);
+  ASSERT_TRUE(ks.ok());
+  ExpectIdenticalAttacks(*ks, 60, /*interior_only=*/true);
+}
+
+TEST(GreedyDifferentialTest, ClusteredKeys) {
+  Rng rng(24);
+  const std::vector<ClusterSpec> clusters = {
+      {0.15, 0.02, 1.0}, {0.5, 0.01, 2.0}, {0.85, 0.03, 1.0}};
+  auto ks = GenerateClustered(600, KeyDomain{0, 199999}, clusters, &rng);
+  ASSERT_TRUE(ks.ok());
+  ExpectIdenticalAttacks(*ks, 80, /*interior_only=*/true);
+}
+
+TEST(GreedyDifferentialTest, DenseDomainNearSaturation) {
+  // Dense keyset: the poisoning range nearly saturates, exercising the
+  // single-key-gap and gap-erasure paths.
+  Rng rng(25);
+  auto ks = GenerateUniform(120, KeyDomain{0, 199}, &rng);
+  ASSERT_TRUE(ks.ok());
+  ExpectIdenticalAttacks(*ks, 30, /*interior_only=*/true);
+}
+
+TEST(GreedyDifferentialTest, EvenlySpacedZeroLossBase) {
+  auto ks = GenerateEvenlySpaced(100, KeyDomain{0, 990});
+  ASSERT_TRUE(ks.ok());
+  ExpectIdenticalAttacks(*ks, 25, /*interior_only=*/true);
+}
+
+TEST(GreedyDifferentialTest, ExhaustionErrorsMatch) {
+  // Budget exceeding the unoccupied interior: both paths must fail with
+  // ResourceExhausted after the same number of committed keys.
+  auto ks = KeySet::Create({0, 2, 4, 6, 8}, KeyDomain{0, 8});
+  ASSERT_TRUE(ks.ok());
+  auto fast = GreedyPoisonCdf(*ks, 10);
+  auto reference = GreedyPoisonCdfReference(*ks, 10);
+  EXPECT_EQ(fast.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(reference.status().code(), StatusCode::kResourceExhausted);
+}
+
+}  // namespace
+}  // namespace lispoison

@@ -1,0 +1,197 @@
+// Differential coverage for the incremental LossLandscape engine: after
+// any sequence of InsertKey commits, every query must *bit-match* a
+// fresh landscape built on the combined keyset. The loss arithmetic is
+// exact 128-bit integers up to the final Theorem 1 ratio, and that ratio
+// is shift-invariant bit-for-bit, so EXPECT_EQ on long doubles is the
+// correct assertion — any drift is a bookkeeping bug, not round-off.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "attack/loss_landscape.h"
+#include "common/rng.h"
+#include "data/generators.h"
+#include "data/keyset.h"
+
+namespace lispoison {
+namespace {
+
+/// Builds a fresh landscape over base ∪ extra.
+LossLandscape FreshCombined(const KeySet& base,
+                            const std::vector<Key>& extra) {
+  auto combined = base.Union(extra);
+  EXPECT_TRUE(combined.ok()) << combined.status().message();
+  auto ll = LossLandscape::Create(*combined);
+  EXPECT_TRUE(ll.ok()) << ll.status().message();
+  return *ll;
+}
+
+/// Asserts every public query of \p incremental bit-matches \p fresh.
+void ExpectLandscapesIdentical(const LossLandscape& incremental,
+                               const LossLandscape& fresh,
+                               const KeyDomain& domain) {
+  ASSERT_EQ(incremental.size(), fresh.size());
+  EXPECT_EQ(incremental.BaseLoss(), fresh.BaseLoss());
+  EXPECT_EQ(incremental.min_key(), fresh.min_key());
+  EXPECT_EQ(incremental.max_key(), fresh.max_key());
+
+  for (const bool interior : {true, false}) {
+    EXPECT_EQ(incremental.GapEndpoints(interior),
+              fresh.GapEndpoints(interior));
+
+    const auto inc_opt = incremental.FindOptimal(interior);
+    const auto fresh_opt = fresh.FindOptimal(interior);
+    ASSERT_EQ(inc_opt.ok(), fresh_opt.ok());
+    if (inc_opt.ok()) {
+      EXPECT_EQ(inc_opt->key, fresh_opt->key);
+      EXPECT_EQ(inc_opt->loss, fresh_opt->loss);
+    }
+  }
+
+  // LossAt over the full domain, occupied keys included (both must
+  // agree on the error case too).
+  for (Key kp = domain.lo; kp <= domain.hi; ++kp) {
+    const auto a = incremental.LossAt(kp);
+    const auto b = fresh.LossAt(kp);
+    ASSERT_EQ(a.ok(), b.ok()) << "key " << kp;
+    if (a.ok()) {
+      EXPECT_EQ(*a, *b) << "key " << kp;
+    } else {
+      EXPECT_EQ(a.status().code(), b.status().code()) << "key " << kp;
+    }
+  }
+
+  const auto sweep_inc = incremental.Sweep(true);
+  const auto sweep_fresh = fresh.Sweep(true);
+  ASSERT_EQ(sweep_inc.size(), sweep_fresh.size());
+  for (std::size_t i = 0; i < sweep_inc.size(); ++i) {
+    EXPECT_EQ(sweep_inc[i].first, sweep_fresh[i].first);
+    EXPECT_EQ(sweep_inc[i].second, sweep_fresh[i].second);
+  }
+}
+
+TEST(LossLandscapeIncrementalTest, RandomInsertionsBitMatchFreshBuild) {
+  Rng rng(1234);
+  const KeyDomain domain{0, 4999};
+  auto base = GenerateUniform(300, domain, &rng);
+  ASSERT_TRUE(base.ok());
+  auto ll = LossLandscape::Create(*base);
+  ASSERT_TRUE(ll.ok());
+
+  std::vector<Key> inserted;
+  for (int k = 0; k < 64; ++k) {
+    // Draw a random unoccupied key anywhere in the domain (including
+    // outside the current key range).
+    Key kp;
+    do {
+      kp = rng.UniformInt(domain.lo, domain.hi);
+    } while (!ll->LossAt(kp).ok() && ll->LossAt(kp).status().code() ==
+                                         StatusCode::kInvalidArgument);
+    ASSERT_TRUE(ll->InsertKey(kp).ok()) << "key " << kp;
+    inserted.push_back(kp);
+
+    if (k % 8 == 0 || k == 63) {
+      ExpectLandscapesIdentical(*ll, FreshCombined(*base, inserted), domain);
+    }
+  }
+}
+
+TEST(LossLandscapeIncrementalTest, GreedySelfInsertionBitMatches) {
+  // The greedy attack's own access pattern: repeatedly insert the
+  // current optimum. This stresses the gap-splitting path where the
+  // inserted key is always a gap endpoint.
+  Rng rng(99);
+  auto base = GenerateLogNormal(200, KeyDomain{0, 19999}, &rng);
+  ASSERT_TRUE(base.ok());
+  auto ll = LossLandscape::Create(*base);
+  ASSERT_TRUE(ll.ok());
+
+  std::vector<Key> inserted;
+  for (int k = 0; k < 40; ++k) {
+    auto best = ll->FindOptimal(true);
+    ASSERT_TRUE(best.ok());
+    ASSERT_TRUE(ll->InsertKey(best->key).ok());
+    inserted.push_back(best->key);
+  }
+  ExpectLandscapesIdentical(*ll, FreshCombined(*base, inserted),
+                            base->domain());
+}
+
+TEST(LossLandscapeIncrementalTest, InsertOutsideCurrentRangeUpdatesBounds) {
+  auto ks = KeySet::Create({100, 110, 120}, KeyDomain{0, 200});
+  ASSERT_TRUE(ks.ok());
+  auto ll = LossLandscape::Create(*ks);
+  ASSERT_TRUE(ll.ok());
+  ASSERT_TRUE(ll->InsertKey(50).ok());
+  ASSERT_TRUE(ll->InsertKey(150).ok());
+  EXPECT_EQ(ll->min_key(), 50);
+  EXPECT_EQ(ll->max_key(), 150);
+  ExpectLandscapesIdentical(*ll, FreshCombined(*ks, {50, 150}),
+                            ks->domain());
+}
+
+TEST(LossLandscapeIncrementalTest, InsertRejectsOccupiedAndOutOfDomain) {
+  auto ks = KeySet::Create({10, 20}, KeyDomain{0, 30});
+  ASSERT_TRUE(ks.ok());
+  auto ll = LossLandscape::Create(*ks);
+  ASSERT_TRUE(ll.ok());
+  EXPECT_EQ(ll->InsertKey(10).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(ll->InsertKey(31).code(), StatusCode::kOutOfRange);
+  ASSERT_TRUE(ll->InsertKey(15).ok());
+  EXPECT_EQ(ll->InsertKey(15).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(ll->size(), 3);
+}
+
+TEST(LossLandscapeIncrementalTest, SecondMinMaxTrackInsertions) {
+  auto ks = KeySet::Create({50, 60, 70}, KeyDomain{0, 100});
+  ASSERT_TRUE(ks.ok());
+  auto ll = LossLandscape::Create(*ks);
+  ASSERT_TRUE(ll.ok());
+  EXPECT_EQ(ll->SecondMinKey(), 60);
+  EXPECT_EQ(ll->SecondMaxKey(), 60);
+  ASSERT_TRUE(ll->InsertKey(40).ok());   // New global min.
+  EXPECT_EQ(ll->SecondMinKey(), 50);
+  ASSERT_TRUE(ll->InsertKey(45).ok());   // Second smallest now inserted.
+  EXPECT_EQ(ll->SecondMinKey(), 45);
+  ASSERT_TRUE(ll->InsertKey(80).ok());   // New global max.
+  EXPECT_EQ(ll->SecondMaxKey(), 70);
+  ASSERT_TRUE(ll->InsertKey(75).ok());
+  EXPECT_EQ(ll->SecondMaxKey(), 75);
+}
+
+TEST(LossLandscapeIncrementalTest, PrefixStatsMatchBruteForce) {
+  Rng rng(7);
+  const KeyDomain domain{0, 999};
+  auto base = GenerateUniform(50, domain, &rng);
+  ASSERT_TRUE(base.ok());
+  auto ll = LossLandscape::Create(*base);
+  ASSERT_TRUE(ll.ok());
+  std::vector<Key> all = base->keys();
+  for (int k = 0; k < 30; ++k) {
+    Key kp;
+    do {
+      kp = rng.UniformInt(domain.lo, domain.hi);
+    } while (std::find(all.begin(), all.end(), kp) != all.end());
+    ASSERT_TRUE(ll->InsertKey(kp).ok());
+    all.insert(std::lower_bound(all.begin(), all.end(), kp), kp);
+  }
+  const Key shift = ll->shift();
+  for (Key probe = domain.lo; probe <= domain.hi; probe += 13) {
+    Rank count = 0;
+    Int128 sum = 0;
+    for (const Key k : all) {
+      if (k < probe) {
+        ++count;
+        sum += static_cast<Int128>(k) - shift;
+      }
+    }
+    const auto stats = ll->PrefixAt(probe);
+    EXPECT_EQ(stats.count_less, count) << "probe " << probe;
+    EXPECT_TRUE(stats.prefix_sum == sum) << "probe " << probe;
+  }
+}
+
+}  // namespace
+}  // namespace lispoison

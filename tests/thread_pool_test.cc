@@ -1,0 +1,77 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+namespace lispoison {
+namespace {
+
+TEST(ThreadPoolTest, InlineModeRunsOnCallerThread) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1);
+  int value = 0;
+  pool.Submit([&value] { value = 42; });
+  // Inline mode executes eagerly; no Wait needed.
+  EXPECT_EQ(value, 42);
+}
+
+TEST(ThreadPoolTest, SubmitAndWaitCompletesAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(8);
+  const std::int64_t count = 10000;
+  std::vector<std::int64_t> hits(static_cast<std::size_t>(count), 0);
+  pool.ParallelFor(count, [&hits](std::int64_t i) {
+    hits[static_cast<std::size_t>(i)] += 1;  // Disjoint slots: no race.
+  });
+  for (std::int64_t i = 0; i < count; ++i) {
+    ASSERT_EQ(hits[static_cast<std::size_t>(i)], 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForZeroAndNegativeCountsAreNoOps) {
+  ThreadPool pool(2);
+  int calls = 0;
+  pool.ParallelFor(0, [&calls](std::int64_t) { ++calls; });
+  pool.ParallelFor(-5, [&calls](std::int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPoolTest, DisjointSlotResultsAreThreadCountIndependent) {
+  // The determinism contract: tasks writing disjoint slots produce the
+  // same result vector for any pool size.
+  const std::int64_t count = 5000;
+  auto run = [count](int threads) {
+    ThreadPool pool(threads);
+    std::vector<std::int64_t> out(static_cast<std::size_t>(count), 0);
+    pool.ParallelFor(count, [&out](std::int64_t i) {
+      out[static_cast<std::size_t>(i)] = i * i % 977;
+    });
+    return out;
+  };
+  EXPECT_EQ(run(1), run(8));
+}
+
+TEST(ThreadPoolTest, PoolIsReusableAcrossBatches) {
+  ThreadPool pool(3);
+  std::atomic<std::int64_t> sum{0};
+  for (int batch = 0; batch < 5; ++batch) {
+    pool.ParallelFor(100, [&sum](std::int64_t i) { sum.fetch_add(i); });
+  }
+  EXPECT_EQ(sum.load(), 5 * (99 * 100 / 2));
+}
+
+}  // namespace
+}  // namespace lispoison
