@@ -13,6 +13,8 @@
 
 #include <cstdint>
 #include <map>
+#include <string>
+#include <thread>
 #include <utility>
 
 #include "attack/greedy_poisoner.h"
@@ -23,6 +25,21 @@
 
 namespace lispoison {
 namespace {
+
+/// Threads actually used for a num_threads setting (0 = one per core).
+double ResolvedThreads(std::int64_t num_threads) {
+  if (num_threads > 0) return static_cast<double>(num_threads);
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1.0 : static_cast<double>(hw);
+}
+
+/// ROADMAP: every throughput JSON records the machine's core count and
+/// the thread setting so multi-core trajectories stay interpretable.
+void ReportThreads(benchmark::State& state, std::int64_t num_threads) {
+  state.counters["hardware_concurrency"] =
+      ResolvedThreads(0);
+  state.counters["num_threads"] = ResolvedThreads(num_threads);
+}
 
 enum Dataset : std::int64_t {
   kDenseRuns = 0,  // Contiguous ID runs far apart (Section VI's dense
@@ -83,10 +100,13 @@ void BM_GreedyPoisonCdf_Incremental(benchmark::State& state) {
   const auto dataset = static_cast<Dataset>(state.range(0));
   const std::int64_t n = state.range(1);
   const std::int64_t p = state.range(2);
+  const std::int64_t num_threads = state.range(3);
   const KeySet& ks = CachedKeyset(dataset, n);
+  AttackOptions options;
+  options.num_threads = static_cast<int>(num_threads);
   GreedyPoisonResult last;
   for (auto _ : state) {
-    auto r = GreedyPoisonCdf(ks, p);
+    auto r = GreedyPoisonCdf(ks, p, options);
     if (!r.ok()) {
       state.SkipWithError(r.status().message().c_str());
       break;
@@ -95,6 +115,7 @@ void BM_GreedyPoisonCdf_Incremental(benchmark::State& state) {
     benchmark::DoNotOptimize(last.poisoned_loss);
   }
   ReportGreedy(state, last, p);
+  ReportThreads(state, num_threads);
 }
 
 void BM_GreedyPoisonCdf_Reference(benchmark::State& state) {
@@ -113,6 +134,7 @@ void BM_GreedyPoisonCdf_Reference(benchmark::State& state) {
     benchmark::DoNotOptimize(last.poisoned_loss);
   }
   ReportGreedy(state, last, p);
+  ReportThreads(state, 1);
 }
 
 void BM_PoisonRmi_Incremental(benchmark::State& state) {
@@ -135,6 +157,7 @@ void BM_PoisonRmi_Incremental(benchmark::State& state) {
     state.counters["rmi_ratio_loss"] = r->rmi_ratio_loss;
     state.counters["exchanges"] = static_cast<double>(r->exchanges_applied);
   }
+  ReportThreads(state, num_threads);
 }
 
 void BM_PoisonRmi_Reference(benchmark::State& state) {
@@ -155,16 +178,21 @@ void BM_PoisonRmi_Reference(benchmark::State& state) {
     state.counters["rmi_ratio_loss"] = r->rmi_ratio_loss;
     state.counters["exchanges"] = static_cast<double>(r->exchanges_applied);
   }
+  ReportThreads(state, 1);
 }
 
 // Acceptance configuration: n=100k, p=1000 greedy; n=100k, 200 models
-// RMI. Smaller variants first so CI smoke filters stay cheap.
+// RMI. Smaller variants first so CI smoke filters stay cheap. The
+// greedy incremental configs carry a num_threads arg (1 = serial argmax,
+// 0 = one worker per core).
 BENCHMARK(BM_GreedyPoisonCdf_Incremental)
     ->Unit(benchmark::kMillisecond)
-    ->Args({kDenseRuns, 10000, 100})
-    ->Args({kDenseRuns, 100000, 1000})
-    ->Args({kLogNormal, 100000, 1000})
-    ->Args({kUniform, 100000, 1000});
+    ->Args({kDenseRuns, 10000, 100, 1})
+    ->Args({kDenseRuns, 100000, 1000, 1})
+    ->Args({kLogNormal, 100000, 1000, 1})
+    ->Args({kLogNormal, 100000, 1000, 0})
+    ->Args({kUniform, 100000, 1000, 1})
+    ->Args({kUniform, 100000, 1000, 0});
 BENCHMARK(BM_GreedyPoisonCdf_Reference)
     ->Unit(benchmark::kMillisecond)
     ->Args({kDenseRuns, 10000, 100})
@@ -189,4 +217,13 @@ BENCHMARK(BM_PoisonRmi_Reference)
 }  // namespace
 }  // namespace lispoison
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::AddCustomContext(
+      "hardware_concurrency",
+      std::to_string(std::thread::hardware_concurrency()));
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

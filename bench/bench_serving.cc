@@ -1,0 +1,178 @@
+// End-to-end serving benchmark: what does a poisoned RMI cost a
+// query-serving process? Runs every workload mix (read-only uniform,
+// zipfian read-heavy, range scan, read/insert mix) against every backend
+// (RMI, B+Tree, binary search) in clean and poisoned variants, and emits
+// one JSON report with per-config p50/p95/p99 latency, throughput, and
+// the exact work model — plus poisoned/clean comparison rows.
+//
+// The poisoned variant serves K ∪ P where P comes from PoisonRmi
+// (Algorithm 2) at --poison-pct. The B+Tree and binary-search backends
+// also serve the poisoned keyset: they are the controls whose cost is
+// insensitive to the injected keys, isolating the learned index's
+// vulnerability in the same report.
+//
+// Flags:
+//   --keys=100000      legitimate keys n
+//   --ops=200000       operations per configuration
+//   --threads=0        driver shards (0 = hardware_concurrency)
+//   --poison-pct=10    poisoning percentage φ·100
+//   --model-size=500   keys per second-stage model
+//   --seed=42
+//   --out=serving_report.json
+//   --smoke            capped CI configuration (small n/ops, 2 threads)
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "attack/rmi_poisoner.h"
+#include "common/flags.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "data/generators.h"
+#include "data/keyset.h"
+#include "workload/query_driver.h"
+#include "workload/search_backend.h"
+#include "workload/serving_report.h"
+#include "workload/workload.h"
+
+namespace lispoison {
+namespace {
+
+struct Variant {
+  const char* name;
+  const KeySet* keyset;
+};
+
+int Run(int argc, char** argv) {
+  FlagParser flags(argc, argv);
+  const bool smoke = flags.GetBool("smoke");
+  const std::int64_t n = flags.GetInt("keys", smoke ? 20000 : 100000);
+  const std::int64_t ops = flags.GetInt("ops", smoke ? 20000 : 200000);
+  const int threads =
+      static_cast<int>(flags.GetInt("threads", smoke ? 2 : 0));
+  const double poison_pct = flags.GetDouble("poison-pct", 10.0);
+  const std::int64_t model_size = flags.GetInt("model-size", 500);
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(flags.GetInt("seed", 42));
+  const std::string out_path =
+      flags.GetString("out", "serving_report.json");
+
+  Rng rng(seed);
+  auto clean_or = GenerateUniform(n, KeyDomain{0, 100 * n}, &rng);
+  if (!clean_or.ok()) {
+    std::fprintf(stderr, "keyset generation failed: %s\n",
+                 clean_or.status().ToString().c_str());
+    return 1;
+  }
+  const KeySet clean = *clean_or;
+
+  std::printf("Poisoning %lld keys at %.1f%% (Algorithm 2)...\n",
+              static_cast<long long>(n), poison_pct);
+  RmiAttackOptions attack_opts;
+  attack_opts.poison_fraction = poison_pct / 100.0;
+  attack_opts.model_size = model_size;
+  attack_opts.num_threads = threads;
+  auto attack_or = PoisonRmi(clean, attack_opts);
+  if (!attack_or.ok()) {
+    std::fprintf(stderr, "RMI poisoning failed: %s\n",
+                 attack_or.status().ToString().c_str());
+    return 1;
+  }
+  auto poisoned_or = clean.Union(attack_or->AllPoisonKeys());
+  if (!poisoned_or.ok()) {
+    std::fprintf(stderr, "poisoned keyset union failed: %s\n",
+                 poisoned_or.status().ToString().c_str());
+    return 1;
+  }
+  const KeySet poisoned = *poisoned_or;
+  std::printf("  placed %lld poison keys, attacker RMI ratio loss %.2f\n\n",
+              static_cast<long long>(attack_or->total_poison_keys),
+              attack_or->rmi_ratio_loss);
+
+  ServingReport report;
+  report.hardware_concurrency =
+      static_cast<std::int64_t>(std::thread::hardware_concurrency());
+  report.num_threads = threads;
+  report.ops_per_config = ops;
+  report.poison_fraction = attack_opts.poison_fraction;
+
+  const std::vector<WorkloadSpec> workloads = {
+      ReadOnlyUniformWorkload(seed), ZipfianReadHeavyWorkload(seed),
+      RangeScanWorkload(seed), ReadInsertMixWorkload(seed)};
+  const std::vector<BackendKind> kinds = {
+      BackendKind::kRmi, BackendKind::kBTree, BackendKind::kBinarySearch};
+  const std::vector<Variant> variants = {{"clean", &clean},
+                                         {"poisoned", &poisoned}};
+
+  DriverOptions driver_opts;
+  driver_opts.num_threads = threads;
+
+  TextTable table;
+  table.SetHeader({"workload", "backend", "variant", "ops/s", "p50 ns",
+                   "p95 ns", "p99 ns", "mean work"});
+
+  for (const WorkloadSpec& spec : workloads) {
+    for (const Variant& variant : variants) {
+      // Same seed against each variant's keyset: the same access shape
+      // (rank skew, mix) over whichever keys that index actually serves.
+      auto ops_or = GenerateOperations(spec, *variant.keyset, ops);
+      if (!ops_or.ok()) {
+        std::fprintf(stderr, "workload '%s' generation failed: %s\n",
+                     spec.name.c_str(), ops_or.status().ToString().c_str());
+        return 1;
+      }
+      for (const BackendKind kind : kinds) {
+        BackendOptions backend_opts;
+        backend_opts.rmi.target_model_size = model_size;
+        // A fresh backend per run: insert mixes mutate the overlay.
+        auto backend_or = CreateBackend(kind, *variant.keyset, backend_opts);
+        if (!backend_or.ok()) {
+          std::fprintf(stderr, "backend %s build failed: %s\n",
+                       BackendKindName(kind),
+                       backend_or.status().ToString().c_str());
+          return 1;
+        }
+        auto result_or = RunWorkload(backend_or->get(), *ops_or, driver_opts);
+        if (!result_or.ok()) {
+          std::fprintf(stderr, "driver run failed: %s\n",
+                       result_or.status().ToString().c_str());
+          return 1;
+        }
+        ServingConfigResult config;
+        config.workload = spec.name;
+        config.backend = (*backend_or)->name();
+        config.variant = variant.name;
+        config.keys = variant.keyset->size();
+        config.seed = seed;
+        config.result = std::move(*result_or);
+        table.AddRow({config.workload, config.backend, config.variant,
+                      TextTable::Fmt(static_cast<std::int64_t>(
+                          config.result.ThroughputOpsPerSec())),
+                      TextTable::Fmt(config.result.latency.P50()),
+                      TextTable::Fmt(config.result.latency.P95()),
+                      TextTable::Fmt(config.result.latency.P99()),
+                      TextTable::Fmt(config.result.MeanWork(), 2)});
+        report.Add(std::move(config));
+      }
+    }
+  }
+
+  table.Print(std::cout);
+
+  const Status st = report.WriteJsonFile(out_path);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("\nwrote %s (%zu configs)\n", out_path.c_str(),
+              report.configs.size());
+  return 0;
+}
+
+}  // namespace
+}  // namespace lispoison
+
+int main(int argc, char** argv) { return lispoison::Run(argc, argv); }

@@ -1,9 +1,11 @@
 #include "attack/greedy_poisoner.h"
 
 #include <algorithm>
+#include <memory>
 #include <string>
 
 #include "attack/loss_landscape.h"
+#include "common/thread_pool.h"
 
 namespace lispoison {
 
@@ -28,8 +30,18 @@ Result<GreedyPoisonResult> GreedyPoisonCdf(const KeySet& keyset,
                              LossLandscape::Create(keyset));
   result.base_loss = landscape.BaseLoss();
 
+  // One pool for all rounds; the chunked argmax reduction is
+  // thread-count independent, so any worker count selects the same
+  // keys. Negative settings mean serial (only 0 requests the hardware
+  // default, matching the documented contract).
+  std::unique_ptr<ThreadPool> pool;
+  if (options.num_threads == 0 || options.num_threads > 1) {
+    pool = std::make_unique<ThreadPool>(options.num_threads);
+  }
+
   for (std::int64_t round = 0; round < p; ++round) {
-    auto best = landscape.FindOptimal(options.interior_only);
+    auto best = landscape.FindOptimal(options.interior_only,
+                                      /*excluded=*/nullptr, pool.get());
     if (!best.ok()) {
       return Status::ResourceExhausted(
           "poisoning range exhausted after " + std::to_string(round) +

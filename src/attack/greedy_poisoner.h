@@ -40,8 +40,11 @@ struct GreedyPoisonResult {
 /// Implemented on the incremental LossLandscape engine: the landscape is
 /// built once and each committed poison updates it in place, so a round
 /// costs O(G) candidate evaluations (G = current gap count) with no
-/// per-round KeySet/landscape reconstruction. Selects bit-identical
-/// poison sequences to GreedyPoisonCdfReference.
+/// per-round KeySet/landscape reconstruction. With
+/// AttackOptions::num_threads != 1 the per-round argmax scan fans out
+/// over chunked gap ranges on a ThreadPool with a fixed-order reduction.
+/// Selects bit-identical poison sequences to GreedyPoisonCdfReference
+/// for every thread count.
 ///
 /// Fails with InvalidArgument for empty keysets or p < 1, and with
 /// ResourceExhausted if the allowed range runs out of unoccupied keys

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <string>
 
+#include "common/thread_pool.h"
+
 namespace lispoison {
 namespace {
 
@@ -222,8 +224,94 @@ std::vector<std::pair<Key, long double>> LossLandscape::Sweep(
   return out;
 }
 
+namespace {
+
+/// One materialized gap range for the parallel argmax: everything the
+/// per-candidate loss evaluation needs, captured in key order.
+struct GapRange {
+  Key lo = 0;
+  Key hi = 0;
+  Rank count_less = 0;
+  Int128 suffix_sum = 0;
+};
+
+/// Gap ranges per parallel chunk. Fixed (not derived from the thread
+/// count) so the chunk boundaries — and therefore the reduction order —
+/// are identical for every pool size.
+constexpr std::int64_t kArgmaxChunkGaps = 2048;
+
+}  // namespace
+
 Result<LossLandscape::Candidate> LossLandscape::FindOptimal(
-    bool interior_only, const std::unordered_set<Key>* excluded) const {
+    bool interior_only, const std::unordered_set<Key>* excluded,
+    ThreadPool* pool) const {
+  // The parallel path pays an O(G) materialization of the gap ranges,
+  // so it is only entered when the total gap count (an upper bound on
+  // the candidate-range gaps) spans multiple chunks; smaller landscapes
+  // go straight to the serial scan with no redundant traversal.
+  if (pool != nullptr && pool->num_threads() > 1 &&
+      gaps_.size() > static_cast<std::size_t>(kArgmaxChunkGaps)) {
+    // Materialize the gap ranges, then reduce fixed-size chunks on the
+    // pool. Per-candidate arithmetic is the same LossWithInsertion call
+    // as the serial scan; each chunk keeps its first strict maximum in
+    // key order, and the final reduction keeps the first strict maximum
+    // across chunks in chunk (= key) order, so the selected candidate is
+    // bit-identical to the serial scan below. A single post-intersection
+    // chunk runs inline through the same code path.
+    std::vector<GapRange> ranges;
+    ranges.reserve(gaps_.size());
+    ForEachGap(interior_only, [this, &ranges](Key lo, Key hi, Rank count_less,
+                                              Int128 prefix_sum) {
+      ranges.push_back(GapRange{lo, hi, count_less, sum_k_ - prefix_sum});
+    });
+    const std::int64_t num_chunks =
+        (static_cast<std::int64_t>(ranges.size()) + kArgmaxChunkGaps - 1) /
+        kArgmaxChunkGaps;
+    std::vector<Candidate> chunk_best(static_cast<std::size_t>(num_chunks));
+    std::vector<char> chunk_have(static_cast<std::size_t>(num_chunks), 0);
+    pool->ParallelFor(num_chunks, [this, excluded, &ranges, &chunk_best,
+                                   &chunk_have](std::int64_t c) {
+      Candidate best;
+      bool have = false;
+      const std::size_t first = static_cast<std::size_t>(c) *
+                                static_cast<std::size_t>(kArgmaxChunkGaps);
+      const std::size_t end = std::min(
+          ranges.size(), first + static_cast<std::size_t>(kArgmaxChunkGaps));
+      for (std::size_t i = first; i < end; ++i) {
+        const GapRange& g = ranges[i];
+        auto consider = [&](Key kp) {
+          if (excluded != nullptr && excluded->count(kp) != 0) return;
+          const long double loss =
+              LossWithInsertion(kp, g.count_less, g.suffix_sum);
+          if (!have || loss > best.loss) {
+            best.key = kp;
+            best.loss = loss;
+            have = true;
+          }
+        };
+        consider(g.lo);
+        if (g.hi != g.lo) consider(g.hi);
+      }
+      chunk_best[static_cast<std::size_t>(c)] = best;
+      chunk_have[static_cast<std::size_t>(c)] = have ? 1 : 0;
+    });
+    Candidate best;
+    bool have = false;
+    for (std::int64_t c = 0; c < num_chunks; ++c) {
+      if (!chunk_have[static_cast<std::size_t>(c)]) continue;
+      const Candidate& cb = chunk_best[static_cast<std::size_t>(c)];
+      if (!have || cb.loss > best.loss) {
+        best = cb;
+        have = true;
+      }
+    }
+    if (!have) {
+      return Status::ResourceExhausted(
+          "no unoccupied candidate keys in the poisoning range");
+    }
+    return best;
+  }
+
   Candidate best;
   bool have = false;
   ForEachGap(interior_only,

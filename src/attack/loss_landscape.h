@@ -46,6 +46,8 @@
 
 namespace lispoison {
 
+class ThreadPool;
+
 /// \brief Exact O(1) evaluator of the post-insertion minimized loss
 /// L(kp) = min_{w,b} MSE(K ∪ {kp}) for any candidate poisoning key,
 /// with O(log n) incremental commits via InsertKey.
@@ -122,9 +124,16 @@ class LossLandscape {
   /// attack). Fails with ResourceExhausted when no unoccupied candidate
   /// exists. With \p excluded non-null, keys in that set are skipped
   /// (the RMI attack's globally occupied poisons).
+  ///
+  /// With \p pool non-null and running >1 worker, the gap scan fans out
+  /// in fixed-size chunks of gap ranges whose local argmaxes reduce in
+  /// chunk order with a strict > comparison — exactly the serial scan's
+  /// first-maximum-in-key-order semantics, so the selected candidate is
+  /// bit-identical for every thread count (greedy_differential_test).
   Result<Candidate> FindOptimal(bool interior_only,
                                 const std::unordered_set<Key>* excluded =
-                                    nullptr) const;
+                                    nullptr,
+                                ThreadPool* pool = nullptr) const;
 
   /// \brief Exact prefix statistics over the current keys strictly
   /// below \p kp. prefix_sum is over shifted keys (k - shift()).

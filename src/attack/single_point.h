@@ -22,6 +22,13 @@ struct AttackOptions {
   /// largest legitimate key (the paper's default, which keeps the attack
   /// invisible to out-of-range and outlier filters).
   bool interior_only = true;
+
+  /// Worker threads for the greedy argmax scan over gap ranges.
+  /// 0 means one per hardware thread; 1 or any negative value runs the
+  /// serial scan. The selected poison sequence is bit-identical for
+  /// every value (chunked fixed-order reduction; see
+  /// LossLandscape::FindOptimal).
+  int num_threads = 1;
 };
 
 /// \brief Result of the optimal single-point attack.

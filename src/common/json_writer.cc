@@ -1,0 +1,130 @@
+#include "common/json_writer.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace lispoison {
+
+JsonWriter::JsonWriter(std::ostream* os, bool pretty)
+    : os_(os), pretty_(pretty) {}
+
+std::string JsonWriter::Escape(const std::string& v) {
+  std::string out;
+  out.reserve(v.size() + 2);
+  out.push_back('"');
+  for (const char c : v) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+void JsonWriter::NewlineIndent() {
+  if (!pretty_) return;
+  *os_ << '\n';
+  for (std::size_t i = 0; i < stack_.size(); ++i) *os_ << "  ";
+}
+
+void JsonWriter::BeforeValue() {
+  if (pending_key_) {
+    // Key() already positioned us; the value follows the "key: ".
+    pending_key_ = false;
+    return;
+  }
+  if (stack_.empty()) return;  // Top-level value.
+  assert(stack_.back() == Scope::kArray &&
+         "object members must start with Key()");
+  if (has_items_.back()) *os_ << ',';
+  NewlineIndent();
+  has_items_.back() = true;
+}
+
+void JsonWriter::Key(const std::string& k) {
+  assert(!stack_.empty() && stack_.back() == Scope::kObject);
+  assert(!pending_key_);
+  if (has_items_.back()) *os_ << ',';
+  NewlineIndent();
+  has_items_.back() = true;
+  *os_ << Escape(k) << (pretty_ ? ": " : ":");
+  pending_key_ = true;
+}
+
+void JsonWriter::BeginObject() {
+  BeforeValue();
+  *os_ << '{';
+  stack_.push_back(Scope::kObject);
+  has_items_.push_back(false);
+}
+
+void JsonWriter::EndObject() {
+  assert(!stack_.empty() && stack_.back() == Scope::kObject);
+  const bool had = has_items_.back();
+  stack_.pop_back();
+  has_items_.pop_back();
+  if (had) NewlineIndent();
+  *os_ << '}';
+}
+
+void JsonWriter::BeginArray() {
+  BeforeValue();
+  *os_ << '[';
+  stack_.push_back(Scope::kArray);
+  has_items_.push_back(false);
+}
+
+void JsonWriter::EndArray() {
+  assert(!stack_.empty() && stack_.back() == Scope::kArray);
+  const bool had = has_items_.back();
+  stack_.pop_back();
+  has_items_.pop_back();
+  if (had) NewlineIndent();
+  *os_ << ']';
+}
+
+void JsonWriter::String(const std::string& v) {
+  BeforeValue();
+  *os_ << Escape(v);
+}
+
+void JsonWriter::Int(std::int64_t v) {
+  BeforeValue();
+  *os_ << v;
+}
+
+void JsonWriter::Double(double v) {
+  BeforeValue();
+  if (!std::isfinite(v)) {
+    *os_ << "null";
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  *os_ << buf;
+}
+
+void JsonWriter::Bool(bool v) {
+  BeforeValue();
+  *os_ << (v ? "true" : "false");
+}
+
+void JsonWriter::Null() {
+  BeforeValue();
+  *os_ << "null";
+}
+
+}  // namespace lispoison

@@ -1,0 +1,83 @@
+// Copyright (c) lispoison authors. Licensed under the MIT license.
+//
+// A minimal streaming JSON writer for the bench report emitters. The
+// serving benchmarks commit machine-readable reports (mirroring the
+// google-benchmark JSON the attack-throughput bench already produces),
+// and tools/bench_compare.py consumes both; this writer keeps the
+// emission dependency-free.
+
+#ifndef LISPOISON_COMMON_JSON_WRITER_H_
+#define LISPOISON_COMMON_JSON_WRITER_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace lispoison {
+
+/// \brief Streaming JSON emitter with automatic comma/indent handling.
+///
+/// Usage:
+/// \code
+///   JsonWriter w(&os);
+///   w.BeginObject();
+///   w.Key("n");     w.Int(100000);
+///   w.Key("tags");  w.BeginArray(); w.String("a"); w.EndArray();
+///   w.EndObject();
+/// \endcode
+///
+/// The writer validates nesting with assertions only (it is a bench
+/// emitter, not a parser); non-finite doubles are emitted as null so the
+/// output always stays valid JSON.
+class JsonWriter {
+ public:
+  /// \brief Writes to \p os; \p pretty adds newlines and 2-space indent.
+  explicit JsonWriter(std::ostream* os, bool pretty = true);
+
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+
+  /// \brief Emits an object key; the next value call is its value.
+  void Key(const std::string& k);
+
+  /// \name Scalar values.
+  /// @{
+  void String(const std::string& v);
+  void Int(std::int64_t v);
+  void Double(double v);
+  void Bool(bool v);
+  void Null();
+  /// @}
+
+  /// \name Key + scalar shorthands.
+  /// @{
+  void KV(const std::string& k, const std::string& v) { Key(k); String(v); }
+  void KV(const std::string& k, const char* v) { Key(k); String(v); }
+  void KV(const std::string& k, std::int64_t v) { Key(k); Int(v); }
+  void KV(const std::string& k, int v) { Key(k); Int(v); }
+  void KV(const std::string& k, double v) { Key(k); Double(v); }
+  void KV(const std::string& k, bool v) { Key(k); Bool(v); }
+  /// @}
+
+  /// \brief Escapes \p v as a JSON string literal (with quotes).
+  static std::string Escape(const std::string& v);
+
+ private:
+  enum class Scope { kObject, kArray };
+
+  void BeforeValue();
+  void NewlineIndent();
+
+  std::ostream* os_;
+  bool pretty_;
+  std::vector<Scope> stack_;
+  std::vector<bool> has_items_;  // Parallel to stack_.
+  bool pending_key_ = false;     // A Key() awaits its value.
+};
+
+}  // namespace lispoison
+
+#endif  // LISPOISON_COMMON_JSON_WRITER_H_

@@ -1,0 +1,81 @@
+#include "common/latency_histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lispoison {
+
+LatencyHistogram::LatencyHistogram()
+    : counts_(static_cast<std::size_t>(kBucketCount), 0) {}
+
+int LatencyHistogram::BucketIndex(std::int64_t value) {
+  if (value < kSubBucketCount) return static_cast<int>(value);
+  // Exponent of the highest set bit; value >= 32 so e >= kSubBucketBits.
+  int e = 63;
+  while ((value & (std::int64_t{1} << e)) == 0) --e;
+  const int tier = e - kSubBucketBits;
+  const int sub =
+      static_cast<int>(value >> tier) - kSubBucketCount;  // In [0, 32).
+  return kSubBucketCount + tier * kSubBucketCount + sub;
+}
+
+std::int64_t LatencyHistogram::BucketLow(int index) {
+  if (index < kSubBucketCount) return index;
+  const int tier = (index - kSubBucketCount) / kSubBucketCount;
+  const int sub = (index - kSubBucketCount) % kSubBucketCount;
+  return static_cast<std::int64_t>(kSubBucketCount + sub) << tier;
+}
+
+std::int64_t LatencyHistogram::BucketHigh(int index) {
+  if (index < kSubBucketCount) return index;
+  const int tier = (index - kSubBucketCount) / kSubBucketCount;
+  return BucketLow(index) + (std::int64_t{1} << tier) - 1;
+}
+
+void LatencyHistogram::Record(std::int64_t value) {
+  if (value < 0) value = 0;
+  counts_[static_cast<std::size_t>(BucketIndex(value))] += 1;
+  if (count_ == 0 || value < min_) min_ = value;
+  if (value > max_) max_ = value;
+  count_ += 1;
+  sum_ += value;
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  if (other.count_ == 0) return;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+  if (other.max_ > max_) max_ = other.max_;
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+double LatencyHistogram::Mean() const {
+  return count_ == 0
+             ? 0.0
+             : static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+std::int64_t LatencyHistogram::ValueAtQuantile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::max(0.0, std::min(1.0, q));
+  // Nearest-rank: the smallest bucket whose cumulative count reaches
+  // ceil(q * count), rank at least 1. The small tolerance keeps exact
+  // products (0.5 * 10 = 5.0) from rounding up to rank 6.
+  const std::int64_t target = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(
+             std::ceil(q * static_cast<double>(count_) - 1e-9)));
+  std::int64_t cumulative = 0;
+  for (int i = 0; i < kBucketCount; ++i) {
+    cumulative += counts_[static_cast<std::size_t>(i)];
+    if (cumulative >= target) {
+      const std::int64_t mid = BucketLow(i) + (BucketHigh(i) - BucketLow(i)) / 2;
+      return std::max(min(), std::min(max_, mid));
+    }
+  }
+  return max_;
+}
+
+}  // namespace lispoison

@@ -1,0 +1,79 @@
+// Copyright (c) lispoison authors. Licensed under the MIT license.
+//
+// HDR-style log-bucketed latency histogram for the serving benchmarks.
+// Values (nanoseconds, probe counts — any non-negative int64) below
+// 2^kSubBucketBits are recorded exactly; above that each power-of-two
+// octave is split into 2^kSubBucketBits sub-buckets, bounding the
+// relative quantile error by 2^-kSubBucketBits (~3.1%). Histograms are
+// plain value types: each driver shard records into its own instance and
+// the shards are merged in fixed order after the run, so no atomics are
+// needed on the hot path.
+
+#ifndef LISPOISON_COMMON_LATENCY_HISTOGRAM_H_
+#define LISPOISON_COMMON_LATENCY_HISTOGRAM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace lispoison {
+
+/// \brief Fixed-footprint log-linear histogram over non-negative int64
+/// values with mergeable counts and quantile queries.
+class LatencyHistogram {
+ public:
+  /// Sub-bucket resolution: each octave has 2^kSubBucketBits buckets, so
+  /// any reported quantile is within a factor (1 + 2^-kSubBucketBits) of
+  /// the recorded value's bucket range.
+  static constexpr int kSubBucketBits = 5;
+
+  LatencyHistogram();
+
+  /// \brief Records one value. Negative values clamp to 0.
+  void Record(std::int64_t value);
+
+  /// \brief Adds every count of \p other into this histogram.
+  void Merge(const LatencyHistogram& other);
+
+  /// \brief Number of recorded values.
+  std::int64_t count() const { return count_; }
+
+  /// \brief Exact smallest / largest recorded value (0 when empty).
+  std::int64_t min() const { return count_ == 0 ? 0 : min_; }
+  std::int64_t max() const { return max_; }
+
+  /// \brief Exact arithmetic mean of the recorded values (0 when empty).
+  double Mean() const;
+
+  /// \brief Value at quantile \p q in [0, 1] under the nearest-rank
+  /// definition, reported as the representative (midpoint) of the bucket
+  /// holding that rank and clamped to the exact [min, max]. Returns 0
+  /// when empty.
+  std::int64_t ValueAtQuantile(double q) const;
+
+  /// \name Convenience quantiles used by every serving report.
+  /// @{
+  std::int64_t P50() const { return ValueAtQuantile(0.50); }
+  std::int64_t P95() const { return ValueAtQuantile(0.95); }
+  std::int64_t P99() const { return ValueAtQuantile(0.99); }
+  /// @}
+
+ private:
+  static constexpr int kSubBucketCount = 1 << kSubBucketBits;  // 32
+  // Octaves above the exact range: exponents kSubBucketBits..62.
+  static constexpr int kBucketCount =
+      kSubBucketCount + (63 - kSubBucketBits) * kSubBucketCount;
+
+  static int BucketIndex(std::int64_t value);
+  static std::int64_t BucketLow(int index);
+  static std::int64_t BucketHigh(int index);
+
+  std::vector<std::int64_t> counts_;
+  std::int64_t count_ = 0;
+  std::int64_t sum_ = 0;
+  std::int64_t min_ = 0;
+  std::int64_t max_ = 0;
+};
+
+}  // namespace lispoison
+
+#endif  // LISPOISON_COMMON_LATENCY_HISTOGRAM_H_

@@ -53,6 +53,9 @@ class BinarySearchIndex {
   /// \brief Number of stored keys.
   std::int64_t size() const { return static_cast<std::int64_t>(keys_.size()); }
 
+  /// \brief The backing sorted key array (for range scans).
+  const std::vector<Key>& keys() const { return keys_; }
+
  private:
   std::vector<Key> keys_;
 };

@@ -91,4 +91,38 @@ BTreeLookupResult BPlusTree::Lookup(Key k) const {
   }
 }
 
+std::int64_t BPlusTree::BoundRank(Key k, bool upper,
+                                  BTreeRangeResult* cost) const {
+  const Node* node = root_.get();
+  if (node == nullptr) return 0;
+  while (true) {
+    cost->nodes_visited += 1;
+    if (node->leaf) {
+      const auto it =
+          upper ? std::upper_bound(node->keys.begin(), node->keys.end(), k)
+                : std::lower_bound(node->keys.begin(), node->keys.end(), k);
+      cost->comparisons += static_cast<std::int64_t>(
+          std::max<std::ptrdiff_t>(1, it - node->keys.begin()));
+      return node->first_position + (it - node->keys.begin());
+    }
+    // Internal: descend as Lookup does, so a bound past this subtree's
+    // last key resolves in the rightmost reachable leaf (whose end rank
+    // equals the next leaf's first_position).
+    const auto it = std::upper_bound(node->keys.begin(), node->keys.end(), k);
+    cost->comparisons += static_cast<std::int64_t>(
+        std::max<std::ptrdiff_t>(1, it - node->keys.begin()));
+    node = node->children[static_cast<std::size_t>(it - node->keys.begin())]
+               .get();
+  }
+}
+
+BTreeRangeResult BPlusTree::RangeCount(Key lo, Key hi) const {
+  BTreeRangeResult res;
+  if (lo > hi || n_ == 0) return res;
+  res.first = BoundRank(lo, /*upper=*/false, &res);
+  const std::int64_t end = BoundRank(hi, /*upper=*/true, &res);
+  res.count = end - res.first;
+  return res;
+}
+
 }  // namespace lispoison

@@ -26,6 +26,14 @@ struct BTreeLookupResult {
   std::int64_t comparisons = 0;
 };
 
+/// \brief Outcome of a B+Tree range count with cost accounting.
+struct BTreeRangeResult {
+  std::int64_t first = 0;  ///< Rank (0-based) of the first key >= lo.
+  std::int64_t count = 0;  ///< Number of stored keys in [lo, hi].
+  std::int64_t nodes_visited = 0;
+  std::int64_t comparisons = 0;
+};
+
 /// \brief A read-only bulk-loaded B+Tree.
 ///
 /// Leaves store (key, position) runs of up to `fanout` entries; internal
@@ -39,6 +47,12 @@ class BPlusTree {
 
   /// \brief Point lookup with cost accounting.
   BTreeLookupResult Lookup(Key k) const;
+
+  /// \brief Counts the stored keys in [lo, hi] via two root-to-leaf
+  /// descents (rank of the range's bounds), accumulating the combined
+  /// traversal cost. Requires lo <= hi (returns an empty range
+  /// otherwise). This is the scan primitive of the serving workloads.
+  BTreeRangeResult RangeCount(Key lo, Key hi) const;
 
   /// \brief Number of keys stored.
   std::int64_t size() const { return n_; }
@@ -56,6 +70,10 @@ class BPlusTree {
     std::vector<std::unique_ptr<Node>> children;  // Internal only.
     std::int64_t first_position = 0;  // Leaf: rank-1 of keys.front().
   };
+
+  /// Rank of the first stored key >= k (upper=false) or > k (upper=true),
+  /// accumulating traversal cost into \p cost.
+  std::int64_t BoundRank(Key k, bool upper, BTreeRangeResult* cost) const;
 
   std::unique_ptr<Node> root_;
   std::int64_t n_ = 0;

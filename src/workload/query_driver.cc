@@ -1,0 +1,155 @@
+#include "workload/query_driver.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/thread_pool.h"
+#include "common/timer.h"
+
+namespace lispoison {
+namespace {
+
+/// Per-shard accumulator; one per shard, written only by its own task.
+struct ShardStats {
+  std::int64_t reads = 0;
+  std::int64_t scans = 0;
+  std::int64_t inserts = 0;
+  std::int64_t read_found = 0;
+  std::int64_t scanned_keys = 0;
+  std::int64_t insert_failures = 0;
+  std::int64_t total_work = 0;
+  std::int64_t max_work = 0;
+  LatencyHistogram latency;
+  LatencyHistogram read_latency;
+  LatencyHistogram scan_latency;
+  LatencyHistogram insert_latency;
+};
+
+/// Runs \p fn, returning its wall-clock nanos when \p timed — or -1
+/// without touching the clock, so measure_latency=false pays zero
+/// steady_clock reads (they would be ~10-25% of a lookup's cost).
+template <typename Fn>
+std::int64_t RunTimed(bool timed, Fn&& fn) {
+  if (!timed) {
+    fn();
+    return -1;
+  }
+  WallTimer timer;
+  fn();
+  return timer.ElapsedNanos();
+}
+
+void ExecuteOp(SearchBackend* backend, const Operation& op, bool timed,
+               ShardStats* s) {
+  std::int64_t work = 0;
+  switch (op.type) {
+    case OpType::kRead: {
+      BackendOpResult r;
+      const std::int64_t ns =
+          RunTimed(timed, [&] { r = backend->Lookup(op.key); });
+      s->reads += 1;
+      if (r.found) s->read_found += 1;
+      work = r.work;
+      if (ns >= 0) {
+        s->latency.Record(ns);
+        s->read_latency.Record(ns);
+      }
+      break;
+    }
+    case OpType::kScan: {
+      BackendOpResult r;
+      const std::int64_t ns =
+          RunTimed(timed, [&] { r = backend->Scan(op.key, op.scan_hi); });
+      s->scans += 1;
+      s->scanned_keys += r.range_count;
+      work = r.work;
+      if (ns >= 0) {
+        s->latency.Record(ns);
+        s->scan_latency.Record(ns);
+      }
+      break;
+    }
+    case OpType::kInsert: {
+      Status st;
+      const std::int64_t ns =
+          RunTimed(timed, [&] { st = backend->Insert(op.key); });
+      s->inserts += 1;
+      if (!st.ok()) s->insert_failures += 1;
+      // Inserts contribute measured latency but not work: the work
+      // model tracks read-path probes, which is what poisoning inflates.
+      if (ns >= 0) {
+        s->latency.Record(ns);
+        s->insert_latency.Record(ns);
+      }
+      break;
+    }
+  }
+  s->total_work += work;
+  if (work > s->max_work) s->max_work = work;
+}
+
+}  // namespace
+
+Result<DriverResult> RunWorkload(SearchBackend* backend,
+                                 const std::vector<Operation>& ops,
+                                 const DriverOptions& options) {
+  if (backend == nullptr) {
+    return Status::InvalidArgument("backend must not be null");
+  }
+  if (options.batch_size < 1) {
+    return Status::InvalidArgument("batch_size must be >= 1");
+  }
+  int shards = options.num_threads;
+  if (shards <= 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    shards = hw == 0 ? 1 : static_cast<int>(hw);
+  }
+  const std::int64_t num_ops = static_cast<std::int64_t>(ops.size());
+  const std::int64_t num_batches =
+      (num_ops + options.batch_size - 1) / options.batch_size;
+  shards = static_cast<int>(
+      std::min<std::int64_t>(shards, std::max<std::int64_t>(1, num_batches)));
+
+  std::vector<ShardStats> stats(static_cast<std::size_t>(shards));
+  ThreadPool pool(shards);
+  WallTimer run_timer;
+  for (int shard = 0; shard < shards; ++shard) {
+    ShardStats* s = &stats[static_cast<std::size_t>(shard)];
+    pool.Submit([backend, &ops, &options, num_ops, num_batches, shards, shard,
+                 s] {
+      for (std::int64_t b = shard; b < num_batches; b += shards) {
+        const std::int64_t first = b * options.batch_size;
+        const std::int64_t end =
+            std::min(num_ops, first + options.batch_size);
+        for (std::int64_t i = first; i < end; ++i) {
+          ExecuteOp(backend, ops[static_cast<std::size_t>(i)],
+                    options.measure_latency, s);
+        }
+      }
+    });
+  }
+  pool.Wait();
+  const double elapsed = run_timer.ElapsedSeconds();
+
+  DriverResult result;
+  result.total_ops = num_ops;
+  result.elapsed_seconds = elapsed;
+  result.num_threads_used = shards;
+  for (const ShardStats& s : stats) {  // Fixed shard order.
+    result.reads += s.reads;
+    result.scans += s.scans;
+    result.inserts += s.inserts;
+    result.read_found += s.read_found;
+    result.scanned_keys += s.scanned_keys;
+    result.insert_failures += s.insert_failures;
+    result.total_work += s.total_work;
+    result.max_work = std::max(result.max_work, s.max_work);
+    result.latency.Merge(s.latency);
+    result.read_latency.Merge(s.read_latency);
+    result.scan_latency.Merge(s.scan_latency);
+    result.insert_latency.Merge(s.insert_latency);
+  }
+  return result;
+}
+
+}  // namespace lispoison

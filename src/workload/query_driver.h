@@ -1,0 +1,99 @@
+// Copyright (c) lispoison authors. Licensed under the MIT license.
+//
+// QueryDriver: executes a pre-generated operation stream against a
+// SearchBackend on the shared common/thread_pool, measuring per-op
+// latency into per-shard LatencyHistograms and exact work counters.
+//
+// Scheduling model: the stream is cut into fixed batches of
+// `batch_size` ops; batch i belongs to shard (i % num_shards) and each
+// shard replays its batches in order on one pool task. The schedule is a
+// pure function of (stream, batch_size, num_shards) — never of timing —
+// so each shard's op subsequence, found counts, and (for streams without
+// inserts) work totals are bit-reproducible across runs and machines;
+// only the measured nanoseconds vary. Shard results merge in fixed shard
+// order after Wait().
+
+#ifndef LISPOISON_WORKLOAD_QUERY_DRIVER_H_
+#define LISPOISON_WORKLOAD_QUERY_DRIVER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/latency_histogram.h"
+#include "common/status.h"
+#include "workload/search_backend.h"
+#include "workload/workload.h"
+
+namespace lispoison {
+
+/// \brief Execution knobs of one driver run.
+struct DriverOptions {
+  /// Worker shards / pool threads. 0 means hardware_concurrency; 1 runs
+  /// inline on the caller.
+  int num_threads = 1;
+
+  /// Operations per scheduled batch (shard i owns batches i, i+S, ...).
+  std::int64_t batch_size = 1024;
+
+  /// Skip per-op wall-clock timing (histograms stay empty, work/found
+  /// accounting still runs). The deterministic tests use this to assert
+  /// on the work model without paying 2 clock reads per op.
+  bool measure_latency = true;
+};
+
+/// \brief Aggregated outcome of one driver run.
+struct DriverResult {
+  std::int64_t total_ops = 0;
+  std::int64_t reads = 0;
+  std::int64_t scans = 0;
+  std::int64_t inserts = 0;
+
+  std::int64_t read_found = 0;       ///< Reads that located their key.
+  std::int64_t scanned_keys = 0;     ///< Sum of scan range counts.
+  std::int64_t insert_failures = 0;  ///< Rejected inserts (duplicates).
+
+  /// Exact work (probes/comparisons/nodes) across all ops; the
+  /// implementation-independent latency proxy.
+  std::int64_t total_work = 0;
+  std::int64_t max_work = 0;
+
+  /// Wall-clock of the whole run (all shards), seconds.
+  double elapsed_seconds = 0;
+
+  /// Completed operations per second of wall-clock.
+  double ThroughputOpsPerSec() const {
+    return elapsed_seconds > 0
+               ? static_cast<double>(total_ops) / elapsed_seconds
+               : 0.0;
+  }
+
+  /// Mean work per operation.
+  double MeanWork() const {
+    return total_ops > 0
+               ? static_cast<double>(total_work) /
+                     static_cast<double>(total_ops)
+               : 0.0;
+  }
+
+  /// Per-op latency in nanoseconds, overall and per op type (merged
+  /// across shards in fixed order).
+  LatencyHistogram latency;
+  LatencyHistogram read_latency;
+  LatencyHistogram scan_latency;
+  LatencyHistogram insert_latency;
+
+  int num_threads_used = 1;  ///< Shards the run was partitioned into.
+};
+
+/// \brief Runs \p ops against \p backend under \p options.
+///
+/// Fails with InvalidArgument on a null backend or non-positive
+/// batch_size. Insert rejections (duplicate keys) are counted, not
+/// fatal: under concurrency two streams may race to the same gap key.
+Result<DriverResult> RunWorkload(SearchBackend* backend,
+                                 const std::vector<Operation>& ops,
+                                 const DriverOptions& options);
+
+}  // namespace lispoison
+
+#endif  // LISPOISON_WORKLOAD_QUERY_DRIVER_H_

@@ -1,0 +1,221 @@
+#include "workload/search_backend.h"
+
+#include <algorithm>
+#include <mutex>
+#include <utility>
+
+#include "index/binary_search_index.h"
+#include "index/btree.h"
+#include "index/learned_index.h"
+
+namespace lispoison {
+namespace {
+
+/// Binary search for the first element >= k with comparison accounting
+/// (the overlay and scan cost model: one comparison per halving step).
+std::pair<std::int64_t, std::int64_t> CountedLowerBound(
+    const std::vector<Key>& v, Key k) {
+  std::int64_t lo = 0;
+  std::int64_t hi = static_cast<std::int64_t>(v.size());
+  std::int64_t comparisons = 0;
+  while (lo < hi) {
+    const std::int64_t mid = lo + (hi - lo) / 2;
+    comparisons += 1;
+    if (v[static_cast<std::size_t>(mid)] < k) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return {lo, comparisons};
+}
+
+/// First element > k, same cost model.
+std::pair<std::int64_t, std::int64_t> CountedUpperBound(
+    const std::vector<Key>& v, Key k) {
+  std::int64_t lo = 0;
+  std::int64_t hi = static_cast<std::int64_t>(v.size());
+  std::int64_t comparisons = 0;
+  while (lo < hi) {
+    const std::int64_t mid = lo + (hi - lo) / 2;
+    comparisons += 1;
+    if (v[static_cast<std::size_t>(mid)] <= k) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return {lo, comparisons};
+}
+
+class RmiBackend : public SearchBackend {
+ public:
+  explicit RmiBackend(LearnedIndex index) : index_(std::move(index)) {}
+
+  const char* name() const override { return BackendKindName(BackendKind::kRmi); }
+  std::int64_t base_size() const override { return index_.size(); }
+
+ protected:
+  BackendOpResult BaseLookup(Key k) const override {
+    const LookupResult r = index_.Lookup(k);
+    BackendOpResult res;
+    res.found = r.found;
+    res.work = r.probes;
+    return res;
+  }
+
+  BackendOpResult BaseScan(Key lo, Key hi) const override {
+    BackendOpResult res;
+    auto r = index_.LookupRange(lo, hi);
+    if (!r.ok()) return res;  // lo > hi is screened by the caller.
+    res.found = r->count > 0;
+    res.work = r->probes;
+    res.range_count = r->count;
+    return res;
+  }
+
+ private:
+  LearnedIndex index_;
+};
+
+class BTreeBackend : public SearchBackend {
+ public:
+  explicit BTreeBackend(BPlusTree tree) : tree_(std::move(tree)) {}
+
+  const char* name() const override {
+    return BackendKindName(BackendKind::kBTree);
+  }
+  std::int64_t base_size() const override { return tree_.size(); }
+
+ protected:
+  BackendOpResult BaseLookup(Key k) const override {
+    const BTreeLookupResult r = tree_.Lookup(k);
+    BackendOpResult res;
+    res.found = r.found;
+    res.work = r.nodes_visited + r.comparisons;
+    return res;
+  }
+
+  BackendOpResult BaseScan(Key lo, Key hi) const override {
+    const BTreeRangeResult r = tree_.RangeCount(lo, hi);
+    BackendOpResult res;
+    res.found = r.count > 0;
+    res.work = r.nodes_visited + r.comparisons;
+    res.range_count = r.count;
+    return res;
+  }
+
+ private:
+  BPlusTree tree_;
+};
+
+class BinarySearchBackend : public SearchBackend {
+ public:
+  explicit BinarySearchBackend(const KeySet& keyset) : index_(keyset) {}
+
+  const char* name() const override {
+    return BackendKindName(BackendKind::kBinarySearch);
+  }
+  std::int64_t base_size() const override { return index_.size(); }
+
+ protected:
+  BackendOpResult BaseLookup(Key k) const override {
+    const BinarySearchResult r = index_.Lookup(k);
+    BackendOpResult res;
+    res.found = r.found;
+    res.work = r.comparisons;
+    return res;
+  }
+
+  BackendOpResult BaseScan(Key lo, Key hi) const override {
+    BackendOpResult res;
+    const auto first = CountedLowerBound(index_.keys(), lo);
+    const auto end = CountedUpperBound(index_.keys(), hi);
+    res.work = first.second + end.second;
+    res.range_count = end.first - first.first;
+    res.found = res.range_count > 0;
+    return res;
+  }
+
+ private:
+  BinarySearchIndex index_;
+};
+
+}  // namespace
+
+const char* BackendKindName(BackendKind kind) {
+  switch (kind) {
+    case BackendKind::kRmi: return "rmi";
+    case BackendKind::kBTree: return "btree";
+    case BackendKind::kBinarySearch: return "binary_search";
+  }
+  return "unknown";
+}
+
+BackendOpResult SearchBackend::Lookup(Key k) const {
+  BackendOpResult res = BaseLookup(k);
+  if (res.found) return res;
+  std::shared_lock<std::shared_mutex> lock(overlay_mu_);
+  if (overlay_.empty()) return res;
+  const auto b = CountedLowerBound(overlay_, k);
+  res.work += b.second;
+  res.found = b.first < static_cast<std::int64_t>(overlay_.size()) &&
+              overlay_[static_cast<std::size_t>(b.first)] == k;
+  return res;
+}
+
+BackendOpResult SearchBackend::Scan(Key lo, Key hi) const {
+  BackendOpResult res;
+  if (lo > hi) return res;
+  res = BaseScan(lo, hi);
+  std::shared_lock<std::shared_mutex> lock(overlay_mu_);
+  if (overlay_.empty()) return res;
+  const auto first = CountedLowerBound(overlay_, lo);
+  const auto end = CountedUpperBound(overlay_, hi);
+  res.work += first.second + end.second;
+  res.range_count += end.first - first.first;
+  res.found = res.range_count > 0;
+  return res;
+}
+
+Status SearchBackend::Insert(Key k) {
+  if (BaseLookup(k).found) {
+    return Status::InvalidArgument("key already stored in the base index");
+  }
+  std::unique_lock<std::shared_mutex> lock(overlay_mu_);
+  const auto b = CountedLowerBound(overlay_, k);
+  const auto it = overlay_.begin() + static_cast<std::ptrdiff_t>(b.first);
+  if (it != overlay_.end() && *it == k) {
+    return Status::InvalidArgument("key already stored in the overlay");
+  }
+  overlay_.insert(it, k);
+  return Status::OK();
+}
+
+std::int64_t SearchBackend::overlay_size() const {
+  std::shared_lock<std::shared_mutex> lock(overlay_mu_);
+  return static_cast<std::int64_t>(overlay_.size());
+}
+
+Result<std::unique_ptr<SearchBackend>> CreateBackend(
+    BackendKind kind, const KeySet& keyset, const BackendOptions& options) {
+  switch (kind) {
+    case BackendKind::kRmi: {
+      LISPOISON_ASSIGN_OR_RETURN(LearnedIndex index,
+                                 LearnedIndex::Build(keyset, options.rmi));
+      return std::unique_ptr<SearchBackend>(
+          new RmiBackend(std::move(index)));
+    }
+    case BackendKind::kBTree: {
+      LISPOISON_ASSIGN_OR_RETURN(BPlusTree tree,
+                                 BPlusTree::Build(keyset, options.btree_fanout));
+      return std::unique_ptr<SearchBackend>(
+          new BTreeBackend(std::move(tree)));
+    }
+    case BackendKind::kBinarySearch:
+      return std::unique_ptr<SearchBackend>(new BinarySearchBackend(keyset));
+  }
+  return Status::InvalidArgument("unknown backend kind");
+}
+
+}  // namespace lispoison

@@ -1,0 +1,101 @@
+// Copyright (c) lispoison authors. Licensed under the MIT license.
+//
+// SearchBackend: the uniform serving adapter the QueryDriver drives.
+// One adapter per index substrate — RMI (LearnedIndex), B+Tree, binary
+// search — each wrapping its static base structure plus a shared
+// delta-overlay for inserts (the delta-buffer design of dynamic_index,
+// hoisted into the adapter so every backend serves the same read/scan/
+// insert contract). Reads and scans are safe to run concurrently;
+// inserts serialize on the overlay's shared_mutex.
+//
+// Every operation reports `work` — probes / comparisons / nodes visited,
+// the implementation-independent cost signal of the paper — alongside
+// the wall-clock latency the driver measures. Work totals are exactly
+// reproducible for read-only streams regardless of thread count, which
+// is what the deterministic clean-vs-poisoned tests assert.
+
+#ifndef LISPOISON_WORKLOAD_SEARCH_BACKEND_H_
+#define LISPOISON_WORKLOAD_SEARCH_BACKEND_H_
+
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "data/keyset.h"
+#include "index/rmi.h"
+
+namespace lispoison {
+
+/// \brief Outcome of one serving operation against a backend.
+struct BackendOpResult {
+  bool found = false;          ///< Reads: key present. Inserts: accepted.
+  std::int64_t work = 0;       ///< Probes/comparisons/nodes touched.
+  std::int64_t range_count = 0;  ///< Scans: stored keys in the range.
+};
+
+/// \brief The index substrates a backend can wrap.
+enum class BackendKind {
+  kRmi,           ///< LearnedIndex: RMI prediction + last-mile search.
+  kBTree,         ///< Bulk-loaded B+Tree.
+  kBinarySearch,  ///< Plain binary search (the poisoning-immune control).
+};
+
+/// \brief Returns the canonical lowercase name of \p kind.
+const char* BackendKindName(BackendKind kind);
+
+/// \brief Options shared by every backend build.
+struct BackendOptions {
+  RmiOptions rmi;      ///< RMI configuration (kRmi only).
+  int btree_fanout = 64;  ///< B+Tree fanout (kBTree only).
+};
+
+/// \brief Abstract serving adapter: static base index + insert overlay.
+///
+/// Subclasses implement the base-structure primitives; the public
+/// operations splice in the overlay so inserted keys are immediately
+/// visible to subsequent reads and scans on any backend.
+class SearchBackend {
+ public:
+  virtual ~SearchBackend() = default;
+
+  /// \brief Backend display name ("rmi", "btree", "binary_search").
+  virtual const char* name() const = 0;
+
+  /// \brief Keys in the static base structure (excludes the overlay).
+  virtual std::int64_t base_size() const = 0;
+
+  /// \brief Point lookup of \p k across base + overlay. Thread-safe.
+  BackendOpResult Lookup(Key k) const;
+
+  /// \brief Counts stored keys in [lo, hi] across base + overlay.
+  /// Thread-safe. Returns an empty result when lo > hi.
+  BackendOpResult Scan(Key lo, Key hi) const;
+
+  /// \brief Inserts \p k into the overlay. Fails with InvalidArgument
+  /// when the key is already present (base or overlay). Thread-safe.
+  Status Insert(Key k);
+
+  /// \brief Keys currently in the insert overlay.
+  std::int64_t overlay_size() const;
+
+ protected:
+  /// \brief Base-structure point lookup (no overlay).
+  virtual BackendOpResult BaseLookup(Key k) const = 0;
+  /// \brief Base-structure range count (no overlay).
+  virtual BackendOpResult BaseScan(Key lo, Key hi) const = 0;
+
+ private:
+  mutable std::shared_mutex overlay_mu_;
+  std::vector<Key> overlay_;  // Sorted, unique, disjoint from the base.
+};
+
+/// \brief Builds a backend of \p kind over \p keyset.
+Result<std::unique_ptr<SearchBackend>> CreateBackend(
+    BackendKind kind, const KeySet& keyset, const BackendOptions& options);
+
+}  // namespace lispoison
+
+#endif  // LISPOISON_WORKLOAD_SEARCH_BACKEND_H_

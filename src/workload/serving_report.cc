@@ -1,0 +1,128 @@
+#include "workload/serving_report.h"
+
+#include <fstream>
+
+#include "common/json_writer.h"
+
+namespace lispoison {
+namespace {
+
+void WriteHistogram(JsonWriter* w, const std::string& key,
+                    const LatencyHistogram& h) {
+  w->Key(key);
+  w->BeginObject();
+  w->KV("count", h.count());
+  w->KV("mean", h.Mean());
+  w->KV("min", h.min());
+  w->KV("p50", h.P50());
+  w->KV("p95", h.P95());
+  w->KV("p99", h.P99());
+  w->KV("max", h.max());
+  w->EndObject();
+}
+
+void WriteConfig(JsonWriter* w, const ServingConfigResult& c) {
+  const DriverResult& r = c.result;
+  w->BeginObject();
+  w->KV("workload", c.workload);
+  w->KV("backend", c.backend);
+  w->KV("variant", c.variant);
+  w->KV("keys", c.keys);
+  w->KV("seed", static_cast<std::int64_t>(c.seed));
+  w->KV("num_threads", r.num_threads_used);
+  w->KV("total_ops", r.total_ops);
+  w->KV("reads", r.reads);
+  w->KV("scans", r.scans);
+  w->KV("inserts", r.inserts);
+  w->KV("read_found", r.read_found);
+  w->KV("scanned_keys", r.scanned_keys);
+  w->KV("insert_failures", r.insert_failures);
+  w->KV("elapsed_seconds", r.elapsed_seconds);
+  w->KV("throughput_ops_per_sec", r.ThroughputOpsPerSec());
+  w->Key("work");
+  w->BeginObject();
+  w->KV("total", r.total_work);
+  w->KV("mean", r.MeanWork());
+  w->KV("max", r.max_work);
+  w->EndObject();
+  w->Key("latency_ns");
+  w->BeginObject();
+  WriteHistogram(w, "overall", r.latency);
+  if (r.reads > 0) WriteHistogram(w, "read", r.read_latency);
+  if (r.scans > 0) WriteHistogram(w, "scan", r.scan_latency);
+  if (r.inserts > 0) WriteHistogram(w, "insert", r.insert_latency);
+  w->EndObject();
+  w->EndObject();
+}
+
+double SafeRatio(double num, double den) {
+  return den > 0 ? num / den : 0.0;
+}
+
+}  // namespace
+
+void ServingReport::WriteJson(std::ostream* os) const {
+  JsonWriter w(os);
+  w.BeginObject();
+  w.KV("title", title);
+  w.Key("environment");
+  w.BeginObject();
+  w.KV("hardware_concurrency", hardware_concurrency);
+  w.KV("num_threads", num_threads);
+  w.KV("ops_per_config", ops_per_config);
+  w.KV("poison_fraction", poison_fraction);
+  w.EndObject();
+
+  w.Key("configs");
+  w.BeginArray();
+  for (const ServingConfigResult& c : configs) WriteConfig(&w, c);
+  w.EndArray();
+
+  // Poisoned/clean ratios: the headline numbers — how much slower the
+  // same backend serves the same workload after the attack.
+  w.Key("comparisons");
+  w.BeginArray();
+  for (const ServingConfigResult& clean : configs) {
+    if (clean.variant != "clean") continue;
+    for (const ServingConfigResult& poisoned : configs) {
+      if (poisoned.variant != "poisoned" ||
+          poisoned.workload != clean.workload ||
+          poisoned.backend != clean.backend) {
+        continue;
+      }
+      w.BeginObject();
+      w.KV("workload", clean.workload);
+      w.KV("backend", clean.backend);
+      w.KV("p50_ratio",
+           SafeRatio(static_cast<double>(poisoned.result.latency.P50()),
+                     static_cast<double>(clean.result.latency.P50())));
+      w.KV("p99_ratio",
+           SafeRatio(static_cast<double>(poisoned.result.latency.P99()),
+                     static_cast<double>(clean.result.latency.P99())));
+      w.KV("throughput_ratio",
+           SafeRatio(poisoned.result.ThroughputOpsPerSec(),
+                     clean.result.ThroughputOpsPerSec()));
+      w.KV("mean_work_ratio",
+           SafeRatio(poisoned.result.MeanWork(), clean.result.MeanWork()));
+      w.EndObject();
+    }
+  }
+  w.EndArray();
+  w.EndObject();
+  *os << '\n';
+}
+
+Status ServingReport::WriteJsonFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::IOError("cannot open '" + path + "' for writing");
+  }
+  WriteJson(&out);
+  out.flush();
+  if (!out.good()) {
+    return Status::IOError("failed writing serving report to '" + path + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace lispoison

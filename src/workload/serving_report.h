@@ -1,0 +1,62 @@
+// Copyright (c) lispoison authors. Licensed under the MIT license.
+//
+// ServingReport: the machine-readable outcome of a serving study — one
+// record per (workload, backend, variant) configuration plus
+// clean-vs-poisoned comparison rows, serialized as a single JSON
+// document. This is where the paper's loss-based attack metric is
+// restated in the currency users feel: p50/p95/p99 lookup latency and
+// throughput under load.
+
+#ifndef LISPOISON_WORKLOAD_SERVING_REPORT_H_
+#define LISPOISON_WORKLOAD_SERVING_REPORT_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "workload/query_driver.h"
+
+namespace lispoison {
+
+/// \brief One executed serving configuration.
+struct ServingConfigResult {
+  std::string workload;  ///< WorkloadSpec::name.
+  std::string backend;   ///< SearchBackend name.
+  std::string variant;   ///< "clean" or "poisoned".
+  std::int64_t keys = 0;  ///< Keys served (base index size).
+  std::uint64_t seed = 0;
+  DriverResult result;
+};
+
+/// \brief A full serving study: environment + all configuration runs.
+struct ServingReport {
+  std::string title = "lispoison serving benchmark";
+
+  /// Environment block (the multi-core trajectory context the ROADMAP
+  /// asks every bench JSON to carry).
+  std::int64_t hardware_concurrency = 0;
+  int num_threads = 1;          ///< Driver setting (0 = hw concurrency).
+  std::int64_t ops_per_config = 0;
+  double poison_fraction = 0;
+
+  std::vector<ServingConfigResult> configs;
+
+  /// \brief Adds one executed configuration.
+  void Add(ServingConfigResult config) {
+    configs.push_back(std::move(config));
+  }
+
+  /// \brief Serializes the report (environment, per-config metrics, and
+  /// poisoned/clean comparison rows for every workload+backend pair with
+  /// both variants present) as one JSON document.
+  void WriteJson(std::ostream* os) const;
+
+  /// \brief WriteJson to a file path.
+  Status WriteJsonFile(const std::string& path) const;
+};
+
+}  // namespace lispoison
+
+#endif  // LISPOISON_WORKLOAD_SERVING_REPORT_H_

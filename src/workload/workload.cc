@@ -1,0 +1,227 @@
+#include "workload/workload.h"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+#include <string>
+#include <unordered_set>
+
+namespace lispoison {
+namespace {
+
+/// FNV-1a on the rank bits: YCSB's ScrambledZipfian hash. Collisions are
+/// allowed (as in YCSB) — popularity mass still concentrates on a small
+/// scrambled subset of ranks.
+std::uint64_t Fnv64(std::uint64_t x) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (int i = 0; i < 8; ++i) {
+    h ^= (x >> (8 * i)) & 0xFF;
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+double ZetaStatic(std::int64_t n, double theta) {
+  double z = 0.0;
+  for (std::int64_t i = 1; i <= n; ++i) {
+    z += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  return z;
+}
+
+}  // namespace
+
+ZipfianRankGenerator::ZipfianRankGenerator(std::int64_t n, double theta,
+                                           bool scramble)
+    : n_(n < 1 ? 1 : n), theta_(theta), scramble_(scramble) {
+  zetan_ = ZetaStatic(n_, theta_);
+  const double zeta2 = ZetaStatic(std::min<std::int64_t>(2, n_), theta_);
+  const double nn = static_cast<double>(n_);
+  eta_ = (1.0 - std::pow(2.0 / nn, 1.0 - theta_)) / (1.0 - zeta2 / zetan_);
+  half_pow_theta_ = 1.0 + std::pow(0.5, theta_);
+}
+
+std::int64_t ZipfianRankGenerator::Next(Rng* rng) const {
+  const double u = rng->NextDouble();
+  const double uz = u * zetan_;
+  std::int64_t rank;
+  if (uz < 1.0) {
+    rank = 0;
+  } else if (uz < half_pow_theta_) {
+    rank = 1;
+  } else {
+    const double alpha = 1.0 / (1.0 - theta_);
+    rank = static_cast<std::int64_t>(
+        static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha));
+  }
+  if (rank < 0) rank = 0;
+  if (rank >= n_) rank = n_ - 1;
+  if (scramble_) {
+    rank = static_cast<std::int64_t>(Fnv64(static_cast<std::uint64_t>(rank)) %
+                                     static_cast<std::uint64_t>(n_));
+  }
+  return rank;
+}
+
+WorkloadSpec ReadOnlyUniformWorkload(std::uint64_t seed) {
+  WorkloadSpec spec;
+  spec.name = "read_only_uniform";
+  spec.read_fraction = 1.0;
+  spec.scan_fraction = 0.0;
+  spec.insert_fraction = 0.0;
+  spec.distribution = AccessDistribution::kUniform;
+  spec.seed = seed;
+  return spec;
+}
+
+WorkloadSpec ZipfianReadHeavyWorkload(std::uint64_t seed) {
+  WorkloadSpec spec;
+  spec.name = "zipfian_read_heavy";
+  spec.read_fraction = 0.95;
+  spec.scan_fraction = 0.0;
+  spec.insert_fraction = 0.05;
+  spec.distribution = AccessDistribution::kZipfian;
+  spec.seed = seed;
+  return spec;
+}
+
+WorkloadSpec RangeScanWorkload(std::uint64_t seed) {
+  WorkloadSpec spec;
+  spec.name = "range_scan";
+  spec.read_fraction = 0.0;
+  spec.scan_fraction = 1.0;
+  spec.insert_fraction = 0.0;
+  spec.distribution = AccessDistribution::kUniform;
+  spec.scan_length = 100;
+  spec.seed = seed;
+  return spec;
+}
+
+WorkloadSpec ReadInsertMixWorkload(std::uint64_t seed) {
+  WorkloadSpec spec;
+  spec.name = "read_insert_mix";
+  spec.read_fraction = 0.8;
+  spec.scan_fraction = 0.0;
+  spec.insert_fraction = 0.2;
+  spec.distribution = AccessDistribution::kUniform;
+  spec.seed = seed;
+  return spec;
+}
+
+Result<std::vector<Operation>> GenerateOperations(const WorkloadSpec& spec,
+                                                  const KeySet& keyset,
+                                                  std::int64_t num_ops) {
+  if (keyset.empty()) {
+    return Status::InvalidArgument("workload requires a non-empty keyset");
+  }
+  if (num_ops < 0) {
+    return Status::InvalidArgument("num_ops must be >= 0");
+  }
+  const double sum =
+      spec.read_fraction + spec.scan_fraction + spec.insert_fraction;
+  if (spec.read_fraction < 0 || spec.scan_fraction < 0 ||
+      spec.insert_fraction < 0 || std::abs(sum - 1.0) > 1e-6) {
+    return Status::InvalidArgument(
+        "workload mix fractions must be non-negative and sum to 1");
+  }
+  const std::int64_t n = keyset.size();
+  if (spec.insert_fraction > 0 && n < 2) {
+    return Status::InvalidArgument(
+        "insert workloads need >= 2 stored keys to define interior gaps");
+  }
+  if (spec.scan_fraction > 0 && spec.scan_length < 1) {
+    return Status::InvalidArgument("scan_length must be >= 1");
+  }
+
+  Rng rng(spec.seed);
+  // Distribution state derived from forks so adding a draw to one
+  // distribution never perturbs the others.
+  Rng access_rng = rng.Fork(1);
+  Rng mix_rng = rng.Fork(2);
+  Rng insert_rng = rng.Fork(3);
+
+  // Only built for zipfian specs: the constructor's zeta normalizer is
+  // an O(n) pow loop the other distributions must not pay.
+  std::optional<ZipfianRankGenerator> zipf;
+  if (spec.distribution == AccessDistribution::kZipfian) {
+    zipf.emplace(n, spec.zipf_theta, spec.zipf_scramble);
+  }
+  std::int64_t hot_size = 0;
+  std::int64_t hot_start = 0;
+  if (spec.distribution == AccessDistribution::kHotspot) {
+    if (spec.hotspot_set_fraction <= 0 || spec.hotspot_set_fraction > 1 ||
+        spec.hotspot_op_fraction < 0 || spec.hotspot_op_fraction > 1) {
+      return Status::InvalidArgument("malformed hotspot parameters");
+    }
+    hot_size = std::max<std::int64_t>(
+        1, static_cast<std::int64_t>(spec.hotspot_set_fraction *
+                                     static_cast<double>(n)));
+    hot_start = access_rng.UniformInt(0, n - hot_size);
+  }
+
+  auto next_rank = [&]() -> std::int64_t {
+    switch (spec.distribution) {
+      case AccessDistribution::kUniform:
+        return access_rng.UniformInt(0, n - 1);
+      case AccessDistribution::kZipfian:
+        return zipf->Next(&access_rng);
+      case AccessDistribution::kHotspot:
+        if (access_rng.NextDouble() < spec.hotspot_op_fraction) {
+          return hot_start + access_rng.UniformInt(0, hot_size - 1);
+        }
+        return access_rng.UniformInt(0, n - 1);
+    }
+    return 0;
+  };
+
+  std::unordered_set<Key> used_inserts;
+  auto next_insert_key = [&]() -> Result<Key> {
+    // Draw an interior gap and a fresh key inside it; the domain is
+    // sparse in every serving configuration, so a bounded retry loop
+    // terminates essentially always. Saturated domains error out.
+    for (int attempt = 0; attempt < 512; ++attempt) {
+      const std::int64_t i = insert_rng.UniformInt(0, n - 2);
+      const Key lo = keyset.at(i);
+      const Key hi = keyset.at(i + 1);
+      const Key capacity = hi - lo - 1;
+      if (capacity <= 0) continue;
+      const Key candidate = lo + 1 + insert_rng.UniformInt(0, capacity - 1);
+      if (used_inserts.insert(candidate).second) return candidate;
+    }
+    return Status::ResourceExhausted(
+        "could not draw a fresh insert key after 512 attempts; the key "
+        "domain is too dense for workload '" +
+        spec.name + "'");
+  };
+
+  std::vector<Operation> ops;
+  ops.reserve(static_cast<std::size_t>(num_ops));
+  for (std::int64_t i = 0; i < num_ops; ++i) {
+    const double u = mix_rng.NextDouble();
+    Operation op;
+    // The residual branch is an insert only when the mix actually has
+    // inserts: with fractions summing to 1 - epsilon, a draw in the
+    // epsilon sliver must not manufacture an op type the spec excludes
+    // (the n >= 2 insert guard above was skipped for such specs).
+    if (u < spec.read_fraction ||
+        (spec.insert_fraction <= 0 && spec.scan_fraction <= 0)) {
+      op.type = OpType::kRead;
+      op.key = keyset.at(next_rank());
+    } else if (u < spec.read_fraction + spec.scan_fraction ||
+               spec.insert_fraction <= 0) {
+      op.type = OpType::kScan;
+      const std::int64_t first = next_rank();
+      const std::int64_t last =
+          std::min<std::int64_t>(n - 1, first + spec.scan_length - 1);
+      op.key = keyset.at(first);
+      op.scan_hi = keyset.at(last);
+    } else {
+      op.type = OpType::kInsert;
+      LISPOISON_ASSIGN_OR_RETURN(op.key, next_insert_key());
+    }
+    ops.push_back(op);
+  }
+  return ops;
+}
+
+}  // namespace lispoison

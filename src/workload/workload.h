@@ -1,0 +1,129 @@
+// Copyright (c) lispoison authors. Licensed under the MIT license.
+//
+// Deterministic workload generation for the serving benchmarks: YCSB-style
+// read/scan/insert mixes over uniform, zipfian, and hotspot access
+// distributions. The paper measures poisoning damage as regression loss;
+// the workload subsystem converts that into the currency a serving system
+// feels — per-operation latency under a realistic key-access skew.
+//
+// Every operation stream is materialized up front from a single seeded
+// Rng, so the stream is a pure function of (spec, keyset): identical
+// across runs, machines, and — because the QueryDriver only partitions
+// the pre-built stream — across thread counts.
+
+#ifndef LISPOISON_WORKLOAD_WORKLOAD_H_
+#define LISPOISON_WORKLOAD_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "data/keyset.h"
+
+namespace lispoison {
+
+/// \brief One serving operation.
+enum class OpType {
+  kRead,    ///< Point lookup of a stored key.
+  kScan,    ///< Range scan [key, scan_hi].
+  kInsert,  ///< Insert of a previously absent key.
+};
+
+/// \brief A single generated operation. For scans, `scan_hi` is the
+/// inclusive upper key bound; for reads/inserts it is unused.
+struct Operation {
+  OpType type = OpType::kRead;
+  Key key = 0;
+  Key scan_hi = 0;
+
+  bool operator==(const Operation& o) const {
+    return type == o.type && key == o.key && scan_hi == o.scan_hi;
+  }
+};
+
+/// \brief How read/scan start keys are drawn from the stored key ranks.
+enum class AccessDistribution {
+  kUniform,  ///< Every stored key equally likely.
+  kZipfian,  ///< YCSB-style zipfian over ranks (skew `zipf_theta`).
+  kHotspot,  ///< `hotspot_op_fraction` of ops hit a contiguous hot rank
+             ///< range holding `hotspot_set_fraction` of the keys.
+};
+
+/// \brief Declarative workload description (a YCSB workload file analog).
+struct WorkloadSpec {
+  std::string name = "unnamed";
+
+  /// Operation mix; fractions must be non-negative and sum to ~1.
+  double read_fraction = 1.0;
+  double scan_fraction = 0.0;
+  double insert_fraction = 0.0;
+
+  AccessDistribution distribution = AccessDistribution::kUniform;
+
+  /// Zipfian skew parameter (YCSB default 0.99).
+  double zipf_theta = 0.99;
+  /// Scramble zipfian ranks with an FNV hash so popularity is decoupled
+  /// from key order (YCSB's ScrambledZipfian). Disable in tests that
+  /// check the frequency shape directly.
+  bool zipf_scramble = true;
+
+  /// Hotspot parameters: fraction of keys forming the hot set and
+  /// fraction of operations directed at it.
+  double hotspot_set_fraction = 0.1;
+  double hotspot_op_fraction = 0.9;
+
+  /// Ranks spanned by one scan (the scan covers up to this many stored
+  /// keys starting at the drawn rank).
+  std::int64_t scan_length = 100;
+
+  /// Stream seed; everything about the stream derives from it.
+  std::uint64_t seed = 1;
+};
+
+/// \name Preset workload mixes used by bench_serving.
+/// @{
+WorkloadSpec ReadOnlyUniformWorkload(std::uint64_t seed);
+WorkloadSpec ZipfianReadHeavyWorkload(std::uint64_t seed);  ///< 95r/5i zipf.
+WorkloadSpec RangeScanWorkload(std::uint64_t seed);         ///< 100% scans.
+WorkloadSpec ReadInsertMixWorkload(std::uint64_t seed);     ///< 80r/20i.
+/// @}
+
+/// \brief Materializes \p num_ops operations of \p spec against the
+/// stored keys of \p keyset.
+///
+/// Reads and scan starts address stored keys by rank under the spec's
+/// access distribution. Inserts draw fresh unoccupied keys from the gaps
+/// between stored keys (deterministically, duplicate-free across the
+/// stream). Fails with InvalidArgument on an empty keyset or malformed
+/// mix, and ResourceExhausted when the domain cannot supply the
+/// requested number of distinct insert keys.
+Result<std::vector<Operation>> GenerateOperations(const WorkloadSpec& spec,
+                                                  const KeySet& keyset,
+                                                  std::int64_t num_ops);
+
+/// \brief YCSB-style zipfian rank generator over [0, n): popularity of
+/// rank r is proportional to 1/(r+1)^theta, optionally hash-scrambled.
+/// Exposed for the workload tests' frequency-shape checks.
+class ZipfianRankGenerator {
+ public:
+  /// \brief Precomputes the zeta normalizer (O(n) once).
+  ZipfianRankGenerator(std::int64_t n, double theta, bool scramble);
+
+  /// \brief Draws the next rank in [0, n) using \p rng.
+  std::int64_t Next(Rng* rng) const;
+
+ private:
+  std::int64_t n_;
+  double theta_;
+  bool scramble_;
+  double zetan_;
+  double eta_;
+  double half_pow_theta_;
+};
+
+}  // namespace lispoison
+
+#endif  // LISPOISON_WORKLOAD_WORKLOAD_H_

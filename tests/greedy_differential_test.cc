@@ -108,6 +108,58 @@ TEST(GreedyDifferentialTest, EvenlySpacedZeroLossBase) {
   ExpectIdenticalAttacks(*ks, 25, /*interior_only=*/true);
 }
 
+TEST(GreedyDifferentialTest, ParallelArgmaxIsThreadCountIndependent) {
+  // The chunked gap-range scan on the ThreadPool must select the exact
+  // poison sequence of the serial scan for every worker count (fixed
+  // chunk boundaries, strict-> reduction in chunk order).
+  // >= 3 argmax chunks (2048 gaps each), so the pool reduction really
+  // crosses chunk boundaries.
+  Rng rng(26);
+  auto ks = GenerateUniform(6000, KeyDomain{0, 1199999}, &rng);
+  ASSERT_TRUE(ks.ok());
+  AttackOptions serial;
+  serial.num_threads = 1;
+  auto baseline = GreedyPoisonCdf(*ks, 120, serial);
+  ASSERT_TRUE(baseline.ok());
+  for (const int threads : {2, 3, 8}) {
+    AttackOptions parallel;
+    parallel.num_threads = threads;
+    auto got = GreedyPoisonCdf(*ks, 120, parallel);
+    ASSERT_TRUE(got.ok()) << got.status().message();
+    EXPECT_EQ(got->poison_keys, baseline->poison_keys)
+        << threads << " threads";
+    EXPECT_EQ(got->base_loss, baseline->base_loss);
+    EXPECT_EQ(got->poisoned_loss, baseline->poisoned_loss);
+    for (std::size_t i = 0; i < baseline->loss_trajectory.size(); ++i) {
+      EXPECT_EQ(got->loss_trajectory[i], baseline->loss_trajectory[i])
+          << "round " << i << " with " << threads << " threads";
+    }
+  }
+  // And the parallel selection still matches the rebuild-per-round
+  // oracle end to end.
+  EXPECT_EQ(baseline->poison_keys,
+            InlineReferenceGreedy(*ks, 120, /*interior_only=*/true));
+}
+
+TEST(GreedyDifferentialTest, ParallelArgmaxClusteredKeys) {
+  // Clustered keys produce few huge gaps plus many small ones — the
+  // chunking layout least like the uniform case.
+  Rng rng(27);
+  const std::vector<ClusterSpec> clusters = {
+      {0.1, 0.01, 1.0}, {0.6, 0.05, 3.0}, {0.9, 0.002, 1.0}};
+  auto ks = GenerateClustered(5000, KeyDomain{0, 1999999}, clusters, &rng);
+  ASSERT_TRUE(ks.ok());
+  AttackOptions serial;
+  AttackOptions parallel;
+  parallel.num_threads = 4;
+  auto a = GreedyPoisonCdf(*ks, 60, serial);
+  auto b = GreedyPoisonCdf(*ks, 60, parallel);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->poison_keys, b->poison_keys);
+  EXPECT_EQ(a->poisoned_loss, b->poisoned_loss);
+}
+
 TEST(GreedyDifferentialTest, ExhaustionErrorsMatch) {
   // Budget exceeding the unoccupied interior: both paths must fail with
   // ResourceExhausted after the same number of committed keys.

@@ -1,0 +1,161 @@
+// JsonWriter: structural correctness, escaping, number formatting, and
+// a ServingReport round-trip sanity check against a tiny hand parser.
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cmath>
+#include <sstream>
+
+#include "common/json_writer.h"
+#include "workload/serving_report.h"
+
+namespace lispoison {
+namespace {
+
+TEST(JsonWriterTest, FlatObject) {
+  std::ostringstream os;
+  JsonWriter w(&os, /*pretty=*/false);
+  w.BeginObject();
+  w.KV("a", std::int64_t{1});
+  w.KV("b", "two");
+  w.KV("c", 2.5);
+  w.KV("d", true);
+  w.Key("e");
+  w.Null();
+  w.EndObject();
+  EXPECT_EQ(os.str(), R"({"a":1,"b":"two","c":2.5,"d":true,"e":null})");
+}
+
+TEST(JsonWriterTest, NestedArraysAndObjects) {
+  std::ostringstream os;
+  JsonWriter w(&os, /*pretty=*/false);
+  w.BeginObject();
+  w.Key("rows");
+  w.BeginArray();
+  w.BeginObject();
+  w.KV("x", std::int64_t{1});
+  w.EndObject();
+  w.BeginObject();
+  w.KV("x", std::int64_t{2});
+  w.EndObject();
+  w.Int(3);
+  w.EndArray();
+  w.EndObject();
+  EXPECT_EQ(os.str(), R"({"rows":[{"x":1},{"x":2},3]})");
+}
+
+TEST(JsonWriterTest, EmptyContainers) {
+  std::ostringstream os;
+  JsonWriter w(&os, /*pretty=*/false);
+  w.BeginObject();
+  w.Key("a");
+  w.BeginArray();
+  w.EndArray();
+  w.Key("o");
+  w.BeginObject();
+  w.EndObject();
+  w.EndObject();
+  EXPECT_EQ(os.str(), R"({"a":[],"o":{}})");
+}
+
+TEST(JsonWriterTest, EscapesStrings) {
+  EXPECT_EQ(JsonWriter::Escape("plain"), "\"plain\"");
+  EXPECT_EQ(JsonWriter::Escape("a\"b"), "\"a\\\"b\"");
+  EXPECT_EQ(JsonWriter::Escape("back\\slash"), "\"back\\\\slash\"");
+  EXPECT_EQ(JsonWriter::Escape("line\nbreak"), "\"line\\nbreak\"");
+  EXPECT_EQ(JsonWriter::Escape(std::string("ctl\x01") + "x"),
+            "\"ctl\\u0001x\"");
+}
+
+TEST(JsonWriterTest, NonFiniteDoublesBecomeNull) {
+  std::ostringstream os;
+  JsonWriter w(&os, /*pretty=*/false);
+  w.BeginArray();
+  w.Double(std::nan(""));
+  w.Double(INFINITY);
+  w.Double(1.5);
+  w.EndArray();
+  EXPECT_EQ(os.str(), "[null,null,1.5]");
+}
+
+TEST(JsonWriterTest, PrettyPrintingIndents) {
+  std::ostringstream os;
+  JsonWriter w(&os, /*pretty=*/true);
+  w.BeginObject();
+  w.KV("a", std::int64_t{1});
+  w.EndObject();
+  EXPECT_EQ(os.str(), "{\n  \"a\": 1\n}");
+}
+
+/// Minimal structural validator: balanced braces/brackets outside
+/// strings, no trailing commas. Enough to catch emission bugs without a
+/// JSON dependency (tools/bench_compare.py does full parsing in CI).
+bool StructurallyValidJson(const std::string& s) {
+  int depth = 0;
+  bool in_string = false, escaped = false;
+  char prev_significant = 0;
+  for (const char c : s) {
+    if (in_string) {
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+    } else if (c == '{' || c == '[') {
+      depth += 1;
+    } else if (c == '}' || c == ']') {
+      if (depth == 0) return false;
+      if (prev_significant == ',') return false;  // Trailing comma.
+      depth -= 1;
+    }
+    if (!std::isspace(static_cast<unsigned char>(c))) prev_significant = c;
+  }
+  return depth == 0 && !in_string;
+}
+
+TEST(ServingReportTest, EmitsStructurallyValidJson) {
+  ServingReport report;
+  report.hardware_concurrency = 8;
+  report.num_threads = 4;
+  report.ops_per_config = 100;
+  report.poison_fraction = 0.1;
+
+  for (const char* variant : {"clean", "poisoned"}) {
+    ServingConfigResult config;
+    config.workload = "read_only_uniform";
+    config.backend = "rmi";
+    config.variant = variant;
+    config.keys = 1000;
+    config.seed = 42;
+    config.result.total_ops = 100;
+    config.result.reads = 100;
+    config.result.read_found = 100;
+    config.result.total_work = variant[0] == 'c' ? 500 : 900;
+    config.result.elapsed_seconds = 0.01;
+    for (int i = 0; i < 100; ++i) {
+      config.result.latency.Record(100 + i);
+      config.result.read_latency.Record(100 + i);
+    }
+    report.Add(std::move(config));
+  }
+
+  std::ostringstream os;
+  report.WriteJson(&os);
+  const std::string json = os.str();
+  EXPECT_TRUE(StructurallyValidJson(json)) << json;
+  // The comparison row for the clean/poisoned pair must be present with
+  // the work ratio the configs imply.
+  EXPECT_NE(json.find("\"comparisons\""), std::string::npos);
+  EXPECT_NE(json.find("\"mean_work_ratio\": 1.8"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"hardware_concurrency\": 8"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lispoison

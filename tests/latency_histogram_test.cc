@@ -1,0 +1,168 @@
+// LatencyHistogram: quantile correctness against a sorted-vector oracle
+// within the documented bucket resolution, exact min/max/mean/count, and
+// merge ≡ recording the union.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/latency_histogram.h"
+#include "common/rng.h"
+
+namespace lispoison {
+namespace {
+
+/// Nearest-rank oracle quantile over the raw values.
+std::int64_t OracleQuantile(std::vector<std::int64_t> values, double q) {
+  std::sort(values.begin(), values.end());
+  const auto n = static_cast<std::int64_t>(values.size());
+  std::int64_t rank = static_cast<std::int64_t>(
+      std::ceil(q * static_cast<double>(n) - 1e-9));
+  if (rank < 1) rank = 1;
+  if (rank > n) rank = n;
+  return values[static_cast<std::size_t>(rank - 1)];
+}
+
+/// Relative resolution guaranteed by the log-bucketed layout.
+constexpr double kResolution = 1.0 / (1 << LatencyHistogram::kSubBucketBits);
+
+void ExpectQuantilesMatchOracle(const std::vector<std::int64_t>& values) {
+  LatencyHistogram h;
+  for (const std::int64_t v : values) h.Record(v);
+  ASSERT_EQ(h.count(), static_cast<std::int64_t>(values.size()));
+  for (const double q : {0.0, 0.01, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0}) {
+    const std::int64_t oracle = OracleQuantile(values, q);
+    const std::int64_t got = h.ValueAtQuantile(q);
+    // The reported value is the bucket midpoint of the oracle's bucket:
+    // within one bucket width (relative kResolution, absolute >= 1).
+    const double tol =
+        std::max(1.0, static_cast<double>(oracle) * kResolution);
+    EXPECT_NEAR(static_cast<double>(got), static_cast<double>(oracle), tol)
+        << "q=" << q;
+  }
+}
+
+TEST(LatencyHistogramTest, EmptyIsZero) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_EQ(h.Mean(), 0.0);
+  EXPECT_EQ(h.P50(), 0);
+  EXPECT_EQ(h.ValueAtQuantile(0.99), 0);
+}
+
+TEST(LatencyHistogramTest, SmallValuesAreExact) {
+  // Values below 2^kSubBucketBits occupy one bucket each: quantiles are
+  // exact, not just within resolution.
+  LatencyHistogram h;
+  std::vector<std::int64_t> values;
+  for (std::int64_t v = 0; v < 32; ++v) {
+    for (int r = 0; r < 3; ++r) {
+      h.Record(v);
+      values.push_back(v);
+    }
+  }
+  for (const double q : {0.1, 0.5, 0.9, 1.0}) {
+    EXPECT_EQ(h.ValueAtQuantile(q), OracleQuantile(values, q)) << "q=" << q;
+  }
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 31);
+}
+
+TEST(LatencyHistogramTest, UniformValuesMatchOracle) {
+  Rng rng(101);
+  std::vector<std::int64_t> values;
+  for (int i = 0; i < 20000; ++i) {
+    values.push_back(rng.UniformInt(0, 5'000'000));
+  }
+  ExpectQuantilesMatchOracle(values);
+}
+
+TEST(LatencyHistogramTest, LogNormalValuesMatchOracle) {
+  // Latency-shaped distribution: long right tail.
+  Rng rng(102);
+  std::vector<std::int64_t> values;
+  for (int i = 0; i < 20000; ++i) {
+    values.push_back(static_cast<std::int64_t>(rng.LogNormal(7.0, 1.5)));
+  }
+  ExpectQuantilesMatchOracle(values);
+}
+
+TEST(LatencyHistogramTest, ExactStatistics) {
+  LatencyHistogram h;
+  std::int64_t sum = 0;
+  Rng rng(103);
+  std::vector<std::int64_t> values;
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = rng.UniformInt(3, 1'000'000);
+    h.Record(v);
+    values.push_back(v);
+    sum += v;
+  }
+  EXPECT_EQ(h.count(), 1000);
+  EXPECT_EQ(h.min(), *std::min_element(values.begin(), values.end()));
+  EXPECT_EQ(h.max(), *std::max_element(values.begin(), values.end()));
+  EXPECT_DOUBLE_EQ(h.Mean(), static_cast<double>(sum) / 1000.0);
+}
+
+TEST(LatencyHistogramTest, NegativeClampsToZero) {
+  LatencyHistogram h;
+  h.Record(-5);
+  EXPECT_EQ(h.count(), 1);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+}
+
+TEST(LatencyHistogramTest, LargeMagnitudes) {
+  LatencyHistogram h;
+  const std::int64_t big = std::int64_t{1} << 60;
+  h.Record(big);
+  h.Record(big + 1);
+  EXPECT_EQ(h.count(), 2);
+  EXPECT_EQ(h.max(), big + 1);
+  const double tol = static_cast<double>(big) * kResolution;
+  EXPECT_NEAR(static_cast<double>(h.P50()), static_cast<double>(big), tol);
+}
+
+TEST(LatencyHistogramTest, MergeEqualsUnion) {
+  Rng rng(104);
+  LatencyHistogram a, b, merged_oracle;
+  for (int i = 0; i < 5000; ++i) {
+    const std::int64_t va = rng.UniformInt(0, 100000);
+    const std::int64_t vb = rng.UniformInt(50, 10'000'000);
+    a.Record(va);
+    b.Record(vb);
+    merged_oracle.Record(va);
+    merged_oracle.Record(vb);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), merged_oracle.count());
+  EXPECT_EQ(a.min(), merged_oracle.min());
+  EXPECT_EQ(a.max(), merged_oracle.max());
+  EXPECT_DOUBLE_EQ(a.Mean(), merged_oracle.Mean());
+  for (const double q : {0.1, 0.5, 0.95, 0.99}) {
+    EXPECT_EQ(a.ValueAtQuantile(q), merged_oracle.ValueAtQuantile(q))
+        << "q=" << q;
+  }
+}
+
+TEST(LatencyHistogramTest, MergeIntoEmpty) {
+  LatencyHistogram a, b;
+  b.Record(42);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 1);
+  EXPECT_EQ(a.min(), 42);
+  EXPECT_EQ(a.max(), 42);
+  // Merging an empty histogram changes nothing.
+  LatencyHistogram empty;
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 1);
+  EXPECT_EQ(a.min(), 42);
+}
+
+}  // namespace
+}  // namespace lispoison

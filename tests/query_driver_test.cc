@@ -1,0 +1,224 @@
+// QueryDriver + SearchBackend coverage: cross-backend agreement on
+// found/scan counts, thread-count-independent work accounting for
+// read-only streams, insert visibility, and the deterministic
+// clean-vs-poisoned latency-proxy gap (measured lookup work) that turns
+// the paper's loss metric into serving cost on a fixed seed.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "attack/rmi_poisoner.h"
+#include "common/rng.h"
+#include "data/generators.h"
+#include "data/keyset.h"
+#include "workload/query_driver.h"
+#include "workload/search_backend.h"
+#include "workload/workload.h"
+
+namespace lispoison {
+namespace {
+
+KeySet TestKeys(std::int64_t n, std::uint64_t seed = 5) {
+  Rng rng(seed);
+  auto ks = GenerateUniform(n, KeyDomain{0, 100 * n}, &rng);
+  EXPECT_TRUE(ks.ok());
+  return *ks;
+}
+
+std::unique_ptr<SearchBackend> MakeBackend(BackendKind kind,
+                                           const KeySet& ks) {
+  BackendOptions opts;
+  opts.rmi.target_model_size = 500;
+  auto backend = CreateBackend(kind, ks, opts);
+  EXPECT_TRUE(backend.ok()) << backend.status().message();
+  return std::move(*backend);
+}
+
+DriverResult MustRun(SearchBackend* backend,
+                     const std::vector<Operation>& ops,
+                     const DriverOptions& options) {
+  auto r = RunWorkload(backend, ops, options);
+  EXPECT_TRUE(r.ok()) << r.status().message();
+  return std::move(*r);
+}
+
+TEST(SearchBackendTest, AllBackendsAgreeOnReadsAndScans) {
+  const KeySet ks = TestKeys(4000);
+  auto rmi = MakeBackend(BackendKind::kRmi, ks);
+  auto btree = MakeBackend(BackendKind::kBTree, ks);
+  auto binary = MakeBackend(BackendKind::kBinarySearch, ks);
+
+  Rng rng(9);
+  for (int i = 0; i < 2000; ++i) {
+    const Key k = i % 2 == 0 ? ks.at(rng.UniformInt(0, ks.size() - 1))
+                             : rng.UniformInt(0, 100 * 4000);
+    const bool expect_found = ks.Contains(k);
+    EXPECT_EQ(rmi->Lookup(k).found, expect_found);
+    EXPECT_EQ(btree->Lookup(k).found, expect_found);
+    EXPECT_EQ(binary->Lookup(k).found, expect_found);
+  }
+  for (int i = 0; i < 300; ++i) {
+    const std::int64_t a = rng.UniformInt(0, ks.size() - 1);
+    const std::int64_t b =
+        std::min(ks.size() - 1, a + rng.UniformInt(0, 200));
+    const Key lo = ks.at(a);
+    const Key hi = ks.at(b);
+    const std::int64_t expected = b - a + 1;  // Keys are ranks a..b.
+    EXPECT_EQ(rmi->Scan(lo, hi).range_count, expected);
+    EXPECT_EQ(btree->Scan(lo, hi).range_count, expected);
+    EXPECT_EQ(binary->Scan(lo, hi).range_count, expected);
+  }
+}
+
+TEST(SearchBackendTest, InsertsBecomeVisibleEverywhere) {
+  const KeySet ks = TestKeys(1000);
+  for (const BackendKind kind : {BackendKind::kRmi, BackendKind::kBTree,
+                                 BackendKind::kBinarySearch}) {
+    auto backend = MakeBackend(kind, ks);
+    // A key in some interior gap.
+    Key fresh = -1;
+    for (std::int64_t i = 0; i + 1 < ks.size(); ++i) {
+      if (ks.at(i + 1) - ks.at(i) > 1) {
+        fresh = ks.at(i) + 1;
+        break;
+      }
+    }
+    ASSERT_NE(fresh, -1);
+    EXPECT_FALSE(backend->Lookup(fresh).found);
+    const auto before = backend->Scan(fresh - 1, fresh + 1);
+    ASSERT_TRUE(backend->Insert(fresh).ok());
+    EXPECT_TRUE(backend->Lookup(fresh).found);
+    EXPECT_EQ(backend->Scan(fresh - 1, fresh + 1).range_count,
+              before.range_count + 1);
+    // Duplicate inserts are rejected, overlay and base alike.
+    EXPECT_FALSE(backend->Insert(fresh).ok());
+    EXPECT_FALSE(backend->Insert(ks.at(0)).ok());
+    EXPECT_EQ(backend->overlay_size(), 1);
+  }
+}
+
+TEST(QueryDriverTest, CountsAndFoundsAreExact) {
+  const KeySet ks = TestKeys(2000);
+  auto ops = GenerateOperations(ReadOnlyUniformWorkload(31), ks, 5000);
+  ASSERT_TRUE(ops.ok());
+  auto backend = MakeBackend(BackendKind::kBTree, ks);
+  DriverOptions opts;
+  opts.num_threads = 1;
+  opts.measure_latency = true;
+  const DriverResult r = MustRun(backend.get(), *ops, opts);
+  EXPECT_EQ(r.total_ops, 5000);
+  EXPECT_EQ(r.reads, 5000);
+  EXPECT_EQ(r.read_found, 5000);  // Reads target stored keys.
+  EXPECT_EQ(r.scans, 0);
+  EXPECT_EQ(r.inserts, 0);
+  EXPECT_EQ(r.latency.count(), 5000);
+  EXPECT_EQ(r.read_latency.count(), 5000);
+  EXPECT_GT(r.total_work, 0);
+  EXPECT_GT(r.ThroughputOpsPerSec(), 0.0);
+}
+
+TEST(QueryDriverTest, WorkModelIsThreadCountIndependentForReadStreams) {
+  const KeySet ks = TestKeys(3000);
+  for (const WorkloadSpec& spec :
+       {ReadOnlyUniformWorkload(41), RangeScanWorkload(41)}) {
+    auto ops = GenerateOperations(spec, ks, 6000);
+    ASSERT_TRUE(ops.ok());
+    DriverOptions opts;
+    opts.measure_latency = false;
+    std::int64_t base_work = -1, base_scanned = -1;
+    for (const int threads : {1, 2, 3, 8}) {
+      auto backend = MakeBackend(BackendKind::kRmi, ks);
+      opts.num_threads = threads;
+      const DriverResult r = MustRun(backend.get(), *ops, opts);
+      if (base_work < 0) {
+        base_work = r.total_work;
+        base_scanned = r.scanned_keys;
+      } else {
+        EXPECT_EQ(r.total_work, base_work)
+            << spec.name << " with " << threads << " threads";
+        EXPECT_EQ(r.scanned_keys, base_scanned);
+      }
+      EXPECT_EQ(r.total_ops, 6000);
+    }
+  }
+}
+
+TEST(QueryDriverTest, InsertMixGrowsTheOverlay) {
+  const KeySet ks = TestKeys(2000);
+  auto ops = GenerateOperations(ReadInsertMixWorkload(51), ks, 4000);
+  ASSERT_TRUE(ops.ok());
+  std::int64_t expected_inserts = 0;
+  for (const Operation& op : *ops) {
+    expected_inserts += op.type == OpType::kInsert;
+  }
+  auto backend = MakeBackend(BackendKind::kBinarySearch, ks);
+  DriverOptions opts;
+  opts.num_threads = 4;
+  const DriverResult r = MustRun(backend.get(), *ops, opts);
+  EXPECT_EQ(r.inserts, expected_inserts);
+  // The stream's insert keys are unique and fresh, so every insert
+  // lands even under concurrency.
+  EXPECT_EQ(r.insert_failures, 0);
+  EXPECT_EQ(backend->overlay_size(), expected_inserts);
+  EXPECT_EQ(r.insert_latency.count(), expected_inserts);
+}
+
+TEST(QueryDriverTest, PoisonedRmiDoesMoreLookupWorkThanClean) {
+  // The acceptance gap, on a fixed seed with the exact work model (no
+  // wall-clock flakiness): Algorithm 2's poisons inflate the RMI's
+  // per-lookup probe count, while binary search is untouched.
+  const KeySet clean = TestKeys(5000, /*seed=*/77);
+  RmiAttackOptions attack;
+  attack.poison_fraction = 0.10;
+  attack.model_size = 500;
+  attack.num_threads = 1;
+  auto attacked = PoisonRmi(clean, attack);
+  ASSERT_TRUE(attacked.ok()) << attacked.status().message();
+  auto poisoned = clean.Union(attacked->AllPoisonKeys());
+  ASSERT_TRUE(poisoned.ok());
+
+  DriverOptions opts;
+  opts.num_threads = 1;
+  opts.measure_latency = false;
+
+  auto measure = [&](BackendKind kind, const KeySet& ks) {
+    auto ops = GenerateOperations(ReadOnlyUniformWorkload(88), ks, 8000);
+    EXPECT_TRUE(ops.ok());
+    auto backend = MakeBackend(kind, ks);
+    return MustRun(backend.get(), *ops, opts);
+  };
+
+  const DriverResult clean_rmi = measure(BackendKind::kRmi, clean);
+  const DriverResult poisoned_rmi = measure(BackendKind::kRmi, *poisoned);
+  EXPECT_GE(poisoned_rmi.MeanWork(), clean_rmi.MeanWork());
+  EXPECT_GT(poisoned_rmi.MeanWork(), 1.05 * clean_rmi.MeanWork())
+      << "poisoning should visibly inflate mean lookup work";
+  EXPECT_GE(poisoned_rmi.max_work, clean_rmi.max_work);
+
+  // Control: binary search work grows only by the log2 of the ~10%
+  // larger array — bounded by one extra comparison per lookup.
+  const DriverResult clean_bin = measure(BackendKind::kBinarySearch, clean);
+  const DriverResult poisoned_bin =
+      measure(BackendKind::kBinarySearch, *poisoned);
+  EXPECT_LE(poisoned_bin.MeanWork(), clean_bin.MeanWork() + 1.0);
+}
+
+TEST(QueryDriverTest, RejectsBadOptions) {
+  const KeySet ks = TestKeys(100);
+  auto backend = MakeBackend(BackendKind::kBinarySearch, ks);
+  std::vector<Operation> ops;
+  DriverOptions opts;
+  opts.batch_size = 0;
+  EXPECT_EQ(RunWorkload(backend.get(), ops, opts).status().code(),
+            StatusCode::kInvalidArgument);
+  opts.batch_size = 16;
+  EXPECT_EQ(RunWorkload(nullptr, ops, opts).status().code(),
+            StatusCode::kInvalidArgument);
+  // Empty stream is fine.
+  EXPECT_TRUE(RunWorkload(backend.get(), ops, opts).ok());
+}
+
+}  // namespace
+}  // namespace lispoison

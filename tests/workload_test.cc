@@ -1,0 +1,232 @@
+// Workload generator coverage: stream determinism, mix proportions,
+// zipfian frequency shape, hotspot concentration, scan bounds, and
+// insert freshness.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/generators.h"
+#include "data/keyset.h"
+#include "workload/workload.h"
+
+namespace lispoison {
+namespace {
+
+KeySet TestKeys(std::int64_t n, std::uint64_t seed = 11) {
+  Rng rng(seed);
+  auto ks = GenerateUniform(n, KeyDomain{0, 100 * n}, &rng);
+  EXPECT_TRUE(ks.ok());
+  return *ks;
+}
+
+TEST(WorkloadTest, SameSeedSameStream) {
+  const KeySet ks = TestKeys(5000);
+  for (const WorkloadSpec& spec :
+       {ReadOnlyUniformWorkload(33), ZipfianReadHeavyWorkload(33),
+        RangeScanWorkload(33), ReadInsertMixWorkload(33)}) {
+    auto a = GenerateOperations(spec, ks, 4000);
+    auto b = GenerateOperations(spec, ks, 4000);
+    ASSERT_TRUE(a.ok()) << spec.name;
+    ASSERT_TRUE(b.ok()) << spec.name;
+    EXPECT_EQ(*a, *b) << spec.name << " stream is not deterministic";
+  }
+}
+
+TEST(WorkloadTest, DifferentSeedsDifferentStreams) {
+  const KeySet ks = TestKeys(5000);
+  auto a = GenerateOperations(ReadOnlyUniformWorkload(1), ks, 1000);
+  auto b = GenerateOperations(ReadOnlyUniformWorkload(2), ks, 1000);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(*a, *b);
+}
+
+TEST(WorkloadTest, PrefixStability) {
+  // A longer stream extends a shorter one: generation is one sequential
+  // pass, so ops [0, k) never depend on the requested length.
+  const KeySet ks = TestKeys(3000);
+  const WorkloadSpec spec = ReadInsertMixWorkload(5);
+  auto small = GenerateOperations(spec, ks, 500);
+  auto large = GenerateOperations(spec, ks, 2000);
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(large.ok());
+  ASSERT_EQ(small->size(), 500u);
+  EXPECT_TRUE(std::equal(small->begin(), small->end(), large->begin()));
+}
+
+TEST(WorkloadTest, MixFractionsRoughlyHold) {
+  const KeySet ks = TestKeys(5000);
+  WorkloadSpec spec = ReadInsertMixWorkload(17);  // 80/20 read/insert.
+  auto ops = GenerateOperations(spec, ks, 20000);
+  ASSERT_TRUE(ops.ok());
+  std::int64_t reads = 0, inserts = 0, scans = 0;
+  for (const Operation& op : *ops) {
+    reads += op.type == OpType::kRead;
+    inserts += op.type == OpType::kInsert;
+    scans += op.type == OpType::kScan;
+  }
+  EXPECT_EQ(scans, 0);
+  EXPECT_NEAR(static_cast<double>(reads) / 20000.0, 0.8, 0.02);
+  EXPECT_NEAR(static_cast<double>(inserts) / 20000.0, 0.2, 0.02);
+}
+
+TEST(WorkloadTest, ReadsTargetStoredKeys) {
+  const KeySet ks = TestKeys(2000);
+  auto ops = GenerateOperations(ZipfianReadHeavyWorkload(23), ks, 5000);
+  ASSERT_TRUE(ops.ok());
+  for (const Operation& op : *ops) {
+    if (op.type == OpType::kRead) {
+      EXPECT_TRUE(ks.Contains(op.key));
+    }
+  }
+}
+
+TEST(WorkloadTest, ZipfianFrequencyShape) {
+  // Unscrambled zipfian: rank popularity must decay — the most popular
+  // rank is rank 0, and the head carries far more mass than uniform.
+  const std::int64_t n = 1000;
+  ZipfianRankGenerator zipf(n, 0.99, /*scramble=*/false);
+  Rng rng(71);
+  std::vector<std::int64_t> freq(static_cast<std::size_t>(n), 0);
+  const int draws = 200000;
+  for (int i = 0; i < draws; ++i) {
+    const std::int64_t r = zipf.Next(&rng);
+    ASSERT_GE(r, 0);
+    ASSERT_LT(r, n);
+    freq[static_cast<std::size_t>(r)] += 1;
+  }
+  // Rank 0 is the mode and beats rank 99 by roughly n^theta-ish margin.
+  const std::int64_t max_freq = *std::max_element(freq.begin(), freq.end());
+  EXPECT_EQ(freq[0], max_freq);
+  EXPECT_GT(freq[0], 10 * freq[99]);
+  // Top 1% of ranks carries > 30% of the mass (uniform would carry 1%).
+  std::int64_t head = 0;
+  for (int r = 0; r < 10; ++r) head += freq[static_cast<std::size_t>(r)];
+  EXPECT_GT(static_cast<double>(head) / draws, 0.30);
+  // Broad monotone decay between octave-spaced ranks.
+  EXPECT_GT(freq[1], freq[31]);
+  EXPECT_GT(freq[3], freq[127]);
+}
+
+TEST(WorkloadTest, ScrambledZipfianSpreadsTheHead) {
+  // With scrambling, the popular ranks are hashed away from 0..k: the
+  // mode should usually not be rank 0, but total skew is preserved.
+  const std::int64_t n = 1000;
+  ZipfianRankGenerator zipf(n, 0.99, /*scramble=*/true);
+  Rng rng(72);
+  std::map<std::int64_t, std::int64_t> freq;
+  for (int i = 0; i < 50000; ++i) freq[zipf.Next(&rng)] += 1;
+  std::int64_t max_freq = 0;
+  for (const auto& kv : freq) max_freq = std::max(max_freq, kv.second);
+  // Still heavily skewed: some rank carries >> uniform share.
+  EXPECT_GT(max_freq, 50000 / n * 20);
+}
+
+TEST(WorkloadTest, HotspotConcentratesAccesses) {
+  const KeySet ks = TestKeys(10000);
+  WorkloadSpec spec;
+  spec.name = "hotspot";
+  spec.distribution = AccessDistribution::kHotspot;
+  spec.hotspot_set_fraction = 0.05;
+  spec.hotspot_op_fraction = 0.9;
+  spec.seed = 91;
+  auto ops = GenerateOperations(spec, ks, 20000);
+  ASSERT_TRUE(ops.ok());
+  // The top-5%-most-frequent keys must absorb ~90% of the reads.
+  std::map<Key, std::int64_t> freq;
+  for (const Operation& op : *ops) freq[op.key] += 1;
+  std::vector<std::int64_t> counts;
+  for (const auto& kv : freq) counts.push_back(kv.second);
+  std::sort(counts.rbegin(), counts.rend());
+  const std::size_t hot = static_cast<std::size_t>(10000 * 0.05);
+  std::int64_t hot_mass = 0, total = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (i < hot) hot_mass += counts[i];
+    total += counts[i];
+  }
+  EXPECT_GT(static_cast<double>(hot_mass) / static_cast<double>(total), 0.85);
+}
+
+TEST(WorkloadTest, ScanBoundsAreOrderedAndStored) {
+  const KeySet ks = TestKeys(3000);
+  auto ops = GenerateOperations(RangeScanWorkload(13), ks, 2000);
+  ASSERT_TRUE(ops.ok());
+  for (const Operation& op : *ops) {
+    ASSERT_EQ(op.type, OpType::kScan);
+    EXPECT_LE(op.key, op.scan_hi);
+    EXPECT_TRUE(ks.Contains(op.key));
+    EXPECT_TRUE(ks.Contains(op.scan_hi));
+  }
+}
+
+TEST(WorkloadTest, InsertKeysAreFreshAndUnique) {
+  const KeySet ks = TestKeys(3000);
+  auto ops = GenerateOperations(ReadInsertMixWorkload(29), ks, 10000);
+  ASSERT_TRUE(ops.ok());
+  std::unordered_set<Key> seen;
+  for (const Operation& op : *ops) {
+    if (op.type != OpType::kInsert) continue;
+    EXPECT_FALSE(ks.Contains(op.key)) << "insert of a stored key";
+    EXPECT_TRUE(seen.insert(op.key).second) << "duplicate insert key";
+    EXPECT_TRUE(ks.domain().Contains(op.key));
+  }
+  EXPECT_GT(seen.size(), 0u);
+}
+
+TEST(WorkloadTest, RejectsMalformedSpecs) {
+  const KeySet ks = TestKeys(100);
+  WorkloadSpec bad;
+  bad.read_fraction = 0.5;
+  bad.scan_fraction = 0.1;
+  bad.insert_fraction = 0.1;  // Sums to 0.7.
+  EXPECT_EQ(GenerateOperations(bad, ks, 10).status().code(),
+            StatusCode::kInvalidArgument);
+
+  EXPECT_EQ(GenerateOperations(ReadOnlyUniformWorkload(1), KeySet(), 10)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+
+  WorkloadSpec scan = RangeScanWorkload(1);
+  scan.scan_length = 0;
+  EXPECT_EQ(GenerateOperations(scan, ks, 10).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(WorkloadTest, ResidualMixProbabilityNeverInventsOpTypes) {
+  // Fractions summing to 1 - epsilon pass validation; draws landing in
+  // the epsilon sliver must map to an op type the spec actually has —
+  // never to inserts on a spec (and keyset) that excludes them.
+  auto tiny = KeySet::Create({7}, KeyDomain{0, 100});
+  ASSERT_TRUE(tiny.ok());
+  WorkloadSpec spec;
+  spec.read_fraction = 0.9999995;
+  spec.scan_fraction = 0.0;
+  spec.insert_fraction = 0.0;
+  spec.seed = 61;
+  auto ops = GenerateOperations(spec, *tiny, 50000);
+  ASSERT_TRUE(ops.ok()) << ops.status().message();
+  for (const Operation& op : *ops) {
+    EXPECT_EQ(op.type, OpType::kRead);
+    EXPECT_EQ(op.key, 7);
+  }
+}
+
+TEST(WorkloadTest, SaturatedDomainExhaustsInserts) {
+  // A fully dense domain has no gap for any insert.
+  auto dense = KeySet::Create({0, 1, 2, 3, 4}, KeyDomain{0, 4});
+  ASSERT_TRUE(dense.ok());
+  WorkloadSpec spec = ReadInsertMixWorkload(3);
+  spec.insert_fraction = 1.0;
+  spec.read_fraction = 0.0;
+  EXPECT_EQ(GenerateOperations(spec, *dense, 10).status().code(),
+            StatusCode::kResourceExhausted);
+}
+
+}  // namespace
+}  // namespace lispoison

@@ -1,0 +1,145 @@
+#!/usr/bin/env python3
+"""Compare two google-benchmark JSON files and fail on regressions.
+
+Guards the attack-construction throughput trajectory
+(BENCH_attack_throughput.json) PR-over-PR: a fresh run of
+bench_attack_throughput is diffed against the committed baseline and the
+script exits non-zero when the incremental engines regress by more than
+the threshold.
+
+Two metrics:
+
+  speedup (default): for every *_Incremental benchmark, find its
+    *_Reference sibling *within the same file* and compute
+    speedup = reference_time / incremental_time. Speedups are
+    machine-independent (both sides ran on the same box), so a fresh CI
+    run is comparable to a baseline recorded on different hardware. A
+    regression means the incremental engine lost ground against the
+    rebuild-per-round reference.
+
+  time: directly compare real_time per benchmark name. Only meaningful
+    when both files come from the same machine class; used for local
+    before/after checks.
+
+Benchmarks present in only one file are reported but never fatal (the
+suite grows over time). Usage:
+
+  tools/bench_compare.py BASELINE.json FRESH.json \
+      [--threshold 0.20] [--metric speedup|time] [--filter REGEX]
+"""
+
+import argparse
+import json
+import re
+import sys
+
+
+def load_benchmarks(path):
+    """name -> real_time for every non-aggregate benchmark entry."""
+    with open(path) as f:
+        data = json.load(f)
+    out = {}
+    for bench in data.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        out[bench["name"]] = float(bench["real_time"])
+    return out
+
+
+def reference_sibling(name, benchmarks):
+    """Maps BM_X_Incremental/args to its BM_X_Reference entry.
+
+    The incremental configs may carry a trailing num_threads arg the
+    reference lacks; try the full arg list first, then with the last arg
+    dropped.
+    """
+    if "_Incremental" not in name:
+        return None
+    base = name.replace("_Incremental", "_Reference")
+    if base in benchmarks:
+        return base
+    parts = base.split("/")
+    if len(parts) > 1:
+        shorter = "/".join(parts[:-1])
+        if shorter in benchmarks:
+            return shorter
+    return None
+
+
+def speedups(benchmarks):
+    """name -> reference_time / incremental_time for paired entries."""
+    out = {}
+    for name, time in benchmarks.items():
+        ref = reference_sibling(name, benchmarks)
+        if ref is not None and time > 0:
+            out[name] = benchmarks[ref] / time
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("fresh")
+    parser.add_argument("--threshold", type=float, default=0.20,
+                        help="fatal relative regression (0.20 = 20%%)")
+    parser.add_argument("--metric", choices=("speedup", "time"),
+                        default="speedup")
+    parser.add_argument("--filter", default="Incremental",
+                        help="regex; only matching benchmarks are gated")
+    args = parser.parse_args()
+
+    baseline = load_benchmarks(args.baseline)
+    fresh = load_benchmarks(args.fresh)
+    pattern = re.compile(args.filter)
+
+    if args.metric == "speedup":
+        base_metric, fresh_metric = speedups(baseline), speedups(fresh)
+        better = "x vs reference"
+    else:
+        # For times, lower is better: invert so "ratio < 1 - threshold
+        # means regression" holds for both metrics.
+        base_metric = {k: 1.0 / v for k, v in baseline.items() if v > 0}
+        fresh_metric = {k: 1.0 / v for k, v in fresh.items() if v > 0}
+        better = " (1/ms)"
+
+    shared = sorted(k for k in base_metric if k in fresh_metric
+                    and pattern.search(k))
+    skipped = sorted(k for k in set(base_metric) ^ set(fresh_metric)
+                     if pattern.search(k))
+
+    if not shared:
+        print("bench_compare: no overlapping benchmarks match "
+              f"'{args.filter}' — nothing to gate", file=sys.stderr)
+        for name in skipped:
+            print(f"  unpaired: {name}", file=sys.stderr)
+        return 0
+
+    failures = []
+    for name in shared:
+        base, new = base_metric[name], fresh_metric[name]
+        ratio = new / base if base > 0 else float("inf")
+        status = "ok"
+        if ratio < 1.0 - args.threshold:
+            status = "REGRESSION"
+            failures.append(name)
+        print(f"{status:>10}  {name}: {base:.3f} -> {new:.3f}{better} "
+              f"({(ratio - 1.0) * 100.0:+.1f}%)")
+    for name in skipped:
+        print(f"{'unpaired':>10}  {name} (present in one file only)")
+
+    if failures:
+        print(f"\nbench_compare: {len(failures)} benchmark(s) regressed "
+              f"more than {args.threshold:.0%}:", file=sys.stderr)
+        for name in failures:
+            print(f"  {name}", file=sys.stderr)
+        return 1
+    print(f"\nbench_compare: {len(shared)} benchmark(s) within "
+          f"{args.threshold:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:  # e.g. piped into `head`
+        sys.exit(0)
