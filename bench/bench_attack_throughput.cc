@@ -96,14 +96,29 @@ void ReportGreedy(benchmark::State& state, const GreedyPoisonResult& r,
   state.counters["ratio_loss"] = r.RatioLoss();
 }
 
+/// Argmax work per attack construction (one full greedy run / one RMI
+/// attack): exact Theorem 1 evaluations and gaps pruned by the bound
+/// pre-pass. Deterministic per configuration, so the committed baseline
+/// JSON doubles as the PR-over-PR record of the pruning win.
+void ReportArgmax(benchmark::State& state,
+                  const LossLandscape::ArgmaxStats& stats) {
+  state.counters["exact_evals"] = static_cast<double>(stats.exact_evals);
+  state.counters["bound_evals"] = static_cast<double>(stats.bound_evals);
+  state.counters["pruned_gaps"] = static_cast<double>(stats.pruned_gaps);
+  state.counters["fallback_rounds"] =
+      static_cast<double>(stats.fallback_rounds);
+}
+
 void BM_GreedyPoisonCdf_Incremental(benchmark::State& state) {
   const auto dataset = static_cast<Dataset>(state.range(0));
   const std::int64_t n = state.range(1);
   const std::int64_t p = state.range(2);
   const std::int64_t num_threads = state.range(3);
+  const bool prune = state.range(4) != 0;
   const KeySet& ks = CachedKeyset(dataset, n);
   AttackOptions options;
   options.num_threads = static_cast<int>(num_threads);
+  options.prune_argmax = prune;
   GreedyPoisonResult last;
   for (auto _ : state) {
     auto r = GreedyPoisonCdf(ks, p, options);
@@ -115,6 +130,7 @@ void BM_GreedyPoisonCdf_Incremental(benchmark::State& state) {
     benchmark::DoNotOptimize(last.poisoned_loss);
   }
   ReportGreedy(state, last, p);
+  ReportArgmax(state, last.argmax_stats);
   ReportThreads(state, num_threads);
 }
 
@@ -142,11 +158,13 @@ void BM_PoisonRmi_Incremental(benchmark::State& state) {
   const std::int64_t n = state.range(1);
   const std::int64_t num_models = state.range(2);
   const int num_threads = static_cast<int>(state.range(3));
+  const bool prune = state.range(4) != 0;
   const KeySet& ks = CachedKeyset(dataset, n);
   RmiAttackOptions opts;
   opts.poison_fraction = 0.10;
   opts.num_models = num_models;
   opts.num_threads = num_threads;
+  opts.prune_argmax = prune;
   for (auto _ : state) {
     auto r = PoisonRmi(ks, opts);
     if (!r.ok()) {
@@ -156,6 +174,7 @@ void BM_PoisonRmi_Incremental(benchmark::State& state) {
     benchmark::DoNotOptimize(r->poisoned_rmi_loss);
     state.counters["rmi_ratio_loss"] = r->rmi_ratio_loss;
     state.counters["exchanges"] = static_cast<double>(r->exchanges_applied);
+    ReportArgmax(state, r->argmax_stats);
   }
   ReportThreads(state, num_threads);
 }
@@ -184,15 +203,21 @@ void BM_PoisonRmi_Reference(benchmark::State& state) {
 // Acceptance configuration: n=100k, p=1000 greedy; n=100k, 200 models
 // RMI. Smaller variants first so CI smoke filters stay cheap. The
 // greedy incremental configs carry a num_threads arg (1 = serial argmax,
-// 0 = one worker per core).
+// 0 = one worker per core) plus a prune arg (1 = branch-and-bound
+// pruned argmax, 0 = exhaustive) — the prune-off siblings of the sparse
+// configs keep the exact_evals reduction measurable PR-over-PR from the
+// committed JSON alone.
 BENCHMARK(BM_GreedyPoisonCdf_Incremental)
     ->Unit(benchmark::kMillisecond)
-    ->Args({kDenseRuns, 10000, 100, 1})
-    ->Args({kDenseRuns, 100000, 1000, 1})
-    ->Args({kLogNormal, 100000, 1000, 1})
-    ->Args({kLogNormal, 100000, 1000, 0})
-    ->Args({kUniform, 100000, 1000, 1})
-    ->Args({kUniform, 100000, 1000, 0});
+    ->Args({kDenseRuns, 10000, 100, 1, 1})
+    ->Args({kDenseRuns, 10000, 100, 1, 0})
+    ->Args({kDenseRuns, 100000, 1000, 1, 1})
+    ->Args({kLogNormal, 100000, 1000, 1, 1})
+    ->Args({kLogNormal, 100000, 1000, 1, 0})
+    ->Args({kLogNormal, 100000, 1000, 0, 1})
+    ->Args({kUniform, 100000, 1000, 1, 1})
+    ->Args({kUniform, 100000, 1000, 1, 0})
+    ->Args({kUniform, 100000, 1000, 0, 1});
 BENCHMARK(BM_GreedyPoisonCdf_Reference)
     ->Unit(benchmark::kMillisecond)
     ->Args({kDenseRuns, 10000, 100})
@@ -204,10 +229,12 @@ BENCHMARK(BM_GreedyPoisonCdf_Reference)
 // configurations use the paper's skewed and uniform workloads.
 BENCHMARK(BM_PoisonRmi_Incremental)
     ->Unit(benchmark::kMillisecond)
-    ->Args({kDenseRuns, 10000, 20, 1})
-    ->Args({kLogNormal, 100000, 200, 1})
-    ->Args({kLogNormal, 100000, 200, 0})
-    ->Args({kUniform, 100000, 200, 1});
+    ->Args({kDenseRuns, 10000, 20, 1, 1})
+    ->Args({kLogNormal, 100000, 200, 1, 1})
+    ->Args({kLogNormal, 100000, 200, 1, 0})
+    ->Args({kLogNormal, 100000, 200, 0, 1})
+    ->Args({kUniform, 100000, 200, 1, 1})
+    ->Args({kUniform, 100000, 200, 1, 0});
 BENCHMARK(BM_PoisonRmi_Reference)
     ->Unit(benchmark::kMillisecond)
     ->Args({kDenseRuns, 10000, 20})

@@ -39,9 +39,11 @@ Result<GreedyPoisonResult> GreedyPoisonCdf(const KeySet& keyset,
     pool = std::make_unique<ThreadPool>(options.num_threads);
   }
 
+  const LossLandscape::ArgmaxOptions argmax = options.ArgmaxKnobs();
   for (std::int64_t round = 0; round < p; ++round) {
     auto best = landscape.FindOptimal(options.interior_only,
-                                      /*excluded=*/nullptr, pool.get());
+                                      /*excluded=*/nullptr, pool.get(),
+                                      argmax, &result.argmax_stats);
     if (!best.ok()) {
       return Status::ResourceExhausted(
           "poisoning range exhausted after " + std::to_string(round) +
@@ -74,13 +76,21 @@ Result<GreedyPoisonResult> GreedyPoisonCdfReference(
   std::vector<Key> work = keyset.keys();
   const KeyDomain domain = keyset.domain();
 
+  // The oracle always runs the exhaustive scan — it is the
+  // differential-testing ground truth the pruned argmax is proven
+  // bit-identical against (tests/argmax_pruning_test.cc).
+  LossLandscape::ArgmaxOptions exhaustive;
+  exhaustive.prune = false;
+
   for (std::int64_t round = 0; round < p; ++round) {
     LISPOISON_ASSIGN_OR_RETURN(
         KeySet current, KeySet::Create(work, domain));
     LISPOISON_ASSIGN_OR_RETURN(LossLandscape landscape,
                                LossLandscape::Create(current));
     if (round == 0) result.base_loss = landscape.BaseLoss();
-    auto best = landscape.FindOptimal(options.interior_only);
+    auto best = landscape.FindOptimal(options.interior_only,
+                                      /*excluded=*/nullptr, /*pool=*/nullptr,
+                                      exhaustive, &result.argmax_stats);
     if (!best.ok()) {
       return Status::ResourceExhausted(
           "poisoning range exhausted after " + std::to_string(round) +

@@ -10,6 +10,7 @@
 
 #include <vector>
 
+#include "attack/loss_landscape.h"
 #include "attack/single_point.h"
 #include "common/status.h"
 #include "common/types.h"
@@ -28,6 +29,10 @@ struct GreedyPoisonResult {
   /// Loss after each individual insertion (size p); poisoned_loss is its
   /// back(). Exposes the per-round marginal gains for the ablation bench.
   std::vector<long double> loss_trajectory;
+  /// Argmax work counters summed over all rounds (exact evaluations,
+  /// bound scores, pruned gaps) — the measurable win of
+  /// AttackOptions::prune_argmax, surfaced by bench_attack_throughput.
+  LossLandscape::ArgmaxStats argmax_stats;
 
   /// \brief The paper's evaluation metric: poisoned MSE / clean MSE.
   double RatioLoss() const { return SafeRatioLoss(poisoned_loss, base_loss); }
@@ -42,9 +47,12 @@ struct GreedyPoisonResult {
 /// costs O(G) candidate evaluations (G = current gap count) with no
 /// per-round KeySet/landscape reconstruction. With
 /// AttackOptions::num_threads != 1 the per-round argmax scan fans out
-/// over chunked gap ranges on a ThreadPool with a fixed-order reduction.
-/// Selects bit-identical poison sequences to GreedyPoisonCdfReference
-/// for every thread count.
+/// over chunked gap ranges on a ThreadPool with a fixed-order reduction,
+/// and with AttackOptions::prune_argmax (the default) each scan runs the
+/// branch-and-bound pruned pipeline (admissible upper bounds, top-K
+/// exact re-check, early exit). Selects bit-identical poison sequences
+/// to GreedyPoisonCdfReference for every thread count and pruning
+/// setting.
 ///
 /// Fails with InvalidArgument for empty keysets or p < 1, and with
 /// ResourceExhausted if the allowed range runs out of unoccupied keys

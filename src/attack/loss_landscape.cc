@@ -1,6 +1,9 @@
 #include "attack/loss_landscape.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <limits>
 #include <string>
 
 #include "common/thread_pool.h"
@@ -226,113 +229,387 @@ std::vector<std::pair<Key, long double>> LossLandscape::Sweep(
 
 namespace {
 
-/// One materialized gap range for the parallel argmax: everything the
-/// per-candidate loss evaluation needs, captured in key order.
-struct GapRange {
-  Key lo = 0;
-  Key hi = 0;
-  Rank count_less = 0;
-  Int128 suffix_sum = 0;
-};
-
 /// Gap ranges per parallel chunk. Fixed (not derived from the thread
 /// count) so the chunk boundaries — and therefore the reduction order —
 /// are identical for every pool size.
 constexpr std::int64_t kArgmaxChunkGaps = 2048;
 
+/// Whole-chain error-margin unit for the bound arithmetic: ~450x the
+/// IEEE double rounding unit (2^-52 ~ 2.2e-16). Each margin term below
+/// multiplies kBoundEps by an upper bound on the *component magnitudes*
+/// of its expression (never the possibly-cancelled result); the true
+/// rounding error of each <10-op chain is below ~10 units of 2.2e-16
+/// relative to those magnitudes, so one kBoundEps unit dominates it —
+/// including the int128->double input conversions and the (much
+/// smaller) long-double rounding of the exact evaluation the bound must
+/// majorize — with ~50x headroom, while costing a fraction of full
+/// per-op interval propagation.
+constexpr double kBoundEps = 1e-13;
+
+inline double AbsD(double v) { return v < 0 ? -v : v; }
+
 }  // namespace
+
+/// Round-constant part of the admissible upper bound on the Theorem 1
+/// loss after inserting one key into the current n_ keys.
+///
+/// With x = kp - shift, c = count_less, S = suffix key-sum, the exact
+/// loss is  L = max(0, (VarY - Cov^2/VarX) / (n+1)^2)  where VarY is a
+/// per-round constant and Cov/VarX are affine/quadratic in x. The bound
+/// evaluates the same formula in double with directed error margins:
+/// VarY rounded up, Cov^2/VarX rounded down (interval-safe against the
+/// cancellation in both numerators), so bound >= exact loss for every
+/// candidate — the admissibility the pruned argmax needs to stay
+/// bit-identical to the exhaustive scan.
+struct LossLandscape::BoundCtx {
+  double n1 = 0;          // n + 1
+  double inv_n12_ub = 0;  // (1 + slack) / (n+1)^2, rounded up
+  double sum_y = 0;       // sum of ranks 1..n+1
+  double var_y_ub = 0;    // (n+1)*sumY2 - sumY^2, rounded up
+  double sum_k = 0;       // converted exact aggregates
+  double abs_sum_k = 0;
+  double sum_k2 = 0;      // >= 0
+  double sum_kr = 0;
+  double abs_sum_kr = 0;
+  bool usable = false;
+
+  static BoundCtx Make(std::int64_t n, Int128 sum_k, Int128 sum_k2,
+                       Int128 sum_kr) {
+    BoundCtx b;
+    const std::int64_t n1 = n + 1;
+    const Int128 sy = SumRanks(n1);
+    const Int128 var_y =
+        static_cast<Int128>(n1) * SumRankSquares(n1) - sy * sy;
+    b.n1 = static_cast<double>(n1);
+    const double n12_lo = b.n1 * b.n1 * (1.0 - 2.0 * kBoundEps);
+    b.inv_n12_ub = (1.0 + 6.0 * kBoundEps) / n12_lo;
+    b.sum_y = static_cast<double>(sy);
+    b.var_y_ub = static_cast<double>(var_y) * (1.0 + 2.0 * kBoundEps);
+    b.sum_k = static_cast<double>(sum_k);
+    b.abs_sum_k = AbsD(b.sum_k);
+    b.sum_k2 = static_cast<double>(sum_k2);
+    b.sum_kr = static_cast<double>(sum_kr);
+    b.abs_sum_kr = AbsD(b.sum_kr);
+    b.usable = std::isfinite(b.var_y_ub) && std::isfinite(b.sum_k) &&
+               std::isfinite(b.sum_k2) && std::isfinite(b.sum_kr) &&
+               std::isfinite(b.sum_y) && std::isfinite(b.inv_n12_ub) &&
+               b.inv_n12_ub > 0;
+    return b;
+  }
+
+  /// Upper bound for candidate x (shifted key) with c keys below it and
+  /// suffix key-sum S. Absolute-error margins are taken against the
+  /// *component magnitudes* of each cancellation-prone difference
+  /// (VarX, Cov, and their sub-sums), never against the difference
+  /// itself, and the final combination rounds VarY up and Cov^2/VarX
+  /// down — so the returned value dominates the exact loss.
+  double Upper(double x, double c1, double s) const {
+    const double ax = AbsD(x);
+    const double sx = sum_k + x;
+    const double m_sx = abs_sum_k + ax;       // >= |sx| and its err scale
+    const double sx2 = sum_k2 + x * x;        // all terms >= 0
+    const double xc = x * c1;
+    const double axc = AbsD(xc);
+    const double sxy = sum_kr + s + xc;
+    const double m_sxy = abs_sum_kr + AbsD(s) + axc;
+    // VarX = n1*sx2 - sx^2.
+    const double a = n1 * sx2;
+    const double bb = sx * sx;
+    const double varx = a - bb;
+    const double e_varx = kBoundEps * (a + bb + m_sx * m_sx);
+    // Cov = n1*sxy - sx*sum_y.
+    const double cov = n1 * sxy - sx * sum_y;
+    const double e_cov = kBoundEps * (n1 * m_sxy + m_sx * sum_y);
+    // Lower bound on Cov^2/VarX; zero whenever the VarX interval is not
+    // strictly positive (the exact path then degenerates to VarY alone).
+    double q_lb = 0;
+    if (varx - e_varx > 0) {
+      const double cov_lo = AbsD(cov) - e_cov;
+      if (cov_lo > 0) {
+        q_lb = (cov_lo * cov_lo) / (varx + e_varx) * (1.0 - 4.0 * kBoundEps);
+      }
+    }
+    const double num = (var_y_ub - q_lb) + kBoundEps * (var_y_ub + q_lb);
+    if (num <= 0) return 0;
+    const double ub = num * inv_n12_ub;
+    // Any non-finite intermediate poisons ub; "never prune" is the
+    // admissible answer.
+    if (!(ub >= 0)) return std::numeric_limits<double>::infinity();
+    return ub;
+  }
+};
+
+template <typename T>
+std::vector<T>& LossLandscape::PrepareScratch(std::vector<T>* buf,
+                                              std::size_t needed) const {
+  if (buf->capacity() < needed) {
+    ++scratch_reallocs_;
+    std::vector<T> fresh;
+    fresh.reserve(std::max(needed, buf->capacity() * 2));
+    buf->swap(fresh);
+  }
+  buf->clear();
+  return *buf;
+}
+
+namespace {
+
+/// Grow-only variant for the flat per-gap arrays whose live prefix is
+/// fully overwritten each scan: avoids the O(G) value-initialization
+/// PrepareScratch's clear+resize would pay per round. Stale entries
+/// beyond the current gap count are never read.
+template <typename T>
+void EnsureScratchSize(std::vector<T>* buf, std::size_t needed,
+                       std::int64_t* reallocs) {
+  if (buf->size() >= needed) return;
+  if (buf->capacity() < needed) {
+    ++*reallocs;
+    buf->reserve(std::max(needed, buf->capacity() * 2));
+  }
+  buf->resize(buf->capacity());
+}
+
+}  // namespace
+
+void LossLandscape::ScanGapRanges(std::size_t first, std::size_t end,
+                                  std::int64_t top_k,
+                                  const BoundCtx* bound_ctx,
+                                  const std::unordered_set<Key>* excluded,
+                                  Candidate* best, bool* have,
+                                  ArgmaxStats* stats) const {
+  // First-maximum-in-key-order semantics, order-independent form:
+  // strictly larger loss wins; an equal loss wins only with a smaller
+  // key. The exhaustive scan visits candidates in key order, where this
+  // reduces to the original strict > rule.
+  auto consider = [&](Key kp, Rank count_less, Int128 suffix_sum) {
+    if (excluded != nullptr && excluded->count(kp) != 0) return;
+    const long double loss = LossWithInsertion(kp, count_less, suffix_sum);
+    ++stats->exact_evals;
+    if (!*have || loss > best->loss ||
+        (loss == best->loss && kp < best->key)) {
+      best->key = kp;
+      best->loss = loss;
+      *have = true;
+    }
+  };
+  auto eval_gap = [&](std::size_t i) {
+    const GapRange& g = argmax_ranges_[i];
+    consider(g.lo, g.count_less, g.suffix_sum);
+    if (g.hi != g.lo) consider(g.hi, g.count_less, g.suffix_sum);
+  };
+
+  if (bound_ctx == nullptr) {
+    for (std::size_t i = first; i < end; ++i) eval_gap(i);
+    return;
+  }
+
+  // Phase 1 — pre-pass: score every gap's non-excluded endpoints against
+  // the admissible bound; -inf marks gaps with no admissible candidate.
+  constexpr double kNoBound = -std::numeric_limits<double>::infinity();
+  // Candidate keys are shifted in exact int64 then converted with one
+  // cheap cvt instruction (no 128-bit library call). Safe: FindOptimal
+  // falls back to the exhaustive scan when the domain span could
+  // overflow the subtraction.
+  for (std::size_t i = first; i < end; ++i) {
+    const GapRange& g = argmax_ranges_[i];
+    const double c1 = static_cast<double>(g.count_less + 1);
+    const double s = static_cast<double>(g.suffix_sum);
+    double bnd = kNoBound;
+    if (excluded == nullptr || excluded->count(g.lo) == 0) {
+      const double x = static_cast<double>(g.lo - shift_);
+      bnd = bound_ctx->Upper(x, c1, s);
+      ++stats->bound_evals;
+    }
+    if (g.hi != g.lo &&
+        (excluded == nullptr || excluded->count(g.hi) == 0)) {
+      const double x = static_cast<double>(g.hi - shift_);
+      const double b2 = bound_ctx->Upper(x, c1, s);
+      ++stats->bound_evals;
+      if (b2 > bnd) bnd = b2;
+    }
+    argmax_bounds_[i] = bnd;
+  }
+
+  // Phase 2 — exact re-check of the top-K bounds to seed the running
+  // best. nth_element's partition is unstable, but the final Candidate
+  // is invariant: every gap that could still win is re-checked in phase
+  // 3 regardless of which ties landed in the top-K.
+  const std::size_t len = end - first;
+  const std::size_t k =
+      std::min(len, static_cast<std::size_t>(std::max<std::int64_t>(
+                        1, top_k)));
+  for (std::size_t i = first; i < end; ++i) argmax_order_[i] = i;
+  std::nth_element(argmax_order_.begin() + static_cast<std::ptrdiff_t>(first),
+                   argmax_order_.begin() +
+                       static_cast<std::ptrdiff_t>(first + k),
+                   argmax_order_.begin() + static_cast<std::ptrdiff_t>(end),
+                   [this](std::size_t a, std::size_t b) {
+                     return argmax_bounds_[a] > argmax_bounds_[b];
+                   });
+  for (std::size_t j = first; j < first + k; ++j) {
+    const std::size_t i = argmax_order_[j];
+    if (argmax_bounds_[i] == kNoBound) continue;
+    eval_gap(i);
+    argmax_bounds_[i] = kNoBound;  // Consumed: phase 3 skips it.
+  }
+
+  // Suffix max/count over the *unconsumed* bounds enable the
+  // branch-and-bound early exit and keep the pruned-gap counter exact.
+  {
+    double run_max = kNoBound;
+    std::int64_t run_cnt = 0;
+    for (std::size_t i = end; i > first; --i) {
+      const double b = argmax_bounds_[i - 1];
+      if (b != kNoBound) {
+        ++run_cnt;
+        if (b > run_max) run_max = b;
+      }
+      argmax_suffix_max_[i - 1] = run_max;
+      argmax_suffix_cnt_[i - 1] = run_cnt;
+    }
+  }
+
+  // Phase 3 — key-ordered sweep: a gap survives only while its bound can
+  // still reach the running best (>= keeps exact ties alive for the
+  // smaller-key rule); once every remaining bound is strictly below the
+  // best, the scan exits.
+  for (std::size_t i = first; i < end; ++i) {
+    if (*have && argmax_suffix_max_[i] < best->loss) {
+      stats->pruned_gaps += argmax_suffix_cnt_[i];
+      break;
+    }
+    const double b = argmax_bounds_[i];
+    if (b == kNoBound) continue;
+    if (*have && b < best->loss) {
+      ++stats->pruned_gaps;
+      continue;
+    }
+    eval_gap(i);
+  }
+}
 
 Result<LossLandscape::Candidate> LossLandscape::FindOptimal(
     bool interior_only, const std::unordered_set<Key>* excluded,
     ThreadPool* pool) const {
-  // The parallel path pays an O(G) materialization of the gap ranges,
-  // so it is only entered when the total gap count (an upper bound on
-  // the candidate-range gaps) spans multiple chunks; smaller landscapes
-  // go straight to the serial scan with no redundant traversal.
-  if (pool != nullptr && pool->num_threads() > 1 &&
-      gaps_.size() > static_cast<std::size_t>(kArgmaxChunkGaps)) {
-    // Materialize the gap ranges, then reduce fixed-size chunks on the
-    // pool. Per-candidate arithmetic is the same LossWithInsertion call
-    // as the serial scan; each chunk keeps its first strict maximum in
-    // key order, and the final reduction keeps the first strict maximum
-    // across chunks in chunk (= key) order, so the selected candidate is
-    // bit-identical to the serial scan below. A single post-intersection
-    // chunk runs inline through the same code path.
-    std::vector<GapRange> ranges;
-    ranges.reserve(gaps_.size());
+  return FindOptimal(interior_only, excluded, pool, ArgmaxOptions{});
+}
+
+Result<LossLandscape::Candidate> LossLandscape::FindOptimal(
+    bool interior_only, const std::unordered_set<Key>* excluded,
+    ThreadPool* pool, const ArgmaxOptions& argmax, ArgmaxStats* stats) const {
+  ArgmaxStats local;
+  local.rounds = 1;
+
+  BoundCtx ctx;
+  bool prune = argmax.prune;
+  if (prune) {
+    ctx = BoundCtx::Make(n_, sum_k_, sum_k2_, sum_kr_);
+    // The bound pre-pass shifts candidate keys in int64; a domain wider
+    // than 2^62 could overflow that subtraction, so it is not provably
+    // admissible there.
+    if (static_cast<Int128>(domain_.hi) - domain_.lo >
+        (static_cast<Int128>(1) << 62)) {
+      ctx.usable = false;
+    }
+    if (!ctx.usable) {
+      // Bound arithmetic not provably admissible on these aggregates:
+      // fall back to the exhaustive scan so the result stays exact.
+      prune = false;
+      local.fallback_rounds = 1;
+    }
+  }
+  const BoundCtx* bound_ctx = prune ? &ctx : nullptr;
+
+  Candidate best;
+  bool have = false;
+
+  // The materialized paths pay one O(G) traversal into the engine-owned
+  // scratch (no per-round allocation once the capacity plateaus); the
+  // plain serial exhaustive scan keeps the original zero-materialization
+  // loop.
+  const bool parallel =
+      pool != nullptr && pool->num_threads() > 1 &&
+      gaps_.size() > static_cast<std::size_t>(kArgmaxChunkGaps);
+  if (parallel || prune) {
+    auto& ranges = PrepareScratch(&argmax_ranges_, gaps_.size());
     ForEachGap(interior_only, [this, &ranges](Key lo, Key hi, Rank count_less,
                                               Int128 prefix_sum) {
       ranges.push_back(GapRange{lo, hi, count_less, sum_k_ - prefix_sum});
     });
-    const std::int64_t num_chunks =
-        (static_cast<std::int64_t>(ranges.size()) + kArgmaxChunkGaps - 1) /
-        kArgmaxChunkGaps;
-    std::vector<Candidate> chunk_best(static_cast<std::size_t>(num_chunks));
-    std::vector<char> chunk_have(static_cast<std::size_t>(num_chunks), 0);
-    pool->ParallelFor(num_chunks, [this, excluded, &ranges, &chunk_best,
-                                   &chunk_have](std::int64_t c) {
-      Candidate best;
-      bool have = false;
-      const std::size_t first = static_cast<std::size_t>(c) *
-                                static_cast<std::size_t>(kArgmaxChunkGaps);
-      const std::size_t end = std::min(
-          ranges.size(), first + static_cast<std::size_t>(kArgmaxChunkGaps));
-      for (std::size_t i = first; i < end; ++i) {
-        const GapRange& g = ranges[i];
-        auto consider = [&](Key kp) {
-          if (excluded != nullptr && excluded->count(kp) != 0) return;
-          const long double loss =
-              LossWithInsertion(kp, g.count_less, g.suffix_sum);
-          if (!have || loss > best.loss) {
-            best.key = kp;
-            best.loss = loss;
-            have = true;
-          }
-        };
-        consider(g.lo);
-        if (g.hi != g.lo) consider(g.hi);
-      }
-      chunk_best[static_cast<std::size_t>(c)] = best;
-      chunk_have[static_cast<std::size_t>(c)] = have ? 1 : 0;
-    });
-    Candidate best;
-    bool have = false;
-    for (std::int64_t c = 0; c < num_chunks; ++c) {
-      if (!chunk_have[static_cast<std::size_t>(c)]) continue;
-      const Candidate& cb = chunk_best[static_cast<std::size_t>(c)];
-      if (!have || cb.loss > best.loss) {
-        best = cb;
-        have = true;
-      }
+    const std::size_t m = ranges.size();
+    if (prune) {
+      EnsureScratchSize(&argmax_bounds_, m, &scratch_reallocs_);
+      EnsureScratchSize(&argmax_suffix_max_, m, &scratch_reallocs_);
+      EnsureScratchSize(&argmax_suffix_cnt_, m, &scratch_reallocs_);
+      EnsureScratchSize(&argmax_order_, m, &scratch_reallocs_);
     }
-    if (!have) {
-      return Status::ResourceExhausted(
-          "no unoccupied candidate keys in the poisoning range");
+    if (parallel) {
+      // Fixed-size chunks reduced in chunk (= key) order with a strict >
+      // comparison: bit-identical to the serial scan for every thread
+      // count. With pruning on, each chunk runs the pruned pipeline
+      // against its chunk-local best — per-chunk bound filtering — which
+      // only depends on the chunk's own content, so the counters are
+      // thread-count independent too (but differ from the serial scan's,
+      // whose single running best prunes across the whole range).
+      const std::int64_t num_chunks =
+          (static_cast<std::int64_t>(m) + kArgmaxChunkGaps - 1) /
+          kArgmaxChunkGaps;
+      std::vector<Candidate> chunk_best(static_cast<std::size_t>(num_chunks));
+      std::vector<char> chunk_have(static_cast<std::size_t>(num_chunks), 0);
+      std::vector<ArgmaxStats> chunk_stats(
+          static_cast<std::size_t>(num_chunks));
+      pool->ParallelFor(num_chunks, [this, excluded, m, bound_ctx, &argmax,
+                                     &chunk_best, &chunk_have,
+                                     &chunk_stats](std::int64_t c) {
+        const std::size_t first = static_cast<std::size_t>(c) *
+                                  static_cast<std::size_t>(kArgmaxChunkGaps);
+        const std::size_t end = std::min(
+            m, first + static_cast<std::size_t>(kArgmaxChunkGaps));
+        bool chunk_found = false;
+        ScanGapRanges(first, end, argmax.top_k, bound_ctx, excluded,
+                      &chunk_best[static_cast<std::size_t>(c)], &chunk_found,
+                      &chunk_stats[static_cast<std::size_t>(c)]);
+        chunk_have[static_cast<std::size_t>(c)] = chunk_found ? 1 : 0;
+      });
+      for (std::int64_t c = 0; c < num_chunks; ++c) {
+        const auto ci = static_cast<std::size_t>(c);
+        local.exact_evals += chunk_stats[ci].exact_evals;
+        local.bound_evals += chunk_stats[ci].bound_evals;
+        local.pruned_gaps += chunk_stats[ci].pruned_gaps;
+        if (!chunk_have[ci]) continue;
+        const Candidate& cb = chunk_best[ci];
+        if (!have || cb.loss > best.loss) {
+          best = cb;
+          have = true;
+        }
+      }
+    } else {
+      ScanGapRanges(0, m, argmax.top_k, bound_ctx, excluded, &best, &have,
+                    &local);
     }
-    return best;
+  } else {
+    ForEachGap(interior_only,
+               [this, excluded, &best, &have, &local](
+                   Key lo, Key hi, Rank count_less, Int128 prefix_sum) {
+                 const Int128 suffix = sum_k_ - prefix_sum;
+                 auto consider = [&](Key kp) {
+                   if (excluded != nullptr && excluded->count(kp) != 0) {
+                     return;
+                   }
+                   const long double loss =
+                       LossWithInsertion(kp, count_less, suffix);
+                   ++local.exact_evals;
+                   if (!have || loss > best.loss) {
+                     best.key = kp;
+                     best.loss = loss;
+                     have = true;
+                   }
+                 };
+                 consider(lo);
+                 if (hi != lo) consider(hi);
+               });
   }
-
-  Candidate best;
-  bool have = false;
-  ForEachGap(interior_only,
-             [this, excluded, &best, &have](Key lo, Key hi, Rank count_less,
-                                            Int128 prefix_sum) {
-               const Int128 suffix = sum_k_ - prefix_sum;
-               auto consider = [&](Key kp) {
-                 if (excluded != nullptr && excluded->count(kp) != 0) {
-                   return;
-                 }
-                 const long double loss =
-                     LossWithInsertion(kp, count_less, suffix);
-                 if (!have || loss > best.loss) {
-                   best.key = kp;
-                   best.loss = loss;
-                   have = true;
-                 }
-               };
-               consider(lo);
-               if (hi != lo) consider(hi);
-             });
+  if (stats != nullptr) stats->Add(local);
   if (!have) {
     return Status::ResourceExhausted(
         "no unoccupied candidate keys in the poisoning range");

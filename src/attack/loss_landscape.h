@@ -31,6 +31,16 @@
 //    Theorem 1 ratio is shift-invariant bit-for-bit because the
 //    variance/covariance numerators are shift-invariant in exact
 //    integer arithmetic.
+//
+// The per-round argmax over gap endpoints additionally supports a
+// branch-and-bound pruned scan (ArgmaxOptions): a double-precision
+// pre-pass scores every gap against an admissible upper bound on the
+// exact loss, only the top-K bounds plus the gaps whose bound beats the
+// running best are re-checked exactly, and the scan exits once every
+// remaining bound is below the best. The bound provably dominates the
+// exact evaluation (directed-rounding error margins), so the selected
+// candidate stays bit-identical to the exhaustive scan; when the bound
+// context is not admissible the scan falls back to exhaustive.
 
 #ifndef LISPOISON_ATTACK_LOSS_LANDSCAPE_H_
 #define LISPOISON_ATTACK_LOSS_LANDSCAPE_H_
@@ -120,6 +130,42 @@ class LossLandscape {
     long double loss = 0;
   };
 
+  /// \brief Knobs for the pruned argmax (see FindOptimal).
+  struct ArgmaxOptions {
+    /// Run the branch-and-bound pruned scan: a double-precision pre-pass
+    /// scores every gap against an admissible per-gap upper bound on the
+    /// Theorem 1 loss, only the top-K survivors plus the gaps whose
+    /// bound still exceeds the running best are re-checked exactly. The
+    /// selected Candidate is bit-identical to the exhaustive scan (the
+    /// bound provably dominates the exact loss; ties re-check every
+    /// contender and break toward the smaller key, the first-maximum-in-
+    /// key-order rule of the serial scan).
+    bool prune = true;
+
+    /// Gaps exactly re-checked up front (in decreasing bound order) to
+    /// seed the running best before the branch-and-bound sweep.
+    std::int64_t top_k = 16;
+  };
+
+  /// \brief Evaluation-count counters accumulated across FindOptimal
+  /// calls. Counter values depend on the scan layout (serial vs chunked)
+  /// — only the returned Candidate is thread-count invariant.
+  struct ArgmaxStats {
+    std::int64_t rounds = 0;          ///< FindOptimal calls.
+    std::int64_t exact_evals = 0;     ///< Exact Theorem 1 evaluations.
+    std::int64_t bound_evals = 0;     ///< Double-precision bound scores.
+    std::int64_t pruned_gaps = 0;     ///< Gaps never evaluated exactly.
+    std::int64_t fallback_rounds = 0; ///< Pruning requested but the bound
+                                      ///< context was not admissible.
+    void Add(const ArgmaxStats& o) {
+      rounds += o.rounds;
+      exact_evals += o.exact_evals;
+      bound_evals += o.bound_evals;
+      pruned_gaps += o.pruned_gaps;
+      fallback_rounds += o.fallback_rounds;
+    }
+  };
+
   /// \brief Maximizes L over the gap endpoints (the optimal single-point
   /// attack). Fails with ResourceExhausted when no unoccupied candidate
   /// exists. With \p excluded non-null, keys in that set are skipped
@@ -130,10 +176,42 @@ class LossLandscape {
   /// chunk order with a strict > comparison — exactly the serial scan's
   /// first-maximum-in-key-order semantics, so the selected candidate is
   /// bit-identical for every thread count (greedy_differential_test).
+  ///
+  /// With \p argmax.prune (the default) each scan — the whole range
+  /// serially, or each chunk of the parallel fan-out — runs the pruned
+  /// pipeline: cheap upper bounds for every gap, exact re-check of the
+  /// top-K bounds, then a key-ordered sweep that skips any gap whose
+  /// bound is strictly below the running best and exits early once every
+  /// remaining bound is. Whenever the bound context is not provably
+  /// admissible (non-finite aggregates), the call falls back to the
+  /// exhaustive scan, so the result is bit-identical either way
+  /// (argmax_pruning_test). \p stats, when non-null, is accumulated
+  /// into, never reset.
+  ///
+  /// Scratch note: the gap-range/bound buffers are engine-owned and
+  /// reused across rounds (no O(G) allocation per call), which makes
+  /// concurrent FindOptimal calls on the *same* landscape racy; every
+  /// attack drives one landscape from one thread at a time and fans out
+  /// only via \p pool.
+  Result<Candidate> FindOptimal(bool interior_only,
+                                const std::unordered_set<Key>* excluded,
+                                ThreadPool* pool,
+                                const ArgmaxOptions& argmax,
+                                ArgmaxStats* stats = nullptr) const;
+
+  /// \brief Overload with the default ArgmaxOptions (pruning on). Kept
+  /// separate because a nested-class default argument cannot be spelled
+  /// inside the enclosing class.
   Result<Candidate> FindOptimal(bool interior_only,
                                 const std::unordered_set<Key>* excluded =
                                     nullptr,
                                 ThreadPool* pool = nullptr) const;
+
+  /// \brief Times any argmax scratch buffer grew its capacity. Stays
+  /// O(log G) across an attack (geometric growth), which the
+  /// differential harness asserts to pin the no-per-round-allocation
+  /// property.
+  std::int64_t argmax_scratch_reallocs() const { return scratch_reallocs_; }
 
   /// \brief Exact prefix statistics over the current keys strictly
   /// below \p kp. prefix_sum is over shifted keys (k - shift()).
@@ -232,6 +310,33 @@ class LossLandscape {
                                 Int128 suffix_sum) const;
   void RecomputeCurrentLoss();
 
+  /// One materialized candidate gap range: everything the per-candidate
+  /// loss evaluation needs, captured in key order.
+  struct GapRange {
+    Key lo = 0;
+    Key hi = 0;
+    Rank count_less = 0;
+    Int128 suffix_sum = 0;
+  };
+
+  /// Per-round double-precision bound context; defined in the .cc.
+  struct BoundCtx;
+
+  /// Scans argmax_ranges_[first, end) for the best candidate using the
+  /// exhaustive loop (bound_ctx == nullptr) or the pruned pipeline, and
+  /// folds the winner into *best/*have via the first-maximum-in-key-order
+  /// tie rule. Accumulates counters into *stats.
+  void ScanGapRanges(std::size_t first, std::size_t end, std::int64_t top_k,
+                     const BoundCtx* bound_ctx,
+                     const std::unordered_set<Key>* excluded,
+                     Candidate* best, bool* have, ArgmaxStats* stats) const;
+
+  /// Clears \p buf, growing its capacity geometrically (and bumping
+  /// scratch_reallocs_) only when \p needed exceeds it.
+  template <typename T>
+  std::vector<T>& PrepareScratch(std::vector<T>* buf,
+                                 std::size_t needed) const;
+
   std::vector<Key> base_keys_;       // Create-time keys, sorted, static.
   std::vector<Int128> base_prefix_;  // base_prefix_[i] = sum first i shifted.
   std::vector<Key> inserted_;        // Keys committed via InsertKey, sorted.
@@ -247,6 +352,15 @@ class LossLandscape {
   Int128 sum_k2_ = 0;
   Int128 sum_kr_ = 0;
   long double base_loss_ = 0;
+
+  // Engine-owned argmax scratch, reused across rounds (see FindOptimal's
+  // scratch note). Mutable: FindOptimal is logically const.
+  mutable std::vector<GapRange> argmax_ranges_;
+  mutable std::vector<double> argmax_bounds_;
+  mutable std::vector<double> argmax_suffix_max_;
+  mutable std::vector<std::int64_t> argmax_suffix_cnt_;
+  mutable std::vector<std::size_t> argmax_order_;
+  mutable std::int64_t scratch_reallocs_ = 0;
 };
 
 }  // namespace lispoison

@@ -37,6 +37,7 @@ struct ModelState {
   std::vector<Key> poisons;  // Poison keys in insertion order.
   LossLandscape landscape;   // Persistent engine over legit ∪ poisons.
   long double loss = 0;      // == landscape.BaseLoss().
+  LossLandscape::ArgmaxStats stats;  // Greedy-argmax work counters.
 
   /// Rebuilds the landscape from scratch (tight domain over the combined
   /// keys). Needed after exchanges, which restructure the legit set.
@@ -75,9 +76,12 @@ long double SpanLoss(const std::vector<Key>& keys, std::int64_t first,
 /// candidate remains.
 bool GreedyInsertOne(ModelState* state,
                      const std::unordered_set<Key>& occupied,
-                     bool interior_only) {
+                     bool interior_only,
+                     const LossLandscape::ArgmaxOptions& argmax) {
   if (state->landscape.size() == 0) return false;
-  auto best = state->landscape.FindOptimal(interior_only, &occupied);
+  auto best = state->landscape.FindOptimal(interior_only, &occupied,
+                                           /*pool=*/nullptr, argmax,
+                                           &state->stats);
   if (!best.ok()) return false;
   if (!state->landscape.InsertKey(best->key).ok()) return false;
   state->poisons.push_back(best->key);
@@ -186,7 +190,8 @@ long double SimulateExchange(const ModelState& donor,
 /// everything untouched.
 bool ApplyExchange(ModelState* donor, ModelState* receiver,
                    bool left_to_right, std::unordered_set<Key>* occupied,
-                   std::int64_t threshold, bool interior_only) {
+                   std::int64_t threshold, bool interior_only,
+                   const LossLandscape::ArgmaxOptions& argmax) {
   if (donor->poisons.empty()) return false;
   if (static_cast<std::int64_t>(receiver->poisons.size()) + 1 > threshold) {
     return false;
@@ -197,9 +202,11 @@ bool ApplyExchange(ModelState* donor, ModelState* receiver,
   ModelState d;
   d.legit = donor->legit;
   d.poisons = donor->poisons;
+  d.stats = donor->stats;
   ModelState r;
   r.legit = receiver->legit;
   r.poisons = receiver->poisons;
+  r.stats = receiver->stats;
   const Key removed_poison = d.poisons.back();
   d.poisons.pop_back();
   if (left_to_right) {
@@ -214,7 +221,7 @@ bool ApplyExchange(ModelState* donor, ModelState* receiver,
   if (!d.Rebuild().ok() || !r.Rebuild().ok()) return false;
   // The freed key becomes available again before the receiver's insert.
   occupied->erase(removed_poison);
-  if (!GreedyInsertOne(&r, *occupied, interior_only)) {
+  if (!GreedyInsertOne(&r, *occupied, interior_only, argmax)) {
     occupied->insert(removed_poison);
     return false;
   }
@@ -410,6 +417,9 @@ Result<RmiAttackResult> PoisonRmi(const KeySet& keyset,
   const std::int64_t threshold = derived.threshold;
 
   ThreadPool pool(options.num_threads);
+  LossLandscape::ArgmaxOptions argmax;
+  argmax.prune = options.prune_argmax;
+  argmax.top_k = options.argmax_top_k;
 
   // ---- Clean baseline: equal partition of K into N models. ----
   const std::int64_t base = n / num_models;
@@ -466,7 +476,9 @@ Result<RmiAttackResult> PoisonRmi(const KeySet& keyset,
   pool.ParallelFor(num_models, [&](std::int64_t i) {
     auto& m = models[static_cast<std::size_t>(i)];
     for (std::int64_t q = 0; q < quota[static_cast<std::size_t>(i)]; ++q) {
-      if (!GreedyInsertOne(&m, occupied, options.interior_only)) break;
+      if (!GreedyInsertOne(&m, occupied, options.interior_only, argmax)) {
+        break;
+      }
     }
   });
   std::int64_t unplaced = budget;
@@ -485,7 +497,7 @@ Result<RmiAttackResult> PoisonRmi(const KeySet& keyset,
         if (static_cast<std::int64_t>(m.poisons.size()) >= threshold) {
           continue;
         }
-        if (GreedyInsertOne(&m, occupied, options.interior_only)) {
+        if (GreedyInsertOne(&m, occupied, options.interior_only, argmax)) {
           occupied.insert(m.poisons.back());
           --unplaced;
           progress = true;
@@ -551,7 +563,7 @@ Result<RmiAttackResult> PoisonRmi(const KeySet& keyset,
       left_to_right = false;
     }
     if (!ApplyExchange(donor, receiver, left_to_right, &occupied, threshold,
-                       options.interior_only)) {
+                       options.interior_only, argmax)) {
       // Mark infeasible so the loop does not retry it forever.
       change[static_cast<std::size_t>(best_pair)][best_dir] = kInfeasible;
       continue;
@@ -574,6 +586,7 @@ Result<RmiAttackResult> PoisonRmi(const KeySet& keyset,
     result.poisoned_losses.push_back(models[i].loss);
     result.per_model_ratio.push_back(
         SafeRatioLoss(models[i].loss, result.clean_losses[i]));
+    result.argmax_stats.Add(models[i].stats);
     poisoned_sum += models[i].loss;
     result.total_poison_keys +=
         static_cast<std::int64_t>(models[i].poisons.size());

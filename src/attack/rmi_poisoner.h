@@ -55,6 +55,15 @@ struct RmiAttackOptions {
   /// The result is identical for every value: parallel tasks write to
   /// disjoint slots and every decision reduces over them in fixed order.
   int num_threads = 0;
+
+  /// Branch-and-bound pruning of every per-model greedy argmax (the
+  /// key-allocation inner loop); bit-identical results either way. See
+  /// AttackOptions::prune_argmax.
+  bool prune_argmax = true;
+
+  /// Per-scan exact re-check budget when pruning. See
+  /// AttackOptions::argmax_top_k.
+  std::int64_t argmax_top_k = 16;
 };
 
 /// \brief Outcome of the RMI attack with everything the Fig. 6 / Fig. 7
@@ -89,6 +98,11 @@ struct RmiAttackResult {
 
   /// Number of greedy CHANGELOSS exchanges applied.
   std::int64_t exchanges_applied = 0;
+
+  /// Argmax work counters summed over every per-model greedy insertion
+  /// (the key-allocation loops, including re-insertions after applied
+  /// exchanges) — the measurable win of RmiAttackOptions::prune_argmax.
+  LossLandscape::ArgmaxStats argmax_stats;
 
   /// Total poisoning keys placed (= floor(φn) unless the domain
   /// saturated, which is reported as an error instead).

@@ -18,8 +18,10 @@ Result<SinglePointResult> OptimalSinglePoint(const KeySet& keyset,
                                              const AttackOptions& options) {
   LISPOISON_ASSIGN_OR_RETURN(LossLandscape landscape,
                              LossLandscape::Create(keyset));
-  LISPOISON_ASSIGN_OR_RETURN(LossLandscape::Candidate best,
-                             landscape.FindOptimal(options.interior_only));
+  LISPOISON_ASSIGN_OR_RETURN(
+      LossLandscape::Candidate best,
+      landscape.FindOptimal(options.interior_only, /*excluded=*/nullptr,
+                            /*pool=*/nullptr, options.ArgmaxKnobs()));
   SinglePointResult result;
   result.poison_key = best.key;
   result.base_loss = landscape.BaseLoss();

@@ -29,6 +29,27 @@ struct AttackOptions {
   /// every value (chunked fixed-order reduction; see
   /// LossLandscape::FindOptimal).
   int num_threads = 1;
+
+  /// Branch-and-bound pruning of the per-round argmax: a double-
+  /// precision pre-pass bounds every gap's loss from above, only the
+  /// top-K bounds plus the gaps whose bound beats the running best are
+  /// evaluated exactly. Bit-identical to the exhaustive scan for every
+  /// setting (the bound is admissible, with an exhaustive fallback when
+  /// it is not provably so); off buys nothing but the reference
+  /// evaluation counts.
+  bool prune_argmax = true;
+
+  /// Gaps exactly re-checked up front when pruning (seed of the
+  /// branch-and-bound running best).
+  std::int64_t argmax_top_k = 16;
+
+  /// \brief The LossLandscape-level view of the argmax knobs.
+  LossLandscape::ArgmaxOptions ArgmaxKnobs() const {
+    LossLandscape::ArgmaxOptions knobs;
+    knobs.prune = prune_argmax;
+    knobs.top_k = argmax_top_k;
+    return knobs;
+  }
 };
 
 /// \brief Result of the optimal single-point attack.

@@ -130,6 +130,7 @@ std::pair<std::int64_t, std::int64_t> Rmi::SearchWindow(Key k) const {
   std::int64_t hi =
       static_cast<std::int64_t>(std::ceil(pred + m.err_hi)) - 1;
   if (lo < 0) lo = 0;
+  if (lo >= n_) lo = n_ - 1;  // A misrouted key can predict past the end.
   if (hi >= n_) hi = n_ - 1;
   if (hi < lo) hi = lo;
   return {lo, hi};

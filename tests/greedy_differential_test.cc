@@ -26,12 +26,17 @@ std::vector<Key> InlineReferenceGreedy(const KeySet& keyset, std::int64_t p,
   std::vector<Key> poison_keys;
   std::vector<Key> work = keyset.keys();
   const KeyDomain domain = keyset.domain();
+  // The oracle stays on the exhaustive scan — pruning (the default) is
+  // exactly what this test must be independent of.
+  LossLandscape::ArgmaxOptions exhaustive;
+  exhaustive.prune = false;
   for (std::int64_t round = 0; round < p; ++round) {
     auto current = KeySet::Create(work, domain);
     if (!current.ok()) break;
     auto landscape = LossLandscape::Create(*current);
     if (!landscape.ok()) break;
-    auto best = landscape->FindOptimal(interior_only);
+    auto best = landscape->FindOptimal(interior_only, nullptr, nullptr,
+                                       exhaustive);
     if (!best.ok()) break;
     const Key kp = best->key;
     work.insert(std::lower_bound(work.begin(), work.end(), kp), kp);

@@ -48,6 +48,19 @@ void ExpectLandscapesIdentical(const LossLandscape& incremental,
       EXPECT_EQ(inc_opt->key, fresh_opt->key);
       EXPECT_EQ(inc_opt->loss, fresh_opt->loss);
     }
+
+    // The pruned argmax must agree with the exhaustive scan on both
+    // engines (FindOptimal defaults to pruning; re-check explicitly
+    // against the exhaustive reference).
+    LossLandscape::ArgmaxOptions exhaustive;
+    exhaustive.prune = false;
+    const auto inc_ex =
+        incremental.FindOptimal(interior, nullptr, nullptr, exhaustive);
+    ASSERT_EQ(inc_opt.ok(), inc_ex.ok());
+    if (inc_opt.ok()) {
+      EXPECT_EQ(inc_opt->key, inc_ex->key);
+      EXPECT_EQ(inc_opt->loss, inc_ex->loss);
+    }
   }
 
   // LossAt over the full domain, occupied keys included (both must
@@ -159,6 +172,99 @@ TEST(LossLandscapeIncrementalTest, SecondMinMaxTrackInsertions) {
   EXPECT_EQ(ll->SecondMaxKey(), 70);
   ASSERT_TRUE(ll->InsertKey(75).ok());
   EXPECT_EQ(ll->SecondMaxKey(), 75);
+}
+
+/// Asserts the pruned argmax bit-matches the exhaustive scan on \p ll
+/// for both interior settings (skipping settings with no candidates).
+void ExpectPrunedMatchesExhaustive(const LossLandscape& ll) {
+  LossLandscape::ArgmaxOptions exhaustive;
+  exhaustive.prune = false;
+  LossLandscape::ArgmaxOptions pruned;
+  pruned.prune = true;
+  for (const bool interior : {true, false}) {
+    const auto want = ll.FindOptimal(interior, nullptr, nullptr, exhaustive);
+    const auto got = ll.FindOptimal(interior, nullptr, nullptr, pruned);
+    ASSERT_EQ(want.ok(), got.ok()) << "interior " << interior;
+    if (!want.ok()) continue;
+    EXPECT_EQ(want->key, got->key) << "interior " << interior;
+    EXPECT_EQ(want->loss, got->loss) << "interior " << interior;
+  }
+}
+
+TEST(LossLandscapeIncrementalTest, PrunerSurvivesDuplicateAdjacentKeys) {
+  // Consecutive (adjacent) keys leave zero-width gaps between them; the
+  // pruner must handle runs where most gaps vanished and the survivors
+  // are single-key gaps.
+  auto ks = KeySet::Create({10, 11, 12, 13, 20, 21, 22, 30, 31, 32, 33, 34},
+                           KeyDomain{0, 40});
+  ASSERT_TRUE(ks.ok());
+  auto ll = LossLandscape::Create(*ks);
+  ASSERT_TRUE(ll.ok());
+  ExpectPrunedMatchesExhaustive(*ll);
+  // Fill one gap completely and re-check: gap erasure under pruning.
+  for (const Key kp : {14, 15, 16, 17, 18, 19}) {
+    ASSERT_TRUE(ll->InsertKey(kp).ok());
+    ExpectPrunedMatchesExhaustive(*ll);
+  }
+}
+
+TEST(LossLandscapeIncrementalTest, PrunerSurvivesSingleGapLandscape) {
+  // One interior gap; the pruned scan degenerates to top-K on a single
+  // entry and must still match exactly, down to the last unoccupied key.
+  auto ks = KeySet::Create({100, 200}, KeyDomain{100, 200});
+  ASSERT_TRUE(ks.ok());
+  auto ll = LossLandscape::Create(*ks);
+  ASSERT_TRUE(ll.ok());
+  for (int i = 0; i < 99; ++i) {
+    ExpectPrunedMatchesExhaustive(*ll);
+    auto best = ll->FindOptimal(true);
+    if (!best.ok()) break;
+    ASSERT_TRUE(ll->InsertKey(best->key).ok());
+  }
+  // Saturated: both scans must agree on the error too.
+  LossLandscape::ArgmaxOptions exhaustive;
+  exhaustive.prune = false;
+  EXPECT_EQ(ll->FindOptimal(true).status().code(),
+            ll->FindOptimal(true, nullptr, nullptr, exhaustive)
+                .status()
+                .code());
+}
+
+TEST(LossLandscapeIncrementalTest, PrunerBreaksTiesLikeTheSerialScan) {
+  // Evenly spaced keys: a perfectly symmetric, all-equal-loss landscape
+  // (zero base loss, mirrored candidates). Every gap survives the bound
+  // (nothing can be pruned at a tie), and the winner must be the serial
+  // scan's first maximum in key order — the smallest tied key.
+  auto ks = GenerateEvenlySpaced(50, KeyDomain{0, 490});
+  ASSERT_TRUE(ks.ok());
+  auto ll = LossLandscape::Create(*ks);
+  ASSERT_TRUE(ll.ok());
+  ExpectPrunedMatchesExhaustive(*ll);
+  // Commit a few optima; ties shift as symmetry breaks and restores.
+  for (int i = 0; i < 8; ++i) {
+    auto best = ll->FindOptimal(true);
+    ASSERT_TRUE(best.ok());
+    ASSERT_TRUE(ll->InsertKey(best->key).ok());
+    ExpectPrunedMatchesExhaustive(*ll);
+  }
+}
+
+TEST(LossLandscapeIncrementalTest, PrunerHandlesBoundaryGaps) {
+  // Non-interior candidates: gaps touching the domain boundaries, below
+  // the minimum and above the maximum key. interior_only=false must
+  // score them identically (ExpectPrunedMatchesExhaustive covers both
+  // settings), including after boundary-extending insertions.
+  auto ks = KeySet::Create({40, 45, 50, 60}, KeyDomain{0, 100});
+  ASSERT_TRUE(ks.ok());
+  auto ll = LossLandscape::Create(*ks);
+  ASSERT_TRUE(ll.ok());
+  ExpectPrunedMatchesExhaustive(*ll);
+  ASSERT_TRUE(ll->InsertKey(0).ok());    // New min at the domain edge.
+  ExpectPrunedMatchesExhaustive(*ll);
+  ASSERT_TRUE(ll->InsertKey(100).ok());  // New max at the domain edge.
+  ExpectPrunedMatchesExhaustive(*ll);
+  ASSERT_TRUE(ll->InsertKey(99).ok());   // Boundary gap shrinks to a run.
+  ExpectPrunedMatchesExhaustive(*ll);
 }
 
 TEST(LossLandscapeIncrementalTest, PrefixStatsMatchBruteForce) {

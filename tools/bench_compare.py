@@ -49,20 +49,19 @@ def load_benchmarks(path):
 def reference_sibling(name, benchmarks):
     """Maps BM_X_Incremental/args to its BM_X_Reference entry.
 
-    The incremental configs may carry a trailing num_threads arg the
-    reference lacks; try the full arg list first, then with the last arg
-    dropped.
+    The incremental configs may carry trailing args the reference lacks
+    (num_threads since PR 2, the argmax prune flag since PR 3); try the
+    full arg list first, then drop trailing args one at a time until a
+    reference entry matches.
     """
     if "_Incremental" not in name:
         return None
-    base = name.replace("_Incremental", "_Reference")
-    if base in benchmarks:
-        return base
-    parts = base.split("/")
-    if len(parts) > 1:
-        shorter = "/".join(parts[:-1])
-        if shorter in benchmarks:
-            return shorter
+    parts = name.replace("_Incremental", "_Reference").split("/")
+    while parts:
+        candidate = "/".join(parts)
+        if candidate in benchmarks:
+            return candidate
+        parts.pop()
     return None
 
 

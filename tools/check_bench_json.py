@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Golden-structure check for the bench_attack_throughput smoke JSON.
+
+Runs the bench binary on a small smoke configuration and asserts the
+report shape the rest of the tooling depends on:
+
+  * every incremental entry carries the argmax work counters
+    (exact_evals / bound_evals / pruned_gaps / fallback_rounds) plus the
+    threading metadata (num_threads, hardware_concurrency);
+  * prune-on and prune-off siblings of the same configuration agree on
+    the attack outcome (ratio_loss) — pruning must never change results;
+  * tools/bench_compare.py can pair every incremental entry with its
+    reference sibling and compute speedups (the CI regression gate).
+
+Registered as a ctest (bench_attack_json_golden) so the structure is
+checked by the tier-1 suite, including the sanitizer matrix. Usage:
+
+  tools/check_bench_json.py /path/to/bench_attack_throughput
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import bench_compare  # noqa: E402  (sibling module, after path setup)
+
+GREEDY_INCREMENTAL = "BM_GreedyPoisonCdf_Incremental"
+REQUIRED_COUNTERS = (
+    "exact_evals",
+    "bound_evals",
+    "pruned_gaps",
+    "fallback_rounds",
+    "num_threads",
+    "hardware_concurrency",
+    "poisons_per_sec",
+    "ratio_loss",
+)
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    bench = sys.argv[1]
+
+    with tempfile.TemporaryDirectory() as tmp:
+        out = os.path.join(tmp, "smoke.json")
+        subprocess.run(
+            [
+                bench,
+                # Dense n=10^4 greedy configs only (prune on + off +
+                # reference): cheap enough for sanitizer builds. The
+                # trailing slash anchors the arg — google-benchmark
+                # filters are unanchored partial-match regexes, and a
+                # bare /0/10000 would also match the ~2 s/iter n=100000
+                # configs.
+                "--benchmark_filter=BM_GreedyPoisonCdf.*/0/10000/",
+                "--benchmark_min_time=0.05",
+                "--benchmark_out=" + out,
+                "--benchmark_out_format=json",
+            ],
+            check=True,
+        )
+        with open(out) as f:
+            report = json.load(f)
+
+    entries = {
+        b["name"]: b
+        for b in report.get("benchmarks", [])
+        if b.get("run_type") != "aggregate"
+    }
+    assert entries, "smoke run produced no benchmark entries"
+    assert "hardware_concurrency" in report.get("context", {}), (
+        "context must record hardware_concurrency"
+    )
+
+    incremental = {k: v for k, v in entries.items() if GREEDY_INCREMENTAL in k}
+    assert incremental, f"no {GREEDY_INCREMENTAL} entries in the smoke run"
+    for name, entry in incremental.items():
+        for counter in REQUIRED_COUNTERS:
+            assert counter in entry, f"{name} is missing counter {counter}"
+
+    # Prune on/off siblings (…/threads/1 vs …/threads/0) must agree on
+    # the attack outcome; the prune-off arm reports zero bound work.
+    prune_pairs = 0
+    for name, entry in incremental.items():
+        if not name.endswith("/0"):
+            continue
+        sibling = incremental.get(name[: -len("/0")] + "/1")
+        if sibling is None:
+            continue
+        prune_pairs += 1
+        assert entry["ratio_loss"] == sibling["ratio_loss"], (
+            f"pruning changed the attack outcome: {name}"
+        )
+        assert entry["bound_evals"] == 0, f"{name} (prune off) scored bounds"
+        assert sibling["bound_evals"] > 0, (
+            f"{sibling} (prune on) never scored a bound"
+        )
+        assert sibling["exact_evals"] <= entry["exact_evals"], (
+            f"pruning increased exact evaluations: {name}"
+        )
+    assert prune_pairs > 0, "no prune on/off sibling pair in the smoke run"
+
+    # The CI regression gate must be able to pair and rate every
+    # incremental entry despite the extra trailing args.
+    times = {k: float(v["real_time"]) for k, v in entries.items()}
+    speedups = bench_compare.speedups(times)
+    missing = [k for k in incremental if k not in speedups]
+    assert not missing, f"bench_compare cannot pair: {missing}"
+
+    print(
+        f"bench JSON golden OK: {len(incremental)} incremental entries, "
+        f"{prune_pairs} prune pair(s), {len(speedups)} speedup(s)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
