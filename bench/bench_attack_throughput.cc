@@ -105,6 +105,10 @@ void ReportArgmax(benchmark::State& state,
   state.counters["exact_evals"] = static_cast<double>(stats.exact_evals);
   state.counters["bound_evals"] = static_cast<double>(stats.bound_evals);
   state.counters["pruned_gaps"] = static_cast<double>(stats.pruned_gaps);
+  state.counters["cached_bounds"] =
+      static_cast<double>(stats.cached_bounds);
+  state.counters["invalidated_gaps"] =
+      static_cast<double>(stats.invalidated_gaps);
   state.counters["fallback_rounds"] =
       static_cast<double>(stats.fallback_rounds);
 }
@@ -115,10 +119,12 @@ void BM_GreedyPoisonCdf_Incremental(benchmark::State& state) {
   const std::int64_t p = state.range(2);
   const std::int64_t num_threads = state.range(3);
   const bool prune = state.range(4) != 0;
+  const bool cache = state.range(5) != 0;
   const KeySet& ks = CachedKeyset(dataset, n);
   AttackOptions options;
   options.num_threads = static_cast<int>(num_threads);
   options.prune_argmax = prune;
+  options.cache_argmax = cache;
   GreedyPoisonResult last;
   for (auto _ : state) {
     auto r = GreedyPoisonCdf(ks, p, options);
@@ -159,12 +165,14 @@ void BM_PoisonRmi_Incremental(benchmark::State& state) {
   const std::int64_t num_models = state.range(2);
   const int num_threads = static_cast<int>(state.range(3));
   const bool prune = state.range(4) != 0;
+  const bool cache = state.range(5) != 0;
   const KeySet& ks = CachedKeyset(dataset, n);
   RmiAttackOptions opts;
   opts.poison_fraction = 0.10;
   opts.num_models = num_models;
   opts.num_threads = num_threads;
   opts.prune_argmax = prune;
+  opts.cache_argmax = cache;
   for (auto _ : state) {
     auto r = PoisonRmi(ks, opts);
     if (!r.ok()) {
@@ -202,22 +210,28 @@ void BM_PoisonRmi_Reference(benchmark::State& state) {
 
 // Acceptance configuration: n=100k, p=1000 greedy; n=100k, 200 models
 // RMI. Smaller variants first so CI smoke filters stay cheap. The
-// greedy incremental configs carry a num_threads arg (1 = serial argmax,
-// 0 = one worker per core) plus a prune arg (1 = branch-and-bound
-// pruned argmax, 0 = exhaustive) — the prune-off siblings of the sparse
-// configs keep the exact_evals reduction measurable PR-over-PR from the
-// committed JSON alone.
+// incremental configs carry a num_threads arg (1 = serial argmax, 0 =
+// one worker per core), a prune arg (1 = branch-and-bound pruned
+// argmax, 0 = exhaustive), and a cache arg (1 = incremental bound
+// cache, 0 = per-round full pre-pass) — the prune-off and cache-off
+// siblings of the sparse configs keep the exact_evals and bound_evals
+// reductions measurable PR-over-PR from the committed JSON alone
+// (tools/check_bench_json.py asserts the >= 10x bound_evals drop on the
+// committed baseline's sparse cache pairs).
 BENCHMARK(BM_GreedyPoisonCdf_Incremental)
     ->Unit(benchmark::kMillisecond)
-    ->Args({kDenseRuns, 10000, 100, 1, 1})
-    ->Args({kDenseRuns, 10000, 100, 1, 0})
-    ->Args({kDenseRuns, 100000, 1000, 1, 1})
-    ->Args({kLogNormal, 100000, 1000, 1, 1})
-    ->Args({kLogNormal, 100000, 1000, 1, 0})
-    ->Args({kLogNormal, 100000, 1000, 0, 1})
-    ->Args({kUniform, 100000, 1000, 1, 1})
-    ->Args({kUniform, 100000, 1000, 1, 0})
-    ->Args({kUniform, 100000, 1000, 0, 1});
+    ->Args({kDenseRuns, 10000, 100, 1, 1, 1})
+    ->Args({kDenseRuns, 10000, 100, 1, 1, 0})
+    ->Args({kDenseRuns, 10000, 100, 1, 0, 0})
+    ->Args({kDenseRuns, 100000, 1000, 1, 1, 1})
+    ->Args({kLogNormal, 100000, 1000, 1, 1, 1})
+    ->Args({kLogNormal, 100000, 1000, 1, 1, 0})
+    ->Args({kLogNormal, 100000, 1000, 1, 0, 0})
+    ->Args({kLogNormal, 100000, 1000, 0, 1, 1})
+    ->Args({kUniform, 100000, 1000, 1, 1, 1})
+    ->Args({kUniform, 100000, 1000, 1, 1, 0})
+    ->Args({kUniform, 100000, 1000, 1, 0, 0})
+    ->Args({kUniform, 100000, 1000, 0, 1, 1});
 BENCHMARK(BM_GreedyPoisonCdf_Reference)
     ->Unit(benchmark::kMillisecond)
     ->Args({kDenseRuns, 10000, 100})
@@ -229,12 +243,14 @@ BENCHMARK(BM_GreedyPoisonCdf_Reference)
 // configurations use the paper's skewed and uniform workloads.
 BENCHMARK(BM_PoisonRmi_Incremental)
     ->Unit(benchmark::kMillisecond)
-    ->Args({kDenseRuns, 10000, 20, 1, 1})
-    ->Args({kLogNormal, 100000, 200, 1, 1})
-    ->Args({kLogNormal, 100000, 200, 1, 0})
-    ->Args({kLogNormal, 100000, 200, 0, 1})
-    ->Args({kUniform, 100000, 200, 1, 1})
-    ->Args({kUniform, 100000, 200, 1, 0});
+    ->Args({kDenseRuns, 10000, 20, 1, 1, 1})
+    ->Args({kLogNormal, 100000, 200, 1, 1, 1})
+    ->Args({kLogNormal, 100000, 200, 1, 1, 0})
+    ->Args({kLogNormal, 100000, 200, 1, 0, 0})
+    ->Args({kLogNormal, 100000, 200, 0, 1, 1})
+    ->Args({kUniform, 100000, 200, 1, 1, 1})
+    ->Args({kUniform, 100000, 200, 1, 1, 0})
+    ->Args({kUniform, 100000, 200, 1, 0, 0});
 BENCHMARK(BM_PoisonRmi_Reference)
     ->Unit(benchmark::kMillisecond)
     ->Args({kDenseRuns, 10000, 20})

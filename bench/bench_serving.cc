@@ -19,6 +19,8 @@
 //   --model-size=500   keys per second-stage model
 //   --seed=42
 //   --out=serving_report.json
+//   --sample-every=1   record latency for every k-th op (batched timing;
+//                      work accounting is unaffected)
 //   --smoke            capped CI configuration (small n/ops, 2 threads)
 
 #include <cstdio>
@@ -109,6 +111,7 @@ int Run(int argc, char** argv) {
 
   DriverOptions driver_opts;
   driver_opts.num_threads = threads;
+  driver_opts.latency_sample_every = flags.GetInt("sample-every", 1);
 
   TextTable table;
   table.SetHeader({"workload", "backend", "variant", "ops/s", "p50 ns",

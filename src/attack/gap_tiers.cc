@@ -1,0 +1,130 @@
+#include "attack/gap_tiers.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lispoison {
+
+void TieredGaps::Build(std::vector<GapRec> gaps) {
+  tiers_.clear();
+  total_gaps_ = static_cast<std::int64_t>(gaps.size());
+  splice_moves_ = 0;
+  // Tier target ~ sqrt(G); the cap at 2x leaves headroom so growth by
+  // splitting (one new gap per insert) does not immediately re-split.
+  const std::int64_t target = std::max<std::int64_t>(
+      8, static_cast<std::int64_t>(
+             std::ceil(std::sqrt(static_cast<double>(total_gaps_)))));
+  tier_cap_ = 2 * target;
+  for (std::size_t first = 0; first < gaps.size(); first += target) {
+    const std::size_t end =
+        std::min(gaps.size(), first + static_cast<std::size_t>(target));
+    Tier t;
+    t.gaps.assign(gaps.begin() + static_cast<std::ptrdiff_t>(first),
+                  gaps.begin() + static_cast<std::ptrdiff_t>(end));
+    RecountTier(&t);
+    tiers_.push_back(std::move(t));
+  }
+}
+
+std::size_t TieredGaps::FirstTierNotBelow(Key key) const {
+  const auto it = std::lower_bound(
+      tiers_.begin(), tiers_.end(), key,
+      [](const Tier& t, Key k) { return t.hi < k; });
+  return static_cast<std::size_t>(it - tiers_.begin());
+}
+
+bool TieredGaps::Locate(Key kp, std::size_t* tier_idx,
+                        std::size_t* gap_idx) const {
+  const std::size_t ti = FirstTierNotBelow(kp);
+  if (ti >= tiers_.size() || tiers_[ti].lo > kp) return false;
+  const std::vector<GapRec>& gaps = tiers_[ti].gaps;
+  const auto git = std::lower_bound(
+      gaps.begin(), gaps.end(), kp,
+      [](const GapRec& g, Key k) { return g.hi < k; });
+  if (git == gaps.end() || git->lo > kp) return false;
+  *tier_idx = ti;
+  *gap_idx = static_cast<std::size_t>(git - gaps.begin());
+  return true;
+}
+
+void TieredGaps::RecountTier(Tier* t) const {
+  t->lo = t->gaps.front().lo;
+  t->hi = t->gaps.back().hi;
+}
+
+void TieredGaps::EraseTier(std::size_t tier_idx) {
+  splice_moves_ +=
+      static_cast<std::int64_t>(tiers_.size() - tier_idx - 1);
+  tiers_.erase(tiers_.begin() + static_cast<std::ptrdiff_t>(tier_idx));
+}
+
+void TieredGaps::SplitTier(std::size_t tier_idx) {
+  Tier& t = tiers_[tier_idx];
+  const std::size_t half = t.gaps.size() / 2;
+  Tier right;
+  right.gaps.assign(t.gaps.begin() + static_cast<std::ptrdiff_t>(half),
+                    t.gaps.end());
+  t.gaps.erase(t.gaps.begin() + static_cast<std::ptrdiff_t>(half),
+               t.gaps.end());
+  right.delta_cnt = t.delta_cnt;
+  right.delta_sum = t.delta_sum;
+  RecountTier(&t);
+  RecountTier(&right);
+  splice_moves_ += static_cast<std::int64_t>(right.gaps.size()) +
+                   static_cast<std::int64_t>(tiers_.size() - tier_idx);
+  tiers_.insert(tiers_.begin() + static_cast<std::ptrdiff_t>(tier_idx) + 1,
+                std::move(right));
+}
+
+void TieredGaps::SplitAt(std::size_t tier_idx, std::size_t gap_idx, Key kp,
+                         Int128 kp_s) {
+  Tier& t = tiers_[tier_idx];
+  std::vector<GapRec>& gaps = t.gaps;
+
+  // Every gap above kp gains one key below it. Eager within this tier
+  // (all gaps after the split point), lazy per-tier deltas afterwards.
+  for (std::size_t j = gap_idx + 1; j < gaps.size(); ++j) {
+    gaps[j].cnt += 1;
+    gaps[j].sum += kp_s;
+  }
+  for (std::size_t tj = tier_idx + 1; tj < tiers_.size(); ++tj) {
+    tiers_[tj].delta_cnt += 1;
+    tiers_[tj].delta_sum += kp_s;
+  }
+
+  GapRec& g = gaps[gap_idx];
+  if (g.lo == kp && g.hi == kp) {
+    splice_moves_ += static_cast<std::int64_t>(gaps.size() - gap_idx - 1);
+    gaps.erase(gaps.begin() + static_cast<std::ptrdiff_t>(gap_idx));
+    total_gaps_ -= 1;
+    if (gaps.empty()) {
+      EraseTier(tier_idx);
+      return;
+    }
+  } else if (g.lo == kp) {
+    // The gap's first key moved above kp: kp is now one of the keys
+    // below it.
+    g.lo = kp + 1;
+    g.cnt += 1;
+    g.sum += kp_s;
+  } else if (g.hi == kp) {
+    g.hi = kp - 1;
+  } else {
+    GapRec right;
+    right.lo = kp + 1;
+    right.hi = g.hi;
+    right.cnt = g.cnt + 1;  // kp itself sits below the right half.
+    right.sum = g.sum + kp_s;
+    g.hi = kp - 1;
+    splice_moves_ += static_cast<std::int64_t>(gaps.size() - gap_idx - 1);
+    gaps.insert(gaps.begin() + static_cast<std::ptrdiff_t>(gap_idx) + 1,
+                right);
+    total_gaps_ += 1;
+  }
+  RecountTier(&t);
+  if (static_cast<std::int64_t>(gaps.size()) > tier_cap_) {
+    SplitTier(tier_idx);
+  }
+}
+
+}  // namespace lispoison

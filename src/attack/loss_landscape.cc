@@ -75,19 +75,26 @@ Result<LossLandscape> LossLandscape::Create(const KeySet& keyset) {
   ll.inserted_slot_sum_.Reset(static_cast<std::size_t>(ll.n_) + 1);
 
   // Maximal unoccupied runs over the whole domain; interior clipping
-  // happens at query time against the current min/max key.
+  // happens at query time against the current min/max key. Each record
+  // carries the exact count / shifted prefix-sum of the keys below it.
+  std::vector<TieredGaps::GapRec> gaps;
   Key cursor = ll.domain_.lo;
   std::int64_t base_count = 0;
   for (const Key k : ll.base_keys_) {
     if (cursor <= k - 1) {
-      ll.gaps_.push_back(Gap{cursor, k - 1, base_count});
+      gaps.push_back(TieredGaps::GapRec{
+          cursor, k - 1, base_count,
+          ll.base_prefix_[static_cast<std::size_t>(base_count)]});
     }
     cursor = k + 1;
     ++base_count;
   }
   if (cursor <= ll.domain_.hi) {
-    ll.gaps_.push_back(Gap{cursor, ll.domain_.hi, base_count});
+    gaps.push_back(TieredGaps::GapRec{
+        cursor, ll.domain_.hi, base_count,
+        ll.base_prefix_[static_cast<std::size_t>(base_count)]});
   }
+  ll.gaps_.Build(std::move(gaps));
 
   ll.RecomputeCurrentLoss();
   return ll;
@@ -127,10 +134,9 @@ Status LossLandscape::InsertKey(Key kp) {
                               " outside the key domain");
   }
   // A key is unoccupied iff it lies inside a gap.
-  auto gap_it = std::upper_bound(
-      gaps_.begin(), gaps_.end(), kp,
-      [](Key k, const Gap& g) { return k < g.lo; });
-  if (gap_it == gaps_.begin() || (--gap_it)->hi < kp) {
+  std::size_t tier_idx = 0;
+  std::size_t gap_idx = 0;
+  if (!gaps_.Locate(kp, &tier_idx, &gap_idx)) {
     return Status::InvalidArgument("poisoning key " + std::to_string(kp) +
                                    " is already occupied");
   }
@@ -145,23 +151,17 @@ Status LossLandscape::InsertKey(Key kp) {
   n_ += 1;
   RecomputeCurrentLoss();
 
-  inserted_slot_sum_.Add(static_cast<std::size_t>(gap_it->base_count), kp_s);
+  const std::size_t base_slot = static_cast<std::size_t>(
+      std::lower_bound(base_keys_.begin(), base_keys_.end(), kp) -
+      base_keys_.begin());
+  inserted_slot_sum_.Add(base_slot, kp_s);
   inserted_.insert(std::lower_bound(inserted_.begin(), inserted_.end(), kp),
                    kp);
 
-  // Split the gap around kp (it contains no other key by construction).
-  Gap& g = *gap_it;
-  if (g.lo == kp && g.hi == kp) {
-    gaps_.erase(gap_it);
-  } else if (g.lo == kp) {
-    g.lo = kp + 1;
-  } else if (g.hi == kp) {
-    g.hi = kp - 1;
-  } else {
-    const Gap right{kp + 1, g.hi, g.base_count};
-    g.hi = kp - 1;
-    gaps_.insert(gap_it + 1, right);
-  }
+  // Split the gap around kp (it contains no other key by construction):
+  // an O(sqrt(G)) tiered splice that also folds kp into the per-gap
+  // count/prefix-sum bookkeeping and the per-tier aggregate boxes.
+  gaps_.SplitAt(tier_idx, gap_idx, kp, kp_s);
 
   if (kp < min_key_) min_key_ = kp;
   if (kp > max_key_) max_key_ = kp;
@@ -251,7 +251,9 @@ inline double AbsD(double v) { return v < 0 ? -v : v; }
 }  // namespace
 
 /// Round-constant part of the admissible upper bound on the Theorem 1
-/// loss after inserting one key into the current n_ keys.
+/// loss after inserting one key into the current n_ keys — the
+/// *uncached* per-round pre-pass (ArgmaxOptions::cache == false, or the
+/// fallback when the epoch context is not admissible).
 ///
 /// With x = kp - shift, c = count_less, S = suffix key-sum, the exact
 /// loss is  L = max(0, (VarY - Cov^2/VarX) / (n+1)^2)  where VarY is a
@@ -333,6 +335,109 @@ struct LossLandscape::BoundCtx {
     if (num <= 0) return 0;
     const double ub = num * inv_n12_ub;
     // Any non-finite intermediate poisons ub; "never prune" is the
+    // admissible answer.
+    if (!(ub >= 0)) return std::numeric_limits<double>::infinity();
+    return ub;
+  }
+
+  /// Admissible upper bound on the loss over EVERY candidate whose
+  /// shifted key lies in [xl, xl + span], given the exact (c1, prefix)
+  /// of the range's first gap — the O(1)-per-tier bound of the tiered
+  /// scan.
+  ///
+  /// Soundness. (1) Along the candidate axis, sum(XY)(x) = sum_kr +
+  /// (sum_k - p(x)) + x*c1(x) is piecewise linear with non-decreasing
+  /// slopes c1 (candidates passing a key gain a rank term) and *upward*
+  /// jumps at key crossings (crossing keys {k_i} at candidate x adds
+  /// sum(x - k_i) >= 0), so Cov(x) = n1*sum(XY) - (sum_k + x)*sum_y —
+  /// also piecewise linear with non-decreasing slopes n1*c1 - sum_y —
+  /// lies above its left-endpoint tangent T(x) = a + b*x over the whole
+  /// range. (2) If T > 0 on the range then q(x) = Cov(x)^2 / VarX(x)
+  /// >= g(x) = T(x)^2 / V(x), where V(x) = VarX(x) = A x^2 + B x + C
+  /// (A = n1-1, B = -2 sum_k, C = n1 sum_k2 - sum_k^2) is the same
+  /// gap-independent positive-definite parabola for every candidate.
+  /// (3) g has exactly two finite critical points: the zero of T
+  /// (outside the range, by the positivity check) and one extremum
+  /// whose critical value is the tangency level m* = 4(A a^2 - B a b +
+  /// C b^2) / (4AC - B^2) (> 0: the numerator is the positive-definite
+  /// V-form evaluated at (a, -b); the denominator is -disc(V) > 0), so
+  /// min over the range of g >= min(g(xl), g(xh), m*). Evaluating g at
+  /// matched endpoints preserves the Cov^2/VarX cancellation that makes
+  /// the flat loss landscape separable at all — bounding min Cov and
+  /// max VarX independently is hopeless here (measured: never skips a
+  /// tier). Directed error margins follow the same component-magnitude
+  /// scheme as Upper.
+  double UpperRange(double xl, double span, double c1l, double pl) const {
+    const double xh = xl + span;
+    // Cov at the left endpoint (exact first-gap inputs), rounded down.
+    const double s = sum_k - pl;
+    const double m_s = abs_sum_k + AbsD(pl);
+    const double xc = xl * c1l;
+    const double sxy = sum_kr + s + xc;
+    const double m_sxy = abs_sum_kr + m_s + AbsD(xc);
+    const double sxl = sum_k + xl;
+    const double m_sxl = abs_sum_k + AbsD(xl);
+    const double covl = n1 * sxy - sxl * sum_y;
+    const double e_covl = kBoundEps * (n1 * m_sxy + m_sxl * sum_y);
+    // Tangent T(x) = a + b x with both coefficients rounded toward the
+    // admissible side (T must stay below the true Cov).
+    const double slope = n1 * c1l - sum_y;
+    const double e_slope = kBoundEps * (n1 * c1l + sum_y);
+    const double b = slope - e_slope;
+    const double a = (covl - e_covl) - b * xl;
+    const double t_lo = covl - e_covl;           // T(xl)
+    const double t_hi = t_lo + b * span;         // T(xh), rounded down
+    const double e_t_hi = kBoundEps * (AbsD(t_lo) + AbsD(b) * span);
+    double q_lb = 0;
+    if (t_lo > 0 && t_hi - e_t_hi > 0) {
+      // V at the endpoints, rounded up.
+      const double sxh = sum_k + xh;
+      const double m_sxh = abs_sum_k + AbsD(xh);
+      const double vxl = n1 * (sum_k2 + xl * xl) - sxl * sxl;
+      const double e_vxl =
+          kBoundEps * (n1 * (sum_k2 + xl * xl) + m_sxl * m_sxl);
+      const double vxh = n1 * (sum_k2 + xh * xh) - sxh * sxh;
+      const double e_vxh =
+          kBoundEps * (n1 * (sum_k2 + xh * xh) + m_sxh * m_sxh);
+      // Endpoint values of g, rounded down.
+      double lb = std::numeric_limits<double>::infinity();
+      if (vxl + e_vxl > 0) {
+        lb = std::min(lb, (t_lo * t_lo) / (vxl + e_vxl) *
+                              (1.0 - 4.0 * kBoundEps));
+      }
+      const double th = t_hi - e_t_hi;
+      if (vxh + e_vxh > 0) {
+        lb = std::min(lb, (th * th) / (vxh + e_vxh) *
+                              (1.0 - 4.0 * kBoundEps));
+      }
+      // Interior tangency level m*, rounded down. Guarded on the
+      // denominator staying provably positive (V strictly positive
+      // definite); otherwise the interior extremum cannot be certified
+      // and the tier is simply not pruned.
+      const double cA = n1 - 1.0;
+      const double cB = -2.0 * sum_k;
+      const double cC = n1 * sum_k2 - sum_k * sum_k;
+      const double m_cC = n1 * sum_k2 + abs_sum_k * abs_sum_k;
+      const double den = 4.0 * cA * cC - cB * cB;
+      const double e_den =
+          kBoundEps * (4.0 * cA * m_cC + cB * cB);
+      const double num_m =
+          4.0 * (cA * a * a - cB * a * b + cC * b * b);
+      const double e_num_m = 4.0 * kBoundEps *
+          (cA * a * a + AbsD(cB * a * b) + m_cC * b * b);
+      if (den - e_den > 0) {
+        const double m_star =
+            (num_m - e_num_m) / (den + e_den) * (1.0 - 4.0 * kBoundEps);
+        lb = std::min(lb, m_star);
+      } else {
+        lb = 0;
+      }
+      if (lb > 0 && std::isfinite(lb)) q_lb = lb;
+    }
+    const double num = (var_y_ub - q_lb) + kBoundEps * (var_y_ub + q_lb);
+    if (num <= 0) return 0;
+    const double ub = num * inv_n12_ub;
+    // Any non-finite/NaN intermediate poisons ub; "never prune" is the
     // admissible answer.
     if (!(ub >= 0)) return std::numeric_limits<double>::infinity();
     return ub;
@@ -488,6 +593,153 @@ void LossLandscape::ScanGapRanges(std::size_t first, std::size_t end,
   }
 }
 
+std::int64_t LossLandscape::TierInRangeCount(const TieredGaps::Tier& t,
+                                             Key lo_bound, Key hi_bound) {
+  if (t.lo >= lo_bound && t.hi <= hi_bound) {
+    return static_cast<std::int64_t>(t.gaps.size());
+  }
+  std::int64_t count = 0;
+  for (const TieredGaps::GapRec& g : t.gaps) {
+    if (g.hi >= lo_bound && g.lo <= hi_bound) ++count;
+  }
+  return count;
+}
+
+void LossLandscape::ScanTiersCached(std::size_t first, std::size_t end,
+                                    Key lo_bound, Key hi_bound,
+                                    const BoundCtx& ctx,
+                                    const std::unordered_set<Key>* excluded,
+                                    double* seed_bounds, Candidate* best,
+                                    bool* have, ArgmaxStats* stats) const {
+  const std::vector<TieredGaps::Tier>& tiers = gaps_.tiers();
+  auto consider = [&](Key kp, Rank count_less, Int128 suffix_sum) {
+    if (excluded != nullptr && excluded->count(kp) != 0) return;
+    const long double loss = LossWithInsertion(kp, count_less, suffix_sum);
+    ++stats->exact_evals;
+    if (!*have || loss > best->loss ||
+        (loss == best->loss && kp < best->key)) {
+      best->key = kp;
+      best->loss = loss;
+      *have = true;
+    }
+  };
+  auto eval_rec = [&](const TieredGaps::GapRec& g,
+                      const TieredGaps::Tier& t) {
+    const Rank count_less = g.cnt + t.delta_cnt;
+    const Int128 suffix = sum_k_ - (g.sum + t.delta_sum);
+    consider(g.lo, count_less, suffix);
+    if (g.hi != g.lo) consider(g.hi, count_less, suffix);
+  };
+  // FindOptimal's scan ranges never clip a gap partially (range bounds
+  // are min/max +- 1 or the domain edges, and gaps are bounded by
+  // occupied keys), so membership is a whole-gap test.
+  auto in_range = [lo_bound, hi_bound](const TieredGaps::GapRec& g) {
+    return g.hi >= lo_bound && g.lo <= hi_bound;
+  };
+  auto count_at = [this](std::size_t pos) {
+    return argmax_tier_suffix_cnt_[pos] - argmax_tier_suffix_cnt_[pos + 1];
+  };
+  // Per-gap point bound over the non-excluded endpoints (the same
+  // pipeline the uncached pre-pass runs, against the same per-round
+  // context); -inf when no admissible candidate remains.
+  constexpr double kNoBound = -std::numeric_limits<double>::infinity();
+  auto gap_bound = [&](const TieredGaps::GapRec& g,
+                       const TieredGaps::Tier& t) {
+    const double c1 = static_cast<double>(g.cnt + t.delta_cnt + 1);
+    const double s =
+        static_cast<double>(sum_k_ - (g.sum + t.delta_sum));
+    double bnd = kNoBound;
+    if (excluded == nullptr || excluded->count(g.lo) == 0) {
+      bnd = ctx.Upper(static_cast<double>(g.lo - shift_), c1, s);
+      ++stats->bound_evals;
+    }
+    if (g.hi != g.lo &&
+        (excluded == nullptr || excluded->count(g.hi) == 0)) {
+      const double b2 =
+          ctx.Upper(static_cast<double>(g.hi - shift_), c1, s);
+      ++stats->bound_evals;
+      if (b2 > bnd) bnd = b2;
+    }
+    return bnd;
+  };
+
+  // Seed the running best inside the tier with the highest box bound
+  // (the tiered analogue of the uncached top-K re-check): compute that
+  // tier's per-gap bounds once — staged into this chunk's slice of the
+  // engine-owned scratch so the sweep below reuses them — and
+  // exact-evaluate the best one. Strict > keeps the earliest tier/gap
+  // on ties — a pure function of the structure, so the seed is
+  // identical for every thread count.
+  std::size_t seed_pos = end;
+  double seed_box = -std::numeric_limits<double>::infinity();
+  for (std::size_t pos = first; pos < end; ++pos) {
+    if (count_at(pos) <= 0) continue;
+    const double bx = argmax_tier_bounds_[pos];
+    if (bx > seed_box) {
+      seed_box = bx;
+      seed_pos = pos;
+    }
+  }
+  const TieredGaps::GapRec* seed_gap = nullptr;
+  if (seed_pos != end) {
+    const TieredGaps::Tier& t = tiers[argmax_tier_list_[seed_pos]];
+    double gap_best = -std::numeric_limits<double>::infinity();
+    for (std::size_t gi = 0; gi < t.gaps.size(); ++gi) {
+      const TieredGaps::GapRec& g = t.gaps[gi];
+      if (!in_range(g)) continue;
+      const double b = gap_bound(g, t);
+      seed_bounds[gi] = b;
+      if (b > gap_best) {
+        gap_best = b;
+        seed_gap = &g;
+      }
+    }
+    if (seed_gap != nullptr) eval_rec(*seed_gap, t);
+  }
+
+  // Key-ordered sweep: skip whole tiers via their box bound, re-score
+  // only the survivors per gap, and exit once every remaining tier box
+  // is below the best. The suffix arrays are global (they extend past
+  // this chunk), so the exit test is conservative — sound for any chunk
+  // split. Accounting: a gap is "cached" when its tier's box (built
+  // from the incrementally maintained tier aggregates) dispositioned it
+  // without per-gap work, "invalidated" when its tier survived and it
+  // was re-scored individually.
+  for (std::size_t pos = first; pos < end; ++pos) {
+    if (*have && argmax_tier_suffix_max_[pos] < best->loss) {
+      const std::int64_t rest =
+          argmax_tier_suffix_cnt_[pos] - argmax_tier_suffix_cnt_[end];
+      stats->pruned_gaps += rest;
+      stats->cached_bounds += rest;
+      break;
+    }
+    const std::int64_t here = count_at(pos);
+    if (here <= 0) continue;
+    const TieredGaps::Tier& t = tiers[argmax_tier_list_[pos]];
+    if (*have && argmax_tier_bounds_[pos] < best->loss) {
+      stats->pruned_gaps += here;
+      stats->cached_bounds += here;
+      continue;
+    }
+    stats->invalidated_gaps += here;
+    const bool is_seed_tier = pos == seed_pos;
+    for (std::size_t gi = 0; gi < t.gaps.size(); ++gi) {
+      const TieredGaps::GapRec& g = t.gaps[gi];
+      if (g.hi < lo_bound) continue;
+      if (g.lo > hi_bound) break;
+      if (&g == seed_gap) continue;  // Already evaluated by the seed.
+      // The seed tier's bounds were staged by the seed phase above.
+      const double b = is_seed_tier ? seed_bounds[gi] : gap_bound(g, t);
+      if (b == kNoBound) continue;   // Every endpoint excluded.
+      if (*have && b < best->loss) {
+        ++stats->pruned_gaps;
+        continue;
+      }
+      eval_rec(g, t);
+    }
+  }
+}
+
 Result<LossLandscape::Candidate> LossLandscape::FindOptimal(
     bool interior_only, const std::unordered_set<Key>* excluded,
     ThreadPool* pool) const {
@@ -500,82 +752,149 @@ Result<LossLandscape::Candidate> LossLandscape::FindOptimal(
   ArgmaxStats local;
   local.rounds = 1;
 
-  BoundCtx ctx;
+  // The pruned pipelines are provably admissible only where the exact
+  // Int128 aggregate arithmetic they majorize cannot overflow: with
+  // n1 = n+1 keys of shifted magnitude <= S, the Theorem 1 numerators
+  // reach n1^2*S^2 (VarX), n1^3*S (Cov) and n1^4 (VarY), all of which
+  // must stay below 2^126. This replaces PR 3's looser span-< 2^62
+  // test, under which wide domains could overflow the "exact"
+  // aggregates and silently void the bit-identity the differential
+  // suites pin (the exhaustive fallback keeps prune-vs-exhaustive
+  // trivially identical there). It also keeps the pre-passes' int64
+  // candidate shifts safe (n1*S < 2^63 implies S < 2^62).
+  const bool domain_ok = [this] {
+    const Int128 n1 = static_cast<Int128>(n_) + 1;
+    if (n1 >= (static_cast<Int128>(1) << 31)) return false;  // n1^4 guard
+    Int128 s = static_cast<Int128>(domain_.hi) - shift_;
+    const Int128 s_lo = static_cast<Int128>(shift_) - domain_.lo;
+    if (s_lo > s) s = s_lo;
+    if (s < 1) s = 1;
+    if (n1 * s >= (static_cast<Int128>(1) << 63)) return false;  // VarX
+    const Int128 limit = static_cast<Int128>(1) << 126;
+    return s < limit / (n1 * n1 * n1);  // Cov (n1^3 < 2^93: no overflow)
+  }();
   bool prune = argmax.prune;
-  if (prune) {
-    ctx = BoundCtx::Make(n_, sum_k_, sum_k2_, sum_kr_);
-    // The bound pre-pass shifts candidate keys in int64; a domain wider
-    // than 2^62 could overflow that subtraction, so it is not provably
-    // admissible there.
-    if (static_cast<Int128>(domain_.hi) - domain_.lo >
-        (static_cast<Int128>(1) << 62)) {
-      ctx.usable = false;
-    }
-    if (!ctx.usable) {
-      // Bound arithmetic not provably admissible on these aggregates:
-      // fall back to the exhaustive scan so the result stays exact.
-      prune = false;
-      local.fallback_rounds = 1;
-    }
-  }
-  const BoundCtx* bound_ctx = prune ? &ctx : nullptr;
 
   Candidate best;
   bool have = false;
 
-  // The materialized paths pay one O(G) traversal into the engine-owned
-  // scratch (no per-round allocation once the capacity plateaus); the
-  // plain serial exhaustive scan keeps the original zero-materialization
-  // loop.
-  const bool parallel =
-      pool != nullptr && pool->num_threads() > 1 &&
-      gaps_.size() > static_cast<std::size_t>(kArgmaxChunkGaps);
-  if (parallel || prune) {
-    auto& ranges = PrepareScratch(&argmax_ranges_, gaps_.size());
-    ForEachGap(interior_only, [this, &ranges](Key lo, Key hi, Rank count_less,
-                                              Int128 prefix_sum) {
-      ranges.push_back(GapRange{lo, hi, count_less, sum_k_ - prefix_sum});
-    });
-    const std::size_t m = ranges.size();
-    if (prune) {
-      EnsureScratchSize(&argmax_bounds_, m, &scratch_reallocs_);
-      EnsureScratchSize(&argmax_suffix_max_, m, &scratch_reallocs_);
-      EnsureScratchSize(&argmax_suffix_cnt_, m, &scratch_reallocs_);
-      EnsureScratchSize(&argmax_order_, m, &scratch_reallocs_);
+  // -------------------------------------------------------------------
+  // Tiered incremental path: one box bound per tier from the per-tier
+  // aggregates the splices maintain, per-gap re-scoring only for the
+  // tiers whose box survives — O(sqrt(G) + survivors) bound work per
+  // round.
+  // -------------------------------------------------------------------
+  BoundCtx ctx;
+  bool use_cache = prune && argmax.cache && domain_ok;
+  if (use_cache) {
+    ctx = BoundCtx::Make(n_, sum_k_, sum_k2_, sum_kr_);
+    // Context not provably admissible: fall back to the per-round
+    // pre-pass below (which may itself fall back to exhaustive).
+    if (!ctx.usable) use_cache = false;
+  }
+  if (use_cache) {
+    const Key lo_bound = interior_only ? min_key_ + 1 : domain_.lo;
+    const Key hi_bound = interior_only ? max_key_ - 1 : domain_.hi;
+    const std::vector<TieredGaps::Tier>& tiers = gaps_.tiers();
+    auto& list = PrepareScratch(&argmax_tier_list_, tiers.size());
+    if (lo_bound <= hi_bound) {
+      for (std::size_t ti = gaps_.FirstTierNotBelow(lo_bound);
+           ti < tiers.size() && tiers[ti].lo <= hi_bound; ++ti) {
+        list.push_back(ti);
+      }
     }
-    if (parallel) {
-      // Fixed-size chunks reduced in chunk (= key) order with a strict >
-      // comparison: bit-identical to the serial scan for every thread
-      // count. With pruning on, each chunk runs the pruned pipeline
-      // against its chunk-local best — per-chunk bound filtering — which
-      // only depends on the chunk's own content, so the counters are
-      // thread-count independent too (but differ from the serial scan's,
-      // whose single running best prunes across the whole range).
-      const std::int64_t num_chunks =
-          (static_cast<std::int64_t>(m) + kArgmaxChunkGaps - 1) /
-          kArgmaxChunkGaps;
-      std::vector<Candidate> chunk_best(static_cast<std::size_t>(num_chunks));
-      std::vector<char> chunk_have(static_cast<std::size_t>(num_chunks), 0);
-      std::vector<ArgmaxStats> chunk_stats(
-          static_cast<std::size_t>(num_chunks));
-      pool->ParallelFor(num_chunks, [this, excluded, m, bound_ctx, &argmax,
-                                     &chunk_best, &chunk_have,
-                                     &chunk_stats](std::int64_t c) {
-        const std::size_t first = static_cast<std::size_t>(c) *
-                                  static_cast<std::size_t>(kArgmaxChunkGaps);
-        const std::size_t end = std::min(
-            m, first + static_cast<std::size_t>(kArgmaxChunkGaps));
-        bool chunk_found = false;
-        ScanGapRanges(first, end, argmax.top_k, bound_ctx, excluded,
-                      &chunk_best[static_cast<std::size_t>(c)], &chunk_found,
-                      &chunk_stats[static_cast<std::size_t>(c)]);
-        chunk_have[static_cast<std::size_t>(c)] = chunk_found ? 1 : 0;
-      });
-      for (std::int64_t c = 0; c < num_chunks; ++c) {
-        const auto ci = static_cast<std::size_t>(c);
-        local.exact_evals += chunk_stats[ci].exact_evals;
-        local.bound_evals += chunk_stats[ci].bound_evals;
-        local.pruned_gaps += chunk_stats[ci].pruned_gaps;
+    const std::size_t num_listed = list.size();
+    EnsureScratchSize(&argmax_tier_bounds_, num_listed + 1,
+                      &scratch_reallocs_);
+    EnsureScratchSize(&argmax_tier_suffix_max_, num_listed + 1,
+                      &scratch_reallocs_);
+    EnsureScratchSize(&argmax_tier_suffix_cnt_, num_listed + 1,
+                      &scratch_reallocs_);
+
+    // Range pass (serial, O(#tiers)): one admissible bound per tier
+    // over every candidate in its key range, from the covariance
+    // left-tangent at the tier's first gap — O(1) reads off the tier.
+    std::int64_t total_in_range = 0;
+    for (std::size_t pos = 0; pos < num_listed; ++pos) {
+      const TieredGaps::Tier& t = tiers[list[pos]];
+      const std::int64_t in_range = TierInRangeCount(t, lo_bound, hi_bound);
+      double tier_bound = -std::numeric_limits<double>::infinity();
+      if (in_range > 0) {
+        const double c1l =
+            static_cast<double>(t.gaps.front().cnt + t.delta_cnt + 1);
+        const double pl =
+            static_cast<double>(t.gaps.front().sum + t.delta_sum);
+        tier_bound = ctx.UpperRange(static_cast<double>(t.lo - shift_),
+                                    static_cast<double>(t.hi - t.lo),
+                                    c1l, pl);
+        ++local.bound_evals;
+      }
+      argmax_tier_bounds_[pos] = tier_bound;
+      argmax_tier_suffix_cnt_[pos] = in_range;
+      argmax_tier_suffix_max_[pos] = tier_bound;
+      total_in_range += in_range;
+    }
+    argmax_tier_suffix_cnt_[num_listed] = 0;
+    argmax_tier_suffix_max_[num_listed] =
+        -std::numeric_limits<double>::infinity();
+    for (std::size_t pos = num_listed; pos > 0; --pos) {
+      argmax_tier_suffix_cnt_[pos - 1] += argmax_tier_suffix_cnt_[pos];
+      if (argmax_tier_suffix_max_[pos] > argmax_tier_suffix_max_[pos - 1]) {
+        argmax_tier_suffix_max_[pos - 1] = argmax_tier_suffix_max_[pos];
+      }
+    }
+
+    const bool parallel = pool != nullptr && pool->num_threads() > 1 &&
+                          total_in_range > kArgmaxChunkGaps;
+    const std::size_t seed_stride =
+        static_cast<std::size_t>(gaps_.tier_cap());
+    if (!parallel) {
+      EnsureScratchSize(&argmax_bounds_, seed_stride, &scratch_reallocs_);
+      ScanTiersCached(0, num_listed, lo_bound, hi_bound, ctx, excluded,
+                      argmax_bounds_.data(), &best, &have, &local);
+    } else {
+      // Consecutive tier groups of ~kArgmaxChunkGaps in-range gaps: a
+      // pure function of the structure, so the chunk layout — and the
+      // chunk-order reduction below — is identical for every pool size.
+      auto& chunks = PrepareScratch(
+          &argmax_chunk_tiers_,
+          static_cast<std::size_t>(total_in_range / kArgmaxChunkGaps) + 1);
+      std::size_t start = 0;
+      std::int64_t acc = 0;
+      for (std::size_t pos = 0; pos < num_listed; ++pos) {
+        acc += argmax_tier_suffix_cnt_[pos] - argmax_tier_suffix_cnt_[pos + 1];
+        if (acc >= kArgmaxChunkGaps) {
+          chunks.emplace_back(start, pos + 1);
+          start = pos + 1;
+          acc = 0;
+        }
+      }
+      if (start < num_listed) chunks.emplace_back(start, num_listed);
+      const std::size_t num_chunks = chunks.size();
+      // One seed-staging slice per chunk (disjoint, so workers never
+      // race on the shared scratch).
+      EnsureScratchSize(&argmax_bounds_, num_chunks * seed_stride,
+                        &scratch_reallocs_);
+      std::vector<Candidate> chunk_best(num_chunks);
+      std::vector<char> chunk_have(num_chunks, 0);
+      std::vector<ArgmaxStats> chunk_stats(num_chunks);
+      pool->ParallelFor(
+          static_cast<std::int64_t>(num_chunks),
+          [this, excluded, lo_bound, hi_bound, seed_stride, &ctx, &chunks,
+           &chunk_best, &chunk_have, &chunk_stats](std::int64_t c) {
+            const auto ci = static_cast<std::size_t>(c);
+            bool chunk_found = false;
+            ScanTiersCached(chunks[ci].first, chunks[ci].second, lo_bound,
+                            hi_bound, ctx, excluded,
+                            argmax_bounds_.data() + ci * seed_stride,
+                            &chunk_best[ci], &chunk_found,
+                            &chunk_stats[ci]);
+            chunk_have[ci] = chunk_found ? 1 : 0;
+          });
+      for (std::size_t ci = 0; ci < num_chunks; ++ci) {
+        // Chunk workers never touch rounds/fallback, so Add folds in
+        // exactly the per-chunk scan counters.
+        local.Add(chunk_stats[ci]);
         if (!chunk_have[ci]) continue;
         const Candidate& cb = chunk_best[ci];
         if (!have || cb.loss > best.loss) {
@@ -583,31 +902,108 @@ Result<LossLandscape::Candidate> LossLandscape::FindOptimal(
           have = true;
         }
       }
-    } else {
-      ScanGapRanges(0, m, argmax.top_k, bound_ctx, excluded, &best, &have,
-                    &local);
     }
   } else {
-    ForEachGap(interior_only,
-               [this, excluded, &best, &have, &local](
-                   Key lo, Key hi, Rank count_less, Int128 prefix_sum) {
-                 const Int128 suffix = sum_k_ - prefix_sum;
-                 auto consider = [&](Key kp) {
-                   if (excluded != nullptr && excluded->count(kp) != 0) {
-                     return;
-                   }
-                   const long double loss =
-                       LossWithInsertion(kp, count_less, suffix);
-                   ++local.exact_evals;
-                   if (!have || loss > best.loss) {
-                     best.key = kp;
-                     best.loss = loss;
-                     have = true;
-                   }
-                 };
-                 consider(lo);
-                 if (hi != lo) consider(hi);
-               });
+    // -------------------------------------------------------------------
+    // Uncached paths: per-round full pre-pass (prune) or exhaustive scan.
+    // -------------------------------------------------------------------
+    if (prune) {
+      ctx = BoundCtx::Make(n_, sum_k_, sum_k2_, sum_kr_);
+      if (!domain_ok) ctx.usable = false;
+      if (!ctx.usable) {
+        // Bound arithmetic not provably admissible on these aggregates:
+        // fall back to the exhaustive scan so the result stays exact.
+        prune = false;
+        local.fallback_rounds = 1;
+      }
+    }
+    const BoundCtx* bound_ctx = prune ? &ctx : nullptr;
+
+    // The materialized paths pay one O(G) traversal into the engine-owned
+    // scratch (no per-round allocation once the capacity plateaus); the
+    // plain serial exhaustive scan keeps the original zero-materialization
+    // loop.
+    const bool parallel =
+        pool != nullptr && pool->num_threads() > 1 &&
+        gaps_.size() > kArgmaxChunkGaps;
+    if (parallel || prune) {
+      auto& ranges = PrepareScratch(&argmax_ranges_,
+                                    static_cast<std::size_t>(gaps_.size()));
+      ForEachGap(interior_only, [this, &ranges](Key lo, Key hi, Rank count_less,
+                                                Int128 prefix_sum) {
+        ranges.push_back(GapRange{lo, hi, count_less, sum_k_ - prefix_sum});
+      });
+      const std::size_t m = ranges.size();
+      if (prune) {
+        EnsureScratchSize(&argmax_bounds_, m, &scratch_reallocs_);
+        EnsureScratchSize(&argmax_suffix_max_, m, &scratch_reallocs_);
+        EnsureScratchSize(&argmax_suffix_cnt_, m, &scratch_reallocs_);
+        EnsureScratchSize(&argmax_order_, m, &scratch_reallocs_);
+      }
+      if (parallel) {
+        // Fixed-size chunks reduced in chunk (= key) order with a strict >
+        // comparison: bit-identical to the serial scan for every thread
+        // count. With pruning on, each chunk runs the pruned pipeline
+        // against its chunk-local best — per-chunk bound filtering — which
+        // only depends on the chunk's own content, so the counters are
+        // thread-count independent too (but differ from the serial scan's,
+        // whose single running best prunes across the whole range).
+        const std::int64_t num_chunks =
+            (static_cast<std::int64_t>(m) + kArgmaxChunkGaps - 1) /
+            kArgmaxChunkGaps;
+        std::vector<Candidate> chunk_best(static_cast<std::size_t>(num_chunks));
+        std::vector<char> chunk_have(static_cast<std::size_t>(num_chunks), 0);
+        std::vector<ArgmaxStats> chunk_stats(
+            static_cast<std::size_t>(num_chunks));
+        pool->ParallelFor(num_chunks, [this, excluded, m, bound_ctx, &argmax,
+                                       &chunk_best, &chunk_have,
+                                       &chunk_stats](std::int64_t c) {
+          const std::size_t first = static_cast<std::size_t>(c) *
+                                    static_cast<std::size_t>(kArgmaxChunkGaps);
+          const std::size_t end = std::min(
+              m, first + static_cast<std::size_t>(kArgmaxChunkGaps));
+          bool chunk_found = false;
+          ScanGapRanges(first, end, argmax.top_k, bound_ctx, excluded,
+                        &chunk_best[static_cast<std::size_t>(c)], &chunk_found,
+                        &chunk_stats[static_cast<std::size_t>(c)]);
+          chunk_have[static_cast<std::size_t>(c)] = chunk_found ? 1 : 0;
+        });
+        for (std::int64_t c = 0; c < num_chunks; ++c) {
+          const auto ci = static_cast<std::size_t>(c);
+          local.Add(chunk_stats[ci]);
+          if (!chunk_have[ci]) continue;
+          const Candidate& cb = chunk_best[ci];
+          if (!have || cb.loss > best.loss) {
+            best = cb;
+            have = true;
+          }
+        }
+      } else {
+        ScanGapRanges(0, m, argmax.top_k, bound_ctx, excluded, &best, &have,
+                      &local);
+      }
+    } else {
+      ForEachGap(interior_only,
+                 [this, excluded, &best, &have, &local](
+                     Key lo, Key hi, Rank count_less, Int128 prefix_sum) {
+                   const Int128 suffix = sum_k_ - prefix_sum;
+                   auto consider = [&](Key kp) {
+                     if (excluded != nullptr && excluded->count(kp) != 0) {
+                       return;
+                     }
+                     const long double loss =
+                         LossWithInsertion(kp, count_less, suffix);
+                     ++local.exact_evals;
+                     if (!have || loss > best.loss) {
+                       best.key = kp;
+                       best.loss = loss;
+                       have = true;
+                     }
+                   };
+                   consider(lo);
+                   if (hi != lo) consider(hi);
+                 });
+    }
   }
   if (stats != nullptr) stats->Add(local);
   if (!have) {

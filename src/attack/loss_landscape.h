@@ -23,9 +23,11 @@
 //    by *base slot* (the base-key gap an inserted key falls into), so
 //    prefix key-sums at any candidate stay O(log n).
 //  - gaps_ is the maximal-unoccupied-interval decomposition of the
-//    domain; an insertion splits exactly the gap containing it, and no
-//    gap ever contains a key, so each gap's count of base keys below it
-//    is immutable.
+//    domain, stored as a *tiered* (two-level) layout (TieredGaps): an
+//    insertion splits exactly the gap containing it with an O(sqrt(G))
+//    splice, and each gap record carries the exact count/prefix-sum of
+//    the current keys below it (tier-relative, with lazy per-tier
+//    deltas), so candidate scans read exact ranks in O(1) per gap.
 //  - all aggregate arithmetic is exact 128-bit; shifting keys by the
 //    smallest Create-time key keeps magnitudes safe, and the final
 //    Theorem 1 ratio is shift-invariant bit-for-bit because the
@@ -33,14 +35,36 @@
 //    integer arithmetic.
 //
 // The per-round argmax over gap endpoints additionally supports a
-// branch-and-bound pruned scan (ArgmaxOptions): a double-precision
-// pre-pass scores every gap against an admissible upper bound on the
-// exact loss, only the top-K bounds plus the gaps whose bound beats the
-// running best are re-checked exactly, and the scan exits once every
-// remaining bound is below the best. The bound provably dominates the
-// exact evaluation (directed-rounding error margins), so the selected
-// candidate stays bit-identical to the exhaustive scan; when the bound
-// context is not admissible the scan falls back to exhaustive.
+// branch-and-bound pruned scan (ArgmaxOptions): every gap is scored
+// against an admissible double-precision upper bound on the exact loss,
+// survivors are re-checked exactly, and the scan exits once every
+// remaining bound is below the running best. The bound provably
+// dominates the exact evaluation (directed-rounding error margins), so
+// the selected candidate stays bit-identical to the exhaustive scan.
+//
+// With ArgmaxOptions::cache (the default) the pre-pass is *tiered and
+// incremental*: instead of re-scoring all O(G) gaps every round, the
+// scan first scores one admissible range bound per ~sqrt(G)-gap tier,
+// computed in O(1) from the tier's key range and its first gap's exact
+// (count, prefix-sum) record — state the tiered gap structure maintains
+// incrementally across InsertKey splices. The range bound exploits two
+// structural facts: along the candidate axis the covariance numerator
+// is piecewise linear with non-decreasing slopes (n1*c1 - sumY grows as
+// candidates pass keys) and upward jumps at key crossings, so it lies
+// above its left-endpoint tangent; and VarX is a gap-independent convex
+// parabola, so its range maximum sits at an endpoint. Only tiers whose
+// range bound reaches the running best are re-scored per gap, dropping
+// per-round bound work from O(G) to O(sqrt(G) + survivors).
+// (Design notes from measurement: bounds persisted across rounds with
+// forward-drift margins are useless here — the loss is a near
+// cancellation of VarY and Cov^2/VarX, so any per-round drift allowance
+// inflates the bound by more than the whole gap-to-gap loss spread —
+// and plain interval arithmetic over a tier's input box decorrelates
+// Cov from VarX badly enough to never skip a tier; the tangent form is
+// what makes a tier-granular bound tight.) Whenever a bound context is
+// not provably admissible the round transparently falls back — tiered
+// scan to the per-round full pre-pass, and that to the exhaustive scan
+// — so results are bit-identical in every mode.
 
 #ifndef LISPOISON_ATTACK_LOSS_LANDSCAPE_H_
 #define LISPOISON_ATTACK_LOSS_LANDSCAPE_H_
@@ -49,6 +73,7 @@
 #include <utility>
 #include <vector>
 
+#include "attack/gap_tiers.h"
 #include "common/fenwick.h"
 #include "common/status.h"
 #include "common/types.h"
@@ -102,7 +127,7 @@ class LossLandscape {
   ///
   /// Fails with OutOfRange outside the domain and InvalidArgument when
   /// kp is occupied. Cost O(log n) aggregate work + O(p) overlay insert
-  /// + O(G) gap-vector splice.
+  /// + O(sqrt(G)) tiered gap splice (see splice_moves()).
   Status InsertKey(Key kp);
 
   /// \brief L(kp): minimized MSE of the regression trained on the
@@ -132,29 +157,50 @@ class LossLandscape {
 
   /// \brief Knobs for the pruned argmax (see FindOptimal).
   struct ArgmaxOptions {
-    /// Run the branch-and-bound pruned scan: a double-precision pre-pass
-    /// scores every gap against an admissible per-gap upper bound on the
-    /// Theorem 1 loss, only the top-K survivors plus the gaps whose
-    /// bound still exceeds the running best are re-checked exactly. The
-    /// selected Candidate is bit-identical to the exhaustive scan (the
-    /// bound provably dominates the exact loss; ties re-check every
-    /// contender and break toward the smaller key, the first-maximum-in-
-    /// key-order rule of the serial scan).
+    /// Run the branch-and-bound pruned scan: every gap is scored against
+    /// an admissible per-gap upper bound on the Theorem 1 loss, only the
+    /// survivors are re-checked exactly. The selected Candidate is
+    /// bit-identical to the exhaustive scan (the bound provably
+    /// dominates the exact loss; ties re-check every contender and break
+    /// toward the smaller key, the first-maximum-in-key-order rule of
+    /// the serial scan).
     bool prune = true;
 
+    /// Tiered incremental pre-pass: score one admissible range bound
+    /// per tier (a covariance left-tangent over the tier's key range,
+    /// O(1) from the incrementally maintained tier state) and re-score
+    /// gaps individually only inside tiers whose range bound reaches
+    /// the running best — O(sqrt(G) + survivors) bound work per round
+    /// instead of O(G). Bit-identical results either way; off restores
+    /// the per-round full pre-pass of PR 3. Only meaningful with
+    /// prune.
+    bool cache = true;
+
     /// Gaps exactly re-checked up front (in decreasing bound order) to
-    /// seed the running best before the branch-and-bound sweep.
+    /// seed the running best before the branch-and-bound sweep. Used by
+    /// the uncached pre-pass only; the tiered scan seeds from the
+    /// per-tier bound maxima instead.
     std::int64_t top_k = 16;
   };
 
   /// \brief Evaluation-count counters accumulated across FindOptimal
-  /// calls. Counter values depend on the scan layout (serial vs chunked)
-  /// — only the returned Candidate is thread-count invariant.
+  /// calls. Counter values depend on the scan layout (serial vs
+  /// chunked) — only the returned Candidate is invariant. Coherence
+  /// invariant of the tiered (cache) scan, asserted by the stateful
+  /// property harness: per round, cached_bounds + invalidated_gaps
+  /// equals the number of gaps in the scanned range.
   struct ArgmaxStats {
     std::int64_t rounds = 0;          ///< FindOptimal calls.
     std::int64_t exact_evals = 0;     ///< Exact Theorem 1 evaluations.
-    std::int64_t bound_evals = 0;     ///< Double-precision bound scores.
+    std::int64_t bound_evals = 0;     ///< Double-precision bound scores
+                                      ///< (per-gap and per-tier).
     std::int64_t pruned_gaps = 0;     ///< Gaps never evaluated exactly.
+    std::int64_t cached_bounds = 0;   ///< Gaps dispositioned by their
+                                      ///< tier's range bound alone (no
+                                      ///< per-gap re-scoring).
+    std::int64_t invalidated_gaps = 0;///< Gaps re-scored individually
+                                      ///< (their tier survived the
+                                      ///< range filter this round).
     std::int64_t fallback_rounds = 0; ///< Pruning requested but the bound
                                       ///< context was not admissible.
     void Add(const ArgmaxStats& o) {
@@ -162,6 +208,8 @@ class LossLandscape {
       exact_evals += o.exact_evals;
       bound_evals += o.bound_evals;
       pruned_gaps += o.pruned_gaps;
+      cached_bounds += o.cached_bounds;
+      invalidated_gaps += o.invalidated_gaps;
       fallback_rounds += o.fallback_rounds;
     }
   };
@@ -177,19 +225,24 @@ class LossLandscape {
   /// first-maximum-in-key-order semantics, so the selected candidate is
   /// bit-identical for every thread count (greedy_differential_test).
   ///
-  /// With \p argmax.prune (the default) each scan — the whole range
-  /// serially, or each chunk of the parallel fan-out — runs the pruned
-  /// pipeline: cheap upper bounds for every gap, exact re-check of the
-  /// top-K bounds, then a key-ordered sweep that skips any gap whose
-  /// bound is strictly below the running best and exits early once every
-  /// remaining bound is. Whenever the bound context is not provably
-  /// admissible (non-finite aggregates), the call falls back to the
-  /// exhaustive scan, so the result is bit-identical either way
-  /// (argmax_pruning_test). \p stats, when non-null, is accumulated
-  /// into, never reset.
+  /// With \p argmax.prune (the default) each scan runs the pruned
+  /// pipeline, and with \p argmax.cache runs it *tiered*: one range
+  /// bound per tier (a covariance left-tangent over the tier's key
+  /// range), seeding the running best inside the tier with the highest
+  /// range bound, then a key-ordered sweep that skips whole tiers whose
+  /// range bound is below the best, re-scores only the surviving tiers
+  /// per gap, and exits once the suffix maximum over the remaining tier
+  /// bounds is below the best. Tier range bounds ignore \p excluded
+  /// (an excluded endpoint only makes them admissible over-estimates;
+  /// the per-gap phase skips excluded endpoints exactly). Whenever a bound context is not provably admissible the
+  /// call falls back — tiered scan to per-round pre-pass, pre-pass to
+  /// exhaustive — so the result is bit-identical in every mode
+  /// (argmax_pruning_test, the stateful property harness). \p stats,
+  /// when non-null, is accumulated into, never reset.
   ///
   /// Scratch note: the gap-range/bound buffers are engine-owned and
-  /// reused across rounds (no O(G) allocation per call), which makes
+  /// reused across rounds (no O(G) allocation per call), and the cached
+  /// scan writes bound repairs into the tier structure, which makes
   /// concurrent FindOptimal calls on the *same* landscape racy; every
   /// attack drives one landscape from one thread at a time and fans out
   /// only via \p pool.
@@ -199,9 +252,9 @@ class LossLandscape {
                                 const ArgmaxOptions& argmax,
                                 ArgmaxStats* stats = nullptr) const;
 
-  /// \brief Overload with the default ArgmaxOptions (pruning on). Kept
-  /// separate because a nested-class default argument cannot be spelled
-  /// inside the enclosing class.
+  /// \brief Overload with the default ArgmaxOptions (pruning and cache
+  /// on). Kept separate because a nested-class default argument cannot
+  /// be spelled inside the enclosing class.
   Result<Candidate> FindOptimal(bool interior_only,
                                 const std::unordered_set<Key>* excluded =
                                     nullptr,
@@ -212,6 +265,18 @@ class LossLandscape {
   /// differential harness asserts to pin the no-per-round-allocation
   /// property.
   std::int64_t argmax_scratch_reallocs() const { return scratch_reallocs_; }
+
+  /// \brief Gap records / tier-directory entries moved by InsertKey
+  /// splices, cumulative — O(sqrt(G)) per insert by construction
+  /// (tiered layout), which the stateful property harness asserts.
+  std::int64_t splice_moves() const { return gaps_.splice_moves(); }
+
+  /// \brief Max gaps per tier before a tier splits (the splice-work
+  /// scale the property harness bounds against).
+  std::int64_t gap_tier_cap() const { return gaps_.tier_cap(); }
+
+  /// \brief Current number of maximal gaps over the whole domain.
+  std::int64_t gap_count() const { return gaps_.size(); }
 
   /// \brief Exact prefix statistics over the current keys strictly
   /// below \p kp. prefix_sum is over shifted keys (k - shift()).
@@ -264,27 +329,10 @@ class LossLandscape {
   /// hi_bound] in increasing key order as f(gap_lo, gap_hi, count_less,
   /// prefix_sum), where count_less / prefix_sum describe the current
   /// keys strictly below gap_lo (identical for every candidate inside
-  /// the gap, since gaps contain no keys). Amortized O(1) per gap.
+  /// the gap, since gaps contain no keys). O(1) per visited gap.
   template <typename F>
   void ForEachGapInRange(Key lo_bound, Key hi_bound, F&& f) const {
-    if (lo_bound > hi_bound) return;
-    std::size_t ins_idx = 0;
-    Rank ins_cnt = 0;
-    Int128 ins_sum = 0;
-    for (const Gap& g : gaps_) {
-      if (g.lo > hi_bound) break;
-      if (g.hi < lo_bound) continue;
-      // Advance the overlay pointer to the inserted keys below this gap.
-      while (ins_idx < inserted_.size() && inserted_[ins_idx] < g.lo) {
-        ins_sum += static_cast<Int128>(inserted_[ins_idx]) - shift_;
-        ++ins_cnt;
-        ++ins_idx;
-      }
-      const Key lo = g.lo < lo_bound ? lo_bound : g.lo;
-      const Key hi = g.hi > hi_bound ? hi_bound : g.hi;
-      f(lo, hi, g.base_count + ins_cnt,
-        base_prefix_[static_cast<std::size_t>(g.base_count)] + ins_sum);
-    }
+    gaps_.ForEachInRange(lo_bound, hi_bound, std::forward<F>(f));
   }
 
   /// \brief ForEachGapInRange over the standard candidate range: the
@@ -297,15 +345,6 @@ class LossLandscape {
   }
 
  private:
-  /// A maximal run of unoccupied domain keys. base_count — the number of
-  /// base keys below lo — is immutable because gaps never contain keys
-  /// and base keys never move.
-  struct Gap {
-    Key lo = 0;
-    Key hi = 0;
-    std::int64_t base_count = 0;
-  };
-
   long double LossWithInsertion(Key kp, Rank count_less,
                                 Int128 suffix_sum) const;
   void RecomputeCurrentLoss();
@@ -319,17 +358,37 @@ class LossLandscape {
     Int128 suffix_sum = 0;
   };
 
-  /// Per-round double-precision bound context; defined in the .cc.
+  /// Per-round double-precision bound context (the uncached pre-pass);
+  /// defined in the .cc.
   struct BoundCtx;
 
   /// Scans argmax_ranges_[first, end) for the best candidate using the
-  /// exhaustive loop (bound_ctx == nullptr) or the pruned pipeline, and
-  /// folds the winner into *best/*have via the first-maximum-in-key-order
-  /// tie rule. Accumulates counters into *stats.
+  /// exhaustive loop (bound_ctx == nullptr) or the uncached pruned
+  /// pipeline, and folds the winner into *best/*have via the
+  /// first-maximum-in-key-order tie rule. Accumulates counters into
+  /// *stats.
   void ScanGapRanges(std::size_t first, std::size_t end, std::int64_t top_k,
                      const BoundCtx* bound_ctx,
                      const std::unordered_set<Key>* excluded,
                      Candidate* best, bool* have, ArgmaxStats* stats) const;
+
+  /// Tiered-scan worker: sweeps the tier-list positions [first, end)
+  /// (indices into argmax_tier_list_, whose per-tier range bounds and
+  /// suffix arrays the prologue filled) with a chunk-local running
+  /// best. Seeds from the chunk's highest tier range bound, staging
+  /// that tier's per-gap bounds into \p seed_bounds (this chunk's
+  /// disjoint slice of argmax_bounds_, at least tier_cap wide) so the
+  /// sweep never scores a gap twice.
+  void ScanTiersCached(std::size_t first, std::size_t end, Key lo_bound,
+                       Key hi_bound, const BoundCtx& ctx,
+                       const std::unordered_set<Key>* excluded,
+                       double* seed_bounds, Candidate* best, bool* have,
+                       ArgmaxStats* stats) const;
+
+  /// In-range gap count of tier \p t for the tiered scan ([lo_bound,
+  /// hi_bound] never clips a gap partially — see FindOptimal).
+  static std::int64_t TierInRangeCount(const TieredGaps::Tier& t,
+                                       Key lo_bound, Key hi_bound);
 
   /// Clears \p buf, growing its capacity geometrically (and bumping
   /// scratch_reallocs_) only when \p needed exceeds it.
@@ -342,7 +401,8 @@ class LossLandscape {
   std::vector<Key> inserted_;        // Keys committed via InsertKey, sorted.
   FenwickTree<Int128> inserted_slot_sum_;  // Shifted inserted-key sums per
                                            // base slot (see PrefixAt).
-  std::vector<Gap> gaps_;            // Maximal unoccupied runs, sorted.
+  TieredGaps gaps_;                  // Tiered maximal unoccupied runs
+                                     // with per-tier aggregate boxes.
   KeyDomain domain_;
   Key shift_ = 0;                    // base_keys_[0]; sums use k - shift_.
   Key min_key_ = 0;
@@ -360,6 +420,13 @@ class LossLandscape {
   mutable std::vector<double> argmax_suffix_max_;
   mutable std::vector<std::int64_t> argmax_suffix_cnt_;
   mutable std::vector<std::size_t> argmax_order_;
+  // Tiered-scan scratch (sized by tier count, ~sqrt(G)).
+  mutable std::vector<std::size_t> argmax_tier_list_;
+  mutable std::vector<double> argmax_tier_bounds_;
+  mutable std::vector<double> argmax_tier_suffix_max_;
+  mutable std::vector<std::int64_t> argmax_tier_suffix_cnt_;
+  mutable std::vector<std::pair<std::size_t, std::size_t>>
+      argmax_chunk_tiers_;
   mutable std::int64_t scratch_reallocs_ = 0;
 };
 

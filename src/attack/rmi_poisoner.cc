@@ -419,6 +419,7 @@ Result<RmiAttackResult> PoisonRmi(const KeySet& keyset,
   ThreadPool pool(options.num_threads);
   LossLandscape::ArgmaxOptions argmax;
   argmax.prune = options.prune_argmax;
+  argmax.cache = options.cache_argmax;
   argmax.top_k = options.argmax_top_k;
 
   // ---- Clean baseline: equal partition of K into N models. ----

@@ -61,6 +61,10 @@ struct RmiAttackOptions {
   /// AttackOptions::prune_argmax.
   bool prune_argmax = true;
 
+  /// Tiered incremental pre-pass for every per-model landscape;
+  /// bit-identical results either way. See AttackOptions::cache_argmax.
+  bool cache_argmax = true;
+
   /// Per-scan exact re-check budget when pruning. See
   /// AttackOptions::argmax_top_k.
   std::int64_t argmax_top_k = 16;

@@ -39,14 +39,25 @@ struct AttackOptions {
   /// evaluation counts.
   bool prune_argmax = true;
 
+  /// Tiered incremental pre-pass: score one admissible bound per
+  /// ~sqrt(G)-gap tier (from the per-tier aggregates the gap structure
+  /// maintains across insertions) and re-score gaps individually only
+  /// inside tiers whose box bound reaches the running best, instead of
+  /// re-scoring all O(G) gaps every round. Bit-identical results either
+  /// way; off restores the per-round full pre-pass. Only meaningful
+  /// with prune_argmax.
+  bool cache_argmax = true;
+
   /// Gaps exactly re-checked up front when pruning (seed of the
-  /// branch-and-bound running best).
+  /// branch-and-bound running best); the tiered scan seeds from the
+  /// per-tier bound maxima instead.
   std::int64_t argmax_top_k = 16;
 
   /// \brief The LossLandscape-level view of the argmax knobs.
   LossLandscape::ArgmaxOptions ArgmaxKnobs() const {
     LossLandscape::ArgmaxOptions knobs;
     knobs.prune = prune_argmax;
+    knobs.cache = cache_argmax;
     knobs.top_k = argmax_top_k;
     return knobs;
   }

@@ -99,6 +99,9 @@ Result<DriverResult> RunWorkload(SearchBackend* backend,
   if (options.batch_size < 1) {
     return Status::InvalidArgument("batch_size must be >= 1");
   }
+  if (options.latency_sample_every < 1) {
+    return Status::InvalidArgument("latency_sample_every must be >= 1");
+  }
   int shards = options.num_threads;
   if (shards <= 0) {
     const unsigned hw = std::thread::hardware_concurrency();
@@ -122,8 +125,13 @@ Result<DriverResult> RunWorkload(SearchBackend* backend,
         const std::int64_t end =
             std::min(num_ops, first + options.batch_size);
         for (std::int64_t i = first; i < end; ++i) {
-          ExecuteOp(backend, ops[static_cast<std::size_t>(i)],
-                    options.measure_latency, s);
+          // Batched timing keys off the global op index, so the sampled
+          // subset is a pure function of the stream — identical for
+          // every shard count.
+          const bool timed =
+              options.measure_latency &&
+              i % options.latency_sample_every == 0;
+          ExecuteOp(backend, ops[static_cast<std::size_t>(i)], timed, s);
         }
       }
     });

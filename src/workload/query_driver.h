@@ -39,6 +39,16 @@ struct DriverOptions {
   /// accounting still runs). The deterministic tests use this to assert
   /// on the work model without paying 2 clock reads per op.
   bool measure_latency = true;
+
+  /// Batched timing: record latency for every k-th operation of the
+  /// stream (by *global* op index, so the sampled subset is independent
+  /// of sharding and thread count) instead of all of them. The two
+  /// steady_clock reads cost ~2x20-40ns against 150-300ns medians, so
+  /// k > 1 trades histogram resolution for measurement fidelity on
+  /// high-throughput runs (ROADMAP item). 1 = time every op; sampled
+  /// histograms hold ceil(total_ops / k) values drawn uniformly across
+  /// the schedule. Must be >= 1.
+  std::int64_t latency_sample_every = 1;
 };
 
 /// \brief Aggregated outcome of one driver run.

@@ -216,8 +216,12 @@ TEST(ArgmaxPruningTest, StatsCountersAreCoherent) {
   auto ll = LossLandscape::Create(*ks);
   ASSERT_TRUE(ll.ok());
 
+  // cache off: the PR 3 per-round full pre-pass, whose counter identity
+  // with the exhaustive scan is pinned below. The cached path has its
+  // own coherence test (CacheCountersAreCoherent).
   LossLandscape::ArgmaxOptions pruned;
   pruned.prune = true;
+  pruned.cache = false;
   LossLandscape::ArgmaxStats with_prune;
   auto a = ll->FindOptimal(true, nullptr, nullptr, pruned, &with_prune);
   ASSERT_TRUE(a.ok());
@@ -242,6 +246,106 @@ TEST(ArgmaxPruningTest, StatsCountersAreCoherent) {
   EXPECT_LE(with_prune.exact_evals * 3, without.exact_evals);
   // Every gap is either pruned or had at least one exact evaluation.
   EXPECT_GT(with_prune.pruned_gaps, 0);
+  // The uncached pre-pass never touches the cache counters.
+  EXPECT_EQ(with_prune.cached_bounds, 0);
+  EXPECT_EQ(with_prune.invalidated_gaps, 0);
+}
+
+TEST(ArgmaxPruningTest, WideDomainsFallBackToExhaustive) {
+  // Admissibility envelope: with n1 keys of shifted magnitude <= S the
+  // exact aggregates reach n1^2 S^2 / n1^3 S, so for n1 * S >= 2^63
+  // neither bound pre-pass is provably admissible and both pruned
+  // paths must fall back to the exhaustive scan (fallback_rounds) —
+  // the regime where PR 3's looser span-only guard would still have
+  // pruned against potentially overflowed aggregates. n stays tiny so
+  // the exhaustive arithmetic itself is safe (n1^2 S^2 < 2^127).
+  const Key kHuge = static_cast<Key>(1) << 60;
+  auto ks = KeySet::Create({-kHuge, -kHuge / 3, kHuge / 5, kHuge},
+                           KeyDomain{-kHuge, kHuge});
+  ASSERT_TRUE(ks.ok());
+  auto ll = LossLandscape::Create(*ks);
+  ASSERT_TRUE(ll.ok());
+
+  for (const bool cache : {false, true}) {
+    LossLandscape::ArgmaxOptions pruned;
+    pruned.prune = true;
+    pruned.cache = cache;
+    LossLandscape::ArgmaxStats stats;
+    auto got = ll->FindOptimal(true, nullptr, nullptr, pruned, &stats);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(stats.fallback_rounds, 1) << "cache=" << cache;
+    EXPECT_EQ(stats.bound_evals, 0) << "cache=" << cache;
+
+    LossLandscape::ArgmaxOptions exhaustive;
+    exhaustive.prune = false;
+    auto want = ll->FindOptimal(true, nullptr, nullptr, exhaustive);
+    ASSERT_TRUE(want.ok());
+    EXPECT_EQ(want->key, got->key);
+    EXPECT_EQ(want->loss, got->loss);
+  }
+}
+
+TEST(ArgmaxPruningTest, CacheCountersAreCoherentAndAmortized) {
+  // The tiered incremental scan's accounting contract: every round,
+  // each gap in the scanned range is either dispositioned by its tier's
+  // box bound (cached_bounds) or re-scored individually
+  // (invalidated_gaps), and the total bound work stays a fraction of
+  // the uncached O(G)-per-round pre-pass.
+  Rng rng(0xCAC4E);
+  auto ks = GenerateUniform(4000, KeyDomain{0, 80000}, &rng);
+  ASSERT_TRUE(ks.ok());
+  auto ll = LossLandscape::Create(*ks);
+  ASSERT_TRUE(ll.ok());
+
+  LossLandscape::ArgmaxOptions cached;
+  cached.prune = true;
+  cached.cache = true;
+  LossLandscape::ArgmaxOptions uncached = cached;
+  uncached.cache = false;
+
+  auto gaps_in_range = [&]() {
+    std::int64_t gaps = 0;
+    ll->ForEachGap(true, [&gaps](Key, Key, Rank, Int128) { ++gaps; });
+    return gaps;
+  };
+
+  LossLandscape::ArgmaxStats total;
+  LossLandscape::ArgmaxStats uncached_total;
+  std::int64_t prev_cached = 0;
+  std::int64_t prev_invalid = 0;
+  const int kRounds = 48;
+  for (int round = 0; round < kRounds; ++round) {
+    const std::int64_t in_range = gaps_in_range();
+    auto a = ll->FindOptimal(true, nullptr, nullptr, cached, &total);
+    ASSERT_TRUE(a.ok());
+    // Coherence: every in-range gap was either tier-dispositioned or
+    // re-scored.
+    EXPECT_EQ((total.cached_bounds - prev_cached) +
+                  (total.invalidated_gaps - prev_invalid),
+              in_range)
+        << "round " << round;
+    // Most gaps must be handled at tier granularity.
+    EXPECT_GT(total.cached_bounds - prev_cached,
+              total.invalidated_gaps - prev_invalid)
+        << "round " << round;
+    prev_cached = total.cached_bounds;
+    prev_invalid = total.invalidated_gaps;
+
+    // The uncached sibling must agree bit-for-bit and re-score per round.
+    auto b = ll->FindOptimal(true, nullptr, nullptr, uncached,
+                             &uncached_total);
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(a->key, b->key);
+    EXPECT_EQ(a->loss, b->loss);
+
+    ASSERT_TRUE(ll->InsertKey(a->key).ok());
+  }
+  EXPECT_EQ(total.fallback_rounds, 0);
+  // Amortization: the tiered scan scores one box per tier (~sqrt(G))
+  // plus the few surviving tiers per gap, so its total bound work must
+  // be far below the uncached per-round pre-pass. 4x is a loose floor —
+  // the sparse acceptance configs measure >= 10x per round.
+  EXPECT_LT(total.bound_evals * 4, uncached_total.bound_evals);
 }
 
 }  // namespace

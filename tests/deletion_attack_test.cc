@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <set>
 
+#include "attack/loss_landscape.h"
 #include "common/rng.h"
 #include "common/stats.h"
 #include "data/generators.h"
@@ -168,6 +169,125 @@ TEST(ModificationAttackTest, Validation) {
   ASSERT_TRUE(ok.ok());
   EXPECT_FALSE(GreedyModifyCdf(*ok, 0).ok());
   EXPECT_FALSE(GreedyModifyCdf(*ok, 1, {42}).ok());  // Not stored.
+}
+
+// ---------------------------------------------------------------------------
+// Seeded differential pins: replay each greedy attack against an
+// independent rebuild-per-round reference so the incremental-engine
+// refactors (tiered gaps, argmax bound caching) can never silently
+// change these outputs.
+// ---------------------------------------------------------------------------
+
+/// Exact loss of \p keys with index \p j removed: rebuilt from scratch
+/// through the landscape's exact 128-bit arithmetic (bit-identical to
+/// DeletionLandscape by shift invariance).
+long double RebuiltLossWithout(const std::vector<Key>& keys,
+                               std::size_t j, const KeyDomain& domain) {
+  std::vector<Key> remaining;
+  remaining.reserve(keys.size() - 1);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    if (i != j) remaining.push_back(keys[i]);
+  }
+  auto ks = KeySet::Create(std::move(remaining), domain);
+  EXPECT_TRUE(ks.ok());
+  auto ll = LossLandscape::Create(*ks);
+  EXPECT_TRUE(ll.ok());
+  return ll->BaseLoss();
+}
+
+TEST(DeletionAttackTest, SeededDifferentialAgainstRebuildReference) {
+  // 24 seeded cases: the greedy deletion sequence and its per-round
+  // losses must bit-match a reference that retrains every candidate
+  // removal from scratch each round (first-maximum-in-key-order rule).
+  for (std::uint64_t seed = 0; seed < 24; ++seed) {
+    Rng rng(0xDE1E7E + seed);
+    const std::int64_t n = 40 + static_cast<std::int64_t>(seed % 5) * 17;
+    const KeyDomain domain{0, 12 * n};
+    auto ks = GenerateUniform(n, domain, &rng);
+    ASSERT_TRUE(ks.ok());
+    const std::int64_t d = 4 + static_cast<std::int64_t>(seed % 3);
+
+    auto fast = GreedyDeleteCdf(*ks, d);
+    ASSERT_TRUE(fast.ok()) << "seed " << seed;
+
+    std::vector<Key> work = ks->keys();
+    for (std::int64_t round = 0; round < d; ++round) {
+      bool have = false;
+      std::size_t best_j = 0;
+      long double best_loss = 0;
+      for (std::size_t j = 0; j < work.size(); ++j) {
+        const long double loss = RebuiltLossWithout(work, j, domain);
+        if (!have || loss > best_loss) {
+          best_j = j;
+          best_loss = loss;
+          have = true;
+        }
+      }
+      ASSERT_TRUE(have);
+      const auto r = static_cast<std::size_t>(round);
+      EXPECT_EQ(fast->removed_keys[r], work[best_j])
+          << "seed " << seed << " round " << round;
+      EXPECT_EQ(fast->loss_trajectory[r], best_loss)
+          << "seed " << seed << " round " << round;
+      work.erase(work.begin() + static_cast<std::ptrdiff_t>(best_j));
+    }
+  }
+}
+
+TEST(ModificationAttackTest, SeededDifferentialAgainstRebuildReference) {
+  // 16 seeded cases: the modification attack couples the deletion
+  // landscape with LossLandscape::FindOptimal (default options, i.e.
+  // the pruned + tiered argmax); the chosen (from, to) moves must
+  // bit-match a reference replay whose re-insertion step runs the
+  // exhaustive serial scan on a freshly built landscape.
+  for (std::uint64_t seed = 0; seed < 16; ++seed) {
+    Rng rng(0x40D1F1 + seed);
+    const std::int64_t n = 36 + static_cast<std::int64_t>(seed % 4) * 23;
+    const KeyDomain domain{0, 14 * n};
+    auto ks = GenerateUniform(n, domain, &rng);
+    ASSERT_TRUE(ks.ok());
+    const std::int64_t moves = 3 + static_cast<std::int64_t>(seed % 3);
+
+    auto fast = GreedyModifyCdf(*ks, moves);
+    ASSERT_TRUE(fast.ok()) << "seed " << seed;
+    ASSERT_EQ(fast->moves.size(), static_cast<std::size_t>(moves));
+
+    std::vector<Key> work = ks->keys();
+    LossLandscape::ArgmaxOptions exhaustive;
+    exhaustive.prune = false;
+    for (std::int64_t round = 0; round < moves; ++round) {
+      // Step 1 reference: best deletion by rebuild-per-candidate.
+      bool have = false;
+      std::size_t best_j = 0;
+      long double best_loss = 0;
+      for (std::size_t j = 0; j < work.size(); ++j) {
+        const long double loss = RebuiltLossWithout(work, j, domain);
+        if (!have || loss > best_loss) {
+          best_j = j;
+          best_loss = loss;
+          have = true;
+        }
+      }
+      ASSERT_TRUE(have);
+      const Key moved = work[best_j];
+      work.erase(work.begin() + static_cast<std::ptrdiff_t>(best_j));
+      // Step 2 reference: best re-insertion via the exhaustive scan.
+      auto current = KeySet::Create(work, domain);
+      ASSERT_TRUE(current.ok());
+      auto ll = LossLandscape::Create(*current);
+      ASSERT_TRUE(ll.ok());
+      auto best = ll->FindOptimal(true, nullptr, nullptr, exhaustive);
+      ASSERT_TRUE(best.ok()) << "seed " << seed << " round " << round;
+
+      const auto r = static_cast<std::size_t>(round);
+      EXPECT_EQ(fast->moves[r].first, moved)
+          << "seed " << seed << " round " << round;
+      EXPECT_EQ(fast->moves[r].second, best->key)
+          << "seed " << seed << " round " << round;
+      work.insert(std::lower_bound(work.begin(), work.end(), best->key),
+                  best->key);
+    }
+  }
 }
 
 }  // namespace

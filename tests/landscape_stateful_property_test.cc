@@ -1,0 +1,316 @@
+// Stateful property harness for the tiered incremental argmax engine:
+// hundreds of seeded random operation sequences — InsertKey commits,
+// FindOptimal scans with per-call random interior/thread-count/prune/
+// cache settings, occasional excluded-key scans and duplicate-insert
+// probes — replayed against a *flat-vector + full-evaluation oracle*
+// (sorted std::vector<Key> plus exact Aggregates arithmetic, no gap
+// structure, no pruning, no caching). At every step the engine must
+// return a bit-identical candidate (key and long-double loss), and the
+// ArgmaxStats counters must satisfy the engine's accounting contracts:
+//
+//   * prune off        -> no bound work, exact_evals == oracle candidates
+//   * prune, cache off -> bound_evals == oracle candidates, no cache work
+//   * prune + cache    -> cached_bounds + invalidated_gaps == gaps in
+//                         the scanned range (every gap is dispositioned
+//                         exactly once), zero fallbacks
+//
+// and every InsertKey must splice O(sqrt(G)) gap records, not O(G) —
+// asserted through the engine's splice-work counter against the tier
+// cap (a flat-vector splice would move ~G/2 records per insert).
+//
+// The sequence count is env-tunable: PROPERTY_TEST_SEEDS=<n> extends
+// the sweep (CI's sanitizer matrix runs an extended range).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "attack/loss_landscape.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "data/generators.h"
+#include "data/keyset.h"
+
+namespace lispoison {
+namespace {
+
+/// Outcome of one oracle scan.
+struct OracleScan {
+  bool ok = false;
+  Key key = 0;
+  long double loss = 0;
+  std::int64_t gaps_in_range = 0;  ///< Maximal gaps meeting the range.
+  std::int64_t candidates = 0;     ///< Non-excluded endpoint evaluations.
+};
+
+/// The reference model: a flat sorted key vector. Every scan rebuilds
+/// the exact aggregates from scratch and evaluates every gap endpoint —
+/// the "flat-vector + full pre-pass" ground truth the tiered engine
+/// must bit-match. Loss values are computed through the same public
+/// Aggregates arithmetic, whose shift-invariance (pinned by
+/// loss_landscape_incremental_test) makes bit-equality well-defined
+/// even though the oracle re-shifts by its own current minimum.
+class FlatOracle {
+ public:
+  FlatOracle(std::vector<Key> keys, KeyDomain domain)
+      : keys_(std::move(keys)), domain_(domain) {}
+
+  bool Occupied(Key k) const {
+    return std::binary_search(keys_.begin(), keys_.end(), k);
+  }
+
+  void Insert(Key k) {
+    keys_.insert(std::lower_bound(keys_.begin(), keys_.end(), k), k);
+  }
+
+  const KeyDomain& domain() const { return domain_; }
+
+  /// Maximal unoccupied runs over the whole domain.
+  std::int64_t TotalGaps() const {
+    std::int64_t gaps = 0;
+    Key cursor = domain_.lo;
+    for (const Key k : keys_) {
+      if (cursor <= k - 1) ++gaps;
+      cursor = k + 1;
+    }
+    if (cursor <= domain_.hi) ++gaps;
+    return gaps;
+  }
+
+  OracleScan FindOptimal(bool interior,
+                         const std::unordered_set<Key>* excluded) const {
+    OracleScan result;
+    LossLandscape::Aggregates agg;
+    agg.shift = keys_.front();
+    for (const Key k : keys_) agg.InsertAboveAll(k);
+    const Key lo_bound = interior ? keys_.front() + 1 : domain_.lo;
+    const Key hi_bound = interior ? keys_.back() - 1 : domain_.hi;
+    if (lo_bound > hi_bound) return result;
+
+    Int128 prefix = 0;
+    Rank count = 0;
+    Key cursor = domain_.lo;
+    auto visit_gap = [&](Key gap_lo, Key gap_hi) {
+      if (gap_hi < lo_bound || gap_lo > hi_bound) return;
+      const Key lo = std::max(gap_lo, lo_bound);
+      const Key hi = std::min(gap_hi, hi_bound);
+      ++result.gaps_in_range;
+      const Int128 suffix = agg.sum_k - prefix;
+      auto consider = [&](Key kp) {
+        if (excluded != nullptr && excluded->count(kp) != 0) return;
+        ++result.candidates;
+        const long double loss = agg.LossAfterInsert(kp, count, suffix);
+        if (!result.ok || loss > result.loss) {  // First max in key order.
+          result.ok = true;
+          result.key = kp;
+          result.loss = loss;
+        }
+      };
+      consider(lo);
+      if (hi != lo) consider(hi);
+    };
+    for (const Key k : keys_) {
+      if (cursor <= k - 1) visit_gap(cursor, k - 1);
+      prefix += static_cast<Int128>(k) - agg.shift;
+      ++count;
+      cursor = k + 1;
+    }
+    if (cursor <= domain_.hi) visit_gap(cursor, domain_.hi);
+    return result;
+  }
+
+ private:
+  std::vector<Key> keys_;  // Sorted, the flat reference representation.
+  KeyDomain domain_;
+};
+
+int SeedCount() {
+  if (const char* env = std::getenv("PROPERTY_TEST_SEEDS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  return 200;
+}
+
+/// One randomized op sequence. `pools` supplies shared thread pools for
+/// the {2, 7}-worker scans (nullptr entries mean serial).
+void RunSequence(std::uint64_t seed, const std::vector<ThreadPool*>& pools) {
+  Rng rng(seed);
+  // Every 4th sequence is large enough (> 2048 gaps) to cross the
+  // chunked-parallel threshold; the rest keep the oracle cheap.
+  const bool big = seed % 4 == 0;
+  const std::int64_t n =
+      big ? rng.UniformInt(2600, 4200) : rng.UniformInt(24, 800);
+  const KeyDomain domain{0, 16 * n};
+  const int layout = static_cast<int>(rng.UniformInt(0, 1));
+  auto ks = layout == 0 ? GenerateUniform(n, domain, &rng)
+                        : GenerateLogNormal(n, domain, &rng);
+  ASSERT_TRUE(ks.ok()) << ks.status().message();
+  auto ll = LossLandscape::Create(*ks);
+  ASSERT_TRUE(ll.ok()) << ll.status().message();
+  FlatOracle oracle(ks->keys(), domain);
+
+  LossLandscape::ArgmaxStats stats;
+  LossLandscape::ArgmaxStats prev;
+  std::int64_t prev_splice = ll->splice_moves();
+
+  const int ops = 26;
+  for (int op = 0; op < ops; ++op) {
+    const std::int64_t roll = rng.UniformInt(0, 99);
+    if (roll < 35) {
+      // ---- InsertKey of a random unoccupied key. ----
+      Key kp = 0;
+      bool found = false;
+      for (int tries = 0; tries < 24 && !found; ++tries) {
+        kp = rng.UniformInt(domain.lo, domain.hi);
+        found = !oracle.Occupied(kp);
+      }
+      if (!found) continue;
+      ASSERT_TRUE(ll->InsertKey(kp).ok()) << "seed " << seed;
+      oracle.Insert(kp);
+      // Duplicate inserts must be rejected and leave no trace.
+      if (roll < 8) {
+        EXPECT_FALSE(ll->InsertKey(kp).ok());
+      }
+      // The tiered splice: per-insert gap-record movement stays
+      // O(sqrt(G)) — within-tier shifts (<= tier cap), one possible
+      // tier split (<= cap/2 copies) and the tier directory
+      // (<= 2G/cap + 1 entries). A flat splice would move ~G/2.
+      const std::int64_t cap = ll->gap_tier_cap();
+      const std::int64_t total_gaps = oracle.TotalGaps();
+      EXPECT_EQ(ll->gap_count(), total_gaps) << "seed " << seed;
+      const std::int64_t moved = ll->splice_moves() - prev_splice;
+      prev_splice = ll->splice_moves();
+      EXPECT_LE(moved, 2 * cap + 2 * total_gaps / std::max<std::int64_t>(
+                                      1, cap) + 32)
+          << "seed " << seed << " op " << op << " G=" << total_gaps;
+    } else {
+      // ---- FindOptimal under random settings. ----
+      const bool interior = rng.UniformInt(0, 1) == 0;
+      const std::int64_t pool_pick = rng.UniformInt(0, 2);
+      ThreadPool* pool = pool_pick == 0 ? nullptr
+                                        : pools[static_cast<std::size_t>(
+                                              pool_pick - 1)];
+      LossLandscape::ArgmaxOptions argmax;
+      argmax.prune = rng.UniformInt(0, 3) != 0;   // 3/4 pruned
+      argmax.cache = rng.UniformInt(0, 3) != 0;   // 3/4 tiered
+      std::unordered_set<Key> excluded_set;
+      const std::unordered_set<Key>* excluded = nullptr;
+      if (rng.UniformInt(0, 7) == 0) {
+        // Exclude the current optimum: the engine must find the
+        // runner-up exactly.
+        const OracleScan top = oracle.FindOptimal(interior, nullptr);
+        if (top.ok) {
+          excluded_set.insert(top.key);
+          excluded = &excluded_set;
+        }
+      }
+
+      const OracleScan want = oracle.FindOptimal(interior, excluded);
+      const auto got =
+          ll->FindOptimal(interior, excluded, pool, argmax, &stats);
+      ASSERT_EQ(want.ok, got.ok())
+          << "seed " << seed << " op " << op;
+      if (want.ok) {
+        EXPECT_EQ(want.key, got->key) << "seed " << seed << " op " << op;
+        EXPECT_EQ(want.loss, got->loss) << "seed " << seed << " op " << op;
+      }
+
+      // ---- Counter contracts. ----
+      const auto d = [&](std::int64_t LossLandscape::ArgmaxStats::*f) {
+        return stats.*f - prev.*f;
+      };
+      EXPECT_EQ(d(&LossLandscape::ArgmaxStats::rounds), 1);
+      EXPECT_EQ(d(&LossLandscape::ArgmaxStats::fallback_rounds), 0)
+          << "seed " << seed;  // Moderate domains: always admissible.
+      if (!argmax.prune) {
+        EXPECT_EQ(d(&LossLandscape::ArgmaxStats::bound_evals), 0);
+        EXPECT_EQ(d(&LossLandscape::ArgmaxStats::cached_bounds), 0);
+        EXPECT_EQ(d(&LossLandscape::ArgmaxStats::invalidated_gaps), 0);
+        EXPECT_EQ(d(&LossLandscape::ArgmaxStats::pruned_gaps), 0);
+        EXPECT_EQ(d(&LossLandscape::ArgmaxStats::exact_evals),
+                  want.candidates)
+            << "seed " << seed << " op " << op;
+      } else if (!argmax.cache) {
+        // PR 3 pre-pass: every non-excluded endpoint scored once.
+        EXPECT_EQ(d(&LossLandscape::ArgmaxStats::bound_evals),
+                  want.candidates)
+            << "seed " << seed << " op " << op;
+        EXPECT_EQ(d(&LossLandscape::ArgmaxStats::cached_bounds), 0);
+        EXPECT_EQ(d(&LossLandscape::ArgmaxStats::invalidated_gaps), 0);
+      } else {
+        // Tiered scan: every in-range gap dispositioned exactly once,
+        // either by its tier's range bound or by per-gap re-scoring.
+        EXPECT_EQ(d(&LossLandscape::ArgmaxStats::cached_bounds) +
+                      d(&LossLandscape::ArgmaxStats::invalidated_gaps),
+                  want.gaps_in_range)
+            << "seed " << seed << " op " << op;
+        // Bound work: at most one range bound per tier (bounded by the
+        // gap count) plus two endpoint scores per re-scored gap, with
+        // the seed tier scored twice.
+        EXPECT_LE(d(&LossLandscape::ArgmaxStats::bound_evals),
+                  want.gaps_in_range +
+                      4 * d(&LossLandscape::ArgmaxStats::invalidated_gaps) +
+                      4)
+            << "seed " << seed << " op " << op;
+      }
+      // Exact work never exceeds the exhaustive candidate count (the
+      // seed gap is deduplicated in the sweep).
+      EXPECT_LE(d(&LossLandscape::ArgmaxStats::exact_evals),
+                want.candidates)
+          << "seed " << seed << " op " << op;
+      prev = stats;
+    }
+  }
+}
+
+TEST(LandscapeStatefulPropertyTest, SeededOpSequencesMatchFlatOracle) {
+  ThreadPool pool2(2);
+  ThreadPool pool7(7);
+  const std::vector<ThreadPool*> pools = {&pool2, &pool7};
+  const int seeds = SeedCount();
+  for (int s = 0; s < seeds; ++s) {
+    RunSequence(0x5EED5000 + static_cast<std::uint64_t>(s), pools);
+    if (::testing::Test::HasFatalFailure()) {
+      FAIL() << "fatal failure at seed index " << s;
+    }
+  }
+}
+
+TEST(LandscapeStatefulPropertyTest, GreedySelfInsertionSpliceWorkSublinear) {
+  // The greedy attack's own access pattern at a gap count where a flat
+  // O(G) splice would dwarf the tiered bound: 300 inserts into ~5000
+  // maximal gaps must each move O(sqrt(G)) records.
+  Rng rng(0x5811CE);
+  auto ks = GenerateUniform(5000, KeyDomain{0, 80000}, &rng);
+  ASSERT_TRUE(ks.ok());
+  auto ll = LossLandscape::Create(*ks);
+  ASSERT_TRUE(ll.ok());
+
+  const std::int64_t cap = ll->gap_tier_cap();
+  std::int64_t prev_splice = ll->splice_moves();
+  std::int64_t max_moved = 0;
+  for (int round = 0; round < 300; ++round) {
+    auto best = ll->FindOptimal(true);
+    ASSERT_TRUE(best.ok());
+    ASSERT_TRUE(ll->InsertKey(best->key).ok());
+    const std::int64_t moved = ll->splice_moves() - prev_splice;
+    prev_splice = ll->splice_moves();
+    max_moved = std::max(max_moved, moved);
+    const std::int64_t gaps = ll->gap_count();
+    ASSERT_LE(moved,
+              2 * cap + 2 * gaps / std::max<std::int64_t>(1, cap) + 32)
+        << "round " << round;
+  }
+  // Structural sanity: the worst insert stayed around sqrt-scale, far
+  // below the flat vector's ~G/2 average memmove.
+  EXPECT_LT(max_moved, ll->gap_count() / 8);
+  EXPECT_GT(max_moved, 0);
+}
+
+}  // namespace
+}  // namespace lispoison

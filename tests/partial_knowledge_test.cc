@@ -2,7 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+
+#include "attack/greedy_poisoner.h"
 #include "data/generators.h"
+#include "index/cdf_regression.h"
 
 namespace lispoison {
 namespace {
@@ -104,6 +109,70 @@ TEST(PartialKnowledgeTest, Validation) {
       PoisonWithPartialKnowledge(*empty, PartialKnowledgeOptions{},
                                  &attack_rng)
           .ok());
+}
+
+TEST(PartialKnowledgeTest, SeededDifferentialAgainstReferencePlanner) {
+  // Differential pin: PoisonWithPartialKnowledge plans with the
+  // incremental GreedyPoisonCdf (pruned + tiered argmax by default).
+  // Replaying its deterministic sampling step and planning with the
+  // rebuild-per-round exhaustive GreedyPoisonCdfReference must yield
+  // the exact same planned keys, injected keys, and victim losses —
+  // so engine refactors can never silently change this attack path.
+  for (std::uint64_t seed = 0; seed < 12; ++seed) {
+    Rng data_rng(0x9A27 + seed);
+    const std::int64_t n = 120 + static_cast<std::int64_t>(seed % 4) * 60;
+    const KeyDomain domain{0, 10 * n};
+    auto ks = GenerateUniform(n, domain, &data_rng);
+    ASSERT_TRUE(ks.ok());
+
+    PartialKnowledgeOptions opts;
+    opts.observe_fraction = 0.25 + 0.15 * static_cast<double>(seed % 4);
+    opts.poison_fraction = 0.10;
+    Rng attack_rng(0x1234 + seed);
+    auto result = PoisonWithPartialKnowledge(*ks, opts, &attack_rng);
+    ASSERT_TRUE(result.ok()) << "seed " << seed;
+
+    // Reference replay of the attacker's deterministic sample: same
+    // Rng seed, same shuffle, same observation count.
+    Rng replay_rng(0x1234 + seed);
+    std::vector<Key> shuffled = ks->keys();
+    replay_rng.Shuffle(&shuffled);
+    const std::int64_t observed = std::max<std::int64_t>(
+        2, static_cast<std::int64_t>(std::llround(
+               opts.observe_fraction * static_cast<double>(n))));
+    shuffled.resize(static_cast<std::size_t>(std::min(observed, n)));
+    auto sample = KeySet::Create(std::move(shuffled), domain);
+    ASSERT_TRUE(sample.ok());
+    EXPECT_EQ(result->observed_keys, sample->size()) << "seed " << seed;
+
+    const std::int64_t budget = static_cast<std::int64_t>(
+        std::floor(opts.poison_fraction * static_cast<double>(n)));
+    auto plan = GreedyPoisonCdfReference(*sample, budget, opts.attack);
+    ASSERT_TRUE(plan.ok()) << "seed " << seed;
+    EXPECT_EQ(result->planned_keys, plan->poison_keys) << "seed " << seed;
+    EXPECT_EQ(result->predicted_loss, plan->poisoned_loss)
+        << "seed " << seed;
+
+    // Injection filter and the victim retrain, replayed independently.
+    std::vector<Key> injected;
+    for (Key kp : plan->poison_keys) {
+      if (!ks->Contains(kp)) injected.push_back(kp);
+    }
+    EXPECT_EQ(result->injected_keys, injected) << "seed " << seed;
+    auto clean_fit = FitCdfRegression(*ks);
+    ASSERT_TRUE(clean_fit.ok());
+    EXPECT_EQ(result->base_loss, clean_fit->mse) << "seed " << seed;
+    if (injected.empty()) {
+      EXPECT_EQ(result->achieved_loss, clean_fit->mse);
+    } else {
+      auto poisoned = ks->Union(injected);
+      ASSERT_TRUE(poisoned.ok());
+      auto poisoned_fit = FitCdfRegression(*poisoned);
+      ASSERT_TRUE(poisoned_fit.ok());
+      EXPECT_EQ(result->achieved_loss, poisoned_fit->mse)
+          << "seed " << seed;
+    }
+  }
 }
 
 }  // namespace

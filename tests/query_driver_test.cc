@@ -216,8 +216,62 @@ TEST(QueryDriverTest, RejectsBadOptions) {
   opts.batch_size = 16;
   EXPECT_EQ(RunWorkload(nullptr, ops, opts).status().code(),
             StatusCode::kInvalidArgument);
+  opts.latency_sample_every = 0;
+  EXPECT_EQ(RunWorkload(backend.get(), ops, opts).status().code(),
+            StatusCode::kInvalidArgument);
+  opts.latency_sample_every = 1;
   // Empty stream is fine.
   EXPECT_TRUE(RunWorkload(backend.get(), ops, opts).ok());
+}
+
+TEST(QueryDriverTest, BatchedTimingMatchesFullSamplingWithinTolerance) {
+  // ROADMAP item: time every k-th op instead of all of them. On a
+  // deterministic read-only workload the sampled run must (a) record
+  // exactly ceil(total / k) latencies — the subset is keyed off the
+  // global op index, so it is shard-independent — (b) leave the exact
+  // work/found accounting untouched, and (c) produce a histogram whose
+  // median and mean agree with full sampling within a loose factor
+  // (both runs measure the same per-op code path; only scheduling noise
+  // differs).
+  const KeySet ks = TestKeys(2000);
+  const std::int64_t total = 40000;
+  auto ops = GenerateOperations(ReadOnlyUniformWorkload(77), ks, total);
+  ASSERT_TRUE(ops.ok());
+  auto backend = MakeBackend(BackendKind::kBinarySearch, ks);
+
+  DriverOptions full;
+  full.num_threads = 1;
+  const DriverResult rf = MustRun(backend.get(), *ops, full);
+
+  DriverOptions sampled = full;
+  sampled.latency_sample_every = 7;
+  const DriverResult rs = MustRun(backend.get(), *ops, sampled);
+
+  EXPECT_EQ(rf.latency.count(), total);
+  EXPECT_EQ(rs.latency.count(), (total + 6) / 7);
+  EXPECT_EQ(rs.read_latency.count(), rs.latency.count());
+  // Work/found accounting is independent of the timing mode.
+  EXPECT_EQ(rf.total_work, rs.total_work);
+  EXPECT_EQ(rf.read_found, rs.read_found);
+  EXPECT_EQ(rf.max_work, rs.max_work);
+  // Distribution agreement: medians and means within 3x (latencies on
+  // a shared machine vary, but 5.7k samples of the same deterministic
+  // op stream cannot drift an order of magnitude).
+  ASSERT_GT(rf.latency.P50(), 0);
+  ASSERT_GT(rs.latency.P50(), 0);
+  const double p50_ratio = static_cast<double>(rs.latency.P50()) /
+                           static_cast<double>(rf.latency.P50());
+  EXPECT_GT(p50_ratio, 1.0 / 3.0);
+  EXPECT_LT(p50_ratio, 3.0);
+  const double mean_ratio = rs.latency.Mean() / rf.latency.Mean();
+  EXPECT_GT(mean_ratio, 1.0 / 3.0);
+  EXPECT_LT(mean_ratio, 3.0);
+  // The sampled subset is shard-independent: the same k on 3 shards
+  // records the same number of values.
+  DriverOptions sharded = sampled;
+  sharded.num_threads = 3;
+  const DriverResult r3 = MustRun(backend.get(), *ops, sharded);
+  EXPECT_EQ(r3.latency.count(), rs.latency.count());
 }
 
 }  // namespace

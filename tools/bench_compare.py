@@ -35,10 +35,26 @@ import sys
 
 
 def load_benchmarks(path):
-    """name -> real_time for every non-aggregate benchmark entry."""
+    """name -> metric for every entry of a benchmark or serving report.
+
+    google-benchmark JSON ("benchmarks" array): real_time per entry.
+
+    bench_serving report ("configs" array): one entry per
+    workload/backend/variant, valued at the *mean work per op* — the
+    deterministic latency proxy (probes/comparisons). Work totals for
+    insert-free mixes are bit-reproducible across machines and thread
+    counts, so --metric time over serving reports gates real serving
+    regressions without wall-clock noise (gate read-only mixes via
+    --filter; insert-bearing mixes race on backend state).
+    """
     with open(path) as f:
         data = json.load(f)
     out = {}
+    if "configs" in data:
+        for cfg in data["configs"]:
+            name = f"{cfg['workload']}/{cfg['backend']}/{cfg['variant']}"
+            out[name] = float(cfg["work"]["mean"])
+        return out
     for bench in data.get("benchmarks", []):
         if bench.get("run_type") == "aggregate":
             continue

@@ -5,17 +5,29 @@ Runs the bench binary on a small smoke configuration and asserts the
 report shape the rest of the tooling depends on:
 
   * every incremental entry carries the argmax work counters
-    (exact_evals / bound_evals / pruned_gaps / fallback_rounds) plus the
-    threading metadata (num_threads, hardware_concurrency);
-  * prune-on and prune-off siblings of the same configuration agree on
-    the attack outcome (ratio_loss) — pruning must never change results;
+    (exact_evals / bound_evals / pruned_gaps / cached_bounds /
+    invalidated_gaps / fallback_rounds) plus the threading metadata
+    (num_threads, hardware_concurrency);
+  * prune on/off and cache on/off siblings of the same configuration
+    agree on the attack outcome (ratio_loss) — neither pruning nor the
+    tiered bound cache may ever change results;
+  * the cache-on arm's bound/exact work stays within a bounded factor
+    of the cache-off pre-pass even on dense configs, and the prune-off
+    arm does no bound work at all;
   * tools/bench_compare.py can pair every incremental entry with its
     reference sibling and compute speedups (the CI regression gate).
+
+With a second argument — the committed BENCH_attack_throughput.json —
+it additionally asserts the ISSUE 4 acceptance criterion on the
+committed trajectory: on the sparse n=100k configs (uniform and
+log-normal, serial, pruned) the cache-on arm's bound_evals are >= 10x
+below the cache-off arm's.
 
 Registered as a ctest (bench_attack_json_golden) so the structure is
 checked by the tier-1 suite, including the sanitizer matrix. Usage:
 
-  tools/check_bench_json.py /path/to/bench_attack_throughput
+  tools/check_bench_json.py /path/to/bench_attack_throughput \
+      [BENCH_attack_throughput.json]
 """
 
 import json
@@ -32,6 +44,8 @@ REQUIRED_COUNTERS = (
     "exact_evals",
     "bound_evals",
     "pruned_gaps",
+    "cached_bounds",
+    "invalidated_gaps",
     "fallback_rounds",
     "num_threads",
     "hardware_concurrency",
@@ -40,8 +54,138 @@ REQUIRED_COUNTERS = (
 )
 
 
+def split_args(name):
+    """'BM_X/1/100000/1000/1/1/0' -> ('BM_X', (1, 100000, 1000, 1, 1, 0))."""
+    parts = name.split("/")
+    return parts[0], tuple(int(p) for p in parts[1:])
+
+
+def sibling(entries, name, arg_index, value):
+    """The entry whose name matches `name` except args[arg_index] == value."""
+    base, args = split_args(name)
+    target = list(args)
+    target[arg_index] = value
+    for other in entries:
+        other_base, other_args = split_args(other)
+        if other_base == base and other_args == tuple(target):
+            return other
+    return None
+
+
+def outcome(entry):
+    """The attack-outcome counter: greedy and RMI configs name it
+    differently."""
+    return entry.get("ratio_loss", entry.get("rmi_ratio_loss"))
+
+
+def check_entries(entries, require_pairs):
+    """Outcome-identity and counter checks over incremental entries.
+
+    Incremental args are (dataset, n, p_or_models, threads, prune, cache).
+    Returns (prune_pairs, cache_pairs).
+    """
+    prune_pairs = cache_pairs = 0
+    for name, entry in entries.items():
+        base, args = split_args(name)
+        if "_Incremental" not in base or len(args) != 6:
+            continue
+        prune, cache = args[4], args[5]
+        if prune == 0:
+            assert entry["bound_evals"] == 0, f"{name} (prune off) scored bounds"
+            assert entry["cached_bounds"] == 0 and entry["invalidated_gaps"] == 0, (
+                f"{name} (prune off) touched the tier cache counters"
+            )
+        if prune == 1:
+            # A pruned arm that silently degenerates to the exhaustive
+            # fallback every round would pass the outcome checks; it
+            # must actually score bounds.
+            assert entry["bound_evals"] > 0, (
+                f"{name} (prune on) never scored a bound"
+            )
+        if prune == 1 and cache == 0:
+            assert entry["cached_bounds"] == 0 and entry["invalidated_gaps"] == 0, (
+                f"{name} (cache off) touched the tier cache counters"
+            )
+        if prune == 1 and cache == 1:
+            assert entry["cached_bounds"] + entry["invalidated_gaps"] > 0, (
+                f"{name} (cache on) never dispositioned a gap"
+            )
+        # Prune pair: same config, prune flipped (cache-off arms).
+        if prune == 1 and cache == 0:
+            off_name = sibling(entries, name, 4, 0)
+            if off_name is not None:
+                off = entries[off_name]
+                prune_pairs += 1
+                assert outcome(entry) == outcome(off), (
+                    f"pruning changed the attack outcome: {name}"
+                )
+                assert entry["exact_evals"] <= off["exact_evals"], (
+                    f"pruning increased exact evaluations: {name}"
+                )
+        # Cache pair: same pruned config, cache flipped.
+        if prune == 1 and cache == 1:
+            off_name = sibling(entries, name, 5, 0)
+            if off_name is not None:
+                off = entries[off_name]
+                cache_pairs += 1
+                assert outcome(entry) == outcome(off), (
+                    f"the bound cache changed the attack outcome: {name}"
+                )
+                # Dense configs (few gaps, few skippable tiers) may pay
+                # a bounded overhead; the >= 10x sparse win is asserted
+                # on the committed baseline below.
+                assert entry["bound_evals"] <= off["bound_evals"] * 2, (
+                    f"the tiered cache blew up bound work: {name}"
+                )
+                assert entry["exact_evals"] <= off["exact_evals"] * 2, (
+                    f"the tiered cache blew up exact evaluations: {name}"
+                )
+    if require_pairs:
+        assert prune_pairs > 0, "no prune on/off sibling pair found"
+        assert cache_pairs > 0, "no cache on/off sibling pair found"
+    return prune_pairs, cache_pairs
+
+
+def load_entries(path_or_report):
+    if isinstance(path_or_report, str):
+        with open(path_or_report) as f:
+            report = json.load(f)
+    else:
+        report = path_or_report
+    return {
+        b["name"]: b
+        for b in report.get("benchmarks", [])
+        if b.get("run_type") != "aggregate"
+    }
+
+
+def check_committed_baseline(path):
+    """ISSUE 4 acceptance: >= 10x bound_evals drop on the sparse configs."""
+    entries = load_entries(path)
+    sparse = [
+        f"{GREEDY_INCREMENTAL}/{dataset}/100000/1000/1/1/1"
+        for dataset in (1, 2)  # kUniform, kLogNormal
+    ]
+    checked = 0
+    for name in sparse:
+        assert name in entries, f"committed baseline lacks {name}"
+        off_name = sibling(entries, name, 5, 0)
+        assert off_name is not None, f"committed baseline lacks {name}'s cache-off arm"
+        on, off = entries[name], entries[off_name]
+        assert on["bound_evals"] * 10 <= off["bound_evals"], (
+            f"committed baseline: cache-on bound_evals not >=10x below "
+            f"cache-off for {name} ({on['bound_evals']} vs {off['bound_evals']})"
+        )
+        assert on["ratio_loss"] == off["ratio_loss"], (
+            f"committed baseline: cache changed the outcome for {name}"
+        )
+        checked += 1
+    check_entries(entries, require_pairs=True)
+    print(f"committed baseline OK: {checked} sparse cache pairs >= 10x")
+
+
 def main():
-    if len(sys.argv) != 2:
+    if len(sys.argv) not in (2, 3):
         print(__doc__, file=sys.stderr)
         return 2
     bench = sys.argv[1]
@@ -51,7 +195,7 @@ def main():
         subprocess.run(
             [
                 bench,
-                # Dense n=10^4 greedy configs only (prune on + off +
+                # Dense n=10^4 greedy configs only (prune/cache arms +
                 # reference): cheap enough for sanitizer builds. The
                 # trailing slash anchors the arg — google-benchmark
                 # filters are unanchored partial-match regexes, and a
@@ -67,11 +211,7 @@ def main():
         with open(out) as f:
             report = json.load(f)
 
-    entries = {
-        b["name"]: b
-        for b in report.get("benchmarks", [])
-        if b.get("run_type") != "aggregate"
-    }
+    entries = load_entries(report)
     assert entries, "smoke run produced no benchmark entries"
     assert "hardware_concurrency" in report.get("context", {}), (
         "context must record hardware_concurrency"
@@ -83,27 +223,7 @@ def main():
         for counter in REQUIRED_COUNTERS:
             assert counter in entry, f"{name} is missing counter {counter}"
 
-    # Prune on/off siblings (…/threads/1 vs …/threads/0) must agree on
-    # the attack outcome; the prune-off arm reports zero bound work.
-    prune_pairs = 0
-    for name, entry in incremental.items():
-        if not name.endswith("/0"):
-            continue
-        sibling = incremental.get(name[: -len("/0")] + "/1")
-        if sibling is None:
-            continue
-        prune_pairs += 1
-        assert entry["ratio_loss"] == sibling["ratio_loss"], (
-            f"pruning changed the attack outcome: {name}"
-        )
-        assert entry["bound_evals"] == 0, f"{name} (prune off) scored bounds"
-        assert sibling["bound_evals"] > 0, (
-            f"{sibling} (prune on) never scored a bound"
-        )
-        assert sibling["exact_evals"] <= entry["exact_evals"], (
-            f"pruning increased exact evaluations: {name}"
-        )
-    assert prune_pairs > 0, "no prune on/off sibling pair in the smoke run"
+    prune_pairs, cache_pairs = check_entries(entries, require_pairs=True)
 
     # The CI regression gate must be able to pair and rate every
     # incremental entry despite the extra trailing args.
@@ -114,8 +234,12 @@ def main():
 
     print(
         f"bench JSON golden OK: {len(incremental)} incremental entries, "
-        f"{prune_pairs} prune pair(s), {len(speedups)} speedup(s)"
+        f"{prune_pairs} prune pair(s), {cache_pairs} cache pair(s), "
+        f"{len(speedups)} speedup(s)"
     )
+
+    if len(sys.argv) == 3:
+        check_committed_baseline(sys.argv[2])
     return 0
 
 
