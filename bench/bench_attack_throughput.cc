@@ -17,6 +17,7 @@
 #include <thread>
 #include <utility>
 
+#include "attack/deletion_attack.h"
 #include "attack/greedy_poisoner.h"
 #include "attack/rmi_poisoner.h"
 #include "common/rng.h"
@@ -159,6 +160,116 @@ void BM_GreedyPoisonCdf_Reference(benchmark::State& state) {
   ReportThreads(state, 1);
 }
 
+// ---------------------------------------------------------------------------
+// Update-stream attacks (paper §V): deletion and modification on the
+// persistent incremental engine vs the rebuild-per-round references.
+// The "poisons"/ratio counters keep the insertion benches' names so the
+// golden-structure and compare tooling treats every attack uniformly
+// (a "poison" here is one committed removal / relocation).
+// ---------------------------------------------------------------------------
+
+void BM_GreedyDeleteCdf_Incremental(benchmark::State& state) {
+  const auto dataset = static_cast<Dataset>(state.range(0));
+  const std::int64_t n = state.range(1);
+  const std::int64_t d = state.range(2);
+  const std::int64_t num_threads = state.range(3);
+  const bool prune = state.range(4) != 0;
+  const bool cache = state.range(5) != 0;
+  const KeySet& ks = CachedKeyset(dataset, n);
+  AttackOptions options;
+  options.num_threads = static_cast<int>(num_threads);
+  options.prune_argmax = prune;
+  options.cache_argmax = cache;
+  DeletionAttackResult last;
+  for (auto _ : state) {
+    auto r = GreedyDeleteCdf(ks, d, /*deletable=*/{}, options);
+    if (!r.ok()) {
+      state.SkipWithError(r.status().message().c_str());
+      break;
+    }
+    last = std::move(*r);
+    benchmark::DoNotOptimize(last.attacked_loss);
+  }
+  state.counters["poisons_per_sec"] = benchmark::Counter(
+      static_cast<double>(d), benchmark::Counter::kIsIterationInvariantRate);
+  state.counters["ratio_loss"] = last.RatioLoss();
+  ReportArgmax(state, last.argmax_stats);
+  ReportThreads(state, num_threads);
+}
+
+void BM_GreedyDeleteCdf_Reference(benchmark::State& state) {
+  const auto dataset = static_cast<Dataset>(state.range(0));
+  const std::int64_t n = state.range(1);
+  const std::int64_t d = state.range(2);
+  const KeySet& ks = CachedKeyset(dataset, n);
+  DeletionAttackResult last;
+  for (auto _ : state) {
+    auto r = GreedyDeleteCdfReference(ks, d);
+    if (!r.ok()) {
+      state.SkipWithError(r.status().message().c_str());
+      break;
+    }
+    last = std::move(*r);
+    benchmark::DoNotOptimize(last.attacked_loss);
+  }
+  state.counters["poisons_per_sec"] = benchmark::Counter(
+      static_cast<double>(d), benchmark::Counter::kIsIterationInvariantRate);
+  state.counters["ratio_loss"] = last.RatioLoss();
+  ReportThreads(state, 1);
+}
+
+void BM_GreedyModifyCdf_Incremental(benchmark::State& state) {
+  const auto dataset = static_cast<Dataset>(state.range(0));
+  const std::int64_t n = state.range(1);
+  const std::int64_t moves = state.range(2);
+  const std::int64_t num_threads = state.range(3);
+  const bool prune = state.range(4) != 0;
+  const bool cache = state.range(5) != 0;
+  const KeySet& ks = CachedKeyset(dataset, n);
+  AttackOptions options;
+  options.num_threads = static_cast<int>(num_threads);
+  options.prune_argmax = prune;
+  options.cache_argmax = cache;
+  ModificationAttackResult last;
+  for (auto _ : state) {
+    auto r = GreedyModifyCdf(ks, moves, /*movable=*/{}, options);
+    if (!r.ok()) {
+      state.SkipWithError(r.status().message().c_str());
+      break;
+    }
+    last = std::move(*r);
+    benchmark::DoNotOptimize(last.attacked_loss);
+  }
+  state.counters["poisons_per_sec"] = benchmark::Counter(
+      static_cast<double>(moves),
+      benchmark::Counter::kIsIterationInvariantRate);
+  state.counters["ratio_loss"] = last.RatioLoss();
+  ReportArgmax(state, last.argmax_stats);
+  ReportThreads(state, num_threads);
+}
+
+void BM_GreedyModifyCdf_Reference(benchmark::State& state) {
+  const auto dataset = static_cast<Dataset>(state.range(0));
+  const std::int64_t n = state.range(1);
+  const std::int64_t moves = state.range(2);
+  const KeySet& ks = CachedKeyset(dataset, n);
+  ModificationAttackResult last;
+  for (auto _ : state) {
+    auto r = GreedyModifyCdfReference(ks, moves);
+    if (!r.ok()) {
+      state.SkipWithError(r.status().message().c_str());
+      break;
+    }
+    last = std::move(*r);
+    benchmark::DoNotOptimize(last.attacked_loss);
+  }
+  state.counters["poisons_per_sec"] = benchmark::Counter(
+      static_cast<double>(moves),
+      benchmark::Counter::kIsIterationInvariantRate);
+  state.counters["ratio_loss"] = last.RatioLoss();
+  ReportThreads(state, 1);
+}
+
 void BM_PoisonRmi_Incremental(benchmark::State& state) {
   const auto dataset = static_cast<Dataset>(state.range(0));
   const std::int64_t n = state.range(1);
@@ -238,6 +349,39 @@ BENCHMARK(BM_GreedyPoisonCdf_Reference)
     ->Args({kDenseRuns, 100000, 1000})
     ->Args({kLogNormal, 100000, 1000})
     ->Args({kUniform, 100000, 1000});
+// Update-stream configs: same 6-arg layout as the insertion attacks
+// (dataset, n, budget, threads, prune, cache). The cache arm of the
+// removal argmax is the block-chord tiered scan (one bound per
+// 128-candidate block, per-key re-scoring only in surviving blocks);
+// ISSUE 5's acceptance gate (>= 10x deletion wall-clock vs the
+// rebuild-per-round reference at n=100k) is asserted on the committed
+// JSON by tools/check_bench_json.py.
+BENCHMARK(BM_GreedyDeleteCdf_Incremental)
+    ->Unit(benchmark::kMillisecond)
+    ->Args({kDenseRuns, 10000, 100, 1, 1, 1})
+    ->Args({kDenseRuns, 10000, 100, 1, 1, 0})
+    ->Args({kDenseRuns, 10000, 100, 1, 0, 0})
+    ->Args({kUniform, 100000, 200, 1, 1, 1})
+    ->Args({kUniform, 100000, 200, 1, 1, 0})
+    ->Args({kUniform, 100000, 200, 1, 0, 0})
+    ->Args({kUniform, 100000, 200, 0, 1, 1})
+    ->Args({kLogNormal, 100000, 200, 1, 1, 1});
+BENCHMARK(BM_GreedyDeleteCdf_Reference)
+    ->Unit(benchmark::kMillisecond)
+    ->Args({kDenseRuns, 10000, 100})
+    ->Args({kUniform, 100000, 200})
+    ->Args({kLogNormal, 100000, 200});
+BENCHMARK(BM_GreedyModifyCdf_Incremental)
+    ->Unit(benchmark::kMillisecond)
+    ->Args({kDenseRuns, 10000, 50, 1, 1, 1})
+    ->Args({kDenseRuns, 10000, 50, 1, 1, 0})
+    ->Args({kDenseRuns, 10000, 50, 1, 0, 0})
+    ->Args({kUniform, 100000, 100, 1, 1, 1})
+    ->Args({kUniform, 100000, 100, 0, 1, 1});
+BENCHMARK(BM_GreedyModifyCdf_Reference)
+    ->Unit(benchmark::kMillisecond)
+    ->Args({kDenseRuns, 10000, 50})
+    ->Args({kUniform, 100000, 100});
 // Dense runs saturate the per-model budget at paper scale (most models
 // own a fully contiguous span with no interior candidate), so the RMI
 // configurations use the paper's skewed and uniform workloads.

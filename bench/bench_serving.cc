@@ -21,6 +21,10 @@
 //   --out=serving_report.json
 //   --sample-every=1   record latency for every k-th op (batched timing;
 //                      work accounting is unaffected)
+//   --compact-threshold=0  overlay size that triggers an overlay-into-
+//                      base merge + substrate retrain (0 = never; the
+//                      ROADMAP dynamic_index-style delta-merge knob for
+//                      insert-heavy runs)
 //   --smoke            capped CI configuration (small n/ops, 2 threads)
 
 #include <cstdio>
@@ -59,6 +63,8 @@ int Run(int argc, char** argv) {
   const std::int64_t model_size = flags.GetInt("model-size", 500);
   const std::uint64_t seed =
       static_cast<std::uint64_t>(flags.GetInt("seed", 42));
+  const std::int64_t compact_threshold =
+      flags.GetInt("compact-threshold", 0);
   const std::string out_path =
       flags.GetString("out", "serving_report.json");
 
@@ -130,6 +136,7 @@ int Run(int argc, char** argv) {
       for (const BackendKind kind : kinds) {
         BackendOptions backend_opts;
         backend_opts.rmi.target_model_size = model_size;
+        backend_opts.compact_threshold = compact_threshold;
         // A fresh backend per run: insert mixes mutate the overlay.
         auto backend_or = CreateBackend(kind, *variant.keyset, backend_opts);
         if (!backend_or.ok()) {

@@ -1,11 +1,13 @@
 #include "attack/deletion_attack.h"
 
 #include <algorithm>
+#include <memory>
 #include <string>
 #include <unordered_set>
 
 #include "attack/loss_landscape.h"
 #include "common/stats.h"
+#include "common/thread_pool.h"
 #include "index/cdf_regression.h"
 
 namespace lispoison {
@@ -83,11 +85,9 @@ long double LossOfSorted(const std::vector<Key>& keys) {
   return FitFromMoments(acc).mse;
 }
 
-}  // namespace
-
-Result<DeletionAttackResult> GreedyDeleteCdf(
-    const KeySet& keyset, std::int64_t d,
-    const std::vector<Key>& deletable) {
+/// Shared validation of the deletion-attack inputs.
+Status ValidateDeletion(const KeySet& keyset, std::int64_t d,
+                        const std::vector<Key>& deletable) {
   if (keyset.empty()) {
     return Status::InvalidArgument("cannot attack an empty keyset");
   }
@@ -98,14 +98,84 @@ Result<DeletionAttackResult> GreedyDeleteCdf(
         std::to_string(keyset.size()) +
         " keys leaves fewer than two points to regress on");
   }
-  const bool restricted = !deletable.empty();
-  std::unordered_set<Key> allowed(deletable.begin(), deletable.end());
   for (Key k : deletable) {
     if (!keyset.Contains(k)) {
       return Status::InvalidArgument(
           "deletable key " + std::to_string(k) + " is not stored");
     }
   }
+  return Status::OK();
+}
+
+/// Shared validation of the modification-attack inputs.
+Status ValidateModification(const KeySet& keyset, std::int64_t moves,
+                            const std::vector<Key>& movable) {
+  if (keyset.empty()) {
+    return Status::InvalidArgument("cannot attack an empty keyset");
+  }
+  if (moves < 1) {
+    return Status::InvalidArgument("modification budget must be >= 1");
+  }
+  if (keyset.size() < 4) {
+    return Status::InvalidArgument(
+        "modification attack needs at least four stored keys");
+  }
+  for (Key k : movable) {
+    if (!keyset.Contains(k)) {
+      return Status::InvalidArgument(
+          "movable key " + std::to_string(k) + " is not stored");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<DeletionAttackResult> GreedyDeleteCdf(
+    const KeySet& keyset, std::int64_t d, const std::vector<Key>& deletable,
+    const AttackOptions& options) {
+  LISPOISON_RETURN_IF_ERROR(ValidateDeletion(keyset, d, deletable));
+  const bool restricted = !deletable.empty();
+  std::unordered_set<Key> allowed(deletable.begin(), deletable.end());
+
+  DeletionAttackResult result;
+  // Same arithmetic path as the reference's base loss, so the two
+  // results stay bit-equal end to end.
+  result.base_loss = LossOfSorted(keyset.keys());
+
+  // One landscape for the whole attack: each committed removal updates
+  // the aggregates, the tiered gap decomposition (O(sqrt(G)) merge) and
+  // the removal-candidate SoA in place, so the next round's argmax sees
+  // the mirror-image compound rank shifts exactly.
+  LISPOISON_ASSIGN_OR_RETURN(LossLandscape landscape,
+                             LossLandscape::Create(keyset));
+  std::unique_ptr<ThreadPool> pool = MakeAttackPool(options);
+  const LossLandscape::ArgmaxOptions argmax = options.ArgmaxKnobs();
+
+  for (std::int64_t round = 0; round < d; ++round) {
+    auto best = landscape.FindOptimalRemoval(
+        restricted ? &allowed : nullptr, pool.get(), argmax,
+        &result.argmax_stats);
+    if (!best.ok()) {
+      return Status::ResourceExhausted(
+          "no deletable key left after " + std::to_string(round) + " of " +
+          std::to_string(d) + " removals");
+    }
+    LISPOISON_RETURN_IF_ERROR(landscape.RemoveKey(best->key));
+    if (restricted) allowed.erase(best->key);
+    result.removed_keys.push_back(best->key);
+    result.loss_trajectory.push_back(best->loss);
+  }
+  result.attacked_loss = result.loss_trajectory.back();
+  return result;
+}
+
+Result<DeletionAttackResult> GreedyDeleteCdfReference(
+    const KeySet& keyset, std::int64_t d,
+    const std::vector<Key>& deletable) {
+  LISPOISON_RETURN_IF_ERROR(ValidateDeletion(keyset, d, deletable));
+  const bool restricted = !deletable.empty();
+  std::unordered_set<Key> allowed(deletable.begin(), deletable.end());
 
   DeletionAttackResult result;
   std::vector<Key> work = keyset.keys();
@@ -146,24 +216,60 @@ Result<DeletionAttackResult> GreedyDeleteCdf(
 Result<ModificationAttackResult> GreedyModifyCdf(
     const KeySet& keyset, std::int64_t moves,
     const std::vector<Key>& movable, const AttackOptions& options) {
-  if (keyset.empty()) {
-    return Status::InvalidArgument("cannot attack an empty keyset");
-  }
-  if (moves < 1) {
-    return Status::InvalidArgument("modification budget must be >= 1");
-  }
-  if (keyset.size() < 4) {
-    return Status::InvalidArgument(
-        "modification attack needs at least four stored keys");
-  }
+  LISPOISON_RETURN_IF_ERROR(ValidateModification(keyset, moves, movable));
   const bool restricted = !movable.empty();
   std::unordered_set<Key> allowed(movable.begin(), movable.end());
-  for (Key k : movable) {
-    if (!keyset.Contains(k)) {
-      return Status::InvalidArgument(
-          "movable key " + std::to_string(k) + " is not stored");
+
+  ModificationAttackResult result;
+  result.base_loss = LossOfSorted(keyset.keys());
+
+  // One persistent landscape drives both halves of every move: the
+  // pruned removal argmax + RemoveKey, then the tiered insertion argmax
+  // + InsertKey — the ReplaceKey decomposition, with the argmax between
+  // the two halves.
+  LISPOISON_ASSIGN_OR_RETURN(LossLandscape landscape,
+                             LossLandscape::Create(keyset));
+  std::unique_ptr<ThreadPool> pool = MakeAttackPool(options);
+  const LossLandscape::ArgmaxOptions argmax = options.ArgmaxKnobs();
+
+  for (std::int64_t round = 0; round < moves; ++round) {
+    auto del = landscape.FindOptimalRemoval(
+        restricted ? &allowed : nullptr, pool.get(), argmax,
+        &result.argmax_stats);
+    if (!del.ok()) {
+      return Status::ResourceExhausted(
+          "no movable key left at round " + std::to_string(round));
     }
+    LISPOISON_RETURN_IF_ERROR(landscape.RemoveKey(del->key));
+    auto ins = landscape.FindOptimal(options.interior_only,
+                                     /*excluded=*/nullptr, pool.get(),
+                                     argmax, &result.argmax_stats);
+    if (!ins.ok()) {
+      // Nowhere to put it back: undo the deletion and stop.
+      LISPOISON_RETURN_IF_ERROR(landscape.InsertKey(del->key));
+      return Status::ResourceExhausted(
+          "no unoccupied re-insertion slot at round " +
+          std::to_string(round));
+    }
+    LISPOISON_RETURN_IF_ERROR(landscape.InsertKey(ins->key));
+    // The relocated record keeps its identity: it remains movable.
+    if (restricted) {
+      allowed.erase(del->key);
+      allowed.insert(ins->key);
+    }
+    result.moves.emplace_back(del->key, ins->key);
+    result.loss_trajectory.push_back(ins->loss);
+    result.attacked_loss = ins->loss;
   }
+  return result;
+}
+
+Result<ModificationAttackResult> GreedyModifyCdfReference(
+    const KeySet& keyset, std::int64_t moves,
+    const std::vector<Key>& movable, const AttackOptions& options) {
+  LISPOISON_RETURN_IF_ERROR(ValidateModification(keyset, moves, movable));
+  const bool restricted = !movable.empty();
+  std::unordered_set<Key> allowed(movable.begin(), movable.end());
 
   ModificationAttackResult result;
   std::vector<Key> work = keyset.keys();
@@ -216,6 +322,7 @@ Result<ModificationAttackResult> GreedyModifyCdf(
       allowed.insert(best->key);
     }
     result.moves.emplace_back(moved, best->key);
+    result.loss_trajectory.push_back(best->loss);
     result.attacked_loss = best->loss;
   }
   return result;

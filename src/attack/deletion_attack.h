@@ -1,18 +1,25 @@
 // Copyright (c) lispoison authors. Licensed under the MIT license.
 //
-// Extension (paper §VI, future directions): adversaries that REMOVE or
-// MODIFY keys instead of only inserting them. Deleting a key k_j has a
-// mirror-image compound effect to insertion: every key larger than k_j
-// loses one rank, so the deletion loss sequence admits the same O(1)
-// aggregate evaluation as LossLandscape and a greedy multi-key attack.
-// Modification (relocating a key the adversary owns) composes one
-// deletion with one insertion per round.
+// Extension (paper §V/§VI, update-stream threat model): adversaries that
+// REMOVE or MODIFY keys instead of only inserting them. Deleting a key
+// k_j has a mirror-image compound effect to insertion: every key larger
+// than k_j loses one rank, so the deletion loss sequence admits the same
+// O(1) aggregate evaluation as LossLandscape and a greedy multi-key
+// attack. Modification (relocating a key the adversary owns) composes
+// one deletion with one insertion per round.
+//
+// Both greedy attacks run on the persistent incremental LossLandscape
+// (RemoveKey / InsertKey commits, the pruned removal argmax with its
+// batched SoA bound kernel, and the tiered insertion argmax), selecting
+// bit-identical sequences to the retained rebuild-per-round references
+// for every prune x cache x thread-count combination.
 
 #ifndef LISPOISON_ATTACK_DELETION_ATTACK_H_
 #define LISPOISON_ATTACK_DELETION_ATTACK_H_
 
 #include <vector>
 
+#include "attack/loss_landscape.h"
 #include "attack/single_point.h"
 #include "common/status.h"
 #include "common/types.h"
@@ -30,6 +37,9 @@ struct DeletionAttackResult {
   long double attacked_loss = 0;
   /// Loss after each individual removal.
   std::vector<long double> loss_trajectory;
+  /// Removal-argmax work counters summed over all rounds (exact
+  /// evaluations, batched bound scores, pruned candidates).
+  LossLandscape::ArgmaxStats argmax_stats;
 
   double RatioLoss() const { return SafeRatioLoss(attacked_loss, base_loss); }
 };
@@ -37,11 +47,30 @@ struct DeletionAttackResult {
 /// \brief Greedy deletion attack: removes \p d keys, each round choosing
 /// the stored key whose removal maximizes the retrained loss.
 ///
+/// Runs on one persistent LossLandscape: each committed removal updates
+/// the aggregates (O(log n)), the tiered gap decomposition (O(sqrt(G))
+/// merge) and the candidate SoA in place, and each round's argmax is
+/// the pruned FindOptimalRemoval scan — no per-round landscape
+/// reconstruction. AttackOptions::num_threads / prune_argmax /
+/// cache_argmax plumb straight through; the removed-key sequence and
+/// loss trajectory are bit-identical to GreedyDeleteCdfReference for
+/// every setting.
+///
 /// The adversary may only delete keys it plausibly controls; pass
 /// \p deletable to restrict candidates (empty = any key may go). Fails
 /// when fewer than d + 2 keys remain available (the regression needs
 /// at least two points).
 Result<DeletionAttackResult> GreedyDeleteCdf(
+    const KeySet& keyset, std::int64_t d,
+    const std::vector<Key>& deletable = {},
+    const AttackOptions& options = {});
+
+/// \brief The pre-refactor rebuild-per-round implementation: every round
+/// rebuilds an O(n) suffix-sum landscape over the surviving keys and
+/// scans all candidates exhaustively. Kept as the differential-testing
+/// oracle and the baseline of bench_attack_throughput; do not use on
+/// hot paths.
+Result<DeletionAttackResult> GreedyDeleteCdfReference(
     const KeySet& keyset, std::int64_t d,
     const std::vector<Key>& deletable = {});
 
@@ -51,6 +80,10 @@ struct ModificationAttackResult {
   std::vector<std::pair<Key, Key>> moves;
   long double base_loss = 0;
   long double attacked_loss = 0;
+  /// Loss after each completed move (size == |moves|).
+  std::vector<long double> loss_trajectory;
+  /// Combined removal- and insertion-argmax work counters.
+  LossLandscape::ArgmaxStats argmax_stats;
 
   double RatioLoss() const { return SafeRatioLoss(attacked_loss, base_loss); }
 };
@@ -60,8 +93,21 @@ struct ModificationAttackResult {
 /// the loss-maximizing unoccupied position (keeping |K| constant — the
 /// adversary "edits" records it controls, e.g. OpenStreetMap entries).
 ///
+/// Runs on one persistent LossLandscape via RemoveKey + InsertKey (the
+/// ReplaceKey decomposition), sharing the incremental engine with every
+/// other attack in the repo; bit-identical to
+/// GreedyModifyCdfReference for every prune x cache x thread setting.
+///
 /// \p movable restricts which keys may be relocated (empty = any).
 Result<ModificationAttackResult> GreedyModifyCdf(
+    const KeySet& keyset, std::int64_t moves,
+    const std::vector<Key>& movable = {},
+    const AttackOptions& options = {});
+
+/// \brief The pre-refactor rebuild-per-round modification attack
+/// (per-round deletion landscape + fresh insertion landscape). Kept as
+/// the differential-testing oracle and bench baseline.
+Result<ModificationAttackResult> GreedyModifyCdfReference(
     const KeySet& keyset, std::int64_t moves,
     const std::vector<Key>& movable = {},
     const AttackOptions& options = {});

@@ -76,6 +76,164 @@ void TieredGaps::SplitTier(std::size_t tier_idx) {
                 std::move(right));
 }
 
+void TieredGaps::RebalanceUnderflow(std::size_t tier_idx) {
+  if (tiers_.size() <= 1 || tier_idx >= tiers_.size()) return;
+  Tier& t = tiers_[tier_idx];
+  if (static_cast<std::int64_t>(t.gaps.size()) >=
+      std::max<std::int64_t>(1, tier_cap_ / 4)) {
+    return;
+  }
+  // Merge the underfull tier into its smaller neighbour; if the union
+  // overflows the cap, the regular 2x-cap split rule restores balance.
+  std::size_t left = tier_idx;
+  if (tier_idx == 0) {
+    left = 0;
+  } else if (tier_idx + 1 == tiers_.size()) {
+    left = tier_idx - 1;
+  } else {
+    left = tiers_[tier_idx - 1].gaps.size() <=
+                   tiers_[tier_idx + 1].gaps.size()
+               ? tier_idx - 1
+               : tier_idx;
+  }
+  Tier& a = tiers_[left];
+  Tier& b = tiers_[left + 1];
+  // Gap records are tier-relative: moving b's gaps under a's deltas
+  // re-bases them by the delta difference.
+  const Rank dc = b.delta_cnt - a.delta_cnt;
+  const Int128 ds = b.delta_sum - a.delta_sum;
+  a.gaps.reserve(a.gaps.size() + b.gaps.size());
+  for (const GapRec& g : b.gaps) {
+    a.gaps.push_back(GapRec{g.lo, g.hi, g.cnt + dc, g.sum + ds});
+  }
+  splice_moves_ += static_cast<std::int64_t>(b.gaps.size());
+  RecountTier(&a);
+  EraseTier(left + 1);
+  if (static_cast<std::int64_t>(tiers_[left].gaps.size()) > tier_cap_) {
+    SplitTier(left);
+  }
+}
+
+void TieredGaps::MergeAt(Key kp, Int128 kp_s, Rank abs_cnt, Int128 abs_sum) {
+  // Position: rt is the first tier whose coverage reaches kp, rgi the
+  // first gap with hi >= kp inside it. kp is occupied, so that gap (when
+  // it exists) satisfies lo > kp — it is the right neighbour candidate.
+  std::size_t rt = FirstTierNotBelow(kp);
+  std::size_t rgi = 0;
+  if (rt < tiers_.size()) {
+    const std::vector<GapRec>& gaps = tiers_[rt].gaps;
+    rgi = static_cast<std::size_t>(
+        std::lower_bound(gaps.begin(), gaps.end(), kp,
+                         [](const GapRec& g, Key k) { return g.hi < k; }) -
+        gaps.begin());
+  }
+
+  // Every gap above kp loses the key kp from its below-bookkeeping:
+  // eager within tier rt, lazy per-tier deltas afterwards (the mirror
+  // image of SplitAt's increment).
+  if (rt < tiers_.size()) {
+    std::vector<GapRec>& gaps = tiers_[rt].gaps;
+    for (std::size_t j = rgi; j < gaps.size(); ++j) {
+      gaps[j].cnt -= 1;
+      gaps[j].sum -= kp_s;
+    }
+    for (std::size_t tj = rt + 1; tj < tiers_.size(); ++tj) {
+      tiers_[tj].delta_cnt -= 1;
+      tiers_[tj].delta_sum -= kp_s;
+    }
+  }
+
+  // Neighbour gaps: left is the gap immediately before position
+  // (rt, rgi) in global order, right is the gap at it.
+  std::size_t lt = 0;
+  std::size_t lgi = 0;
+  bool has_left = false;
+  if (rt < tiers_.size() && rgi > 0) {
+    lt = rt;
+    lgi = rgi - 1;
+    has_left = true;
+  } else {
+    const std::size_t before = rt;  // == index of the tier after kp.
+    if (before > 0) {
+      lt = before - 1;
+      lgi = tiers_[lt].gaps.size() - 1;
+      has_left = true;
+    }
+  }
+  const bool left_adjacent =
+      has_left && tiers_[lt].gaps[lgi].hi == kp - 1;
+  const bool right_adjacent =
+      rt < tiers_.size() && rgi < tiers_[rt].gaps.size() &&
+      tiers_[rt].gaps[rgi].lo == kp + 1;
+
+  if (left_adjacent && right_adjacent) {
+    // Two maximal runs collapse into one: the left record absorbs the
+    // right one's span (its below-bookkeeping is unchanged — the keys
+    // below its lo did not move).
+    std::vector<GapRec>& rgaps = tiers_[rt].gaps;
+    tiers_[lt].gaps[lgi].hi = rgaps[rgi].hi;
+    splice_moves_ += static_cast<std::int64_t>(rgaps.size() - rgi - 1);
+    rgaps.erase(rgaps.begin() + static_cast<std::ptrdiff_t>(rgi));
+    total_gaps_ -= 1;
+    RecountTier(&tiers_[lt]);
+    if (rgaps.empty()) {
+      EraseTier(rt);
+      RebalanceUnderflow(lt);
+    } else if (lt == rt) {
+      RebalanceUnderflow(rt);
+    } else {
+      RecountTier(&tiers_[rt]);
+      RebalanceUnderflow(rt);
+    }
+  } else if (left_adjacent) {
+    tiers_[lt].gaps[lgi].hi = kp;
+    RecountTier(&tiers_[lt]);
+  } else if (right_adjacent) {
+    // The right gap's first unoccupied key moves down to kp; its
+    // below-set already shed kp in the decrement pass above.
+    tiers_[rt].gaps[rgi].lo = kp;
+    RecountTier(&tiers_[rt]);
+  } else {
+    // Isolated removal: a fresh single-key gap. Insert before the right
+    // neighbour when one exists, else append to the last tier.
+    GapRec rec;
+    rec.lo = kp;
+    rec.hi = kp;
+    if (rt < tiers_.size()) {
+      Tier& t = tiers_[rt];
+      rec.cnt = abs_cnt - t.delta_cnt;
+      rec.sum = abs_sum - t.delta_sum;
+      splice_moves_ +=
+          static_cast<std::int64_t>(t.gaps.size() - rgi);
+      t.gaps.insert(t.gaps.begin() + static_cast<std::ptrdiff_t>(rgi),
+                    rec);
+      total_gaps_ += 1;
+      RecountTier(&t);
+      if (static_cast<std::int64_t>(t.gaps.size()) > tier_cap_) {
+        SplitTier(rt);
+      }
+    } else if (!tiers_.empty()) {
+      Tier& t = tiers_.back();
+      rec.cnt = abs_cnt - t.delta_cnt;
+      rec.sum = abs_sum - t.delta_sum;
+      t.gaps.push_back(rec);
+      total_gaps_ += 1;
+      RecountTier(&t);
+      if (static_cast<std::int64_t>(t.gaps.size()) > tier_cap_) {
+        SplitTier(tiers_.size() - 1);
+      }
+    } else {
+      Tier t;
+      rec.cnt = abs_cnt;
+      rec.sum = abs_sum;
+      t.gaps.push_back(rec);
+      RecountTier(&t);
+      tiers_.push_back(std::move(t));
+      total_gaps_ += 1;
+    }
+  }
+}
+
 void TieredGaps::SplitAt(std::size_t tier_idx, std::size_t gap_idx, Key kp,
                          Int128 kp_s) {
   Tier& t = tiers_[tier_idx];

@@ -90,6 +90,20 @@ class TieredGaps {
   void SplitAt(std::size_t tier_idx, std::size_t gap_idx, Key kp,
                Int128 kp_s);
 
+  /// \brief The exact dual of SplitAt: key \p kp — which must be
+  /// occupied, i.e. inside no gap — becomes unoccupied. Merges kp into
+  /// its adjacent gap(s): two neighbours collapse into one record
+  /// (possibly across a tier boundary), a single neighbour extends, and
+  /// an isolated removal inserts a fresh single-key gap whose exact
+  /// bookkeeping comes from \p abs_cnt / \p abs_sum (count and shifted
+  /// key-sum of the keys strictly below kp *after* the removal). Every
+  /// gap above kp loses kp from its cnt/sum — eager within the touched
+  /// tier, lazy deltas afterwards — and a tier whose gap count
+  /// underflows tier_cap()/4 is re-balanced into a neighbour (splitting
+  /// again if the merge overflows the 2x cap), mirroring the split
+  /// rule. O(sqrt(G)) splice work, accounted in splice_moves().
+  void MergeAt(Key kp, Int128 kp_s, Rank abs_cnt, Int128 abs_sum);
+
   /// \brief Visits every gap intersected with [lo_bound, hi_bound] in
   /// increasing key order as f(lo, hi, cnt, sum) with *absolute* cnt/sum
   /// (keys strictly below the gap; identical for every candidate inside
@@ -120,6 +134,7 @@ class TieredGaps {
   void RecountTier(Tier* t) const;
   void SplitTier(std::size_t tier_idx);
   void EraseTier(std::size_t tier_idx);
+  void RebalanceUnderflow(std::size_t tier_idx);
 
   std::vector<Tier> tiers_;
   std::int64_t total_gaps_ = 0;

@@ -32,12 +32,8 @@ Result<GreedyPoisonResult> GreedyPoisonCdf(const KeySet& keyset,
 
   // One pool for all rounds; the chunked argmax reduction is
   // thread-count independent, so any worker count selects the same
-  // keys. Negative settings mean serial (only 0 requests the hardware
-  // default, matching the documented contract).
-  std::unique_ptr<ThreadPool> pool;
-  if (options.num_threads == 0 || options.num_threads > 1) {
-    pool = std::make_unique<ThreadPool>(options.num_threads);
-  }
+  // keys.
+  std::unique_ptr<ThreadPool> pool = MakeAttackPool(options);
 
   const LossLandscape::ArgmaxOptions argmax = options.ArgmaxKnobs();
   for (std::int64_t round = 0; round < p; ++round) {

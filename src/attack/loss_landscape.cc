@@ -125,6 +125,14 @@ LossLandscape::PrefixStats LossLandscape::PrefixAt(Key kp) const {
   for (auto it = slot_begin; it != ins_it; ++it) {
     stats.prefix_sum += static_cast<Int128>(*it) - shift_;
   }
+  // Removed base keys are tombstones: those below kp (exactly the ones
+  // with base index < j) leave both the count and the prefix sum.
+  if (!removed_.empty()) {
+    const auto rem_it =
+        std::lower_bound(removed_.begin(), removed_.end(), kp);
+    stats.count_less -= static_cast<Rank>(rem_it - removed_.begin());
+    stats.prefix_sum -= removed_idx_sum_.PrefixSum(j);
+  }
   return stats;
 }
 
@@ -143,9 +151,10 @@ Status LossLandscape::InsertKey(Key kp) {
 
   const PrefixStats stats = PrefixAt(kp);
   const Int128 kp_s = static_cast<Int128>(kp) - shift_;
+  const Int128 suffix_above = sum_k_ - stats.prefix_sum;
   // Compound effect: every key above kp gains one rank (adding the
   // suffix key-sum once), and kp enters with rank count_less + 1.
-  sum_kr_ += (sum_k_ - stats.prefix_sum) + kp_s * (stats.count_less + 1);
+  sum_kr_ += suffix_above + kp_s * (stats.count_less + 1);
   sum_k_ += kp_s;
   sum_k2_ += kp_s * kp_s;
   n_ += 1;
@@ -154,9 +163,22 @@ Status LossLandscape::InsertKey(Key kp) {
   const std::size_t base_slot = static_cast<std::size_t>(
       std::lower_bound(base_keys_.begin(), base_keys_.end(), kp) -
       base_keys_.begin());
-  inserted_slot_sum_.Add(base_slot, kp_s);
-  inserted_.insert(std::lower_bound(inserted_.begin(), inserted_.end(), kp),
-                   kp);
+  // Re-inserting a removed base key cancels its tombstone (base_slot is
+  // its base index); anything else joins the inserted overlay.
+  bool was_removed = false;
+  if (!removed_.empty()) {
+    const auto rit = std::lower_bound(removed_.begin(), removed_.end(), kp);
+    if (rit != removed_.end() && *rit == kp) {
+      removed_.erase(rit);
+      removed_idx_sum_.Add(base_slot, -kp_s);
+      was_removed = true;
+    }
+  }
+  if (!was_removed) {
+    inserted_slot_sum_.Add(base_slot, kp_s);
+    inserted_.insert(std::lower_bound(inserted_.begin(), inserted_.end(), kp),
+                     kp);
+  }
 
   // Split the gap around kp (it contains no other key by construction):
   // an O(sqrt(G)) tiered splice that also folds kp into the per-gap
@@ -165,6 +187,128 @@ Status LossLandscape::InsertKey(Key kp) {
 
   if (kp < min_key_) min_key_ = kp;
   if (kp > max_key_) max_key_ = kp;
+
+  // Removal-SoA maintenance (only once a removal argmax materialized
+  // it): suffix sums below kp gain its shifted value, then kp enters.
+  if (rem_built_) {
+    if (rem_sa_valid_ && !PruneDomainOk()) {
+      // The magnitude guard broke as n grew: the int64 suffix sums are
+      // no longer provably safe. Drop the SoA; the next removal argmax
+      // rebuilds or falls back.
+      rem_built_ = false;
+      rem_sa_valid_ = false;
+      rem_keys_.clear();
+      rem_sa_.clear();
+    } else {
+      const auto pos_it =
+          std::lower_bound(rem_keys_.begin(), rem_keys_.end(), kp);
+      const std::size_t pos =
+          static_cast<std::size_t>(pos_it - rem_keys_.begin());
+      if (rem_sa_valid_) {
+        const std::int64_t x = static_cast<std::int64_t>(kp_s);
+        std::int64_t* sa = rem_sa_.data();
+        for (std::size_t i = 0; i < pos; ++i) sa[i] += x;
+        rem_sa_.insert(rem_sa_.begin() + static_cast<std::ptrdiff_t>(pos),
+                       static_cast<std::int64_t>(suffix_above));
+      }
+      rem_keys_.insert(pos_it, kp);
+    }
+  }
+  return Status::OK();
+}
+
+Status LossLandscape::RemoveKey(Key kp) {
+  if (!domain_.Contains(kp)) {
+    return Status::OutOfRange("key " + std::to_string(kp) +
+                              " outside the key domain");
+  }
+  {
+    std::size_t tier_idx = 0;
+    std::size_t gap_idx = 0;
+    if (gaps_.Locate(kp, &tier_idx, &gap_idx)) {
+      return Status::InvalidArgument("key " + std::to_string(kp) +
+                                     " is not currently stored");
+    }
+  }
+  if (n_ <= 2) {
+    return Status::FailedPrecondition(
+        "removing key " + std::to_string(kp) +
+        " would leave fewer than two points to regress on");
+  }
+
+  const PrefixStats stats = PrefixAt(kp);
+  const Int128 kp_s = static_cast<Int128>(kp) - shift_;
+  const Int128 suffix_above = sum_k_ - stats.prefix_sum - kp_s;
+  // Mirror-image compound effect: every key above kp loses one rank
+  // (shedding the suffix key-sum once), and kp leaves from rank
+  // count_less + 1.
+  sum_kr_ -= suffix_above + kp_s * (stats.count_less + 1);
+  sum_k_ -= kp_s;
+  sum_k2_ -= kp_s * kp_s;
+  n_ -= 1;
+  RecomputeCurrentLoss();
+
+  // Overlay bookkeeping: an inserted key leaves its overlay; a base key
+  // gains a tombstone (the Create-time array stays immutable).
+  const auto ins_it =
+      std::lower_bound(inserted_.begin(), inserted_.end(), kp);
+  const std::size_t base_idx = static_cast<std::size_t>(
+      std::lower_bound(base_keys_.begin(), base_keys_.end(), kp) -
+      base_keys_.begin());
+  if (ins_it != inserted_.end() && *ins_it == kp) {
+    inserted_slot_sum_.Add(base_idx, -kp_s);
+    inserted_.erase(ins_it);
+  } else {
+    if (removed_idx_sum_.size() == 0) {
+      removed_idx_sum_.Reset(base_keys_.size());
+    }
+    removed_idx_sum_.Add(base_idx, kp_s);
+    removed_.insert(std::lower_bound(removed_.begin(), removed_.end(), kp),
+                    kp);
+  }
+
+  // Merge kp into the gap decomposition (O(sqrt(G)) tiered merge), then
+  // re-derive the min/max bookkeeping from the merged gap: its hi + 1
+  // (lo - 1) is the next occupied key above (below) kp.
+  gaps_.MergeAt(kp, kp_s, stats.count_less, stats.prefix_sum);
+  if (kp == min_key_ || kp == max_key_) {
+    std::size_t ti = 0;
+    std::size_t gi = 0;
+    if (gaps_.Locate(kp, &ti, &gi)) {
+      const TieredGaps::GapRec& g = gaps_.tiers()[ti].gaps[gi];
+      if (kp == min_key_) min_key_ = g.hi + 1;
+      if (kp == max_key_) max_key_ = g.lo - 1;
+    }
+  }
+
+  // Removal-SoA maintenance: suffix sums below kp shed its shifted
+  // value, then kp leaves the candidate arrays.
+  if (rem_built_) {
+    const auto pos_it =
+        std::lower_bound(rem_keys_.begin(), rem_keys_.end(), kp);
+    const std::size_t pos =
+        static_cast<std::size_t>(pos_it - rem_keys_.begin());
+    if (rem_sa_valid_) {
+      const std::int64_t x = static_cast<std::int64_t>(kp_s);
+      std::int64_t* sa = rem_sa_.data();
+      for (std::size_t i = 0; i < pos; ++i) sa[i] -= x;
+      rem_sa_.erase(rem_sa_.begin() + static_cast<std::ptrdiff_t>(pos));
+    }
+    rem_keys_.erase(pos_it);
+  }
+  return Status::OK();
+}
+
+Status LossLandscape::ReplaceKey(Key from, Key to) {
+  LISPOISON_RETURN_IF_ERROR(RemoveKey(from));
+  const Status st = InsertKey(to);
+  if (!st.ok()) {
+    // Roll the removal back; re-inserting the just-removed key cannot
+    // fail (its slot is unoccupied and in-domain).
+    const Status restore = InsertKey(from);
+    (void)restore;
+    return st;
+  }
   return Status::OK();
 }
 
@@ -186,10 +330,11 @@ Result<long double> LossLandscape::LossAt(Key kp) const {
     return Status::OutOfRange("poisoning key " + std::to_string(kp) +
                               " outside the key domain");
   }
-  const bool in_base = std::binary_search(base_keys_.begin(),
-                                          base_keys_.end(), kp);
-  if (in_base ||
-      std::binary_search(inserted_.begin(), inserted_.end(), kp)) {
+  // A key is occupied iff it lies in no gap — the one test that stays
+  // correct under both the inserted and the removed overlay.
+  std::size_t tier_idx = 0;
+  std::size_t gap_idx = 0;
+  if (!gaps_.Locate(kp, &tier_idx, &gap_idx)) {
     return Status::InvalidArgument("poisoning key " + std::to_string(kp) +
                                    " is already occupied");
   }
@@ -305,6 +450,10 @@ struct LossLandscape::BoundCtx {
   /// (VarX, Cov, and their sub-sums), never against the difference
   /// itself, and the final combination rounds VarY up and Cov^2/VarX
   /// down — so the returned value dominates the exact loss.
+  ///
+  /// Written branch-free (guards as selects, the possibly-poisoned
+  /// division discarded by its select) so the batched SoA re-score loop
+  /// auto-vectorizes; value-identical to the PR 3/4 branched form.
   double Upper(double x, double c1, double s) const {
     const double ax = AbsD(x);
     const double sx = sum_k + x;
@@ -323,21 +472,20 @@ struct LossLandscape::BoundCtx {
     const double cov = n1 * sxy - sx * sum_y;
     const double e_cov = kBoundEps * (n1 * m_sxy + m_sx * sum_y);
     // Lower bound on Cov^2/VarX; zero whenever the VarX interval is not
-    // strictly positive (the exact path then degenerates to VarY alone).
-    double q_lb = 0;
-    if (varx - e_varx > 0) {
-      const double cov_lo = AbsD(cov) - e_cov;
-      if (cov_lo > 0) {
-        q_lb = (cov_lo * cov_lo) / (varx + e_varx) * (1.0 - 4.0 * kBoundEps);
-      }
-    }
+    // strictly positive (the exact path then degenerates to VarY alone)
+    // or the Cov interval straddles zero. The unguarded division may
+    // produce inf/NaN; the select discards it exactly when it does.
+    const double cov_lo = AbsD(cov) - e_cov;
+    const double q_raw =
+        (cov_lo * cov_lo) / (varx + e_varx) * (1.0 - 4.0 * kBoundEps);
+    const double q_lb = (varx - e_varx > 0 && cov_lo > 0) ? q_raw : 0.0;
     const double num = (var_y_ub - q_lb) + kBoundEps * (var_y_ub + q_lb);
-    if (num <= 0) return 0;
     const double ub = num * inv_n12_ub;
     // Any non-finite intermediate poisons ub; "never prune" is the
     // admissible answer.
-    if (!(ub >= 0)) return std::numeric_limits<double>::infinity();
-    return ub;
+    return num <= 0
+               ? 0.0
+               : (ub >= 0 ? ub : std::numeric_limits<double>::infinity());
   }
 
   /// Admissible upper bound on the loss over EVERY candidate whose
@@ -439,6 +587,200 @@ struct LossLandscape::BoundCtx {
     const double ub = num * inv_n12_ub;
     // Any non-finite/NaN intermediate poisons ub; "never prune" is the
     // admissible answer.
+    if (!(ub >= 0)) return std::numeric_limits<double>::infinity();
+    return ub;
+  }
+};
+
+/// The removal-side dual of BoundCtx: an admissible double-precision
+/// upper bound on the Theorem 1 loss of the current n keys with one key
+/// deleted. With x = kp - shift, r = the key's 1-based rank and
+/// sa = the shifted key-sum above it, the exact aggregates are
+///   sum(X) = sum_k - x, sum(X^2) = sum_k2 - x^2,
+///   sum(XY) = sum_kr - x*r - sa   (keys above kp lose one rank),
+/// and ranks become a permutation of 1..n-1. The bound evaluates the
+/// same formula in double with the component-magnitude margin scheme of
+/// BoundCtx (VarY rounded up, Cov^2/VarX down; differences margined
+/// against the sum of their term magnitudes, which for the subtractive
+/// aggregates here means sum_k2 + x^2 etc.), so bound >= exact loss for
+/// every stored key — the admissibility the pruned removal argmax needs
+/// to stay bit-identical to the exhaustive index-ordered scan.
+struct LossLandscape::RemovalBoundCtx {
+  double n1 = 0;          // n - 1
+  double inv_n12_ub = 0;  // (1 + slack) / (n-1)^2, rounded up
+  double sum_y = 0;       // sum of ranks 1..n-1
+  double var_y_ub = 0;    // (n-1)*sumY2 - sumY^2, rounded up
+  double sum_k = 0;       // converted exact aggregates
+  double abs_sum_k = 0;
+  double sum_k2 = 0;      // >= 0
+  double sum_kr = 0;
+  double abs_sum_kr = 0;
+  bool usable = false;
+
+  static RemovalBoundCtx Make(std::int64_t n, Int128 sum_k, Int128 sum_k2,
+                              Int128 sum_kr) {
+    RemovalBoundCtx b;
+    const std::int64_t n1 = n - 1;
+    if (n1 < 2) return b;  // Regression needs two survivors.
+    const Int128 sy = SumRanks(n1);
+    const Int128 var_y =
+        static_cast<Int128>(n1) * SumRankSquares(n1) - sy * sy;
+    b.n1 = static_cast<double>(n1);
+    const double n12_lo = b.n1 * b.n1 * (1.0 - 2.0 * kBoundEps);
+    b.inv_n12_ub = (1.0 + 6.0 * kBoundEps) / n12_lo;
+    b.sum_y = static_cast<double>(sy);
+    b.var_y_ub = static_cast<double>(var_y) * (1.0 + 2.0 * kBoundEps);
+    b.sum_k = static_cast<double>(sum_k);
+    b.abs_sum_k = AbsD(b.sum_k);
+    b.sum_k2 = static_cast<double>(sum_k2);
+    b.sum_kr = static_cast<double>(sum_kr);
+    b.abs_sum_kr = AbsD(b.sum_kr);
+    b.usable = std::isfinite(b.var_y_ub) && std::isfinite(b.sum_k) &&
+               std::isfinite(b.sum_k2) && std::isfinite(b.sum_kr) &&
+               std::isfinite(b.sum_y) && std::isfinite(b.inv_n12_ub) &&
+               b.inv_n12_ub > 0;
+    return b;
+  }
+
+  /// Branch-free like BoundCtx::Upper, so the per-candidate pass over
+  /// the removal SoA (x from the sorted keys, r = i+1 an induction
+  /// variable, sa from the int64 suffix array) auto-vectorizes.
+  double Upper(double x, double r, double sa) const {
+    const double ax = AbsD(x);
+    const double sx = sum_k - x;
+    const double m_sx = abs_sum_k + ax;
+    const double sx2 = sum_k2 - x * x;
+    const double m_sx2 = sum_k2 + x * x;
+    const double xr = x * r;
+    const double sxy = sum_kr - xr - sa;
+    const double m_sxy = abs_sum_kr + AbsD(xr) + AbsD(sa);
+    // VarX = n1*sx2 - sx^2 (sx2 itself is a difference here, so its
+    // magnitude bound m_sx2 replaces the nonnegative a of the insertion
+    // form).
+    const double varx = n1 * sx2 - sx * sx;
+    const double e_varx = kBoundEps * (n1 * m_sx2 + m_sx * m_sx);
+    // Cov = n1*sxy - sx*sum_y.
+    const double cov = n1 * sxy - sx * sum_y;
+    const double e_cov = kBoundEps * (n1 * m_sxy + m_sx * sum_y);
+    const double cov_lo = AbsD(cov) - e_cov;
+    const double q_raw =
+        (cov_lo * cov_lo) / (varx + e_varx) * (1.0 - 4.0 * kBoundEps);
+    const double q_lb = (varx - e_varx > 0 && cov_lo > 0) ? q_raw : 0.0;
+    const double num = (var_y_ub - q_lb) + kBoundEps * (var_y_ub + q_lb);
+    const double ub = num * inv_n12_ub;
+    return num <= 0
+               ? 0.0
+               : (ub >= 0 ? ub : std::numeric_limits<double>::infinity());
+  }
+
+  /// Cov at one candidate, rounded down, with its magnitude scale.
+  void CovLow(double x, double r, double sa, double* cov_lo,
+              double* m_cov) const {
+    const double xr = x * r;
+    const double sxy = sum_kr - xr - sa;
+    const double m_sxy = abs_sum_kr + AbsD(xr) + AbsD(sa);
+    const double sx = sum_k - x;
+    const double m_sx = abs_sum_k + AbsD(x);
+    const double cov = n1 * sxy - sx * sum_y;
+    const double e_cov = kBoundEps * (n1 * m_sxy + m_sx * sum_y);
+    *cov_lo = cov - e_cov;
+    *m_cov = n1 * m_sxy + m_sx * sum_y;
+  }
+
+  /// V(x) = n1*(sum_k2 - x^2) - (sum_k - x)^2 — the removal-side VarX
+  /// parabola (downward: A = -(n1+1)), rounded up, plus its magnitude.
+  void VarXHigh(double x, double* v_ub, double* m_v) const {
+    const double sx = sum_k - x;
+    const double m_sx = abs_sum_k + AbsD(x);
+    const double v = n1 * (sum_k2 - x * x) - sx * sx;
+    const double m = n1 * (sum_k2 + x * x) + m_sx * m_sx;
+    *v_ub = v + kBoundEps * m;
+    *m_v = m;
+  }
+
+  /// Admissible upper bound on the removal loss over EVERY candidate in
+  /// a block of consecutive stored keys, from the block's exact
+  /// endpoint records (x, rank, suffix-sum).
+  ///
+  /// Soundness. Along the stored keys the covariance after removal,
+  /// Cov(x_j) = n1*sum_kr - K*sy - n1*(x_j r_j + sa_j) + sy*x_j, steps
+  /// by (x_{j+1}-x_j)*(sy - n1*r_j) between neighbours — slopes strictly
+  /// decreasing in j — so the candidate points form a *concave* chain
+  /// and lie on or above the chord through the block's endpoints; a
+  /// chord through endpoint values rounded down (and re-lowered by the
+  /// chord arithmetic's own error scale) stays below Cov at every
+  /// candidate. If that chord is positive at both ends it is positive
+  /// across the block, and q_j = Cov_j^2 / V(x_j) >= C(x)^2 / V(x) over
+  /// the block's x-range. V is the same downward (A<0) parabola for
+  /// every candidate and positive at both endpoints, hence positive on
+  /// the whole range, so the continuous min of C^2/V is attained at an
+  /// endpoint or at the interior critical value m* = 4(A a^2 - B a b +
+  /// C_v b^2)/(4 A C_v - B^2) (the nonzero extremal value of the
+  /// ratio); with den = 4AC_v - B^2 < 0 here, a nonnegative numerator
+  /// makes m* <= 0 — impossible for the positive ratio, so endpoints
+  /// suffice — and a negative numerator yields the m* >= 0 candidate,
+  /// folded in rounded down. Directed error margins follow the
+  /// component-magnitude scheme throughout.
+  double UpperBlock(double xf, double rf, double saf, double xl, double rl,
+                    double sal) const {
+    double cf = 0;
+    double mf = 0;
+    double cl = 0;
+    double ml = 0;
+    CovLow(xf, rf, saf, &cf, &mf);
+    CovLow(xl, rl, sal, &cl, &ml);
+    double q_lb = 0;
+    const double span = xl - xf;
+    if (cf > 0 && cl > 0 && span > 0) {
+      // Chord through the lowered endpoints, re-lowered by its own
+      // arithmetic error scale so it minorizes Cov between them too.
+      const double b = (cl - cf) / span;
+      const double a_raw = cf - b * xf;
+      const double slack =
+          kBoundEps * (AbsD(cf) + AbsD(cl) + AbsD(b) * span + mf + ml);
+      const double a = a_raw - slack;
+      const double t_f = a + b * xf;
+      const double t_l = a + b * xl;
+      double v_f = 0;
+      double m_vf = 0;
+      double v_l = 0;
+      double m_vl = 0;
+      VarXHigh(xf, &v_f, &m_vf);
+      VarXHigh(xl, &v_l, &m_vl);
+      if (t_f > 0 && t_l > 0 && v_f > 0 && v_l > 0) {
+        double lb = std::min(
+            (t_f * t_f) / v_f * (1.0 - 4.0 * kBoundEps),
+            (t_l * t_l) / v_l * (1.0 - 4.0 * kBoundEps));
+        // Interior critical value m* of (a + b x)^2 / (A x^2 + B x + C).
+        const double cA = -(n1 + 1.0);
+        const double cB = 2.0 * sum_k;
+        const double cC = n1 * sum_k2 - sum_k * sum_k;
+        const double m_cC = n1 * sum_k2 + abs_sum_k * abs_sum_k;
+        const double den = 4.0 * cA * cC - cB * cB;
+        const double e_den = kBoundEps * (4.0 * AbsD(cA) * m_cC + cB * cB);
+        const double num_m = 4.0 * (cA * a * a - cB * a * b + cC * b * b);
+        const double e_num_m =
+            4.0 * kBoundEps *
+            (AbsD(cA) * a * a + AbsD(cB * a * b) + m_cC * b * b);
+        if (den + e_den < 0) {
+          if (num_m + e_num_m < 0) {
+            // m* > 0: a certified lower bound is |num|_lo / |den|_ub.
+            const double m_star = (-(num_m + e_num_m)) /
+                                  (e_den - den) * (1.0 - 4.0 * kBoundEps);
+            lb = std::min(lb, m_star);
+          }
+          // num >= 0 -> m* <= 0: no positive interior critical value;
+          // the endpoint minimum already covers the range.
+        } else {
+          // Cannot certify the parabola's orientation: no pruning.
+          lb = 0;
+        }
+        if (lb > 0 && std::isfinite(lb)) q_lb = lb;
+      }
+    }
+    const double num = (var_y_ub - q_lb) + kBoundEps * (var_y_ub + q_lb);
+    if (num <= 0) return 0;
+    const double ub = num * inv_n12_ub;
     if (!(ub >= 0)) return std::numeric_limits<double>::infinity();
     return ub;
   }
@@ -605,11 +947,45 @@ std::int64_t LossLandscape::TierInRangeCount(const TieredGaps::Tier& t,
   return count;
 }
 
+void LossLandscape::BatchTierBounds(const TieredGaps::Tier& t,
+                                    const BoundCtx& ctx, double* soa,
+                                    double* out, ArgmaxStats* stats) const {
+  // Staging pass: unpack the tier's gap records (AoS, with Int128
+  // bookkeeping) into flat double arrays. The exact counters match the
+  // scalar path: one score per endpoint, single-key gaps score once.
+  const std::size_t m = t.gaps.size();
+  double* x_lo = soa;
+  double* x_hi = soa + m;
+  double* c1 = soa + 2 * m;
+  double* s = soa + 3 * m;
+  std::int64_t evals = 0;
+  for (std::size_t gi = 0; gi < m; ++gi) {
+    const TieredGaps::GapRec& g = t.gaps[gi];
+    x_lo[gi] = static_cast<double>(g.lo - shift_);
+    x_hi[gi] = static_cast<double>(g.hi - shift_);
+    c1[gi] = static_cast<double>(g.cnt + t.delta_cnt + 1);
+    s[gi] = static_cast<double>(sum_k_ - (g.sum + t.delta_sum));
+    evals += g.hi != g.lo ? 2 : 1;
+  }
+  stats->bound_evals += evals;
+  // Kernel pass: pure double arithmetic over the SoA slices, branch
+  // free (BoundCtx::Upper is written as selects), so the loop
+  // auto-vectorizes. max(lo, hi) equals the scalar two-endpoint fold —
+  // for single-key gaps both operands are the same score.
+  const BoundCtx c = ctx;  // Local copy: no aliasing against the slices.
+  for (std::size_t gi = 0; gi < m; ++gi) {
+    const double b1 = c.Upper(x_lo[gi], c1[gi], s[gi]);
+    const double b2 = c.Upper(x_hi[gi], c1[gi], s[gi]);
+    out[gi] = b2 > b1 ? b2 : b1;
+  }
+}
+
 void LossLandscape::ScanTiersCached(std::size_t first, std::size_t end,
                                     Key lo_bound, Key hi_bound,
                                     const BoundCtx& ctx,
                                     const std::unordered_set<Key>* excluded,
-                                    double* seed_bounds, Candidate* best,
+                                    double* seed_bounds, double* scratch,
+                                    double* soa, Candidate* best,
                                     bool* have, ArgmaxStats* stats) const {
   const std::vector<TieredGaps::Tier>& tiers = gaps_.tiers();
   auto consider = [&](Key kp, Rank count_less, Int128 suffix_sum) {
@@ -680,18 +1056,38 @@ void LossLandscape::ScanTiersCached(std::size_t first, std::size_t end,
       seed_pos = pos;
     }
   }
+  // A tier strictly inside the scan range with no exclusions takes the
+  // batched SoA kernel; partially clipped edge tiers (at most two per
+  // scan), excluded-key scans, and small tiers (measured: the staging
+  // pass costs more than the vector lanes recover below ~tens of gaps,
+  // the RMI per-model regime) keep the scalar per-gap path.
+  constexpr std::size_t kBatchMinTierGaps = 64;
+  auto whole_tier = [&](const TieredGaps::Tier& t) {
+    return excluded == nullptr && t.gaps.size() >= kBatchMinTierGaps &&
+           t.lo >= lo_bound && t.hi <= hi_bound;
+  };
   const TieredGaps::GapRec* seed_gap = nullptr;
   if (seed_pos != end) {
     const TieredGaps::Tier& t = tiers[argmax_tier_list_[seed_pos]];
     double gap_best = -std::numeric_limits<double>::infinity();
-    for (std::size_t gi = 0; gi < t.gaps.size(); ++gi) {
-      const TieredGaps::GapRec& g = t.gaps[gi];
-      if (!in_range(g)) continue;
-      const double b = gap_bound(g, t);
-      seed_bounds[gi] = b;
-      if (b > gap_best) {
-        gap_best = b;
-        seed_gap = &g;
+    if (whole_tier(t)) {
+      BatchTierBounds(t, ctx, soa, seed_bounds, stats);
+      for (std::size_t gi = 0; gi < t.gaps.size(); ++gi) {
+        if (seed_bounds[gi] > gap_best) {
+          gap_best = seed_bounds[gi];
+          seed_gap = &t.gaps[gi];
+        }
+      }
+    } else {
+      for (std::size_t gi = 0; gi < t.gaps.size(); ++gi) {
+        const TieredGaps::GapRec& g = t.gaps[gi];
+        if (!in_range(g)) continue;
+        const double b = gap_bound(g, t);
+        seed_bounds[gi] = b;
+        if (b > gap_best) {
+          gap_best = b;
+          seed_gap = &g;
+        }
       }
     }
     if (seed_gap != nullptr) eval_rec(*seed_gap, t);
@@ -723,13 +1119,23 @@ void LossLandscape::ScanTiersCached(std::size_t first, std::size_t end,
     }
     stats->invalidated_gaps += here;
     const bool is_seed_tier = pos == seed_pos;
+    // Staged bounds: the seed tier's came from the seed phase; any
+    // other fully-in-range surviving tier re-scores through the batched
+    // SoA kernel into this chunk's scratch slice. Clipped edge tiers
+    // and excluded-key scans fall back to the scalar per-gap score.
+    const double* staged = nullptr;
+    if (is_seed_tier) {
+      staged = seed_bounds;
+    } else if (whole_tier(t)) {
+      BatchTierBounds(t, ctx, soa, scratch, stats);
+      staged = scratch;
+    }
     for (std::size_t gi = 0; gi < t.gaps.size(); ++gi) {
       const TieredGaps::GapRec& g = t.gaps[gi];
       if (g.hi < lo_bound) continue;
       if (g.lo > hi_bound) break;
       if (&g == seed_gap) continue;  // Already evaluated by the seed.
-      // The seed tier's bounds were staged by the seed phase above.
-      const double b = is_seed_tier ? seed_bounds[gi] : gap_bound(g, t);
+      const double b = staged != nullptr ? staged[gi] : gap_bound(g, t);
       if (b == kNoBound) continue;   // Every endpoint excluded.
       if (*have && b < best->loss) {
         ++stats->pruned_gaps;
@@ -746,33 +1152,38 @@ Result<LossLandscape::Candidate> LossLandscape::FindOptimal(
   return FindOptimal(interior_only, excluded, pool, ArgmaxOptions{});
 }
 
+// The pruned pipelines are provably admissible only where the exact
+// Int128 aggregate arithmetic they majorize cannot overflow: with
+// n1 = n+1 keys of shifted magnitude <= S, the Theorem 1 numerators
+// reach n1^2*S^2 (VarX), n1^3*S (Cov) and n1^4 (VarY), all of which
+// must stay below 2^126. This replaces PR 3's looser span-< 2^62
+// test, under which wide domains could overflow the "exact"
+// aggregates and silently void the bit-identity the differential
+// suites pin (the exhaustive fallback keeps prune-vs-exhaustive
+// trivially identical there). It also keeps the pre-passes' int64
+// candidate shifts — and the removal SoA's int64 suffix sums, which
+// stay below n*S — safe (n1*S < 2^63 implies S < 2^62). The removal
+// side's n1 = n-1 aggregates are strictly smaller, so one guard covers
+// both directions.
+bool LossLandscape::PruneDomainOk() const {
+  const Int128 n1 = static_cast<Int128>(n_) + 1;
+  if (n1 >= (static_cast<Int128>(1) << 31)) return false;  // n1^4 guard
+  Int128 s = static_cast<Int128>(domain_.hi) - shift_;
+  const Int128 s_lo = static_cast<Int128>(shift_) - domain_.lo;
+  if (s_lo > s) s = s_lo;
+  if (s < 1) s = 1;
+  if (n1 * s >= (static_cast<Int128>(1) << 63)) return false;  // VarX
+  const Int128 limit = static_cast<Int128>(1) << 126;
+  return s < limit / (n1 * n1 * n1);  // Cov (n1^3 < 2^93: no overflow)
+}
+
 Result<LossLandscape::Candidate> LossLandscape::FindOptimal(
     bool interior_only, const std::unordered_set<Key>* excluded,
     ThreadPool* pool, const ArgmaxOptions& argmax, ArgmaxStats* stats) const {
   ArgmaxStats local;
   local.rounds = 1;
 
-  // The pruned pipelines are provably admissible only where the exact
-  // Int128 aggregate arithmetic they majorize cannot overflow: with
-  // n1 = n+1 keys of shifted magnitude <= S, the Theorem 1 numerators
-  // reach n1^2*S^2 (VarX), n1^3*S (Cov) and n1^4 (VarY), all of which
-  // must stay below 2^126. This replaces PR 3's looser span-< 2^62
-  // test, under which wide domains could overflow the "exact"
-  // aggregates and silently void the bit-identity the differential
-  // suites pin (the exhaustive fallback keeps prune-vs-exhaustive
-  // trivially identical there). It also keeps the pre-passes' int64
-  // candidate shifts safe (n1*S < 2^63 implies S < 2^62).
-  const bool domain_ok = [this] {
-    const Int128 n1 = static_cast<Int128>(n_) + 1;
-    if (n1 >= (static_cast<Int128>(1) << 31)) return false;  // n1^4 guard
-    Int128 s = static_cast<Int128>(domain_.hi) - shift_;
-    const Int128 s_lo = static_cast<Int128>(shift_) - domain_.lo;
-    if (s_lo > s) s = s_lo;
-    if (s < 1) s = 1;
-    if (n1 * s >= (static_cast<Int128>(1) << 63)) return false;  // VarX
-    const Int128 limit = static_cast<Int128>(1) << 126;
-    return s < limit / (n1 * n1 * n1);  // Cov (n1^3 < 2^93: no overflow)
-  }();
+  const bool domain_ok = PruneDomainOk();
   bool prune = argmax.prune;
 
   Candidate best;
@@ -846,12 +1257,19 @@ Result<LossLandscape::Candidate> LossLandscape::FindOptimal(
 
     const bool parallel = pool != nullptr && pool->num_threads() > 1 &&
                           total_in_range > kArgmaxChunkGaps;
+    // Per chunk: a seed-staging slice plus a batch-scratch slice of
+    // argmax_bounds_ (2 x tier_cap) and a 4 x tier_cap SoA slice for
+    // the batched kernel's staging arrays.
     const std::size_t seed_stride =
         static_cast<std::size_t>(gaps_.tier_cap());
     if (!parallel) {
-      EnsureScratchSize(&argmax_bounds_, seed_stride, &scratch_reallocs_);
+      EnsureScratchSize(&argmax_bounds_, 2 * seed_stride,
+                        &scratch_reallocs_);
+      EnsureScratchSize(&argmax_soa_, 4 * seed_stride, &scratch_reallocs_);
       ScanTiersCached(0, num_listed, lo_bound, hi_bound, ctx, excluded,
-                      argmax_bounds_.data(), &best, &have, &local);
+                      argmax_bounds_.data(),
+                      argmax_bounds_.data() + seed_stride,
+                      argmax_soa_.data(), &best, &have, &local);
     } else {
       // Consecutive tier groups of ~kArgmaxChunkGaps in-range gaps: a
       // pure function of the structure, so the chunk layout — and the
@@ -871,9 +1289,11 @@ Result<LossLandscape::Candidate> LossLandscape::FindOptimal(
       }
       if (start < num_listed) chunks.emplace_back(start, num_listed);
       const std::size_t num_chunks = chunks.size();
-      // One seed-staging slice per chunk (disjoint, so workers never
-      // race on the shared scratch).
-      EnsureScratchSize(&argmax_bounds_, num_chunks * seed_stride,
+      // Per-chunk disjoint slices of the shared scratch (seed staging,
+      // batch scratch, SoA staging), so workers never race.
+      EnsureScratchSize(&argmax_bounds_, num_chunks * 2 * seed_stride,
+                        &scratch_reallocs_);
+      EnsureScratchSize(&argmax_soa_, num_chunks * 4 * seed_stride,
                         &scratch_reallocs_);
       std::vector<Candidate> chunk_best(num_chunks);
       std::vector<char> chunk_have(num_chunks, 0);
@@ -884,9 +1304,11 @@ Result<LossLandscape::Candidate> LossLandscape::FindOptimal(
            &chunk_best, &chunk_have, &chunk_stats](std::int64_t c) {
             const auto ci = static_cast<std::size_t>(c);
             bool chunk_found = false;
+            double* slice = argmax_bounds_.data() + ci * 2 * seed_stride;
             ScanTiersCached(chunks[ci].first, chunks[ci].second, lo_bound,
-                            hi_bound, ctx, excluded,
-                            argmax_bounds_.data() + ci * seed_stride,
+                            hi_bound, ctx, excluded, slice,
+                            slice + seed_stride,
+                            argmax_soa_.data() + ci * 4 * seed_stride,
                             &chunk_best[ci], &chunk_found,
                             &chunk_stats[ci]);
             chunk_have[ci] = chunk_found ? 1 : 0;
@@ -1013,28 +1435,467 @@ Result<LossLandscape::Candidate> LossLandscape::FindOptimal(
   return best;
 }
 
-Key LossLandscape::SecondMinKey() const {
-  const Key a = base_keys_.front();
-  if (inserted_.empty()) return base_keys_[1];
-  const Key b = inserted_.front();
-  if (b < a) {
-    return inserted_.size() > 1 ? std::min(a, inserted_[1]) : a;
+void LossLandscape::EnsureRemovalSoa() const {
+  const bool want_sa = PruneDomainOk();
+  if (rem_built_ && (rem_sa_valid_ || !want_sa)) return;
+  rem_keys_.clear();
+  rem_keys_.reserve(static_cast<std::size_t>(n_));
+  // Current keys = (base minus tombstones) merged with the inserted
+  // overlay; both inputs are sorted and removed_ is a subsequence of
+  // base_keys_.
+  std::size_t bi = 0;
+  std::size_t ri = 0;
+  std::size_t ii = 0;
+  while (bi < base_keys_.size() || ii < inserted_.size()) {
+    if (bi < base_keys_.size() && ri < removed_.size() &&
+        base_keys_[bi] == removed_[ri]) {
+      ++bi;
+      ++ri;
+      continue;
+    }
+    if (ii >= inserted_.size() ||
+        (bi < base_keys_.size() && base_keys_[bi] < inserted_[ii])) {
+      rem_keys_.push_back(base_keys_[bi++]);
+    } else {
+      rem_keys_.push_back(inserted_[ii++]);
+    }
   }
-  return base_keys_.size() > 1 ? std::min(b, base_keys_[1]) : b;
+  rem_sa_valid_ = want_sa;
+  if (want_sa) {
+    // Exact int64 suffix key-sums (safe under the magnitude guard:
+    // every suffix is below n * S < 2^63).
+    rem_sa_.resize(rem_keys_.size());
+    std::int64_t acc = 0;
+    for (std::size_t i = rem_keys_.size(); i > 0; --i) {
+      rem_sa_[i - 1] = acc;
+      acc += rem_keys_[i - 1] - shift_;
+    }
+  } else {
+    rem_sa_.clear();
+  }
+  rem_built_ = true;
+}
+
+long double LossLandscape::LossWithoutAt(std::size_t i) const {
+  const std::int64_t n1 = n_ - 1;
+  const Int128 x = static_cast<Int128>(rem_keys_[i]) - shift_;
+  const Int128 sum_xy = sum_kr_ - x * static_cast<Int128>(i + 1) -
+                        static_cast<Int128>(rem_sa_[i]);
+  return LossFromSums(n1, sum_k_ - x, sum_k2_ - x * x, SumRanks(n1),
+                      SumRankSquares(n1), sum_xy);
+}
+
+void LossLandscape::ScanRemovalRange(std::size_t first, std::size_t end,
+                                     const RemovalBoundCtx* bound_ctx,
+                                     const std::unordered_set<Key>* allowed,
+                                     Candidate* best, bool* have,
+                                     ArgmaxStats* stats) const {
+  // First-maximum-in-key-order semantics in order-independent form, as
+  // in the insertion scans: strictly larger loss wins, an equal loss
+  // only with a smaller key.
+  auto consider = [&](std::size_t i) {
+    const long double loss = LossWithoutAt(i);
+    ++stats->exact_evals;
+    const Key kp = rem_keys_[i];
+    if (!*have || loss > best->loss ||
+        (loss == best->loss && kp < best->key)) {
+      best->key = kp;
+      best->loss = loss;
+      *have = true;
+    }
+  };
+
+  if (bound_ctx == nullptr) {
+    for (std::size_t i = first; i < end; ++i) {
+      if (allowed != nullptr && allowed->count(rem_keys_[i]) == 0) continue;
+      consider(i);
+    }
+    return;
+  }
+
+  constexpr double kNoBound = -std::numeric_limits<double>::infinity();
+  // Phase 1 — batched bound pass: the structure-of-arrays candidate
+  // layout (sorted keys, induction-variable ranks, int64 suffix sums)
+  // feeds the branch-free double kernel, which the compiler can
+  // auto-vectorize; one admissible score per allowed candidate.
+  if (allowed == nullptr) {
+    const Key* keys = rem_keys_.data();
+    const std::int64_t* sa = rem_sa_.data();
+    double* bounds = argmax_bounds_.data();
+    const Key shift = shift_;
+    const RemovalBoundCtx ctx = *bound_ctx;  // Local copy: no aliasing.
+    for (std::size_t i = first; i < end; ++i) {
+      bounds[i] = ctx.Upper(static_cast<double>(keys[i] - shift),
+                            static_cast<double>(i + 1),
+                            static_cast<double>(sa[i]));
+    }
+    stats->bound_evals += static_cast<std::int64_t>(end - first);
+  } else {
+    for (std::size_t i = first; i < end; ++i) {
+      if (allowed->count(rem_keys_[i]) == 0) {
+        argmax_bounds_[i] = kNoBound;
+        continue;
+      }
+      argmax_bounds_[i] = bound_ctx->Upper(
+          static_cast<double>(rem_keys_[i] - shift_),
+          static_cast<double>(i + 1), static_cast<double>(rem_sa_[i]));
+      ++stats->bound_evals;
+    }
+  }
+
+  // Phase 2 — exact seed at the highest bound (the removal analogue of
+  // the tiered scan's per-tier seed; strict > keeps the smallest key on
+  // ties, so the seed is scan-order independent).
+  std::size_t seed = end;
+  double seed_bound = kNoBound;
+  for (std::size_t i = first; i < end; ++i) {
+    if (argmax_bounds_[i] > seed_bound) {
+      seed_bound = argmax_bounds_[i];
+      seed = i;
+    }
+  }
+  if (seed != end) {
+    consider(seed);
+    argmax_bounds_[seed] = kNoBound;  // Consumed: phase 3 skips it.
+  }
+
+  // Suffix max/count over the unconsumed bounds for the early exit and
+  // the exact pruned-candidate accounting.
+  {
+    double run_max = kNoBound;
+    std::int64_t run_cnt = 0;
+    for (std::size_t i = end; i > first; --i) {
+      const double b = argmax_bounds_[i - 1];
+      if (b != kNoBound) {
+        ++run_cnt;
+        if (b > run_max) run_max = b;
+      }
+      argmax_suffix_max_[i - 1] = run_max;
+      argmax_suffix_cnt_[i - 1] = run_cnt;
+    }
+  }
+
+  // Phase 3 — key-ordered sweep with branch-and-bound pruning (>= keeps
+  // exact ties alive for the smaller-key rule).
+  for (std::size_t i = first; i < end; ++i) {
+    if (*have && argmax_suffix_max_[i] < best->loss) {
+      stats->pruned_gaps += argmax_suffix_cnt_[i];
+      break;
+    }
+    const double b = argmax_bounds_[i];
+    if (b == kNoBound) continue;
+    if (*have && b < best->loss) {
+      ++stats->pruned_gaps;
+      continue;
+    }
+    consider(i);
+  }
+}
+
+namespace {
+
+/// Candidates per removal-scan block: small enough that the chord's
+/// concavity sag stays far below the block-to-block loss spread (it
+/// shrinks quadratically with the block span), large enough that the
+/// per-round block pass is ~n/128 bounds. Divides kArgmaxChunkGaps, so
+/// parallel chunk boundaries align with block boundaries.
+constexpr std::size_t kRemovalBlock = 128;
+
+}  // namespace
+
+void LossLandscape::ScanRemovalRangeTiered(
+    std::size_t first, std::size_t end, const RemovalBoundCtx& ctx,
+    const std::unordered_set<Key>* allowed, Candidate* best, bool* have,
+    ArgmaxStats* stats) const {
+  auto consider = [&](std::size_t i) {
+    const long double loss = LossWithoutAt(i);
+    ++stats->exact_evals;
+    const Key kp = rem_keys_[i];
+    if (!*have || loss > best->loss ||
+        (loss == best->loss && kp < best->key)) {
+      best->key = kp;
+      best->loss = loss;
+      *have = true;
+    }
+  };
+  constexpr double kNoBound = -std::numeric_limits<double>::infinity();
+  const Key* keys = rem_keys_.data();
+  const std::int64_t* sa = rem_sa_.data();
+  const Key shift = shift_;
+
+  // Per-key bound pass over one block [lo, hi) into argmax_bounds_;
+  // the allowed-free path is the batched SoA kernel.
+  auto block_key_bounds = [&](std::size_t lo, std::size_t hi) {
+    double* bounds = argmax_bounds_.data();
+    if (allowed == nullptr) {
+      const RemovalBoundCtx c = ctx;
+      for (std::size_t i = lo; i < hi; ++i) {
+        bounds[i] = c.Upper(static_cast<double>(keys[i] - shift),
+                            static_cast<double>(i + 1),
+                            static_cast<double>(sa[i]));
+      }
+      stats->bound_evals += static_cast<std::int64_t>(hi - lo);
+    } else {
+      for (std::size_t i = lo; i < hi; ++i) {
+        if (allowed->count(keys[i]) == 0) {
+          bounds[i] = kNoBound;
+          continue;
+        }
+        bounds[i] = ctx.Upper(static_cast<double>(keys[i] - shift),
+                              static_cast<double>(i + 1),
+                              static_cast<double>(sa[i]));
+        ++stats->bound_evals;
+      }
+    }
+  };
+
+  // Phase 1 — one chord bound per block, from its exact endpoint
+  // records (block bounds ignore `allowed`: an admissible
+  // over-estimate; the per-key phase enforces the restriction).
+  const std::size_t b0 = first / kRemovalBlock;
+  const std::size_t b1 = (end + kRemovalBlock - 1) / kRemovalBlock;
+  for (std::size_t b = b0; b < b1; ++b) {
+    const std::size_t lo = std::max(first, b * kRemovalBlock);
+    const std::size_t hi = std::min(end, (b + 1) * kRemovalBlock);
+    double bound;
+    if (hi - lo == 1) {
+      bound = ctx.Upper(static_cast<double>(keys[lo] - shift),
+                        static_cast<double>(lo + 1),
+                        static_cast<double>(sa[lo]));
+    } else {
+      bound = ctx.UpperBlock(static_cast<double>(keys[lo] - shift),
+                             static_cast<double>(lo + 1),
+                             static_cast<double>(sa[lo]),
+                             static_cast<double>(keys[hi - 1] - shift),
+                             static_cast<double>(hi),
+                             static_cast<double>(sa[hi - 1]));
+    }
+    ++stats->bound_evals;
+    argmax_tier_bounds_[b] = bound;
+  }
+  // Chunk-local suffix max/count over the blocks (no shared sentinel:
+  // parallel chunks own disjoint [b0, b1) slices).
+  {
+    double run_max = kNoBound;
+    std::int64_t run_cnt = 0;
+    for (std::size_t b = b1; b > b0; --b) {
+      const std::size_t lo = std::max(first, (b - 1) * kRemovalBlock);
+      const std::size_t hi = std::min(end, b * kRemovalBlock);
+      run_cnt += static_cast<std::int64_t>(hi - lo);
+      if (argmax_tier_bounds_[b - 1] > run_max) {
+        run_max = argmax_tier_bounds_[b - 1];
+      }
+      argmax_tier_suffix_max_[b - 1] = run_max;
+      argmax_tier_suffix_cnt_[b - 1] = run_cnt;
+    }
+  }
+
+  // Phase 2 — seed: per-key bounds inside the highest-bound block, one
+  // exact evaluation of its best candidate (strict > keeps the earliest
+  // block/key on ties — scan-order independent).
+  std::size_t seed_b = b1;
+  double seed_bound = kNoBound;
+  for (std::size_t b = b0; b < b1; ++b) {
+    if (argmax_tier_bounds_[b] > seed_bound) {
+      seed_bound = argmax_tier_bounds_[b];
+      seed_b = b;
+    }
+  }
+  if (seed_b != b1) {
+    const std::size_t lo = std::max(first, seed_b * kRemovalBlock);
+    const std::size_t hi = std::min(end, (seed_b + 1) * kRemovalBlock);
+    block_key_bounds(lo, hi);
+    std::size_t seed_i = hi;
+    double key_bound = kNoBound;
+    for (std::size_t i = lo; i < hi; ++i) {
+      if (argmax_bounds_[i] > key_bound) {
+        key_bound = argmax_bounds_[i];
+        seed_i = i;
+      }
+    }
+    if (seed_i != hi) {
+      consider(seed_i);
+      argmax_bounds_[seed_i] = kNoBound;  // Consumed.
+    }
+  }
+
+  // Phase 3 — key-ordered sweep: skip whole blocks via their chord
+  // bound, re-score survivors per key, exit once every remaining block
+  // is below the best. Accounting mirrors the insertion tier cache:
+  // a candidate is "cached" when its block's bound dispositioned it,
+  // "invalidated" when its block survived and it was scored per key.
+  for (std::size_t b = b0; b < b1; ++b) {
+    if (*have && argmax_tier_suffix_max_[b] < best->loss) {
+      stats->pruned_gaps += argmax_tier_suffix_cnt_[b];
+      stats->cached_bounds += argmax_tier_suffix_cnt_[b];
+      break;
+    }
+    const std::size_t lo = std::max(first, b * kRemovalBlock);
+    const std::size_t hi = std::min(end, (b + 1) * kRemovalBlock);
+    const std::int64_t size = static_cast<std::int64_t>(hi - lo);
+    if (*have && argmax_tier_bounds_[b] < best->loss) {
+      stats->pruned_gaps += size;
+      stats->cached_bounds += size;
+      continue;
+    }
+    stats->invalidated_gaps += size;
+    if (b != seed_b) block_key_bounds(lo, hi);
+    for (std::size_t i = lo; i < hi; ++i) {
+      const double kb = argmax_bounds_[i];
+      if (kb == kNoBound) continue;  // Consumed seed or not allowed.
+      if (*have && kb < best->loss) {
+        ++stats->pruned_gaps;
+        continue;
+      }
+      consider(i);
+    }
+  }
+}
+
+Result<LossLandscape::Candidate> LossLandscape::FindOptimalRemoval(
+    const std::unordered_set<Key>* allowed, ThreadPool* pool,
+    const ArgmaxOptions& argmax, ArgmaxStats* stats) const {
+  ArgmaxStats local;
+  local.rounds = 1;
+  if (n_ < 3) {
+    if (stats != nullptr) stats->Add(local);
+    return Status::FailedPrecondition(
+        "removal argmax needs at least three stored keys");
+  }
+  EnsureRemovalSoa();
+
+  Candidate best;
+  bool have = false;
+
+  if (!rem_sa_valid_) {
+    // Wide-domain fallback: exact Int128 reverse walk accumulating the
+    // suffix key-sums on the fly (the order-independent tie rule makes
+    // the scan direction immaterial).
+    if (argmax.prune) local.fallback_rounds = 1;
+    Int128 sa = 0;
+    const std::int64_t n1 = n_ - 1;
+    for (std::size_t i = rem_keys_.size(); i > 0; --i) {
+      const std::size_t idx = i - 1;
+      const Key kp = rem_keys_[idx];
+      const Int128 x = static_cast<Int128>(kp) - shift_;
+      if (allowed == nullptr || allowed->count(kp) != 0) {
+        const Int128 sum_xy =
+            sum_kr_ - x * static_cast<Int128>(idx + 1) - sa;
+        const long double loss =
+            LossFromSums(n1, sum_k_ - x, sum_k2_ - x * x, SumRanks(n1),
+                         SumRankSquares(n1), sum_xy);
+        ++local.exact_evals;
+        if (!have || loss > best.loss ||
+            (loss == best.loss && kp < best.key)) {
+          best.key = kp;
+          best.loss = loss;
+          have = true;
+        }
+      }
+      sa += x;
+    }
+  } else {
+    RemovalBoundCtx ctx;
+    bool prune = argmax.prune;
+    if (prune) {
+      ctx = RemovalBoundCtx::Make(n_, sum_k_, sum_k2_, sum_kr_);
+      if (!ctx.usable) {
+        prune = false;
+        local.fallback_rounds = 1;
+      }
+    }
+    const RemovalBoundCtx* bctx = prune ? &ctx : nullptr;
+    const bool tiered = prune && argmax.cache;
+    const std::size_t m = rem_keys_.size();
+    if (prune) {
+      EnsureScratchSize(&argmax_bounds_, m, &scratch_reallocs_);
+      EnsureScratchSize(&argmax_suffix_max_, m, &scratch_reallocs_);
+      EnsureScratchSize(&argmax_suffix_cnt_, m, &scratch_reallocs_);
+    }
+    if (tiered) {
+      const std::size_t blocks = m / kRemovalBlock + 2;
+      EnsureScratchSize(&argmax_tier_bounds_, blocks, &scratch_reallocs_);
+      EnsureScratchSize(&argmax_tier_suffix_max_, blocks,
+                        &scratch_reallocs_);
+      EnsureScratchSize(&argmax_tier_suffix_cnt_, blocks,
+                        &scratch_reallocs_);
+    }
+    const bool parallel =
+        pool != nullptr && pool->num_threads() > 1 &&
+        static_cast<std::int64_t>(m) > kArgmaxChunkGaps;
+    if (parallel) {
+      // Fixed-size candidate chunks with chunk-local pruning, reduced
+      // in chunk (= key) order with a strict > comparison: bit-identical
+      // to the serial scan for every thread count.
+      const std::int64_t num_chunks =
+          (static_cast<std::int64_t>(m) + kArgmaxChunkGaps - 1) /
+          kArgmaxChunkGaps;
+      std::vector<Candidate> chunk_best(static_cast<std::size_t>(num_chunks));
+      std::vector<char> chunk_have(static_cast<std::size_t>(num_chunks), 0);
+      std::vector<ArgmaxStats> chunk_stats(
+          static_cast<std::size_t>(num_chunks));
+      pool->ParallelFor(num_chunks, [this, allowed, m, bctx, tiered,
+                                     &chunk_best, &chunk_have,
+                                     &chunk_stats](std::int64_t c) {
+        const std::size_t first = static_cast<std::size_t>(c) *
+                                  static_cast<std::size_t>(kArgmaxChunkGaps);
+        const std::size_t end = std::min(
+            m, first + static_cast<std::size_t>(kArgmaxChunkGaps));
+        bool chunk_found = false;
+        if (tiered) {
+          ScanRemovalRangeTiered(first, end, *bctx, allowed,
+                                 &chunk_best[static_cast<std::size_t>(c)],
+                                 &chunk_found,
+                                 &chunk_stats[static_cast<std::size_t>(c)]);
+        } else {
+          ScanRemovalRange(first, end, bctx, allowed,
+                           &chunk_best[static_cast<std::size_t>(c)],
+                           &chunk_found,
+                           &chunk_stats[static_cast<std::size_t>(c)]);
+        }
+        chunk_have[static_cast<std::size_t>(c)] = chunk_found ? 1 : 0;
+      });
+      for (std::int64_t c = 0; c < num_chunks; ++c) {
+        const auto ci = static_cast<std::size_t>(c);
+        local.Add(chunk_stats[ci]);
+        if (!chunk_have[ci]) continue;
+        const Candidate& cb = chunk_best[ci];
+        if (!have || cb.loss > best.loss) {
+          best = cb;
+          have = true;
+        }
+      }
+    } else if (tiered) {
+      ScanRemovalRangeTiered(0, m, ctx, allowed, &best, &have, &local);
+    } else {
+      ScanRemovalRange(0, m, bctx, allowed, &best, &have, &local);
+    }
+  }
+  if (stats != nullptr) stats->Add(local);
+  if (!have) {
+    return Status::ResourceExhausted(
+        "no allowed removal candidate among the stored keys");
+  }
+  return best;
+}
+
+Key LossLandscape::SecondMinKey() const {
+  // The next occupied key above the minimum: min + 1 itself when
+  // occupied, else one past the gap containing it. Overlay-agnostic, so
+  // it stays exact under removals.
+  const Key c = min_key_ + 1;
+  std::size_t ti = 0;
+  std::size_t gi = 0;
+  if (!gaps_.Locate(c, &ti, &gi)) return c;
+  return gaps_.tiers()[ti].gaps[gi].hi + 1;
 }
 
 Key LossLandscape::SecondMaxKey() const {
-  const Key a = base_keys_.back();
-  if (inserted_.empty()) return base_keys_[base_keys_.size() - 2];
-  const Key b = inserted_.back();
-  if (b > a) {
-    return inserted_.size() > 1
-               ? std::max(a, inserted_[inserted_.size() - 2])
-               : a;
-  }
-  return base_keys_.size() > 1
-             ? std::max(b, base_keys_[base_keys_.size() - 2])
-             : b;
+  const Key c = max_key_ - 1;
+  std::size_t ti = 0;
+  std::size_t gi = 0;
+  if (!gaps_.Locate(c, &ti, &gi)) return c;
+  return gaps_.tiers()[ti].gaps[gi].lo - 1;
 }
 
 LossLandscape::Aggregates LossLandscape::aggregates() const {

@@ -124,11 +124,35 @@ class LossLandscape {
   /// \brief Commits poisoning key \p kp into the landscape: all
   /// aggregates, the gap decomposition, and BaseLoss() now describe the
   /// enlarged keyset, exactly as if the landscape had been rebuilt.
+  /// Re-inserting a previously removed key cancels its removal overlay
+  /// entry instead of growing the inserted overlay.
   ///
   /// Fails with OutOfRange outside the domain and InvalidArgument when
   /// kp is occupied. Cost O(log n) aggregate work + O(p) overlay insert
   /// + O(sqrt(G)) tiered gap splice (see splice_moves()).
   Status InsertKey(Key kp);
+
+  /// \brief The exact dual of InsertKey: removes the *current* key
+  /// \p kp (base or inserted), after which every aggregate, the gap
+  /// decomposition (adjacent gaps merge; see TieredGaps::MergeAt), the
+  /// min/max bookkeeping and BaseLoss() describe the shrunken keyset
+  /// bit-identically to a fresh landscape built without kp. Removed
+  /// base keys live in a tombstone overlay (sorted vector + Fenwick
+  /// sums by base index) threaded through PrefixAt, so the Create-time
+  /// key array stays immutable.
+  ///
+  /// Fails with OutOfRange outside the domain, InvalidArgument when kp
+  /// is not currently stored, and FailedPrecondition when fewer than
+  /// two keys would remain (the regression needs two points). Cost
+  /// O(log n) aggregate work + O(p + r) overlay work + O(sqrt(G))
+  /// tiered gap merge (see splice_moves()).
+  Status RemoveKey(Key kp);
+
+  /// \brief RemoveKey(from) followed by InsertKey(to) — the §V
+  /// modification (relocation) primitive. to == from is a no-op
+  /// round-trip. On a failed re-insertion the removal is rolled back
+  /// and the error returned, leaving the landscape untouched.
+  Status ReplaceKey(Key from, Key to);
 
   /// \brief L(kp): minimized MSE of the regression trained on the
   /// current keys plus kp.
@@ -260,6 +284,42 @@ class LossLandscape {
                                     nullptr,
                                 ThreadPool* pool = nullptr) const;
 
+  /// \brief The removal-side argmax: the stored key whose deletion
+  /// maximizes the retrained loss (the greedy step of the §V deletion
+  /// and modification attacks). With \p allowed non-null only keys in
+  /// that set are candidates (the adversary's deletable records).
+  ///
+  /// Runs over a lazily built, incrementally maintained
+  /// structure-of-arrays view of the current keys (sorted keys +
+  /// exact int64 suffix key-sums) — no per-round landscape
+  /// reconstruction. With \p argmax.prune each candidate is scored by
+  /// an admissible double-precision bound (the removal dual of the
+  /// insertion bound, same component-magnitude margins) and only
+  /// survivors are evaluated exactly; with \p argmax.cache (the
+  /// default) the scan is additionally *tiered*: one admissible chord
+  /// bound per fixed block of consecutive candidates (the covariance is
+  /// concave piecewise-linear along the stored keys, so the chord
+  /// through a block's exact endpoints minorizes it), and only blocks
+  /// whose bound reaches the running best are re-scored per key through
+  /// the batched auto-vectorizable SoA kernel — O(n/B + survivors)
+  /// bound work per round instead of O(n). Removal commits touch one
+  /// block's worth of SoA state, so the next round's block bounds see
+  /// the shift exactly. With \p argmax.prune off every candidate is
+  /// evaluated exactly. Results are bit-identical to an index-ordered
+  /// exhaustive scan (ties break toward the smaller key) for every
+  /// prune/cache/thread setting; whenever the bound arithmetic is not
+  /// provably admissible (wide domains) the round transparently falls
+  /// back to the exact Int128 scan. Counter contract of the tiered
+  /// scan: cached_bounds + invalidated_gaps == candidates in the scan.
+  ///
+  /// Fails with FailedPrecondition when fewer than three keys are
+  /// stored and ResourceExhausted when \p allowed rules every key out.
+  /// Shares the engine-owned argmax scratch: one landscape, one thread
+  /// at a time (fan out only via \p pool).
+  Result<Candidate> FindOptimalRemoval(
+      const std::unordered_set<Key>* allowed, ThreadPool* pool,
+      const ArgmaxOptions& argmax, ArgmaxStats* stats = nullptr) const;
+
   /// \brief Times any argmax scratch buffer grew its capacity. Stays
   /// O(log G) across an attack (geometric growth), which the
   /// differential harness asserts to pin the no-per-round-allocation
@@ -349,6 +409,17 @@ class LossLandscape {
                                 Int128 suffix_sum) const;
   void RecomputeCurrentLoss();
 
+  /// True when the pruned bound arithmetic (and the int64 suffix-sum
+  /// SoA) is provably admissible for the current n and domain span.
+  bool PruneDomainOk() const;
+
+  /// Exact minimized loss of the current keys with the key at
+  /// removal-SoA index \p i deleted (rank i+1, suffix rem_sa_[i]).
+  long double LossWithoutAt(std::size_t i) const;
+
+  /// Builds / refreshes the removal-candidate SoA (rem_keys_, rem_sa_).
+  void EnsureRemovalSoa() const;
+
   /// One materialized candidate gap range: everything the per-candidate
   /// loss evaluation needs, captured in key order.
   struct GapRange {
@@ -361,6 +432,35 @@ class LossLandscape {
   /// Per-round double-precision bound context (the uncached pre-pass);
   /// defined in the .cc.
   struct BoundCtx;
+
+  /// Removal-side bound context (the dual of BoundCtx over the n-1
+  /// surviving keys); defined in the .cc.
+  struct RemovalBoundCtx;
+
+  /// Removal-scan worker over SoA candidate indices [first, end):
+  /// batched bound pass (bound_ctx non-null), max-bound exact seed,
+  /// key-ordered pruned sweep with suffix-max early exit — or the plain
+  /// exhaustive loop when bound_ctx is null. Folds the winner into
+  /// *best/*have via the first-maximum-in-key-order rule.
+  void ScanRemovalRange(std::size_t first, std::size_t end,
+                        const RemovalBoundCtx* bound_ctx,
+                        const std::unordered_set<Key>* allowed,
+                        Candidate* best, bool* have,
+                        ArgmaxStats* stats) const;
+
+  /// Tiered removal-scan worker (ArgmaxOptions::cache): one admissible
+  /// chord bound per fixed block of consecutive SoA candidates (along
+  /// the stored keys the covariance is concave piecewise-linear, so the
+  /// chord through a block's exact endpoints minorizes it), per-key
+  /// re-scoring only inside blocks whose chord bound reaches the
+  /// running best — O(n / B + survivors) bound work per round instead
+  /// of O(n). Counter contract mirrors the insertion tier cache:
+  /// cached_bounds + invalidated_gaps == candidates in the scan.
+  void ScanRemovalRangeTiered(std::size_t first, std::size_t end,
+                              const RemovalBoundCtx& ctx,
+                              const std::unordered_set<Key>* allowed,
+                              Candidate* best, bool* have,
+                              ArgmaxStats* stats) const;
 
   /// Scans argmax_ranges_[first, end) for the best candidate using the
   /// exhaustive loop (bound_ctx == nullptr) or the uncached pruned
@@ -378,12 +478,24 @@ class LossLandscape {
   /// best. Seeds from the chunk's highest tier range bound, staging
   /// that tier's per-gap bounds into \p seed_bounds (this chunk's
   /// disjoint slice of argmax_bounds_, at least tier_cap wide) so the
-  /// sweep never scores a gap twice.
+  /// sweep never scores a gap twice. \p soa points at this chunk's
+  /// 4*tier_cap-double slice of argmax_soa_, the staging buffer of the
+  /// batched (structure-of-arrays) per-gap bound kernel; \p scratch at
+  /// a second tier_cap-double bound slice for non-seed tiers.
   void ScanTiersCached(std::size_t first, std::size_t end, Key lo_bound,
                        Key hi_bound, const BoundCtx& ctx,
                        const std::unordered_set<Key>* excluded,
-                       double* seed_bounds, Candidate* best, bool* have,
+                       double* seed_bounds, double* scratch, double* soa,
+                       Candidate* best, bool* have,
                        ArgmaxStats* stats) const;
+
+  /// Batched per-gap bound scores of one *fully in-range* tier with no
+  /// exclusions: a scalar staging pass extracts the gap endpoints into
+  /// the SoA slice \p soa, then an auto-vectorizable pure-double kernel
+  /// writes max(bound(lo), bound(hi)) per gap into \p out. Counts the
+  /// same bound_evals the scalar path would.
+  void BatchTierBounds(const TieredGaps::Tier& t, const BoundCtx& ctx,
+                       double* soa, double* out, ArgmaxStats* stats) const;
 
   /// In-range gap count of tier \p t for the tiered scan ([lo_bound,
   /// hi_bound] never clips a gap partially — see FindOptimal).
@@ -401,6 +513,10 @@ class LossLandscape {
   std::vector<Key> inserted_;        // Keys committed via InsertKey, sorted.
   FenwickTree<Int128> inserted_slot_sum_;  // Shifted inserted-key sums per
                                            // base slot (see PrefixAt).
+  std::vector<Key> removed_;         // Removed base keys, sorted tombstones.
+  FenwickTree<Int128> removed_idx_sum_;  // Their shifted sums by base index
+                                         // (lazily allocated on first
+                                         // base-key removal).
   TieredGaps gaps_;                  // Tiered maximal unoccupied runs
                                      // with per-tier aggregate boxes.
   KeyDomain domain_;
@@ -427,7 +543,19 @@ class LossLandscape {
   mutable std::vector<std::int64_t> argmax_tier_suffix_cnt_;
   mutable std::vector<std::pair<std::size_t, std::size_t>>
       argmax_chunk_tiers_;
+  mutable std::vector<double> argmax_soa_;  // SoA staging of the batched
+                                            // per-gap bound kernel.
   mutable std::int64_t scratch_reallocs_ = 0;
+
+  // Removal-candidate SoA: the current keys in sorted order plus the
+  // exact suffix key-sum above each (int64 — valid under the same
+  // magnitude guard as the pruned bound arithmetic). Built lazily by
+  // FindOptimalRemoval, then maintained incrementally by
+  // InsertKey/RemoveKey; pure insertion attacks never pay for it.
+  mutable bool rem_built_ = false;
+  mutable bool rem_sa_valid_ = false;
+  mutable std::vector<Key> rem_keys_;
+  mutable std::vector<std::int64_t> rem_sa_;
 };
 
 }  // namespace lispoison

@@ -188,6 +188,19 @@ long double SimulateExchange(const ModelState& donor,
 /// Works on copies and commits only on success, so a move that turned
 /// out infeasible (the state may have drifted since simulation) leaves
 /// everything untouched.
+///
+/// Measured dead end (PR 5): committing the receiver's boundary-key
+/// removal in place with LossLandscape::RemoveKey instead of the
+/// tight-domain Rebuild is selection-identical (interior candidate
+/// ranges depend only on the current min/max) but ~35% *slower* on the
+/// n=100k uniform attack — the receiver's tier layout and overlays then
+/// evolve across dozens of exchanges without ever being re-balanced
+/// around the shifted span, degrading the tier-bound seeding (exact
+/// re-checks nearly double), while the Rebuild it saves is only
+/// O(model) ~ microseconds. The fresh per-exchange Rebuild is the
+/// faster configuration, so it stays; RemoveKey's home turf is the
+/// update-stream attacks, where removals dominate and the tier
+/// re-balancing tracks them.
 bool ApplyExchange(ModelState* donor, ModelState* receiver,
                    bool left_to_right, std::unordered_set<Key>* occupied,
                    std::int64_t threshold, bool interior_only,

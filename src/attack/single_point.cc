@@ -2,12 +2,21 @@
 
 #include <limits>
 
+#include "common/thread_pool.h"
+
 namespace lispoison {
 
 double SafeRatioLoss(long double poisoned, long double base) {
   if (base > 0) return static_cast<double>(poisoned / base);
   if (poisoned > 0) return std::numeric_limits<double>::infinity();
   return 1.0;
+}
+
+std::unique_ptr<ThreadPool> MakeAttackPool(const AttackOptions& options) {
+  if (options.num_threads == 0 || options.num_threads > 1) {
+    return std::make_unique<ThreadPool>(options.num_threads);
+  }
+  return nullptr;
 }
 
 double SinglePointResult::RatioLoss() const {

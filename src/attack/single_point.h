@@ -8,12 +8,16 @@
 #ifndef LISPOISON_ATTACK_SINGLE_POINT_H_
 #define LISPOISON_ATTACK_SINGLE_POINT_H_
 
+#include <memory>
+
 #include "attack/loss_landscape.h"
 #include "common/status.h"
 #include "common/types.h"
 #include "data/keyset.h"
 
 namespace lispoison {
+
+class ThreadPool;
 
 /// \brief Attack-wide knobs shared by the single- and multi-point
 /// attacks.
@@ -84,6 +88,12 @@ Result<SinglePointResult> OptimalSinglePoint(const KeySet& keyset,
 /// \brief Shared helper: safe ratio-loss division used by every attack
 /// result type.
 double SafeRatioLoss(long double poisoned, long double base);
+
+/// \brief One thread pool shared across an attack's rounds, per the
+/// AttackOptions::num_threads contract: nullptr (serial) for 1 or any
+/// negative value, a pool sized by the setting otherwise (0 = one
+/// worker per hardware thread).
+std::unique_ptr<ThreadPool> MakeAttackPool(const AttackOptions& options);
 
 }  // namespace lispoison
 

@@ -50,12 +50,21 @@ std::pair<std::int64_t, std::int64_t> CountedUpperBound(
 
 class RmiBackend : public SearchBackend {
  public:
-  explicit RmiBackend(LearnedIndex index) : index_(std::move(index)) {}
+  RmiBackend(LearnedIndex index, RmiOptions options)
+      : index_(std::move(index)), options_(options) {}
 
   const char* name() const override { return BackendKindName(BackendKind::kRmi); }
-  std::int64_t base_size() const override { return index_.size(); }
 
  protected:
+  std::int64_t BaseSize() const override { return index_.size(); }
+
+  Status RebuildBase(const KeySet& keyset) override {
+    LISPOISON_ASSIGN_OR_RETURN(LearnedIndex fresh,
+                               LearnedIndex::Build(keyset, options_));
+    index_ = std::move(fresh);
+    return Status::OK();
+  }
+
   BackendOpResult BaseLookup(Key k) const override {
     const LookupResult r = index_.Lookup(k);
     BackendOpResult res;
@@ -76,18 +85,28 @@ class RmiBackend : public SearchBackend {
 
  private:
   LearnedIndex index_;
+  RmiOptions options_;
 };
 
 class BTreeBackend : public SearchBackend {
  public:
-  explicit BTreeBackend(BPlusTree tree) : tree_(std::move(tree)) {}
+  BTreeBackend(BPlusTree tree, int fanout)
+      : tree_(std::move(tree)), fanout_(fanout) {}
 
   const char* name() const override {
     return BackendKindName(BackendKind::kBTree);
   }
-  std::int64_t base_size() const override { return tree_.size(); }
 
  protected:
+  std::int64_t BaseSize() const override { return tree_.size(); }
+
+  Status RebuildBase(const KeySet& keyset) override {
+    LISPOISON_ASSIGN_OR_RETURN(BPlusTree fresh,
+                               BPlusTree::Build(keyset, fanout_));
+    tree_ = std::move(fresh);
+    return Status::OK();
+  }
+
   BackendOpResult BaseLookup(Key k) const override {
     const BTreeLookupResult r = tree_.Lookup(k);
     BackendOpResult res;
@@ -107,6 +126,7 @@ class BTreeBackend : public SearchBackend {
 
  private:
   BPlusTree tree_;
+  int fanout_;
 };
 
 class BinarySearchBackend : public SearchBackend {
@@ -116,9 +136,15 @@ class BinarySearchBackend : public SearchBackend {
   const char* name() const override {
     return BackendKindName(BackendKind::kBinarySearch);
   }
-  std::int64_t base_size() const override { return index_.size(); }
 
  protected:
+  std::int64_t BaseSize() const override { return index_.size(); }
+
+  Status RebuildBase(const KeySet& keyset) override {
+    index_ = BinarySearchIndex(keyset);
+    return Status::OK();
+  }
+
   BackendOpResult BaseLookup(Key k) const override {
     const BinarySearchResult r = index_.Lookup(k);
     BackendOpResult res;
@@ -153,7 +179,23 @@ const char* BackendKindName(BackendKind kind) {
 }
 
 BackendOpResult SearchBackend::Lookup(Key k) const {
-  BackendOpResult res = BaseLookup(k);
+  // With compaction enabled, base and overlay are read under one shared
+  // lock: a concurrent compaction (which swaps the base structure)
+  // holds the exclusive side, so a reader never sees a half-rebuilt
+  // base. With compaction off (the default and the committed serving
+  // baseline) the base is immutable and keeps its lock-free fast path.
+  BackendOpResult res;
+  if (compact_threshold_ > 0) {
+    std::shared_lock<std::shared_mutex> lock(overlay_mu_);
+    res = BaseLookup(k);
+    if (res.found || overlay_.empty()) return res;
+    const auto b = CountedLowerBound(overlay_, k);
+    res.work += b.second;
+    res.found = b.first < static_cast<std::int64_t>(overlay_.size()) &&
+                overlay_[static_cast<std::size_t>(b.first)] == k;
+    return res;
+  }
+  res = BaseLookup(k);
   if (res.found) return res;
   std::shared_lock<std::shared_mutex> lock(overlay_mu_);
   if (overlay_.empty()) return res;
@@ -167,6 +209,17 @@ BackendOpResult SearchBackend::Lookup(Key k) const {
 BackendOpResult SearchBackend::Scan(Key lo, Key hi) const {
   BackendOpResult res;
   if (lo > hi) return res;
+  if (compact_threshold_ > 0) {
+    std::shared_lock<std::shared_mutex> lock(overlay_mu_);
+    res = BaseScan(lo, hi);
+    if (overlay_.empty()) return res;
+    const auto first = CountedLowerBound(overlay_, lo);
+    const auto end = CountedUpperBound(overlay_, hi);
+    res.work += first.second + end.second;
+    res.range_count += end.first - first.first;
+    res.found = res.range_count > 0;
+    return res;
+  }
   res = BaseScan(lo, hi);
   std::shared_lock<std::shared_mutex> lock(overlay_mu_);
   if (overlay_.empty()) return res;
@@ -178,17 +231,63 @@ BackendOpResult SearchBackend::Scan(Key lo, Key hi) const {
   return res;
 }
 
+std::int64_t SearchBackend::base_size() const {
+  if (compact_threshold_ == 0) return BaseSize();  // Base is immutable.
+  std::shared_lock<std::shared_mutex> lock(overlay_mu_);
+  return BaseSize();
+}
+
 Status SearchBackend::Insert(Key k) {
-  if (BaseLookup(k).found) {
+  // With compaction off the base is immutable, so probe it before
+  // taking the writer lock (the pre-compaction fast path); with
+  // compaction on the probe must happen under the lock, where the base
+  // cannot be swapped mid-walk.
+  if (compact_threshold_ == 0 && BaseLookup(k).found) {
     return Status::InvalidArgument("key already stored in the base index");
   }
   std::unique_lock<std::shared_mutex> lock(overlay_mu_);
+  if (compact_threshold_ > 0 && BaseLookup(k).found) {
+    return Status::InvalidArgument("key already stored in the base index");
+  }
   const auto b = CountedLowerBound(overlay_, k);
   const auto it = overlay_.begin() + static_cast<std::ptrdiff_t>(b.first);
   if (it != overlay_.end() && *it == k) {
     return Status::InvalidArgument("key already stored in the overlay");
   }
   overlay_.insert(it, k);
+
+  if (compact_threshold_ > 0 &&
+      static_cast<std::int64_t>(overlay_.size()) >= compact_threshold_) {
+    // Merge the overlay into the base key list, retrain/rebuild the
+    // substrate, and start a fresh overlay. The serving domain is the
+    // hull of the build domain and everything inserted so far, so the
+    // rebuild cannot reject out-of-domain inserts.
+    std::vector<Key> merged;
+    merged.reserve(base_keys_.size() + overlay_.size());
+    std::merge(base_keys_.begin(), base_keys_.end(), overlay_.begin(),
+               overlay_.end(), std::back_inserter(merged));
+    KeyDomain domain = domain_;
+    if (merged.front() < domain.lo) domain.lo = merged.front();
+    if (merged.back() > domain.hi) domain.hi = merged.back();
+    auto keyset = KeySet::Create(merged, domain);
+    bool rebuilt = false;
+    if (keyset.ok()) {
+      const Status st = RebuildBase(*keyset);
+      if (st.ok()) {
+        base_keys_ = std::move(merged);
+        domain_ = domain;
+        overlay_.clear();
+        compactions_ += 1;
+        rebuilt = true;
+      }
+    }
+    if (!rebuilt) {
+      // A failed rebuild keeps serving from the intact overlay; double
+      // the threshold so later inserts do not retry the O(n) merge on
+      // every call.
+      compact_threshold_ *= 2;
+    }
+  }
   return Status::OK();
 }
 
@@ -197,25 +296,44 @@ std::int64_t SearchBackend::overlay_size() const {
   return static_cast<std::int64_t>(overlay_.size());
 }
 
+std::int64_t SearchBackend::compactions() const {
+  std::shared_lock<std::shared_mutex> lock(overlay_mu_);
+  return compactions_;
+}
+
+void SearchBackend::InitCompaction(const KeySet& keyset,
+                                   std::int64_t threshold) {
+  compact_threshold_ = threshold;
+  domain_ = keyset.domain();
+  // The merged key list is only needed when compaction can trigger.
+  if (threshold > 0) base_keys_ = keyset.keys();
+}
+
 Result<std::unique_ptr<SearchBackend>> CreateBackend(
     BackendKind kind, const KeySet& keyset, const BackendOptions& options) {
+  std::unique_ptr<SearchBackend> backend;
   switch (kind) {
     case BackendKind::kRmi: {
       LISPOISON_ASSIGN_OR_RETURN(LearnedIndex index,
                                  LearnedIndex::Build(keyset, options.rmi));
-      return std::unique_ptr<SearchBackend>(
-          new RmiBackend(std::move(index)));
+      backend.reset(new RmiBackend(std::move(index), options.rmi));
+      break;
     }
     case BackendKind::kBTree: {
       LISPOISON_ASSIGN_OR_RETURN(BPlusTree tree,
                                  BPlusTree::Build(keyset, options.btree_fanout));
-      return std::unique_ptr<SearchBackend>(
-          new BTreeBackend(std::move(tree)));
+      backend.reset(new BTreeBackend(std::move(tree), options.btree_fanout));
+      break;
     }
     case BackendKind::kBinarySearch:
-      return std::unique_ptr<SearchBackend>(new BinarySearchBackend(keyset));
+      backend.reset(new BinarySearchBackend(keyset));
+      break;
   }
-  return Status::InvalidArgument("unknown backend kind");
+  if (backend == nullptr) {
+    return Status::InvalidArgument("unknown backend kind");
+  }
+  backend->InitCompaction(keyset, options.compact_threshold);
+  return backend;
 }
 
 }  // namespace lispoison

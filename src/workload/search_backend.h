@@ -50,13 +50,27 @@ const char* BackendKindName(BackendKind kind);
 struct BackendOptions {
   RmiOptions rmi;      ///< RMI configuration (kRmi only).
   int btree_fanout = 64;  ///< B+Tree fanout (kBTree only).
+
+  /// Overlay compaction / retrain threshold: when the insert overlay
+  /// reaches this many keys, the backend merges it into the base
+  /// structure and rebuilds (retrains the RMI, re-bulk-loads the
+  /// B+Tree), so long insert-heavy runs do not degrade into overlay
+  /// binary search (the dynamic_index delta-merge design). 0 disables
+  /// compaction (the pre-PR-5 behaviour and the committed serving
+  /// baseline's configuration).
+  std::int64_t compact_threshold = 0;
 };
 
 /// \brief Abstract serving adapter: static base index + insert overlay.
 ///
 /// Subclasses implement the base-structure primitives; the public
 /// operations splice in the overlay so inserted keys are immediately
-/// visible to subsequent reads and scans on any backend.
+/// visible to subsequent reads and scans on any backend. With a
+/// positive BackendOptions::compact_threshold the overlay is merged
+/// into the base structure — and the substrate rebuilt/retrained —
+/// whenever it reaches the threshold; reads and scans take the shared
+/// lock across base + overlay so a concurrent compaction can never
+/// swap the base out from under them.
 class SearchBackend {
  public:
   virtual ~SearchBackend() = default;
@@ -64,8 +78,11 @@ class SearchBackend {
   /// \brief Backend display name ("rmi", "btree", "binary_search").
   virtual const char* name() const = 0;
 
-  /// \brief Keys in the static base structure (excludes the overlay).
-  virtual std::int64_t base_size() const = 0;
+  /// \brief Keys in the static base structure (excludes the overlay;
+  /// grows when a compaction folds the overlay in). Thread-safe: reads
+  /// under the shared lock so a concurrent compaction cannot swap the
+  /// substrate mid-walk.
+  std::int64_t base_size() const;
 
   /// \brief Point lookup of \p k across base + overlay. Thread-safe.
   BackendOpResult Lookup(Key k) const;
@@ -76,20 +93,41 @@ class SearchBackend {
 
   /// \brief Inserts \p k into the overlay. Fails with InvalidArgument
   /// when the key is already present (base or overlay). Thread-safe.
+  /// May trigger a compaction (see compactions()).
   Status Insert(Key k);
 
   /// \brief Keys currently in the insert overlay.
   std::int64_t overlay_size() const;
+
+  /// \brief Overlay-into-base merges performed so far.
+  std::int64_t compactions() const;
+
+  /// \brief The configured compaction threshold (0 = never).
+  std::int64_t compact_threshold() const { return compact_threshold_; }
+
+  /// \brief Captures the compaction inputs; called once by
+  /// CreateBackend after construction.
+  void InitCompaction(const KeySet& keyset, std::int64_t threshold);
 
  protected:
   /// \brief Base-structure point lookup (no overlay).
   virtual BackendOpResult BaseLookup(Key k) const = 0;
   /// \brief Base-structure range count (no overlay).
   virtual BackendOpResult BaseScan(Key lo, Key hi) const = 0;
+  /// \brief Key count of the base structure (no overlay, no lock).
+  virtual std::int64_t BaseSize() const = 0;
+  /// \brief Rebuilds the base structure over \p keyset (the merged
+  /// base + overlay keys). Called under the exclusive overlay lock.
+  virtual Status RebuildBase(const KeySet& keyset) = 0;
 
  private:
   mutable std::shared_mutex overlay_mu_;
   std::vector<Key> overlay_;  // Sorted, unique, disjoint from the base.
+  std::vector<Key> base_keys_;  // Current base keys (compaction input);
+                                // only tracked when compaction is on.
+  KeyDomain domain_{0, 0};
+  std::int64_t compact_threshold_ = 0;
+  std::int64_t compactions_ = 0;
 };
 
 /// \brief Builds a backend of \p kind over \p keyset.

@@ -290,5 +290,110 @@ TEST(ModificationAttackTest, SeededDifferentialAgainstRebuildReference) {
   }
 }
 
+TEST(DeletionAttackTest, IncrementalMatchesReferenceAcrossModes) {
+  // The incremental engine (persistent landscape + pruned/batched
+  // removal argmax) against the retained rebuild-per-round reference:
+  // bit-equal removed keys, base/attacked losses and per-round loss
+  // trajectories for every prune x cache x thread-count combination,
+  // restricted and unrestricted.
+  for (std::uint64_t seed = 0; seed < 12; ++seed) {
+    Rng rng(0xD311D1FF + seed);
+    const std::int64_t n = 160 + static_cast<std::int64_t>(seed % 4) * 110;
+    const KeyDomain domain{0, 11 * n};
+    auto ks = seed % 2 == 0 ? GenerateUniform(n, domain, &rng)
+                            : GenerateLogNormal(n, domain, &rng);
+    ASSERT_TRUE(ks.ok());
+    const std::int64_t d = 10 + static_cast<std::int64_t>(seed % 5);
+    std::vector<Key> deletable;
+    if (seed % 3 == 0) {
+      for (std::int64_t i = 0; i < ks->size(); i += 2) {
+        deletable.push_back(ks->at(i));
+      }
+    }
+
+    auto ref = GreedyDeleteCdfReference(*ks, d, deletable);
+    ASSERT_TRUE(ref.ok()) << ref.status().message();
+    for (const bool prune : {false, true}) {
+      for (const bool cache : {false, true}) {
+        for (const int threads : {1, 3}) {
+          AttackOptions options;
+          options.prune_argmax = prune;
+          options.cache_argmax = cache;
+          options.num_threads = threads;
+          auto got = GreedyDeleteCdf(*ks, d, deletable, options);
+          ASSERT_TRUE(got.ok()) << got.status().message();
+          const auto mode = [&] {
+            return " seed " + std::to_string(seed) + " prune " +
+                   std::to_string(prune) + " cache " +
+                   std::to_string(cache) + " threads " +
+                   std::to_string(threads);
+          };
+          EXPECT_EQ(got->removed_keys, ref->removed_keys) << mode();
+          EXPECT_EQ(got->base_loss, ref->base_loss) << mode();
+          EXPECT_EQ(got->attacked_loss, ref->attacked_loss) << mode();
+          ASSERT_EQ(got->loss_trajectory.size(),
+                    ref->loss_trajectory.size());
+          for (std::size_t i = 0; i < ref->loss_trajectory.size(); ++i) {
+            EXPECT_EQ(got->loss_trajectory[i], ref->loss_trajectory[i])
+                << mode() << " round " << i;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(ModificationAttackTest, IncrementalMatchesReferenceAcrossModes) {
+  // Modification couples the removal argmax with the insertion argmax
+  // on one persistent landscape (RemoveKey + InsertKey per move); the
+  // chosen (from, to) pairs and loss trajectory must bit-match the
+  // rebuild-per-round reference in every mode.
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    Rng rng(0x40D5EED + seed);
+    const std::int64_t n = 120 + static_cast<std::int64_t>(seed % 4) * 90;
+    const KeyDomain domain{0, 13 * n};
+    auto ks = seed % 2 == 0 ? GenerateUniform(n, domain, &rng)
+                            : GenerateLogNormal(n, domain, &rng);
+    ASSERT_TRUE(ks.ok());
+    const std::int64_t moves = 6 + static_cast<std::int64_t>(seed % 4);
+    std::vector<Key> movable;
+    if (seed % 3 == 0) {
+      for (std::int64_t i = 1; i < ks->size(); i += 2) {
+        movable.push_back(ks->at(i));
+      }
+    }
+
+    auto ref = GreedyModifyCdfReference(*ks, moves, movable);
+    ASSERT_TRUE(ref.ok()) << ref.status().message();
+    for (const bool prune : {false, true}) {
+      for (const bool cache : {false, true}) {
+        for (const int threads : {1, 3}) {
+          AttackOptions options;
+          options.prune_argmax = prune;
+          options.cache_argmax = cache;
+          options.num_threads = threads;
+          auto got = GreedyModifyCdf(*ks, moves, movable, options);
+          ASSERT_TRUE(got.ok()) << got.status().message();
+          const auto mode = [&] {
+            return " seed " + std::to_string(seed) + " prune " +
+                   std::to_string(prune) + " cache " +
+                   std::to_string(cache) + " threads " +
+                   std::to_string(threads);
+          };
+          EXPECT_EQ(got->moves, ref->moves) << mode();
+          EXPECT_EQ(got->base_loss, ref->base_loss) << mode();
+          EXPECT_EQ(got->attacked_loss, ref->attacked_loss) << mode();
+          ASSERT_EQ(got->loss_trajectory.size(),
+                    ref->loss_trajectory.size());
+          for (std::size_t i = 0; i < ref->loss_trajectory.size(); ++i) {
+            EXPECT_EQ(got->loss_trajectory[i], ref->loss_trajectory[i])
+                << mode() << " round " << i;
+          }
+        }
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace lispoison

@@ -1,22 +1,30 @@
-// Stateful property harness for the tiered incremental argmax engine:
-// hundreds of seeded random operation sequences — InsertKey commits,
-// FindOptimal scans with per-call random interior/thread-count/prune/
-// cache settings, occasional excluded-key scans and duplicate-insert
-// probes — replayed against a *flat-vector + full-evaluation oracle*
-// (sorted std::vector<Key> plus exact Aggregates arithmetic, no gap
-// structure, no pruning, no caching). At every step the engine must
-// return a bit-identical candidate (key and long-double loss), and the
-// ArgmaxStats counters must satisfy the engine's accounting contracts:
+// Stateful property harness for the fully dynamic incremental argmax
+// engine: hundreds of seeded random operation sequences — InsertKey /
+// RemoveKey / ReplaceKey commits, FindOptimal and FindOptimalRemoval
+// scans with per-call random interior/thread-count/prune/cache
+// settings, occasional excluded-key / restricted-allowed scans and
+// duplicate-insert / missing-removal probes — replayed against a
+// *flat-vector + full-evaluation oracle* (sorted std::vector<Key> plus
+// exact Aggregates arithmetic, no gap structure, no pruning, no
+// caching). At every step the engine must return a bit-identical
+// candidate (key and long-double loss), and the ArgmaxStats counters
+// must satisfy the engine's accounting contracts:
 //
 //   * prune off        -> no bound work, exact_evals == oracle candidates
 //   * prune, cache off -> bound_evals == oracle candidates, no cache work
 //   * prune + cache    -> cached_bounds + invalidated_gaps == gaps in
 //                         the scanned range (every gap is dispositioned
 //                         exactly once), zero fallbacks
+//   * removal scans    -> flat pruned: bound_evals == allowed
+//                         candidates; tiered (cache): every stored key
+//                         dispositioned exactly once by its block's
+//                         chord bound or per-key re-scoring
+//                         (cached_bounds + invalidated_gaps == n)
 //
-// and every InsertKey must splice O(sqrt(G)) gap records, not O(G) —
-// asserted through the engine's splice-work counter against the tier
-// cap (a flat-vector splice would move ~G/2 records per insert).
+// and every InsertKey splice / RemoveKey merge must move O(sqrt(G)) gap
+// records, not O(G) — asserted through the engine's splice-work counter
+// against the tier cap (a flat-vector splice would move ~G/2 records
+// per edit).
 //
 // The sequence count is env-tunable: PROPERTY_TEST_SEEDS=<n> extends
 // the sweep (CI's sanitizer matrix runs an extended range).
@@ -65,6 +73,15 @@ class FlatOracle {
 
   void Insert(Key k) {
     keys_.insert(std::lower_bound(keys_.begin(), keys_.end(), k), k);
+  }
+
+  void Remove(Key k) {
+    keys_.erase(std::lower_bound(keys_.begin(), keys_.end(), k));
+  }
+
+  std::int64_t size() const { return static_cast<std::int64_t>(keys_.size()); }
+  Key KeyAt(std::int64_t idx) const {
+    return keys_[static_cast<std::size_t>(idx)];
   }
 
   const KeyDomain& domain() const { return domain_; }
@@ -123,6 +140,35 @@ class FlatOracle {
     return result;
   }
 
+  /// The removal-argmax ground truth: evaluate every (allowed) stored
+  /// key's deletion exactly through the public Aggregates arithmetic,
+  /// first maximum in key order.
+  OracleScan FindOptimalRemoval(
+      const std::unordered_set<Key>* allowed) const {
+    OracleScan result;
+    LossLandscape::Aggregates agg;
+    agg.shift = keys_.front();
+    for (const Key k : keys_) agg.InsertAboveAll(k);
+    Int128 prefix = 0;
+    for (std::size_t j = 0; j < keys_.size(); ++j) {
+      const Key k = keys_[j];
+      const Int128 x = static_cast<Int128>(k) - agg.shift;
+      if (allowed == nullptr || allowed->count(k) != 0) {
+        ++result.candidates;
+        LossLandscape::Aggregates copy = agg;
+        copy.Remove(k, static_cast<Rank>(j), agg.sum_k - prefix - x);
+        const long double loss = copy.Loss();
+        if (!result.ok || loss > result.loss) {  // First max in key order.
+          result.ok = true;
+          result.key = k;
+          result.loss = loss;
+        }
+      }
+      prefix += x;
+    }
+    return result;
+  }
+
  private:
   std::vector<Key> keys_;  // Sorted, the flat reference representation.
   KeyDomain domain_;
@@ -158,10 +204,18 @@ void RunSequence(std::uint64_t seed, const std::vector<ThreadPool*>& pools) {
   LossLandscape::ArgmaxStats prev;
   std::int64_t prev_splice = ll->splice_moves();
 
-  const int ops = 26;
+  // Per-edit splice/merge budget: within-tier shifts (<= tier cap), one
+  // possible tier split or underflow re-balance (<= ~1.5 cap copies)
+  // and the tier directory (underflow re-balancing keeps tiers above
+  // cap/4, so <= 4G/cap + 1 entries). A flat layout would move ~G/2.
+  auto splice_budget = [](std::int64_t cap, std::int64_t gaps) {
+    return 3 * cap + 4 * gaps / std::max<std::int64_t>(1, cap) + 64;
+  };
+
+  const int ops = 30;
   for (int op = 0; op < ops; ++op) {
     const std::int64_t roll = rng.UniformInt(0, 99);
-    if (roll < 35) {
+    if (roll < 28) {
       // ---- InsertKey of a random unoccupied key. ----
       Key kp = 0;
       bool found = false;
@@ -176,18 +230,135 @@ void RunSequence(std::uint64_t seed, const std::vector<ThreadPool*>& pools) {
       if (roll < 8) {
         EXPECT_FALSE(ll->InsertKey(kp).ok());
       }
-      // The tiered splice: per-insert gap-record movement stays
-      // O(sqrt(G)) — within-tier shifts (<= tier cap), one possible
-      // tier split (<= cap/2 copies) and the tier directory
-      // (<= 2G/cap + 1 entries). A flat splice would move ~G/2.
-      const std::int64_t cap = ll->gap_tier_cap();
       const std::int64_t total_gaps = oracle.TotalGaps();
       EXPECT_EQ(ll->gap_count(), total_gaps) << "seed " << seed;
       const std::int64_t moved = ll->splice_moves() - prev_splice;
       prev_splice = ll->splice_moves();
-      EXPECT_LE(moved, 2 * cap + 2 * total_gaps / std::max<std::int64_t>(
-                                      1, cap) + 32)
+      EXPECT_LE(moved, splice_budget(ll->gap_tier_cap(), total_gaps))
           << "seed " << seed << " op " << op << " G=" << total_gaps;
+    } else if (roll < 42) {
+      // ---- RemoveKey of a random stored key. ----
+      if (oracle.size() <= 4) continue;
+      const Key victim = oracle.KeyAt(rng.UniformInt(0, oracle.size() - 1));
+      ASSERT_TRUE(ll->RemoveKey(victim).ok())
+          << "seed " << seed << " op " << op << " victim " << victim;
+      oracle.Remove(victim);
+      // Removing an unoccupied key must be rejected and leave no trace.
+      if (roll < 32) {
+        EXPECT_FALSE(ll->RemoveKey(victim).ok());
+      }
+      const std::int64_t total_gaps = oracle.TotalGaps();
+      EXPECT_EQ(ll->gap_count(), total_gaps) << "seed " << seed;
+      // The tiered merge is the splice's dual and must obey the same
+      // O(sqrt(G)) budget.
+      const std::int64_t moved = ll->splice_moves() - prev_splice;
+      prev_splice = ll->splice_moves();
+      EXPECT_LE(moved, splice_budget(ll->gap_tier_cap(), total_gaps))
+          << "seed " << seed << " op " << op << " G=" << total_gaps;
+    } else if (roll < 50) {
+      // ---- ReplaceKey: relocate a stored key to a free slot. ----
+      if (oracle.size() <= 4) continue;
+      const Key from = oracle.KeyAt(rng.UniformInt(0, oracle.size() - 1));
+      // A same-slot replacement is a legal no-op round-trip.
+      if (roll < 45) {
+        ASSERT_TRUE(ll->ReplaceKey(from, from).ok()) << "seed " << seed;
+        EXPECT_EQ(ll->gap_count(), oracle.TotalGaps()) << "seed " << seed;
+      }
+      Key to = 0;
+      bool found = false;
+      for (int tries = 0; tries < 24 && !found; ++tries) {
+        to = rng.UniformInt(domain.lo, domain.hi);
+        found = !oracle.Occupied(to);
+      }
+      if (!found) {
+        prev_splice = ll->splice_moves();
+        continue;
+      }
+      ASSERT_TRUE(ll->ReplaceKey(from, to).ok())
+          << "seed " << seed << " op " << op;
+      oracle.Remove(from);
+      oracle.Insert(to);
+      const std::int64_t total_gaps = oracle.TotalGaps();
+      EXPECT_EQ(ll->gap_count(), total_gaps) << "seed " << seed;
+      const std::int64_t moved = ll->splice_moves() - prev_splice;
+      prev_splice = ll->splice_moves();
+      // One merge plus one splice (plus the possible same-slot
+      // round-trip above): a small multiple of the per-edit budget.
+      EXPECT_LE(moved, 4 * splice_budget(ll->gap_tier_cap(), total_gaps))
+          << "seed " << seed << " op " << op << " G=" << total_gaps;
+    } else if (roll < 62) {
+      // ---- FindOptimalRemoval under random settings. ----
+      if (oracle.size() < 3) continue;
+      const std::int64_t pool_pick = rng.UniformInt(0, 2);
+      ThreadPool* pool = pool_pick == 0 ? nullptr
+                                        : pools[static_cast<std::size_t>(
+                                              pool_pick - 1)];
+      LossLandscape::ArgmaxOptions argmax;
+      argmax.prune = rng.UniformInt(0, 3) != 0;   // 3/4 pruned
+      argmax.cache = rng.UniformInt(0, 1) != 0;   // 1/2 block-tiered.
+      std::unordered_set<Key> allowed_set;
+      const std::unordered_set<Key>* allowed = nullptr;
+      if (rng.UniformInt(0, 2) == 0) {
+        // Restrict to a sparse subset of the stored keys (the paper's
+        // adversary-controlled records).
+        for (std::int64_t i = rng.UniformInt(0, 2); i < oracle.size();
+             i += 3) {
+          allowed_set.insert(oracle.KeyAt(i));
+        }
+        if (!allowed_set.empty()) allowed = &allowed_set;
+      }
+
+      const OracleScan want = oracle.FindOptimalRemoval(allowed);
+      const auto got = ll->FindOptimalRemoval(allowed, pool, argmax, &stats);
+      ASSERT_EQ(want.ok, got.ok()) << "seed " << seed << " op " << op;
+      if (want.ok) {
+        EXPECT_EQ(want.key, got->key) << "seed " << seed << " op " << op;
+        EXPECT_EQ(want.loss, got->loss) << "seed " << seed << " op " << op;
+      }
+
+      // ---- Removal-scan counter contracts. ----
+      const auto d = [&](std::int64_t LossLandscape::ArgmaxStats::*f) {
+        return stats.*f - prev.*f;
+      };
+      EXPECT_EQ(d(&LossLandscape::ArgmaxStats::rounds), 1);
+      EXPECT_EQ(d(&LossLandscape::ArgmaxStats::fallback_rounds), 0)
+          << "seed " << seed;  // Moderate domains: always admissible.
+      if (!argmax.prune) {
+        EXPECT_EQ(d(&LossLandscape::ArgmaxStats::bound_evals), 0);
+        EXPECT_EQ(d(&LossLandscape::ArgmaxStats::pruned_gaps), 0);
+        EXPECT_EQ(d(&LossLandscape::ArgmaxStats::cached_bounds), 0);
+        EXPECT_EQ(d(&LossLandscape::ArgmaxStats::invalidated_gaps), 0);
+        EXPECT_EQ(d(&LossLandscape::ArgmaxStats::exact_evals),
+                  want.candidates)
+            << "seed " << seed << " op " << op;
+      } else if (!argmax.cache) {
+        // Flat pruned scan: every allowed candidate scored once, no
+        // block cache.
+        EXPECT_EQ(d(&LossLandscape::ArgmaxStats::bound_evals),
+                  want.candidates)
+            << "seed " << seed << " op " << op;
+        EXPECT_EQ(d(&LossLandscape::ArgmaxStats::cached_bounds), 0);
+        EXPECT_EQ(d(&LossLandscape::ArgmaxStats::invalidated_gaps), 0);
+        EXPECT_LE(d(&LossLandscape::ArgmaxStats::pruned_gaps),
+                  want.candidates);
+      } else {
+        // Tiered scan: every stored key dispositioned exactly once,
+        // either by its block's chord bound or by per-key re-scoring.
+        EXPECT_EQ(d(&LossLandscape::ArgmaxStats::cached_bounds) +
+                      d(&LossLandscape::ArgmaxStats::invalidated_gaps),
+                  oracle.size())
+            << "seed " << seed << " op " << op;
+        // Bound work: one chord per block (+ chunk-boundary slack)
+        // plus per-key scores only inside surviving blocks.
+        EXPECT_LE(d(&LossLandscape::ArgmaxStats::bound_evals),
+                  oracle.size() / 128 + 8 +
+                      d(&LossLandscape::ArgmaxStats::invalidated_gaps))
+            << "seed " << seed << " op " << op;
+      }
+      EXPECT_LE(d(&LossLandscape::ArgmaxStats::exact_evals),
+                want.candidates)
+          << "seed " << seed << " op " << op;
+      prev = stats;
     } else {
       // ---- FindOptimal under random settings. ----
       const bool interior = rng.UniformInt(0, 1) == 0;
@@ -309,6 +480,37 @@ TEST(LandscapeStatefulPropertyTest, GreedySelfInsertionSpliceWorkSublinear) {
   // Structural sanity: the worst insert stayed around sqrt-scale, far
   // below the flat vector's ~G/2 average memmove.
   EXPECT_LT(max_moved, ll->gap_count() / 8);
+  EXPECT_GT(max_moved, 0);
+}
+
+TEST(LandscapeStatefulPropertyTest, GreedyDeletionMergeWorkSublinear) {
+  // The deletion attack's own access pattern: 300 argmax-chosen
+  // removals against ~5000 maximal gaps, each committing an O(sqrt(G))
+  // tiered merge (with underflow re-balancing), never a flat O(G)
+  // splice.
+  Rng rng(0xDE1E7E5);
+  auto ks = GenerateUniform(5000, KeyDomain{0, 80000}, &rng);
+  ASSERT_TRUE(ks.ok());
+  auto ll = LossLandscape::Create(*ks);
+  ASSERT_TRUE(ll.ok());
+
+  const std::int64_t cap = ll->gap_tier_cap();
+  std::int64_t prev_splice = ll->splice_moves();
+  std::int64_t max_moved = 0;
+  for (int round = 0; round < 300; ++round) {
+    auto best = ll->FindOptimalRemoval(nullptr, nullptr,
+                                       LossLandscape::ArgmaxOptions{});
+    ASSERT_TRUE(best.ok());
+    ASSERT_TRUE(ll->RemoveKey(best->key).ok());
+    const std::int64_t moved = ll->splice_moves() - prev_splice;
+    prev_splice = ll->splice_moves();
+    max_moved = std::max(max_moved, moved);
+    const std::int64_t gaps = ll->gap_count();
+    ASSERT_LE(moved,
+              3 * cap + 4 * gaps / std::max<std::int64_t>(1, cap) + 64)
+        << "round " << round;
+  }
+  EXPECT_LT(max_moved, ll->gap_count() / 4);
   EXPECT_GT(max_moved, 0);
 }
 

@@ -165,6 +165,87 @@ TEST(QueryDriverTest, InsertMixGrowsTheOverlay) {
   EXPECT_EQ(r.insert_latency.count(), expected_inserts);
 }
 
+TEST(SearchBackendTest, CompactionFoldsOverlayIntoBase) {
+  // ROADMAP item: with BackendOptions::compact_threshold the overlay is
+  // merged into the base structure (RMI retrained, B+Tree re-bulk-
+  // loaded) whenever it fills up, so insert-heavy runs never degrade
+  // into an ever-growing overlay binary search.
+  const KeySet ks = TestKeys(2000, /*seed=*/63);
+  for (const BackendKind kind : {BackendKind::kRmi, BackendKind::kBTree,
+                                 BackendKind::kBinarySearch}) {
+    BackendOptions opts;
+    opts.rmi.target_model_size = 500;
+    opts.compact_threshold = 64;
+    auto backend = CreateBackend(kind, ks, opts);
+    ASSERT_TRUE(backend.ok()) << backend.status().message();
+    const std::int64_t base0 = (*backend)->base_size();
+
+    Rng rng(417);
+    std::vector<Key> added;
+    while (added.size() < 300) {
+      const Key k = rng.UniformInt(0, 100 * 2000);
+      if ((*backend)->Insert(k).ok()) added.push_back(k);
+    }
+    // 300 inserts at threshold 64: at least four merges ran, and the
+    // surviving overlay is below one threshold's worth.
+    EXPECT_GE((*backend)->compactions(), 4) << (*backend)->name();
+    EXPECT_LT((*backend)->overlay_size(), 64) << (*backend)->name();
+    EXPECT_EQ((*backend)->base_size() + (*backend)->overlay_size(),
+              base0 + static_cast<std::int64_t>(added.size()))
+        << (*backend)->name();
+    // Every key — original or inserted, compacted or still in the
+    // overlay — stays visible to reads and scans.
+    for (const Key k : added) {
+      EXPECT_TRUE((*backend)->Lookup(k).found) << (*backend)->name();
+    }
+    for (std::int64_t i = 0; i < ks.size(); i += 97) {
+      EXPECT_TRUE((*backend)->Lookup(ks.at(i)).found) << (*backend)->name();
+    }
+    const auto scan = (*backend)->Scan(ks.at(0), ks.at(ks.size() - 1));
+    std::int64_t added_inside = 0;
+    for (const Key k : added) {
+      added_inside += k >= ks.at(0) && k <= ks.at(ks.size() - 1);
+    }
+    EXPECT_EQ(scan.range_count, ks.size() + added_inside)
+        << (*backend)->name();
+  }
+}
+
+TEST(QueryDriverTest, CompactionPreservesInsertMixResults) {
+  // Same deterministic single-threaded insert-heavy stream against a
+  // compacting and a non-compacting backend: membership-derived results
+  // (found counts, scanned keys, committed inserts) are identical —
+  // compaction only restructures where keys live — while the compacting
+  // backend actually merged and kept its overlay bounded.
+  const KeySet ks = TestKeys(3000, /*seed=*/29);
+  auto ops = GenerateOperations(ReadInsertMixWorkload(83), ks, 8000);
+  ASSERT_TRUE(ops.ok());
+  DriverOptions dopts;
+  dopts.num_threads = 1;
+  dopts.measure_latency = false;
+
+  BackendOptions plain;
+  plain.rmi.target_model_size = 500;
+  BackendOptions compacting = plain;
+  compacting.compact_threshold = 128;
+
+  auto a = CreateBackend(BackendKind::kRmi, ks, plain);
+  auto b = CreateBackend(BackendKind::kRmi, ks, compacting);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  const DriverResult ra = MustRun(a->get(), *ops, dopts);
+  const DriverResult rb = MustRun(b->get(), *ops, dopts);
+
+  EXPECT_EQ(ra.read_found, rb.read_found);
+  EXPECT_EQ(ra.scanned_keys, rb.scanned_keys);
+  EXPECT_EQ(ra.inserts, rb.inserts);
+  EXPECT_EQ(ra.insert_failures, rb.insert_failures);
+  EXPECT_GT((*b)->compactions(), 0);
+  EXPECT_LT((*b)->overlay_size(), 128);
+  EXPECT_EQ((*a)->overlay_size() + (*a)->base_size(),
+            (*b)->overlay_size() + (*b)->base_size());
+}
+
 TEST(QueryDriverTest, PoisonedRmiDoesMoreLookupWorkThanClean) {
   // The acceptance gap, on a fixed seed with the exact work model (no
   // wall-clock flakiness): Algorithm 2's poisons inflate the RMI's

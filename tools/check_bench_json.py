@@ -18,10 +18,20 @@ report shape the rest of the tooling depends on:
     reference sibling and compute speedups (the CI regression gate).
 
 With a second argument — the committed BENCH_attack_throughput.json —
-it additionally asserts the ISSUE 4 acceptance criterion on the
-committed trajectory: on the sparse n=100k configs (uniform and
-log-normal, serial, pruned) the cache-on arm's bound_evals are >= 10x
-below the cache-off arm's.
+it additionally asserts the committed-trajectory acceptance criteria:
+
+  * ISSUE 4: on the sparse n=100k insertion configs (uniform and
+    log-normal, serial, pruned) the cache-on arm's bound_evals are
+    >= 10x below the cache-off arm's;
+  * ISSUE 5: the incremental GreedyDeleteCdf at n=100k is >= 10x faster
+    (wall-clock) than the rebuild-per-round deletion reference, with
+    outcome-identical prune/cache arms.
+
+The update-stream configs (BM_GreedyDeleteCdf_*, BM_GreedyModifyCdf_*)
+share the 6-arg (dataset, n, budget, threads, prune, cache) layout and
+the full counter contract: the removal argmax's cache mode is the
+block-chord tiered scan, whose cached/invalidated counters obey the
+same disposition invariant as the insertion tier cache.
 
 Registered as a ctest (bench_attack_json_golden) so the structure is
 checked by the tier-1 suite, including the sanitizer matrix. Usage:
@@ -40,6 +50,15 @@ sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 import bench_compare  # noqa: E402  (sibling module, after path setup)
 
 GREEDY_INCREMENTAL = "BM_GreedyPoisonCdf_Incremental"
+DELETE_INCREMENTAL = "BM_GreedyDeleteCdf_Incremental"
+DELETE_REFERENCE = "BM_GreedyDeleteCdf_Reference"
+# Greedy-family incremental benches that must carry the full counter
+# set (the RMI benches use their own outcome counter names).
+COUNTER_BENCHES = (
+    GREEDY_INCREMENTAL,
+    DELETE_INCREMENTAL,
+    "BM_GreedyModifyCdf_Incremental",
+)
 REQUIRED_COUNTERS = (
     "exact_evals",
     "bound_evals",
@@ -160,7 +179,7 @@ def load_entries(path_or_report):
 
 
 def check_committed_baseline(path):
-    """ISSUE 4 acceptance: >= 10x bound_evals drop on the sparse configs."""
+    """Committed-trajectory acceptance gates (ISSUE 4 + ISSUE 5)."""
     entries = load_entries(path)
     sparse = [
         f"{GREEDY_INCREMENTAL}/{dataset}/100000/1000/1/1/1"
@@ -180,8 +199,33 @@ def check_committed_baseline(path):
             f"committed baseline: cache changed the outcome for {name}"
         )
         checked += 1
+
+    # ISSUE 5: deletion on the incremental engine >= 10x the
+    # rebuild-per-round reference wall-clock at n=100k, outcomes
+    # identical across the prune/cache arms.
+    deletion_gates = 0
+    for dataset in (1, 2):  # kUniform, kLogNormal
+        inc_name = f"{DELETE_INCREMENTAL}/{dataset}/100000/200/1/1/1"
+        ref_name = f"{DELETE_REFERENCE}/{dataset}/100000/200"
+        assert inc_name in entries, f"committed baseline lacks {inc_name}"
+        assert ref_name in entries, f"committed baseline lacks {ref_name}"
+        inc_time = float(entries[inc_name]["real_time"])
+        ref_time = float(entries[ref_name]["real_time"])
+        assert inc_time * 10 <= ref_time, (
+            f"committed baseline: incremental deletion not >=10x faster "
+            f"than the reference for dataset {dataset} "
+            f"({inc_time:.3f} vs {ref_time:.3f})"
+        )
+        assert (
+            entries[inc_name]["ratio_loss"] == entries[ref_name]["ratio_loss"]
+        ), f"committed baseline: deletion outcome drifted for {inc_name}"
+        deletion_gates += 1
+
     check_entries(entries, require_pairs=True)
-    print(f"committed baseline OK: {checked} sparse cache pairs >= 10x")
+    print(
+        f"committed baseline OK: {checked} sparse cache pairs >= 10x, "
+        f"{deletion_gates} deletion wall-clock gates >= 10x"
+    )
 
 
 def main():
@@ -195,13 +239,14 @@ def main():
         subprocess.run(
             [
                 bench,
-                # Dense n=10^4 greedy configs only (prune/cache arms +
-                # reference): cheap enough for sanitizer builds. The
-                # trailing slash anchors the arg — google-benchmark
-                # filters are unanchored partial-match regexes, and a
-                # bare /0/10000 would also match the ~2 s/iter n=100000
-                # configs.
-                "--benchmark_filter=BM_GreedyPoisonCdf.*/0/10000/",
+                # Dense n=10^4 greedy-family configs only (insertion,
+                # deletion, modification prune/cache arms + references):
+                # cheap enough for sanitizer builds. The trailing slash
+                # anchors the arg — google-benchmark filters are
+                # unanchored partial-match regexes, and a bare /0/10000
+                # would also match the ~2 s/iter n=100000 configs.
+                "--benchmark_filter="
+                "BM_Greedy(Poison|Delete|Modify)Cdf.*/0/10000/",
                 "--benchmark_min_time=0.05",
                 "--benchmark_out=" + out,
                 "--benchmark_out_format=json",
@@ -217,8 +262,16 @@ def main():
         "context must record hardware_concurrency"
     )
 
-    incremental = {k: v for k, v in entries.items() if GREEDY_INCREMENTAL in k}
-    assert incremental, f"no {GREEDY_INCREMENTAL} entries in the smoke run"
+    incremental = {
+        k: v
+        for k, v in entries.items()
+        if any(bench in k for bench in COUNTER_BENCHES)
+    }
+    assert incremental, "no greedy-family incremental entries in the smoke run"
+    for bench in COUNTER_BENCHES:
+        assert any(bench in k for k in incremental), (
+            f"no {bench} entries in the smoke run"
+        )
     for name, entry in incremental.items():
         for counter in REQUIRED_COUNTERS:
             assert counter in entry, f"{name} is missing counter {counter}"
