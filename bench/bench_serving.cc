@@ -25,8 +25,24 @@
 //                      base merge + substrate retrain (0 = never; the
 //                      ROADMAP dynamic_index-style delta-merge knob for
 //                      insert-heavy runs)
+//   --num-shards=1     key-range serving shards (matrix mode; the
+//                      sharded smoke arms below always run at 4)
+//   --read-group=1     batched read dispatch width (LookupBatch +
+//                      prefetch); 1 = scalar dispatch
+//   --sync-compaction  run compactions inline on inserting threads
+//                      (escape hatch; default is the maintenance thread)
 //   --smoke            capped CI configuration (small n/ops, 2 threads)
+//
+// Scaling mode: --threads-sweep=1,2,4[,...] switches to the multi-core
+// scaling study instead of the clean-vs-poisoned matrix. For each
+// thread count it replays the same read-only stream against a fresh
+// sharded RMI backend (reads/sec, p50/p99), then runs the insert-heavy
+// mix twice — async and sync compaction — recording the compaction
+// counters and insert latency histograms. Output (--out, default
+// BENCH_serving_scaling.json) is the committed curve that
+// tools/check_bench_json.py --serving-scaling gates.
 
+#include <algorithm>
 #include <cstdio>
 #include <iostream>
 #include <string>
@@ -52,8 +68,167 @@ struct Variant {
   const KeySet* keyset;
 };
 
+/// The multi-core scaling study (--threads-sweep): read throughput per
+/// driver thread count on the sharded backend plus the async-vs-sync
+/// insert arms. Emits the ScalingReport JSON the tier-1 golden gate
+/// checks.
+int RunScaling(const FlagParser& flags, std::vector<std::int64_t> sweep) {
+  const bool smoke = flags.GetBool("smoke");
+  const std::int64_t n = flags.GetInt("keys", smoke ? 20000 : 100000);
+  const std::int64_t ops = flags.GetInt("ops", smoke ? 20000 : 200000);
+  const std::int64_t model_size = flags.GetInt("model-size", 500);
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(flags.GetInt("seed", 42));
+  const std::int64_t compact_threshold =
+      flags.GetInt("compact-threshold", 512);
+  const int read_group =
+      static_cast<int>(flags.GetInt("read-group", 16));
+  const std::string out_path =
+      flags.GetString("out", "BENCH_serving_scaling.json");
+
+  std::sort(sweep.begin(), sweep.end());
+  sweep.erase(std::unique(sweep.begin(), sweep.end()), sweep.end());
+  if (sweep.empty() || sweep.front() < 1) {
+    std::fprintf(stderr, "--threads-sweep needs positive thread counts\n");
+    return 1;
+  }
+  const int max_threads = static_cast<int>(sweep.back());
+  // Shard per core (well, per swept thread) unless pinned explicitly.
+  int num_shards = static_cast<int>(flags.GetInt("num-shards", 0));
+  if (num_shards <= 0) num_shards = max_threads;
+
+  Rng rng(seed);
+  auto clean_or = GenerateUniform(n, KeyDomain{0, 100 * n}, &rng);
+  if (!clean_or.ok()) {
+    std::fprintf(stderr, "keyset generation failed: %s\n",
+                 clean_or.status().ToString().c_str());
+    return 1;
+  }
+  const KeySet clean = *clean_or;
+
+  ScalingReport report;
+  report.hardware_concurrency =
+      static_cast<std::int64_t>(std::thread::hardware_concurrency());
+  report.keys = n;
+  report.ops = ops;
+  report.num_shards = num_shards;
+  report.read_group = read_group;
+  report.compact_threshold = compact_threshold;
+  report.seed = seed;
+
+  const WorkloadSpec read_spec = ReadOnlyUniformWorkload(seed);
+  const WorkloadSpec insert_spec = InsertHeavyWorkload(seed);
+  report.read_workload = read_spec.name;
+  report.insert_workload = insert_spec.name;
+
+  auto read_ops_or = GenerateOperations(read_spec, clean, ops);
+  if (!read_ops_or.ok()) {
+    std::fprintf(stderr, "read workload generation failed: %s\n",
+                 read_ops_or.status().ToString().c_str());
+    return 1;
+  }
+
+  TextTable table;
+  table.SetHeader({"threads", "reads/s", "p50 ns", "p99 ns"});
+  for (const std::int64_t t : sweep) {
+    BackendOptions backend_opts;
+    backend_opts.rmi.target_model_size = model_size;
+    backend_opts.num_shards = num_shards;
+    auto backend_or = CreateBackend(BackendKind::kRmi, clean, backend_opts);
+    if (!backend_or.ok()) {
+      std::fprintf(stderr, "backend build failed: %s\n",
+                   backend_or.status().ToString().c_str());
+      return 1;
+    }
+    DriverOptions driver_opts;
+    driver_opts.num_threads = static_cast<int>(t);
+    driver_opts.read_group = read_group;
+    driver_opts.latency_sample_every = flags.GetInt("sample-every", 1);
+    auto result_or = RunWorkload(backend_or->get(), *read_ops_or, driver_opts);
+    if (!result_or.ok()) {
+      std::fprintf(stderr, "driver run failed: %s\n",
+                   result_or.status().ToString().c_str());
+      return 1;
+    }
+    ScalingRow row;
+    row.threads = static_cast<int>(t);
+    row.result = std::move(*result_or);
+    table.AddRow({TextTable::Fmt(static_cast<std::int64_t>(t)),
+                  TextTable::Fmt(static_cast<std::int64_t>(
+                      row.result.ThroughputOpsPerSec())),
+                  TextTable::Fmt(row.result.read_latency.P50()),
+                  TextTable::Fmt(row.result.read_latency.P99())});
+    report.read_rows.push_back(std::move(row));
+  }
+  table.Print(std::cout);
+
+  // Insert arms at the top swept thread count: the same insert-heavy
+  // stream against async (maintenance-thread) and sync (inline)
+  // compaction. The committed counters prove no async insert ever paid
+  // a retrain; the sync arm is the cost of NOT having the maintenance
+  // thread.
+  auto insert_ops_or = GenerateOperations(insert_spec, clean, ops);
+  if (!insert_ops_or.ok()) {
+    std::fprintf(stderr, "insert workload generation failed: %s\n",
+                 insert_ops_or.status().ToString().c_str());
+    return 1;
+  }
+  for (const bool sync : {false, true}) {
+    BackendOptions backend_opts;
+    backend_opts.rmi.target_model_size = model_size;
+    backend_opts.num_shards = num_shards;
+    backend_opts.compact_threshold = compact_threshold;
+    backend_opts.sync_compaction = sync;
+    auto backend_or = CreateBackend(BackendKind::kRmi, clean, backend_opts);
+    if (!backend_or.ok()) {
+      std::fprintf(stderr, "backend build failed: %s\n",
+                   backend_or.status().ToString().c_str());
+      return 1;
+    }
+    DriverOptions driver_opts;
+    driver_opts.num_threads = max_threads;
+    driver_opts.read_group = read_group;
+    auto result_or =
+        RunWorkload(backend_or->get(), *insert_ops_or, driver_opts);
+    if (!result_or.ok()) {
+      std::fprintf(stderr, "insert arm failed: %s\n",
+                   result_or.status().ToString().c_str());
+      return 1;
+    }
+    (*backend_or)->WaitForMaintenance();
+    InsertArmResult arm;
+    arm.mode = sync ? "sync" : "async";
+    arm.threads = max_threads;
+    arm.compactions = (*backend_or)->compactions();
+    arm.inline_compactions = (*backend_or)->inline_compactions();
+    arm.max_publish_overlay = (*backend_or)->max_publish_overlay();
+    arm.result = std::move(*result_or);
+    std::printf(
+        "insert arm %-5s: %lld compactions (%lld inline), max insert "
+        "%lld ns, max publish overlay %lld\n",
+        arm.mode.c_str(), static_cast<long long>(arm.compactions),
+        static_cast<long long>(arm.inline_compactions),
+        static_cast<long long>(arm.result.insert_latency.max()),
+        static_cast<long long>(arm.max_publish_overlay));
+    report.insert_arms.push_back(std::move(arm));
+  }
+
+  const Status st = report.WriteJsonFile(out_path);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("\nwrote %s (%zu thread counts, %zu insert arms)\n",
+              out_path.c_str(), report.read_rows.size(),
+              report.insert_arms.size());
+  return 0;
+}
+
 int Run(int argc, char** argv) {
   FlagParser flags(argc, argv);
+  const std::vector<std::int64_t> sweep = flags.GetIntList("threads-sweep", {});
+  if (!sweep.empty()) return RunScaling(flags, sweep);
+
   const bool smoke = flags.GetBool("smoke");
   const std::int64_t n = flags.GetInt("keys", smoke ? 20000 : 100000);
   const std::int64_t ops = flags.GetInt("ops", smoke ? 20000 : 200000);
@@ -115,9 +290,13 @@ int Run(int argc, char** argv) {
   const std::vector<Variant> variants = {{"clean", &clean},
                                          {"poisoned", &poisoned}};
 
+  const int num_shards = static_cast<int>(flags.GetInt("num-shards", 1));
+  const bool sync_compaction = flags.GetBool("sync-compaction");
+
   DriverOptions driver_opts;
   driver_opts.num_threads = threads;
   driver_opts.latency_sample_every = flags.GetInt("sample-every", 1);
+  driver_opts.read_group = static_cast<int>(flags.GetInt("read-group", 1));
 
   TextTable table;
   table.SetHeader({"workload", "backend", "variant", "ops/s", "p50 ns",
@@ -137,6 +316,8 @@ int Run(int argc, char** argv) {
         BackendOptions backend_opts;
         backend_opts.rmi.target_model_size = model_size;
         backend_opts.compact_threshold = compact_threshold;
+        backend_opts.num_shards = num_shards;
+        backend_opts.sync_compaction = sync_compaction;
         // A fresh backend per run: insert mixes mutate the overlay.
         auto backend_or = CreateBackend(kind, *variant.keyset, backend_opts);
         if (!backend_or.ok()) {
@@ -151,12 +332,14 @@ int Run(int argc, char** argv) {
                        result_or.status().ToString().c_str());
           return 1;
         }
+        (*backend_or)->WaitForMaintenance();
         ServingConfigResult config;
         config.workload = spec.name;
         config.backend = (*backend_or)->name();
         config.variant = variant.name;
         config.keys = variant.keyset->size();
         config.seed = seed;
+        config.num_shards = (*backend_or)->num_shards();
         config.result = std::move(*result_or);
         table.AddRow({config.workload, config.backend, config.variant,
                       TextTable::Fmt(static_cast<std::int64_t>(
@@ -167,6 +350,55 @@ int Run(int argc, char** argv) {
                       TextTable::Fmt(config.result.MeanWork(), 2)});
         report.Add(std::move(config));
       }
+    }
+  }
+
+  // Sharded arms: the read-only workload against the 4-shard RMI in
+  // both variants, riding in the same report (tools/bench_compare.py
+  // names them workload/backend/variant/s4). Only added when the main
+  // matrix ran unsharded — a sharded matrix would duplicate them.
+  if (num_shards == 1) {
+    const WorkloadSpec shard_spec = ReadOnlyUniformWorkload(seed);
+    for (const Variant& variant : variants) {
+      auto ops_or = GenerateOperations(shard_spec, *variant.keyset, ops);
+      if (!ops_or.ok()) {
+        std::fprintf(stderr, "workload '%s' generation failed: %s\n",
+                     shard_spec.name.c_str(),
+                     ops_or.status().ToString().c_str());
+        return 1;
+      }
+      BackendOptions backend_opts;
+      backend_opts.rmi.target_model_size = model_size;
+      backend_opts.num_shards = 4;
+      auto backend_or =
+          CreateBackend(BackendKind::kRmi, *variant.keyset, backend_opts);
+      if (!backend_or.ok()) {
+        std::fprintf(stderr, "sharded backend build failed: %s\n",
+                     backend_or.status().ToString().c_str());
+        return 1;
+      }
+      auto result_or = RunWorkload(backend_or->get(), *ops_or, driver_opts);
+      if (!result_or.ok()) {
+        std::fprintf(stderr, "sharded driver run failed: %s\n",
+                     result_or.status().ToString().c_str());
+        return 1;
+      }
+      ServingConfigResult config;
+      config.workload = shard_spec.name;
+      config.backend = (*backend_or)->name();
+      config.variant = variant.name;
+      config.keys = variant.keyset->size();
+      config.seed = seed;
+      config.num_shards = (*backend_or)->num_shards();
+      config.result = std::move(*result_or);
+      table.AddRow({config.workload + "/s4", config.backend, config.variant,
+                    TextTable::Fmt(static_cast<std::int64_t>(
+                        config.result.ThroughputOpsPerSec())),
+                    TextTable::Fmt(config.result.latency.P50()),
+                    TextTable::Fmt(config.result.latency.P95()),
+                    TextTable::Fmt(config.result.latency.P99()),
+                    TextTable::Fmt(config.result.MeanWork(), 2)});
+      report.Add(std::move(config));
     }
   }
 

@@ -1,0 +1,127 @@
+#include "common/epoch.h"
+
+#include <cstdint>
+#include <limits>
+#include <utility>
+
+namespace lispoison {
+namespace {
+
+/// Thread-exit hook: returns the thread's slot to the domain free list.
+/// The domain is immortal (leaked singleton), so this is safe even
+/// during static destruction of other objects.
+struct ThreadSlotHolder {
+  EpochDomain* domain = nullptr;
+  EpochDomain::Slot* slot = nullptr;
+  ~ThreadSlotHolder();
+};
+
+}  // namespace
+
+struct ThreadSlotHandle {
+  static void Release(EpochDomain* domain, EpochDomain::Slot* slot) {
+    domain->ReleaseSlot(slot);
+  }
+};
+
+namespace {
+
+ThreadSlotHolder::~ThreadSlotHolder() {
+  if (domain != nullptr && slot != nullptr) {
+    ThreadSlotHandle::Release(domain, slot);
+  }
+}
+
+}  // namespace
+
+EpochDomain& EpochDomain::Global() {
+  // Leaked: worker threads may outlive every static destructor, and
+  // their exit hooks must still find a live domain.
+  static EpochDomain* const domain = new EpochDomain();
+  return *domain;
+}
+
+EpochDomain::Slot* EpochDomain::LocalSlot() {
+  thread_local ThreadSlotHolder holder;
+  if (holder.slot == nullptr) {
+    std::lock_guard<std::mutex> lock(slots_mu_);
+    if (free_slots_.empty()) {
+      slabs_.push_back(new Slab());
+      for (Slot& s : slabs_.back()->slots) free_slots_.push_back(&s);
+      slots_created_.fetch_add(kSlabSize, std::memory_order_relaxed);
+    }
+    holder.slot = free_slots_.back();
+    free_slots_.pop_back();
+    holder.domain = this;
+  }
+  return holder.slot;
+}
+
+void EpochDomain::ReleaseSlot(Slot* slot) {
+  // A live guard at thread exit would be a bug; quiesce defensively so
+  // a recycled slot never pins reclamation forever.
+  slot->nesting.store(0, std::memory_order_relaxed);
+  slot->epoch.store(0, std::memory_order_release);
+  std::lock_guard<std::mutex> lock(slots_mu_);
+  free_slots_.push_back(slot);
+}
+
+std::uint64_t EpochDomain::MinActiveEpoch() {
+  std::uint64_t min_epoch = std::numeric_limits<std::uint64_t>::max();
+  std::lock_guard<std::mutex> lock(slots_mu_);
+  for (const Slab* slab : slabs_) {
+    for (const Slot& slot : slab->slots) {
+      // seq_cst: pairs with the reader's announcement store — see the
+      // total-order safety argument in the header. The acquire side of
+      // this load is what makes the eventual free happen-after every
+      // probe of a reader observed quiescent.
+      const std::uint64_t e = slot.epoch.load(std::memory_order_seq_cst);
+      if (e != 0 && e < min_epoch) min_epoch = e;
+    }
+  }
+  return min_epoch;
+}
+
+void EpochDomain::Retire(std::function<void()> deleter) {
+  // Stamp with the *current* epoch, then advance: any reader announced
+  // at or below the stamp may still hold the retired pointer; readers
+  // announcing the advanced epoch can only have loaded its successor.
+  const std::uint64_t epoch =
+      global_epoch_.fetch_add(1, std::memory_order_seq_cst);
+  {
+    std::lock_guard<std::mutex> lock(retire_mu_);
+    limbo_.push_back(Retired{std::move(deleter), epoch});
+  }
+  TryReclaim();
+}
+
+std::int64_t EpochDomain::TryReclaim() {
+  // Collect eligible entries under the mutex, run deleters outside it:
+  // a deleter must never deadlock against a concurrent Retire.
+  std::vector<Retired> eligible;
+  {
+    std::lock_guard<std::mutex> lock(retire_mu_);
+    if (limbo_.empty()) return 0;
+    const std::uint64_t min_active = MinActiveEpoch();
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < limbo_.size(); ++i) {
+      if (limbo_[i].epoch < min_active) {
+        eligible.push_back(std::move(limbo_[i]));
+      } else {
+        limbo_[kept++] = std::move(limbo_[i]);
+      }
+    }
+    limbo_.resize(kept);
+  }
+  for (Retired& r : eligible) r.deleter();
+  const std::int64_t freed = static_cast<std::int64_t>(eligible.size());
+  reclaimed_.fetch_add(freed, std::memory_order_relaxed);
+  return freed;
+}
+
+std::int64_t EpochDomain::limbo_size() {
+  std::lock_guard<std::mutex> lock(retire_mu_);
+  return static_cast<std::int64_t>(limbo_.size());
+}
+
+}  // namespace lispoison

@@ -1,0 +1,183 @@
+// Copyright (c) lispoison authors. Licensed under the MIT license.
+//
+// Epoch-based memory reclamation for the serving read path: the
+// primitive behind the sharded backend's lock-free snapshot reads.
+//
+// The problem it solves: readers need to probe an immutable snapshot
+// object that a writer may concurrently replace, without taking any
+// lock in the read path and without per-read reference counting. The
+// classic answer (the read-only shared-substrate pattern of mmap'd
+// sectioned databases, RCU, crossbeam-epoch) is epoch-based
+// reclamation:
+//
+//   * a global epoch counter only ever advances;
+//   * each reader thread owns one cache-line-padded announcement slot;
+//     entering a read-side critical section stores the current epoch
+//     into the slot (one seq_cst store — wait-free, no CAS loop, no
+//     lock), leaving stores 0;
+//   * a writer replacing a published pointer *retires* the old object
+//     with the epoch at retirement time, then advances the epoch;
+//   * a retired object is freed only once every active slot announces
+//     an epoch strictly greater than its retirement epoch — at which
+//     point no reader that could still hold the pointer remains.
+//
+// Safety argument (all epoch/slot/pointer operations are seq_cst, so a
+// single total order exists): a reader announces *before* loading the
+// published pointer. If its pointer load returns an object O that a
+// writer later retires, the retirement's epoch read happens after the
+// reader's announcement in the total order, so the retirement epoch is
+// >= the announced epoch (the counter is monotone) and the reclaimer's
+// "min active announcement > retirement epoch" test fails until the
+// reader leaves. Conversely, if the reclaimer's slot scan observes the
+// reader's slot quiescent, the reader's announcement — and therefore
+// its pointer load — follows the writer's pointer swap in the total
+// order, so the reader can only have loaded the *new* pointer.
+//
+// Reclamation runs on the retiring (writer/maintenance) side under a
+// small mutex; the read path never touches a mutex, never fails, and
+// performs exactly two atomic stores per critical section.
+//
+// The domain is a process-wide singleton (EpochDomain::Global()): slots
+// are assigned once per thread on first use from a free list and
+// returned at thread exit, so short-lived pool threads (the QueryDriver
+// spawns a fresh pool per run) recycle a bounded slot arena.
+
+#ifndef LISPOISON_COMMON_EPOCH_H_
+#define LISPOISON_COMMON_EPOCH_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+namespace lispoison {
+
+/// \brief Process-wide epoch-reclamation domain.
+class EpochDomain {
+ public:
+  /// One reader announcement slot, cache-line padded so concurrent
+  /// readers never share a line.
+  struct alignas(64) Slot {
+    std::atomic<std::uint64_t> epoch{0};  ///< 0 = quiescent.
+    std::atomic<std::uint64_t> nesting{0};
+  };
+
+  /// \brief The process-wide domain. Never destroyed (leaked
+  /// intentionally so worker threads exiting at process teardown can
+  /// still return their slots safely).
+  static EpochDomain& Global();
+
+  /// \brief RAII read-side critical section: wait-free enter/leave.
+  ///
+  /// While a Guard is live, any pointer loaded from a published
+  /// std::atomic<T*> stays valid until the guard is destroyed, provided
+  /// the writer retires replaced objects through Retire(). Guards nest
+  /// (an inner guard on the same thread is a no-op).
+  class Guard {
+   public:
+    explicit Guard(EpochDomain& domain) : slot_(domain.LocalSlot()) {
+      const std::uint64_t depth =
+          slot_->nesting.load(std::memory_order_relaxed);
+      slot_->nesting.store(depth + 1, std::memory_order_relaxed);
+      if (depth > 0) return;  // Outer guard already announced.
+      // Announce-then-load: the seq_cst store orders this announcement
+      // before every subsequent pointer load in this section, which is
+      // what the reclamation safety argument above relies on. A stale
+      // (smaller) epoch value is safe — it only delays reclamation.
+      slot_->epoch.store(
+          domain.global_epoch_.load(std::memory_order_relaxed),
+          std::memory_order_seq_cst);
+    }
+
+    ~Guard() {
+      const std::uint64_t depth =
+          slot_->nesting.load(std::memory_order_relaxed);
+      slot_->nesting.store(depth - 1, std::memory_order_relaxed);
+      if (depth > 1) return;
+      // The release store publishes every read of the snapshot to the
+      // reclaimer's acquire scan: freeing happens-after our last probe.
+      slot_->epoch.store(0, std::memory_order_release);
+    }
+
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+
+   private:
+    Slot* slot_;
+  };
+
+  /// \brief Hands \p deleter to the limbo list stamped with the current
+  /// epoch, advances the epoch, and opportunistically frees every
+  /// retired entry no active reader can still observe. Writer-side:
+  /// takes the (uncontended) retire mutex; never called by readers.
+  void Retire(std::function<void()> deleter);
+
+  /// \brief Convenience: retire a heap object for deletion.
+  template <typename T>
+  void RetireDelete(const T* ptr) {
+    Retire([ptr] { delete ptr; });
+  }
+
+  /// \brief Frees every retired entry whose epoch is below the minimum
+  /// active announcement. Returns the number of entries freed.
+  std::int64_t TryReclaim();
+
+  /// \brief Retired-but-not-yet-freed entries (diagnostics/tests).
+  std::int64_t limbo_size();
+
+  /// \brief Total entries freed so far (diagnostics/tests).
+  std::int64_t reclaimed() const {
+    return reclaimed_.load(std::memory_order_relaxed);
+  }
+
+  /// \brief Slots ever created (diagnostics/tests; slots are recycled
+  /// through a free list when threads exit).
+  std::int64_t slots_created() const {
+    return slots_created_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  EpochDomain() = default;
+  ~EpochDomain() = delete;  // Singleton: intentionally immortal.
+
+  /// The calling thread's slot, assigned on first use and returned to
+  /// the free list at thread exit.
+  Slot* LocalSlot();
+
+  /// Smallest epoch announced by any active slot (UINT64_MAX if none).
+  std::uint64_t MinActiveEpoch();
+
+  struct Retired {
+    std::function<void()> deleter;
+    std::uint64_t epoch;
+  };
+
+  // Slots live in fixed-size slabs chained in a vector of unique
+  // pointers: growing never moves an existing slot, so readers hold
+  // stable Slot* without any lock.
+  static constexpr int kSlabSize = 64;
+  struct Slab {
+    Slot slots[kSlabSize];
+  };
+
+  friend class EpochDomainTestPeer;
+  friend struct ThreadSlotHandle;
+
+  void ReleaseSlot(Slot* slot);
+
+  std::atomic<std::uint64_t> global_epoch_{1};
+  std::atomic<std::int64_t> reclaimed_{0};
+  std::atomic<std::int64_t> slots_created_{0};
+
+  std::mutex slots_mu_;             // Guards slab growth + free list.
+  std::vector<Slab*> slabs_;        // Leaked with the domain.
+  std::vector<Slot*> free_slots_;
+
+  std::mutex retire_mu_;            // Guards the limbo list.
+  std::vector<Retired> limbo_;
+};
+
+}  // namespace lispoison
+
+#endif  // LISPOISON_COMMON_EPOCH_H_

@@ -7,13 +7,13 @@
 
 namespace lispoison {
 
-ThreadPool::ThreadPool(int num_threads) {
+ThreadPool::ThreadPool(int num_threads, bool inline_when_single) {
   if (num_threads <= 0) {
     const unsigned hw = std::thread::hardware_concurrency();
     num_threads = hw == 0 ? 1 : static_cast<int>(hw);
   }
   num_threads_ = num_threads;
-  if (num_threads_ <= 1) return;  // Inline mode: no workers.
+  if (num_threads_ <= 1 && inline_when_single) return;  // No workers.
   workers_.reserve(static_cast<std::size_t>(num_threads_));
   for (int i = 0; i < num_threads_; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });

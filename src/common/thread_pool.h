@@ -30,8 +30,13 @@ class ThreadPool {
  public:
   /// \brief Spawns \p num_threads workers; 0 means
   /// std::thread::hardware_concurrency(), and <= 1 means inline
-  /// execution with no worker threads at all.
-  explicit ThreadPool(int num_threads = 0);
+  /// execution with no worker threads at all — unless
+  /// \p inline_when_single is false, which spawns a real worker even
+  /// for a single thread. The serving engine's background maintenance
+  /// pool uses that mode: compactions must run off the inserting
+  /// thread, so "1 thread" there means one dedicated worker, not
+  /// inline execution.
+  explicit ThreadPool(int num_threads = 0, bool inline_when_single = true);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;

@@ -88,6 +88,43 @@ void ExecuteOp(SearchBackend* backend, const Operation& op, bool timed,
   if (work > s->max_work) s->max_work = work;
 }
 
+/// Dispatches the read run [first, end) of a batch in LookupBatch
+/// groups of up to \p read_group keys. Work/found accounting matches
+/// per-op ExecuteOp exactly; a group is timed once when any of its ops
+/// is latency-sampled, and every sampled op records the group's mean.
+void ExecuteReadRun(SearchBackend* backend,
+                    const std::vector<Operation>& ops, std::int64_t first,
+                    std::int64_t end, int read_group,
+                    const DriverOptions& options, ShardStats* s) {
+  Key keys[SearchBackend::kMaxLookupBatch];
+  BackendOpResult results[SearchBackend::kMaxLookupBatch];
+  for (std::int64_t g = first; g < end; g += read_group) {
+    const int count = static_cast<int>(
+        std::min<std::int64_t>(read_group, end - g));
+    bool any_sampled = false;
+    for (int i = 0; i < count; ++i) {
+      keys[i] = ops[static_cast<std::size_t>(g + i)].key;
+      any_sampled = any_sampled ||
+                    (g + i) % options.latency_sample_every == 0;
+    }
+    const bool timed = options.measure_latency && any_sampled;
+    const std::int64_t ns = RunTimed(
+        timed, [&] { backend->LookupBatch(keys, count, results); });
+    const std::int64_t per_op_ns = ns >= 0 ? ns / count : -1;
+    for (int i = 0; i < count; ++i) {
+      s->reads += 1;
+      if (results[i].found) s->read_found += 1;
+      s->total_work += results[i].work;
+      if (results[i].work > s->max_work) s->max_work = results[i].work;
+      if (per_op_ns >= 0 &&
+          (g + i) % options.latency_sample_every == 0) {
+        s->latency.Record(per_op_ns);
+        s->read_latency.Record(per_op_ns);
+      }
+    }
+  }
+}
+
 }  // namespace
 
 Result<DriverResult> RunWorkload(SearchBackend* backend,
@@ -102,6 +139,11 @@ Result<DriverResult> RunWorkload(SearchBackend* backend,
   if (options.latency_sample_every < 1) {
     return Status::InvalidArgument("latency_sample_every must be >= 1");
   }
+  if (options.read_group < 1) {
+    return Status::InvalidArgument("read_group must be >= 1");
+  }
+  const int read_group =
+      std::min(options.read_group, SearchBackend::kMaxLookupBatch);
   int shards = options.num_threads;
   if (shards <= 0) {
     const unsigned hw = std::thread::hardware_concurrency();
@@ -119,12 +161,28 @@ Result<DriverResult> RunWorkload(SearchBackend* backend,
   for (int shard = 0; shard < shards; ++shard) {
     ShardStats* s = &stats[static_cast<std::size_t>(shard)];
     pool.Submit([backend, &ops, &options, num_ops, num_batches, shards, shard,
-                 s] {
+                 read_group, s] {
       for (std::int64_t b = shard; b < num_batches; b += shards) {
         const std::int64_t first = b * options.batch_size;
         const std::int64_t end =
             std::min(num_ops, first + options.batch_size);
-        for (std::int64_t i = first; i < end; ++i) {
+        std::int64_t i = first;
+        while (i < end) {
+          // Grouped dispatch: hand maximal runs of consecutive reads to
+          // LookupBatch so their probes' memory latency overlaps.
+          if (read_group > 1 &&
+              ops[static_cast<std::size_t>(i)].type == OpType::kRead) {
+            std::int64_t run_end = i + 1;
+            while (run_end < end &&
+                   ops[static_cast<std::size_t>(run_end)].type ==
+                       OpType::kRead) {
+              ++run_end;
+            }
+            ExecuteReadRun(backend, ops, i, run_end, read_group, options,
+                           s);
+            i = run_end;
+            continue;
+          }
           // Batched timing keys off the global op index, so the sampled
           // subset is a pure function of the stream — identical for
           // every shard count.
@@ -132,6 +190,7 @@ Result<DriverResult> RunWorkload(SearchBackend* backend,
               options.measure_latency &&
               i % options.latency_sample_every == 0;
           ExecuteOp(backend, ops[static_cast<std::size_t>(i)], timed, s);
+          ++i;
         }
       }
     });

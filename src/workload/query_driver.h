@@ -49,6 +49,16 @@ struct DriverOptions {
   /// histograms hold ceil(total_ops / k) values drawn uniformly across
   /// the schedule. Must be >= 1.
   std::int64_t latency_sample_every = 1;
+
+  /// Shard-aware batched read dispatch: maximal runs of up to this many
+  /// consecutive kRead ops inside a batch go through
+  /// SearchBackend::LookupBatch, whose prefetch pass overlaps the memory
+  /// latency of the whole group's probes across the RMI error windows.
+  /// Per-key found/work results are bit-identical to scalar Lookup;
+  /// sampled latencies become the group mean (group wall-clock / group
+  /// size). Clamped to SearchBackend::kMaxLookupBatch; must be >= 1.
+  /// 1 = scalar dispatch (the pre-PR-6 behaviour).
+  int read_group = 1;
 };
 
 /// \brief Aggregated outcome of one driver run.

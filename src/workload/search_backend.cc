@@ -1,9 +1,12 @@
 #include "workload/search_backend.h"
 
 #include <algorithm>
-#include <mutex>
+#include <cstdio>
+#include <cstdlib>
+#include <iterator>
 #include <utility>
 
+#include "common/epoch.h"
 #include "index/binary_search_index.h"
 #include "index/btree.h"
 #include "index/learned_index.h"
@@ -48,24 +51,69 @@ std::pair<std::int64_t, std::int64_t> CountedUpperBound(
   return {lo, comparisons};
 }
 
-class RmiBackend : public SearchBackend {
- public:
-  RmiBackend(LearnedIndex index, RmiOptions options)
-      : index_(std::move(index)), options_(options) {}
+/// Read-path tripwire state for WriterMutex: any depth > 0 means the
+/// calling thread is inside Lookup/Scan/LookupBatch.
+thread_local int g_read_path_depth = 0;
 
-  const char* name() const override { return BackendKindName(BackendKind::kRmi); }
+struct ReadPathScope {
+  ReadPathScope() { ++g_read_path_depth; }
+  ~ReadPathScope() { --g_read_path_depth; }
+};
 
- protected:
-  std::int64_t BaseSize() const override { return index_.size(); }
+/// Searches \p snap's overlay for \p k after a base miss, extending
+/// \p res with the overlay's comparison work. Shared by the scalar and
+/// batched lookup paths so their per-key results stay bit-identical.
+void ProbeOverlay(const ShardSnapshot& snap, Key k, BackendOpResult* res) {
+  if (snap.overlay.empty()) return;
+  const auto b = CountedLowerBound(snap.overlay, k);
+  res->work += b.second;
+  res->found = b.first < static_cast<std::int64_t>(snap.overlay.size()) &&
+               snap.overlay[static_cast<std::size_t>(b.first)] == k;
+}
 
-  Status RebuildBase(const KeySet& keyset) override {
-    LISPOISON_ASSIGN_OR_RETURN(LearnedIndex fresh,
-                               LearnedIndex::Build(keyset, options_));
-    index_ = std::move(fresh);
-    return Status::OK();
+}  // namespace
+
+void WriterMutex::lock() {
+  if (g_read_path_depth > 0) {
+    std::fprintf(stderr,
+                 "lispoison: shard writer mutex acquired inside the "
+                 "lock-free read path — serving invariant violated\n");
+    std::abort();
   }
+  mu_.lock();
+}
 
-  BackendOpResult BaseLookup(Key k) const override {
+void WriterMutex::unlock() { mu_.unlock(); }
+
+/// \brief Immutable per-shard index structure. Built once (at backend
+/// construction or by an off-thread compaction) and never mutated, so
+/// readers probe it without synchronization beyond the snapshot load.
+class IndexSubstrate {
+ public:
+  virtual ~IndexSubstrate() = default;
+
+  /// Base-structure point lookup (no overlay).
+  virtual BackendOpResult Lookup(Key k) const = 0;
+  /// Base-structure range count (no overlay). Caller screens lo > hi.
+  virtual BackendOpResult RangeCount(Key lo, Key hi) const = 0;
+  /// Key count.
+  virtual std::int64_t size() const = 0;
+
+  /// Batched-dispatch hint: pull the cache lines a Lookup(k) will touch
+  /// first. Issued for every key of a batch before any probe runs, so
+  /// the memory latency of the batch's probes overlaps.
+  virtual void Prefetch(Key k) const { (void)k; }
+};
+
+namespace {
+
+class RmiSubstrate : public IndexSubstrate {
+ public:
+  explicit RmiSubstrate(LearnedIndex index) : index_(std::move(index)) {}
+
+  std::int64_t size() const override { return index_.size(); }
+
+  BackendOpResult Lookup(Key k) const override {
     const LookupResult r = index_.Lookup(k);
     BackendOpResult res;
     res.found = r.found;
@@ -73,7 +121,7 @@ class RmiBackend : public SearchBackend {
     return res;
   }
 
-  BackendOpResult BaseScan(Key lo, Key hi) const override {
+  BackendOpResult RangeCount(Key lo, Key hi) const override {
     BackendOpResult res;
     auto r = index_.LookupRange(lo, hi);
     if (!r.ok()) return res;  // lo > hi is screened by the caller.
@@ -83,31 +131,30 @@ class RmiBackend : public SearchBackend {
     return res;
   }
 
+  void Prefetch(Key k) const override {
+    // The last-mile search probes outward from the RMI's prediction;
+    // pull the predicted cell's line plus one line to either side (the
+    // first exponential steps stay within ±8 slots for a trained key).
+    const std::int64_t n = index_.size();
+    if (n == 0) return;
+    const std::int64_t pos = index_.rmi().PredictPosition(k);
+    const Key* data = index_.keys().data();
+    __builtin_prefetch(data + pos);
+    __builtin_prefetch(data + std::max<std::int64_t>(0, pos - 8));
+    __builtin_prefetch(data + std::min<std::int64_t>(n - 1, pos + 8));
+  }
+
  private:
   LearnedIndex index_;
-  RmiOptions options_;
 };
 
-class BTreeBackend : public SearchBackend {
+class BTreeSubstrate : public IndexSubstrate {
  public:
-  BTreeBackend(BPlusTree tree, int fanout)
-      : tree_(std::move(tree)), fanout_(fanout) {}
+  explicit BTreeSubstrate(BPlusTree tree) : tree_(std::move(tree)) {}
 
-  const char* name() const override {
-    return BackendKindName(BackendKind::kBTree);
-  }
+  std::int64_t size() const override { return tree_.size(); }
 
- protected:
-  std::int64_t BaseSize() const override { return tree_.size(); }
-
-  Status RebuildBase(const KeySet& keyset) override {
-    LISPOISON_ASSIGN_OR_RETURN(BPlusTree fresh,
-                               BPlusTree::Build(keyset, fanout_));
-    tree_ = std::move(fresh);
-    return Status::OK();
-  }
-
-  BackendOpResult BaseLookup(Key k) const override {
+  BackendOpResult Lookup(Key k) const override {
     const BTreeLookupResult r = tree_.Lookup(k);
     BackendOpResult res;
     res.found = r.found;
@@ -115,7 +162,7 @@ class BTreeBackend : public SearchBackend {
     return res;
   }
 
-  BackendOpResult BaseScan(Key lo, Key hi) const override {
+  BackendOpResult RangeCount(Key lo, Key hi) const override {
     const BTreeRangeResult r = tree_.RangeCount(lo, hi);
     BackendOpResult res;
     res.found = r.count > 0;
@@ -124,28 +171,20 @@ class BTreeBackend : public SearchBackend {
     return res;
   }
 
+  // No Prefetch override: the root-to-leaf descent is pointer chasing
+  // whose next address is unknown until the previous node resolves.
+
  private:
   BPlusTree tree_;
-  int fanout_;
 };
 
-class BinarySearchBackend : public SearchBackend {
+class BinarySearchSubstrate : public IndexSubstrate {
  public:
-  explicit BinarySearchBackend(const KeySet& keyset) : index_(keyset) {}
+  explicit BinarySearchSubstrate(const KeySet& keyset) : index_(keyset) {}
 
-  const char* name() const override {
-    return BackendKindName(BackendKind::kBinarySearch);
-  }
+  std::int64_t size() const override { return index_.size(); }
 
- protected:
-  std::int64_t BaseSize() const override { return index_.size(); }
-
-  Status RebuildBase(const KeySet& keyset) override {
-    index_ = BinarySearchIndex(keyset);
-    return Status::OK();
-  }
-
-  BackendOpResult BaseLookup(Key k) const override {
+  BackendOpResult Lookup(Key k) const override {
     const BinarySearchResult r = index_.Lookup(k);
     BackendOpResult res;
     res.found = r.found;
@@ -153,7 +192,7 @@ class BinarySearchBackend : public SearchBackend {
     return res;
   }
 
-  BackendOpResult BaseScan(Key lo, Key hi) const override {
+  BackendOpResult RangeCount(Key lo, Key hi) const override {
     BackendOpResult res;
     const auto first = CountedLowerBound(index_.keys(), lo);
     const auto end = CountedUpperBound(index_.keys(), hi);
@@ -163,9 +202,43 @@ class BinarySearchBackend : public SearchBackend {
     return res;
   }
 
+  void Prefetch(Key k) const override {
+    // The first halving steps visit deterministic positions; their
+    // lines are usually resident, so prefetch the first data-dependent
+    // depth instead: the midpoints of both level-2 quarters.
+    (void)k;
+    const std::int64_t n = index_.size();
+    if (n == 0) return;
+    const Key* data = index_.keys().data();
+    __builtin_prefetch(data + n / 4);
+    __builtin_prefetch(data + (3 * n) / 4);
+  }
+
  private:
   BinarySearchIndex index_;
 };
+
+Result<std::shared_ptr<const IndexSubstrate>> BuildSubstrate(
+    BackendKind kind, const KeySet& keyset, const BackendOptions& options) {
+  switch (kind) {
+    case BackendKind::kRmi: {
+      LISPOISON_ASSIGN_OR_RETURN(LearnedIndex index,
+                                 LearnedIndex::Build(keyset, options.rmi));
+      return std::shared_ptr<const IndexSubstrate>(
+          new RmiSubstrate(std::move(index)));
+    }
+    case BackendKind::kBTree: {
+      LISPOISON_ASSIGN_OR_RETURN(
+          BPlusTree tree, BPlusTree::Build(keyset, options.btree_fanout));
+      return std::shared_ptr<const IndexSubstrate>(
+          new BTreeSubstrate(std::move(tree)));
+    }
+    case BackendKind::kBinarySearch:
+      return std::shared_ptr<const IndexSubstrate>(
+          new BinarySearchSubstrate(keyset));
+  }
+  return Status::InvalidArgument("unknown backend kind");
+}
 
 }  // namespace
 
@@ -178,161 +251,328 @@ const char* BackendKindName(BackendKind kind) {
   return "unknown";
 }
 
-BackendOpResult SearchBackend::Lookup(Key k) const {
-  // With compaction enabled, base and overlay are read under one shared
-  // lock: a concurrent compaction (which swaps the base structure)
-  // holds the exclusive side, so a reader never sees a half-rebuilt
-  // base. With compaction off (the default and the committed serving
-  // baseline) the base is immutable and keeps its lock-free fast path.
-  BackendOpResult res;
-  if (compact_threshold_ > 0) {
-    std::shared_lock<std::shared_mutex> lock(overlay_mu_);
-    res = BaseLookup(k);
-    if (res.found || overlay_.empty()) return res;
-    const auto b = CountedLowerBound(overlay_, k);
-    res.work += b.second;
-    res.found = b.first < static_cast<std::int64_t>(overlay_.size()) &&
-                overlay_[static_cast<std::size_t>(b.first)] == k;
-    return res;
+SearchBackend::~SearchBackend() {
+  // Drain queued compactions before the shards they reference die.
+  maintenance_.reset();
+  for (auto& shard : shards_) {
+    delete shard->snapshot.load(std::memory_order_acquire);
   }
-  res = BaseLookup(k);
+  // Opportunistically free retired snapshots (they are self-contained,
+  // so entries that stay in limbo remain safe regardless).
+  EpochDomain::Global().TryReclaim();
+}
+
+Status SearchBackend::InitShards(const KeySet& keyset) {
+  const std::int64_t n = keyset.size();
+  int num_shards = options_.num_shards;
+  if (num_shards < 1) num_shards = 1;
+  if (num_shards > 64) num_shards = 64;
+  if (n > 0 && num_shards > n) num_shards = static_cast<int>(n);
+
+  shards_.reserve(static_cast<std::size_t>(num_shards));
+  for (int i = 0; i < num_shards; ++i) {
+    // Equal key-count partitions: boundary ranks from the empirical CDF,
+    // so a skewed key distribution still balances keys per shard.
+    const std::int64_t first = i * n / num_shards;
+    const std::int64_t end = (i + 1) * n / num_shards;
+    KeySet part;
+    if (num_shards == 1) {
+      part = keyset;
+    } else {
+      LISPOISON_ASSIGN_OR_RETURN(part, keyset.Slice(first, end - first));
+      if (i > 0) shard_splits_.push_back(keyset.at(first));
+    }
+    LISPOISON_ASSIGN_OR_RETURN(std::shared_ptr<const IndexSubstrate> built,
+                               BuildSubstrate(kind_, part, options_));
+    auto shard = std::make_unique<Shard>();
+    auto* snap = new ShardSnapshot();
+    snap->substrate = std::move(built);
+    shard->snapshot.store(snap, std::memory_order_release);
+    shard->domain = keyset.domain();
+    shard->threshold = options_.compact_threshold;
+    // The merged key list is only needed when compaction can trigger.
+    if (shard->threshold > 0) shard->base_keys = part.keys();
+    shards_.push_back(std::move(shard));
+  }
+
+  if (options_.compact_threshold > 0 && !options_.sync_compaction) {
+    // One dedicated worker (not inline — rebuilds must leave the
+    // inserting thread immediately).
+    maintenance_ =
+        std::make_unique<ThreadPool>(1, /*inline_when_single=*/false);
+  }
+  return Status::OK();
+}
+
+int SearchBackend::RouteShard(Key k) const {
+  if (shard_splits_.empty()) return 0;
+  // splits_[i] is the first key of shard i+1, so the owning shard is
+  // the number of split keys <= k.
+  return static_cast<int>(
+      std::upper_bound(shard_splits_.begin(), shard_splits_.end(), k) -
+      shard_splits_.begin());
+}
+
+BackendOpResult SearchBackend::Lookup(Key k) const {
+  // Wait-free read path: epoch guard (one atomic store), snapshot
+  // load, probe. The ReadPathScope arms the WriterMutex tripwire that
+  // enforces "no mutex on this path" at runtime.
+  ReadPathScope read_scope;
+  EpochDomain::Guard guard(EpochDomain::Global());
+  const Shard& shard = *shards_[static_cast<std::size_t>(RouteShard(k))];
+  const ShardSnapshot* snap =
+      shard.snapshot.load(std::memory_order_seq_cst);
+  BackendOpResult res = snap->substrate->Lookup(k);
   if (res.found) return res;
-  std::shared_lock<std::shared_mutex> lock(overlay_mu_);
-  if (overlay_.empty()) return res;
-  const auto b = CountedLowerBound(overlay_, k);
-  res.work += b.second;
-  res.found = b.first < static_cast<std::int64_t>(overlay_.size()) &&
-              overlay_[static_cast<std::size_t>(b.first)] == k;
+  ProbeOverlay(*snap, k, &res);
   return res;
+}
+
+void SearchBackend::LookupBatch(const Key* keys, int count,
+                                BackendOpResult* out) const {
+  ReadPathScope read_scope;
+  EpochDomain::Guard guard(EpochDomain::Global());
+  const ShardSnapshot* snaps[kMaxLookupBatch];
+  int done = 0;
+  while (done < count) {
+    const int chunk = std::min(count - done, kMaxLookupBatch);
+    // Pass 1: route every key, pin its shard snapshot, and issue the
+    // software prefetch of its predicted probe window — the batch's
+    // memory latency overlaps here.
+    for (int i = 0; i < chunk; ++i) {
+      const Key k = keys[done + i];
+      const Shard& shard =
+          *shards_[static_cast<std::size_t>(RouteShard(k))];
+      snaps[i] = shard.snapshot.load(std::memory_order_seq_cst);
+      snaps[i]->substrate->Prefetch(k);
+    }
+    // Pass 2: the probes, bit-identical to scalar Lookup per key.
+    for (int i = 0; i < chunk; ++i) {
+      const Key k = keys[done + i];
+      BackendOpResult res = snaps[i]->substrate->Lookup(k);
+      if (!res.found) ProbeOverlay(*snaps[i], k, &res);
+      out[done + i] = res;
+    }
+    done += chunk;
+  }
 }
 
 BackendOpResult SearchBackend::Scan(Key lo, Key hi) const {
   BackendOpResult res;
   if (lo > hi) return res;
-  if (compact_threshold_ > 0) {
-    std::shared_lock<std::shared_mutex> lock(overlay_mu_);
-    res = BaseScan(lo, hi);
-    if (overlay_.empty()) return res;
-    const auto first = CountedLowerBound(overlay_, lo);
-    const auto end = CountedUpperBound(overlay_, hi);
-    res.work += first.second + end.second;
-    res.range_count += end.first - first.first;
-    res.found = res.range_count > 0;
-    return res;
+  ReadPathScope read_scope;
+  EpochDomain::Guard guard(EpochDomain::Global());
+  const int first_shard = RouteShard(lo);
+  const int last_shard = RouteShard(hi);
+  for (int s = first_shard; s <= last_shard; ++s) {
+    const Shard& shard = *shards_[static_cast<std::size_t>(s)];
+    const ShardSnapshot* snap =
+        shard.snapshot.load(std::memory_order_seq_cst);
+    const BackendOpResult base = snap->substrate->RangeCount(lo, hi);
+    res.work += base.work;
+    res.range_count += base.range_count;
+    if (!snap->overlay.empty()) {
+      const auto first = CountedLowerBound(snap->overlay, lo);
+      const auto end = CountedUpperBound(snap->overlay, hi);
+      res.work += first.second + end.second;
+      res.range_count += end.first - first.first;
+    }
   }
-  res = BaseScan(lo, hi);
-  std::shared_lock<std::shared_mutex> lock(overlay_mu_);
-  if (overlay_.empty()) return res;
-  const auto first = CountedLowerBound(overlay_, lo);
-  const auto end = CountedUpperBound(overlay_, hi);
-  res.work += first.second + end.second;
-  res.range_count += end.first - first.first;
   res.found = res.range_count > 0;
   return res;
 }
 
 std::int64_t SearchBackend::base_size() const {
-  if (compact_threshold_ == 0) return BaseSize();  // Base is immutable.
-  std::shared_lock<std::shared_mutex> lock(overlay_mu_);
-  return BaseSize();
+  ReadPathScope read_scope;
+  EpochDomain::Guard guard(EpochDomain::Global());
+  std::int64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->snapshot.load(std::memory_order_seq_cst)
+                 ->substrate->size();
+  }
+  return total;
+}
+
+std::int64_t SearchBackend::shard_base_size(int shard) const {
+  ReadPathScope read_scope;
+  EpochDomain::Guard guard(EpochDomain::Global());
+  return shards_[static_cast<std::size_t>(shard)]
+      ->snapshot.load(std::memory_order_seq_cst)
+      ->substrate->size();
+}
+
+std::int64_t SearchBackend::overlay_size() const {
+  ReadPathScope read_scope;
+  EpochDomain::Guard guard(EpochDomain::Global());
+  std::int64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += static_cast<std::int64_t>(
+        shard->snapshot.load(std::memory_order_seq_cst)->overlay.size());
+  }
+  return total;
 }
 
 Status SearchBackend::Insert(Key k) {
-  // With compaction off the base is immutable, so probe it before
-  // taking the writer lock (the pre-compaction fast path); with
-  // compaction on the probe must happen under the lock, where the base
-  // cannot be swapped mid-walk.
-  if (compact_threshold_ == 0 && BaseLookup(k).found) {
-    return Status::InvalidArgument("key already stored in the base index");
-  }
-  std::unique_lock<std::shared_mutex> lock(overlay_mu_);
-  if (compact_threshold_ > 0 && BaseLookup(k).found) {
-    return Status::InvalidArgument("key already stored in the base index");
-  }
-  const auto b = CountedLowerBound(overlay_, k);
-  const auto it = overlay_.begin() + static_cast<std::ptrdiff_t>(b.first);
-  if (it != overlay_.end() && *it == k) {
-    return Status::InvalidArgument("key already stored in the overlay");
-  }
-  overlay_.insert(it, k);
-
-  if (compact_threshold_ > 0 &&
-      static_cast<std::int64_t>(overlay_.size()) >= compact_threshold_) {
-    // Merge the overlay into the base key list, retrain/rebuild the
-    // substrate, and start a fresh overlay. The serving domain is the
-    // hull of the build domain and everything inserted so far, so the
-    // rebuild cannot reject out-of-domain inserts.
-    std::vector<Key> merged;
-    merged.reserve(base_keys_.size() + overlay_.size());
-    std::merge(base_keys_.begin(), base_keys_.end(), overlay_.begin(),
-               overlay_.end(), std::back_inserter(merged));
-    KeyDomain domain = domain_;
-    if (merged.front() < domain.lo) domain.lo = merged.front();
-    if (merged.back() > domain.hi) domain.hi = merged.back();
-    auto keyset = KeySet::Create(merged, domain);
-    bool rebuilt = false;
-    if (keyset.ok()) {
-      const Status st = RebuildBase(*keyset);
-      if (st.ok()) {
-        base_keys_ = std::move(merged);
-        domain_ = domain;
-        overlay_.clear();
-        compactions_ += 1;
-        rebuilt = true;
-      }
+  Shard& shard = *shards_[static_cast<std::size_t>(RouteShard(k))];
+  const ShardSnapshot* retired = nullptr;
+  bool trigger_compaction = false;
+  {
+    std::lock_guard<WriterMutex> lock(shard.write_mu);
+    // The snapshot pointer is stable under the writer mutex (every
+    // publisher holds it), so the duplicate probe is race-free.
+    const ShardSnapshot* snap =
+        shard.snapshot.load(std::memory_order_acquire);
+    if (snap->substrate->Lookup(k).found) {
+      return Status::InvalidArgument("key already stored in the base index");
     }
-    if (!rebuilt) {
-      // A failed rebuild keeps serving from the intact overlay; double
-      // the threshold so later inserts do not retry the O(n) merge on
-      // every call.
-      compact_threshold_ *= 2;
+    const auto b = CountedLowerBound(snap->overlay, k);
+    const std::size_t pos = static_cast<std::size_t>(b.first);
+    if (pos < snap->overlay.size() && snap->overlay[pos] == k) {
+      return Status::InvalidArgument("key already stored in the overlay");
+    }
+    // Publish a fresh snapshot: same substrate, overlay copied with the
+    // key spliced in. O(overlay) — bounded by the compaction threshold
+    // plus whatever accumulates during one off-thread rebuild; never a
+    // rebuild on this thread.
+    auto* fresh = new ShardSnapshot();
+    fresh->substrate = snap->substrate;
+    fresh->overlay.reserve(snap->overlay.size() + 1);
+    fresh->overlay.insert(fresh->overlay.end(), snap->overlay.begin(),
+                          snap->overlay.begin() + static_cast<std::ptrdiff_t>(pos));
+    fresh->overlay.push_back(k);
+    fresh->overlay.insert(fresh->overlay.end(),
+                          snap->overlay.begin() + static_cast<std::ptrdiff_t>(pos),
+                          snap->overlay.end());
+    const std::int64_t published =
+        static_cast<std::int64_t>(fresh->overlay.size());
+    shard.snapshot.store(fresh, std::memory_order_seq_cst);
+    retired = snap;
+
+    std::int64_t prev = max_publish_overlay_.load(std::memory_order_relaxed);
+    while (published > prev &&
+           !max_publish_overlay_.compare_exchange_weak(
+               prev, published, std::memory_order_relaxed)) {
+    }
+
+    if (shard.threshold > 0 && published >= shard.threshold &&
+        !shard.compaction_pending) {
+      shard.compaction_pending = true;
+      trigger_compaction = true;
+    }
+  }
+  EpochDomain::Global().RetireDelete(retired);
+  if (trigger_compaction) {
+    if (options_.sync_compaction || maintenance_ == nullptr) {
+      CompactShard(&shard, /*inline_call=*/true);
+    } else {
+      Shard* target = &shard;
+      maintenance_->Submit(
+          [this, target] { CompactShard(target, /*inline_call=*/false); });
     }
   }
   return Status::OK();
 }
 
-std::int64_t SearchBackend::overlay_size() const {
-  std::shared_lock<std::shared_mutex> lock(overlay_mu_);
-  return static_cast<std::int64_t>(overlay_.size());
+void SearchBackend::CompactShard(Shard* shard, bool inline_call) {
+  for (;;) {
+    std::vector<Key> compacted_overlay;
+    std::vector<Key> base;
+    KeyDomain domain{0, 0};
+    {
+      std::lock_guard<WriterMutex> lock(shard->write_mu);
+      const ShardSnapshot* snap =
+          shard->snapshot.load(std::memory_order_acquire);
+      if (shard->threshold <= 0 ||
+          static_cast<std::int64_t>(snap->overlay.size()) <
+              shard->threshold) {
+        shard->compaction_pending = false;
+        return;
+      }
+      compacted_overlay = snap->overlay;
+      base = shard->base_keys;
+      domain = shard->domain;
+    }
+
+    // Expensive part, NO locks held: merge the overlay into the base
+    // key list and retrain/rebuild the substrate. Inserts keep landing
+    // on the live snapshot meanwhile. The serving domain is the hull of
+    // the build domain and everything inserted so far, so the rebuild
+    // cannot reject out-of-domain inserts.
+    std::vector<Key> merged;
+    merged.reserve(base.size() + compacted_overlay.size());
+    std::merge(base.begin(), base.end(), compacted_overlay.begin(),
+               compacted_overlay.end(), std::back_inserter(merged));
+    if (merged.front() < domain.lo) domain.lo = merged.front();
+    if (merged.back() > domain.hi) domain.hi = merged.back();
+    std::shared_ptr<const IndexSubstrate> built;
+    auto keyset = KeySet::Create(merged, domain);  // Copies; merged kept.
+    if (keyset.ok()) {
+      auto substrate = BuildSubstrate(kind_, *keyset, options_);
+      if (substrate.ok()) built = std::move(*substrate);
+    }
+
+    const ShardSnapshot* retired = nullptr;
+    bool refill = false;
+    {
+      std::lock_guard<WriterMutex> lock(shard->write_mu);
+      if (built == nullptr) {
+        // A failed rebuild keeps serving from the intact overlay;
+        // double the threshold so later inserts do not retry the O(n)
+        // merge on every call.
+        shard->threshold *= 2;
+        shard->compaction_pending = false;
+        return;
+      }
+      const ShardSnapshot* cur =
+          shard->snapshot.load(std::memory_order_acquire);
+      auto* fresh = new ShardSnapshot();
+      fresh->substrate = std::move(built);
+      // Keys inserted while the rebuild ran survive: the live overlay
+      // is a superset of the compacted one (both sorted), and the
+      // difference seeds the successor snapshot's overlay.
+      fresh->overlay.reserve(cur->overlay.size() -
+                             compacted_overlay.size());
+      std::set_difference(cur->overlay.begin(), cur->overlay.end(),
+                          compacted_overlay.begin(),
+                          compacted_overlay.end(),
+                          std::back_inserter(fresh->overlay));
+      refill = static_cast<std::int64_t>(fresh->overlay.size()) >=
+               shard->threshold;
+      shard->snapshot.store(fresh, std::memory_order_seq_cst);
+      retired = cur;
+      shard->base_keys = std::move(merged);
+      shard->domain = domain;
+      if (!refill) shard->compaction_pending = false;
+    }
+    compactions_.fetch_add(1, std::memory_order_relaxed);
+    if (inline_call) {
+      inline_compactions_.fetch_add(1, std::memory_order_relaxed);
+    }
+    EpochDomain::Global().RetireDelete(retired);
+    if (!refill) return;
+    // The overlay refilled past the threshold during the rebuild: fold
+    // the backlog before going idle (compaction_pending stays set, so
+    // no duplicate task was queued meanwhile).
+  }
 }
 
-std::int64_t SearchBackend::compactions() const {
-  std::shared_lock<std::shared_mutex> lock(overlay_mu_);
-  return compactions_;
-}
-
-void SearchBackend::InitCompaction(const KeySet& keyset,
-                                   std::int64_t threshold) {
-  compact_threshold_ = threshold;
-  domain_ = keyset.domain();
-  // The merged key list is only needed when compaction can trigger.
-  if (threshold > 0) base_keys_ = keyset.keys();
+void SearchBackend::WaitForMaintenance() {
+  if (maintenance_ == nullptr) return;
+  for (;;) {
+    maintenance_->Wait();
+    bool pending = false;
+    for (const auto& shard : shards_) {
+      std::lock_guard<WriterMutex> lock(shard->write_mu);
+      pending = pending || shard->compaction_pending;
+    }
+    if (!pending) return;
+  }
 }
 
 Result<std::unique_ptr<SearchBackend>> CreateBackend(
     BackendKind kind, const KeySet& keyset, const BackendOptions& options) {
-  std::unique_ptr<SearchBackend> backend;
-  switch (kind) {
-    case BackendKind::kRmi: {
-      LISPOISON_ASSIGN_OR_RETURN(LearnedIndex index,
-                                 LearnedIndex::Build(keyset, options.rmi));
-      backend.reset(new RmiBackend(std::move(index), options.rmi));
-      break;
-    }
-    case BackendKind::kBTree: {
-      LISPOISON_ASSIGN_OR_RETURN(BPlusTree tree,
-                                 BPlusTree::Build(keyset, options.btree_fanout));
-      backend.reset(new BTreeBackend(std::move(tree), options.btree_fanout));
-      break;
-    }
-    case BackendKind::kBinarySearch:
-      backend.reset(new BinarySearchBackend(keyset));
-      break;
-  }
-  if (backend == nullptr) {
-    return Status::InvalidArgument("unknown backend kind");
-  }
-  backend->InitCompaction(keyset, options.compact_threshold);
+  std::unique_ptr<SearchBackend> backend(new SearchBackend(kind, options));
+  LISPOISON_RETURN_IF_ERROR(backend->InitShards(keyset));
   return backend;
 }
 

@@ -1,12 +1,38 @@
 // Copyright (c) lispoison authors. Licensed under the MIT license.
 //
-// SearchBackend: the uniform serving adapter the QueryDriver drives.
-// One adapter per index substrate — RMI (LearnedIndex), B+Tree, binary
-// search — each wrapping its static base structure plus a shared
-// delta-overlay for inserts (the delta-buffer design of dynamic_index,
-// hoisted into the adapter so every backend serves the same read/scan/
-// insert contract). Reads and scans are safe to run concurrently;
-// inserts serialize on the overlay's shared_mutex.
+// SearchBackend: the sharded serving engine the QueryDriver drives.
+//
+// The keyspace is partitioned into `BackendOptions::num_shards`
+// key-range shards whose boundaries come from the base keyset's
+// empirical CDF (equal key *counts* per shard, not equal key ranges),
+// so skewed keysets stay load-balanced. Each shard owns an immutable
+// index substrate — RMI (LearnedIndex), B+Tree, or binary search — plus
+// a sorted insert overlay, both published together as one immutable
+// ShardSnapshot behind an atomic pointer.
+//
+// Concurrency design (the ROADMAP "shard-per-core serving" item):
+//
+//   * READS ARE LOCK-FREE. A lookup enters an epoch guard
+//     (common/epoch.h — one wait-free atomic store), loads the shard's
+//     snapshot pointer, probes substrate + overlay, and leaves. No
+//     mutex, no reference counting, no retry loop. A code-level guard
+//     enforces this: acquiring any shard writer mutex while the calling
+//     thread is inside the read path aborts the process.
+//
+//   * WRITES ARE SMALL. An insert takes the shard's writer mutex,
+//     copies the bounded overlay with the new key spliced in, and
+//     publishes a fresh snapshot with one atomic store. The replaced
+//     snapshot is retired through the epoch domain and freed once no
+//     reader can still observe it. An insert never rebuilds an index.
+//
+//   * COMPACTION IS OFF-THREAD. When a shard's overlay reaches
+//     `compact_threshold`, a background maintenance worker (a dedicated
+//     common/thread_pool thread) merges base + overlay, retrains the
+//     substrate with no locks held, and publishes the result with a
+//     single pointer swap; keys inserted during the rebuild survive in
+//     the successor overlay. `sync_compaction` is the deterministic
+//     escape hatch: compaction then runs inline on the inserting
+//     thread, which the seeded differential tests rely on.
 //
 // Every operation reports `work` — probes / comparisons / nodes visited,
 // the implementation-independent cost signal of the paper — alongside
@@ -17,12 +43,14 @@
 #ifndef LISPOISON_WORKLOAD_SEARCH_BACKEND_H_
 #define LISPOISON_WORKLOAD_SEARCH_BACKEND_H_
 
+#include <atomic>
 #include <memory>
-#include <shared_mutex>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "common/types.h"
 #include "data/keyset.h"
 #include "index/rmi.h"
@@ -51,83 +79,180 @@ struct BackendOptions {
   RmiOptions rmi;      ///< RMI configuration (kRmi only).
   int btree_fanout = 64;  ///< B+Tree fanout (kBTree only).
 
-  /// Overlay compaction / retrain threshold: when the insert overlay
-  /// reaches this many keys, the backend merges it into the base
-  /// structure and rebuilds (retrains the RMI, re-bulk-loads the
-  /// B+Tree), so long insert-heavy runs do not degrade into overlay
-  /// binary search (the dynamic_index delta-merge design). 0 disables
-  /// compaction (the pre-PR-5 behaviour and the committed serving
-  /// baseline's configuration).
+  /// Key-range shards. Boundaries are drawn from the base keyset's
+  /// empirical CDF so every shard starts with the same key count
+  /// (clamped to [1, min(n, 64)]). 1 reproduces the single-backend
+  /// serving path exactly.
+  int num_shards = 1;
+
+  /// Per-shard overlay compaction / retrain threshold: when a shard's
+  /// insert overlay reaches this many keys, the maintenance thread
+  /// merges it into the shard's base structure and rebuilds (retrains
+  /// the RMI, re-bulk-loads the B+Tree) off-thread, so long
+  /// insert-heavy runs do not degrade into overlay binary search.
+  /// 0 disables compaction.
   std::int64_t compact_threshold = 0;
+
+  /// Deterministic escape hatch: run compaction inline on the thread
+  /// whose insert crossed the threshold (the pre-PR-6 behaviour).
+  /// Differential tests use this to keep single-threaded replays
+  /// bit-stable; serving runs leave it off so no insert ever pays a
+  /// rebuild.
+  bool sync_compaction = false;
 };
 
-/// \brief Abstract serving adapter: static base index + insert overlay.
+/// Internal immutable per-shard index structure (defined in the .cc).
+class IndexSubstrate;
+
+/// \brief One published, immutable shard state: substrate + overlay.
 ///
-/// Subclasses implement the base-structure primitives; the public
-/// operations splice in the overlay so inserted keys are immediately
-/// visible to subsequent reads and scans on any backend. With a
-/// positive BackendOptions::compact_threshold the overlay is merged
-/// into the base structure — and the substrate rebuilt/retrained —
-/// whenever it reaches the threshold; reads and scans take the shared
-/// lock across base + overlay so a concurrent compaction can never
-/// swap the base out from under them.
-class SearchBackend {
+/// Readers hold instances only inside an epoch guard; writers replace
+/// the pointer wholesale and retire the predecessor. The substrate is
+/// shared between consecutive snapshots (inserts change only the
+/// overlay), so an insert costs an O(overlay) copy, never a rebuild.
+struct ShardSnapshot {
+  std::shared_ptr<const IndexSubstrate> substrate;
+  std::vector<Key> overlay;  ///< Sorted, unique, disjoint from the base.
+};
+
+/// \brief Shard writer mutex with a read-path tripwire: locking it
+/// while the calling thread is inside Lookup/Scan/LookupBatch aborts.
+/// This turns "the read path contains no mutex acquisition" from a
+/// convention into an enforced invariant (always on, release builds
+/// included — the check is one thread_local read on the writer path).
+class WriterMutex {
  public:
-  virtual ~SearchBackend() = default;
-
-  /// \brief Backend display name ("rmi", "btree", "binary_search").
-  virtual const char* name() const = 0;
-
-  /// \brief Keys in the static base structure (excludes the overlay;
-  /// grows when a compaction folds the overlay in). Thread-safe: reads
-  /// under the shared lock so a concurrent compaction cannot swap the
-  /// substrate mid-walk.
-  std::int64_t base_size() const;
-
-  /// \brief Point lookup of \p k across base + overlay. Thread-safe.
-  BackendOpResult Lookup(Key k) const;
-
-  /// \brief Counts stored keys in [lo, hi] across base + overlay.
-  /// Thread-safe. Returns an empty result when lo > hi.
-  BackendOpResult Scan(Key lo, Key hi) const;
-
-  /// \brief Inserts \p k into the overlay. Fails with InvalidArgument
-  /// when the key is already present (base or overlay). Thread-safe.
-  /// May trigger a compaction (see compactions()).
-  Status Insert(Key k);
-
-  /// \brief Keys currently in the insert overlay.
-  std::int64_t overlay_size() const;
-
-  /// \brief Overlay-into-base merges performed so far.
-  std::int64_t compactions() const;
-
-  /// \brief The configured compaction threshold (0 = never).
-  std::int64_t compact_threshold() const { return compact_threshold_; }
-
-  /// \brief Captures the compaction inputs; called once by
-  /// CreateBackend after construction.
-  void InitCompaction(const KeySet& keyset, std::int64_t threshold);
-
- protected:
-  /// \brief Base-structure point lookup (no overlay).
-  virtual BackendOpResult BaseLookup(Key k) const = 0;
-  /// \brief Base-structure range count (no overlay).
-  virtual BackendOpResult BaseScan(Key lo, Key hi) const = 0;
-  /// \brief Key count of the base structure (no overlay, no lock).
-  virtual std::int64_t BaseSize() const = 0;
-  /// \brief Rebuilds the base structure over \p keyset (the merged
-  /// base + overlay keys). Called under the exclusive overlay lock.
-  virtual Status RebuildBase(const KeySet& keyset) = 0;
+  void lock();
+  void unlock();
 
  private:
-  mutable std::shared_mutex overlay_mu_;
-  std::vector<Key> overlay_;  // Sorted, unique, disjoint from the base.
-  std::vector<Key> base_keys_;  // Current base keys (compaction input);
-                                // only tracked when compaction is on.
-  KeyDomain domain_{0, 0};
-  std::int64_t compact_threshold_ = 0;
-  std::int64_t compactions_ = 0;
+  std::mutex mu_;
+};
+
+/// \brief The sharded serving backend.
+///
+/// Thread-safe for any mix of concurrent Lookup/Scan/LookupBatch/
+/// Insert calls; the accessors (overlay_size, compactions, ...) are
+/// safe too but report a momentary snapshot under churn.
+class SearchBackend {
+ public:
+  ~SearchBackend();
+
+  SearchBackend(const SearchBackend&) = delete;
+  SearchBackend& operator=(const SearchBackend&) = delete;
+
+  /// \brief Backend display name ("rmi", "btree", "binary_search").
+  const char* name() const { return BackendKindName(kind_); }
+
+  /// \brief Number of key-range shards.
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+
+  /// \brief Keys across all shards' base structures (excludes overlays;
+  /// grows when a compaction folds an overlay in). Lock-free.
+  std::int64_t base_size() const;
+
+  /// \brief Base-structure key count of one shard (boundary-balance
+  /// checks in tests). Lock-free.
+  std::int64_t shard_base_size(int shard) const;
+
+  /// \brief Point lookup of \p k across the owning shard's base +
+  /// overlay. Wait-free read path: epoch guard + atomic snapshot load,
+  /// no mutex.
+  BackendOpResult Lookup(Key k) const;
+
+  /// \brief Batched point lookups: out[i] = Lookup(keys[i]), with the
+  /// per-key results bit-identical to scalar Lookup calls. The batch
+  /// first issues a software-prefetch pass across every key's predicted
+  /// probe window, then runs the probes, so the memory latency of up to
+  /// kMaxLookupBatch concurrent probes overlaps within the batch.
+  void LookupBatch(const Key* keys, int count, BackendOpResult* out) const;
+
+  /// Largest batch LookupBatch accepts in one call.
+  static constexpr int kMaxLookupBatch = 64;
+
+  /// \brief Counts stored keys in [lo, hi] across every overlapping
+  /// shard's base + overlay. Lock-free. Empty result when lo > hi.
+  BackendOpResult Scan(Key lo, Key hi) const;
+
+  /// \brief Inserts \p k into the owning shard's overlay. Fails with
+  /// InvalidArgument when the key is already present (base or overlay).
+  /// Takes only the shard's writer mutex; never rebuilds inline unless
+  /// sync_compaction is set.
+  Status Insert(Key k);
+
+  /// \brief Keys currently across all insert overlays.
+  std::int64_t overlay_size() const;
+
+  /// \brief Overlay-into-base merges performed so far (all shards).
+  std::int64_t compactions() const {
+    return compactions_.load(std::memory_order_relaxed);
+  }
+
+  /// \brief Compactions that ran inline on an inserting thread. Always
+  /// 0 unless sync_compaction is set — the churn test's "no insert pays
+  /// a retrain" proof.
+  std::int64_t inline_compactions() const {
+    return inline_compactions_.load(std::memory_order_relaxed);
+  }
+
+  /// \brief Largest overlay an insert ever copied when publishing its
+  /// snapshot — the deterministic bound on per-insert work (stays near
+  /// compact_threshold; an inline rebuild would be O(n)).
+  std::int64_t max_publish_overlay() const {
+    return max_publish_overlay_.load(std::memory_order_relaxed);
+  }
+
+  /// \brief The configured per-shard compaction threshold (0 = never).
+  std::int64_t compact_threshold() const {
+    return options_.compact_threshold;
+  }
+
+  /// \brief Blocks until every queued background compaction (including
+  /// follow-ups triggered by overlays that refilled during a rebuild)
+  /// has published. Test/bench quiescence point; no-op in sync mode.
+  void WaitForMaintenance();
+
+ private:
+  friend Result<std::unique_ptr<SearchBackend>> CreateBackend(
+      BackendKind kind, const KeySet& keyset, const BackendOptions& options);
+
+  /// One key-range shard. Snapshot is the read-side contract; the rest
+  /// is writer state guarded by write_mu.
+  struct Shard {
+    std::atomic<const ShardSnapshot*> snapshot{nullptr};
+    mutable WriterMutex write_mu;
+    std::vector<Key> base_keys;   // Compaction input; threshold > 0 only.
+    KeyDomain domain{0, 0};
+    std::int64_t threshold = 0;   // Doubles if a rebuild fails.
+    bool compaction_pending = false;
+  };
+
+  SearchBackend(BackendKind kind, const BackendOptions& options)
+      : kind_(kind), options_(options) {}
+
+  Status InitShards(const KeySet& keyset);
+
+  /// Shard index owning \p k (upper_bound over the CDF split keys).
+  int RouteShard(Key k) const;
+
+  /// Merges the shard's overlay into its base and retrains, publishing
+  /// with one pointer swap. Runs on the maintenance thread (or inline
+  /// in sync mode); loops while the overlay refills past the threshold
+  /// during the rebuild.
+  void CompactShard(Shard* shard, bool inline_call);
+
+  BackendKind kind_;
+  BackendOptions options_;
+  std::vector<Key> shard_splits_;  // splits_[i] = first key of shard i+1.
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  std::atomic<std::int64_t> compactions_{0};
+  std::atomic<std::int64_t> inline_compactions_{0};
+  std::atomic<std::int64_t> max_publish_overlay_{0};
+
+  // Declared last: destroyed first, draining queued compactions before
+  // the shards they reference go away.
+  std::unique_ptr<ThreadPool> maintenance_;
 };
 
 /// \brief Builds a backend of \p kind over \p keyset.

@@ -29,6 +29,7 @@ void WriteConfig(JsonWriter* w, const ServingConfigResult& c) {
   w->KV("variant", c.variant);
   w->KV("keys", c.keys);
   w->KV("seed", static_cast<std::int64_t>(c.seed));
+  w->KV("num_shards", c.num_shards);
   w->KV("num_threads", r.num_threads_used);
   w->KV("total_ops", r.total_ops);
   w->KV("reads", r.reads);
@@ -85,14 +86,18 @@ void ServingReport::WriteJson(std::ostream* os) const {
   for (const ServingConfigResult& clean : configs) {
     if (clean.variant != "clean") continue;
     for (const ServingConfigResult& poisoned : configs) {
+      // num_shards must match too: sharded arms share workload+backend
+      // names with the single-backend runs and must not cross-pair.
       if (poisoned.variant != "poisoned" ||
           poisoned.workload != clean.workload ||
-          poisoned.backend != clean.backend) {
+          poisoned.backend != clean.backend ||
+          poisoned.num_shards != clean.num_shards) {
         continue;
       }
       w.BeginObject();
       w.KV("workload", clean.workload);
       w.KV("backend", clean.backend);
+      w.KV("num_shards", clean.num_shards);
       w.KV("p50_ratio",
            SafeRatio(static_cast<double>(poisoned.result.latency.P50()),
                      static_cast<double>(clean.result.latency.P50())));
@@ -121,6 +126,74 @@ Status ServingReport::WriteJsonFile(const std::string& path) const {
   out.flush();
   if (!out.good()) {
     return Status::IOError("failed writing serving report to '" + path + "'");
+  }
+  return Status::OK();
+}
+
+void ScalingReport::WriteJson(std::ostream* os) const {
+  JsonWriter w(os);
+  w.BeginObject();
+  w.KV("title", title);
+  w.Key("environment");
+  w.BeginObject();
+  w.KV("hardware_concurrency", hardware_concurrency);
+  w.KV("keys", keys);
+  w.KV("ops", ops);
+  w.KV("num_shards", num_shards);
+  w.KV("read_group", read_group);
+  w.KV("compact_threshold", compact_threshold);
+  w.KV("seed", static_cast<std::int64_t>(seed));
+  w.KV("read_workload", read_workload);
+  w.KV("insert_workload", insert_workload);
+  w.EndObject();
+
+  w.Key("read_scaling");
+  w.BeginArray();
+  for (const ScalingRow& row : read_rows) {
+    const DriverResult& r = row.result;
+    w.BeginObject();
+    w.KV("threads", row.threads);
+    w.KV("total_ops", r.total_ops);
+    w.KV("reads", r.reads);
+    w.KV("elapsed_seconds", r.elapsed_seconds);
+    w.KV("reads_per_sec", r.ThroughputOpsPerSec());
+    w.KV("total_work", r.total_work);
+    WriteHistogram(&w, "read_latency_ns", r.read_latency);
+    w.EndObject();
+  }
+  w.EndArray();
+
+  w.Key("insert_arms");
+  w.BeginArray();
+  for (const InsertArmResult& arm : insert_arms) {
+    const DriverResult& r = arm.result;
+    w.BeginObject();
+    w.KV("mode", arm.mode);
+    w.KV("threads", arm.threads);
+    w.KV("total_ops", r.total_ops);
+    w.KV("inserts", r.inserts);
+    w.KV("insert_failures", r.insert_failures);
+    w.KV("throughput_ops_per_sec", r.ThroughputOpsPerSec());
+    w.KV("compactions", arm.compactions);
+    w.KV("inline_compactions", arm.inline_compactions);
+    w.KV("max_publish_overlay", arm.max_publish_overlay);
+    WriteHistogram(&w, "insert_latency_ns", r.insert_latency);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  *os << '\n';
+}
+
+Status ScalingReport::WriteJsonFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::IOError("cannot open '" + path + "' for writing");
+  }
+  WriteJson(&out);
+  out.flush();
+  if (!out.good()) {
+    return Status::IOError("failed writing scaling report to '" + path + "'");
   }
   return Status::OK();
 }

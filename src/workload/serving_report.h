@@ -27,6 +27,7 @@ struct ServingConfigResult {
   std::string variant;   ///< "clean" or "poisoned".
   std::int64_t keys = 0;  ///< Keys served (base index size).
   std::uint64_t seed = 0;
+  int num_shards = 1;     ///< Serving shards the backend ran with.
   DriverResult result;
 };
 
@@ -54,6 +55,48 @@ struct ServingReport {
   void WriteJson(std::ostream* os) const;
 
   /// \brief WriteJson to a file path.
+  Status WriteJsonFile(const std::string& path) const;
+};
+
+/// \brief One thread count of the read-scaling sweep.
+struct ScalingRow {
+  int threads = 1;
+  DriverResult result;
+};
+
+/// \brief One insert-heavy arm (async vs sync compaction) of a scaling
+/// study, with the compaction counters that prove (or disprove) the
+/// "no insert pays a retrain" serving contract.
+struct InsertArmResult {
+  std::string mode;  ///< "async" or "sync".
+  int threads = 1;
+  std::int64_t compactions = 0;
+  std::int64_t inline_compactions = 0;
+  std::int64_t max_publish_overlay = 0;
+  DriverResult result;
+};
+
+/// \brief A multi-core scaling study: reads/sec and tail latency per
+/// driver thread count on the sharded backend, plus the insert arms.
+/// Serialized to the committed BENCH_serving_scaling.json that
+/// tools/check_bench_json.py --serving-scaling gates in tier-1.
+struct ScalingReport {
+  std::string title = "lispoison serving scaling";
+
+  std::int64_t hardware_concurrency = 0;
+  std::int64_t keys = 0;
+  std::int64_t ops = 0;
+  int num_shards = 1;
+  int read_group = 1;
+  std::int64_t compact_threshold = 0;
+  std::uint64_t seed = 0;
+  std::string read_workload;
+  std::string insert_workload;
+
+  std::vector<ScalingRow> read_rows;       ///< Sorted by thread count.
+  std::vector<InsertArmResult> insert_arms;
+
+  void WriteJson(std::ostream* os) const;
   Status WriteJsonFile(const std::string& path) const;
 };
 

@@ -108,6 +108,20 @@ WorkloadSpec ReadInsertMixWorkload(std::uint64_t seed) {
   return spec;
 }
 
+WorkloadSpec InsertHeavyWorkload(std::uint64_t seed) {
+  // The scaling bench's write arm: enough insert pressure to force
+  // repeated compactions, so the "no insert pays a retrain" invariant
+  // is exercised rather than vacuously true.
+  WorkloadSpec spec;
+  spec.name = "insert_heavy";
+  spec.read_fraction = 0.5;
+  spec.scan_fraction = 0.0;
+  spec.insert_fraction = 0.5;
+  spec.distribution = AccessDistribution::kUniform;
+  spec.seed = seed;
+  return spec;
+}
+
 Result<std::vector<Operation>> GenerateOperations(const WorkloadSpec& spec,
                                                   const KeySet& keyset,
                                                   std::int64_t num_ops) {

@@ -89,6 +89,7 @@ WorkloadSpec ReadOnlyUniformWorkload(std::uint64_t seed);
 WorkloadSpec ZipfianReadHeavyWorkload(std::uint64_t seed);  ///< 95r/5i zipf.
 WorkloadSpec RangeScanWorkload(std::uint64_t seed);         ///< 100% scans.
 WorkloadSpec ReadInsertMixWorkload(std::uint64_t seed);     ///< 80r/20i.
+WorkloadSpec InsertHeavyWorkload(std::uint64_t seed);       ///< 50r/50i.
 /// @}
 
 /// \brief Materializes \p num_ops operations of \p spec against the

@@ -176,6 +176,9 @@ TEST(SearchBackendTest, CompactionFoldsOverlayIntoBase) {
     BackendOptions opts;
     opts.rmi.target_model_size = 500;
     opts.compact_threshold = 64;
+    // Deterministic escape hatch: compaction runs inline on the
+    // inserting thread, so the merge/overlay counters below are exact.
+    opts.sync_compaction = true;
     auto backend = CreateBackend(kind, ks, opts);
     ASSERT_TRUE(backend.ok()) << backend.status().message();
     const std::int64_t base0 = (*backend)->base_size();
@@ -228,6 +231,7 @@ TEST(QueryDriverTest, CompactionPreservesInsertMixResults) {
   plain.rmi.target_model_size = 500;
   BackendOptions compacting = plain;
   compacting.compact_threshold = 128;
+  compacting.sync_compaction = true;  // Bit-stable single-threaded replay.
 
   auto a = CreateBackend(BackendKind::kRmi, ks, plain);
   auto b = CreateBackend(BackendKind::kRmi, ks, compacting);
@@ -301,8 +305,56 @@ TEST(QueryDriverTest, RejectsBadOptions) {
   EXPECT_EQ(RunWorkload(backend.get(), ops, opts).status().code(),
             StatusCode::kInvalidArgument);
   opts.latency_sample_every = 1;
+  opts.read_group = 0;
+  EXPECT_EQ(RunWorkload(backend.get(), ops, opts).status().code(),
+            StatusCode::kInvalidArgument);
+  opts.read_group = 1;
   // Empty stream is fine.
   EXPECT_TRUE(RunWorkload(backend.get(), ops, opts).ok());
+}
+
+TEST(QueryDriverTest, BatchedReadDispatchMatchesScalarResults) {
+  // read_group > 1 routes consecutive reads through LookupBatch (the
+  // prefetch-overlapped path). Everything derived from per-key results
+  // — found counts, work totals, max work, scan/insert accounting —
+  // must be bit-identical to scalar dispatch; only the latency
+  // *sampling* semantics change (group mean instead of per-op).
+  const KeySet ks = TestKeys(3000, /*seed=*/19);
+  for (const WorkloadSpec& spec :
+       {ReadOnlyUniformWorkload(23), ZipfianReadHeavyWorkload(23)}) {
+    auto ops = GenerateOperations(spec, ks, 6000);
+    ASSERT_TRUE(ops.ok());
+    for (const BackendKind kind :
+         {BackendKind::kRmi, BackendKind::kBinarySearch}) {
+      auto scalar_backend = MakeBackend(kind, ks);
+      auto batched_backend = MakeBackend(kind, ks);
+      DriverOptions scalar;
+      scalar.num_threads = 1;
+      scalar.measure_latency = false;
+      DriverOptions batched = scalar;
+      batched.read_group = 16;
+      const DriverResult rs = MustRun(scalar_backend.get(), *ops, scalar);
+      const DriverResult rb = MustRun(batched_backend.get(), *ops, batched);
+      EXPECT_EQ(rb.reads, rs.reads) << spec.name;
+      EXPECT_EQ(rb.read_found, rs.read_found) << spec.name;
+      EXPECT_EQ(rb.total_work, rs.total_work) << spec.name;
+      EXPECT_EQ(rb.max_work, rs.max_work) << spec.name;
+      EXPECT_EQ(rb.inserts, rs.inserts) << spec.name;
+      EXPECT_EQ(rb.insert_failures, rs.insert_failures) << spec.name;
+    }
+  }
+  // With timing on, every op still lands in the histograms (as its
+  // group's mean), so counts match per-op timing exactly.
+  auto ops = GenerateOperations(ReadOnlyUniformWorkload(29), ks, 5000);
+  ASSERT_TRUE(ops.ok());
+  auto backend = MakeBackend(BackendKind::kRmi, ks);
+  DriverOptions timed;
+  timed.num_threads = 1;
+  timed.read_group = 16;
+  const DriverResult rt = MustRun(backend.get(), *ops, timed);
+  EXPECT_EQ(rt.latency.count(), 5000);
+  EXPECT_EQ(rt.read_latency.count(), 5000);
+  EXPECT_GT(rt.latency.Mean(), 0.0);
 }
 
 TEST(QueryDriverTest, BatchedTimingMatchesFullSamplingWithinTolerance) {

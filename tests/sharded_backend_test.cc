@@ -1,0 +1,216 @@
+// Sharded serving engine coverage: the sharded backend must be
+// outcome-identical to the single backend on seeded workloads (found
+// counts, scan counts, committed inserts — everything derived from
+// membership), shard boundaries must balance key *counts* under skew
+// (empirical-CDF splits), LookupBatch must match scalar Lookup bit for
+// bit, and work accounting must stay deterministic across driver
+// thread counts at a fixed shard count. Per-op *work* is intentionally
+// not compared across shard counts: a shard's substrate indexes n/S
+// keys, so probe/comparison counts shrink with S by construction.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/generators.h"
+#include "data/keyset.h"
+#include "workload/query_driver.h"
+#include "workload/search_backend.h"
+#include "workload/workload.h"
+
+namespace lispoison {
+namespace {
+
+KeySet TestKeys(std::int64_t n, std::uint64_t seed = 11) {
+  Rng rng(seed);
+  auto ks = GenerateUniform(n, KeyDomain{0, 100 * n}, &rng);
+  EXPECT_TRUE(ks.ok());
+  return *ks;
+}
+
+std::unique_ptr<SearchBackend> MakeSharded(BackendKind kind,
+                                           const KeySet& ks, int num_shards,
+                                           std::int64_t compact_threshold = 0,
+                                           bool sync_compaction = false) {
+  BackendOptions opts;
+  opts.rmi.target_model_size = 500;
+  opts.num_shards = num_shards;
+  opts.compact_threshold = compact_threshold;
+  opts.sync_compaction = sync_compaction;
+  auto backend = CreateBackend(kind, ks, opts);
+  EXPECT_TRUE(backend.ok()) << backend.status().message();
+  return std::move(*backend);
+}
+
+TEST(ShardedBackendTest, ShardCountIsClampedToKeyCount) {
+  const KeySet small = TestKeys(3);
+  auto backend = MakeSharded(BackendKind::kBinarySearch, small, 64);
+  EXPECT_EQ(backend->num_shards(), 3);
+  auto one = MakeSharded(BackendKind::kBinarySearch, small, 0);
+  EXPECT_EQ(one->num_shards(), 1);
+  const KeySet big = TestKeys(2000);
+  auto seven = MakeSharded(BackendKind::kRmi, big, 7);
+  EXPECT_EQ(seven->num_shards(), 7);
+}
+
+TEST(ShardedBackendTest, CdfSplitsBalanceKeyCountsUnderSkew) {
+  // A quadratic keyset: key density is heavily skewed toward the low
+  // end of the domain. Equal key-*range* splits would overload shard 0;
+  // the empirical-CDF splits keep every shard within one key of n/S.
+  const std::int64_t n = 7000;
+  std::vector<Key> keys;
+  keys.reserve(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) keys.push_back(i * i);
+  auto ks = KeySet::Create(keys, KeyDomain{0, n * n});
+  ASSERT_TRUE(ks.ok());
+  for (const int shards : {2, 4, 7}) {
+    auto backend = MakeSharded(BackendKind::kBinarySearch, *ks, shards);
+    ASSERT_EQ(backend->num_shards(), shards);
+    std::int64_t total = 0;
+    for (int s = 0; s < shards; ++s) {
+      const std::int64_t size = backend->shard_base_size(s);
+      EXPECT_GE(size, n / shards) << "shard " << s << "/" << shards;
+      EXPECT_LE(size, n / shards + 1) << "shard " << s << "/" << shards;
+      total += size;
+    }
+    EXPECT_EQ(total, n);
+  }
+}
+
+TEST(ShardedBackendTest, ShardedMatchesSingleOnSeededWorkloads) {
+  // The acceptance differential: identical op streams against
+  // num_shards in {1, 4, 7} produce identical membership outcomes.
+  // Compaction runs sync so the single-threaded replay is bit-stable.
+  const KeySet ks = TestKeys(5000, /*seed=*/43);
+  for (const WorkloadSpec& spec :
+       {ReadOnlyUniformWorkload(13), RangeScanWorkload(13),
+        ReadInsertMixWorkload(13)}) {
+    auto ops = GenerateOperations(spec, ks, 6000);
+    ASSERT_TRUE(ops.ok());
+    DriverOptions dopts;
+    dopts.num_threads = 1;
+    dopts.measure_latency = false;
+
+    DriverResult base;
+    std::int64_t base_total_keys = -1;
+    bool first = true;
+    for (const int shards : {1, 4, 7}) {
+      auto backend = MakeSharded(BackendKind::kRmi, ks, shards,
+                                 /*compact_threshold=*/128,
+                                 /*sync_compaction=*/true);
+      auto r = RunWorkload(backend.get(), *ops, dopts);
+      ASSERT_TRUE(r.ok()) << r.status().message();
+      const std::int64_t total_keys =
+          backend->base_size() + backend->overlay_size();
+      if (first) {
+        base = *r;
+        base_total_keys = total_keys;
+        first = false;
+        continue;
+      }
+      EXPECT_EQ(r->read_found, base.read_found)
+          << spec.name << " shards=" << shards;
+      EXPECT_EQ(r->scanned_keys, base.scanned_keys)
+          << spec.name << " shards=" << shards;
+      EXPECT_EQ(r->inserts, base.inserts)
+          << spec.name << " shards=" << shards;
+      EXPECT_EQ(r->insert_failures, base.insert_failures)
+          << spec.name << " shards=" << shards;
+      EXPECT_EQ(total_keys, base_total_keys)
+          << spec.name << " shards=" << shards;
+    }
+  }
+}
+
+TEST(ShardedBackendTest, PointOpsAgreeWithMembershipAcrossShardCounts) {
+  const KeySet ks = TestKeys(4000, /*seed=*/97);
+  auto one = MakeSharded(BackendKind::kRmi, ks, 1);
+  auto four = MakeSharded(BackendKind::kRmi, ks, 4);
+  auto seven = MakeSharded(BackendKind::kRmi, ks, 7);
+  Rng rng(31);
+  for (int i = 0; i < 3000; ++i) {
+    const Key k = i % 2 == 0 ? ks.at(rng.UniformInt(0, ks.size() - 1))
+                             : rng.UniformInt(0, 100 * 4000);
+    const bool expect_found = ks.Contains(k);
+    EXPECT_EQ(one->Lookup(k).found, expect_found);
+    EXPECT_EQ(four->Lookup(k).found, expect_found);
+    EXPECT_EQ(seven->Lookup(k).found, expect_found);
+  }
+  // Cross-shard scans: the per-shard range counts must stitch back
+  // together exactly, including ranges spanning every split boundary.
+  for (int i = 0; i < 400; ++i) {
+    const std::int64_t a = rng.UniformInt(0, ks.size() - 1);
+    const std::int64_t b =
+        std::min(ks.size() - 1, a + rng.UniformInt(0, 2000));
+    const std::int64_t expected = b - a + 1;
+    EXPECT_EQ(one->Scan(ks.at(a), ks.at(b)).range_count, expected);
+    EXPECT_EQ(four->Scan(ks.at(a), ks.at(b)).range_count, expected);
+    EXPECT_EQ(seven->Scan(ks.at(a), ks.at(b)).range_count, expected);
+  }
+  const auto full = seven->Scan(ks.at(0), ks.at(ks.size() - 1));
+  EXPECT_EQ(full.range_count, ks.size());
+}
+
+TEST(ShardedBackendTest, LookupBatchIsBitIdenticalToScalarLookups) {
+  const KeySet ks = TestKeys(3000, /*seed=*/7);
+  for (const int shards : {1, 5}) {
+    auto backend = MakeSharded(BackendKind::kRmi, ks, shards);
+    // Populate overlays so the batch path exercises overlay probes too.
+    std::int64_t inserted = 0;
+    for (std::int64_t i = 0; i + 1 < ks.size() && inserted < 200; i += 13) {
+      if (ks.at(i + 1) - ks.at(i) > 1 &&
+          backend->Insert(ks.at(i) + 1).ok()) {
+        ++inserted;
+      }
+    }
+    ASSERT_GT(inserted, 0);
+
+    Rng rng(71);
+    std::vector<Key> keys;
+    for (int i = 0; i < 500; ++i) {
+      keys.push_back(i % 3 == 0 ? rng.UniformInt(0, 100 * 3000)
+                                : ks.at(rng.UniformInt(0, ks.size() - 1)));
+    }
+    // Odd count: exercises the final partial chunk of the batch loop.
+    std::vector<BackendOpResult> batch(keys.size());
+    backend->LookupBatch(keys.data(), static_cast<int>(keys.size()),
+                         batch.data());
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      const BackendOpResult scalar = backend->Lookup(keys[i]);
+      EXPECT_EQ(batch[i].found, scalar.found) << "key index " << i;
+      EXPECT_EQ(batch[i].work, scalar.work) << "key index " << i;
+    }
+  }
+}
+
+TEST(ShardedBackendTest, WorkAccountingDeterministicAcrossThreadCounts) {
+  // At a *fixed* shard count, read-only work totals are a pure function
+  // of the stream — independent of how many driver threads replay it.
+  const KeySet ks = TestKeys(4000, /*seed=*/3);
+  auto ops = GenerateOperations(ReadOnlyUniformWorkload(59), ks, 8000);
+  ASSERT_TRUE(ops.ok());
+  for (const int shards : {4, 7}) {
+    std::int64_t base_work = -1;
+    for (const int threads : {1, 2, 8}) {
+      auto backend = MakeSharded(BackendKind::kRmi, ks, shards);
+      DriverOptions dopts;
+      dopts.num_threads = threads;
+      dopts.measure_latency = false;
+      dopts.read_group = 16;  // The batched path must be deterministic too.
+      auto r = RunWorkload(backend.get(), *ops, dopts);
+      ASSERT_TRUE(r.ok());
+      if (base_work < 0) {
+        base_work = r->total_work;
+      } else {
+        EXPECT_EQ(r->total_work, base_work)
+            << "shards=" << shards << " threads=" << threads;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lispoison

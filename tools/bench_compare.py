@@ -53,6 +53,11 @@ def load_benchmarks(path):
     if "configs" in data:
         for cfg in data["configs"]:
             name = f"{cfg['workload']}/{cfg['backend']}/{cfg['variant']}"
+            # Sharded arms (PR 6) share workload/backend/variant names
+            # with the single-backend runs; suffix the shard count so
+            # they pair only with their own kind across files.
+            if cfg.get("num_shards", 1) != 1:
+                name += f"/s{cfg['num_shards']}"
             out[name] = float(cfg["work"]["mean"])
         return out
     for bench in data.get("benchmarks", []):
