@@ -32,6 +32,14 @@
 //   --sync-compaction  run compactions inline on inserting threads
 //                      (escape hatch; default is the maintenance thread)
 //   --smoke            capped CI configuration (small n/ops, 2 threads)
+//   --telemetry-interval-ms=0  background sampling period for the
+//                      report's time_series section; 0 keeps the
+//                      sampler boundary-driven (one forced interval
+//                      after poisoning and after every config), which
+//                      is the deterministic row count CI gates
+//   --trace-out=PATH   write a Chrome trace_event JSON (chrome://tracing
+//                      / ui.perfetto.dev) of the run's spans: compaction
+//                      causes, driver runs, attack rounds. Empty = off.
 //
 // Scaling mode: --threads-sweep=1,2,4[,...] switches to the multi-core
 // scaling study instead of the clean-vs-poisoned matrix. For each
@@ -53,6 +61,7 @@
 #include "common/flags.h"
 #include "common/rng.h"
 #include "common/table.h"
+#include "common/telemetry.h"
 #include "data/generators.h"
 #include "data/keyset.h"
 #include "workload/query_driver.h"
@@ -242,6 +251,17 @@ int Run(int argc, char** argv) {
       flags.GetInt("compact-threshold", 0);
   const std::string out_path =
       flags.GetString("out", "serving_report.json");
+  const std::int64_t telemetry_interval_ms =
+      flags.GetInt("telemetry-interval-ms", 0);
+  const std::string trace_out = flags.GetString("trace-out", "");
+
+  // Telemetry rides the whole run: the sampler baselines before the
+  // attack so the poisoning phase lands in the first interval row, and
+  // every config boundary forces a row (deterministic even at interval
+  // 0, which is what the committed smoke JSON gates).
+  if (!trace_out.empty()) TraceSession::Global().Start();
+  TelemetrySampler sampler;
+  sampler.Start(telemetry_interval_ms);
 
   Rng rng(seed);
   auto clean_or = GenerateUniform(n, KeyDomain{0, 100 * n}, &rng);
@@ -274,6 +294,7 @@ int Run(int argc, char** argv) {
   std::printf("  placed %lld poison keys, attacker RMI ratio loss %.2f\n\n",
               static_cast<long long>(attack_or->total_poison_keys),
               attack_or->rmi_ratio_loss);
+  sampler.SampleNow();  // Interval boundary: the attack phase's row.
 
   ServingReport report;
   report.hardware_concurrency =
@@ -349,6 +370,7 @@ int Run(int argc, char** argv) {
                       TextTable::Fmt(config.result.latency.P99()),
                       TextTable::Fmt(config.result.MeanWork(), 2)});
         report.Add(std::move(config));
+        sampler.SampleNow();  // One time-series row per config.
       }
     }
   }
@@ -399,10 +421,92 @@ int Run(int argc, char** argv) {
                     TextTable::Fmt(config.result.latency.P99()),
                     TextTable::Fmt(config.result.MeanWork(), 2)});
       report.Add(std::move(config));
+      sampler.SampleNow();
     }
   }
 
   table.Print(std::cout);
+
+  // Telemetry-overhead arms: the same read-only stream against the same
+  // RMI backend, first with telemetry recording hot, then with the
+  // runtime kill switch off (one relaxed load per Record and nothing
+  // else — the LISPOISON_TELEMETRY_DISABLED build removes even that;
+  // tests/telemetry_disabled_test.cc covers the compiled-out contract).
+  // Work/op is identical by construction (telemetry never touches the
+  // work model), which the committed JSON pins at ratio 1.0; the
+  // throughput ratio bounds the wall-clock cost of the hot path's
+  // relaxed fetch_adds.
+  {
+    const WorkloadSpec overhead_spec = ReadOnlyUniformWorkload(seed);
+    auto ops_or = GenerateOperations(overhead_spec, clean, ops);
+    if (!ops_or.ok()) {
+      std::fprintf(stderr, "overhead workload generation failed: %s\n",
+                   ops_or.status().ToString().c_str());
+      return 1;
+    }
+    BackendOptions backend_opts;
+    backend_opts.rmi.target_model_size = model_size;
+    auto backend_or = CreateBackend(BackendKind::kRmi, clean, backend_opts);
+    if (!backend_or.ok()) {
+      std::fprintf(stderr, "overhead backend build failed: %s\n",
+                   backend_or.status().ToString().c_str());
+      return 1;
+    }
+    report.telemetry_overhead.present = true;
+    report.telemetry_overhead.workload = overhead_spec.name;
+    report.telemetry_overhead.backend = (*backend_or)->name();
+    // No per-op timing in the overhead arms: the two steady_clock reads
+    // per op cost more than the telemetry fetch_add being measured, so
+    // timing would drown the signal the throughput ratio is after.
+    DriverOptions overhead_opts = driver_opts;
+    overhead_opts.measure_latency = false;
+    for (const bool enabled : {true, false}) {
+      TelemetryRegistry::Global().SetEnabled(enabled);
+      auto result_or =
+          RunWorkload(backend_or->get(), *ops_or, overhead_opts);
+      if (!result_or.ok()) {
+        TelemetryRegistry::Global().SetEnabled(true);
+        std::fprintf(stderr, "overhead arm failed: %s\n",
+                     result_or.status().ToString().c_str());
+        return 1;
+      }
+      (enabled ? report.telemetry_overhead.enabled_arm
+               : report.telemetry_overhead.disabled_arm) =
+          std::move(*result_or);
+    }
+    TelemetryRegistry::Global().SetEnabled(true);
+    std::printf(
+        "telemetry overhead: mean work %.2f (hot) vs %.2f (off), "
+        "throughput ratio %.3f\n",
+        report.telemetry_overhead.enabled_arm.MeanWork(),
+        report.telemetry_overhead.disabled_arm.MeanWork(),
+        report.telemetry_overhead.disabled_arm.ThroughputOpsPerSec() > 0
+            ? report.telemetry_overhead.enabled_arm.ThroughputOpsPerSec() /
+                  report.telemetry_overhead.disabled_arm.ThroughputOpsPerSec()
+            : 0.0);
+  }
+
+  // Final boundary, then freeze the rows and the totals they sum to.
+  // Nothing records between Stop() and TotalsSinceStart(), so the
+  // counter/histogram identity the JSON gate checks holds exactly.
+  sampler.Stop();
+  report.has_telemetry = true;
+  report.telemetry_interval_ms = telemetry_interval_ms;
+  report.time_series = sampler.Rows();
+  report.telemetry_totals = sampler.TotalsSinceStart();
+
+  if (!trace_out.empty()) {
+    TraceSession::Global().Stop();
+    const Status trace_st = TraceSession::Global().WriteJsonFile(trace_out);
+    if (!trace_st.ok()) {
+      std::fprintf(stderr, "%s\n", trace_st.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s (%lld trace events, %lld dropped)\n",
+                trace_out.c_str(),
+                static_cast<long long>(TraceSession::Global().recorded()),
+                static_cast<long long>(TraceSession::Global().dropped()));
+  }
 
   const Status st = report.WriteJsonFile(out_path);
   if (!st.ok()) {

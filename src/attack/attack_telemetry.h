@@ -1,0 +1,55 @@
+// Copyright (c) lispoison authors. Licensed under the MIT license.
+//
+// Shared attack-engine telemetry wiring: both greedy drivers (the
+// single-model GreedyPoisonCdf loop and PoisonRmi's per-model
+// GreedyInsertOne) stream each committed argmax round's ArgmaxStats
+// deltas into the process-wide `attack.*` counters, so a
+// TelemetrySampler can plot the attack's work profile — exact vs bound
+// evaluations, pruning yield — as a per-interval time series next to
+// the serving metrics. Internal header (not part of the public attack
+// API).
+
+#ifndef LISPOISON_ATTACK_ATTACK_TELEMETRY_H_
+#define LISPOISON_ATTACK_ATTACK_TELEMETRY_H_
+
+#include "attack/loss_landscape.h"
+#include "common/telemetry.h"
+
+namespace lispoison {
+namespace attack_internal {
+
+/// Cached attack-engine counters (process-lived registry instruments).
+struct AttackTelemetry {
+  TelemetryCounter* rounds;
+  TelemetryCounter* exact_evals;
+  TelemetryCounter* bound_evals;
+  TelemetryCounter* pruned_gaps;
+  TelemetryCounter* cached_bounds;
+
+  static const AttackTelemetry& Get() {
+    static const AttackTelemetry tl = [] {
+      TelemetryRegistry& r = TelemetryRegistry::Global();
+      return AttackTelemetry{r.GetCounter("attack.rounds"),
+                             r.GetCounter("attack.exact_evals"),
+                             r.GetCounter("attack.bound_evals"),
+                             r.GetCounter("attack.pruned_gaps"),
+                             r.GetCounter("attack.cached_bounds")};
+    }();
+    return tl;
+  }
+
+  /// Adds one round's movement: \p cur minus \p prev, field by field.
+  void AddDelta(const LossLandscape::ArgmaxStats& cur,
+                const LossLandscape::ArgmaxStats& prev) const {
+    rounds->Add(cur.rounds - prev.rounds);
+    exact_evals->Add(cur.exact_evals - prev.exact_evals);
+    bound_evals->Add(cur.bound_evals - prev.bound_evals);
+    pruned_gaps->Add(cur.pruned_gaps - prev.pruned_gaps);
+    cached_bounds->Add(cur.cached_bounds - prev.cached_bounds);
+  }
+};
+
+}  // namespace attack_internal
+}  // namespace lispoison
+
+#endif  // LISPOISON_ATTACK_ATTACK_TELEMETRY_H_

@@ -4,7 +4,9 @@
 #include <memory>
 #include <string>
 
+#include "attack/attack_telemetry.h"
 #include "attack/loss_landscape.h"
+#include "common/telemetry.h"
 #include "common/thread_pool.h"
 
 namespace lispoison {
@@ -36,10 +38,14 @@ Result<GreedyPoisonResult> GreedyPoisonCdf(const KeySet& keyset,
   std::unique_ptr<ThreadPool> pool = MakeAttackPool(options);
 
   const LossLandscape::ArgmaxOptions argmax = options.ArgmaxKnobs();
+  TraceSpan attack_span(TraceCategory::kAttack, "greedy_poison_cdf", p);
   for (std::int64_t round = 0; round < p; ++round) {
+    const LossLandscape::ArgmaxStats stats_before = result.argmax_stats;
     auto best = landscape.FindOptimal(options.interior_only,
                                       /*excluded=*/nullptr, pool.get(),
                                       argmax, &result.argmax_stats);
+    attack_internal::AttackTelemetry::Get().AddDelta(result.argmax_stats,
+                                                     stats_before);
     if (!best.ok()) {
       return Status::ResourceExhausted(
           "poisoning range exhausted after " + std::to_string(round) +

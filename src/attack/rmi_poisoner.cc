@@ -8,8 +8,10 @@
 #include <unordered_set>
 #include <vector>
 
+#include "attack/attack_telemetry.h"
 #include "attack/loss_landscape.h"
 #include "common/stats.h"
+#include "common/telemetry.h"
 #include "common/thread_pool.h"
 #include "index/cdf_regression.h"
 
@@ -79,9 +81,15 @@ bool GreedyInsertOne(ModelState* state,
                      bool interior_only,
                      const LossLandscape::ArgmaxOptions& argmax) {
   if (state->landscape.size() == 0) return false;
+  const LossLandscape::ArgmaxStats stats_before = state->stats;
   auto best = state->landscape.FindOptimal(interior_only, &occupied,
                                            /*pool=*/nullptr, argmax,
                                            &state->stats);
+  // Stream this round's argmax work into the attack.* time series
+  // (GreedyInsertOne runs inside ParallelFor — the counters are
+  // per-thread cells, so concurrent rounds never contend).
+  attack_internal::AttackTelemetry::Get().AddDelta(state->stats,
+                                                   stats_before);
   if (!best.ok()) return false;
   if (!state->landscape.InsertKey(best->key).ok()) return false;
   state->poisons.push_back(best->key);
@@ -428,6 +436,7 @@ Result<RmiAttackResult> PoisonRmi(const KeySet& keyset,
   const std::int64_t num_models = derived.num_models;
   const std::int64_t budget = derived.budget;
   const std::int64_t threshold = derived.threshold;
+  TraceSpan attack_span(TraceCategory::kAttack, "poison_rmi", budget);
 
   ThreadPool pool(options.num_threads);
   LossLandscape::ArgmaxOptions argmax;

@@ -6,7 +6,10 @@
 namespace lispoison {
 
 LatencyHistogram::LatencyHistogram()
-    : counts_(static_cast<std::size_t>(kBucketCount), 0) {}
+    : counts_(static_cast<std::size_t>(kBucketCount), 0) {
+  static_assert(NumBuckets() == kBucketCount,
+                "public bucket layout drifted from the private one");
+}
 
 int LatencyHistogram::BucketIndex(std::int64_t value) {
   if (value < kSubBucketCount) return static_cast<int>(value);
@@ -30,6 +33,24 @@ std::int64_t LatencyHistogram::BucketHigh(int index) {
   if (index < kSubBucketCount) return index;
   const int tier = (index - kSubBucketCount) / kSubBucketCount;
   return BucketLow(index) + (std::int64_t{1} << tier) - 1;
+}
+
+int LatencyHistogram::BucketIndexOf(std::int64_t value) {
+  return BucketIndex(value < 0 ? 0 : value);
+}
+
+std::int64_t LatencyHistogram::BucketRepresentative(int index) {
+  return BucketLow(index) + (BucketHigh(index) - BucketLow(index)) / 2;
+}
+
+void LatencyHistogram::RecordBucket(int index, std::int64_t n) {
+  if (n <= 0 || index < 0 || index >= kBucketCount) return;
+  const std::int64_t rep = BucketRepresentative(index);
+  counts_[static_cast<std::size_t>(index)] += n;
+  if (count_ == 0 || BucketLow(index) < min_) min_ = BucketLow(index);
+  if (BucketHigh(index) > max_) max_ = BucketHigh(index);
+  count_ += n;
+  sum_ += rep * n;
 }
 
 void LatencyHistogram::Record(std::int64_t value) {

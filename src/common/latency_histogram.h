@@ -57,6 +57,31 @@ class LatencyHistogram {
   std::int64_t P99() const { return ValueAtQuantile(0.99); }
   /// @}
 
+  /// \name Bucket layout, shared with the telemetry slabs.
+  ///
+  /// The telemetry registry (common/telemetry.h) records histogram
+  /// values into per-thread arrays of relaxed atomics using this exact
+  /// bucket mapping, then reconstructs interval LatencyHistograms from
+  /// aggregated bucket-count deltas via RecordBucket(). Exposing the
+  /// mapping keeps the two in lock-step: a telemetry interval histogram
+  /// and a driver-side LatencyHistogram bucket identical values the
+  /// same way.
+  /// @{
+  /// Total bucket count of the fixed layout.
+  static constexpr int NumBuckets() {
+    return (1 << kSubBucketBits) + (63 - kSubBucketBits) * (1 << kSubBucketBits);
+  }
+  /// Bucket index holding \p value (negatives clamp to 0).
+  static int BucketIndexOf(std::int64_t value);
+  /// Midpoint representative of bucket \p index.
+  static std::int64_t BucketRepresentative(int index);
+  /// \brief Records \p n values at bucket \p index's representative.
+  /// Count and quantiles are exact per bucket; mean/min/max become
+  /// bucket-resolution approximations (the same ~3.1% bound quantiles
+  /// already carry). No-op for n <= 0.
+  void RecordBucket(int index, std::int64_t n);
+  /// @}
+
  private:
   static constexpr int kSubBucketCount = 1 << kSubBucketBits;  // 32
   // Octaves above the exact range: exponents kSubBucketBits..62.

@@ -1,0 +1,670 @@
+// Copyright (c) lispoison authors. Licensed under the MIT license.
+
+#include "common/telemetry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <sstream>
+
+#include "common/json_writer.h"
+
+namespace lispoison {
+
+namespace {
+
+std::int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Merge-diffs two name-sorted scalar vectors: cur - prev, treating a
+/// name missing from prev as 0 (instruments are never removed, so every
+/// prev name is present in cur).
+std::vector<MetricsSnapshot::Scalar> DiffScalars(
+    const std::vector<MetricsSnapshot::Scalar>& cur,
+    const std::vector<MetricsSnapshot::Scalar>& prev) {
+  std::vector<MetricsSnapshot::Scalar> out;
+  out.reserve(cur.size());
+  std::size_t p = 0;
+  for (const auto& c : cur) {
+    while (p < prev.size() && prev[p].name < c.name) ++p;
+    const std::int64_t base =
+        (p < prev.size() && prev[p].name == c.name) ? prev[p].value : 0;
+    out.push_back({c.name, c.value - base});
+  }
+  return out;
+}
+
+const MetricsSnapshot::Histogram* FindHistogram(
+    const std::vector<MetricsSnapshot::Histogram>& hists,
+    const std::string& name) {
+  for (const auto& h : hists) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// TelemetryRegistry: slot assignment.
+// ---------------------------------------------------------------------------
+
+/// Thread-exit hook, same shape as epoch.h's ThreadSlotHolder: the
+/// destructor returns the slot to the (immortal) registry's free list.
+/// Cell values are deliberately NOT cleared — a recycled slot carries
+/// the previous owner's counts forward, so aggregates never go
+/// backwards when threads churn.
+struct TelemetrySlotHandle {
+  int slot = -1;
+  ~TelemetrySlotHandle() {
+    if (slot >= 0) TelemetryRegistry::Global().ReleaseSlot(slot);
+  }
+};
+
+namespace {
+thread_local TelemetrySlotHandle t_telemetry_slot;
+}  // namespace
+
+TelemetryRegistry& TelemetryRegistry::Global() {
+  // Leaked on purpose (see ~TelemetryRegistry): worker threads exiting
+  // after main() still release their slots into a live registry.
+  static TelemetryRegistry* const registry = [] {
+    auto* r = new TelemetryRegistry();
+    r->start_ns_ = NowNs();
+    return r;
+  }();
+  return *registry;
+}
+
+int TelemetryRegistry::ThreadSlot() {
+  if (t_telemetry_slot.slot < 0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!free_slots_.empty()) {
+      t_telemetry_slot.slot = free_slots_.back();
+      free_slots_.pop_back();
+    } else {
+      t_telemetry_slot.slot =
+          slot_high_water_.load(std::memory_order_relaxed);
+      slot_high_water_.store(t_telemetry_slot.slot + 1,
+                             std::memory_order_release);
+    }
+  }
+  return t_telemetry_slot.slot;
+}
+
+void TelemetryRegistry::ReleaseSlot(int slot) {
+  std::lock_guard<std::mutex> lock(mu_);
+  free_slots_.push_back(slot);
+}
+
+std::int64_t TelemetryRegistry::slots_created() { return SlotHighWater(); }
+
+std::int64_t TelemetryRegistry::slots_free() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<std::int64_t>(free_slots_.size());
+}
+
+// ---------------------------------------------------------------------------
+// TelemetryRegistry: instruments.
+// ---------------------------------------------------------------------------
+
+TelemetryCounter* TelemetryRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(name, new TelemetryCounter(this, name)).first;
+  }
+  return it->second;
+}
+
+TelemetryGauge* TelemetryRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(name, new TelemetryGauge(this, name)).first;
+  }
+  return it->second;
+}
+
+TelemetryHistogram* TelemetryRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(name, new TelemetryHistogram(this, name)).first;
+  }
+  return it->second;
+}
+
+std::int64_t TelemetryRegistry::RegisterObservable(
+    std::string name, std::function<std::int64_t()> poll) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::int64_t id = next_observable_id_++;
+  observables_.push_back({id, std::move(name), std::move(poll)});
+  return id;
+}
+
+void TelemetryRegistry::UnregisterObservable(std::int64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  observables_.erase(
+      std::remove_if(observables_.begin(), observables_.end(),
+                     [id](const Observable& o) { return o.id == id; }),
+      observables_.end());
+}
+
+MetricsSnapshot TelemetryRegistry::Snapshot() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const int slots = SlotHighWater();
+  MetricsSnapshot snap;
+  snap.ts_ns = NowNs() - start_ns_;
+
+  for (const auto& [name, counter] : counters_) {
+    std::int64_t total = 0;
+    for (int s = 0; s < slots; ++s) {
+      if (const auto* cell = counter->cells_.Peek(s)) {
+        total += cell->value.load(std::memory_order_relaxed);
+      }
+    }
+    snap.counters.push_back({name, total});
+  }
+
+  for (const auto& [name, gauge] : gauges_) {
+    std::int64_t total = 0;
+    for (int s = 0; s < slots; ++s) {
+      if (const auto* cell = gauge->cells_.Peek(s)) {
+        total += cell->value.load(std::memory_order_relaxed);
+      }
+    }
+    snap.gauges.push_back({name, total});
+  }
+
+  for (const auto& [name, hist] : histograms_) {
+    MetricsSnapshot::Histogram h;
+    h.name = name;
+    h.buckets.assign(
+        static_cast<std::size_t>(LatencyHistogram::NumBuckets()), 0);
+    for (int s = 0; s < slots; ++s) {
+      const auto* cell = hist->cells_.Peek(s);
+      if (cell == nullptr) continue;
+      const auto* data = cell->data.load(std::memory_order_acquire);
+      if (data == nullptr) continue;
+      for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+        h.buckets[b] += data->buckets[b].load(std::memory_order_relaxed);
+      }
+      h.sum += data->sum.load(std::memory_order_relaxed);
+    }
+    // Count is derived from the buckets (not the per-cell count atomic)
+    // so interval bucket-deltas telescope exactly to the total: the two
+    // atomics are incremented separately and a snapshot may land in
+    // between.
+    for (const std::int64_t b : h.buckets) h.count += b;
+    snap.histograms.push_back(std::move(h));
+  }
+
+  // Observables: poll under mu_, summing duplicates of the same name.
+  std::map<std::string, std::int64_t> polled;
+  for (const auto& o : observables_) polled[o.name] += o.poll();
+  for (const auto& [name, value] : polled) {
+    snap.observables.push_back({name, value});
+  }
+  return snap;
+}
+
+// ---------------------------------------------------------------------------
+// Instruments: hot paths.
+// ---------------------------------------------------------------------------
+
+#if defined(LISPOISON_TELEMETRY_DISABLED)
+
+void TelemetryCounter::Add(std::int64_t n) { (void)n; }
+void TelemetryGauge::Add(std::int64_t delta) { (void)delta; }
+void TelemetryHistogram::Record(std::int64_t value) { (void)value; }
+
+#else
+
+void TelemetryCounter::Add(std::int64_t n) {
+  if (n <= 0 || !registry_->enabled()) return;
+  auto* cell = cells_.ForSlot(registry_->ThreadSlot());
+  if (cell != nullptr) cell->value.fetch_add(n, std::memory_order_relaxed);
+}
+
+void TelemetryGauge::Add(std::int64_t delta) {
+  if (delta == 0 || !registry_->enabled()) return;
+  auto* cell = cells_.ForSlot(registry_->ThreadSlot());
+  if (cell != nullptr) cell->value.fetch_add(delta, std::memory_order_relaxed);
+}
+
+void TelemetryHistogram::Record(std::int64_t value) {
+  if (!registry_->enabled()) return;
+  auto* data = CellData();
+  if (data == nullptr) return;
+  if (value < 0) value = 0;
+  const int index = LatencyHistogram::BucketIndexOf(value);
+  data->buckets[static_cast<std::size_t>(index)].fetch_add(
+      1, std::memory_order_relaxed);
+  data->count.fetch_add(1, std::memory_order_relaxed);
+  data->sum.fetch_add(value, std::memory_order_relaxed);
+}
+
+#endif  // LISPOISON_TELEMETRY_DISABLED
+
+telemetry_internal::HistogramCellData* TelemetryHistogram::CellData() {
+  auto* cell = cells_.ForSlot(registry_->ThreadSlot());
+  if (cell == nullptr) return nullptr;
+  auto* data = cell->data.load(std::memory_order_acquire);
+  if (data == nullptr) {
+    auto* fresh = new telemetry_internal::HistogramCellData();
+    if (cell->data.compare_exchange_strong(data, fresh,
+                                           std::memory_order_acq_rel)) {
+      data = fresh;
+    } else {
+      delete fresh;  // A recycled slot's previous owner already installed.
+    }
+  }
+  return data;
+}
+
+std::int64_t TelemetryCounter::Value() const {
+  const int slots = registry_->SlotHighWater();
+  std::int64_t total = 0;
+  for (int s = 0; s < slots; ++s) {
+    if (const auto* cell = cells_.Peek(s)) {
+      total += cell->value.load(std::memory_order_relaxed);
+    }
+  }
+  return total;
+}
+
+std::int64_t TelemetryGauge::Value() const {
+  const int slots = registry_->SlotHighWater();
+  std::int64_t total = 0;
+  for (int s = 0; s < slots; ++s) {
+    if (const auto* cell = cells_.Peek(s)) {
+      total += cell->value.load(std::memory_order_relaxed);
+    }
+  }
+  return total;
+}
+
+std::int64_t TelemetryHistogram::Count() const {
+  const int slots = registry_->SlotHighWater();
+  std::int64_t total = 0;
+  for (int s = 0; s < slots; ++s) {
+    const auto* cell = cells_.Peek(s);
+    if (cell == nullptr) continue;
+    const auto* data = cell->data.load(std::memory_order_acquire);
+    if (data != nullptr) {
+      total += data->count.load(std::memory_order_relaxed);
+    }
+  }
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// ObservableGauge.
+// ---------------------------------------------------------------------------
+
+ObservableGauge::ObservableGauge(std::string name,
+                                 std::function<std::int64_t()> poll)
+    : id_(TelemetryRegistry::Global().RegisterObservable(std::move(name),
+                                                         std::move(poll))) {}
+
+ObservableGauge::~ObservableGauge() { Reset(); }
+
+ObservableGauge::ObservableGauge(ObservableGauge&& other) noexcept
+    : id_(other.id_) {
+  other.id_ = 0;
+}
+
+ObservableGauge& ObservableGauge::operator=(ObservableGauge&& other) noexcept {
+  if (this != &other) {
+    Reset();
+    id_ = other.id_;
+    other.id_ = 0;
+  }
+  return *this;
+}
+
+void ObservableGauge::Reset() {
+  if (id_ != 0) {
+    TelemetryRegistry::Global().UnregisterObservable(id_);
+    id_ = 0;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// TelemetrySampler.
+// ---------------------------------------------------------------------------
+
+TelemetrySampler::TelemetrySampler(TelemetryRegistry* registry)
+    : registry_(registry != nullptr ? registry
+                                    : &TelemetryRegistry::Global()) {}
+
+TelemetrySampler::~TelemetrySampler() { Stop(); }
+
+void TelemetrySampler::Start(std::int64_t interval_ms) {
+  Stop();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    baseline_ = registry_->Snapshot();
+    prev_ = baseline_;
+    rows_.clear();
+    started_ = true;
+  }
+  if (interval_ms > 0) {
+    {
+      std::lock_guard<std::mutex> lock(wake_mu_);
+      stop_ = false;
+    }
+    thread_ = std::thread([this, interval_ms] {
+      std::unique_lock<std::mutex> lock(wake_mu_);
+      while (!stop_) {
+        wake_cv_.wait_for(lock, std::chrono::milliseconds(interval_ms),
+                          [this] { return stop_; });
+        if (stop_) break;
+        lock.unlock();
+        SampleNow();
+        lock.lock();
+      }
+    });
+  }
+}
+
+void TelemetrySampler::Stop() {
+  if (thread_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(wake_mu_);
+      stop_ = true;
+    }
+    wake_cv_.notify_all();
+    thread_.join();
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (started_) {
+    SampleLocked();  // Final boundary: no tail activity is lost.
+    started_ = false;
+  }
+}
+
+std::size_t TelemetrySampler::SampleNow() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!started_) return rows_.empty() ? 0 : rows_.size() - 1;
+  SampleLocked();
+  return rows_.size() - 1;
+}
+
+void TelemetrySampler::SampleLocked() {
+  MetricsSnapshot cur = registry_->Snapshot();
+  TelemetryIntervalRow row;
+  row.t_start_ns = prev_.ts_ns;
+  row.t_end_ns = cur.ts_ns;
+  row.counter_deltas = DiffScalars(cur.counters, prev_.counters);
+  row.gauge_values = cur.gauges;
+  row.observable_values = cur.observables;
+  for (const auto& h : cur.histograms) {
+    const MetricsSnapshot::Histogram* base =
+        FindHistogram(prev_.histograms, h.name);
+    TelemetryIntervalRow::IntervalHistogram ih;
+    ih.name = h.name;
+    for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+      const std::int64_t delta =
+          h.buckets[b] - (base != nullptr ? base->buckets[b] : 0);
+      if (delta > 0) {
+        ih.histogram.RecordBucket(static_cast<int>(b), delta);
+        ih.count += delta;
+      }
+    }
+    row.histograms.push_back(std::move(ih));
+  }
+  rows_.push_back(std::move(row));
+  prev_ = std::move(cur);
+}
+
+std::vector<TelemetryIntervalRow> TelemetrySampler::Rows() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rows_;
+}
+
+MetricsSnapshot TelemetrySampler::TotalsSinceStart() {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot cur = registry_->Snapshot();
+  MetricsSnapshot totals;
+  totals.ts_ns = cur.ts_ns;
+  totals.counters = DiffScalars(cur.counters, baseline_.counters);
+  totals.gauges = cur.gauges;            // Levels, not deltas.
+  totals.observables = cur.observables;  // Levels, not deltas.
+  for (const auto& h : cur.histograms) {
+    const MetricsSnapshot::Histogram* base =
+        FindHistogram(baseline_.histograms, h.name);
+    MetricsSnapshot::Histogram out;
+    out.name = h.name;
+    out.sum = h.sum - (base != nullptr ? base->sum : 0);
+    out.buckets.assign(h.buckets.size(), 0);
+    for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+      out.buckets[b] = h.buckets[b] - (base != nullptr ? base->buckets[b] : 0);
+      out.count += out.buckets[b];
+    }
+    totals.histograms.push_back(std::move(out));
+  }
+  return totals;
+}
+
+// ---------------------------------------------------------------------------
+// TraceSession.
+// ---------------------------------------------------------------------------
+
+const char* TraceCategoryName(TraceCategory cat) {
+  switch (cat) {
+    case TraceCategory::kServing:
+      return "serving";
+    case TraceCategory::kDriver:
+      return "driver";
+    case TraceCategory::kAttack:
+      return "attack";
+    case TraceCategory::kBench:
+      return "bench";
+  }
+  return "unknown";
+}
+
+/// Thread-exit hook returning the ring to the free list; a recycled
+/// ring keeps its tid and its events (the exporter still sees them).
+struct TraceRingHandle {
+  TraceSession::Ring* ring = nullptr;
+  ~TraceRingHandle() {
+    if (ring != nullptr) TraceSession::Global().ReleaseRing(ring);
+  }
+};
+
+namespace {
+thread_local TraceRingHandle t_trace_ring;
+
+std::int64_t RoundUpPow2(std::int64_t v) {
+  std::int64_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+}  // namespace
+
+TraceSession::Ring::Ring(std::int64_t capacity)
+    : slots(static_cast<std::size_t>(capacity)) {}
+
+TraceSession& TraceSession::Global() {
+  static TraceSession* const session = [] {
+    auto* s = new TraceSession();
+    s->start_ns_ = NowNs();
+    return s;
+  }();
+  return *session;
+}
+
+void TraceSession::Start(std::int64_t events_per_thread) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Rings already handed out keep their old capacity; pick the ring
+  // size before the first traced event.
+  capacity_ = RoundUpPow2(std::max<std::int64_t>(16, events_per_thread));
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void TraceSession::Stop() { enabled_.store(false, std::memory_order_relaxed); }
+
+TraceSession::Ring* TraceSession::LocalRing() {
+  if (t_trace_ring.ring == nullptr) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!free_rings_.empty()) {
+      t_trace_ring.ring = free_rings_.back();
+      free_rings_.pop_back();
+    } else {
+      auto* ring = new Ring(capacity_);
+      ring->tid = static_cast<int>(rings_.size()) + 1;
+      rings_.push_back(ring);
+      t_trace_ring.ring = ring;
+    }
+  }
+  return t_trace_ring.ring;
+}
+
+void TraceSession::ReleaseRing(Ring* ring) {
+  std::lock_guard<std::mutex> lock(mu_);
+  free_rings_.push_back(ring);
+}
+
+void TraceSession::Record(char phase, TraceCategory cat, const char* name,
+                          std::int64_t arg) {
+  if (!enabled()) return;
+  Ring* ring = LocalRing();
+  const std::uint64_t c = ring->cursor.load(std::memory_order_relaxed);
+  const std::uint64_t mask = ring->slots.size() - 1;
+  Slot& slot = ring->slots[static_cast<std::size_t>(c & mask)];
+  // Single-writer seqlock: odd while the fields are in flight, then the
+  // generation-stamped even value 2c+2. A concurrent exporter that sees
+  // anything but the even stamp for the generation it wants skips the
+  // slot — drop-oldest without tearing, and every field is an atomic so
+  // the protocol is TSan-clean.
+  slot.seq.store(2 * c + 1, std::memory_order_relaxed);
+  slot.ts_ns.store(NowNs() - start_ns_, std::memory_order_relaxed);
+  slot.name.store(name, std::memory_order_relaxed);
+  slot.arg.store(arg, std::memory_order_relaxed);
+  slot.cat.store(static_cast<std::uint8_t>(cat), std::memory_order_relaxed);
+  slot.phase.store(phase, std::memory_order_relaxed);
+  slot.seq.store(2 * c + 2, std::memory_order_release);
+  ring->cursor.store(c + 1, std::memory_order_release);
+  recorded_.fetch_add(1, std::memory_order_relaxed);
+  if (c >= ring->slots.size()) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);  // Overwrote one.
+  }
+}
+
+std::int64_t TraceSession::dropped() const {
+  return dropped_.load(std::memory_order_relaxed);
+}
+
+std::int64_t TraceSession::recorded() const {
+  return recorded_.load(std::memory_order_relaxed);
+}
+
+void TraceSession::WriteJson(std::ostream* os) {
+  struct Event {
+    int tid;
+    std::int64_t ts_ns;
+    const char* name;
+    std::uint8_t cat;
+    char phase;
+    std::int64_t arg;
+  };
+
+  // Pass 1: lift every stable slot out of the rings, per ring in
+  // logical (== chronological) order. A slot whose sequence is not the
+  // even generation stamp is in flight or already overwritten — skip.
+  std::vector<std::vector<Event>> per_ring;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    per_ring.reserve(rings_.size());
+    for (const Ring* ring : rings_) {
+      std::vector<Event> events;
+      const std::uint64_t cursor =
+          ring->cursor.load(std::memory_order_acquire);
+      const std::uint64_t size = ring->slots.size();
+      const std::uint64_t begin = cursor > size ? cursor - size : 0;
+      for (std::uint64_t j = begin; j < cursor; ++j) {
+        const Slot& slot = ring->slots[static_cast<std::size_t>(j & (size - 1))];
+        const std::uint64_t want = 2 * j + 2;
+        if (slot.seq.load(std::memory_order_acquire) != want) continue;
+        Event e;
+        e.tid = ring->tid;
+        e.ts_ns = slot.ts_ns.load(std::memory_order_relaxed);
+        e.name = slot.name.load(std::memory_order_relaxed);
+        e.cat = slot.cat.load(std::memory_order_relaxed);
+        e.phase = slot.phase.load(std::memory_order_relaxed);
+        e.arg = slot.arg.load(std::memory_order_relaxed);
+        if (slot.seq.load(std::memory_order_acquire) != want) continue;
+        if (e.name == nullptr) continue;
+        events.push_back(e);
+      }
+      per_ring.push_back(std::move(events));
+    }
+  }
+
+  // Pass 2: per ring (== per tid), drop begin/end events whose partner
+  // fell off the ring so the exported stream always balances B/E.
+  JsonWriter w(os, /*pretty=*/false);
+  w.BeginObject();
+  w.Key("traceEvents");
+  w.BeginArray();
+  for (const auto& events : per_ring) {
+    std::vector<bool> keep(events.size(), false);
+    std::vector<std::size_t> open;  // Indices of unmatched 'B' events.
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      switch (events[i].phase) {
+        case 'B':
+          open.push_back(i);
+          break;
+        case 'E':
+          if (!open.empty()) {
+            keep[open.back()] = true;
+            keep[i] = true;
+            open.pop_back();
+          }
+          break;
+        default:
+          keep[i] = true;
+          break;
+      }
+    }
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      if (!keep[i]) continue;
+      const Event& e = events[i];
+      w.BeginObject();
+      w.KV("name", e.name);
+      w.KV("cat", TraceCategoryName(static_cast<TraceCategory>(e.cat)));
+      w.KV("ph", std::string(1, e.phase));
+      w.KV("ts", static_cast<double>(e.ts_ns) / 1000.0);
+      w.KV("pid", 1);
+      w.KV("tid", e.tid);
+      if (e.phase == 'i') w.KV("s", "t");  // Thread-scoped instant.
+      w.Key("args");
+      w.BeginObject();
+      w.KV("v", e.arg);
+      w.EndObject();
+      w.EndObject();
+    }
+  }
+  w.EndArray();
+  w.KV("displayTimeUnit", "ms");
+  w.EndObject();
+}
+
+Status TraceSession::WriteJsonFile(const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::IOError("cannot open trace output: " + path);
+  }
+  WriteJson(&out);
+  out << "\n";
+  if (!out.good()) return Status::IOError("failed writing trace: " + path);
+  return Status::OK();
+}
+
+}  // namespace lispoison

@@ -1,0 +1,561 @@
+// Copyright (c) lispoison authors. Licensed under the MIT license.
+//
+// Runtime telemetry for the serving and attack engines: a process-wide
+// metric registry, interval time-series aggregation, and trace-event
+// spans. The design constraint comes from PR 6's serving contract: the
+// read path is lock-free (WriterMutex aborts the process if a shard
+// lock is ever taken inside it), so instrumentation on that path must
+// be lock-free too. Every hot-path Record()/Add() is a relaxed atomic
+// op on a cache-line-padded per-thread cell — no mutex, no CAS loop,
+// no shared cache line between recording threads.
+//
+// Three instrument kinds:
+//
+//   * Counter — monotonically increasing. Add(n) is one relaxed
+//     fetch_add on the calling thread's private cell; the aggregate is
+//     the sum over all cells. Interval rows report nonnegative deltas
+//     of the aggregate.
+//   * Gauge — an up/down level maintained by signed deltas (the only
+//     gauge shape that aggregates exactly from per-thread cells: the
+//     level is the sum of every thread's contributions). Levels owned
+//     by one logical writer at a time (a shard overlay under its
+//     writer mutex) are exact; see ObservableGauge for levels that are
+//     cheaper to poll than to maintain.
+//   * IntervalHistogram — a LatencyHistogram-bucket-compatible array of
+//     relaxed atomics per thread. The sampler aggregates bucket counts
+//     and reconstructs interval LatencyHistograms from consecutive
+//     deltas, so interval counts sum *exactly* to the end-of-run total.
+//
+// Per-thread storage follows common/epoch.h's slot-slab idiom: the
+// registry assigns each thread a small slot index from a free list
+// (mutex only on a thread's FIRST record, exactly like
+// EpochDomain::LocalSlot); each instrument lazily grows pointer-stable
+// slabs of padded cells indexed by slot (CAS-installed, never moved,
+// never freed). A thread returns its slot at exit but its cell values
+// stay — recycling never loses counts, which the telemetry tests pin.
+//
+// ObservableGauge registers a callback polled only at Snapshot() time
+// (on the sampler thread, never on a hot path), for levels that already
+// have a cheap accessor: ThreadPool::queue_depth(), a backend's
+// overlay_size(), EpochDomain's limbo_size().
+//
+// TelemetrySampler turns cumulative snapshots into timestamped interval
+// rows — either on its own background thread (interval_ms > 0) or at
+// explicit SampleNow() boundaries (the deterministic-test mode).
+//
+// TraceSession adds begin/end spans and instant events: one bounded
+// ring buffer per thread (single writer), each slot a seqlock of
+// relaxed atomics so the exporter can read concurrently without tearing
+// and writers drop-oldest without blocking. WriteJson emits Chrome
+// trace_event format (load in chrome://tracing or https://ui.perfetto.dev).
+//
+// Compile-time kill switch: building with -DLISPOISON_TELEMETRY_DISABLED
+// compiles every Record()/Add()/span body to nothing (no atomic, no
+// enabled check). The whole binary must be compiled one way — the
+// macro is a build-level switch, not a per-file one (CMake option
+// LISPOISON_TELEMETRY_DISABLED; tests/telemetry_disabled_test.cc is a
+// self-contained binary compiled in that mode).
+
+#ifndef LISPOISON_COMMON_TELEMETRY_H_
+#define LISPOISON_COMMON_TELEMETRY_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/latency_histogram.h"
+#include "common/status.h"
+
+namespace lispoison {
+
+class TelemetryRegistry;
+
+namespace telemetry_internal {
+
+/// One padded per-thread scalar cell: recording threads never share a
+/// cache line, and the aggregating reader pays at most one line per
+/// thread per instrument.
+struct alignas(64) ScalarCell {
+  std::atomic<std::int64_t> value{0};
+};
+
+/// Per-thread histogram storage, lazily allocated on a thread's first
+/// Record into this instrument (most threads touch one or two
+/// histograms; eager allocation would cost ~15 KB per thread per
+/// instrument). count/sum are exact; buckets use LatencyHistogram's
+/// mapping so interval reconstruction is bucket-exact.
+struct HistogramCellData {
+  std::vector<std::atomic<std::int64_t>> buckets;
+  std::atomic<std::int64_t> count{0};
+  std::atomic<std::int64_t> sum{0};
+  HistogramCellData()
+      : buckets(static_cast<std::size_t>(LatencyHistogram::NumBuckets())) {}
+};
+
+struct alignas(64) HistogramCell {
+  std::atomic<HistogramCellData*> data{nullptr};
+};
+
+constexpr int kSlabSize = 64;    // Slots per slab (matches epoch.h).
+constexpr int kMaxSlabs = 64;    // 4096 concurrent recording threads.
+
+/// Pointer-stable slab chain: slabs_[i] is CAS-installed once and never
+/// moved or freed, so a recording thread can cache nothing and still
+/// reach its cell with two relaxed/acquire loads.
+template <typename Cell>
+class CellSlabs {
+ public:
+  ~CellSlabs() {
+    for (auto& slab : slabs_) delete[] slab.load(std::memory_order_acquire);
+  }
+
+  /// The cell for \p slot, allocating its slab on first touch (lock-free:
+  /// losers of the install race delete their copy). Returns nullptr only
+  /// past the 4096-slot arena, where recording degrades to a no-op.
+  Cell* ForSlot(int slot) {
+    const int slab_index = slot / kSlabSize;
+    if (slab_index < 0 || slab_index >= kMaxSlabs) return nullptr;
+    std::atomic<Cell*>& entry = slabs_[static_cast<std::size_t>(slab_index)];
+    Cell* slab = entry.load(std::memory_order_acquire);
+    if (slab == nullptr) {
+      Cell* fresh = new Cell[kSlabSize];
+      if (entry.compare_exchange_strong(slab, fresh,
+                                        std::memory_order_acq_rel)) {
+        slab = fresh;
+      } else {
+        delete[] fresh;  // Another thread won the install.
+      }
+    }
+    return slab + (slot % kSlabSize);
+  }
+
+  /// The cell for \p slot if its slab exists (aggregation side).
+  const Cell* Peek(int slot) const {
+    const int slab_index = slot / kSlabSize;
+    if (slab_index < 0 || slab_index >= kMaxSlabs) return nullptr;
+    const Cell* slab =
+        slabs_[static_cast<std::size_t>(slab_index)].load(
+            std::memory_order_acquire);
+    return slab == nullptr ? nullptr : slab + (slot % kSlabSize);
+  }
+
+ private:
+  std::atomic<Cell*> slabs_[kMaxSlabs] = {};
+};
+
+}  // namespace telemetry_internal
+
+/// \brief Monotonic counter. Obtain via TelemetryRegistry::GetCounter;
+/// instruments are process-lived (never freed), so the pointer may be
+/// cached anywhere, including across threads.
+class TelemetryCounter {
+ public:
+  /// \brief Adds \p n (negative values are ignored — counters are
+  /// monotone by contract). One relaxed fetch_add on the calling
+  /// thread's padded cell; safe on the lock-free read path.
+  void Add(std::int64_t n);
+
+  /// \brief Cumulative sum over every thread's cell.
+  std::int64_t Value() const;
+
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class TelemetryRegistry;
+  explicit TelemetryCounter(TelemetryRegistry* registry, std::string name)
+      : registry_(registry), name_(std::move(name)) {}
+
+  TelemetryRegistry* registry_;
+  std::string name_;
+  telemetry_internal::CellSlabs<telemetry_internal::ScalarCell> cells_;
+};
+
+/// \brief Up/down gauge maintained by signed deltas. The level is the
+/// sum of every thread's contributions, so multi-threaded maintenance
+/// aggregates exactly (unlike last-writer-wins Set semantics, which
+/// cannot be merged across per-thread cells).
+class TelemetryGauge {
+ public:
+  /// \brief Adds \p delta (may be negative). Relaxed, mutex-free.
+  void Add(std::int64_t delta);
+
+  /// \brief Current level: the sum over every thread's cell.
+  std::int64_t Value() const;
+
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class TelemetryRegistry;
+  explicit TelemetryGauge(TelemetryRegistry* registry, std::string name)
+      : registry_(registry), name_(std::move(name)) {}
+
+  TelemetryRegistry* registry_;
+  std::string name_;
+  telemetry_internal::CellSlabs<telemetry_internal::ScalarCell> cells_;
+};
+
+/// \brief Interval histogram over non-negative int64 values, bucketed
+/// exactly like LatencyHistogram. Record is a bucket-index computation
+/// plus three relaxed fetch_adds on the thread's private cell.
+class TelemetryHistogram {
+ public:
+  void Record(std::int64_t value);
+
+  /// \brief Cumulative recorded-value count across all threads.
+  std::int64_t Count() const;
+
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class TelemetryRegistry;
+  explicit TelemetryHistogram(TelemetryRegistry* registry, std::string name)
+      : registry_(registry), name_(std::move(name)) {}
+
+  telemetry_internal::HistogramCellData* CellData();
+
+  TelemetryRegistry* registry_;
+  std::string name_;
+  telemetry_internal::CellSlabs<telemetry_internal::HistogramCell> cells_;
+};
+
+/// \brief RAII registration of a poll-at-snapshot gauge. The callback
+/// runs only inside TelemetryRegistry::Snapshot() under the registry
+/// mutex (sampler thread, never a hot path), so it may take locks —
+/// ThreadPool::queue_depth(), EpochDomain::limbo_size(), a backend's
+/// overlay_size() are all fine. The destructor unregisters and blocks
+/// until any in-flight Snapshot() finishes, so the callback never
+/// outlives what it captures. Multiple observables may share a name;
+/// the snapshot reports their sum.
+class ObservableGauge {
+ public:
+  ObservableGauge() = default;
+  ObservableGauge(std::string name, std::function<std::int64_t()> poll);
+  ~ObservableGauge();
+
+  ObservableGauge(ObservableGauge&& other) noexcept;
+  ObservableGauge& operator=(ObservableGauge&& other) noexcept;
+  ObservableGauge(const ObservableGauge&) = delete;
+  ObservableGauge& operator=(const ObservableGauge&) = delete;
+
+  void Reset();  ///< Unregisters now (idempotent).
+
+ private:
+  std::int64_t id_ = 0;  // 0 = not registered.
+};
+
+/// \brief One cumulative aggregate view of every instrument.
+struct MetricsSnapshot {
+  std::int64_t ts_ns = 0;  ///< Monotonic, from the registry's epoch.
+
+  struct Scalar {
+    std::string name;
+    std::int64_t value = 0;
+  };
+  struct Histogram {
+    std::string name;
+    std::int64_t count = 0;
+    std::int64_t sum = 0;
+    std::vector<std::int64_t> buckets;
+  };
+
+  std::vector<Scalar> counters;      ///< Sorted by name.
+  std::vector<Scalar> gauges;        ///< Sorted by name (delta gauges).
+  std::vector<Scalar> observables;   ///< Sorted by name (summed per name).
+  std::vector<Histogram> histograms; ///< Sorted by name.
+};
+
+/// \brief One timestamped interval: deltas between two snapshots.
+struct TelemetryIntervalRow {
+  std::int64_t t_start_ns = 0;
+  std::int64_t t_end_ns = 0;
+
+  /// Counter deltas over the interval (nonnegative by monotonicity).
+  std::vector<MetricsSnapshot::Scalar> counter_deltas;
+  /// Gauge / observable levels at the interval's end.
+  std::vector<MetricsSnapshot::Scalar> gauge_values;
+  std::vector<MetricsSnapshot::Scalar> observable_values;
+
+  struct IntervalHistogram {
+    std::string name;
+    std::int64_t count = 0;       ///< Values recorded this interval.
+    LatencyHistogram histogram;   ///< Reconstructed from bucket deltas.
+  };
+  std::vector<IntervalHistogram> histograms;
+};
+
+/// \brief The process-wide instrument registry. Like EpochDomain it is
+/// an intentionally immortal singleton: worker threads exiting at
+/// process teardown still reach a live free list, and instrument
+/// pointers never dangle.
+class TelemetryRegistry {
+ public:
+  static TelemetryRegistry& Global();
+
+  /// \name Instrument lookup-or-create. Takes the registry mutex (setup
+  /// path, not hot); returns a stable pointer owned by the registry.
+  /// Re-requesting a name returns the same instrument.
+  /// @{
+  TelemetryCounter* GetCounter(const std::string& name);
+  TelemetryGauge* GetGauge(const std::string& name);
+  TelemetryHistogram* GetHistogram(const std::string& name);
+  /// @}
+
+  /// \brief Runtime kill switch (one relaxed load per Record when hot).
+  /// Telemetry starts enabled; the bench's overhead arm flips it off.
+  /// The LISPOISON_TELEMETRY_DISABLED macro removes even this load.
+  void SetEnabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// \brief Aggregates every instrument's cells (relaxed loads) and
+  /// polls every observable. Safe to call concurrently with recording;
+  /// values are monotone-consistent per cell, not a cross-instrument
+  /// atomic cut — exactly the guarantee interval deltas need.
+  MetricsSnapshot Snapshot();
+
+  /// \brief Slot-arena diagnostics (mirrors EpochDomain).
+  std::int64_t slots_created();
+  std::int64_t slots_free();
+
+ private:
+  friend class TelemetryCounter;
+  friend class TelemetryGauge;
+  friend class TelemetryHistogram;
+  friend class ObservableGauge;
+  friend struct TelemetrySlotHandle;
+
+  TelemetryRegistry() = default;
+  ~TelemetryRegistry() = delete;  // Singleton: intentionally immortal.
+
+  /// The calling thread's slot index, assigned on first use from the
+  /// free list and returned at thread exit (cell values persist).
+  int ThreadSlot();
+  void ReleaseSlot(int slot);
+  /// Slots ever handed out — the aggregation bound. Atomic so Value()
+  /// can read it without taking mu_ (Snapshot holds mu_ while summing).
+  int SlotHighWater() const {
+    return slot_high_water_.load(std::memory_order_acquire);
+  }
+
+  std::int64_t RegisterObservable(std::string name,
+                                  std::function<std::int64_t()> poll);
+  void UnregisterObservable(std::int64_t id);
+
+  std::atomic<bool> enabled_{true};
+  std::int64_t start_ns_ = -1;  // Set on first Snapshot (under mutex).
+
+  std::mutex mu_;  // Instrument maps, slot free list, observables.
+  std::map<std::string, TelemetryCounter*> counters_;
+  std::map<std::string, TelemetryGauge*> gauges_;
+  std::map<std::string, TelemetryHistogram*> histograms_;
+  std::vector<int> free_slots_;
+  std::atomic<int> slot_high_water_{0};
+
+  struct Observable {
+    std::int64_t id;
+    std::string name;
+    std::function<std::int64_t()> poll;
+  };
+  std::vector<Observable> observables_;
+  std::int64_t next_observable_id_ = 1;
+};
+
+/// \brief Turns cumulative snapshots into timestamped interval rows.
+///
+/// Two modes, combinable: a background thread samples every
+/// \p interval_ms (0 = no thread), and SampleNow() forces a boundary —
+/// the deterministic-test and per-config-boundary mode. Rows are
+/// contiguous: each row's t_start_ns is the previous row's t_end_ns,
+/// and by construction the rows' counter/histogram deltas sum exactly
+/// to TotalsSinceStart().
+class TelemetrySampler {
+ public:
+  explicit TelemetrySampler(TelemetryRegistry* registry = nullptr);
+  ~TelemetrySampler();
+
+  TelemetrySampler(const TelemetrySampler&) = delete;
+  TelemetrySampler& operator=(const TelemetrySampler&) = delete;
+
+  /// \brief Takes the baseline snapshot; with \p interval_ms > 0 also
+  /// starts the background sampling thread.
+  void Start(std::int64_t interval_ms = 0);
+
+  /// \brief Stops the background thread (if any) and takes one final
+  /// boundary sample so no tail activity is lost.
+  void Stop();
+
+  /// \brief Forces an interval boundary now; returns the row index.
+  /// Empty intervals (no counter/histogram movement AND no background
+  /// thread) still produce a row — callers use boundaries as markers.
+  std::size_t SampleNow();
+
+  /// \brief Rows so far (copy: the background thread keeps appending).
+  std::vector<TelemetryIntervalRow> Rows();
+
+  /// \brief Cumulative deltas since Start(): what the rows sum to.
+  MetricsSnapshot TotalsSinceStart();
+
+ private:
+  void SampleLocked();  // Appends one row; caller holds mu_.
+
+  TelemetryRegistry* registry_;
+  std::mutex mu_;
+  MetricsSnapshot baseline_;
+  MetricsSnapshot prev_;
+  std::vector<TelemetryIntervalRow> rows_;
+  bool started_ = false;
+
+  std::thread thread_;
+  std::mutex wake_mu_;
+  std::condition_variable wake_cv_;
+  bool stop_ = false;
+};
+
+/// \brief Trace categories: the closed set tools/check_trace_json.py
+/// validates against.
+enum class TraceCategory : std::uint8_t {
+  kServing = 0,  ///< Backend: compaction, publish, rebuild events.
+  kDriver = 1,   ///< QueryDriver runs.
+  kAttack = 2,   ///< Attack-engine rounds.
+  kBench = 3,    ///< Bench/report phases.
+};
+
+const char* TraceCategoryName(TraceCategory cat);
+
+/// \brief Per-thread ring-buffer trace of begin/end spans and instant
+/// events with a Chrome trace_event JSON exporter.
+///
+/// Recording: one slot write in the calling thread's private ring —
+/// a per-slot seqlock of relaxed atomics (odd sequence while the writer
+/// fills the slot), so a concurrent exporter skips in-flight slots
+/// instead of tearing, and the single writer never blocks or drops a
+/// *new* event: the ring drops-oldest by overwriting. Event names must
+/// be string literals (static storage): the ring stores the pointer.
+class TraceSession {
+ public:
+  static TraceSession& Global();
+
+  /// \brief Enables recording with \p events_per_thread ring slots
+  /// (rounded up to a power of two, min 16). Re-Start clears nothing;
+  /// rings are recycled across threads like telemetry slots.
+  void Start(std::int64_t events_per_thread = 16384);
+
+  /// \brief Disables recording (rings keep their events for export).
+  void Stop();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// \brief Records one event; \p phase is 'B', 'E', or 'i'. \p name
+  /// must have static storage duration. \p arg rides into the exported
+  /// event's args.v (shard index, round number, ...).
+  void Record(char phase, TraceCategory cat, const char* name,
+              std::int64_t arg = 0);
+
+  /// \brief Events overwritten before export (drop-oldest casualties)
+  /// and events recorded, across all rings.
+  std::int64_t dropped() const;
+  std::int64_t recorded() const;
+
+  /// \brief Exports every ring as Chrome trace_event JSON. Safe while
+  /// recording continues (in-flight and overwritten slots are skipped);
+  /// per-thread event order and timestamp monotonicity are preserved.
+  /// Unmatched begin/end events (their partner fell off the ring) are
+  /// dropped so the output always balances B/E per tid.
+  void WriteJson(std::ostream* os);
+
+  /// \brief WriteJson to a file path.
+  Status WriteJsonFile(const std::string& path);
+
+ private:
+  struct alignas(64) Slot {
+    std::atomic<std::uint64_t> seq{0};  // Even = stable, odd = writing.
+    std::atomic<std::int64_t> ts_ns{0};
+    std::atomic<const char*> name{nullptr};
+    std::atomic<std::int64_t> arg{0};
+    std::atomic<std::uint8_t> cat{0};
+    std::atomic<char> phase{0};
+  };
+
+  struct Ring {
+    explicit Ring(std::int64_t capacity);
+    std::vector<Slot> slots;
+    std::atomic<std::uint64_t> cursor{0};  // Next write position.
+    int tid = 0;
+  };
+
+  TraceSession() = default;
+  ~TraceSession() = delete;  // Singleton: intentionally immortal.
+
+  Ring* LocalRing();
+  void ReleaseRing(Ring* ring);
+
+  friend struct TraceRingHandle;
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::int64_t> recorded_{0};
+  std::atomic<std::int64_t> dropped_{0};
+  std::int64_t capacity_ = 16384;
+  std::int64_t start_ns_ = 0;  // Session epoch for exported timestamps.
+
+  std::mutex mu_;               // Ring list + free list + capacity.
+  std::vector<Ring*> rings_;    // All rings ever created (immortal).
+  std::vector<Ring*> free_rings_;
+};
+
+#if defined(LISPOISON_TELEMETRY_DISABLED)
+
+/// Compiled-out span/instant: no ring write, no enabled load.
+class TraceSpan {
+ public:
+  TraceSpan(TraceCategory, const char*, std::int64_t = 0) {}
+};
+inline void TraceInstant(TraceCategory, const char*, std::int64_t = 0) {}
+
+#else
+
+/// \brief RAII begin/end span. The enabled check is latched at
+/// construction so a span never emits an unmatched end event when the
+/// session stops mid-span.
+class TraceSpan {
+ public:
+  TraceSpan(TraceCategory cat, const char* name, std::int64_t arg = 0)
+      : cat_(cat), name_(name) {
+    TraceSession& session = TraceSession::Global();
+    armed_ = session.enabled();
+    if (armed_) session.Record('B', cat_, name_, arg);
+  }
+  ~TraceSpan() {
+    if (armed_) TraceSession::Global().Record('E', cat_, name_);
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  TraceCategory cat_;
+  const char* name_;
+  bool armed_ = false;
+};
+
+/// \brief One instant event (rebuild failure, phase marker, ...).
+inline void TraceInstant(TraceCategory cat, const char* name,
+                         std::int64_t arg = 0) {
+  TraceSession& session = TraceSession::Global();
+  if (session.enabled()) session.Record('i', cat, name, arg);
+}
+
+#endif  // LISPOISON_TELEMETRY_DISABLED
+
+}  // namespace lispoison
+
+#endif  // LISPOISON_COMMON_TELEMETRY_H_

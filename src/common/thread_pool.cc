@@ -69,6 +69,18 @@ void ThreadPool::Wait() {
   done_cv_.wait(lock, [this] { return pending_ == 0; });
 }
 
+std::int64_t ThreadPool::queue_depth() {
+  std::unique_lock<std::mutex> lock(mu_);
+  return static_cast<std::int64_t>(queue_.size());
+}
+
+std::int64_t ThreadPool::active_workers() {
+  // pending_ counts queued + running, so the running share is the
+  // difference — both read under one lock acquisition for consistency.
+  std::unique_lock<std::mutex> lock(mu_);
+  return pending_ - static_cast<std::int64_t>(queue_.size());
+}
+
 void ThreadPool::ParallelFor(std::int64_t count,
                              const std::function<void(std::int64_t)>& fn) {
   if (count <= 0) return;

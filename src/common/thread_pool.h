@@ -57,6 +57,17 @@ class ThreadPool {
   void ParallelFor(std::int64_t count,
                    const std::function<void(std::int64_t)>& fn);
 
+  /// \name Telemetry accessors (snapshot under the queue mutex; a
+  /// value may be stale by the time the caller reads it). The serving
+  /// engine exports queue_depth() of its maintenance pool as the
+  /// `serving.maintenance_queue_depth` observable gauge.
+  /// @{
+  /// \brief Tasks enqueued but not yet picked up (always 0 inline).
+  std::int64_t queue_depth();
+  /// \brief Tasks currently executing on a worker (always 0 inline).
+  std::int64_t active_workers();
+  /// @}
+
  private:
   void WorkerLoop();
 

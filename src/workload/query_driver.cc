@@ -3,11 +3,36 @@
 #include <algorithm>
 #include <thread>
 
+#include "common/telemetry.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
 
 namespace lispoison {
 namespace {
+
+/// Cached driver instruments (process-lived). Counters are flushed per
+/// *batch* (one Add of the batch's tally per op type), so the per-op
+/// loop pays nothing for them; the histograms record per group / per
+/// sampled op, both off the per-op fast path.
+struct DriverTelemetry {
+  TelemetryCounter* reads;
+  TelemetryCounter* scans;
+  TelemetryCounter* inserts;
+  TelemetryHistogram* read_group_size;
+  TelemetryHistogram* read_latency_ns;
+
+  static const DriverTelemetry& Get() {
+    static const DriverTelemetry tl = [] {
+      TelemetryRegistry& r = TelemetryRegistry::Global();
+      return DriverTelemetry{r.GetCounter("driver.reads"),
+                             r.GetCounter("driver.scans"),
+                             r.GetCounter("driver.inserts"),
+                             r.GetHistogram("driver.read_group_size"),
+                             r.GetHistogram("driver.read_latency_ns")};
+    }();
+    return tl;
+  }
+};
 
 /// Per-shard accumulator; one per shard, written only by its own task.
 struct ShardStats {
@@ -53,6 +78,7 @@ void ExecuteOp(SearchBackend* backend, const Operation& op, bool timed,
       if (ns >= 0) {
         s->latency.Record(ns);
         s->read_latency.Record(ns);
+        DriverTelemetry::Get().read_latency_ns->Record(ns);
       }
       break;
     }
@@ -111,6 +137,7 @@ void ExecuteReadRun(SearchBackend* backend,
     const std::int64_t ns = RunTimed(
         timed, [&] { backend->LookupBatch(keys, count, results); });
     const std::int64_t per_op_ns = ns >= 0 ? ns / count : -1;
+    DriverTelemetry::Get().read_group_size->Record(count);
     for (int i = 0; i < count; ++i) {
       s->reads += 1;
       if (results[i].found) s->read_found += 1;
@@ -120,6 +147,7 @@ void ExecuteReadRun(SearchBackend* backend,
           (g + i) % options.latency_sample_every == 0) {
         s->latency.Record(per_op_ns);
         s->read_latency.Record(per_op_ns);
+        DriverTelemetry::Get().read_latency_ns->Record(per_op_ns);
       }
     }
   }
@@ -157,15 +185,20 @@ Result<DriverResult> RunWorkload(SearchBackend* backend,
 
   std::vector<ShardStats> stats(static_cast<std::size_t>(shards));
   ThreadPool pool(shards);
+  TraceSpan run_span(TraceCategory::kDriver, "run_workload", num_ops);
   WallTimer run_timer;
   for (int shard = 0; shard < shards; ++shard) {
     ShardStats* s = &stats[static_cast<std::size_t>(shard)];
     pool.Submit([backend, &ops, &options, num_ops, num_batches, shards, shard,
                  read_group, s] {
+      const DriverTelemetry& tl = DriverTelemetry::Get();
       for (std::int64_t b = shard; b < num_batches; b += shards) {
         const std::int64_t first = b * options.batch_size;
         const std::int64_t end =
             std::min(num_ops, first + options.batch_size);
+        const std::int64_t reads_before = s->reads;
+        const std::int64_t scans_before = s->scans;
+        const std::int64_t inserts_before = s->inserts;
         std::int64_t i = first;
         while (i < end) {
           // Grouped dispatch: hand maximal runs of consecutive reads to
@@ -192,6 +225,11 @@ Result<DriverResult> RunWorkload(SearchBackend* backend,
           ExecuteOp(backend, ops[static_cast<std::size_t>(i)], timed, s);
           ++i;
         }
+        // Per-batch counter flush: one Add per op type per batch keeps
+        // the interval time-series live without a per-op fetch_add.
+        tl.reads->Add(s->reads - reads_before);
+        tl.scans->Add(s->scans - scans_before);
+        tl.inserts->Add(s->inserts - inserts_before);
       }
     });
   }

@@ -252,6 +252,10 @@ const char* BackendKindName(BackendKind kind) {
 }
 
 SearchBackend::~SearchBackend() {
+  // Unregister the observable gauges first: their poll callbacks read
+  // shards_ and maintenance_, and clearing blocks until any in-flight
+  // sampler Snapshot() has finished with them.
+  observables_.clear();
   // Drain queued compactions before the shards they reference die.
   maintenance_.reset();
   for (auto& shard : shards_) {
@@ -301,6 +305,38 @@ Status SearchBackend::InitShards(const KeySet& keyset) {
     maintenance_ =
         std::make_unique<ThreadPool>(1, /*inline_when_single=*/false);
   }
+
+  TelemetryRegistry& telemetry = TelemetryRegistry::Global();
+  tl_lookups_ = telemetry.GetCounter("serving.lookups");
+  tl_scans_ = telemetry.GetCounter("serving.scan_ops");
+  tl_publishes_ = telemetry.GetCounter("serving.snapshot_publish");
+  tl_retires_ = telemetry.GetCounter("serving.snapshot_retire");
+  tl_compactions_ = telemetry.GetCounter("serving.compactions");
+  tl_rebuild_failures_ = telemetry.GetCounter("serving.rebuild_failures");
+
+  // Poll-at-snapshot levels. Several backends may coexist (the bench
+  // matrix builds one per config); same-name observables sum in the
+  // snapshot, which is the right semantics for process-wide levels.
+  observables_.emplace_back("serving.overlay_keys",
+                            [this] { return overlay_size(); });
+  observables_.emplace_back("serving.epoch_limbo", [] {
+    return EpochDomain::Global().limbo_size();
+  });
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    observables_.emplace_back(
+        "serving.shard" + std::to_string(i) + ".overlay_keys",
+        [this, i]() -> std::int64_t {
+          EpochDomain::Guard guard(EpochDomain::Global());
+          return static_cast<std::int64_t>(
+              shards_[i]->snapshot.load(std::memory_order_acquire)
+                  ->overlay.size());
+        });
+  }
+  if (maintenance_ != nullptr) {
+    observables_.emplace_back("serving.maintenance_queue_depth", [this] {
+      return maintenance_->queue_depth();
+    });
+  }
   return Status::OK();
 }
 
@@ -323,6 +359,7 @@ BackendOpResult SearchBackend::Lookup(Key k) const {
   const ShardSnapshot* snap =
       shard.snapshot.load(std::memory_order_seq_cst);
   BackendOpResult res = snap->substrate->Lookup(k);
+  tl_lookups_->Add(1);  // Relaxed per-thread cell: stays lock-free.
   if (res.found) return res;
   ProbeOverlay(*snap, k, &res);
   return res;
@@ -332,6 +369,7 @@ void SearchBackend::LookupBatch(const Key* keys, int count,
                                 BackendOpResult* out) const {
   ReadPathScope read_scope;
   EpochDomain::Guard guard(EpochDomain::Global());
+  if (count > 0) tl_lookups_->Add(count);
   const ShardSnapshot* snaps[kMaxLookupBatch];
   int done = 0;
   while (done < count) {
@@ -362,6 +400,7 @@ BackendOpResult SearchBackend::Scan(Key lo, Key hi) const {
   if (lo > hi) return res;
   ReadPathScope read_scope;
   EpochDomain::Guard guard(EpochDomain::Global());
+  tl_scans_->Add(1);
   const int first_shard = RouteShard(lo);
   const int last_shard = RouteShard(hi);
   for (int s = first_shard; s <= last_shard; ++s) {
@@ -461,6 +500,8 @@ Status SearchBackend::Insert(Key k) {
     }
   }
   EpochDomain::Global().RetireDelete(retired);
+  tl_publishes_->Add(1);
+  tl_retires_->Add(1);
   if (trigger_compaction) {
     if (options_.sync_compaction || maintenance_ == nullptr) {
       CompactShard(&shard, /*inline_call=*/true);
@@ -474,7 +515,17 @@ Status SearchBackend::Insert(Key k) {
 }
 
 void SearchBackend::CompactShard(Shard* shard, bool inline_call) {
-  for (;;) {
+  std::int64_t shard_index = 0;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    if (shards_[i].get() == shard) shard_index = static_cast<std::int64_t>(i);
+  }
+  for (bool refill_pass = false;; refill_pass = true) {
+    // Cause-labeled span: the first pass was triggered by an insert
+    // crossing the threshold; later passes fold the backlog that
+    // accumulated during the previous rebuild.
+    TraceSpan span(TraceCategory::kServing,
+                   refill_pass ? "compact(refill)" : "compact(threshold)",
+                   shard_index);
     std::vector<Key> compacted_overlay;
     std::vector<Key> base;
     KeyDomain domain{0, 0};
@@ -521,6 +572,9 @@ void SearchBackend::CompactShard(Shard* shard, bool inline_call) {
         // merge on every call.
         shard->threshold *= 2;
         shard->compaction_pending = false;
+        tl_rebuild_failures_->Add(1);
+        TraceInstant(TraceCategory::kServing, "rebuild_failure",
+                     shard_index);
         return;
       }
       const ShardSnapshot* cur =
@@ -549,6 +603,9 @@ void SearchBackend::CompactShard(Shard* shard, bool inline_call) {
       inline_compactions_.fetch_add(1, std::memory_order_relaxed);
     }
     EpochDomain::Global().RetireDelete(retired);
+    tl_compactions_->Add(1);
+    tl_publishes_->Add(1);
+    tl_retires_->Add(1);
     if (!refill) return;
     // The overlay refilled past the threshold during the rebuild: fold
     // the backlog before going idle (compaction_pending stays set, so

@@ -50,6 +50,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/telemetry.h"
 #include "common/thread_pool.h"
 #include "common/types.h"
 #include "data/keyset.h"
@@ -250,9 +251,27 @@ class SearchBackend {
   std::atomic<std::int64_t> inline_compactions_{0};
   std::atomic<std::int64_t> max_publish_overlay_{0};
 
+  // Telemetry instruments (process-lived registry objects; the pointers
+  // are cached here so the hot paths skip the registry's name map).
+  // Counters ride the lock-free read path — each Add is one relaxed
+  // fetch_add on a per-thread cell, so the WriterMutex tripwire stays
+  // silent with telemetry hot.
+  TelemetryCounter* tl_lookups_ = nullptr;
+  TelemetryCounter* tl_scans_ = nullptr;
+  TelemetryCounter* tl_publishes_ = nullptr;
+  TelemetryCounter* tl_retires_ = nullptr;
+  TelemetryCounter* tl_compactions_ = nullptr;
+  TelemetryCounter* tl_rebuild_failures_ = nullptr;
+
   // Declared last: destroyed first, draining queued compactions before
   // the shards they reference go away.
   std::unique_ptr<ThreadPool> maintenance_;
+
+  // After maintenance_, so the poll callbacks (which touch shards_ and
+  // maintenance_) are unregistered before anything they read dies; the
+  // destructor additionally clears them before its explicit
+  // maintenance_.reset().
+  std::vector<ObservableGauge> observables_;
 };
 
 /// \brief Builds a backend of \p kind over \p keyset.

@@ -60,6 +60,85 @@ double SafeRatio(double num, double den) {
   return den > 0 ? num / den : 0.0;
 }
 
+void WriteScalarMap(JsonWriter* w, const std::string& key,
+                    const std::vector<MetricsSnapshot::Scalar>& scalars) {
+  w->Key(key);
+  w->BeginObject();
+  for (const auto& s : scalars) w->KV(s.name, s.value);
+  w->EndObject();
+}
+
+void WriteTimeSeries(JsonWriter* w, const ServingReport& report) {
+  w->Key("time_series");
+  w->BeginObject();
+  w->KV("interval_ms", report.telemetry_interval_ms);
+  w->Key("rows");
+  w->BeginArray();
+  for (const TelemetryIntervalRow& row : report.time_series) {
+    w->BeginObject();
+    w->KV("t_start_ns", row.t_start_ns);
+    w->KV("t_end_ns", row.t_end_ns);
+    WriteScalarMap(w, "counters", row.counter_deltas);
+    WriteScalarMap(w, "gauges", row.gauge_values);
+    WriteScalarMap(w, "observables", row.observable_values);
+    w->Key("histograms");
+    w->BeginObject();
+    for (const auto& h : row.histograms) {
+      w->Key(h.name);
+      w->BeginObject();
+      w->KV("count", h.count);
+      w->KV("mean", h.histogram.Mean());
+      w->KV("p50", h.histogram.P50());
+      w->KV("p99", h.histogram.P99());
+      w->EndObject();
+    }
+    w->EndObject();
+    w->EndObject();
+  }
+  w->EndArray();
+  // The cumulative deltas the rows must sum to — the gate's identity.
+  w->Key("totals");
+  w->BeginObject();
+  WriteScalarMap(w, "counters", report.telemetry_totals.counters);
+  w->Key("histogram_counts");
+  w->BeginObject();
+  for (const auto& h : report.telemetry_totals.histograms) {
+    w->KV(h.name, h.count);
+  }
+  w->EndObject();
+  w->EndObject();
+  w->EndObject();
+}
+
+void WriteTelemetryOverhead(JsonWriter* w,
+                            const ServingReport::TelemetryOverhead& o) {
+  w->Key("telemetry_overhead");
+  w->BeginObject();
+  w->KV("config", "bench_telemetry_overhead");
+  w->KV("workload", o.workload);
+  w->KV("backend", o.backend);
+  w->KV("ops", o.enabled_arm.total_ops);
+  const char* arm_names[2] = {"enabled", "runtime_off"};
+  const DriverResult* arms[2] = {&o.enabled_arm, &o.disabled_arm};
+  for (int i = 0; i < 2; ++i) {
+    w->Key(arm_names[i]);
+    w->BeginObject();
+    w->KV("mean_work", arms[i]->MeanWork());
+    w->KV("total_work", arms[i]->total_work);
+    w->KV("throughput_ops_per_sec", arms[i]->ThroughputOpsPerSec());
+    w->KV("elapsed_seconds", arms[i]->elapsed_seconds);
+    w->EndObject();
+  }
+  // Work/op is the deterministic overhead signal (instruction count on
+  // the read path), immune to wall-clock noise on a loaded CI box; the
+  // throughput ratio is the sanity cross-check.
+  w->KV("mean_work_ratio",
+        SafeRatio(o.enabled_arm.MeanWork(), o.disabled_arm.MeanWork()));
+  w->KV("throughput_ratio", SafeRatio(o.enabled_arm.ThroughputOpsPerSec(),
+                                      o.disabled_arm.ThroughputOpsPerSec()));
+  w->EndObject();
+}
+
 }  // namespace
 
 void ServingReport::WriteJson(std::ostream* os) const {
@@ -113,6 +192,11 @@ void ServingReport::WriteJson(std::ostream* os) const {
     }
   }
   w.EndArray();
+
+  if (has_telemetry) WriteTimeSeries(&w, *this);
+  if (telemetry_overhead.present) {
+    WriteTelemetryOverhead(&w, telemetry_overhead);
+  }
   w.EndObject();
   *os << '\n';
 }

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/telemetry.h"
 #include "workload/query_driver.h"
 
 namespace lispoison {
@@ -43,6 +44,33 @@ struct ServingReport {
   double poison_fraction = 0;
 
   std::vector<ServingConfigResult> configs;
+
+  /// \name Runtime telemetry section (PR 7).
+  ///
+  /// When the bench runs with telemetry, the report carries the
+  /// sampler's interval rows plus the cumulative totals they must sum
+  /// to — tools/check_bench_json.py --serving-timeseries gates exactly
+  /// that identity (and timestamp monotonicity / delta nonnegativity)
+  /// on the committed smoke JSON.
+  /// @{
+  bool has_telemetry = false;
+  std::int64_t telemetry_interval_ms = 0;  ///< 0 = explicit boundaries.
+  std::vector<TelemetryIntervalRow> time_series;
+  MetricsSnapshot telemetry_totals;        ///< Deltas since sampler start.
+  /// @}
+
+  /// \brief The enabled-vs-runtime-off read arm pair proving telemetry
+  /// keeps the read path within the overhead budget. `mean work/op` is
+  /// deterministic (same stream, same backend), so the committed ratio
+  /// is exact; throughput is the wall-clock cross-check.
+  struct TelemetryOverhead {
+    bool present = false;
+    std::string workload;
+    std::string backend;
+    DriverResult enabled_arm;   ///< Telemetry recording hot.
+    DriverResult disabled_arm;  ///< SetEnabled(false): gate-check only.
+  };
+  TelemetryOverhead telemetry_overhead;
 
   /// \brief Adds one executed configuration.
   void Add(ServingConfigResult config) {

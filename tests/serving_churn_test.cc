@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/telemetry.h"
 #include "data/generators.h"
 #include "data/keyset.h"
 #include "workload/query_driver.h"
@@ -125,6 +126,95 @@ TEST(ServingChurnTest, ReadersNeverObserveTornStateUnderChurn) {
   EXPECT_GT((*backend)->max_publish_overlay(), 0);
   EXPECT_LT((*backend)->max_publish_overlay() * 4,
             (*backend)->base_size() / (*backend)->num_shards());
+}
+
+TEST(ServingChurnTest, TelemetryHotReadPathStaysLockFreeUnderChurn) {
+  // The telemetry-hot arm of the churn test: metrics, tracing, AND a
+  // background sampler all run while readers race the writer and the
+  // maintenance thread. The load-bearing assertion is implicit — the
+  // read path's WriterMutex tripwire aborts the process if any lookup
+  // or scan ever takes a shard lock, so telemetry on that path must be
+  // mutex-free or this test dies, not fails. The explicit assertions
+  // pin that the instruments actually moved and the sampler rows stayed
+  // contiguous while everything churned. TSan leg covers the memory
+  // model of the relaxed slabs + trace seqlocks under real serving load.
+  const std::int64_t n = 20000;
+  const KeySet ks = TestKeys(n, /*seed=*/31);
+  BackendOptions opts;
+  opts.rmi.target_model_size = 500;
+  opts.num_shards = 4;
+  opts.compact_threshold = 256;
+  auto backend = CreateBackend(BackendKind::kRmi, ks, opts);
+  ASSERT_TRUE(backend.ok()) << backend.status().message();
+
+  const std::vector<Key> fresh = FreshKeys(ks, 3000);
+  ASSERT_GE(static_cast<std::int64_t>(fresh.size()), 2000);
+
+  TelemetryRegistry& registry = TelemetryRegistry::Global();
+  TelemetryCounter* lookups = registry.GetCounter("serving.lookups");
+  TelemetryCounter* compactions = registry.GetCounter("serving.compactions");
+  const std::int64_t lookups_before = lookups->Value();
+  const std::int64_t compactions_before = compactions->Value();
+
+  TraceSession::Global().Start(/*events_per_thread=*/1024);
+  TelemetrySampler sampler;
+  sampler.Start(/*interval_ms=*/5);
+
+  std::atomic<bool> stop{false};
+  std::atomic<bool> torn{false};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 2; ++t) {
+    readers.emplace_back([&, t] {
+      Rng rng(3000 + static_cast<std::uint64_t>(t));
+      while (!stop.load(std::memory_order_relaxed)) {
+        const Key base_key = ks.at(rng.UniformInt(0, ks.size() - 1));
+        if (!(*backend)->Lookup(base_key).found) {
+          torn.store(true);
+          return;
+        }
+        const std::int64_t a = rng.UniformInt(0, ks.size() - 101);
+        if ((*backend)->Scan(ks.at(a), ks.at(a + 100)).range_count < 101) {
+          torn.store(true);
+          return;
+        }
+      }
+    });
+  }
+  for (const Key k : fresh) {
+    ASSERT_TRUE((*backend)->Insert(k).ok());
+  }
+  (*backend)->WaitForMaintenance();
+  stop.store(true);
+  for (auto& r : readers) r.join();
+  sampler.Stop();
+  TraceSession::Global().Stop();
+
+  EXPECT_FALSE(torn.load()) << "a reader observed a torn snapshot";
+  EXPECT_EQ((*backend)->inline_compactions(), 0);
+
+  // The instruments moved with the serving engine, exactly.
+  EXPECT_GT(lookups->Value() - lookups_before, 0);
+  EXPECT_EQ(compactions->Value() - compactions_before,
+            (*backend)->compactions());
+
+  // Sampler rows stayed contiguous under concurrent recording, and
+  // their lookup deltas telescope to the counter's movement.
+  const std::vector<TelemetryIntervalRow> rows = sampler.Rows();
+  ASSERT_GE(rows.size(), 1u);
+  std::int64_t lookup_delta_sum = 0;
+  std::int64_t prev_end = rows.front().t_start_ns;
+  for (const TelemetryIntervalRow& row : rows) {
+    EXPECT_EQ(row.t_start_ns, prev_end);
+    prev_end = row.t_end_ns;
+    for (const auto& c : row.counter_deltas) {
+      EXPECT_GE(c.value, 0) << c.name;
+      if (c.name == "serving.lookups") lookup_delta_sum += c.value;
+    }
+  }
+  EXPECT_EQ(lookup_delta_sum, lookups->Value() - lookups_before);
+
+  // Compaction spans from the maintenance thread made it into the ring.
+  EXPECT_GT(TraceSession::Global().recorded(), 0);
 }
 
 TEST(ServingChurnTest, AsyncCompactionKeepsInsertsRebuildFree) {

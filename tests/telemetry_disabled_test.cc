@@ -1,0 +1,89 @@
+// Copyright (c) lispoison authors. Licensed under the MIT license.
+//
+// Compile-time kill-switch coverage: this binary is built with
+// -DLISPOISON_TELEMETRY_DISABLED applied to BOTH this file and its own
+// copy of src/common/telemetry.cc (see the dedicated CMake target — it
+// cannot link the main library, whose telemetry objects are compiled
+// enabled). Every hot-path call must be a no-op: no counts, no slots,
+// no trace events. The registry/session query surface stays callable so
+// instrumented code needs no #ifdefs at call sites.
+
+#ifndef LISPOISON_TELEMETRY_DISABLED
+#error "telemetry_disabled_test must be compiled with LISPOISON_TELEMETRY_DISABLED"
+#endif
+
+#include "common/telemetry.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <thread>
+
+namespace lispoison {
+namespace {
+
+TEST(TelemetryDisabledTest, InstrumentsRecordNothing) {
+  TelemetryRegistry& registry = TelemetryRegistry::Global();
+  TelemetryCounter* counter = registry.GetCounter("disabled.counter");
+  TelemetryGauge* gauge = registry.GetGauge("disabled.gauge");
+  TelemetryHistogram* hist = registry.GetHistogram("disabled.hist");
+
+  counter->Add(100);
+  gauge->Add(7);
+  gauge->Add(-3);
+  hist->Record(12345);
+  std::thread t([counter, hist] {
+    counter->Add(55);
+    hist->Record(99);
+  });
+  t.join();
+
+  EXPECT_EQ(counter->Value(), 0);
+  EXPECT_EQ(gauge->Value(), 0);
+  EXPECT_EQ(hist->Count(), 0);
+  // No Record ever ran, so no thread ever claimed a slot.
+  EXPECT_EQ(registry.slots_created(), 0);
+}
+
+TEST(TelemetryDisabledTest, SnapshotAndSamplerStayCallable) {
+  TelemetryRegistry& registry = TelemetryRegistry::Global();
+  registry.GetCounter("disabled.counter")->Add(1);
+
+  TelemetrySampler sampler;
+  sampler.Start();
+  registry.GetCounter("disabled.counter")->Add(1);
+  sampler.SampleNow();
+  sampler.Stop();
+
+  for (const auto& row : sampler.Rows()) {
+    for (const auto& c : row.counter_deltas) {
+      EXPECT_EQ(c.value, 0) << c.name << " moved in a disabled build";
+    }
+  }
+  const MetricsSnapshot totals = sampler.TotalsSinceStart();
+  for (const auto& c : totals.counters) EXPECT_EQ(c.value, 0) << c.name;
+  for (const auto& h : totals.histograms) EXPECT_EQ(h.count, 0) << h.name;
+}
+
+TEST(TelemetryDisabledTest, SpansCompileToNothing) {
+  TraceSession& session = TraceSession::Global();
+  session.Start(/*events_per_thread=*/64);
+  for (int i = 0; i < 100; ++i) {
+    TraceSpan span(TraceCategory::kBench, "disabled_span", i);
+    TraceInstant(TraceCategory::kBench, "disabled_tick", i);
+  }
+  session.Stop();
+  EXPECT_EQ(session.recorded(), 0);
+  EXPECT_EQ(session.dropped(), 0);
+
+  std::ostringstream out;
+  session.WriteJson(&out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos)
+      << "exporter must still emit a valid (empty) document";
+  EXPECT_EQ(json.find("disabled_span"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lispoison

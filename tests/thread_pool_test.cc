@@ -3,8 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <mutex>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 namespace lispoison {
@@ -62,6 +65,47 @@ TEST(ThreadPoolTest, DisjointSlotResultsAreThreadCountIndependent) {
     return out;
   };
   EXPECT_EQ(run(1), run(8));
+}
+
+TEST(ThreadPoolTest, QueueDepthAndActiveWorkersTrackBlockedTasks) {
+  ThreadPool pool(2);
+
+  // Park both workers on a gate, then queue three more tasks: the
+  // telemetry accessors must see exactly 2 running and 3 waiting.
+  std::mutex gate_mu;
+  std::condition_variable gate_cv;
+  bool gate_open = false;
+  std::atomic<int> parked{0};
+  auto blocker = [&] {
+    parked.fetch_add(1);
+    std::unique_lock<std::mutex> lock(gate_mu);
+    gate_cv.wait(lock, [&] { return gate_open; });
+  };
+  pool.Submit(blocker);
+  pool.Submit(blocker);
+  while (parked.load() < 2) std::this_thread::yield();
+
+  for (int i = 0; i < 3; ++i) {
+    pool.Submit([] {});
+  }
+  EXPECT_EQ(pool.queue_depth(), 3);
+  EXPECT_EQ(pool.active_workers(), 2);
+
+  {
+    std::unique_lock<std::mutex> lock(gate_mu);
+    gate_open = true;
+  }
+  gate_cv.notify_all();
+  pool.Wait();
+  EXPECT_EQ(pool.queue_depth(), 0);
+  EXPECT_EQ(pool.active_workers(), 0);
+}
+
+TEST(ThreadPoolTest, QueueDepthIsZeroInInlineMode) {
+  ThreadPool pool(1);  // Inline: Submit runs eagerly on the caller.
+  pool.Submit([] {});
+  EXPECT_EQ(pool.queue_depth(), 0);
+  EXPECT_EQ(pool.active_workers(), 0);
 }
 
 TEST(ThreadPoolTest, PoolIsReusableAcrossBatches) {

@@ -50,6 +50,19 @@ speedup at the top in-core thread count, and that the insert arms prove
 the "no insert pays a retrain" contract (async inline_compactions == 0
 with compactions >= 1, sync inline, async worst insert latency below
 sync's).
+
+Serving-timeseries mode (PR 7) gates the telemetry sections of the
+committed BENCH_serving_smoke.json (bench_serving_timeseries_golden):
+
+  tools/check_bench_json.py --serving-timeseries BENCH_serving_smoke.json
+
+It asserts the time_series rows are contiguous and monotone in time
+with nonnegative counter deltas that sum exactly to the totals block
+(the sampler's telescoping identity, for counters and histogram counts
+alike), that the serving/driver/attack instrument families all moved,
+and that the telemetry_overhead arms prove the read path is unchanged
+(mean_work_ratio within 3% of 1.0) and the wall-clock cost is bounded
+(throughput_ratio >= 0.8 vs the runtime-off arm).
 """
 
 import json
@@ -331,9 +344,79 @@ def check_serving_scaling(path):
     )
 
 
+def check_serving_timeseries(path):
+    """Gate for the telemetry sections of BENCH_serving_smoke.json (PR 7)."""
+    with open(path) as f:
+        report = json.load(f)
+    assert report.get("configs"), "serving report has no configs"
+
+    ts = report.get("time_series")
+    assert ts is not None, "serving report lacks the time_series section"
+    rows = ts["rows"]
+    assert rows, "time_series has no rows"
+
+    counter_sums = {}
+    hist_sums = {}
+    prev_end = rows[0]["t_start_ns"]
+    for i, row in enumerate(rows):
+        assert row["t_start_ns"] == prev_end, (
+            f"row {i} is not contiguous with its predecessor "
+            f"({row['t_start_ns']} != {prev_end})"
+        )
+        assert row["t_end_ns"] >= row["t_start_ns"], (
+            f"row {i} has a negative-duration interval"
+        )
+        prev_end = row["t_end_ns"]
+        for name, delta in row["counters"].items():
+            assert delta >= 0, f"row {i}: counter {name} went backwards"
+            counter_sums[name] = counter_sums.get(name, 0) + delta
+        for name, hist in row["histograms"].items():
+            assert hist["count"] >= 0, f"row {i}: histogram {name} negative"
+            hist_sums[name] = hist_sums.get(name, 0) + hist["count"]
+
+    # The telescoping identity: per-interval deltas sum exactly to the
+    # run totals, for counters and histogram counts alike.
+    totals = ts["totals"]
+    assert counter_sums == totals["counters"], (
+        "interval counter deltas do not sum to totals: "
+        f"{counter_sums} vs {totals['counters']}"
+    )
+    for name, count in totals["histogram_counts"].items():
+        assert hist_sums.get(name, 0) == count, (
+            f"interval histogram counts for {name} do not sum to the "
+            f"total ({hist_sums.get(name, 0)} vs {count})"
+        )
+
+    # Every instrumented engine actually moved during the matrix run.
+    for family in ("serving.", "driver.", "attack."):
+        moved = sum(v for k, v in counter_sums.items() if k.startswith(family))
+        assert moved > 0, f"no {family}* counter moved across the whole run"
+
+    overhead = report.get("telemetry_overhead")
+    assert overhead is not None, "serving report lacks telemetry_overhead"
+    work_ratio = float(overhead["mean_work_ratio"])
+    assert abs(work_ratio - 1.0) <= 0.03, (
+        f"telemetry changed read-path work: mean_work_ratio {work_ratio}"
+    )
+    tput_ratio = float(overhead["throughput_ratio"])
+    assert tput_ratio >= 0.8, (
+        f"telemetry-enabled read throughput fell below the 0.8x budget "
+        f"vs the runtime-off arm ({tput_ratio:.3f})"
+    )
+
+    print(
+        f"serving time-series OK: {len(rows)} rows, "
+        f"{len(counter_sums)} counters telescoping to totals, "
+        f"work ratio {work_ratio:.4f}, throughput ratio {tput_ratio:.3f}"
+    )
+
+
 def main():
     if len(sys.argv) == 3 and sys.argv[1] == "--serving-scaling":
         check_serving_scaling(sys.argv[2])
+        return 0
+    if len(sys.argv) == 3 and sys.argv[1] == "--serving-timeseries":
+        check_serving_timeseries(sys.argv[2])
         return 0
     if len(sys.argv) not in (2, 3):
         print(__doc__, file=sys.stderr)

@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Validator for the Chrome trace_event JSON that TraceSession exports.
+
+Checks the structural contract the exporter promises (and that
+chrome://tracing / ui.perfetto.dev silently depend on):
+
+  * top level is {"traceEvents": [...], "displayTimeUnit": ...};
+  * every event carries name / cat / ph / ts / pid / tid, with ph in
+    {B, E, i} and cat drawn from the closed category set the C++ enum
+    defines (serving, driver, attack, bench);
+  * per tid, timestamps are monotone non-decreasing (each ring is a
+    single-writer log; the exporter must preserve its order);
+  * per tid, B/E events obey stack discipline and balance exactly —
+    the exporter drops unmatched halves of spans whose partner fell off
+    the drop-oldest ring, so an imbalance here means export-side
+    corruption, not ring overflow;
+  * instant events carry the thread scope ("s": "t").
+
+Two modes:
+
+  tools/check_trace_json.py /path/to/trace.json
+  tools/check_trace_json.py --run /path/to/bench_serving
+
+--run executes a bench_serving smoke configuration with --trace-out
+into a temp dir and validates the file it wrote end-to-end (the ctest
+bench_serving_trace_golden registration), so the gate covers recording
+under real serving churn, not just a hand-written document.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+KNOWN_CATEGORIES = {"serving", "driver", "attack", "bench"}
+KNOWN_PHASES = {"B", "E", "i"}
+REQUIRED_FIELDS = ("name", "cat", "ph", "ts", "pid", "tid")
+
+
+def check_trace(path):
+    with open(path) as f:
+        doc = json.load(f)
+    assert isinstance(doc, dict), "trace document must be a JSON object"
+    assert "traceEvents" in doc, "trace document lacks traceEvents"
+    events = doc["traceEvents"]
+    assert isinstance(events, list), "traceEvents must be an array"
+    assert events, "trace has no events — the smoke run must emit spans"
+
+    by_tid = {}
+    for i, ev in enumerate(events):
+        for field in REQUIRED_FIELDS:
+            assert field in ev, f"event {i} lacks {field}: {ev}"
+        assert ev["ph"] in KNOWN_PHASES, f"event {i} has phase {ev['ph']!r}"
+        assert ev["cat"] in KNOWN_CATEGORIES, (
+            f"event {i} has unknown category {ev['cat']!r}"
+        )
+        assert isinstance(ev["name"], str) and ev["name"], (
+            f"event {i} has an empty name"
+        )
+        assert float(ev["ts"]) >= 0, f"event {i} has negative ts"
+        if ev["ph"] == "i":
+            assert ev.get("s") == "t", (
+                f"instant event {i} lacks thread scope: {ev}"
+            )
+        by_tid.setdefault(ev["tid"], []).append(ev)
+
+    spans = 0
+    for tid, tid_events in sorted(by_tid.items()):
+        prev_ts = None
+        stack = []
+        for ev in tid_events:
+            ts = float(ev["ts"])
+            if prev_ts is not None:
+                assert ts >= prev_ts, (
+                    f"tid {tid}: ts went backwards "
+                    f"({prev_ts} -> {ts} at {ev['name']!r})"
+                )
+            prev_ts = ts
+            if ev["ph"] == "B":
+                stack.append(ev)
+            elif ev["ph"] == "E":
+                assert stack, (
+                    f"tid {tid}: E event {ev['name']!r} with no open span"
+                )
+                begin = stack.pop()
+                assert begin["name"] == ev["name"], (
+                    f"tid {tid}: span crossing — B {begin['name']!r} "
+                    f"closed by E {ev['name']!r}"
+                )
+                spans += 1
+        assert not stack, (
+            f"tid {tid}: {len(stack)} unclosed span(s): "
+            f"{[ev['name'] for ev in stack]}"
+        )
+    assert spans > 0, "trace contains no complete B/E span"
+
+    instants = sum(1 for ev in events if ev["ph"] == "i")
+    cats = sorted({ev["cat"] for ev in events})
+    print(
+        f"trace JSON OK: {len(events)} events, {spans} spans, "
+        f"{instants} instants across {len(by_tid)} thread(s), "
+        f"categories {cats}"
+    )
+
+
+def run_and_check(bench):
+    with tempfile.TemporaryDirectory() as tmp:
+        trace = os.path.join(tmp, "trace.json")
+        out = os.path.join(tmp, "report.json")
+        subprocess.run(
+            [
+                bench,
+                "--smoke",
+                "--keys=4000",
+                "--ops=2000",
+                "--threads=2",
+                "--compact-threshold=64",
+                "--trace-out=" + trace,
+                "--out=" + out,
+            ],
+            check=True,
+        )
+        check_trace(trace)
+
+
+def main():
+    if len(sys.argv) == 3 and sys.argv[1] == "--run":
+        run_and_check(sys.argv[2])
+        return 0
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    check_trace(sys.argv[1])
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
