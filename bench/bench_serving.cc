@@ -41,6 +41,23 @@
 //                      / ui.perfetto.dev) of the run's spans: compaction
 //                      causes, driver runs, attack rounds. Empty = off.
 //
+// Adversarial mode: --adversarial switches to the adversary-in-the-loop
+// study (the §V threat model end to end). Two arms on the same sharded
+// async-compaction RMI backend and the same zipfian read-heavy driver
+// stream: a clean baseline, then a run where the online adversary
+// (workload/adversary.h) constructs its insert/delete/modify stream
+// with the incremental loss landscapes and replays it through the live
+// write path on a dedicated thread — racing the driver, overlay
+// growth, compactions, and retrains, and replanning whenever it
+// observes a retrain. The report (--out, default BENCH_adversarial.json)
+// carries per-interval poisoning-ROI rows (p99 degradation per attacker
+// op over the telemetry time series) gated by
+// tools/check_bench_json.py --adversarial. Extra knobs:
+//   --adv-ops=2400       attack ops (smoke: 300)
+//   --adv-delete-frac=0.15 / --adv-modify-frac=0.15
+//   --adv-pace-ns=100000 sleep between attack ops, spreading the stream
+//                        across the serving window
+//
 // Scaling mode: --threads-sweep=1,2,4[,...] switches to the multi-core
 // scaling study instead of the clean-vs-poisoned matrix. For each
 // thread count it replays the same read-only stream against a fresh
@@ -64,6 +81,7 @@
 #include "common/telemetry.h"
 #include "data/generators.h"
 #include "data/keyset.h"
+#include "workload/adversary.h"
 #include "workload/query_driver.h"
 #include "workload/search_backend.h"
 #include "workload/serving_report.h"
@@ -233,10 +251,188 @@ int RunScaling(const FlagParser& flags, std::vector<std::int64_t> sweep) {
   return 0;
 }
 
+/// The adversary-in-the-loop study (--adversarial): clean baseline arm,
+/// then the same driver stream with the online attacker racing it
+/// through the live write path. Emits the AdversarialReport JSON the
+/// tier-1 --adversarial golden gate checks.
+int RunAdversarial(const FlagParser& flags) {
+  const bool smoke = flags.GetBool("smoke");
+  const std::int64_t n = flags.GetInt("keys", smoke ? 20000 : 100000);
+  const std::int64_t ops = flags.GetInt("ops", smoke ? 60000 : 400000);
+  int threads = static_cast<int>(flags.GetInt("threads", 2));
+  if (threads < 2) threads = 2;  // The committed contract: the attacker
+                                 // races >= 2 legitimate driver threads.
+  const std::int64_t model_size = flags.GetInt("model-size", 500);
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(flags.GetInt("seed", 42));
+  const std::int64_t compact_threshold =
+      flags.GetInt("compact-threshold", 512);
+  const int num_shards =
+      static_cast<int>(flags.GetInt("num-shards", smoke ? 2 : 4));
+  const int read_group = static_cast<int>(flags.GetInt("read-group", 16));
+  const std::int64_t interval_ms =
+      flags.GetInt("telemetry-interval-ms", smoke ? 10 : 25);
+  const std::string out_path =
+      flags.GetString("out", "BENCH_adversarial.json");
+
+  AdversaryOptions adv;
+  adv.ops = flags.GetInt("adv-ops", smoke ? 300 : 2400);
+  adv.delete_fraction = flags.GetDouble("adv-delete-frac", 0.15);
+  adv.modify_fraction = flags.GetDouble("adv-modify-frac", 0.15);
+  adv.model_size = model_size;
+  adv.pace_ns = flags.GetInt("adv-pace-ns", 100000);
+  adv.seed = seed + 1;
+
+  Rng rng(seed);
+  auto clean_or = GenerateUniform(n, KeyDomain{0, 100 * n}, &rng);
+  if (!clean_or.ok()) {
+    std::fprintf(stderr, "keyset generation failed: %s\n",
+                 clean_or.status().ToString().c_str());
+    return 1;
+  }
+  const KeySet clean = *clean_or;
+
+  const WorkloadSpec spec = ZipfianReadHeavyWorkload(seed);
+  auto ops_or = GenerateOperations(spec, clean, ops);
+  if (!ops_or.ok()) {
+    std::fprintf(stderr, "workload generation failed: %s\n",
+                 ops_or.status().ToString().c_str());
+    return 1;
+  }
+
+  AdversarialReport report;
+  report.hardware_concurrency =
+      static_cast<std::int64_t>(std::thread::hardware_concurrency());
+  report.keys = n;
+  report.ops = ops;
+  report.num_threads = threads;
+  report.num_shards = num_shards;
+  report.read_group = read_group;
+  report.compact_threshold = compact_threshold;
+  report.sync_compaction = false;  // No escape hatch in this study.
+  report.seed = seed;
+  report.workload = spec.name;
+  report.telemetry_interval_ms = interval_ms;
+
+  BackendOptions backend_opts;
+  backend_opts.rmi.target_model_size = model_size;
+  backend_opts.num_shards = num_shards;
+  backend_opts.compact_threshold = compact_threshold;
+  backend_opts.sync_compaction = false;
+
+  DriverOptions driver_opts;
+  driver_opts.num_threads = threads;
+  driver_opts.read_group = read_group;
+  driver_opts.latency_sample_every = flags.GetInt("sample-every", 1);
+
+  // Arm 1 — clean baseline: same backend config, same driver stream,
+  // no attacker. Its read p99 is the ROI denominator.
+  {
+    auto backend_or = CreateBackend(BackendKind::kRmi, clean, backend_opts);
+    if (!backend_or.ok()) {
+      std::fprintf(stderr, "clean backend build failed: %s\n",
+                   backend_or.status().ToString().c_str());
+      return 1;
+    }
+    auto result_or = RunWorkload(backend_or->get(), *ops_or, driver_opts);
+    if (!result_or.ok()) {
+      std::fprintf(stderr, "clean arm failed: %s\n",
+                   result_or.status().ToString().c_str());
+      return 1;
+    }
+    (*backend_or)->WaitForMaintenance();
+    report.clean_result = std::move(*result_or);
+    report.clean_compactions = (*backend_or)->compactions();
+  }
+
+  // Arm 2 — adversary in the loop: fresh backend, sampler baselined at
+  // the attack window's start, attacker on its own thread racing the
+  // driver. Every interval row (and the totals it telescopes to) spans
+  // exactly this window.
+  {
+    auto backend_or = CreateBackend(BackendKind::kRmi, clean, backend_opts);
+    if (!backend_or.ok()) {
+      std::fprintf(stderr, "attacked backend build failed: %s\n",
+                   backend_or.status().ToString().c_str());
+      return 1;
+    }
+    SearchBackend* backend = backend_or->get();
+
+    TelemetrySampler sampler;
+    sampler.Start(interval_ms);
+
+    Result<AdversaryResult> adv_result = AdversaryResult{};
+    std::thread attacker([&] {
+      adv_result = RunOnlineAdversary(backend, clean, adv);
+    });
+    auto result_or = RunWorkload(backend, *ops_or, driver_opts);
+    attacker.join();
+    backend->WaitForMaintenance();
+    sampler.SampleNow();  // Close the tail interval before stopping.
+    sampler.Stop();
+
+    if (!result_or.ok()) {
+      std::fprintf(stderr, "attacked arm failed: %s\n",
+                   result_or.status().ToString().c_str());
+      return 1;
+    }
+    if (!adv_result.ok()) {
+      std::fprintf(stderr, "adversary failed: %s\n",
+                   adv_result.status().ToString().c_str());
+      return 1;
+    }
+    report.attacked_result = std::move(*result_or);
+    report.adversary = std::move(*adv_result);
+    report.attacked_compactions = backend->compactions();
+    report.attacked_inline_compactions = backend->inline_compactions();
+    report.time_series = sampler.Rows();
+    report.telemetry_totals = sampler.TotalsSinceStart();
+    for (const auto& c : report.telemetry_totals.counters) {
+      if (c.name == "serving.rebuild_failures") {
+        report.attacked_rebuild_failures = c.value;
+      }
+    }
+  }
+  report.BuildRoiRows();
+
+  const double p99_ratio =
+      report.clean_result.read_latency.P99() > 0
+          ? static_cast<double>(report.attacked_result.read_latency.P99()) /
+                static_cast<double>(report.clean_result.read_latency.P99())
+          : 0.0;
+  std::printf(
+      "adversarial: %lld attack ops (%lld ins / %lld del / %lld mod, "
+      "%lld rejected), %lld replans after %lld observed retrains\n"
+      "  clean read p99 %lld ns -> attacked %lld ns (%.2fx), "
+      "work/op %.2f -> %.2f, %lld compactions in window\n",
+      static_cast<long long>(report.adversary.ops_planned),
+      static_cast<long long>(report.adversary.inserts),
+      static_cast<long long>(report.adversary.deletes),
+      static_cast<long long>(report.adversary.modifies),
+      static_cast<long long>(report.adversary.rejected),
+      static_cast<long long>(report.adversary.replans),
+      static_cast<long long>(report.adversary.retrains_observed),
+      static_cast<long long>(report.clean_result.read_latency.P99()),
+      static_cast<long long>(report.attacked_result.read_latency.P99()),
+      p99_ratio, report.clean_result.MeanWork(),
+      report.attacked_result.MeanWork(),
+      static_cast<long long>(report.attacked_compactions));
+
+  const Status st = report.WriteJsonFile(out_path);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s (%zu roi rows)\n", out_path.c_str(),
+              report.roi_rows.size());
+  return 0;
+}
+
 int Run(int argc, char** argv) {
   FlagParser flags(argc, argv);
   const std::vector<std::int64_t> sweep = flags.GetIntList("threads-sweep", {});
   if (!sweep.empty()) return RunScaling(flags, sweep);
+  if (flags.GetBool("adversarial")) return RunAdversarial(flags);
 
   const bool smoke = flags.GetBool("smoke");
   const std::int64_t n = flags.GetInt("keys", smoke ? 20000 : 100000);

@@ -1,0 +1,383 @@
+#include "workload/adversary.h"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <unordered_set>
+#include <utility>
+
+#include "attack/attack_telemetry.h"
+#include "common/rng.h"
+#include "common/telemetry.h"
+
+namespace lispoison {
+namespace {
+
+/// Cached process-wide adversary counters: the per-interval attacker-op
+/// accounting the poisoning-ROI rows telescope against.
+struct AdversaryTelemetry {
+  TelemetryCounter* inserts;
+  TelemetryCounter* deletes;
+  TelemetryCounter* modifies;
+  TelemetryCounter* rejected;
+  TelemetryCounter* replans;
+
+  static const AdversaryTelemetry& Get() {
+    static const AdversaryTelemetry tl = [] {
+      TelemetryRegistry& r = TelemetryRegistry::Global();
+      return AdversaryTelemetry{r.GetCounter("adversary.inserts"),
+                                r.GetCounter("adversary.deletes"),
+                                r.GetCounter("adversary.modifies"),
+                                r.GetCounter("adversary.rejected"),
+                                r.GetCounter("adversary.replans")};
+    }();
+    return tl;
+  }
+};
+
+/// One attacker-side model slice: an incremental landscape over a
+/// contiguous run of the attacker's view, plus lazily recomputed argmax
+/// candidates (invalidated whenever the model is touched).
+struct Model {
+  std::unique_ptr<LossLandscape> landscape;
+  bool ins_valid = false;
+  bool ins_feasible = false;
+  LossLandscape::Candidate ins;
+  bool rem_valid = false;
+  bool rem_feasible = false;
+  LossLandscape::Candidate rem;
+
+  void Invalidate() {
+    ins_valid = false;
+    rem_valid = false;
+  }
+};
+
+class OnlineAdversary {
+ public:
+  OnlineAdversary(SearchBackend* victim, const KeySet& base,
+                  const AdversaryOptions& options)
+      : victim_(victim),
+        options_(options),
+        rng_(options.seed),
+        view_(base.keys()) {
+    if (options_.model_size < 8) options_.model_size = 8;
+    compactions_ = TelemetryRegistry::Global().GetCounter(
+        "serving.compactions");
+  }
+
+  Result<AdversaryResult> Run() {
+    TraceSpan run_span(TraceCategory::kAttack, "adversary_run");
+    const auto t0 = std::chrono::steady_clock::now();
+    LISPOISON_RETURN_IF_ERROR(BuildModels());
+    result_.initial_mean_model_loss = MeanModelLoss();
+    compactions_baseline_ = compactions_->Value();
+
+    for (std::int64_t op = 0; op < options_.ops; ++op) {
+      result_.ops_planned += 1;
+      if (options_.replan_check_every > 0 &&
+          op % options_.replan_check_every == 0) {
+        LISPOISON_RETURN_IF_ERROR(MaybeReplan());
+      }
+      const double r = rng_.NextDouble();
+      Status s;
+      if (r < options_.delete_fraction) {
+        s = DoDelete();
+      } else if (r < options_.delete_fraction + options_.modify_fraction) {
+        s = DoModify();
+      } else {
+        s = DoInsert();
+      }
+      if (!s.ok()) return s;
+      FlushArgmaxTelemetry();
+      if (options_.pace_ns > 0) {
+        std::this_thread::sleep_for(
+            std::chrono::nanoseconds(options_.pace_ns));
+      }
+    }
+    // Final poll so a retrain landing near the end is still observed.
+    LISPOISON_RETURN_IF_ERROR(MaybeReplan());
+
+    result_.final_mean_model_loss = MeanModelLoss();
+    result_.live_poison_keys.assign(poisons_.begin(), poisons_.end());
+    std::sort(result_.live_poison_keys.begin(),
+              result_.live_poison_keys.end());
+    result_.removed_legit_keys.assign(removed_legit_.begin(),
+                                      removed_legit_.end());
+    std::sort(result_.removed_legit_keys.begin(),
+              result_.removed_legit_keys.end());
+    result_.elapsed_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    return std::move(result_);
+  }
+
+ private:
+  /// Repartitions the current view into equal-count model slices (the
+  /// shape a freshly trained RMI second stage would give them) and
+  /// builds one incremental landscape per slice.
+  Status BuildModels() {
+    models_.clear();
+    const std::int64_t n = static_cast<std::int64_t>(view_.size());
+    if (n < 2) {
+      return Status::FailedPrecondition(
+          "adversary view too small to model");
+    }
+    std::int64_t num_models = (n + options_.model_size - 1) /
+                              options_.model_size;
+    if (num_models < 1) num_models = 1;
+    models_.reserve(static_cast<std::size_t>(num_models));
+    for (std::int64_t m = 0; m < num_models; ++m) {
+      const std::int64_t first = m * n / num_models;
+      const std::int64_t end = (m + 1) * n / num_models;
+      std::vector<Key> slice(view_.begin() + first, view_.begin() + end);
+      LISPOISON_ASSIGN_OR_RETURN(
+          KeySet part, KeySet::CreateWithTightDomain(std::move(slice)));
+      LISPOISON_ASSIGN_OR_RETURN(LossLandscape landscape,
+                                 LossLandscape::Create(part));
+      Model model;
+      model.landscape =
+          std::make_unique<LossLandscape>(std::move(landscape));
+      models_.push_back(std::move(model));
+    }
+    return Status::OK();
+  }
+
+  double MeanModelLoss() const {
+    if (models_.empty()) return 0;
+    long double total = 0;
+    for (const auto& m : models_) total += m.landscape->BaseLoss();
+    return static_cast<double>(total /
+                               static_cast<long double>(models_.size()));
+  }
+
+  /// Polls the victim's retrain signal; movement means some shard is
+  /// now serving a substrate trained on keys the attacker's landscapes
+  /// no longer describe, so the whole plan is rebuilt from the view.
+  Status MaybeReplan() {
+    const std::int64_t cur = compactions_->Value();
+    if (cur == compactions_baseline_) return Status::OK();
+    result_.retrains_observed += cur - compactions_baseline_;
+    compactions_baseline_ = cur;
+    TraceInstant(TraceCategory::kAttack, "adversary_replan",
+                 result_.replans);
+    LISPOISON_RETURN_IF_ERROR(BuildModels());
+    result_.replans += 1;
+    AdversaryTelemetry::Get().replans->Add(1);
+    return Status::OK();
+  }
+
+  /// Ensures model \p m's insertion candidate is current.
+  void RefreshInsert(Model* m) {
+    if (m->ins_valid) return;
+    m->ins_valid = true;
+    auto c = m->landscape->FindOptimal(options_.interior_only, nullptr,
+                                       nullptr, options_.argmax,
+                                       &result_.argmax_stats);
+    m->ins_feasible = c.ok();
+    if (c.ok()) m->ins = *c;
+  }
+
+  /// Ensures model \p m's removal candidate is current. Models shrunk
+  /// to fewer than four keys stop offering removals (the landscape
+  /// needs two survivors and the argmax three keys).
+  void RefreshRemoval(Model* m) {
+    if (m->rem_valid) return;
+    m->rem_valid = true;
+    if (m->landscape->size() < 4) {
+      m->rem_feasible = false;
+      return;
+    }
+    auto c = m->landscape->FindOptimalRemoval(nullptr, nullptr,
+                                              options_.argmax,
+                                              &result_.argmax_stats);
+    m->rem_feasible = c.ok();
+    if (c.ok()) m->rem = *c;
+  }
+
+  /// The model whose candidate raises the attacker-view loss most.
+  /// Gains compare the candidate's post-op loss against the model's
+  /// current loss, so slices of different sizes compete fairly on
+  /// loss *increase*, not absolute level.
+  Model* BestModel(bool removal) {
+    Model* best = nullptr;
+    long double best_gain = 0;
+    for (auto& m : models_) {
+      if (removal) {
+        RefreshRemoval(&m);
+        if (!m.rem_feasible) continue;
+        const long double gain = m.rem.loss - m.landscape->BaseLoss();
+        if (best == nullptr || gain > best_gain) {
+          best = &m;
+          best_gain = gain;
+        }
+      } else {
+        RefreshInsert(&m);
+        if (!m.ins_feasible) continue;
+        const long double gain = m.ins.loss - m.landscape->BaseLoss();
+        if (best == nullptr || gain > best_gain) {
+          best = &m;
+          best_gain = gain;
+        }
+      }
+    }
+    return best;
+  }
+
+  void CommitViewInsert(Key k) {
+    const auto it = std::lower_bound(view_.begin(), view_.end(), k);
+    if (it == view_.end() || *it != k) view_.insert(it, k);
+  }
+
+  void CommitViewRemove(Key k) {
+    const auto it = std::lower_bound(view_.begin(), view_.end(), k);
+    if (it != view_.end() && *it == k) view_.erase(it);
+  }
+
+  /// Executes one poisoning insert through the victim's write path and
+  /// commits the outcome into the attacker's bookkeeping. A rejection
+  /// (legitimate traffic raced the attacker to the same gap key) still
+  /// commits the key into the view/landscape: it IS stored now, so the
+  /// loss surface must reflect it.
+  bool ExecInsert(Key k, Model* m) {
+    const Status s = victim_->Insert(k);
+    m->Invalidate();
+    // Landscape commit regardless of acceptance; an occupied-key error
+    // here would mean the view already had it, which the candidate
+    // search precludes.
+    (void)m->landscape->InsertKey(k);
+    CommitViewInsert(k);
+    if (s.ok()) {
+      poisons_.insert(k);
+      removed_legit_.erase(k);  // Resurrection un-deletes a legit key.
+      result_.inserts += 1;
+      AdversaryTelemetry::Get().inserts->Add(1);
+      return true;
+    }
+    result_.rejected += 1;
+    AdversaryTelemetry::Get().rejected->Add(1);
+    return false;
+  }
+
+  /// Executes one removal; the NotFound arm re-syncs the view when the
+  /// stored set disagrees with the attacker's belief.
+  bool ExecRemove(Key k, Model* m) {
+    const Status s = victim_->Remove(k);
+    m->Invalidate();
+    (void)m->landscape->RemoveKey(k);
+    CommitViewRemove(k);
+    if (s.ok()) {
+      if (poisons_.erase(k) == 0) removed_legit_.insert(k);
+      result_.deletes += 1;
+      AdversaryTelemetry::Get().deletes->Add(1);
+      return true;
+    }
+    result_.rejected += 1;
+    AdversaryTelemetry::Get().rejected->Add(1);
+    return false;
+  }
+
+  Status DoInsert() {
+    Model* m = BestModel(/*removal=*/false);
+    if (m == nullptr) {
+      result_.skipped += 1;
+      return Status::OK();
+    }
+    ExecInsert(m->ins.key, m);
+    return Status::OK();
+  }
+
+  Status DoDelete() {
+    Model* m = BestModel(/*removal=*/true);
+    if (m == nullptr) {
+      result_.skipped += 1;
+      return Status::OK();
+    }
+    ExecRemove(m->rem.key, m);
+    return Status::OK();
+  }
+
+  /// §V modification: relocate mass by deleting the most damaging
+  /// removal target, then inserting at the best gap the (updated)
+  /// landscapes offer. Counted as one attack op; issues two write-path
+  /// calls. Accounting note: the delete/insert halves are *not* counted
+  /// into the adversary.deletes/inserts op counters — adversary.* op
+  /// counters partition ops, so the ROI rows' attacker-op accounting
+  /// telescopes exactly.
+  Status DoModify() {
+    Model* rm = BestModel(/*removal=*/true);
+    if (rm == nullptr) {
+      result_.skipped += 1;
+      return Status::OK();
+    }
+    const Key victim_key = rm->rem.key;
+    const Status s = victim_->Remove(victim_key);
+    rm->Invalidate();
+    (void)rm->landscape->RemoveKey(victim_key);
+    CommitViewRemove(victim_key);
+    if (!s.ok()) {
+      result_.rejected += 1;
+      AdversaryTelemetry::Get().rejected->Add(1);
+      return Status::OK();
+    }
+    if (poisons_.erase(victim_key) == 0) removed_legit_.insert(victim_key);
+    Model* im = BestModel(/*removal=*/false);
+    bool reinserted = false;
+    if (im != nullptr) {
+      const Key to = im->ins.key;
+      const Status is = victim_->Insert(to);
+      im->Invalidate();
+      (void)im->landscape->InsertKey(to);
+      CommitViewInsert(to);
+      if (is.ok()) {
+        poisons_.insert(to);
+        removed_legit_.erase(to);
+        reinserted = true;
+      } else {
+        result_.rejected += 1;
+        AdversaryTelemetry::Get().rejected->Add(1);
+      }
+    }
+    (void)reinserted;  // A failed re-insert still counts as a modify op:
+                       // the removal half landed in the victim.
+    result_.modifies += 1;
+    AdversaryTelemetry::Get().modifies->Add(1);
+    return Status::OK();
+  }
+
+  /// Streams planning-work counter movement into the shared attack.*
+  /// instruments so the time series profiles the online planner next to
+  /// the serving metrics.
+  void FlushArgmaxTelemetry() {
+    attack_internal::AttackTelemetry::Get().AddDelta(result_.argmax_stats,
+                                                     flushed_stats_);
+    flushed_stats_ = result_.argmax_stats;
+  }
+
+  SearchBackend* victim_;
+  AdversaryOptions options_;
+  Rng rng_;
+  std::vector<Key> view_;  ///< Sorted: keys the attacker believes live.
+  std::vector<Model> models_;
+  std::unordered_set<Key> poisons_;
+  std::unordered_set<Key> removed_legit_;
+  TelemetryCounter* compactions_ = nullptr;
+  std::int64_t compactions_baseline_ = 0;
+  LossLandscape::ArgmaxStats flushed_stats_;
+  AdversaryResult result_;
+};
+
+}  // namespace
+
+Result<AdversaryResult> RunOnlineAdversary(SearchBackend* victim,
+                                           const KeySet& base,
+                                           const AdversaryOptions& options) {
+  if (victim == nullptr) {
+    return Status::InvalidArgument("null victim backend");
+  }
+  OnlineAdversary adversary(victim, base, options);
+  return adversary.Run();
+}
+
+}  // namespace lispoison

@@ -71,6 +71,27 @@ void ProbeOverlay(const ShardSnapshot& snap, Key k, BackendOpResult* res) {
                snap.overlay[static_cast<std::size_t>(b.first)] == k;
 }
 
+/// Copy of sorted \p v with the element at \p pos spliced out.
+std::vector<Key> WithErased(const std::vector<Key>& v, std::size_t pos) {
+  std::vector<Key> out;
+  out.reserve(v.size() - 1);
+  out.insert(out.end(), v.begin(), v.begin() + static_cast<std::ptrdiff_t>(pos));
+  out.insert(out.end(), v.begin() + static_cast<std::ptrdiff_t>(pos) + 1,
+             v.end());
+  return out;
+}
+
+/// Copy of sorted \p v with \p k spliced in before \p pos.
+std::vector<Key> WithInserted(const std::vector<Key>& v, std::size_t pos,
+                              Key k) {
+  std::vector<Key> out;
+  out.reserve(v.size() + 1);
+  out.insert(out.end(), v.begin(), v.begin() + static_cast<std::ptrdiff_t>(pos));
+  out.push_back(k);
+  out.insert(out.end(), v.begin() + static_cast<std::ptrdiff_t>(pos), v.end());
+  return out;
+}
+
 }  // namespace
 
 void WriterMutex::lock() {
@@ -218,6 +239,27 @@ class BinarySearchSubstrate : public IndexSubstrate {
   BinarySearchIndex index_;
 };
 
+/// Full snapshot probe: substrate, then tombstone screen on a hit (a
+/// tombstoned base key reads as absent — and cannot be in the overlay,
+/// which is disjoint), overlay on a miss. The one lookup semantics both
+/// the scalar and batched paths share.
+BackendOpResult LookupInSnapshot(const ShardSnapshot& snap, Key k) {
+  BackendOpResult res = snap.substrate->Lookup(k);
+  if (res.found) {
+    if (!snap.tombstones.empty()) {
+      const auto t = CountedLowerBound(snap.tombstones, k);
+      res.work += t.second;
+      if (t.first < static_cast<std::int64_t>(snap.tombstones.size()) &&
+          snap.tombstones[static_cast<std::size_t>(t.first)] == k) {
+        res.found = false;
+      }
+    }
+    return res;
+  }
+  ProbeOverlay(snap, k, &res);
+  return res;
+}
+
 Result<std::shared_ptr<const IndexSubstrate>> BuildSubstrate(
     BackendKind kind, const KeySet& keyset, const BackendOptions& options) {
   switch (kind) {
@@ -313,6 +355,7 @@ Status SearchBackend::InitShards(const KeySet& keyset) {
   tl_retires_ = telemetry.GetCounter("serving.snapshot_retire");
   tl_compactions_ = telemetry.GetCounter("serving.compactions");
   tl_rebuild_failures_ = telemetry.GetCounter("serving.rebuild_failures");
+  tl_removes_ = telemetry.GetCounter("serving.removes");
 
   // Poll-at-snapshot levels. Several backends may coexist (the bench
   // matrix builds one per config); same-name observables sum in the
@@ -356,13 +399,12 @@ BackendOpResult SearchBackend::Lookup(Key k) const {
   ReadPathScope read_scope;
   EpochDomain::Guard guard(EpochDomain::Global());
   const Shard& shard = *shards_[static_cast<std::size_t>(RouteShard(k))];
+  // Acquire pairs with the writers' release publish (see the contract
+  // on ShardSnapshot): the snapshot's contents are fully visible.
   const ShardSnapshot* snap =
-      shard.snapshot.load(std::memory_order_seq_cst);
-  BackendOpResult res = snap->substrate->Lookup(k);
+      shard.snapshot.load(std::memory_order_acquire);
   tl_lookups_->Add(1);  // Relaxed per-thread cell: stays lock-free.
-  if (res.found) return res;
-  ProbeOverlay(*snap, k, &res);
-  return res;
+  return LookupInSnapshot(*snap, k);
 }
 
 void SearchBackend::LookupBatch(const Key* keys, int count,
@@ -381,15 +423,12 @@ void SearchBackend::LookupBatch(const Key* keys, int count,
       const Key k = keys[done + i];
       const Shard& shard =
           *shards_[static_cast<std::size_t>(RouteShard(k))];
-      snaps[i] = shard.snapshot.load(std::memory_order_seq_cst);
+      snaps[i] = shard.snapshot.load(std::memory_order_acquire);
       snaps[i]->substrate->Prefetch(k);
     }
     // Pass 2: the probes, bit-identical to scalar Lookup per key.
     for (int i = 0; i < chunk; ++i) {
-      const Key k = keys[done + i];
-      BackendOpResult res = snaps[i]->substrate->Lookup(k);
-      if (!res.found) ProbeOverlay(*snaps[i], k, &res);
-      out[done + i] = res;
+      out[done + i] = LookupInSnapshot(*snaps[i], keys[done + i]);
     }
     done += chunk;
   }
@@ -406,7 +445,7 @@ BackendOpResult SearchBackend::Scan(Key lo, Key hi) const {
   for (int s = first_shard; s <= last_shard; ++s) {
     const Shard& shard = *shards_[static_cast<std::size_t>(s)];
     const ShardSnapshot* snap =
-        shard.snapshot.load(std::memory_order_seq_cst);
+        shard.snapshot.load(std::memory_order_acquire);
     const BackendOpResult base = snap->substrate->RangeCount(lo, hi);
     res.work += base.work;
     res.range_count += base.range_count;
@@ -415,6 +454,14 @@ BackendOpResult SearchBackend::Scan(Key lo, Key hi) const {
       const auto end = CountedUpperBound(snap->overlay, hi);
       res.work += first.second + end.second;
       res.range_count += end.first - first.first;
+    }
+    if (!snap->tombstones.empty()) {
+      // Tombstoned keys are still counted by the substrate's
+      // RangeCount; subtract the ones in range.
+      const auto first = CountedLowerBound(snap->tombstones, lo);
+      const auto end = CountedUpperBound(snap->tombstones, hi);
+      res.work += first.second + end.second;
+      res.range_count -= end.first - first.first;
     }
   }
   res.found = res.range_count > 0;
@@ -426,7 +473,7 @@ std::int64_t SearchBackend::base_size() const {
   EpochDomain::Guard guard(EpochDomain::Global());
   std::int64_t total = 0;
   for (const auto& shard : shards_) {
-    total += shard->snapshot.load(std::memory_order_seq_cst)
+    total += shard->snapshot.load(std::memory_order_acquire)
                  ->substrate->size();
   }
   return total;
@@ -436,7 +483,7 @@ std::int64_t SearchBackend::shard_base_size(int shard) const {
   ReadPathScope read_scope;
   EpochDomain::Guard guard(EpochDomain::Global());
   return shards_[static_cast<std::size_t>(shard)]
-      ->snapshot.load(std::memory_order_seq_cst)
+      ->snapshot.load(std::memory_order_acquire)
       ->substrate->size();
 }
 
@@ -446,9 +493,26 @@ std::int64_t SearchBackend::overlay_size() const {
   std::int64_t total = 0;
   for (const auto& shard : shards_) {
     total += static_cast<std::int64_t>(
-        shard->snapshot.load(std::memory_order_seq_cst)->overlay.size());
+        shard->snapshot.load(std::memory_order_acquire)->overlay.size());
   }
   return total;
+}
+
+std::int64_t SearchBackend::tombstone_size() const {
+  ReadPathScope read_scope;
+  EpochDomain::Guard guard(EpochDomain::Global());
+  std::int64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += static_cast<std::int64_t>(
+        shard->snapshot.load(std::memory_order_acquire)->tombstones.size());
+  }
+  return total;
+}
+
+std::int64_t SearchBackend::shard_threshold(int shard) const {
+  Shard& s = *shards_[static_cast<std::size_t>(shard)];
+  std::lock_guard<WriterMutex> lock(s.write_mu);
+  return s.threshold;
 }
 
 Status SearchBackend::Insert(Key k) {
@@ -461,30 +525,42 @@ Status SearchBackend::Insert(Key k) {
     // publisher holds it), so the duplicate probe is race-free.
     const ShardSnapshot* snap =
         shard.snapshot.load(std::memory_order_acquire);
-    if (snap->substrate->Lookup(k).found) {
-      return Status::InvalidArgument("key already stored in the base index");
-    }
-    const auto b = CountedLowerBound(snap->overlay, k);
-    const std::size_t pos = static_cast<std::size_t>(b.first);
-    if (pos < snap->overlay.size() && snap->overlay[pos] == k) {
-      return Status::InvalidArgument("key already stored in the overlay");
-    }
-    // Publish a fresh snapshot: same substrate, overlay copied with the
-    // key spliced in. O(overlay) — bounded by the compaction threshold
-    // plus whatever accumulates during one off-thread rebuild; never a
-    // rebuild on this thread.
     auto* fresh = new ShardSnapshot();
-    fresh->substrate = snap->substrate;
-    fresh->overlay.reserve(snap->overlay.size() + 1);
-    fresh->overlay.insert(fresh->overlay.end(), snap->overlay.begin(),
-                          snap->overlay.begin() + static_cast<std::ptrdiff_t>(pos));
-    fresh->overlay.push_back(k);
-    fresh->overlay.insert(fresh->overlay.end(),
-                          snap->overlay.begin() + static_cast<std::ptrdiff_t>(pos),
-                          snap->overlay.end());
+    if (snap->substrate->Lookup(k).found) {
+      const auto t = CountedLowerBound(snap->tombstones, k);
+      const std::size_t tpos = static_cast<std::size_t>(t.first);
+      if (tpos >= snap->tombstones.size() || snap->tombstones[tpos] != k) {
+        delete fresh;
+        return Status::InvalidArgument(
+            "key already stored in the base index");
+      }
+      // Resurrection: the base key was removed earlier; clearing its
+      // tombstone makes it live again. The overlay is unchanged.
+      fresh->substrate = snap->substrate;
+      fresh->overlay = snap->overlay;
+      fresh->tombstones = WithErased(snap->tombstones, tpos);
+    } else {
+      const auto b = CountedLowerBound(snap->overlay, k);
+      const std::size_t pos = static_cast<std::size_t>(b.first);
+      if (pos < snap->overlay.size() && snap->overlay[pos] == k) {
+        delete fresh;
+        return Status::InvalidArgument("key already stored in the overlay");
+      }
+      // Publish a fresh snapshot: same substrate, overlay copied with
+      // the key spliced in. O(overlay) — bounded by the compaction
+      // threshold plus whatever accumulates during one off-thread
+      // rebuild; never a rebuild on this thread.
+      fresh->substrate = snap->substrate;
+      fresh->overlay = WithInserted(snap->overlay, pos, k);
+      fresh->tombstones = snap->tombstones;
+    }
     const std::int64_t published =
         static_cast<std::int64_t>(fresh->overlay.size());
-    shard.snapshot.store(fresh, std::memory_order_seq_cst);
+    const std::int64_t pending_keys =
+        published + static_cast<std::int64_t>(fresh->tombstones.size());
+    // Release publish: pairs with the read path's acquire loads (see
+    // the ShardSnapshot contract).
+    shard.snapshot.store(fresh, std::memory_order_release);
     retired = snap;
 
     std::int64_t prev = max_publish_overlay_.load(std::memory_order_relaxed);
@@ -493,7 +569,7 @@ Status SearchBackend::Insert(Key k) {
                prev, published, std::memory_order_relaxed)) {
     }
 
-    if (shard.threshold > 0 && published >= shard.threshold &&
+    if (shard.threshold > 0 && pending_keys >= shard.threshold &&
         !shard.compaction_pending) {
       shard.compaction_pending = true;
       trigger_compaction = true;
@@ -502,6 +578,65 @@ Status SearchBackend::Insert(Key k) {
   EpochDomain::Global().RetireDelete(retired);
   tl_publishes_->Add(1);
   tl_retires_->Add(1);
+  if (trigger_compaction) {
+    if (options_.sync_compaction || maintenance_ == nullptr) {
+      CompactShard(&shard, /*inline_call=*/true);
+    } else {
+      Shard* target = &shard;
+      maintenance_->Submit(
+          [this, target] { CompactShard(target, /*inline_call=*/false); });
+    }
+  }
+  return Status::OK();
+}
+
+Status SearchBackend::Remove(Key k) {
+  Shard& shard = *shards_[static_cast<std::size_t>(RouteShard(k))];
+  const ShardSnapshot* retired = nullptr;
+  bool trigger_compaction = false;
+  {
+    std::lock_guard<WriterMutex> lock(shard.write_mu);
+    const ShardSnapshot* snap =
+        shard.snapshot.load(std::memory_order_acquire);
+    auto* fresh = new ShardSnapshot();
+    fresh->substrate = snap->substrate;
+    const auto b = CountedLowerBound(snap->overlay, k);
+    const std::size_t pos = static_cast<std::size_t>(b.first);
+    if (pos < snap->overlay.size() && snap->overlay[pos] == k) {
+      // Overlay key: splice it out; no tombstone needed.
+      fresh->overlay = WithErased(snap->overlay, pos);
+      fresh->tombstones = snap->tombstones;
+    } else if (snap->substrate->Lookup(k).found) {
+      const auto t = CountedLowerBound(snap->tombstones, k);
+      const std::size_t tpos = static_cast<std::size_t>(t.first);
+      if (tpos < snap->tombstones.size() && snap->tombstones[tpos] == k) {
+        delete fresh;
+        return Status::NotFound("key already removed");
+      }
+      // Base-substrate key: mark it dead with a tombstone; the next
+      // compaction rebuilds without it.
+      fresh->overlay = snap->overlay;
+      fresh->tombstones = WithInserted(snap->tombstones, tpos, k);
+    } else {
+      delete fresh;
+      return Status::NotFound("key not stored");
+    }
+    const std::int64_t pending_keys =
+        static_cast<std::int64_t>(fresh->overlay.size()) +
+        static_cast<std::int64_t>(fresh->tombstones.size());
+    shard.snapshot.store(fresh, std::memory_order_release);
+    retired = snap;
+    if (shard.threshold > 0 && pending_keys >= shard.threshold &&
+        !shard.compaction_pending) {
+      shard.compaction_pending = true;
+      trigger_compaction = true;
+    }
+  }
+  EpochDomain::Global().RetireDelete(retired);
+  removes_.fetch_add(1, std::memory_order_relaxed);
+  tl_publishes_->Add(1);
+  tl_retires_->Add(1);
+  tl_removes_->Add(1);
   if (trigger_compaction) {
     if (options_.sync_compaction || maintenance_ == nullptr) {
       CompactShard(&shard, /*inline_call=*/true);
@@ -527,6 +662,7 @@ void SearchBackend::CompactShard(Shard* shard, bool inline_call) {
                    refill_pass ? "compact(refill)" : "compact(threshold)",
                    shard_index);
     std::vector<Key> compacted_overlay;
+    std::vector<Key> compacted_tombstones;
     std::vector<Key> base;
     KeyDomain domain{0, 0};
     {
@@ -534,32 +670,48 @@ void SearchBackend::CompactShard(Shard* shard, bool inline_call) {
       const ShardSnapshot* snap =
           shard->snapshot.load(std::memory_order_acquire);
       if (shard->threshold <= 0 ||
-          static_cast<std::int64_t>(snap->overlay.size()) <
+          static_cast<std::int64_t>(snap->overlay.size() +
+                                    snap->tombstones.size()) <
               shard->threshold) {
         shard->compaction_pending = false;
         return;
       }
       compacted_overlay = snap->overlay;
+      compacted_tombstones = snap->tombstones;
       base = shard->base_keys;
       domain = shard->domain;
     }
 
-    // Expensive part, NO locks held: merge the overlay into the base
-    // key list and retrain/rebuild the substrate. Inserts keep landing
-    // on the live snapshot meanwhile. The serving domain is the hull of
-    // the build domain and everything inserted so far, so the rebuild
-    // cannot reject out-of-domain inserts.
+    // Expensive part, NO locks held: drop the tombstoned keys from the
+    // base key list, merge the overlay in, and retrain/rebuild the
+    // substrate. Writes keep landing on the live snapshot meanwhile.
+    // The serving domain is the hull of the build domain and everything
+    // inserted so far, so the rebuild cannot reject out-of-domain
+    // inserts.
+    std::vector<Key> alive;
+    alive.reserve(base.size());
+    std::set_difference(base.begin(), base.end(),
+                        compacted_tombstones.begin(),
+                        compacted_tombstones.end(),
+                        std::back_inserter(alive));
     std::vector<Key> merged;
-    merged.reserve(base.size() + compacted_overlay.size());
-    std::merge(base.begin(), base.end(), compacted_overlay.begin(),
+    merged.reserve(alive.size() + compacted_overlay.size());
+    std::merge(alive.begin(), alive.end(), compacted_overlay.begin(),
                compacted_overlay.end(), std::back_inserter(merged));
-    if (merged.front() < domain.lo) domain.lo = merged.front();
-    if (merged.back() > domain.hi) domain.hi = merged.back();
+    if (!merged.empty()) {
+      if (merged.front() < domain.lo) domain.lo = merged.front();
+      if (merged.back() > domain.hi) domain.hi = merged.back();
+    }
     std::shared_ptr<const IndexSubstrate> built;
-    auto keyset = KeySet::Create(merged, domain);  // Copies; merged kept.
-    if (keyset.ok()) {
-      auto substrate = BuildSubstrate(kind_, *keyset, options_);
-      if (substrate.ok()) built = std::move(*substrate);
+    const bool injected_fault =
+        options_.rebuild_fault_injector != nullptr &&
+        options_.rebuild_fault_injector(static_cast<int>(shard_index));
+    if (!injected_fault && !merged.empty()) {
+      auto keyset = KeySet::Create(merged, domain);  // Copies; merged kept.
+      if (keyset.ok()) {
+        auto substrate = BuildSubstrate(kind_, *keyset, options_);
+        if (substrate.ok()) built = std::move(*substrate);
+      }
     }
 
     const ShardSnapshot* retired = nullptr;
@@ -567,10 +719,12 @@ void SearchBackend::CompactShard(Shard* shard, bool inline_call) {
     {
       std::lock_guard<WriterMutex> lock(shard->write_mu);
       if (built == nullptr) {
-        // A failed rebuild keeps serving from the intact overlay;
-        // double the threshold so later inserts do not retry the O(n)
-        // merge on every call.
-        shard->threshold *= 2;
+        // A failed rebuild keeps serving from the intact overlay.
+        // Back off the threshold (so later writes do not retry the
+        // O(n) merge on every call), capped at 8x the configured
+        // value; the next successful compaction restores it.
+        const std::int64_t cap = options_.compact_threshold * 8;
+        shard->threshold = std::min(shard->threshold * 2, cap);
         shard->compaction_pending = false;
         tl_rebuild_failures_->Add(1);
         TraceInstant(TraceCategory::kServing, "rebuild_failure",
@@ -581,18 +735,64 @@ void SearchBackend::CompactShard(Shard* shard, bool inline_call) {
           shard->snapshot.load(std::memory_order_acquire);
       auto* fresh = new ShardSnapshot();
       fresh->substrate = std::move(built);
-      // Keys inserted while the rebuild ran survive: the live overlay
-      // is a superset of the compacted one (both sorted), and the
-      // difference seeds the successor snapshot's overlay.
-      fresh->overlay.reserve(cur->overlay.size() -
-                             compacted_overlay.size());
+      // Writes that landed while the rebuild ran survive, in four
+      // disjoint sorted pieces relative to what the rebuild consumed:
+      //   overlay   = (live overlay \ compacted overlay)       [new inserts]
+      //             ∪ (compacted tombstones \ live tombstones) [resurrected
+      //               base keys the rebuild dropped]
+      //   tombstones= (live tombstones \ compacted tombstones) [new removes
+      //               of keys the rebuild kept]
+      //             ∪ (compacted overlay \ live overlay)       [removed
+      //               overlay keys the rebuild folded in]
+      // Every piece is a set_difference, so nothing here can underflow
+      // a size computation regardless of which side grew.
+      std::vector<Key> new_inserts;
       std::set_difference(cur->overlay.begin(), cur->overlay.end(),
                           compacted_overlay.begin(),
                           compacted_overlay.end(),
-                          std::back_inserter(fresh->overlay));
-      refill = static_cast<std::int64_t>(fresh->overlay.size()) >=
+                          std::back_inserter(new_inserts));
+      std::vector<Key> resurrected;
+      std::set_difference(compacted_tombstones.begin(),
+                          compacted_tombstones.end(),
+                          cur->tombstones.begin(), cur->tombstones.end(),
+                          std::back_inserter(resurrected));
+      std::vector<Key> new_removes;
+      std::set_difference(cur->tombstones.begin(), cur->tombstones.end(),
+                          compacted_tombstones.begin(),
+                          compacted_tombstones.end(),
+                          std::back_inserter(new_removes));
+      std::vector<Key> dead_overlay;
+      std::set_difference(compacted_overlay.begin(),
+                          compacted_overlay.end(), cur->overlay.begin(),
+                          cur->overlay.end(),
+                          std::back_inserter(dead_overlay));
+      // Superset invariant, asserted explicitly: the only way a
+      // compacted key can leave the live overlay (or a compacted
+      // tombstone can clear) is a Remove/resurrecting-Insert executed
+      // during the rebuild. With no removes ever issued, the live
+      // overlay must therefore be a superset of the compacted one.
+      if (removes_.load(std::memory_order_relaxed) == 0 &&
+          (!resurrected.empty() || !dead_overlay.empty())) {
+        std::fprintf(stderr,
+                     "lispoison: compaction publish invariant violated — "
+                     "live overlay lost keys without any Remove\n");
+        std::abort();
+      }
+      fresh->overlay.reserve(new_inserts.size() + resurrected.size());
+      std::merge(new_inserts.begin(), new_inserts.end(),
+                 resurrected.begin(), resurrected.end(),
+                 std::back_inserter(fresh->overlay));
+      fresh->tombstones.reserve(new_removes.size() + dead_overlay.size());
+      std::merge(new_removes.begin(), new_removes.end(),
+                 dead_overlay.begin(), dead_overlay.end(),
+                 std::back_inserter(fresh->tombstones));
+      // A successful compaction restores the configured cadence after
+      // any failure backoff.
+      shard->threshold = options_.compact_threshold;
+      refill = static_cast<std::int64_t>(fresh->overlay.size() +
+                                         fresh->tombstones.size()) >=
                shard->threshold;
-      shard->snapshot.store(fresh, std::memory_order_seq_cst);
+      shard->snapshot.store(fresh, std::memory_order_release);
       retired = cur;
       shard->base_keys = std::move(merged);
       shard->domain = domain;

@@ -44,6 +44,7 @@
 #define LISPOISON_WORKLOAD_SEARCH_BACKEND_H_
 
 #include <atomic>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -100,20 +101,51 @@ struct BackendOptions {
   /// bit-stable; serving runs leave it off so no insert ever pays a
   /// rebuild.
   bool sync_compaction = false;
+
+  /// Test-only fault injection: when set, CompactShard consults it (on
+  /// the compacting thread, no locks held) once per substrate rebuild
+  /// attempt with the shard index. Returning true makes that rebuild
+  /// fail exactly as a substrate build error would, exercising the
+  /// threshold backoff / restore-on-success recovery path. Must be
+  /// thread-safe; never set in production configs.
+  std::function<bool(int shard)> rebuild_fault_injector;
 };
 
 /// Internal immutable per-shard index structure (defined in the .cc).
 class IndexSubstrate;
 
-/// \brief One published, immutable shard state: substrate + overlay.
+/// \brief One published, immutable shard state: substrate + overlay +
+/// tombstones.
 ///
 /// Readers hold instances only inside an epoch guard; writers replace
 /// the pointer wholesale and retire the predecessor. The substrate is
-/// shared between consecutive snapshots (inserts change only the
-/// overlay), so an insert costs an O(overlay) copy, never a rebuild.
+/// shared between consecutive snapshots (inserts and removes change
+/// only the overlay/tombstone vectors), so a write costs an O(overlay)
+/// copy, never a rebuild.
+///
+/// PUBLISH CONTRACT (the memory-ordering rules every access follows):
+///   * A writer fully constructs the successor snapshot — substrate
+///     pointer, overlay, tombstones — before publishing it with a
+///     single store(memory_order_release) to Shard::snapshot.
+///   * Readers load the pointer with memory_order_acquire (inside an
+///     epoch guard), which synchronizes-with the release store, so the
+///     snapshot's contents are visible without further fences. No
+///     snapshot access uses seq_cst: acquire/release is the whole
+///     contract, and cross-shard ordering is never assumed.
+///   * The displaced snapshot is retired through EpochDomain, which
+///     frees it only after every reader that could hold the pointer
+///     has left its guard.
+///   * Writers serialize on Shard::write_mu; the mutex alone orders
+///     writer-to-writer access, the release store orders
+///     writer-to-reader access.
 struct ShardSnapshot {
   std::shared_ptr<const IndexSubstrate> substrate;
   std::vector<Key> overlay;  ///< Sorted, unique, disjoint from the base.
+  /// Base-substrate keys that have been removed: sorted, unique, always
+  /// a subset of the substrate's keys and disjoint from the overlay. A
+  /// substrate hit on a tombstoned key reports found = false; scans
+  /// subtract tombstones in range. Compaction folds them away.
+  std::vector<Key> tombstones;
 };
 
 /// \brief Shard writer mutex with a read-path tripwire: locking it
@@ -175,14 +207,26 @@ class SearchBackend {
   /// shard's base + overlay. Lock-free. Empty result when lo > hi.
   BackendOpResult Scan(Key lo, Key hi) const;
 
-  /// \brief Inserts \p k into the owning shard's overlay. Fails with
-  /// InvalidArgument when the key is already present (base or overlay).
-  /// Takes only the shard's writer mutex; never rebuilds inline unless
-  /// sync_compaction is set.
+  /// \brief Inserts \p k into the owning shard's overlay (or, when \p k
+  /// is a tombstoned base key, resurrects it by clearing the
+  /// tombstone). Fails with InvalidArgument when the key is already
+  /// live (base or overlay). Takes only the shard's writer mutex; never
+  /// rebuilds inline unless sync_compaction is set.
   Status Insert(Key k);
+
+  /// \brief Removes \p k: an overlay key is spliced out of the overlay,
+  /// a base-substrate key gains a tombstone. Fails with NotFound when
+  /// the key is not live. Same write-path shape as Insert — writer
+  /// mutex, COW snapshot publish, epoch retire; the §V deletion /
+  /// modification attack streams run through here.
+  Status Remove(Key k);
 
   /// \brief Keys currently across all insert overlays.
   std::int64_t overlay_size() const;
+
+  /// \brief Tombstoned (removed-but-still-in-substrate) keys across all
+  /// shards.
+  std::int64_t tombstone_size() const;
 
   /// \brief Overlay-into-base merges performed so far (all shards).
   std::int64_t compactions() const {
@@ -208,6 +252,19 @@ class SearchBackend {
     return options_.compact_threshold;
   }
 
+  /// \brief The *effective* compaction threshold of one shard right
+  /// now. Equals compact_threshold() except transiently after a failed
+  /// rebuild: each failure doubles it (capped at 8x the configured
+  /// value) and the next successful compaction restores it. Takes the
+  /// shard's writer mutex — test/diagnostic accessor, not a read-path
+  /// call.
+  std::int64_t shard_threshold(int shard) const;
+
+  /// \brief Successful Remove calls so far (all shards).
+  std::int64_t removes() const {
+    return removes_.load(std::memory_order_relaxed);
+  }
+
   /// \brief Blocks until every queued background compaction (including
   /// follow-ups triggered by overlays that refilled during a rebuild)
   /// has published. Test/bench quiescence point; no-op in sync mode.
@@ -224,7 +281,9 @@ class SearchBackend {
     mutable WriterMutex write_mu;
     std::vector<Key> base_keys;   // Compaction input; threshold > 0 only.
     KeyDomain domain{0, 0};
-    std::int64_t threshold = 0;   // Doubles if a rebuild fails.
+    // Effective threshold: doubles after a failed rebuild (capped at 8x
+    // the configured value), restored by the next successful compaction.
+    std::int64_t threshold = 0;
     bool compaction_pending = false;
   };
 
@@ -250,6 +309,7 @@ class SearchBackend {
   std::atomic<std::int64_t> compactions_{0};
   std::atomic<std::int64_t> inline_compactions_{0};
   std::atomic<std::int64_t> max_publish_overlay_{0};
+  std::atomic<std::int64_t> removes_{0};
 
   // Telemetry instruments (process-lived registry objects; the pointers
   // are cached here so the hot paths skip the registry's name map).
@@ -262,6 +322,7 @@ class SearchBackend {
   TelemetryCounter* tl_retires_ = nullptr;
   TelemetryCounter* tl_compactions_ = nullptr;
   TelemetryCounter* tl_rebuild_failures_ = nullptr;
+  TelemetryCounter* tl_removes_ = nullptr;
 
   // Declared last: destroyed first, draining queued compactions before
   // the shards they reference go away.

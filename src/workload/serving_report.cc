@@ -1,5 +1,6 @@
 #include "workload/serving_report.h"
 
+#include <algorithm>
 #include <fstream>
 
 #include "common/json_writer.h"
@@ -68,13 +69,15 @@ void WriteScalarMap(JsonWriter* w, const std::string& key,
   w->EndObject();
 }
 
-void WriteTimeSeries(JsonWriter* w, const ServingReport& report) {
+void WriteTimeSeries(JsonWriter* w, std::int64_t interval_ms,
+                     const std::vector<TelemetryIntervalRow>& rows,
+                     const MetricsSnapshot& totals) {
   w->Key("time_series");
   w->BeginObject();
-  w->KV("interval_ms", report.telemetry_interval_ms);
+  w->KV("interval_ms", interval_ms);
   w->Key("rows");
   w->BeginArray();
-  for (const TelemetryIntervalRow& row : report.time_series) {
+  for (const TelemetryIntervalRow& row : rows) {
     w->BeginObject();
     w->KV("t_start_ns", row.t_start_ns);
     w->KV("t_end_ns", row.t_end_ns);
@@ -99,15 +102,24 @@ void WriteTimeSeries(JsonWriter* w, const ServingReport& report) {
   // The cumulative deltas the rows must sum to — the gate's identity.
   w->Key("totals");
   w->BeginObject();
-  WriteScalarMap(w, "counters", report.telemetry_totals.counters);
+  WriteScalarMap(w, "counters", totals.counters);
   w->Key("histogram_counts");
   w->BeginObject();
-  for (const auto& h : report.telemetry_totals.histograms) {
+  for (const auto& h : totals.histograms) {
     w->KV(h.name, h.count);
   }
   w->EndObject();
   w->EndObject();
   w->EndObject();
+}
+
+/// Counter delta by name in one interval row (0 when absent).
+std::int64_t RowCounter(const TelemetryIntervalRow& row,
+                        const std::string& name) {
+  for (const auto& s : row.counter_deltas) {
+    if (s.name == name) return s.value;
+  }
+  return 0;
 }
 
 void WriteTelemetryOverhead(JsonWriter* w,
@@ -193,7 +205,10 @@ void ServingReport::WriteJson(std::ostream* os) const {
   }
   w.EndArray();
 
-  if (has_telemetry) WriteTimeSeries(&w, *this);
+  if (has_telemetry) {
+    WriteTimeSeries(&w, telemetry_interval_ms, time_series,
+                    telemetry_totals);
+  }
   if (telemetry_overhead.present) {
     WriteTelemetryOverhead(&w, telemetry_overhead);
   }
@@ -278,6 +293,177 @@ Status ScalingReport::WriteJsonFile(const std::string& path) const {
   out.flush();
   if (!out.good()) {
     return Status::IOError("failed writing scaling report to '" + path + "'");
+  }
+  return Status::OK();
+}
+
+void AdversarialReport::BuildRoiRows() {
+  roi_rows.clear();
+  roi_rows.reserve(time_series.size());
+  const std::int64_t clean_p99 = clean_result.read_latency.P99();
+  std::int64_t cum = 0;
+  for (const TelemetryIntervalRow& row : time_series) {
+    AdversarialRoiRow r;
+    r.t_start_ns = row.t_start_ns;
+    r.t_end_ns = row.t_end_ns;
+    r.attacker_ops = RowCounter(row, "adversary.inserts") +
+                     RowCounter(row, "adversary.deletes") +
+                     RowCounter(row, "adversary.modifies");
+    cum += r.attacker_ops;
+    r.attacker_ops_cum = cum;
+    r.attacker_rejected = RowCounter(row, "adversary.rejected");
+    r.replans = RowCounter(row, "adversary.replans");
+    r.compactions = RowCounter(row, "serving.compactions");
+    for (const auto& h : row.histograms) {
+      if (h.name == "driver.read_latency_ns") {
+        r.reads = h.count;
+        if (h.count > 0) r.read_p99_ns = h.histogram.P99();
+      }
+    }
+    if (r.reads > 0 && clean_p99 > 0) {
+      r.p99_vs_clean = static_cast<double>(r.read_p99_ns) /
+                       static_cast<double>(clean_p99);
+      r.roi_p99_ns_per_op =
+          static_cast<double>(r.read_p99_ns - clean_p99) /
+          static_cast<double>(std::max<std::int64_t>(1, cum));
+    }
+    roi_rows.push_back(r);
+  }
+}
+
+namespace {
+
+/// One serving arm of the adversarial study: the driver-result block
+/// shared by the clean and attacked sections.
+void WriteAdversarialArm(JsonWriter* w, const DriverResult& r) {
+  w->KV("num_threads", r.num_threads_used);
+  w->KV("total_ops", r.total_ops);
+  w->KV("reads", r.reads);
+  w->KV("inserts", r.inserts);
+  w->KV("insert_failures", r.insert_failures);
+  w->KV("elapsed_seconds", r.elapsed_seconds);
+  w->KV("throughput_ops_per_sec", r.ThroughputOpsPerSec());
+  w->Key("work");
+  w->BeginObject();
+  w->KV("total", r.total_work);
+  w->KV("mean", r.MeanWork());
+  w->KV("max", r.max_work);
+  w->EndObject();
+  w->Key("latency_ns");
+  w->BeginObject();
+  WriteHistogram(w, "overall", r.latency);
+  if (r.reads > 0) WriteHistogram(w, "read", r.read_latency);
+  if (r.inserts > 0) WriteHistogram(w, "insert", r.insert_latency);
+  w->EndObject();
+}
+
+}  // namespace
+
+void AdversarialReport::WriteJson(std::ostream* os) const {
+  JsonWriter w(os);
+  w.BeginObject();
+  w.KV("title", title);
+  w.Key("environment");
+  w.BeginObject();
+  w.KV("hardware_concurrency", hardware_concurrency);
+  w.KV("keys", keys);
+  w.KV("ops", ops);
+  w.KV("num_threads", num_threads);
+  w.KV("num_shards", num_shards);
+  w.KV("read_group", read_group);
+  w.KV("compact_threshold", compact_threshold);
+  w.KV("sync_compaction", sync_compaction ? 1 : 0);
+  w.KV("seed", static_cast<std::int64_t>(seed));
+  w.KV("workload", workload);
+  w.EndObject();
+
+  w.Key("clean");
+  w.BeginObject();
+  WriteAdversarialArm(&w, clean_result);
+  w.KV("compactions", clean_compactions);
+  w.EndObject();
+
+  w.Key("attacked");
+  w.BeginObject();
+  WriteAdversarialArm(&w, attacked_result);
+  w.KV("compactions", attacked_compactions);
+  w.KV("inline_compactions", attacked_inline_compactions);
+  w.KV("rebuild_failures", attacked_rebuild_failures);
+  w.EndObject();
+
+  w.Key("adversary");
+  w.BeginObject();
+  w.KV("ops_planned", adversary.ops_planned);
+  w.KV("inserts", adversary.inserts);
+  w.KV("deletes", adversary.deletes);
+  w.KV("modifies", adversary.modifies);
+  w.KV("rejected", adversary.rejected);
+  w.KV("skipped", adversary.skipped);
+  w.KV("replans", adversary.replans);
+  w.KV("retrains_observed", adversary.retrains_observed);
+  w.KV("live_poison_keys",
+       static_cast<std::int64_t>(adversary.live_poison_keys.size()));
+  w.KV("removed_legit_keys",
+       static_cast<std::int64_t>(adversary.removed_legit_keys.size()));
+  w.KV("initial_mean_model_loss", adversary.initial_mean_model_loss);
+  w.KV("final_mean_model_loss", adversary.final_mean_model_loss);
+  w.KV("elapsed_seconds", adversary.elapsed_seconds);
+  w.Key("argmax");
+  w.BeginObject();
+  w.KV("rounds", adversary.argmax_stats.rounds);
+  w.KV("exact_evals", adversary.argmax_stats.exact_evals);
+  w.KV("bound_evals", adversary.argmax_stats.bound_evals);
+  w.KV("pruned_gaps", adversary.argmax_stats.pruned_gaps);
+  w.EndObject();
+  w.EndObject();
+
+  // The headline: what the attack cost the victim's readers, per
+  // attacker op, interval by interval.
+  w.Key("roi");
+  w.BeginObject();
+  w.KV("clean_read_p99_ns", clean_result.read_latency.P99());
+  w.KV("attacked_read_p99_ns", attacked_result.read_latency.P99());
+  w.KV("p99_ratio",
+       SafeRatio(static_cast<double>(attacked_result.read_latency.P99()),
+                 static_cast<double>(clean_result.read_latency.P99())));
+  w.KV("mean_work_ratio",
+       SafeRatio(attacked_result.MeanWork(), clean_result.MeanWork()));
+  w.Key("rows");
+  w.BeginArray();
+  for (const AdversarialRoiRow& r : roi_rows) {
+    w.BeginObject();
+    w.KV("t_start_ns", r.t_start_ns);
+    w.KV("t_end_ns", r.t_end_ns);
+    w.KV("attacker_ops", r.attacker_ops);
+    w.KV("attacker_ops_cum", r.attacker_ops_cum);
+    w.KV("attacker_rejected", r.attacker_rejected);
+    w.KV("replans", r.replans);
+    w.KV("compactions", r.compactions);
+    w.KV("reads", r.reads);
+    w.KV("read_p99_ns", r.read_p99_ns);
+    w.KV("p99_vs_clean", r.p99_vs_clean);
+    w.KV("roi_p99_ns_per_op", r.roi_p99_ns_per_op);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+
+  WriteTimeSeries(&w, telemetry_interval_ms, time_series,
+                  telemetry_totals);
+  w.EndObject();
+  *os << '\n';
+}
+
+Status AdversarialReport::WriteJsonFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::IOError("cannot open '" + path + "' for writing");
+  }
+  WriteJson(&out);
+  out.flush();
+  if (!out.good()) {
+    return Status::IOError("failed writing adversarial report to '" + path +
+                           "'");
   }
   return Status::OK();
 }

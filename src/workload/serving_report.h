@@ -17,6 +17,7 @@
 
 #include "common/status.h"
 #include "common/telemetry.h"
+#include "workload/adversary.h"
 #include "workload/query_driver.h"
 
 namespace lispoison {
@@ -123,6 +124,73 @@ struct ScalingReport {
 
   std::vector<ScalingRow> read_rows;       ///< Sorted by thread count.
   std::vector<InsertArmResult> insert_arms;
+
+  void WriteJson(std::ostream* os) const;
+  Status WriteJsonFile(const std::string& path) const;
+};
+
+/// \brief One interval of the poisoning-ROI time series: the attack's
+/// per-interval cost (attacker ops executed) against its per-interval
+/// payoff (read p99 degradation vs the clean baseline). Derived from
+/// the sampler's interval rows, so the attacker-op columns telescope
+/// exactly to the adversary.* counter totals — the identity the
+/// --adversarial gate checks.
+struct AdversarialRoiRow {
+  std::int64_t t_start_ns = 0;
+  std::int64_t t_end_ns = 0;
+  std::int64_t attacker_ops = 0;      ///< adversary op-counter deltas
+                                      ///< (inserts+deletes+modifies).
+  std::int64_t attacker_ops_cum = 0;  ///< Running total through this row.
+  std::int64_t attacker_rejected = 0;
+  std::int64_t replans = 0;           ///< Attacker replans this interval.
+  std::int64_t compactions = 0;       ///< Victim retrains this interval.
+  std::int64_t reads = 0;             ///< Sampled driver reads.
+  std::int64_t read_p99_ns = 0;       ///< Interval read p99 (0: no reads).
+  double p99_vs_clean = 0;            ///< read_p99 / clean-arm read p99.
+  double roi_p99_ns_per_op = 0;       ///< (read_p99 - clean p99) /
+                                      ///< max(1, attacker_ops_cum).
+};
+
+/// \brief The adversary-in-the-loop study: one clean serving arm for
+/// the baseline, one arm where the online attacker races the same
+/// driver traffic through the live write path, plus the poisoning-ROI
+/// time series. Serialized to the committed BENCH_adversarial.json
+/// that tools/check_bench_json.py --adversarial gates in tier-1.
+struct AdversarialReport {
+  std::string title = "lispoison adversarial serving";
+
+  std::int64_t hardware_concurrency = 0;
+  std::int64_t keys = 0;
+  std::int64_t ops = 0;  ///< Legitimate driver ops per arm.
+  int num_threads = 0;
+  int num_shards = 1;
+  int read_group = 1;
+  std::int64_t compact_threshold = 0;
+  bool sync_compaction = false;  ///< Must be false in the committed run.
+  std::uint64_t seed = 0;
+  std::string workload;
+
+  DriverResult clean_result;
+  std::int64_t clean_compactions = 0;
+
+  DriverResult attacked_result;
+  std::int64_t attacked_compactions = 0;  ///< During the attack window.
+  std::int64_t attacked_inline_compactions = 0;
+  std::int64_t attacked_rebuild_failures = 0;
+
+  AdversaryResult adversary;
+
+  /// The sampler's rows over the attack window (sampler started at the
+  /// attack arm's first op, stopped after quiescence), with the totals
+  /// they telescope to.
+  std::int64_t telemetry_interval_ms = 0;
+  std::vector<TelemetryIntervalRow> time_series;
+  MetricsSnapshot telemetry_totals;
+  std::vector<AdversarialRoiRow> roi_rows;
+
+  /// \brief Derives roi_rows from time_series against the clean arm's
+  /// read p99. Call once after the attack arm completes.
+  void BuildRoiRows();
 
   void WriteJson(std::ostream* os) const;
   Status WriteJsonFile(const std::string& path) const;

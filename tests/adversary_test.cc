@@ -1,0 +1,213 @@
+// Online-adversary coverage: the attacker's view must track the
+// victim's actual membership through its own writes, racing driver
+// traffic, async compactions/retrains, and injected rebuild failures.
+//
+// Membership oracles are the ground truth here: every key the result
+// reports as live poison must Lookup as found on the victim, every
+// legitimate key it reports removed must be gone — including after the
+// substrate has been retrained out from under the attacker and the
+// adversary replanned against the fresh index.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/generators.h"
+#include "data/keyset.h"
+#include "workload/adversary.h"
+#include "workload/query_driver.h"
+#include "workload/search_backend.h"
+#include "workload/workload.h"
+
+namespace lispoison {
+namespace {
+
+KeySet TestKeys(std::int64_t n, std::uint64_t seed = 31) {
+  Rng rng(seed);
+  auto ks = GenerateUniform(n, KeyDomain{0, 100 * n}, &rng);
+  EXPECT_TRUE(ks.ok());
+  return *ks;
+}
+
+std::unique_ptr<SearchBackend> MakeVictim(
+    const KeySet& ks, std::int64_t compact_threshold,
+    std::function<bool(int)> injector = nullptr,
+    bool sync_compaction = false) {
+  BackendOptions opts;
+  opts.rmi.target_model_size = 200;
+  opts.num_shards = 2;
+  opts.compact_threshold = compact_threshold;
+  opts.sync_compaction = sync_compaction;
+  opts.rebuild_fault_injector = std::move(injector);
+  auto backend = CreateBackend(BackendKind::kRmi, ks, opts);
+  EXPECT_TRUE(backend.ok()) << backend.status().message();
+  return std::move(*backend);
+}
+
+void CheckMembership(SearchBackend* victim, const AdversaryResult& result) {
+  for (const Key k : result.live_poison_keys) {
+    EXPECT_TRUE(victim->Lookup(k).found) << "live poison key " << k;
+  }
+  for (const Key k : result.removed_legit_keys) {
+    EXPECT_FALSE(victim->Lookup(k).found) << "removed legit key " << k;
+  }
+}
+
+TEST(AdversaryTest, OnlineStreamTracksVictimMembership) {
+  const KeySet base = TestKeys(4000);
+  auto victim = MakeVictim(base, /*compact_threshold=*/0);
+
+  AdversaryOptions opts;
+  opts.ops = 200;
+  opts.model_size = 200;
+  opts.seed = 5;
+  auto result = RunOnlineAdversary(victim.get(), base, opts);
+  ASSERT_TRUE(result.ok()) << result.status().message();
+
+  // Solo attacker, exact view: nothing can race it to a key, so no op
+  // is ever rejected and the op partition accounts for every planned op.
+  EXPECT_EQ(result->ops_planned, opts.ops);
+  EXPECT_EQ(result->rejected, 0);
+  EXPECT_EQ(result->inserts + result->deletes + result->modifies +
+                result->skipped,
+            opts.ops);
+  EXPECT_GT(result->inserts, 0);
+  EXPECT_GT(result->deletes, 0);
+
+  // No compaction configured: nothing to observe, nothing to replan.
+  EXPECT_EQ(result->retrains_observed, 0);
+  EXPECT_EQ(result->replans, 0);
+
+  // The attack made the attacker-side loss surface worse (Theorem 1's
+  // direction); the victim-side truth is the serving benchmarks' job.
+  EXPECT_GT(result->final_mean_model_loss, result->initial_mean_model_loss);
+
+  CheckMembership(victim.get(), *result);
+  // No compaction ran, so every removed legit key is exactly one
+  // tombstone; live poison keys live in the overlay except the ones
+  // that resurrected a previously-removed base key (substrate hits).
+  EXPECT_EQ(static_cast<std::int64_t>(result->removed_legit_keys.size()),
+            victim->tombstone_size());
+  EXPECT_LE(victim->overlay_size(),
+            static_cast<std::int64_t>(result->live_poison_keys.size()));
+  EXPECT_GT(victim->overlay_size(), 0);
+}
+
+TEST(AdversaryTest, ReplansAfterObservingRetrains) {
+  const KeySet base = TestKeys(4000, /*seed=*/37);
+  // A tight threshold so the attacker's own writes force retrains;
+  // sync compaction so the retrain lands inline on the attacker's own
+  // insert (deterministically before its next counter poll) instead of
+  // racing the short run on the maintenance thread.
+  auto victim = MakeVictim(base, /*compact_threshold=*/48,
+                           /*injector=*/nullptr, /*sync_compaction=*/true);
+
+  AdversaryOptions opts;
+  opts.ops = 300;
+  opts.model_size = 200;
+  opts.replan_check_every = 4;
+  opts.seed = 6;
+  auto result = RunOnlineAdversary(victim.get(), base, opts);
+  ASSERT_TRUE(result.ok()) << result.status().message();
+  victim->WaitForMaintenance();
+
+  EXPECT_GE(result->retrains_observed, 1);
+  EXPECT_GE(result->replans, 1);
+  CheckMembership(victim.get(), *result);
+}
+
+TEST(AdversaryTest, RacesReadOnlyDriverTraffic) {
+  const KeySet base = TestKeys(6000, /*seed=*/41);
+  auto victim = MakeVictim(base, /*compact_threshold=*/96);
+
+  // Read-only legitimate traffic: membership after the race is fully
+  // determined by the adversary's stream, so the oracles stay exact.
+  const WorkloadSpec spec = ReadOnlyUniformWorkload(/*seed=*/8);
+  auto ops = GenerateOperations(spec, base, 30000);
+  ASSERT_TRUE(ops.ok());
+  DriverOptions driver_opts;
+  driver_opts.num_threads = 2;
+  driver_opts.read_group = 8;
+
+  AdversaryOptions adv;
+  adv.ops = 250;
+  adv.model_size = 200;
+  adv.pace_ns = 20000;
+  adv.seed = 9;
+
+  Result<AdversaryResult> adv_result = AdversaryResult{};
+  std::thread attacker([&] {
+    adv_result = RunOnlineAdversary(victim.get(), base, adv);
+  });
+  auto driver_result = RunWorkload(victim.get(), *ops, driver_opts);
+  attacker.join();
+  victim->WaitForMaintenance();
+
+  ASSERT_TRUE(driver_result.ok()) << driver_result.status().message();
+  ASSERT_TRUE(adv_result.ok()) << adv_result.status().message();
+  EXPECT_EQ(driver_result->reads,
+            static_cast<std::int64_t>(ops->size()));
+  EXPECT_GT(adv_result->inserts, 0);
+  CheckMembership(victim.get(), *adv_result);
+
+  // Untouched base keys must still be served.
+  std::set<Key> removed(adv_result->removed_legit_keys.begin(),
+                        adv_result->removed_legit_keys.end());
+  int probed = 0;
+  for (std::size_t i = 0; i < base.keys().size() && probed < 200; i += 29) {
+    if (removed.count(base.keys()[i])) continue;
+    EXPECT_TRUE(victim->Lookup(base.keys()[i]).found);
+    ++probed;
+  }
+}
+
+TEST(AdversaryTest, SurvivesRebuildFailuresMidRun) {
+  const KeySet base = TestKeys(5000, /*seed=*/43);
+  // Every other rebuild attempt fails: the attack window interleaves
+  // backoffs, recoveries, and threshold restores while the adversary
+  // keeps writing and the driver keeps reading.
+  std::atomic<int> attempts{0};
+  auto victim = MakeVictim(base, /*compact_threshold=*/64,
+                           [&attempts](int) {
+                             return attempts.fetch_add(1) % 2 == 1;
+                           });
+
+  const WorkloadSpec spec = ReadOnlyUniformWorkload(/*seed=*/12);
+  auto ops = GenerateOperations(spec, base, 20000);
+  ASSERT_TRUE(ops.ok());
+  DriverOptions driver_opts;
+  driver_opts.num_threads = 2;
+
+  AdversaryOptions adv;
+  adv.ops = 300;
+  adv.model_size = 200;
+  adv.replan_check_every = 4;
+  adv.pace_ns = 10000;
+  adv.seed = 13;
+
+  Result<AdversaryResult> adv_result = AdversaryResult{};
+  std::thread attacker([&] {
+    adv_result = RunOnlineAdversary(victim.get(), base, adv);
+  });
+  auto driver_result = RunWorkload(victim.get(), *ops, driver_opts);
+  attacker.join();
+  victim->WaitForMaintenance();
+
+  ASSERT_TRUE(driver_result.ok()) << driver_result.status().message();
+  ASSERT_TRUE(adv_result.ok()) << adv_result.status().message();
+  EXPECT_GE(attempts.load(), 1);
+  CheckMembership(victim.get(), *adv_result);
+  for (int s = 0; s < victim->num_shards(); ++s) {
+    EXPECT_LE(victim->shard_threshold(s), 8 * 64);
+  }
+}
+
+}  // namespace
+}  // namespace lispoison

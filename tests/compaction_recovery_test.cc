@@ -1,0 +1,222 @@
+// Compaction-recovery coverage: the threshold backoff/restore state
+// machine under injected rebuild failures, and the remove/tombstone
+// membership semantics the adversary's delete stream rides on.
+//
+// The headline regression: a failed substrate rebuild doubles the
+// shard's compaction threshold (backoff so the maintenance thread does
+// not spin on a failing rebuild), and the next *successful* compaction
+// must restore the configured threshold. Before the fix the doubled
+// value stuck forever — every transient failure permanently degraded
+// the shard into overlay binary search. The backoff is also capped at
+// 8x the configured threshold so repeated failures cannot push the
+// trigger out of reach.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/generators.h"
+#include "data/keyset.h"
+#include "workload/search_backend.h"
+
+namespace lispoison {
+namespace {
+
+KeySet TestKeys(std::int64_t n, std::uint64_t seed = 17) {
+  Rng rng(seed);
+  auto ks = GenerateUniform(n, KeyDomain{0, 100 * n}, &rng);
+  EXPECT_TRUE(ks.ok());
+  return *ks;
+}
+
+std::unique_ptr<SearchBackend> MakeBackend(
+    const KeySet& ks, std::int64_t compact_threshold,
+    std::function<bool(int)> injector = nullptr,
+    bool sync_compaction = true) {
+  BackendOptions opts;
+  opts.rmi.target_model_size = 200;
+  opts.num_shards = 1;  // One shard: deterministic trigger accounting.
+  opts.compact_threshold = compact_threshold;
+  opts.sync_compaction = sync_compaction;
+  opts.rebuild_fault_injector = std::move(injector);
+  auto backend = CreateBackend(BackendKind::kRmi, ks, opts);
+  EXPECT_TRUE(backend.ok()) << backend.status().message();
+  return std::move(*backend);
+}
+
+/// Inserts `count` fresh keys (not in the base keyset) one by one.
+void InsertFresh(SearchBackend* backend, const KeySet& base, int count,
+                 Key start) {
+  std::set<Key> taken(base.keys().begin(), base.keys().end());
+  Key k = start;
+  for (int i = 0; i < count; ++i) {
+    while (taken.count(k)) ++k;
+    ASSERT_TRUE(backend->Insert(k).ok());
+    taken.insert(k);
+    ++k;
+  }
+}
+
+TEST(CompactionRecoveryTest, FailedCompactionDoublesThenRestoresThreshold) {
+  const KeySet base = TestKeys(2000);
+  const std::int64_t threshold = 16;
+  std::atomic<bool> fail{true};
+  auto backend = MakeBackend(
+      base, threshold, [&fail](int) { return fail.load(); });
+
+  // Fill the overlay to the trigger: the inline compaction attempt hits
+  // the injected rebuild failure and backs the threshold off to 2x.
+  InsertFresh(backend.get(), base, static_cast<int>(threshold),
+              /*start=*/1);
+  EXPECT_EQ(backend->compactions(), 0);
+  EXPECT_EQ(backend->shard_threshold(0), 2 * threshold);
+  EXPECT_EQ(backend->overlay_size(), threshold);
+
+  // Heal the substrate build and grow the overlay to the backed-off
+  // trigger: the compaction succeeds and must restore the *configured*
+  // threshold, not keep the doubled one (the pre-fix regression).
+  fail.store(false);
+  InsertFresh(backend.get(), base, static_cast<int>(threshold),
+              /*start=*/1000000);
+  EXPECT_EQ(backend->compactions(), 1);
+  EXPECT_EQ(backend->overlay_size(), 0);
+  EXPECT_EQ(backend->shard_threshold(0), threshold);
+}
+
+TEST(CompactionRecoveryTest, RepeatedFailuresCapThresholdAtEightTimes) {
+  const KeySet base = TestKeys(2000);
+  const std::int64_t threshold = 8;
+  std::atomic<int> attempts{0};
+  auto backend = MakeBackend(base, threshold, [&attempts](int) {
+    attempts.fetch_add(1);
+    return true;  // Every rebuild fails.
+  });
+
+  // Enough inserts to walk the backoff ladder past the cap:
+  // 8 -> 16 -> 32 -> 64 (= 8x), then attempts keep firing at 64 without
+  // doubling further.
+  InsertFresh(backend.get(), base, 80, /*start=*/1);
+  EXPECT_GE(attempts.load(), 4);
+  EXPECT_EQ(backend->compactions(), 0);
+  EXPECT_EQ(backend->shard_threshold(0), 8 * threshold);
+}
+
+TEST(CompactionRecoveryTest, RemoveTombstonesScanAndResurrection) {
+  const KeySet base = TestKeys(1000);
+  auto backend = MakeBackend(base, /*compact_threshold=*/0);
+  const Key victim = base.keys()[base.keys().size() / 2];
+
+  ASSERT_TRUE(backend->Lookup(victim).found);
+  const auto full = backend->Scan(base.keys().front(), base.keys().back());
+
+  // Remove a base key: tombstoned, invisible to point and range reads.
+  ASSERT_TRUE(backend->Remove(victim).ok());
+  EXPECT_FALSE(backend->Lookup(victim).found);
+  EXPECT_EQ(backend->tombstone_size(), 1);
+  const auto scan = backend->Scan(base.keys().front(), base.keys().back());
+  EXPECT_EQ(scan.range_count, full.range_count - 1);
+
+  // Double-remove is NotFound; removing an absent key is NotFound.
+  EXPECT_EQ(backend->Remove(victim).code(), StatusCode::kNotFound);
+  EXPECT_EQ(backend->Remove(base.keys().back() + 12345).code(),
+            StatusCode::kNotFound);
+
+  // Insert of a tombstoned key resurrects it instead of duplicating.
+  ASSERT_TRUE(backend->Insert(victim).ok());
+  EXPECT_TRUE(backend->Lookup(victim).found);
+  EXPECT_EQ(backend->tombstone_size(), 0);
+  EXPECT_EQ(backend->Scan(base.keys().front(), base.keys().back()).range_count,
+            full.range_count);
+
+  // Overlay keys round-trip through Remove without tombstones: the key
+  // never reached the substrate, so deletion is a plain overlay erase.
+  const Key fresh = base.keys().back() + 777;
+  ASSERT_TRUE(backend->Insert(fresh).ok());
+  ASSERT_TRUE(backend->Remove(fresh).ok());
+  EXPECT_FALSE(backend->Lookup(fresh).found);
+  EXPECT_EQ(backend->tombstone_size(), 0);
+  EXPECT_EQ(backend->removes(), 2);
+}
+
+TEST(CompactionRecoveryTest, CompactionFoldsTombstonesAway) {
+  const KeySet base = TestKeys(1000);
+  const std::int64_t threshold = 32;
+  auto backend = MakeBackend(base, threshold);
+
+  // Remove enough base keys that removals alone cross the pending
+  // trigger (overlay + tombstones): the retrain must drop them from the
+  // new substrate for good.
+  std::vector<Key> removed;
+  for (std::size_t i = 0;
+       i < base.keys().size() &&
+       removed.size() < static_cast<std::size_t>(threshold);
+       i += 7) {
+    const Key k = base.keys()[i];
+    ASSERT_TRUE(backend->Remove(k).ok());
+    removed.push_back(k);
+  }
+  EXPECT_EQ(backend->compactions(), 1);
+  EXPECT_EQ(backend->tombstone_size(), 0);
+  EXPECT_EQ(backend->overlay_size(), 0);
+  for (const Key k : removed) EXPECT_FALSE(backend->Lookup(k).found);
+  EXPECT_EQ(backend->base_size(),
+            static_cast<std::int64_t>(base.keys().size() - removed.size()));
+}
+
+TEST(CompactionRecoveryTest, ChurnWithFailuresMatchesMembershipOracle) {
+  const KeySet base = TestKeys(1500, /*seed=*/23);
+  const std::int64_t threshold = 24;
+  // Every third rebuild attempt fails: the run interleaves successful
+  // compactions, backoffs, and restores while the oracle watches.
+  std::atomic<int> attempts{0};
+  auto backend = MakeBackend(base, threshold, [&attempts](int) {
+    return attempts.fetch_add(1) % 3 == 2;
+  });
+
+  std::set<Key> oracle(base.keys().begin(), base.keys().end());
+  Rng rng(99);
+  Key next_fresh = 1;
+  for (int op = 0; op < 600; ++op) {
+    if (rng.NextDouble() < 0.55) {
+      Key k = next_fresh++;
+      while (oracle.count(k)) k = next_fresh++;
+      ASSERT_TRUE(backend->Insert(k).ok());
+      oracle.insert(k);
+    } else {
+      // Remove a present key (bias toward base keys so tombstones form).
+      const auto idx = static_cast<std::size_t>(
+          rng.UniformInt(0, static_cast<std::int64_t>(base.keys().size()) - 1));
+      const Key k = base.keys()[idx];
+      const Status st = backend->Remove(k);
+      if (oracle.count(k)) {
+        ASSERT_TRUE(st.ok());
+        oracle.erase(k);
+      } else {
+        EXPECT_EQ(st.code(), StatusCode::kNotFound);
+      }
+    }
+    if (op % 97 == 0) {
+      // Spot-check membership both ways.
+      const Key probe = base.keys()[(op * 13) % base.keys().size()];
+      EXPECT_EQ(backend->Lookup(probe).found, oracle.count(probe) == 1);
+    }
+  }
+  EXPECT_GE(backend->compactions(), 1);
+  EXPECT_LE(backend->shard_threshold(0), 8 * threshold);
+
+  // Full sweep: every oracle key found, every removed base key gone.
+  for (const Key k : oracle) EXPECT_TRUE(backend->Lookup(k).found);
+  for (const Key k : base.keys()) {
+    if (!oracle.count(k)) EXPECT_FALSE(backend->Lookup(k).found);
+  }
+  const auto scan = backend->Scan(0, next_fresh + 200 * 1500);
+  EXPECT_EQ(scan.range_count, static_cast<std::int64_t>(oracle.size()));
+}
+
+}  // namespace
+}  // namespace lispoison

@@ -63,6 +63,24 @@ alike), that the serving/driver/attack instrument families all moved,
 and that the telemetry_overhead arms prove the read path is unchanged
 (mean_work_ratio within 3% of 1.0) and the wall-clock cost is bounded
 (throughput_ratio >= 0.8 vs the runtime-off arm).
+
+Adversarial mode (PR 8) gates the committed BENCH_adversarial.json
+(bench_adversarial_golden):
+
+  tools/check_bench_json.py --adversarial BENCH_adversarial.json [--live]
+
+Structural checks (always): the run raced >= 2 driver threads against
+the attacker with async compaction only (sync_compaction false,
+inline_compactions == 0), at least one victim retrain landed inside
+the attack window and the adversary both observed retrains and
+replanned; the poisoning-ROI rows are contiguous with a monotone
+attacker_ops_cum that telescopes row by row, and the attacker-op
+accounting agrees three ways — sum of per-row attacker_ops ==
+adversary.inserts + deletes + modifies (the op partition) == the
+adversary.* telemetry counter totals. Wall-clock checks (skipped with
+--live, for fresh smoke runs on noisy CI boxes): attacked read p99 >=
+clean read p99, attacked mean work/op >= clean, and the attack was
+sustained (>= 2 ROI rows with attacker ops in them).
 """
 
 import json
@@ -411,12 +429,144 @@ def check_serving_timeseries(path):
     )
 
 
+def check_adversarial(path, live):
+    """Gate for the committed BENCH_adversarial.json (PR 8).
+
+    With live=True (a fresh smoke run on a CI box) only the structural
+    and accounting identities are asserted; the wall-clock degradation
+    floors are reserved for the committed artifact.
+    """
+    with open(path) as f:
+        report = json.load(f)
+    env = report["environment"]
+    assert int(env["num_threads"]) >= 2, (
+        "the adversarial run must race >= 2 legitimate driver threads"
+    )
+    assert not env["sync_compaction"], (
+        "the adversarial run must use async compaction (no escape hatch)"
+    )
+
+    attacked = report["attacked"]
+    assert int(attacked["inline_compactions"]) == 0, (
+        "attacked arm charged a compaction to a foreground thread"
+    )
+    assert int(attacked["compactions"]) >= 1, (
+        "no victim retrain landed inside the attack window — the stream "
+        "is too light to exercise the retrain-and-replan loop"
+    )
+    assert int(attacked["reads"]) > 0, "attacked arm served no reads"
+    assert int(report["clean"]["reads"]) > 0, "clean arm served no reads"
+
+    adv = report["adversary"]
+    op_total = int(adv["inserts"]) + int(adv["deletes"]) + int(adv["modifies"])
+    assert op_total > 0, "the adversary landed no operations"
+    assert int(adv["replans"]) >= 1, (
+        "the adversary never replanned — retrain awareness is broken"
+    )
+    assert int(adv["retrains_observed"]) >= 1, (
+        "the adversary never observed a retrain at its poll points"
+    )
+    assert int(adv["live_poison_keys"]) > 0, "no poison keys survived"
+
+    # Attacker-op accounting, identity 1: the adversary.* telemetry
+    # counter totals must equal the result struct's op partition.
+    totals = report["time_series"]["totals"]["counters"]
+    for name, expect in (
+        ("adversary.inserts", int(adv["inserts"])),
+        ("adversary.deletes", int(adv["deletes"])),
+        ("adversary.modifies", int(adv["modifies"])),
+        ("adversary.rejected", int(adv["rejected"])),
+        ("adversary.replans", int(adv["replans"])),
+    ):
+        assert totals.get(name, 0) == expect, (
+            f"telemetry total {name}={totals.get(name, 0)} disagrees with "
+            f"the adversary result ({expect})"
+        )
+
+    rows = report["roi"]["rows"]
+    assert rows, "the report has no poisoning-ROI rows"
+    prev_end = rows[0]["t_start_ns"]
+    cum = 0
+    row_ops = row_rejected = row_replans = row_compactions = 0
+    for i, row in enumerate(rows):
+        assert row["t_start_ns"] == prev_end, (
+            f"ROI row {i} is not contiguous with its predecessor"
+        )
+        assert row["t_end_ns"] >= row["t_start_ns"], (
+            f"ROI row {i} has a negative-duration interval"
+        )
+        prev_end = row["t_end_ns"]
+        ops = int(row["attacker_ops"])
+        assert ops >= 0, f"ROI row {i}: attacker_ops went backwards"
+        cum += ops
+        assert int(row["attacker_ops_cum"]) == cum, (
+            f"ROI row {i}: attacker_ops_cum does not telescope "
+            f"({row['attacker_ops_cum']} vs {cum})"
+        )
+        row_ops += ops
+        row_rejected += int(row["attacker_rejected"])
+        row_replans += int(row["replans"])
+        row_compactions += int(row["compactions"])
+        if int(row["reads"]) > 0:
+            assert int(row["read_p99_ns"]) > 0, (
+                f"ROI row {i} sampled reads but recorded no p99"
+            )
+
+    # Identity 2: per-row attacker ops sum to the op partition (which
+    # identity 1 already tied to the telemetry totals).
+    assert row_ops == op_total, (
+        f"ROI rows account for {row_ops} attacker ops but the adversary "
+        f"executed {op_total}"
+    )
+    assert row_rejected == int(adv["rejected"]), (
+        "per-row rejected deltas do not telescope to the adversary total"
+    )
+    assert row_replans == int(adv["replans"]), (
+        "per-row replan deltas do not telescope to the adversary total"
+    )
+    assert row_compactions == int(attacked["compactions"]), (
+        f"per-row compaction deltas ({row_compactions}) do not telescope "
+        f"to the attack-window total ({attacked['compactions']})"
+    )
+
+    if not live:
+        clean_p99 = int(report["roi"]["clean_read_p99_ns"])
+        attacked_p99 = int(report["roi"]["attacked_read_p99_ns"])
+        assert clean_p99 > 0, "committed run recorded no clean read p99"
+        assert attacked_p99 >= clean_p99, (
+            f"committed run: poisoned read p99 ({attacked_p99} ns) below "
+            f"the clean baseline ({clean_p99} ns) — the attack did nothing"
+        )
+        assert float(report["roi"]["mean_work_ratio"]) >= 1.0, (
+            "committed run: attacked mean work/op below the clean arm's"
+        )
+        active = sum(1 for r in rows if int(r["attacker_ops"]) > 0)
+        assert active >= 2, (
+            f"committed run: attack confined to {active} interval(s) — "
+            "not a sustained stream racing live traffic"
+        )
+
+    mode = "live" if live else "committed"
+    print(
+        f"adversarial {mode} OK: {len(rows)} ROI rows, {op_total} attacker "
+        f"ops telescoping (rows == result == telemetry), "
+        f"{row_compactions} mid-attack retrains, {adv['replans']} replans, "
+        f"p99 ratio {float(report['roi']['p99_ratio']):.2f}"
+    )
+
+
 def main():
     if len(sys.argv) == 3 and sys.argv[1] == "--serving-scaling":
         check_serving_scaling(sys.argv[2])
         return 0
     if len(sys.argv) == 3 and sys.argv[1] == "--serving-timeseries":
         check_serving_timeseries(sys.argv[2])
+        return 0
+    if len(sys.argv) in (3, 4) and sys.argv[1] == "--adversarial":
+        assert len(sys.argv) == 3 or sys.argv[3] == "--live", (
+            f"unknown --adversarial option {sys.argv[3]}"
+        )
+        check_adversarial(sys.argv[2], live=len(sys.argv) == 4)
         return 0
     if len(sys.argv) not in (2, 3):
         print(__doc__, file=sys.stderr)
