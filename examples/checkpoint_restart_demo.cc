@@ -1,0 +1,82 @@
+// Checkpoint/restart smoke driver for the greedy insertion attack.
+//
+// The CI kill-and-resume gate runs this binary three times against the
+// same checkpoint file:
+//
+//   $ ./checkpoint_restart_demo --ckpt=/tmp/g.ckpt --halt-after=40   # "crash"
+//   $ ./checkpoint_restart_demo --ckpt=/tmp/g.ckpt                   # resume
+//   $ ./checkpoint_restart_demo --expect=<digest printed above> ...  # verify
+//
+// Exit codes: 0 success, 1 error, 2 digest mismatch, 3 deliberate halt
+// (the simulated crash — distinct so CI can assert the halt happened).
+//
+// On completion the demo prints `poison_digest=<fnv1a64 of the poison
+// key sequence>`; a resumed run must print the digest of an
+// uninterrupted run bit-for-bit (tests/snapshot_checkpoint_test.cc pins
+// the same property in-process).
+
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+
+#include "attack/greedy_poisoner.h"
+#include "common/flags.h"
+#include "common/rng.h"
+#include "common/snapshot.h"
+#include "data/generators.h"
+
+using namespace lispoison;
+
+int main(int argc, char** argv) {
+  FlagParser flags(argc, argv);
+  const std::int64_t n = flags.GetInt("keys", 20000);
+  const std::int64_t p = flags.GetInt("poison", 200);
+  Rng rng(static_cast<std::uint64_t>(flags.GetInt("seed", 7)));
+
+  GreedyCheckpointOptions ckpt;
+  ckpt.path = flags.GetString("ckpt", "");
+  ckpt.every = flags.GetInt("every", 64);
+  ckpt.halt_after = flags.GetInt("halt-after", -1);
+  if (ckpt.path.empty()) {
+    std::fprintf(stderr, "--ckpt=<path> is required\n");
+    return 1;
+  }
+
+  auto keyset = GenerateUniform(n, KeyDomain{0, 100 * n}, &rng);
+  if (!keyset.ok()) {
+    std::fprintf(stderr, "%s\n", keyset.status().ToString().c_str());
+    return 1;
+  }
+
+  auto result = GreedyPoisonCdfCheckpointed(*keyset, p, {}, ckpt);
+  if (!result.ok()) {
+    if (ckpt.halt_after >= 0 &&
+        result.status().code() == StatusCode::kFailedPrecondition) {
+      std::printf("halted after %" PRId64 " insertions; checkpoint at %s\n",
+                  ckpt.halt_after, ckpt.path.c_str());
+      return 3;
+    }
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+
+  const std::uint64_t digest =
+      Fnv1a64(result->poison_keys.data(),
+              result->poison_keys.size() * sizeof(Key));
+  std::printf("rounds=%zu ratio_loss=%.4f poison_digest=%016" PRIx64 "\n",
+              result->poison_keys.size(), result->RatioLoss(), digest);
+
+  const std::string expect = flags.GetString("expect", "");
+  if (!expect.empty()) {
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016" PRIx64, digest);
+    if (expect != buf) {
+      std::fprintf(stderr,
+                   "digest mismatch: resumed run produced %s, expected %s\n",
+                   buf, expect.c_str());
+      return 2;
+    }
+    std::printf("resume digest matches the uninterrupted run\n");
+  }
+  return 0;
+}

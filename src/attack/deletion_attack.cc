@@ -147,9 +147,9 @@ Result<DeletionAttackResult> GreedyDeleteCdf(
   // the aggregates, the tiered gap decomposition (O(sqrt(G)) merge) and
   // the removal-candidate SoA in place, so the next round's argmax sees
   // the mirror-image compound rank shifts exactly.
-  LISPOISON_ASSIGN_OR_RETURN(LossLandscape landscape,
-                             LossLandscape::Create(keyset));
   std::unique_ptr<ThreadPool> pool = MakeAttackPool(options);
+  LISPOISON_ASSIGN_OR_RETURN(LossLandscape landscape,
+                             LossLandscape::Create(keyset, pool.get()));
   const LossLandscape::ArgmaxOptions argmax = options.ArgmaxKnobs();
 
   for (std::int64_t round = 0; round < d; ++round) {
@@ -167,6 +167,9 @@ Result<DeletionAttackResult> GreedyDeleteCdf(
     result.loss_trajectory.push_back(best->loss);
   }
   result.attacked_loss = result.loss_trajectory.back();
+  result.removal_commit_touched_slots =
+      landscape.removal_commit_touched_slots();
+  result.removal_commits = landscape.removal_commits();
   return result;
 }
 
@@ -227,9 +230,9 @@ Result<ModificationAttackResult> GreedyModifyCdf(
   // pruned removal argmax + RemoveKey, then the tiered insertion argmax
   // + InsertKey — the ReplaceKey decomposition, with the argmax between
   // the two halves.
-  LISPOISON_ASSIGN_OR_RETURN(LossLandscape landscape,
-                             LossLandscape::Create(keyset));
   std::unique_ptr<ThreadPool> pool = MakeAttackPool(options);
+  LISPOISON_ASSIGN_OR_RETURN(LossLandscape landscape,
+                             LossLandscape::Create(keyset, pool.get()));
   const LossLandscape::ArgmaxOptions argmax = options.ArgmaxKnobs();
 
   for (std::int64_t round = 0; round < moves; ++round) {
@@ -261,6 +264,9 @@ Result<ModificationAttackResult> GreedyModifyCdf(
     result.loss_trajectory.push_back(ins->loss);
     result.attacked_loss = ins->loss;
   }
+  result.removal_commit_touched_slots =
+      landscape.removal_commit_touched_slots();
+  result.removal_commits = landscape.removal_commits();
   return result;
 }
 

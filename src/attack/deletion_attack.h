@@ -40,6 +40,13 @@ struct DeletionAttackResult {
   /// Removal-argmax work counters summed over all rounds (exact
   /// evaluations, batched bound scores, pruned candidates).
   LossLandscape::ArgmaxStats argmax_stats;
+  /// Block-local removal-SoA commit accounting: total slots rewritten
+  /// across all committed removals, and the commit count. The per-commit
+  /// quotient is O(sqrt(n)) by construction — the n=10M scaling gate in
+  /// tools/check_bench_json.py holds the ratio against the n=100k row.
+  /// Zero for the rebuild-per-round reference (no SoA to maintain).
+  std::int64_t removal_commit_touched_slots = 0;
+  std::int64_t removal_commits = 0;
 
   double RatioLoss() const { return SafeRatioLoss(attacked_loss, base_loss); }
 };
@@ -84,6 +91,11 @@ struct ModificationAttackResult {
   std::vector<long double> loss_trajectory;
   /// Combined removal- and insertion-argmax work counters.
   LossLandscape::ArgmaxStats argmax_stats;
+  /// Removal-SoA commit accounting (see DeletionAttackResult); a modify
+  /// round's RemoveKey half contributes, the InsertKey half updates the
+  /// same blocks and is counted identically.
+  std::int64_t removal_commit_touched_slots = 0;
+  std::int64_t removal_commits = 0;
 
   double RatioLoss() const { return SafeRatioLoss(attacked_loss, base_loss); }
 };

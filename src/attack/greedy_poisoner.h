@@ -8,6 +8,7 @@
 #ifndef LISPOISON_ATTACK_GREEDY_POISONER_H_
 #define LISPOISON_ATTACK_GREEDY_POISONER_H_
 
+#include <string>
 #include <vector>
 
 #include "attack/loss_landscape.h"
@@ -64,6 +65,42 @@ struct GreedyPoisonResult {
 Result<GreedyPoisonResult> GreedyPoisonCdf(const KeySet& keyset,
                                            std::int64_t p,
                                            const AttackOptions& options = {});
+
+/// \brief Checkpointing policy for multi-hour greedy runs at n=10M /
+/// p=10^6 scale.
+struct GreedyCheckpointOptions {
+  /// Snapshot file (common/snapshot.h container). Empty disables
+  /// checkpointing entirely.
+  std::string path;
+  /// Write a checkpoint after every this many committed insertions (the
+  /// final state is always written). Each write is atomic, so a kill
+  /// mid-write leaves the previous checkpoint intact.
+  std::int64_t every = 4096;
+  /// Testing hook: once this many total insertions are committed (and
+  /// checkpointed), stop and return FailedPrecondition — the CI
+  /// kill-and-resume gate uses it as a deterministic "crash" point.
+  /// Negative disables.
+  std::int64_t halt_after = -1;
+};
+
+/// \brief GreedyPoisonCdf with checkpoint/restart: periodically writes
+/// the committed poison sequence (plus the keyset fingerprint and the
+/// landscape's exact aggregate state for integrity) to
+/// \p ckpt.path, and — when that file already exists — resumes from it
+/// instead of recomputing.
+///
+/// Resume replays the checkpointed insertions through the incremental
+/// landscape (exact integer commits, O(r * (log n + sqrt(G))) total),
+/// recovering bit-for-bit the engine state the interrupted run held, and
+/// verifies the recovered Int128 aggregates against the checkpointed
+/// ones before continuing; the completed run's poison sequence and loss
+/// trajectory are bit-identical to an uninterrupted run's
+/// (tests/snapshot_checkpoint_test.cc pins this, as does the CI
+/// kill-and-resume smoke gate). Fails with FailedPrecondition when the
+/// checkpoint belongs to a different keyset or attack shape.
+Result<GreedyPoisonResult> GreedyPoisonCdfCheckpointed(
+    const KeySet& keyset, std::int64_t p, const AttackOptions& options,
+    const GreedyCheckpointOptions& ckpt);
 
 /// \brief The pre-refactor rebuild-per-round implementation of
 /// Algorithm 1: every round re-creates the KeySet and LossLandscape from

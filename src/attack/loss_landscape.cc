@@ -50,6 +50,22 @@ inline Int128 SumRankSquares(std::int64_t n) {
 }  // namespace
 
 Result<LossLandscape> LossLandscape::Create(const KeySet& keyset) {
+  return Create(keyset, nullptr);
+}
+
+namespace {
+
+/// Base-key indices per parallel Create chunk. Fixed (not derived from
+/// the thread count) so the chunk partials — and therefore every
+/// stitched prefix value — are identical for every pool size; the
+/// exact integer arithmetic then makes the parallel build bit-identical
+/// to the serial one by associativity.
+constexpr std::int64_t kCreateChunkKeys = 1 << 16;
+
+}  // namespace
+
+Result<LossLandscape> LossLandscape::Create(const KeySet& keyset,
+                                            ThreadPool* pool) {
   if (keyset.empty()) {
     return Status::InvalidArgument(
         "loss landscape requires a non-empty keyset");
@@ -62,37 +78,127 @@ Result<LossLandscape> LossLandscape::Create(const KeySet& keyset) {
   ll.min_key_ = ll.base_keys_.front();
   ll.max_key_ = ll.base_keys_.back();
   ll.base_prefix_.assign(static_cast<std::size_t>(ll.n_) + 1, 0);
-  for (std::int64_t i = 0; i < ll.n_; ++i) {
-    const Int128 shifted =
-        static_cast<Int128>(ll.base_keys_[static_cast<std::size_t>(i)]) -
-        ll.shift_;
-    ll.base_prefix_[static_cast<std::size_t>(i) + 1] =
-        ll.base_prefix_[static_cast<std::size_t>(i)] + shifted;
-    ll.sum_k2_ += shifted * shifted;
-    ll.sum_kr_ += shifted * (i + 1);
+
+  const bool parallel = pool != nullptr && pool->num_threads() > 1 &&
+                        ll.n_ > kCreateChunkKeys;
+  std::vector<TieredGaps::GapRec> gaps;
+  if (!parallel) {
+    for (std::int64_t i = 0; i < ll.n_; ++i) {
+      const Int128 shifted =
+          static_cast<Int128>(ll.base_keys_[static_cast<std::size_t>(i)]) -
+          ll.shift_;
+      ll.base_prefix_[static_cast<std::size_t>(i) + 1] =
+          ll.base_prefix_[static_cast<std::size_t>(i)] + shifted;
+      ll.sum_k2_ += shifted * shifted;
+      ll.sum_kr_ += shifted * (i + 1);
+    }
+
+    // Maximal unoccupied runs over the whole domain; interior clipping
+    // happens at query time against the current min/max key. Each
+    // record carries the exact count / shifted prefix-sum of the keys
+    // below it.
+    Key cursor = ll.domain_.lo;
+    std::int64_t base_count = 0;
+    for (const Key k : ll.base_keys_) {
+      if (cursor <= k - 1) {
+        gaps.push_back(TieredGaps::GapRec{
+            cursor, k - 1, base_count,
+            ll.base_prefix_[static_cast<std::size_t>(base_count)]});
+      }
+      cursor = k + 1;
+      ++base_count;
+    }
+  } else {
+    // Two-pass chunked prefix scan: (1) per-chunk partial sums into the
+    // chunk's base_prefix_ slots plus per-chunk aggregate totals, (2) a
+    // serial exclusive scan of the chunk totals, (3) a parallel offset
+    // fix-up. Every sum is exact Int128, so the stitched values equal
+    // the serial loop's bit-for-bit.
+    const std::int64_t num_chunks =
+        (ll.n_ + kCreateChunkKeys - 1) / kCreateChunkKeys;
+    std::vector<Int128> chunk_sum(static_cast<std::size_t>(num_chunks), 0);
+    std::vector<Int128> chunk_sum2(static_cast<std::size_t>(num_chunks), 0);
+    std::vector<Int128> chunk_sumr(static_cast<std::size_t>(num_chunks), 0);
+    pool->ParallelFor(num_chunks, [&ll, &chunk_sum, &chunk_sum2,
+                                   &chunk_sumr](std::int64_t c) {
+      const std::int64_t lo = c * kCreateChunkKeys;
+      const std::int64_t hi = std::min(ll.n_, lo + kCreateChunkKeys);
+      Int128 acc = 0;
+      Int128 acc2 = 0;
+      Int128 accr = 0;
+      for (std::int64_t i = lo; i < hi; ++i) {
+        const Int128 shifted =
+            static_cast<Int128>(ll.base_keys_[static_cast<std::size_t>(i)]) -
+            ll.shift_;
+        acc += shifted;
+        ll.base_prefix_[static_cast<std::size_t>(i) + 1] = acc;
+        acc2 += shifted * shifted;
+        accr += shifted * (i + 1);
+      }
+      chunk_sum[static_cast<std::size_t>(c)] = acc;
+      chunk_sum2[static_cast<std::size_t>(c)] = acc2;
+      chunk_sumr[static_cast<std::size_t>(c)] = accr;
+    });
+    std::vector<Int128> chunk_offset(static_cast<std::size_t>(num_chunks), 0);
+    Int128 run = 0;
+    for (std::int64_t c = 0; c < num_chunks; ++c) {
+      chunk_offset[static_cast<std::size_t>(c)] = run;
+      run += chunk_sum[static_cast<std::size_t>(c)];
+      ll.sum_k2_ += chunk_sum2[static_cast<std::size_t>(c)];
+      ll.sum_kr_ += chunk_sumr[static_cast<std::size_t>(c)];
+    }
+    pool->ParallelFor(num_chunks, [&ll, &chunk_offset](std::int64_t c) {
+      const Int128 off = chunk_offset[static_cast<std::size_t>(c)];
+      if (off == 0) return;
+      const std::int64_t lo = c * kCreateChunkKeys;
+      const std::int64_t hi = std::min(ll.n_, lo + kCreateChunkKeys);
+      for (std::int64_t i = lo; i < hi; ++i) {
+        ll.base_prefix_[static_cast<std::size_t>(i) + 1] += off;
+      }
+    });
+
+    // Per-chunk gap emission: the gap *ending* at key i (between key
+    // i-1 and key i) belongs to the chunk containing i, whose cursor
+    // re-derives from its left neighbour — exactly the serial walk's
+    // cursor at that index. Per-chunk vectors concatenate in chunk
+    // order, so the final gap array is element-identical to the serial
+    // build's.
+    std::vector<std::vector<TieredGaps::GapRec>> chunk_gaps(
+        static_cast<std::size_t>(num_chunks));
+    pool->ParallelFor(num_chunks, [&ll, &chunk_gaps](std::int64_t c) {
+      const std::int64_t lo = c * kCreateChunkKeys;
+      const std::int64_t hi = std::min(ll.n_, lo + kCreateChunkKeys);
+      std::vector<TieredGaps::GapRec>& out =
+          chunk_gaps[static_cast<std::size_t>(c)];
+      Key cursor = lo == 0
+                       ? ll.domain_.lo
+                       : ll.base_keys_[static_cast<std::size_t>(lo) - 1] + 1;
+      for (std::int64_t i = lo; i < hi; ++i) {
+        const Key k = ll.base_keys_[static_cast<std::size_t>(i)];
+        if (cursor <= k - 1) {
+          out.push_back(TieredGaps::GapRec{
+              cursor, k - 1, i, ll.base_prefix_[static_cast<std::size_t>(i)]});
+        }
+        cursor = k + 1;
+      }
+    });
+    std::size_t total_gaps = 0;
+    for (const auto& cg : chunk_gaps) total_gaps += cg.size();
+    gaps.reserve(total_gaps + 1);
+    for (auto& cg : chunk_gaps) {
+      gaps.insert(gaps.end(), cg.begin(), cg.end());
+    }
   }
   ll.sum_k_ = ll.base_prefix_[static_cast<std::size_t>(ll.n_)];
   ll.inserted_slot_sum_.Reset(static_cast<std::size_t>(ll.n_) + 1);
 
-  // Maximal unoccupied runs over the whole domain; interior clipping
-  // happens at query time against the current min/max key. Each record
-  // carries the exact count / shifted prefix-sum of the keys below it.
-  std::vector<TieredGaps::GapRec> gaps;
-  Key cursor = ll.domain_.lo;
-  std::int64_t base_count = 0;
-  for (const Key k : ll.base_keys_) {
-    if (cursor <= k - 1) {
-      gaps.push_back(TieredGaps::GapRec{
-          cursor, k - 1, base_count,
-          ll.base_prefix_[static_cast<std::size_t>(base_count)]});
-    }
-    cursor = k + 1;
-    ++base_count;
-  }
-  if (cursor <= ll.domain_.hi) {
+  // Tail gap above the largest base key (the serial walk's final
+  // cursor == base_keys_.back() + 1 in the parallel path too).
+  const Key tail = ll.base_keys_.back() + 1;
+  if (tail <= ll.domain_.hi) {
     gaps.push_back(TieredGaps::GapRec{
-        cursor, ll.domain_.hi, base_count,
-        ll.base_prefix_[static_cast<std::size_t>(base_count)]});
+        tail, ll.domain_.hi, ll.n_,
+        ll.base_prefix_[static_cast<std::size_t>(ll.n_)]});
   }
   ll.gaps_.Build(std::move(gaps));
 
@@ -189,29 +295,17 @@ Status LossLandscape::InsertKey(Key kp) {
   if (kp > max_key_) max_key_ = kp;
 
   // Removal-SoA maintenance (only once a removal argmax materialized
-  // it): suffix sums below kp gain its shifted value, then kp enters.
-  if (rem_built_) {
-    if (rem_sa_valid_ && !PruneDomainOk()) {
+  // it): one block's local suffixes gain kp's shifted value, plus
+  // O(sqrt(n)) directory scalars — no O(n) pass.
+  if (rem_soa_.built()) {
+    if (rem_soa_.with_sa() && !PruneDomainOk()) {
       // The magnitude guard broke as n grew: the int64 suffix sums are
       // no longer provably safe. Drop the SoA; the next removal argmax
       // rebuilds or falls back.
-      rem_built_ = false;
-      rem_sa_valid_ = false;
-      rem_keys_.clear();
-      rem_sa_.clear();
+      rem_soa_.Clear();
     } else {
-      const auto pos_it =
-          std::lower_bound(rem_keys_.begin(), rem_keys_.end(), kp);
-      const std::size_t pos =
-          static_cast<std::size_t>(pos_it - rem_keys_.begin());
-      if (rem_sa_valid_) {
-        const std::int64_t x = static_cast<std::int64_t>(kp_s);
-        std::int64_t* sa = rem_sa_.data();
-        for (std::size_t i = 0; i < pos; ++i) sa[i] += x;
-        rem_sa_.insert(rem_sa_.begin() + static_cast<std::ptrdiff_t>(pos),
-                       static_cast<std::int64_t>(suffix_above));
-      }
-      rem_keys_.insert(pos_it, kp);
+      rem_soa_.Insert(
+          kp, rem_soa_.with_sa() ? static_cast<std::int64_t>(kp_s) : 0);
     }
   }
   return Status::OK();
@@ -281,20 +375,11 @@ Status LossLandscape::RemoveKey(Key kp) {
     }
   }
 
-  // Removal-SoA maintenance: suffix sums below kp shed its shifted
-  // value, then kp leaves the candidate arrays.
-  if (rem_built_) {
-    const auto pos_it =
-        std::lower_bound(rem_keys_.begin(), rem_keys_.end(), kp);
-    const std::size_t pos =
-        static_cast<std::size_t>(pos_it - rem_keys_.begin());
-    if (rem_sa_valid_) {
-      const std::int64_t x = static_cast<std::int64_t>(kp_s);
-      std::int64_t* sa = rem_sa_.data();
-      for (std::size_t i = 0; i < pos; ++i) sa[i] -= x;
-      rem_sa_.erase(rem_sa_.begin() + static_cast<std::ptrdiff_t>(pos));
-    }
-    rem_keys_.erase(pos_it);
+  // Removal-SoA maintenance: the exact dual — kp's block sheds its
+  // shifted value locally, directory scalars adjust, underflow merges.
+  if (rem_soa_.built()) {
+    rem_soa_.Remove(
+        kp, rem_soa_.with_sa() ? static_cast<std::int64_t>(kp_s) : 0);
   }
   return Status::OK();
 }
@@ -801,22 +886,103 @@ std::vector<T>& LossLandscape::PrepareScratch(std::vector<T>* buf,
 
 namespace {
 
+// Manual AddressSanitizer region annotations for the grow-only scratch
+// buffers: the resize(capacity()) pattern leaves capacity-sized stale
+// entries *live* as far as the language is concerned, so plain ASan
+// cannot see a read that escapes the [0, needed) prefix a scan actually
+// prepared. Hard-poisoning the tail turns such an escape into an abort
+// (see scratch_canary_test). No-ops in non-ASan builds.
+#if defined(__SANITIZE_ADDRESS__)
+#define LISPOISON_ASAN_SCRATCH 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define LISPOISON_ASAN_SCRATCH 1
+#endif
+#endif
+
+#if defined(LISPOISON_ASAN_SCRATCH)
+extern "C" {
+void __asan_poison_memory_region(const volatile void* addr, std::size_t size);
+void __asan_unpoison_memory_region(const volatile void* addr,
+                                   std::size_t size);
+}
+template <typename T>
+void ScratchUnpoisonAll(std::vector<T>* buf) {
+  if (!buf->empty()) {
+    __asan_unpoison_memory_region(buf->data(), buf->size() * sizeof(T));
+  }
+}
+template <typename T>
+void ScratchPoisonTail(std::vector<T>* buf, std::size_t needed) {
+  if (buf->empty()) return;
+  __asan_unpoison_memory_region(buf->data(), needed * sizeof(T));
+  if (needed < buf->size()) {
+    __asan_poison_memory_region(buf->data() + needed,
+                                (buf->size() - needed) * sizeof(T));
+  }
+}
+#else
+template <typename T>
+void ScratchUnpoisonAll(std::vector<T>*) {}
+template <typename T>
+void ScratchPoisonTail(std::vector<T>*, std::size_t) {}
+#endif
+
 /// Grow-only variant for the flat per-gap arrays whose live prefix is
 /// fully overwritten each scan: avoids the O(G) value-initialization
-/// PrepareScratch's clear+resize would pay per round. Stale entries
-/// beyond the current gap count are never read.
+/// PrepareScratch's clear+resize would pay per round. Contract: the
+/// caller owns exactly [0, needed) and writes every slot it later
+/// reads; stale entries beyond the prepared prefix are never touched.
+/// Under ASan the tail [needed, size) is hard-poisoned so any escape
+/// aborts rather than silently reading a stale bound.
 template <typename T>
 void EnsureScratchSize(std::vector<T>* buf, std::size_t needed,
                        std::int64_t* reallocs) {
-  if (buf->size() >= needed) return;
-  if (buf->capacity() < needed) {
-    ++*reallocs;
-    buf->reserve(std::max(needed, buf->capacity() * 2));
+  if (buf->size() < needed) {
+    if (buf->capacity() < needed) {
+      ++*reallocs;
+      // The reallocation copies the whole old block; lift any manual
+      // poison first so the copy itself doesn't fault.
+      ScratchUnpoisonAll(buf);
+      buf->reserve(std::max(needed, buf->capacity() * 2));
+    }
+    buf->resize(buf->capacity());
   }
-  buf->resize(buf->capacity());
+  ScratchPoisonTail(buf, needed);
 }
 
 }  // namespace
+
+void LossLandscape::PoisonArgmaxScratchForTesting() const {
+  // Sentinel fill: NaN for bound slots (any stale read propagates into
+  // a comparison and breaks the argmax invariants loudly), huge values
+  // for counts/indices (stale counter reads explode the accounting the
+  // tests assert). The fill writes the *whole* buffers, so lift any
+  // manual ASan poison first; the next scan's EnsureScratchSize
+  // re-establishes the tail poison for its own `needed`.
+  const double dnan = std::numeric_limits<double>::quiet_NaN();
+  constexpr std::int64_t kCnt =
+      std::numeric_limits<std::int64_t>::max() / 3;
+  ScratchUnpoisonAll(&argmax_bounds_);
+  ScratchUnpoisonAll(&argmax_suffix_max_);
+  ScratchUnpoisonAll(&argmax_suffix_cnt_);
+  ScratchUnpoisonAll(&argmax_order_);
+  ScratchUnpoisonAll(&argmax_tier_bounds_);
+  ScratchUnpoisonAll(&argmax_tier_suffix_max_);
+  ScratchUnpoisonAll(&argmax_tier_suffix_cnt_);
+  ScratchUnpoisonAll(&argmax_soa_);
+  std::fill(argmax_bounds_.begin(), argmax_bounds_.end(), dnan);
+  std::fill(argmax_suffix_max_.begin(), argmax_suffix_max_.end(), dnan);
+  std::fill(argmax_suffix_cnt_.begin(), argmax_suffix_cnt_.end(), kCnt);
+  std::fill(argmax_order_.begin(), argmax_order_.end(),
+            std::numeric_limits<std::size_t>::max());
+  std::fill(argmax_tier_bounds_.begin(), argmax_tier_bounds_.end(), dnan);
+  std::fill(argmax_tier_suffix_max_.begin(), argmax_tier_suffix_max_.end(),
+            dnan);
+  std::fill(argmax_tier_suffix_cnt_.begin(), argmax_tier_suffix_cnt_.end(),
+            kCnt);
+  std::fill(argmax_soa_.begin(), argmax_soa_.end(), dnan);
+}
 
 void LossLandscape::ScanGapRanges(std::size_t first, std::size_t end,
                                   std::int64_t top_k,
@@ -1437,9 +1603,8 @@ Result<LossLandscape::Candidate> LossLandscape::FindOptimal(
 
 void LossLandscape::EnsureRemovalSoa() const {
   const bool want_sa = PruneDomainOk();
-  if (rem_built_ && (rem_sa_valid_ || !want_sa)) return;
-  rem_keys_.clear();
-  rem_keys_.reserve(static_cast<std::size_t>(n_));
+  if (rem_soa_.built() && (rem_soa_.with_sa() || !want_sa)) return;
+  rem_soa_.StartBuild(n_, want_sa, shift_);
   // Current keys = (base minus tombstones) merged with the inserted
   // overlay; both inputs are sorted and removed_ is a subsequence of
   // base_keys_.
@@ -1455,48 +1620,37 @@ void LossLandscape::EnsureRemovalSoa() const {
     }
     if (ii >= inserted_.size() ||
         (bi < base_keys_.size() && base_keys_[bi] < inserted_[ii])) {
-      rem_keys_.push_back(base_keys_[bi++]);
+      rem_soa_.AppendSorted(base_keys_[bi++]);
     } else {
-      rem_keys_.push_back(inserted_[ii++]);
+      rem_soa_.AppendSorted(inserted_[ii++]);
     }
   }
-  rem_sa_valid_ = want_sa;
-  if (want_sa) {
-    // Exact int64 suffix key-sums (safe under the magnitude guard:
-    // every suffix is below n * S < 2^63).
-    rem_sa_.resize(rem_keys_.size());
-    std::int64_t acc = 0;
-    for (std::size_t i = rem_keys_.size(); i > 0; --i) {
-      rem_sa_[i - 1] = acc;
-      acc += rem_keys_[i - 1] - shift_;
-    }
-  } else {
-    rem_sa_.clear();
-  }
-  rem_built_ = true;
+  rem_soa_.FinishBuild();
 }
 
-long double LossLandscape::LossWithoutAt(std::size_t i) const {
+long double LossLandscape::LossWithoutKey(Key key, std::int64_t rank,
+                                          std::int64_t sa) const {
   const std::int64_t n1 = n_ - 1;
-  const Int128 x = static_cast<Int128>(rem_keys_[i]) - shift_;
-  const Int128 sum_xy = sum_kr_ - x * static_cast<Int128>(i + 1) -
-                        static_cast<Int128>(rem_sa_[i]);
+  const Int128 x = static_cast<Int128>(key) - shift_;
+  const Int128 sum_xy =
+      sum_kr_ - x * static_cast<Int128>(rank) - static_cast<Int128>(sa);
   return LossFromSums(n1, sum_k_ - x, sum_k2_ - x * x, SumRanks(n1),
                       SumRankSquares(n1), sum_xy);
 }
 
-void LossLandscape::ScanRemovalRange(std::size_t first, std::size_t end,
-                                     const RemovalBoundCtx* bound_ctx,
-                                     const std::unordered_set<Key>* allowed,
-                                     Candidate* best, bool* have,
-                                     ArgmaxStats* stats) const {
+void LossLandscape::ScanRemovalBlocks(std::size_t bfirst, std::size_t bend,
+                                      const RemovalBoundCtx* bound_ctx,
+                                      const std::unordered_set<Key>* allowed,
+                                      Candidate* best, bool* have,
+                                      ArgmaxStats* stats) const {
   // First-maximum-in-key-order semantics in order-independent form, as
   // in the insertion scans: strictly larger loss wins, an equal loss
-  // only with a smaller key.
-  auto consider = [&](std::size_t i) {
-    const long double loss = LossWithoutAt(i);
+  // only with a smaller key. (rank, sa) come off the block's exact
+  // tier-relative reconstruction, so the loss matches the flat
+  // layout's bit-for-bit.
+  auto consider = [&](Key kp, std::int64_t rank, std::int64_t sa) {
+    const long double loss = LossWithoutKey(kp, rank, sa);
     ++stats->exact_evals;
-    const Key kp = rem_keys_[i];
     if (!*have || loss > best->loss ||
         (loss == best->loss && kp < best->key)) {
       best->key = kp;
@@ -1506,40 +1660,60 @@ void LossLandscape::ScanRemovalRange(std::size_t first, std::size_t end,
   };
 
   if (bound_ctx == nullptr) {
-    for (std::size_t i = first; i < end; ++i) {
-      if (allowed != nullptr && allowed->count(rem_keys_[i]) == 0) continue;
-      consider(i);
+    for (std::size_t b = bfirst; b < bend; ++b) {
+      const RemovalSoa::Block& blk = rem_soa_.block(b);
+      for (std::size_t j = 0; j < blk.keys.size(); ++j) {
+        if (allowed != nullptr && allowed->count(blk.keys[j]) == 0) continue;
+        consider(blk.keys[j],
+                 blk.count_before + static_cast<std::int64_t>(j) + 1,
+                 blk.sa_local[j] + blk.sum_after);
+      }
     }
     return;
   }
 
   constexpr double kNoBound = -std::numeric_limits<double>::infinity();
-  // Phase 1 — batched bound pass: the structure-of-arrays candidate
-  // layout (sorted keys, induction-variable ranks, int64 suffix sums)
-  // feeds the branch-free double kernel, which the compiler can
-  // auto-vectorize; one admissible score per allowed candidate.
-  if (allowed == nullptr) {
-    const Key* keys = rem_keys_.data();
-    const std::int64_t* sa = rem_sa_.data();
-    double* bounds = argmax_bounds_.data();
+  const std::size_t first =
+      static_cast<std::size_t>(rem_soa_.block(bfirst).count_before);
+  const std::size_t end =
+      bend < rem_soa_.block_count()
+          ? static_cast<std::size_t>(rem_soa_.block(bend).count_before)
+          : static_cast<std::size_t>(rem_soa_.size());
+
+  // Phase 1 — batched bound pass, block by block: each block is a
+  // structure-of-arrays slice (sorted keys, block-local suffix sums),
+  // and the tier-relative reconstruction adds two loop-invariant
+  // scalars, so the branch-free double kernel still auto-vectorizes.
+  // Bounds land in the globally candidate-indexed scratch
+  // argmax_bounds_[count_before + j] (disjoint across parallel chunks).
+  for (std::size_t b = bfirst; b < bend; ++b) {
+    const RemovalSoa::Block& blk = rem_soa_.block(b);
+    const Key* keys = blk.keys.data();
+    const std::int64_t* sal = blk.sa_local.data();
+    const std::size_t m = blk.keys.size();
+    const double rank0 = static_cast<double>(blk.count_before + 1);
+    const double sa_off = static_cast<double>(blk.sum_after);
+    double* bounds = argmax_bounds_.data() + blk.count_before;
     const Key shift = shift_;
-    const RemovalBoundCtx ctx = *bound_ctx;  // Local copy: no aliasing.
-    for (std::size_t i = first; i < end; ++i) {
-      bounds[i] = ctx.Upper(static_cast<double>(keys[i] - shift),
-                            static_cast<double>(i + 1),
-                            static_cast<double>(sa[i]));
-    }
-    stats->bound_evals += static_cast<std::int64_t>(end - first);
-  } else {
-    for (std::size_t i = first; i < end; ++i) {
-      if (allowed->count(rem_keys_[i]) == 0) {
-        argmax_bounds_[i] = kNoBound;
-        continue;
+    if (allowed == nullptr) {
+      const RemovalBoundCtx ctx = *bound_ctx;  // Local copy: no aliasing.
+      for (std::size_t j = 0; j < m; ++j) {
+        bounds[j] = ctx.Upper(static_cast<double>(keys[j] - shift),
+                              rank0 + static_cast<double>(j),
+                              static_cast<double>(sal[j]) + sa_off);
       }
-      argmax_bounds_[i] = bound_ctx->Upper(
-          static_cast<double>(rem_keys_[i] - shift_),
-          static_cast<double>(i + 1), static_cast<double>(rem_sa_[i]));
-      ++stats->bound_evals;
+      stats->bound_evals += static_cast<std::int64_t>(m);
+    } else {
+      for (std::size_t j = 0; j < m; ++j) {
+        if (allowed->count(keys[j]) == 0) {
+          bounds[j] = kNoBound;
+          continue;
+        }
+        bounds[j] = bound_ctx->Upper(static_cast<double>(keys[j] - shift),
+                                     rank0 + static_cast<double>(j),
+                                     static_cast<double>(sal[j]) + sa_off);
+        ++stats->bound_evals;
+      }
     }
   }
 
@@ -1555,7 +1729,12 @@ void LossLandscape::ScanRemovalRange(std::size_t first, std::size_t end,
     }
   }
   if (seed != end) {
-    consider(seed);
+    const std::size_t sb =
+        rem_soa_.BlockOfIndex(static_cast<std::int64_t>(seed));
+    const RemovalSoa::Block& blk = rem_soa_.block(sb);
+    const std::size_t j = seed - static_cast<std::size_t>(blk.count_before);
+    consider(blk.keys[j], blk.count_before + static_cast<std::int64_t>(j) + 1,
+             blk.sa_local[j] + blk.sum_after);
     argmax_bounds_[seed] = kNoBound;  // Consumed: phase 3 skips it.
   }
 
@@ -1575,42 +1754,40 @@ void LossLandscape::ScanRemovalRange(std::size_t first, std::size_t end,
     }
   }
 
-  // Phase 3 — key-ordered sweep with branch-and-bound pruning (>= keeps
-  // exact ties alive for the smaller-key rule).
-  for (std::size_t i = first; i < end; ++i) {
-    if (*have && argmax_suffix_max_[i] < best->loss) {
-      stats->pruned_gaps += argmax_suffix_cnt_[i];
-      break;
+  // Phase 3 — key-ordered sweep with branch-and-bound pruning, walked
+  // blockwise so the exact reconstruction reads straight off the block
+  // records (>= keeps exact ties alive for the smaller-key rule).
+  for (std::size_t b = bfirst; b < bend; ++b) {
+    const RemovalSoa::Block& blk = rem_soa_.block(b);
+    bool stop = false;
+    for (std::size_t j = 0; j < blk.keys.size(); ++j) {
+      const std::size_t i = static_cast<std::size_t>(blk.count_before) + j;
+      if (*have && argmax_suffix_max_[i] < best->loss) {
+        stats->pruned_gaps += argmax_suffix_cnt_[i];
+        stop = true;
+        break;
+      }
+      const double kb = argmax_bounds_[i];
+      if (kb == kNoBound) continue;
+      if (*have && kb < best->loss) {
+        ++stats->pruned_gaps;
+        continue;
+      }
+      consider(blk.keys[j],
+               blk.count_before + static_cast<std::int64_t>(j) + 1,
+               blk.sa_local[j] + blk.sum_after);
     }
-    const double b = argmax_bounds_[i];
-    if (b == kNoBound) continue;
-    if (*have && b < best->loss) {
-      ++stats->pruned_gaps;
-      continue;
-    }
-    consider(i);
+    if (stop) break;
   }
 }
 
-namespace {
-
-/// Candidates per removal-scan block: small enough that the chord's
-/// concavity sag stays far below the block-to-block loss spread (it
-/// shrinks quadratically with the block span), large enough that the
-/// per-round block pass is ~n/128 bounds. Divides kArgmaxChunkGaps, so
-/// parallel chunk boundaries align with block boundaries.
-constexpr std::size_t kRemovalBlock = 128;
-
-}  // namespace
-
-void LossLandscape::ScanRemovalRangeTiered(
-    std::size_t first, std::size_t end, const RemovalBoundCtx& ctx,
-    const std::unordered_set<Key>* allowed, Candidate* best, bool* have,
-    ArgmaxStats* stats) const {
-  auto consider = [&](std::size_t i) {
-    const long double loss = LossWithoutAt(i);
+void LossLandscape::ScanRemovalBlocksTiered(
+    std::size_t bfirst, std::size_t bend, const RemovalBoundCtx& ctx,
+    const std::unordered_set<Key>* allowed, double* seed_bounds,
+    double* scratch, Candidate* best, bool* have, ArgmaxStats* stats) const {
+  auto consider = [&](Key kp, std::int64_t rank, std::int64_t sa) {
+    const long double loss = LossWithoutKey(kp, rank, sa);
     ++stats->exact_evals;
-    const Key kp = rem_keys_[i];
     if (!*have || loss > best->loss ||
         (loss == best->loss && kp < best->key)) {
       best->key = kp;
@@ -1619,69 +1796,77 @@ void LossLandscape::ScanRemovalRangeTiered(
     }
   };
   constexpr double kNoBound = -std::numeric_limits<double>::infinity();
-  const Key* keys = rem_keys_.data();
-  const std::int64_t* sa = rem_sa_.data();
   const Key shift = shift_;
 
-  // Per-key bound pass over one block [lo, hi) into argmax_bounds_;
-  // the allowed-free path is the batched SoA kernel.
-  auto block_key_bounds = [&](std::size_t lo, std::size_t hi) {
-    double* bounds = argmax_bounds_.data();
+  // Per-key bound pass over one storage block into the block-local
+  // staging slice \p out; the allowed-free path is the batched SoA
+  // kernel (the rank/suffix reconstruction adds two loop-invariant
+  // scalars, so it still auto-vectorizes).
+  auto block_key_bounds = [&](const RemovalSoa::Block& blk, double* out) {
+    const Key* keys = blk.keys.data();
+    const std::int64_t* sal = blk.sa_local.data();
+    const std::size_t m = blk.keys.size();
+    const double rank0 = static_cast<double>(blk.count_before + 1);
+    const double sa_off = static_cast<double>(blk.sum_after);
     if (allowed == nullptr) {
       const RemovalBoundCtx c = ctx;
-      for (std::size_t i = lo; i < hi; ++i) {
-        bounds[i] = c.Upper(static_cast<double>(keys[i] - shift),
-                            static_cast<double>(i + 1),
-                            static_cast<double>(sa[i]));
+      for (std::size_t j = 0; j < m; ++j) {
+        out[j] = c.Upper(static_cast<double>(keys[j] - shift),
+                         rank0 + static_cast<double>(j),
+                         static_cast<double>(sal[j]) + sa_off);
       }
-      stats->bound_evals += static_cast<std::int64_t>(hi - lo);
+      stats->bound_evals += static_cast<std::int64_t>(m);
     } else {
-      for (std::size_t i = lo; i < hi; ++i) {
-        if (allowed->count(keys[i]) == 0) {
-          bounds[i] = kNoBound;
+      for (std::size_t j = 0; j < m; ++j) {
+        if (allowed->count(keys[j]) == 0) {
+          out[j] = kNoBound;
           continue;
         }
-        bounds[i] = ctx.Upper(static_cast<double>(keys[i] - shift),
-                              static_cast<double>(i + 1),
-                              static_cast<double>(sa[i]));
+        out[j] = ctx.Upper(static_cast<double>(keys[j] - shift),
+                           rank0 + static_cast<double>(j),
+                           static_cast<double>(sal[j]) + sa_off);
         ++stats->bound_evals;
       }
     }
   };
 
-  // Phase 1 — one chord bound per block, from its exact endpoint
-  // records (block bounds ignore `allowed`: an admissible
-  // over-estimate; the per-key phase enforces the restriction).
-  const std::size_t b0 = first / kRemovalBlock;
-  const std::size_t b1 = (end + kRemovalBlock - 1) / kRemovalBlock;
-  for (std::size_t b = b0; b < b1; ++b) {
-    const std::size_t lo = std::max(first, b * kRemovalBlock);
-    const std::size_t hi = std::min(end, (b + 1) * kRemovalBlock);
+  // Phase 1 — one chord bound per storage block, from its exact
+  // endpoint records: rank/suffix reconstruct in O(1) from the
+  // directory scalars (the last key's global suffix is sum_after
+  // itself, since sa_local.back() == 0 by construction). Block bounds
+  // ignore `allowed` — an admissible over-estimate; the per-key phase
+  // enforces the restriction. The commit structure and the bound tier
+  // structure are the same blocks.
+  for (std::size_t b = bfirst; b < bend; ++b) {
+    const RemovalSoa::Block& blk = rem_soa_.block(b);
+    const std::size_t m = blk.keys.size();
     double bound;
-    if (hi - lo == 1) {
-      bound = ctx.Upper(static_cast<double>(keys[lo] - shift),
-                        static_cast<double>(lo + 1),
-                        static_cast<double>(sa[lo]));
+    if (m == 1) {
+      bound = ctx.Upper(
+          static_cast<double>(blk.keys.front() - shift),
+          static_cast<double>(blk.count_before + 1),
+          static_cast<double>(blk.sa_local.front() + blk.sum_after));
     } else {
-      bound = ctx.UpperBlock(static_cast<double>(keys[lo] - shift),
-                             static_cast<double>(lo + 1),
-                             static_cast<double>(sa[lo]),
-                             static_cast<double>(keys[hi - 1] - shift),
-                             static_cast<double>(hi),
-                             static_cast<double>(sa[hi - 1]));
+      bound = ctx.UpperBlock(
+          static_cast<double>(blk.keys.front() - shift),
+          static_cast<double>(blk.count_before + 1),
+          static_cast<double>(blk.sa_local.front() + blk.sum_after),
+          static_cast<double>(blk.keys.back() - shift),
+          static_cast<double>(blk.count_before +
+                              static_cast<std::int64_t>(m)),
+          static_cast<double>(blk.sum_after));
     }
     ++stats->bound_evals;
     argmax_tier_bounds_[b] = bound;
   }
   // Chunk-local suffix max/count over the blocks (no shared sentinel:
-  // parallel chunks own disjoint [b0, b1) slices).
+  // parallel chunks own disjoint [bfirst, bend) slices).
   {
     double run_max = kNoBound;
     std::int64_t run_cnt = 0;
-    for (std::size_t b = b1; b > b0; --b) {
-      const std::size_t lo = std::max(first, (b - 1) * kRemovalBlock);
-      const std::size_t hi = std::min(end, b * kRemovalBlock);
-      run_cnt += static_cast<std::int64_t>(hi - lo);
+    for (std::size_t b = bend; b > bfirst; --b) {
+      run_cnt +=
+          static_cast<std::int64_t>(rem_soa_.block(b - 1).keys.size());
       if (argmax_tier_bounds_[b - 1] > run_max) {
         run_max = argmax_tier_bounds_[b - 1];
       }
@@ -1690,32 +1875,35 @@ void LossLandscape::ScanRemovalRangeTiered(
     }
   }
 
-  // Phase 2 — seed: per-key bounds inside the highest-bound block, one
+  // Phase 2 — seed: per-key bounds inside the highest-chord block, one
   // exact evaluation of its best candidate (strict > keeps the earliest
-  // block/key on ties — scan-order independent).
-  std::size_t seed_b = b1;
+  // block/key on ties — scan-order independent). The staged bounds stay
+  // in seed_bounds so the sweep never scores the block twice.
+  std::size_t seed_b = bend;
   double seed_bound = kNoBound;
-  for (std::size_t b = b0; b < b1; ++b) {
+  for (std::size_t b = bfirst; b < bend; ++b) {
     if (argmax_tier_bounds_[b] > seed_bound) {
       seed_bound = argmax_tier_bounds_[b];
       seed_b = b;
     }
   }
-  if (seed_b != b1) {
-    const std::size_t lo = std::max(first, seed_b * kRemovalBlock);
-    const std::size_t hi = std::min(end, (seed_b + 1) * kRemovalBlock);
-    block_key_bounds(lo, hi);
-    std::size_t seed_i = hi;
+  if (seed_b != bend) {
+    const RemovalSoa::Block& blk = rem_soa_.block(seed_b);
+    const std::size_t m = blk.keys.size();
+    block_key_bounds(blk, seed_bounds);
+    std::size_t seed_j = m;
     double key_bound = kNoBound;
-    for (std::size_t i = lo; i < hi; ++i) {
-      if (argmax_bounds_[i] > key_bound) {
-        key_bound = argmax_bounds_[i];
-        seed_i = i;
+    for (std::size_t j = 0; j < m; ++j) {
+      if (seed_bounds[j] > key_bound) {
+        key_bound = seed_bounds[j];
+        seed_j = j;
       }
     }
-    if (seed_i != hi) {
-      consider(seed_i);
-      argmax_bounds_[seed_i] = kNoBound;  // Consumed.
+    if (seed_j != m) {
+      consider(blk.keys[seed_j],
+               blk.count_before + static_cast<std::int64_t>(seed_j) + 1,
+               blk.sa_local[seed_j] + blk.sum_after);
+      seed_bounds[seed_j] = kNoBound;  // Consumed.
     }
   }
 
@@ -1724,30 +1912,36 @@ void LossLandscape::ScanRemovalRangeTiered(
   // is below the best. Accounting mirrors the insertion tier cache:
   // a candidate is "cached" when its block's bound dispositioned it,
   // "invalidated" when its block survived and it was scored per key.
-  for (std::size_t b = b0; b < b1; ++b) {
+  for (std::size_t b = bfirst; b < bend; ++b) {
     if (*have && argmax_tier_suffix_max_[b] < best->loss) {
       stats->pruned_gaps += argmax_tier_suffix_cnt_[b];
       stats->cached_bounds += argmax_tier_suffix_cnt_[b];
       break;
     }
-    const std::size_t lo = std::max(first, b * kRemovalBlock);
-    const std::size_t hi = std::min(end, (b + 1) * kRemovalBlock);
-    const std::int64_t size = static_cast<std::int64_t>(hi - lo);
+    const RemovalSoa::Block& blk = rem_soa_.block(b);
+    const std::size_t m = blk.keys.size();
+    const std::int64_t size = static_cast<std::int64_t>(m);
     if (*have && argmax_tier_bounds_[b] < best->loss) {
       stats->pruned_gaps += size;
       stats->cached_bounds += size;
       continue;
     }
     stats->invalidated_gaps += size;
-    if (b != seed_b) block_key_bounds(lo, hi);
-    for (std::size_t i = lo; i < hi; ++i) {
-      const double kb = argmax_bounds_[i];
-      if (kb == kNoBound) continue;  // Consumed seed or not allowed.
-      if (*have && kb < best->loss) {
+    const double* kb = seed_bounds;
+    if (b != seed_b) {
+      block_key_bounds(blk, scratch);
+      kb = scratch;
+    }
+    for (std::size_t j = 0; j < m; ++j) {
+      const double bj = kb[j];
+      if (bj == kNoBound) continue;  // Consumed seed or not allowed.
+      if (*have && bj < best->loss) {
         ++stats->pruned_gaps;
         continue;
       }
-      consider(i);
+      consider(blk.keys[j],
+               blk.count_before + static_cast<std::int64_t>(j) + 1,
+               blk.sa_local[j] + blk.sum_after);
     }
   }
 }
@@ -1766,33 +1960,37 @@ Result<LossLandscape::Candidate> LossLandscape::FindOptimalRemoval(
 
   Candidate best;
   bool have = false;
+  const std::size_t nblocks = rem_soa_.block_count();
 
-  if (!rem_sa_valid_) {
-    // Wide-domain fallback: exact Int128 reverse walk accumulating the
-    // suffix key-sums on the fly (the order-independent tie rule makes
-    // the scan direction immaterial).
+  if (!rem_soa_.with_sa()) {
+    // Wide-domain fallback: exact Int128 reverse block walk
+    // accumulating the suffix key-sums on the fly (the
+    // order-independent tie rule makes the scan direction immaterial).
     if (argmax.prune) local.fallback_rounds = 1;
     Int128 sa = 0;
     const std::int64_t n1 = n_ - 1;
-    for (std::size_t i = rem_keys_.size(); i > 0; --i) {
-      const std::size_t idx = i - 1;
-      const Key kp = rem_keys_[idx];
-      const Int128 x = static_cast<Int128>(kp) - shift_;
-      if (allowed == nullptr || allowed->count(kp) != 0) {
-        const Int128 sum_xy =
-            sum_kr_ - x * static_cast<Int128>(idx + 1) - sa;
-        const long double loss =
-            LossFromSums(n1, sum_k_ - x, sum_k2_ - x * x, SumRanks(n1),
-                         SumRankSquares(n1), sum_xy);
-        ++local.exact_evals;
-        if (!have || loss > best.loss ||
-            (loss == best.loss && kp < best.key)) {
-          best.key = kp;
-          best.loss = loss;
-          have = true;
+    for (std::size_t b = nblocks; b > 0; --b) {
+      const RemovalSoa::Block& blk = rem_soa_.block(b - 1);
+      for (std::size_t j = blk.keys.size(); j > 0; --j) {
+        const Key kp = blk.keys[j - 1];
+        const Int128 x = static_cast<Int128>(kp) - shift_;
+        if (allowed == nullptr || allowed->count(kp) != 0) {
+          const Int128 rank =
+              blk.count_before + static_cast<std::int64_t>(j);
+          const Int128 sum_xy = sum_kr_ - x * rank - sa;
+          const long double loss =
+              LossFromSums(n1, sum_k_ - x, sum_k2_ - x * x, SumRanks(n1),
+                           SumRankSquares(n1), sum_xy);
+          ++local.exact_evals;
+          if (!have || loss > best.loss ||
+              (loss == best.loss && kp < best.key)) {
+            best.key = kp;
+            best.loss = loss;
+            have = true;
+          }
         }
+        sa += x;
       }
-      sa += x;
     }
   } else {
     RemovalBoundCtx ctx;
@@ -1806,57 +2004,77 @@ Result<LossLandscape::Candidate> LossLandscape::FindOptimalRemoval(
     }
     const RemovalBoundCtx* bctx = prune ? &ctx : nullptr;
     const bool tiered = prune && argmax.cache;
-    const std::size_t m = rem_keys_.size();
-    if (prune) {
+    const std::size_t m = static_cast<std::size_t>(rem_soa_.size());
+
+    // Chunking: consecutive storage blocks grouped to at least
+    // kArgmaxChunkGaps candidates each — a pure function of the block
+    // structure, so the chunk list (and with it every counter and the
+    // reduced winner) is thread-count independent.
+    auto& chunks = PrepareScratch(&argmax_chunk_tiers_, nblocks);
+    {
+      std::size_t cb = 0;
+      std::int64_t acc = 0;
+      for (std::size_t b = 0; b < nblocks; ++b) {
+        acc += static_cast<std::int64_t>(rem_soa_.block(b).keys.size());
+        if (acc >= kArgmaxChunkGaps) {
+          chunks.emplace_back(cb, b + 1);
+          cb = b + 1;
+          acc = 0;
+        }
+      }
+      if (cb < nblocks) chunks.emplace_back(cb, nblocks);
+    }
+    const std::size_t num_chunks = chunks.size();
+    const std::size_t cap = static_cast<std::size_t>(rem_soa_.block_cap());
+
+    if (prune && !tiered) {
       EnsureScratchSize(&argmax_bounds_, m, &scratch_reallocs_);
       EnsureScratchSize(&argmax_suffix_max_, m, &scratch_reallocs_);
       EnsureScratchSize(&argmax_suffix_cnt_, m, &scratch_reallocs_);
     }
     if (tiered) {
-      const std::size_t blocks = m / kRemovalBlock + 2;
-      EnsureScratchSize(&argmax_tier_bounds_, blocks, &scratch_reallocs_);
-      EnsureScratchSize(&argmax_tier_suffix_max_, blocks,
+      EnsureScratchSize(&argmax_tier_bounds_, nblocks + 1,
                         &scratch_reallocs_);
-      EnsureScratchSize(&argmax_tier_suffix_cnt_, blocks,
+      EnsureScratchSize(&argmax_tier_suffix_max_, nblocks + 1,
+                        &scratch_reallocs_);
+      EnsureScratchSize(&argmax_tier_suffix_cnt_, nblocks + 1,
+                        &scratch_reallocs_);
+      // Per-chunk staging: two block_cap-sized slices (seed block +
+      // swept block) of argmax_bounds_ per chunk, disjoint across
+      // chunks — O(sqrt(n)) doubles per chunk instead of O(n).
+      EnsureScratchSize(&argmax_bounds_, num_chunks * 2 * cap,
                         &scratch_reallocs_);
     }
-    const bool parallel =
-        pool != nullptr && pool->num_threads() > 1 &&
-        static_cast<std::int64_t>(m) > kArgmaxChunkGaps;
+    const bool parallel = pool != nullptr && pool->num_threads() > 1 &&
+                          static_cast<std::int64_t>(m) > kArgmaxChunkGaps &&
+                          num_chunks > 1;
     if (parallel) {
-      // Fixed-size candidate chunks with chunk-local pruning, reduced
-      // in chunk (= key) order with a strict > comparison: bit-identical
-      // to the serial scan for every thread count.
-      const std::int64_t num_chunks =
-          (static_cast<std::int64_t>(m) + kArgmaxChunkGaps - 1) /
-          kArgmaxChunkGaps;
-      std::vector<Candidate> chunk_best(static_cast<std::size_t>(num_chunks));
-      std::vector<char> chunk_have(static_cast<std::size_t>(num_chunks), 0);
-      std::vector<ArgmaxStats> chunk_stats(
-          static_cast<std::size_t>(num_chunks));
-      pool->ParallelFor(num_chunks, [this, allowed, m, bctx, tiered,
-                                     &chunk_best, &chunk_have,
-                                     &chunk_stats](std::int64_t c) {
-        const std::size_t first = static_cast<std::size_t>(c) *
-                                  static_cast<std::size_t>(kArgmaxChunkGaps);
-        const std::size_t end = std::min(
-            m, first + static_cast<std::size_t>(kArgmaxChunkGaps));
-        bool chunk_found = false;
-        if (tiered) {
-          ScanRemovalRangeTiered(first, end, *bctx, allowed,
-                                 &chunk_best[static_cast<std::size_t>(c)],
-                                 &chunk_found,
-                                 &chunk_stats[static_cast<std::size_t>(c)]);
-        } else {
-          ScanRemovalRange(first, end, bctx, allowed,
-                           &chunk_best[static_cast<std::size_t>(c)],
-                           &chunk_found,
-                           &chunk_stats[static_cast<std::size_t>(c)]);
-        }
-        chunk_have[static_cast<std::size_t>(c)] = chunk_found ? 1 : 0;
-      });
-      for (std::int64_t c = 0; c < num_chunks; ++c) {
-        const auto ci = static_cast<std::size_t>(c);
+      // Block-aligned candidate chunks with chunk-local pruning,
+      // reduced in chunk (= key) order with a strict > comparison:
+      // bit-identical to the serial scan for every thread count.
+      std::vector<Candidate> chunk_best(num_chunks);
+      std::vector<char> chunk_have(num_chunks, 0);
+      std::vector<ArgmaxStats> chunk_stats(num_chunks);
+      pool->ParallelFor(
+          static_cast<std::int64_t>(num_chunks),
+          [this, allowed, bctx, tiered, cap, &chunks, &chunk_best,
+           &chunk_have, &chunk_stats](std::int64_t c) {
+            const auto ci = static_cast<std::size_t>(c);
+            bool chunk_found = false;
+            if (tiered) {
+              double* stage = argmax_bounds_.data() + ci * 2 * cap;
+              ScanRemovalBlocksTiered(chunks[ci].first, chunks[ci].second,
+                                      *bctx, allowed, stage, stage + cap,
+                                      &chunk_best[ci], &chunk_found,
+                                      &chunk_stats[ci]);
+            } else {
+              ScanRemovalBlocks(chunks[ci].first, chunks[ci].second, bctx,
+                                allowed, &chunk_best[ci], &chunk_found,
+                                &chunk_stats[ci]);
+            }
+            chunk_have[ci] = chunk_found ? 1 : 0;
+          });
+      for (std::size_t ci = 0; ci < num_chunks; ++ci) {
         local.Add(chunk_stats[ci]);
         if (!chunk_have[ci]) continue;
         const Candidate& cb = chunk_best[ci];
@@ -1866,9 +2084,11 @@ Result<LossLandscape::Candidate> LossLandscape::FindOptimalRemoval(
         }
       }
     } else if (tiered) {
-      ScanRemovalRangeTiered(0, m, ctx, allowed, &best, &have, &local);
+      double* stage = argmax_bounds_.data();
+      ScanRemovalBlocksTiered(0, nblocks, ctx, allowed, stage, stage + cap,
+                              &best, &have, &local);
     } else {
-      ScanRemovalRange(0, m, bctx, allowed, &best, &have, &local);
+      ScanRemovalBlocks(0, nblocks, bctx, allowed, &best, &have, &local);
     }
   }
   if (stats != nullptr) stats->Add(local);

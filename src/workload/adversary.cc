@@ -41,6 +41,15 @@ struct AdversaryTelemetry {
 /// candidates (invalidated whenever the model is touched).
 struct Model {
   std::unique_ptr<LossLandscape> landscape;
+  /// Key range this slice owned at (re)build time. Candidates are
+  /// always interior to the slice's tight domain, so the ranges of
+  /// adjacent models never overlap and a dirty slice can be
+  /// re-extracted from the view by value.
+  Key lo = 0;
+  Key hi = 0;
+  /// Set on every write the attacker commits into this slice; a replan
+  /// rebuilds dirty slices only.
+  bool dirty = false;
   bool ins_valid = false;
   bool ins_feasible = false;
   LossLandscape::Candidate ins;
@@ -51,6 +60,7 @@ struct Model {
   void Invalidate() {
     ins_valid = false;
     rem_valid = false;
+    dirty = true;
   }
 };
 
@@ -137,9 +147,58 @@ class OnlineAdversary {
       LISPOISON_ASSIGN_OR_RETURN(LossLandscape landscape,
                                  LossLandscape::Create(part));
       Model model;
+      model.lo = part.keys().front();
+      model.hi = part.keys().back();
       model.landscape =
           std::make_unique<LossLandscape>(std::move(landscape));
       models_.push_back(std::move(model));
+    }
+    return Status::OK();
+  }
+
+  /// Replan after an observed retrain. Clean slices keep their
+  /// landscape — the incremental commits already mirror every write the
+  /// attacker made, so rebuilding them would reproduce the same object
+  /// at O(slice) cost. Dirty slices are re-extracted from the view by
+  /// their key range and rebuilt. A dirty slice that drifted out of the
+  /// fresh-RMI size envelope forces the full equal-count repartition
+  /// the pre-dirty-tracking replan always did.
+  Status ReplanModels() {
+    if (models_.empty()) return BuildModels();
+    const std::int64_t lo_bound =
+        std::max<std::int64_t>(2, options_.model_size / 4);
+    const std::int64_t hi_bound = options_.model_size * 4;
+    for (const Model& m : models_) {
+      if (!m.dirty) continue;
+      const auto first = std::lower_bound(view_.begin(), view_.end(), m.lo);
+      const auto end = std::upper_bound(first, view_.end(), m.hi);
+      const std::int64_t cnt = end - first;
+      if (cnt < lo_bound || cnt > hi_bound) {
+        LISPOISON_RETURN_IF_ERROR(BuildModels());
+        result_.models_rebuilt +=
+            static_cast<std::int64_t>(models_.size());
+        return Status::OK();
+      }
+    }
+    for (Model& m : models_) {
+      if (!m.dirty) {
+        result_.models_kept += 1;
+        continue;
+      }
+      const auto first = std::lower_bound(view_.begin(), view_.end(), m.lo);
+      const auto end = std::upper_bound(first, view_.end(), m.hi);
+      std::vector<Key> slice(first, end);
+      LISPOISON_ASSIGN_OR_RETURN(
+          KeySet part, KeySet::CreateWithTightDomain(std::move(slice)));
+      LISPOISON_ASSIGN_OR_RETURN(LossLandscape landscape,
+                                 LossLandscape::Create(part));
+      m.landscape = std::make_unique<LossLandscape>(std::move(landscape));
+      m.lo = part.keys().front();
+      m.hi = part.keys().back();
+      m.ins_valid = false;
+      m.rem_valid = false;
+      m.dirty = false;
+      result_.models_rebuilt += 1;
     }
     return Status::OK();
   }
@@ -154,7 +213,7 @@ class OnlineAdversary {
 
   /// Polls the victim's retrain signal; movement means some shard is
   /// now serving a substrate trained on keys the attacker's landscapes
-  /// no longer describe, so the whole plan is rebuilt from the view.
+  /// no longer describe, so the plan is refreshed — dirty slices only.
   Status MaybeReplan() {
     const std::int64_t cur = compactions_->Value();
     if (cur == compactions_baseline_) return Status::OK();
@@ -162,7 +221,7 @@ class OnlineAdversary {
     compactions_baseline_ = cur;
     TraceInstant(TraceCategory::kAttack, "adversary_replan",
                  result_.replans);
-    LISPOISON_RETURN_IF_ERROR(BuildModels());
+    LISPOISON_RETURN_IF_ERROR(ReplanModels());
     result_.replans += 1;
     AdversaryTelemetry::Get().replans->Add(1);
     return Status::OK();

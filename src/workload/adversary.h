@@ -24,9 +24,13 @@
 // on the merged key list, invalidating the loss surface the attacker
 // planned against. The adversary polls the process-wide
 // `serving.compactions` telemetry counter every few ops; observed
-// movement triggers a *replan* — the per-model landscapes are rebuilt
-// from the current view, repartitioned the way a fresh RMI stage would
-// be — so the stream keeps targeting the substrate actually serving.
+// movement triggers a *replan*. A replan rebuilds only the slices the
+// attacker wrote into since their landscape was built (dirty slices,
+// re-extracted from the view by key range); untouched slices keep
+// their incrementally maintained landscape, so replan cost scales with
+// the attacker's own write locality instead of the full view. When a
+// dirty slice has drifted out of the fresh-RMI size envelope the
+// replan falls back to the full equal-count repartition.
 // This is the machinery behind the heal-or-amplify question the
 // adversarial bench answers.
 //
@@ -95,9 +99,15 @@ struct AdversaryResult {
   std::int64_t rejected = 0;     ///< Write-path refusals (racing traffic
                                  ///< took the planned key first).
   std::int64_t skipped = 0;      ///< Ops with no feasible candidate.
-  std::int64_t replans = 0;      ///< Landscape rebuilds after retrains.
+  std::int64_t replans = 0;      ///< Replans executed after retrains.
   std::int64_t retrains_observed = 0;  ///< serving.compactions movement
                                        ///< seen at the poll points.
+  /// Replan work accounting: a replan rebuilds only the model slices
+  /// whose view changed since their landscape was built (dirty slices);
+  /// clean slices keep their incrementally maintained landscape. Summed
+  /// over all replans — adversary_test pins rebuilt < kept + rebuilt.
+  std::int64_t models_rebuilt = 0;
+  std::int64_t models_kept = 0;
 
   /// Mean per-model regression loss of the attacker's view, before the
   /// first op and after the last (the attacker-side Theorem 1 signal;

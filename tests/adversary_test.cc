@@ -120,6 +120,16 @@ TEST(AdversaryTest, ReplansAfterObservingRetrains) {
 
   EXPECT_GE(result->retrains_observed, 1);
   EXPECT_GE(result->replans, 1);
+
+  // Dirty-slice replans: with 20 model slices and at most
+  // replan_check_every=4 ops (hence <= 8 touched slices) between polls,
+  // every replan must reuse the majority of slices untouched since
+  // their last build. A regression to rebuild-everything makes
+  // models_kept zero and trips the first assertion.
+  EXPECT_GT(result->models_kept, 0);
+  EXPECT_GT(result->models_rebuilt, 0);
+  EXPECT_LT(result->models_rebuilt, result->models_kept);
+
   CheckMembership(victim.get(), *result);
 }
 

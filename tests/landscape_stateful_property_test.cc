@@ -32,6 +32,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
+#include <cstdint>
 #include <cstdlib>
 #include <string>
 #include <unordered_set>
@@ -348,10 +350,13 @@ void RunSequence(std::uint64_t seed, const std::vector<ThreadPool*>& pools) {
                       d(&LossLandscape::ArgmaxStats::invalidated_gaps),
                   oracle.size())
             << "seed " << seed << " op " << op;
-        // Bound work: one chord per block (+ chunk-boundary slack)
-        // plus per-key scores only inside surviving blocks.
+        // Bound work: one chord per ~sqrt(n) storage block, one staged
+        // seed block (<= block_cap keys) per parallel chunk, plus
+        // per-key scores only inside surviving blocks.
+        const std::int64_t chunks = oracle.size() / 2048 + 1;
         EXPECT_LE(d(&LossLandscape::ArgmaxStats::bound_evals),
-                  oracle.size() / 128 + 8 +
+                  ll->removal_block_count() +
+                      chunks * ll->removal_block_cap() +
                       d(&LossLandscape::ArgmaxStats::invalidated_gaps))
             << "seed " << seed << " op " << op;
       }
@@ -512,6 +517,138 @@ TEST(LandscapeStatefulPropertyTest, GreedyDeletionMergeWorkSublinear) {
   }
   EXPECT_LT(max_moved, ll->gap_count() / 4);
   EXPECT_GT(max_moved, 0);
+}
+
+// ---- Large-n sampled mode (ctest -C large_n) ---------------------------
+//
+// The default sweep keeps the flat oracle exact, which caps n at a few
+// thousand. This mode runs the same stateful contract at n = 10^6 with
+// a *sampled* oracle: the engine's argmax answer must dominate a few
+// thousand randomly sampled candidates scored through the public
+// Aggregates arithmetic, every commit must hold the O(sqrt(G)) splice
+// budget and the O(sqrt(n)) removal-SoA touch budget, and the gap count
+// must track an independent O(n) walk. Excluded from the default ctest
+// run (CONFIGURATIONS large_n + env gate) because one iteration costs
+// seconds, not milliseconds.
+
+TEST(LandscapeStatefulPropertyTest, LargeNSampledMode) {
+  if (std::getenv("LISPOISON_LARGE_N") == nullptr) {
+    GTEST_SKIP() << "set LISPOISON_LARGE_N=1 (or run ctest -C large_n)";
+  }
+  Rng rng(0x1A96E);
+  const std::int64_t n = 1'000'000;
+  const KeyDomain domain{0, 16 * n};
+  auto ks = GenerateUniform(n, domain, &rng);
+  ASSERT_TRUE(ks.ok());
+  ThreadPool pool(3);
+  // Parallel build on purpose: the sampled sweep then also exercises
+  // the chunked Create product end to end.
+  auto ll = LossLandscape::Create(*ks, &pool);
+  ASSERT_TRUE(ll.ok());
+  FlatOracle oracle(ks->keys(), domain);
+
+  // Scored through the same shift-invariant public arithmetic the small
+  // oracle uses; rebuilt per sampled scan.
+  const auto make_agg = [&](const std::vector<Key>& keys) {
+    LossLandscape::Aggregates agg;
+    agg.shift = keys.front();
+    for (const Key k : keys) agg.InsertAboveAll(k);
+    return agg;
+  };
+
+  std::vector<Key> keys = ks->keys();
+  std::int64_t prev_splice = ll->splice_moves();
+  const double sqrt_n = std::sqrt(static_cast<double>(n));
+  const int ops = 36;
+  for (int op = 0; op < ops; ++op) {
+    const std::int64_t roll = rng.UniformInt(0, 99);
+    if (roll < 40) {
+      // Random unoccupied insert.
+      Key kp = 0;
+      bool found = false;
+      for (int tries = 0; tries < 24 && !found; ++tries) {
+        kp = rng.UniformInt(domain.lo, domain.hi);
+        found = !std::binary_search(keys.begin(), keys.end(), kp);
+      }
+      if (!found) continue;
+      ASSERT_TRUE(ll->InsertKey(kp).ok()) << "op " << op;
+      keys.insert(std::lower_bound(keys.begin(), keys.end(), kp), kp);
+      oracle.Insert(kp);
+    } else if (roll < 70) {
+      // Argmax-chosen removal: the engine's own deletion-attack access
+      // pattern, which also maintains the removal SoA.
+      auto best = ll->FindOptimalRemoval(nullptr, &pool,
+                                         LossLandscape::ArgmaxOptions{});
+      ASSERT_TRUE(best.ok()) << "op " << op;
+      // Sampled dominance: no sampled stored key's removal beats it.
+      const LossLandscape::Aggregates agg = make_agg(keys);
+      std::vector<Int128> prefix(keys.size() + 1, 0);
+      for (std::size_t i = 0; i < keys.size(); ++i) {
+        prefix[i + 1] =
+            prefix[i] + (static_cast<Int128>(keys[i]) - agg.shift);
+      }
+      for (int s = 0; s < 2048; ++s) {
+        const std::int64_t j =
+            rng.UniformInt(0, static_cast<std::int64_t>(keys.size()) - 1);
+        LossLandscape::Aggregates copy = agg;
+        const Int128 x =
+            static_cast<Int128>(keys[static_cast<std::size_t>(j)]) -
+            agg.shift;
+        copy.Remove(keys[static_cast<std::size_t>(j)],
+                    static_cast<Rank>(j),
+                    agg.sum_k - prefix[static_cast<std::size_t>(j)] - x);
+        ASSERT_GE(best->loss, copy.Loss())
+            << "op " << op << " sampled stored key "
+            << keys[static_cast<std::size_t>(j)];
+      }
+      ASSERT_TRUE(ll->RemoveKey(best->key).ok()) << "op " << op;
+      keys.erase(std::lower_bound(keys.begin(), keys.end(), best->key));
+      oracle.Remove(best->key);
+    } else {
+      // Pruned insertion argmax with sampled dominance.
+      auto best = ll->FindOptimal(/*interior_only=*/true,
+                                  /*excluded=*/nullptr, &pool);
+      ASSERT_TRUE(best.ok()) << "op " << op;
+      const LossLandscape::Aggregates agg = make_agg(keys);
+      std::vector<Int128> prefix(keys.size() + 1, 0);
+      for (std::size_t i = 0; i < keys.size(); ++i) {
+        prefix[i + 1] =
+            prefix[i] + (static_cast<Int128>(keys[i]) - agg.shift);
+      }
+      for (int s = 0; s < 2048; ++s) {
+        const Key kp = rng.UniformInt(keys.front() + 1, keys.back() - 1);
+        const auto it = std::lower_bound(keys.begin(), keys.end(), kp);
+        if (it != keys.end() && *it == kp) continue;  // Occupied.
+        const std::size_t less =
+            static_cast<std::size_t>(it - keys.begin());
+        const long double loss = agg.LossAfterInsert(
+            kp, static_cast<Rank>(less), agg.sum_k - prefix[less]);
+        ASSERT_GE(best->loss, loss)
+            << "op " << op << " sampled candidate " << kp;
+      }
+      ASSERT_TRUE(ll->InsertKey(best->key).ok()) << "op " << op;
+      keys.insert(std::lower_bound(keys.begin(), keys.end(), best->key),
+                  best->key);
+      oracle.Insert(best->key);
+    }
+
+    // Structural contracts at scale, every op.
+    EXPECT_EQ(ll->gap_count(), oracle.TotalGaps()) << "op " << op;
+    const std::int64_t moved = ll->splice_moves() - prev_splice;
+    prev_splice = ll->splice_moves();
+    EXPECT_LE(moved,
+              3 * ll->gap_tier_cap() +
+                  4 * ll->gap_count() /
+                      std::max<std::int64_t>(1, ll->gap_tier_cap()) +
+                  64)
+        << "op " << op;
+  }
+  if (ll->removal_commits() > 0) {
+    const double per_commit =
+        static_cast<double>(ll->removal_commit_touched_slots()) /
+        static_cast<double>(ll->removal_commits());
+    EXPECT_LE(per_commit, 10.0 * sqrt_n);
+  }
 }
 
 }  // namespace

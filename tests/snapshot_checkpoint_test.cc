@@ -1,0 +1,281 @@
+#include "common/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "attack/greedy_poisoner.h"
+#include "common/rng.h"
+#include "data/generators.h"
+#include "data/io.h"
+
+namespace lispoison {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+struct RemoveOnExit {
+  explicit RemoveOnExit(std::string p) : path(std::move(p)) {
+    std::remove(path.c_str());  // Stale file from a previous run.
+  }
+  ~RemoveOnExit() { std::remove(path.c_str()); }
+  std::string path;
+};
+
+TEST(SnapshotTest, WriteReadRoundTrip) {
+  const RemoveOnExit file(TempPath("roundtrip.snap"));
+  const std::vector<std::int64_t> keys = {5, 17, 901, -3};
+  const double pod = 2.5;
+  SnapshotWriter writer;
+  writer.AddVectorSection("keys", keys);
+  writer.AddPodSection("pod", pod);
+  ASSERT_TRUE(writer.WriteToFile(file.path).ok());
+
+  auto reader = SnapshotReader::Open(file.path);
+  ASSERT_TRUE(reader.ok()) << reader.status().message();
+  EXPECT_EQ(reader->section_count(), 2u);
+  auto got_keys = reader->ReadVector<std::int64_t>("keys");
+  ASSERT_TRUE(got_keys.ok());
+  EXPECT_EQ(*got_keys, keys);
+  auto got_pod = reader->ReadPod<double>("pod");
+  ASSERT_TRUE(got_pod.ok());
+  EXPECT_EQ(*got_pod, pod);
+  EXPECT_EQ(reader->Find("absent").status().code(), StatusCode::kNotFound);
+}
+
+TEST(SnapshotTest, MissingFileIsNotFound) {
+  auto reader = SnapshotReader::Open(TempPath("never_written.snap"));
+  EXPECT_EQ(reader.status().code(), StatusCode::kNotFound);
+}
+
+TEST(SnapshotTest, RejectsOverlongSectionName) {
+  SnapshotWriter writer;
+  const int x = 1;
+  writer.AddPodSection("a_name_longer_than_fifteen", x);
+  EXPECT_EQ(writer.WriteToFile(TempPath("overlong.snap")).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SnapshotTest, DetectsPayloadCorruption) {
+  const RemoveOnExit file(TempPath("corrupt.snap"));
+  const std::vector<std::int64_t> keys(64, 7);
+  SnapshotWriter writer;
+  writer.AddVectorSection("keys", keys);
+  ASSERT_TRUE(writer.WriteToFile(file.path).ok());
+
+  {
+    // Flip one payload byte near the end of the file.
+    std::fstream f(file.path,
+                   std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.good());
+    f.seekp(-5, std::ios::end);
+    char b = 0;
+    f.read(&b, 1);
+    f.seekp(-5, std::ios::end);
+    b = static_cast<char>(b ^ 0x40);
+    f.write(&b, 1);
+  }
+  auto reader = SnapshotReader::Open(file.path);
+  EXPECT_EQ(reader.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(SnapshotTest, DetectsTruncation) {
+  const RemoveOnExit file(TempPath("truncated.snap"));
+  const std::vector<std::int64_t> keys(1024, 9);
+  SnapshotWriter writer;
+  writer.AddVectorSection("keys", keys);
+  ASSERT_TRUE(writer.WriteToFile(file.path).ok());
+  {
+    std::ifstream in(file.path, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    bytes.resize(bytes.size() / 2);
+    std::ofstream out(file.path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  auto reader = SnapshotReader::Open(file.path);
+  EXPECT_EQ(reader.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(SnapshotTest, KeysetSnapshotRoundTrip) {
+  const RemoveOnExit file(TempPath("keyset.snap"));
+  Rng rng(11);
+  auto ks = GenerateUniform(500, KeyDomain{-1000, 99999}, &rng);
+  ASSERT_TRUE(ks.ok());
+  ASSERT_TRUE(SaveKeysetSnapshot(*ks, file.path).ok());
+  auto loaded = LoadKeysetSnapshot(file.path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().message();
+  EXPECT_EQ(loaded->keys(), ks->keys());
+  EXPECT_EQ(loaded->domain().lo, ks->domain().lo);
+  EXPECT_EQ(loaded->domain().hi, ks->domain().hi);
+  EXPECT_EQ(KeysetFingerprint(*loaded), KeysetFingerprint(*ks));
+}
+
+TEST(SnapshotTest, FingerprintSeparatesKeysetsAndDomains) {
+  auto a = KeySet::Create({1, 2, 3}, KeyDomain{0, 10});
+  auto b = KeySet::Create({1, 2, 4}, KeyDomain{0, 10});
+  auto c = KeySet::Create({1, 2, 3}, KeyDomain{0, 11});
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  EXPECT_NE(KeysetFingerprint(*a), KeysetFingerprint(*b));
+  EXPECT_NE(KeysetFingerprint(*a), KeysetFingerprint(*c));
+}
+
+// --- Checkpoint/restart -------------------------------------------------
+
+// Bitwise trajectory equality: the resumed run must reproduce the
+// uninterrupted run's long doubles exactly, not approximately.
+void ExpectSameResult(const GreedyPoisonResult& got,
+                      const GreedyPoisonResult& want) {
+  ASSERT_EQ(got.poison_keys.size(), want.poison_keys.size());
+  EXPECT_EQ(got.poison_keys, want.poison_keys);
+  ASSERT_EQ(got.loss_trajectory.size(), want.loss_trajectory.size());
+  for (std::size_t i = 0; i < want.loss_trajectory.size(); ++i) {
+    EXPECT_EQ(got.loss_trajectory[i], want.loss_trajectory[i]) << "round " << i;
+  }
+  EXPECT_EQ(got.base_loss, want.base_loss);
+  EXPECT_EQ(got.poisoned_loss, want.poisoned_loss);
+}
+
+TEST(GreedyCheckpointTest, KillAndResumeIsBitIdentical) {
+  const RemoveOnExit file(TempPath("greedy.ckpt"));
+  Rng rng(21);
+  auto ks = GenerateUniform(300, KeyDomain{0, 9999}, &rng);
+  ASSERT_TRUE(ks.ok());
+  const std::int64_t p = 24;
+
+  auto uninterrupted = GreedyPoisonCdf(*ks, p);
+  ASSERT_TRUE(uninterrupted.ok());
+
+  // "Crash" after 7 committed insertions (not a multiple of every=5, so
+  // this also pins the halt-forces-a-checkpoint path).
+  GreedyCheckpointOptions ckpt;
+  ckpt.path = file.path;
+  ckpt.every = 5;
+  ckpt.halt_after = 7;
+  auto halted = GreedyPoisonCdfCheckpointed(*ks, p, {}, ckpt);
+  ASSERT_FALSE(halted.ok());
+  EXPECT_EQ(halted.status().code(), StatusCode::kFailedPrecondition);
+
+  // Resume: same call without the halt hook.
+  ckpt.halt_after = -1;
+  auto resumed = GreedyPoisonCdfCheckpointed(*ks, p, {}, ckpt);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().message();
+  ExpectSameResult(*resumed, *uninterrupted);
+
+  // A second resume finds the completed checkpoint and replays it
+  // without running any new rounds — still bit-identical.
+  auto replayed = GreedyPoisonCdfCheckpointed(*ks, p, {}, ckpt);
+  ASSERT_TRUE(replayed.ok()) << replayed.status().message();
+  ExpectSameResult(*replayed, *uninterrupted);
+}
+
+TEST(GreedyCheckpointTest, EmptyPathDelegatesToPlainGreedy) {
+  Rng rng(22);
+  auto ks = GenerateUniform(120, KeyDomain{0, 999}, &rng);
+  ASSERT_TRUE(ks.ok());
+  auto plain = GreedyPoisonCdf(*ks, 9);
+  ASSERT_TRUE(plain.ok());
+  auto ckpt = GreedyPoisonCdfCheckpointed(*ks, 9, {}, GreedyCheckpointOptions{});
+  ASSERT_TRUE(ckpt.ok());
+  ExpectSameResult(*ckpt, *plain);
+}
+
+TEST(GreedyCheckpointTest, RejectsCheckpointFromDifferentKeyset) {
+  const RemoveOnExit file(TempPath("wrong_keyset.ckpt"));
+  Rng rng(23);
+  auto ks1 = GenerateUniform(200, KeyDomain{0, 9999}, &rng);
+  auto ks2 = GenerateUniform(200, KeyDomain{0, 9999}, &rng);
+  ASSERT_TRUE(ks1.ok() && ks2.ok());
+  ASSERT_NE(ks1->keys(), ks2->keys());
+
+  GreedyCheckpointOptions ckpt;
+  ckpt.path = file.path;
+  ckpt.every = 4;
+  ckpt.halt_after = 4;
+  ASSERT_FALSE(GreedyPoisonCdfCheckpointed(*ks1, 16, {}, ckpt).ok());
+
+  ckpt.halt_after = -1;
+  auto wrong = GreedyPoisonCdfCheckpointed(*ks2, 16, {}, ckpt);
+  ASSERT_FALSE(wrong.ok());
+  EXPECT_EQ(wrong.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(GreedyCheckpointTest, RejectsCheckpointForDifferentBudget) {
+  const RemoveOnExit file(TempPath("wrong_budget.ckpt"));
+  Rng rng(24);
+  auto ks = GenerateUniform(200, KeyDomain{0, 9999}, &rng);
+  ASSERT_TRUE(ks.ok());
+
+  GreedyCheckpointOptions ckpt;
+  ckpt.path = file.path;
+  ckpt.every = 4;
+  ckpt.halt_after = 4;
+  ASSERT_FALSE(GreedyPoisonCdfCheckpointed(*ks, 16, {}, ckpt).ok());
+
+  ckpt.halt_after = -1;
+  auto wrong = GreedyPoisonCdfCheckpointed(*ks, 20, {}, ckpt);
+  ASSERT_FALSE(wrong.ok());
+  EXPECT_EQ(wrong.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(GreedyCheckpointTest, RefusesCorruptCheckpointLoudly) {
+  const RemoveOnExit file(TempPath("corrupt.ckpt"));
+  Rng rng(25);
+  auto ks = GenerateUniform(200, KeyDomain{0, 9999}, &rng);
+  ASSERT_TRUE(ks.ok());
+
+  GreedyCheckpointOptions ckpt;
+  ckpt.path = file.path;
+  ckpt.every = 4;
+  ckpt.halt_after = 4;
+  ASSERT_FALSE(GreedyPoisonCdfCheckpointed(*ks, 16, {}, ckpt).ok());
+
+  {
+    std::fstream f(file.path,
+                   std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.good());
+    f.seekp(-3, std::ios::end);
+    char b = 0;
+    f.read(&b, 1);
+    f.seekp(-3, std::ios::end);
+    b = static_cast<char>(b ^ 0x01);
+    f.write(&b, 1);
+  }
+  ckpt.halt_after = -1;
+  auto resumed = GreedyPoisonCdfCheckpointed(*ks, 16, {}, ckpt);
+  ASSERT_FALSE(resumed.ok());
+  EXPECT_EQ(resumed.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(GreedyCheckpointTest, ResumeAcrossMultipleKills) {
+  const RemoveOnExit file(TempPath("multi_kill.ckpt"));
+  Rng rng(26);
+  auto ks = GenerateUniform(250, KeyDomain{0, 19999}, &rng);
+  ASSERT_TRUE(ks.ok());
+  const std::int64_t p = 30;
+  auto uninterrupted = GreedyPoisonCdf(*ks, p);
+  ASSERT_TRUE(uninterrupted.ok());
+
+  GreedyCheckpointOptions ckpt;
+  ckpt.path = file.path;
+  ckpt.every = 8;
+  for (std::int64_t halt : {3, 11, 23}) {
+    ckpt.halt_after = halt;
+    auto halted = GreedyPoisonCdfCheckpointed(*ks, p, {}, ckpt);
+    ASSERT_FALSE(halted.ok());
+    EXPECT_EQ(halted.status().code(), StatusCode::kFailedPrecondition);
+  }
+  ckpt.halt_after = -1;
+  auto resumed = GreedyPoisonCdfCheckpointed(*ks, p, {}, ckpt);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().message();
+  ExpectSameResult(*resumed, *uninterrupted);
+}
+
+}  // namespace
+}  // namespace lispoison

@@ -64,6 +64,16 @@ and that the telemetry_overhead arms prove the read path is unchanged
 (mean_work_ratio within 3% of 1.0) and the wall-clock cost is bounded
 (throughput_ratio >= 0.8 vs the runtime-off arm).
 
+Attack-10M mode (ISSUE 9) gates the committed n=10M scale rows
+(bench_attack_10m_golden):
+
+  tools/check_bench_json.py --attack-10m BENCH_attack_throughput.json
+
+It asserts the 10M insertion/deletion rows exist with the full counter
+set and that the block-local removal SoA's per-commit touched slots
+grew <= 20x from the n=100k deletion row (sqrt(100) = 10x ideal for a
+100x larger keyset; a flat-array regression shows ~100x).
+
 Adversarial mode (PR 8) gates the committed BENCH_adversarial.json
 (bench_adversarial_golden):
 
@@ -555,12 +565,70 @@ def check_adversarial(path, live):
     )
 
 
+def check_attack_10m(path):
+    """Gate for the committed n=10M scale rows (ISSUE 9).
+
+    Usage: tools/check_bench_json.py --attack-10m BENCH_attack_throughput.json
+
+    Asserts the committed full-run JSON carries the n=10M insertion and
+    deletion rows with the full argmax counter set, that the deletion
+    rows surface the block-local removal-SoA commit accounting
+    (rem_touched_slots / rem_commits), and that the per-commit touched
+    slots grew sublinearly from n=100k to n=10M: the ideal O(sqrt(n))
+    ratio is sqrt(100) = 10x for a 100x larger keyset, gated at <= 20x
+    (2x slack for block-count rounding); a flat-array regression would
+    show ~100x and fail loudly.
+    """
+    entries = load_entries(path)
+    big_insert = f"{GREEDY_INCREMENTAL}/1/10000000/200/1/1/1"
+    big_delete = f"{DELETE_INCREMENTAL}/1/10000000/200/1/1/1"
+    small_delete = f"{DELETE_INCREMENTAL}/1/100000/200/1/1/1"
+    for name in (big_insert, big_delete, small_delete):
+        assert name in entries, f"committed baseline lacks the scale row {name}"
+    for name in (big_insert, big_delete):
+        entry = entries[name]
+        for counter in REQUIRED_COUNTERS:
+            assert counter in entry, f"{name} is missing counter {counter}"
+        assert float(entry["ratio_loss"]) > 1.0, (
+            f"{name}: the attack did not degrade the loss at n=10M"
+        )
+        assert float(entry["bound_evals"]) > 0, (
+            f"{name}: the pruned argmax never scored a bound at n=10M"
+        )
+
+    def per_commit(name):
+        entry = entries[name]
+        for counter in ("rem_touched_slots", "rem_commits"):
+            assert counter in entry, f"{name} is missing counter {counter}"
+        commits = float(entry["rem_commits"])
+        assert commits > 0, f"{name}: no removal commits recorded"
+        return float(entry["rem_touched_slots"]) / commits
+
+    small = per_commit(small_delete)
+    big = per_commit(big_delete)
+    assert small > 0, f"{small_delete}: zero per-commit touched slots"
+    ratio = big / small
+    assert ratio <= 20.0, (
+        f"block-local removal commits are no longer O(sqrt(n)): per-commit "
+        f"touched slots grew {ratio:.1f}x from n=100k ({small:.0f}) to "
+        f"n=10M ({big:.0f}); the sqrt scaling bound is 10x (gated at 20x)"
+    )
+    print(
+        f"attack 10M OK: scale rows present, per-commit touched slots "
+        f"{small:.0f} @ 100k -> {big:.0f} @ 10M ({ratio:.1f}x, "
+        f"sqrt bound 10x, gate 20x)"
+    )
+
+
 def main():
     if len(sys.argv) == 3 and sys.argv[1] == "--serving-scaling":
         check_serving_scaling(sys.argv[2])
         return 0
     if len(sys.argv) == 3 and sys.argv[1] == "--serving-timeseries":
         check_serving_timeseries(sys.argv[2])
+        return 0
+    if len(sys.argv) == 3 and sys.argv[1] == "--attack-10m":
+        check_attack_10m(sys.argv[2])
         return 0
     if len(sys.argv) in (3, 4) and sys.argv[1] == "--adversarial":
         assert len(sys.argv) == 3 or sys.argv[3] == "--live", (
