@@ -57,6 +57,14 @@
 //   --adv-delete-frac=0.15 / --adv-modify-frac=0.15
 //   --adv-pace-ns=100000 sleep between attack ops, spreading the stream
 //                        across the serving window
+//   --fault-plan=SEED    adds the degraded-mode arm (ISSUE 10): the same
+//                        streams against a backend whose rebuild path is
+//                        fault-armed (seeded FaultPlan) into maintenance
+//                        collapse, with the overlay hard cap shedding
+//                        inserts. 0 (default) skips the arm. The gate
+//                        checks reads stayed available, sheds telescope
+//                        (backend == driver + adversary), and every
+//                        shard recovered after the storm.
 //
 // Scaling mode: --threads-sweep=1,2,4[,...] switches to the multi-core
 // scaling study instead of the clean-vs-poisoned matrix. For each
@@ -75,6 +83,7 @@
 #include <vector>
 
 #include "attack/rmi_poisoner.h"
+#include "common/fault.h"
 #include "common/flags.h"
 #include "common/rng.h"
 #include "common/table.h"
@@ -394,6 +403,112 @@ int RunAdversarial(const FlagParser& flags) {
     }
   }
   report.BuildRoiRows();
+
+  // Arm 3 (--fault-plan=SEED) — maintenance collapse: every substrate
+  // rebuild fails while the plan is armed, so compactions retry, back
+  // off, and give up; overlays grow to the hard cap; shards go degraded
+  // and shed inserts. Reads must ride through untouched (lock-free
+  // path), and once the storm is disarmed the shards must recover.
+  const std::uint64_t fault_seed =
+      static_cast<std::uint64_t>(flags.GetInt("fault-plan", 0));
+  if (fault_seed != 0) {
+    BackendOptions degraded_opts = backend_opts;
+    // A tight threshold/cap pair so the collapse actually bites within
+    // the smoke window: the cap is what bounds per-insert publish cost
+    // (and read-path overlay probes) while maintenance is down.
+    degraded_opts.compact_threshold =
+        std::max<std::int64_t>(64, compact_threshold / 8);
+    degraded_opts.overlay_hard_cap = 2 * degraded_opts.compact_threshold;
+    degraded_opts.compaction_max_retries = 2;
+    degraded_opts.compaction_backoff_base_us = 200;
+    degraded_opts.compaction_backoff_max_us = 5000;
+    degraded_opts.watchdog_stall_ms = 100;
+    auto backend_or = CreateBackend(BackendKind::kRmi, clean, degraded_opts);
+    if (!backend_or.ok()) {
+      std::fprintf(stderr, "degraded backend build failed: %s\n",
+                   backend_or.status().ToString().c_str());
+      return 1;
+    }
+    SearchBackend* backend = backend_or->get();
+
+    FaultSpec rebuild_storm;
+    rebuild_storm.probability = 1.0;  // Total maintenance collapse.
+    FaultSpec pool_wedge;
+    pool_wedge.probability = 0.3;
+    pool_wedge.latency_ns = 5'000'000;  // 5ms dequeue-to-run wedges.
+    pool_wedge.fail = false;
+    FaultPlan(fault_seed)
+        .Arm("compaction.rebuild", rebuild_storm)
+        .Arm("pool.task", pool_wedge)
+        .Activate();
+
+    DriverOptions degraded_driver_opts = driver_opts;
+    degraded_driver_opts.maintenance_deadline_ms = 50;
+
+    Result<AdversaryResult> adv_result = AdversaryResult{};
+    std::thread attacker([&] {
+      adv_result = RunOnlineAdversary(backend, clean, adv);
+    });
+    auto result_or = RunWorkload(backend, *ops_or, degraded_driver_opts);
+    attacker.join();
+    backend->WaitForMaintenance();
+    FaultRegistry::Global().DisarmAll();
+    if (!result_or.ok()) {
+      std::fprintf(stderr, "degraded arm failed: %s\n",
+                   result_or.status().ToString().c_str());
+      return 1;
+    }
+    if (!adv_result.ok()) {
+      std::fprintf(stderr, "degraded-arm adversary failed: %s\n",
+                   adv_result.status().ToString().c_str());
+      return 1;
+    }
+
+    auto& d = report.degraded;
+    d.present = true;
+    d.fault_seed = fault_seed;
+    d.overlay_hard_cap = degraded_opts.overlay_hard_cap;
+    d.compact_threshold = degraded_opts.compact_threshold;
+    d.result = std::move(*result_or);
+    d.driver_inserts_shed = d.result.inserts_shed;
+    d.maintenance_deadline_hits = d.result.maintenance_deadline_hits;
+    d.adversary = std::move(*adv_result);
+    // Snapshot the accounting identity BEFORE the recovery drain so
+    // the committed counters describe the storm alone, not the
+    // cleanup after it.
+    d.shed_inserts = backend->shed_inserts();
+    d.rebuild_retries = backend->rebuild_retries();
+    d.compaction_giveups = backend->compaction_giveups();
+    // Every failed rebuild attempt either retried or gave the pass up,
+    // so the failure total is exactly the sum of the two.
+    d.rebuild_failures = d.rebuild_retries + d.compaction_giveups;
+    d.compactions = backend->compactions();
+
+    // Recovery drain: with the plan disarmed, compactions succeed
+    // again, but a degraded shard whose traffic stopped has nothing
+    // left to re-kick it (the give-up cleared the in-flight flag) —
+    // KickDegradedShards is the operational primitive for exactly
+    // that state.
+    for (int round = 0; round < 100 && backend->degraded_shards() > 0;
+         ++round) {
+      backend->KickDegradedShards();
+      backend->WaitForMaintenance();
+    }
+    d.degraded_shards_end = backend->degraded_shards();
+
+    std::printf(
+        "degraded arm (fault plan %llu): %lld sheds "
+        "(%lld driver + %lld adversary), %lld retries, %lld give-ups, "
+        "%lld deadline hits, degraded shards at end %lld\n",
+        static_cast<unsigned long long>(fault_seed),
+        static_cast<long long>(d.shed_inserts),
+        static_cast<long long>(d.driver_inserts_shed),
+        static_cast<long long>(d.adversary.shed),
+        static_cast<long long>(d.rebuild_retries),
+        static_cast<long long>(d.compaction_giveups),
+        static_cast<long long>(d.maintenance_deadline_hits),
+        static_cast<long long>(d.degraded_shards_end));
+  }
 
   const double p99_ratio =
       report.clean_result.read_latency.P99() > 0

@@ -4,6 +4,8 @@
 #include <limits>
 #include <utility>
 
+#include "common/fault.h"
+
 namespace lispoison {
 namespace {
 
@@ -96,6 +98,11 @@ void EpochDomain::Retire(std::function<void()> deleter) {
 }
 
 std::int64_t EpochDomain::TryReclaim() {
+  // Injected fault: skip this reclamation pass entirely. Deferral is
+  // always safe (entries just stay in limbo for a later pass), which is
+  // exactly what makes it the right storm ingredient — it pressures
+  // limbo growth without ever risking a premature free.
+  if (FAULT_POINT("epoch.reclaim")) return 0;
   // Collect eligible entries under the mutex, run deleters outside it:
   // a deleter must never deadlock against a concurrent Retire.
   std::vector<Retired> eligible;

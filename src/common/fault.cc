@@ -1,0 +1,133 @@
+#include "common/fault.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace lispoison {
+namespace {
+
+// Local FNV-1a over the point name: fault.cc must not depend on
+// snapshot.h (snapshot.cc is itself a fault-point client).
+std::uint64_t Fnv1a64(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+bool FaultPoint::Evaluate() {
+  if (!armed_.load(std::memory_order_acquire)) return false;
+  bool fired = false;
+  bool fail = false;
+  std::int64_t sleep_ns = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Re-check under the mutex: DisarmAll may have won the race, and a
+    // post-disarm evaluation must neither count nor draw.
+    if (!armed_.load(std::memory_order_relaxed)) return false;
+    ++hits_;
+    bool fire = !spec_.fire_on_hits.empty() &&
+                std::find(spec_.fire_on_hits.begin(),
+                          spec_.fire_on_hits.end(),
+                          hits_) != spec_.fire_on_hits.end();
+    // The probability stream is consumed on *every* armed evaluation,
+    // scheduled fire or not: the k-th draw depends only on k, never on
+    // the schedule, which keeps replays stable when a test tweaks
+    // fire_on_hits without touching the seed.
+    if (spec_.probability > 0.0) {
+      const bool draw = rng_.NextDouble() < spec_.probability;
+      fire = fire || draw;
+    }
+    if (fire && spec_.max_fires >= 0 && fires_ >= spec_.max_fires) {
+      fire = false;
+    }
+    if (fire) {
+      ++fires_;
+      fired = true;
+      fail = spec_.fail;
+      sleep_ns = spec_.latency_ns;
+    }
+  }
+  if (fired && sleep_ns > 0) {
+    std::this_thread::sleep_for(std::chrono::nanoseconds(sleep_ns));
+  }
+  return fired && fail;
+}
+
+void FaultPoint::Arm(const FaultSpec& spec, Rng rng) {
+  std::lock_guard<std::mutex> lock(mu_);
+  spec_ = spec;
+  rng_ = rng;
+  hits_ = 0;
+  fires_ = 0;
+  armed_.store(true, std::memory_order_release);
+}
+
+void FaultPoint::Disarm() {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_.store(false, std::memory_order_release);
+}
+
+std::int64_t FaultPoint::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+std::int64_t FaultPoint::fires() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fires_;
+}
+
+FaultRegistry& FaultRegistry::Global() {
+  // Leaked: evaluations may arrive from worker threads that outlive
+  // every static destructor (same argument as EpochDomain::Global).
+  static FaultRegistry* const registry = new FaultRegistry();
+  return *registry;
+}
+
+FaultPoint* FaultRegistry::GetPoint(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(name);
+  if (it == points_.end()) {
+    it = points_.emplace(name, std::make_unique<FaultPoint>(name)).first;
+  }
+  return it->second.get();
+}
+
+void FaultRegistry::DisarmAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& entry : points_) entry.second->Disarm();
+}
+
+std::vector<FaultPoint*> FaultRegistry::Points() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<FaultPoint*> out;
+  out.reserve(points_.size());
+  for (auto& entry : points_) out.push_back(entry.second.get());
+  return out;
+}
+
+FaultPlan& FaultPlan::Arm(const std::string& name, FaultSpec spec) {
+  for (auto& arm : arms_) {
+    if (arm.first == name) {
+      arm.second = std::move(spec);
+      return *this;
+    }
+  }
+  arms_.emplace_back(name, std::move(spec));
+  return *this;
+}
+
+void FaultPlan::Activate() {
+  for (const auto& arm : arms_) {
+    FaultPoint* point = FaultRegistry::Global().GetPoint(arm.first);
+    point->Arm(arm.second, Rng(seed_).Fork(Fnv1a64(arm.first)));
+  }
+}
+
+}  // namespace lispoison

@@ -1,0 +1,175 @@
+// Copyright (c) lispoison authors. Licensed under the MIT license.
+//
+// Deterministic, seeded fault injection (FoundationDB-style simulation
+// discipline): production code marks its failure-capable sites with
+// FAULT_POINT("name"); a test or bench arms a seeded FaultPlan that maps
+// point names to probabilities, one-shot hit schedules, fire caps, and
+// injected latency. Every decision a point makes is drawn from an Rng
+// forked deterministically from (plan seed, point name), so the same
+// seed replays the same injected fault sequence — the chaos harness's
+// whole contract.
+//
+// Cost model: a disarmed point is one acquire load of an atomic bool
+// (no mutex, no counter). An armed point takes a small per-point mutex;
+// points are only placed on slow paths (maintenance, I/O, pool
+// dispatch) — never on the lock-free read path, whose tripwire would
+// abort on the mutex anyway. Compiling with -DLISPOISON_FAULT_DISABLED
+// turns every FAULT_POINT expansion into the literal `(false)`
+// (mirroring LISPOISON_TELEMETRY_DISABLED): no registry, no atomics, no
+// strings in the binary. Like the telemetry switch, the definition must
+// be binary-global — mixing enabled and disabled TUs would split the
+// registry's view of a point.
+
+#ifndef LISPOISON_COMMON_FAULT_H_
+#define LISPOISON_COMMON_FAULT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace lispoison {
+
+/// \brief What an armed fault point should do, evaluation by evaluation.
+///
+/// A point fires on evaluation k (1-based, counted while armed) iff
+/// k appears in `fire_on_hits`, or an independent uniform draw lands
+/// under `probability` — subject to `max_fires`. A firing point sleeps
+/// `latency_ns` first; it then reports failure to the caller only when
+/// `fail` is true, so `{latency_ns > 0, fail = false}` is a pure stall
+/// (the maintenance-wedge storm) and the default is a hard fault.
+struct FaultSpec {
+  double probability = 0.0;
+  std::vector<std::int64_t> fire_on_hits;  ///< 1-based armed-hit indices.
+  std::int64_t max_fires = -1;             ///< < 0 means unbounded.
+  std::int64_t latency_ns = 0;
+  bool fail = true;
+};
+
+/// \brief One named failure site. Stable address for the lifetime of the
+/// process (the registry never erases); production code caches the
+/// pointer in a function-local static via FAULT_POINT.
+class FaultPoint {
+ public:
+  explicit FaultPoint(std::string name) : name_(std::move(name)) {}
+
+  FaultPoint(const FaultPoint&) = delete;
+  FaultPoint& operator=(const FaultPoint&) = delete;
+
+  /// \brief The hot call. Returns true iff the caller must fail now.
+  /// Disarmed: one acquire load, no counting. Armed: counts the hit,
+  /// consumes the point's deterministic decision stream, applies the
+  /// fire schedule/cap, sleeps any injected latency (outside the
+  /// point's mutex), and returns spec.fail on a firing evaluation.
+  bool Evaluate();
+
+  /// \brief Arms the point with \p spec; \p rng seeds its private
+  /// decision stream (FaultPlan derives it from the plan seed and the
+  /// point name). Resets hit/fire counters so schedules are relative
+  /// to this arming.
+  void Arm(const FaultSpec& spec, Rng rng);
+
+  /// \brief Disarms; counters keep their values for post-storm asserts.
+  void Disarm();
+
+  const std::string& name() const { return name_; }
+  bool armed() const { return armed_.load(std::memory_order_acquire); }
+  /// \brief Evaluations observed while armed (since the last Arm).
+  std::int64_t hits() const;
+  /// \brief Evaluations that fired (faulted or stalled) since last Arm.
+  std::int64_t fires() const;
+
+ private:
+  const std::string name_;
+  std::atomic<bool> armed_{false};
+  mutable std::mutex mu_;
+  FaultSpec spec_;
+  Rng rng_{0};
+  std::int64_t hits_ = 0;
+  std::int64_t fires_ = 0;
+};
+
+/// \brief Process-wide fault-point registry. Immortal (leaked) like
+/// EpochDomain::Global and TelemetryRegistry::Global: worker threads may
+/// evaluate points during static destruction.
+class FaultRegistry {
+ public:
+  static FaultRegistry& Global();
+
+  /// \brief Finds or creates the point; the returned pointer is stable
+  /// forever.
+  FaultPoint* GetPoint(const std::string& name);
+
+  /// \brief Disarms every registered point (end-of-storm; counters are
+  /// preserved for the harness's accounting asserts).
+  void DisarmAll();
+
+  /// \brief Registered points in name order (stable for reports).
+  std::vector<FaultPoint*> Points();
+
+ private:
+  FaultRegistry() = default;
+
+  std::mutex mu_;
+  std::map<std::string, std::unique_ptr<FaultPoint>> points_;
+};
+
+/// \brief A seeded arming of the registry: the unit of reproducibility.
+///
+/// Usage:
+///   FaultPlan plan(storm_seed);
+///   plan.Arm("compaction.rebuild", {.probability = 0.3});
+///   plan.Arm("pool.task", {.latency_ns = 2'000'000, .fail = false});
+///   plan.Activate();
+///   ... storm ...
+///   FaultRegistry::Global().DisarmAll();
+///
+/// Each point's decision stream is Rng(seed).Fork(fnv1a(name)), so the
+/// set of *other* armed points never perturbs a point's own sequence.
+class FaultPlan {
+ public:
+  explicit FaultPlan(std::uint64_t seed) : seed_(seed) {}
+
+  /// \brief Adds (or replaces) the arming for \p name. Returns *this
+  /// for chaining.
+  FaultPlan& Arm(const std::string& name, FaultSpec spec);
+
+  /// \brief Applies every arming to the global registry.
+  void Activate();
+
+  std::uint64_t seed() const { return seed_; }
+
+ private:
+  std::uint64_t seed_;
+  std::vector<std::pair<std::string, FaultSpec>> arms_;
+};
+
+}  // namespace lispoison
+
+#if defined(LISPOISON_FAULT_DISABLED)
+
+// Kill switch: the whole expression folds to a false constant, so the
+// enclosing `if (FAULT_POINT(...))` and its failure arm compile away.
+#define FAULT_POINT(point_name) (false)
+
+#else
+
+// Each expansion caches its point pointer in a function-local static:
+// the registry map lookup happens once per call site, after which an
+// evaluation is the point's own atomic load.
+#define FAULT_POINT(point_name)                                      \
+  ([]() -> bool {                                                    \
+    static ::lispoison::FaultPoint* const lispoison_fault_point =    \
+        ::lispoison::FaultRegistry::Global().GetPoint(point_name);   \
+    return lispoison_fault_point->Evaluate();                        \
+  }())
+
+#endif  // LISPOISON_FAULT_DISABLED
+
+#endif  // LISPOISON_COMMON_FAULT_H_

@@ -10,6 +10,8 @@
 #include <cstdio>
 #include <cstring>
 
+#include "common/fault.h"
+
 namespace lispoison {
 namespace {
 
@@ -36,6 +38,36 @@ std::size_t AlignUp(std::size_t v) { return (v + kAlign - 1) & ~(kAlign - 1); }
 
 std::string Errno(const std::string& what, const std::string& path) {
   return what + " '" + path + "': " + std::strerror(errno);
+}
+
+/// Durability of the rename itself: fsyncing the temp file makes the
+/// *contents* durable, but the rename only lives in the parent
+/// directory — until the directory inode is synced, a crash can forget
+/// the whole atomic publish. The classic fsync-the-file-but-not-the-dir
+/// bug; every LSM write path (RocksDB et al.) carries this companion
+/// sync.
+Status SyncParentDir(const std::string& path) {
+  std::string dir;
+  const std::size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) {
+    dir = ".";
+  } else if (slash == 0) {
+    dir = "/";
+  } else {
+    dir = path.substr(0, slash);
+  }
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dfd < 0) {
+    return Status::IOError(Errno("cannot open snapshot directory", dir));
+  }
+  const bool synced = ::fsync(dfd) == 0;
+  const int saved_errno = errno;
+  ::close(dfd);
+  if (!synced) {
+    errno = saved_errno;
+    return Status::IOError(Errno("cannot fsync snapshot directory", dir));
+  }
+  return Status::OK();
 }
 
 }  // namespace
@@ -97,7 +129,11 @@ Status SnapshotWriter::WriteToFile(const std::string& path) const {
   auto write_all = [&](const void* data, std::size_t size) {
     return size == 0 || std::fwrite(data, 1, size, f) == size;
   };
-  bool ok = write_all(&hdr, sizeof(hdr)) &&
+  // The injected-fault path models any syscall-level write failure
+  // (short write, ENOSPC, EIO): it rides the same ok-chain, so it
+  // exercises exactly the cleanup (unlink + IOError) a real one takes.
+  bool ok = !FAULT_POINT("snapshot.write") &&
+            write_all(&hdr, sizeof(hdr)) &&
             write_all(table.data(), sizeof(RawEntry) * table.size());
   std::size_t written = sizeof(RawHeader) + sizeof(RawEntry) * table.size();
   static const char kZeros[kAlign] = {};
@@ -117,7 +153,8 @@ Status SnapshotWriter::WriteToFile(const std::string& path) const {
     ::unlink(tmp.c_str());
     return Status::IOError(Errno("cannot publish snapshot", path));
   }
-  return Status::OK();
+  // The write is only crash-durable once the directory entry is too.
+  return SyncParentDir(path);
 }
 
 SnapshotReader& SnapshotReader::operator=(SnapshotReader&& other) noexcept {
@@ -141,6 +178,13 @@ Result<SnapshotReader> SnapshotReader::Open(const std::string& path) {
   const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
   if (fd < 0) {
     return Status::NotFound(Errno("cannot open snapshot", path));
+  }
+  if (FAULT_POINT("snapshot.read")) {
+    // Models an EIO between open and map — the taxonomy slot a real
+    // disk error lands in (IOError, distinct from NotFound above and
+    // the FailedPrecondition format checks below).
+    ::close(fd);
+    return Status::IOError("injected read fault on snapshot '" + path + "'");
   }
   struct stat st;
   if (::fstat(fd, &st) != 0) {

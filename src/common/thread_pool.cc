@@ -5,6 +5,8 @@
 #include <memory>
 #include <utility>
 
+#include "common/fault.h"
+
 namespace lispoison {
 
 ThreadPool::ThreadPool(int num_threads, bool inline_when_single) {
@@ -42,6 +44,11 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    // Stall-injection site: armed with {latency_ns, fail=false} it
+    // wedges the worker between dequeue and execution — the maintenance
+    // watchdog's storm — without ever dropping the task (the returned
+    // flag is deliberately ignored; a pool must not lose work).
+    (void)FAULT_POINT("pool.task");
     task();
     {
       std::unique_lock<std::mutex> lock(mu_);

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "attack/attack_telemetry.h"
+#include "common/fault.h"
 #include "common/rng.h"
 #include "common/telemetry.h"
 
@@ -22,6 +23,8 @@ struct AdversaryTelemetry {
   TelemetryCounter* modifies;
   TelemetryCounter* rejected;
   TelemetryCounter* replans;
+  TelemetryCounter* shed;
+  TelemetryCounter* write_faults;
 
   static const AdversaryTelemetry& Get() {
     static const AdversaryTelemetry tl = [] {
@@ -30,7 +33,9 @@ struct AdversaryTelemetry {
                                 r.GetCounter("adversary.deletes"),
                                 r.GetCounter("adversary.modifies"),
                                 r.GetCounter("adversary.rejected"),
-                                r.GetCounter("adversary.replans")};
+                                r.GetCounter("adversary.replans"),
+                                r.GetCounter("adversary.shed"),
+                                r.GetCounter("adversary.write_faults")};
     }();
     return tl;
   }
@@ -294,13 +299,38 @@ class OnlineAdversary {
     if (it != view_.end() && *it == k) view_.erase(it);
   }
 
+  /// Injected attacker-channel fault (FAULT_POINT("adversary.write")):
+  /// the write op is dropped before it reaches the victim, so *nothing*
+  /// may be committed — view, landscapes, and oracles keep their pre-op
+  /// state (the key's storedness did not change).
+  bool WriteChannelFault() {
+    if (!FAULT_POINT("adversary.write")) return false;
+    result_.write_faults += 1;
+    AdversaryTelemetry::Get().write_faults->Add(1);
+    return true;
+  }
+
+  /// Handles a victim-side degraded-mode shed (kResourceExhausted) of
+  /// an attacker insert: the key is NOT stored, so committing it into
+  /// the view would desynchronize the attacker's model of the victim.
+  /// The landscape and view stay untouched.
+  bool ShedByVictim(const Status& s) {
+    if (s.code() != StatusCode::kResourceExhausted) return false;
+    result_.shed += 1;
+    AdversaryTelemetry::Get().shed->Add(1);
+    return true;
+  }
+
   /// Executes one poisoning insert through the victim's write path and
-  /// commits the outcome into the attacker's bookkeeping. A rejection
-  /// (legitimate traffic raced the attacker to the same gap key) still
-  /// commits the key into the view/landscape: it IS stored now, so the
-  /// loss surface must reflect it.
+  /// commits the outcome into the attacker's bookkeeping. A duplicate
+  /// rejection (legitimate traffic raced the attacker to the same gap
+  /// key) still commits the key into the view/landscape: it IS stored
+  /// now, so the loss surface must reflect it. A degraded-mode shed
+  /// commits nothing — the key is not stored.
   bool ExecInsert(Key k, Model* m) {
+    if (WriteChannelFault()) return false;
     const Status s = victim_->Insert(k);
+    if (ShedByVictim(s)) return false;
     m->Invalidate();
     // Landscape commit regardless of acceptance; an occupied-key error
     // here would mean the view already had it, which the candidate
@@ -320,8 +350,10 @@ class OnlineAdversary {
   }
 
   /// Executes one removal; the NotFound arm re-syncs the view when the
-  /// stored set disagrees with the attacker's belief.
+  /// stored set disagrees with the attacker's belief. (Removes are
+  /// never shed — the hard cap admission-controls overlay growth only.)
   bool ExecRemove(Key k, Model* m) {
+    if (WriteChannelFault()) return false;
     const Status s = victim_->Remove(k);
     m->Invalidate();
     (void)m->landscape->RemoveKey(k);
@@ -371,6 +403,7 @@ class OnlineAdversary {
       return Status::OK();
     }
     const Key victim_key = rm->rem.key;
+    if (WriteChannelFault()) return Status::OK();  // Op dropped whole.
     const Status s = victim_->Remove(victim_key);
     rm->Invalidate();
     (void)rm->landscape->RemoveKey(victim_key);
@@ -383,19 +416,21 @@ class OnlineAdversary {
     if (poisons_.erase(victim_key) == 0) removed_legit_.insert(victim_key);
     Model* im = BestModel(/*removal=*/false);
     bool reinserted = false;
-    if (im != nullptr) {
+    if (im != nullptr && !WriteChannelFault()) {
       const Key to = im->ins.key;
       const Status is = victim_->Insert(to);
-      im->Invalidate();
-      (void)im->landscape->InsertKey(to);
-      CommitViewInsert(to);
-      if (is.ok()) {
-        poisons_.insert(to);
-        removed_legit_.erase(to);
-        reinserted = true;
-      } else {
-        result_.rejected += 1;
-        AdversaryTelemetry::Get().rejected->Add(1);
+      if (!ShedByVictim(is)) {
+        im->Invalidate();
+        (void)im->landscape->InsertKey(to);
+        CommitViewInsert(to);
+        if (is.ok()) {
+          poisons_.insert(to);
+          removed_legit_.erase(to);
+          reinserted = true;
+        } else {
+          result_.rejected += 1;
+          AdversaryTelemetry::Get().rejected->Add(1);
+        }
       }
     }
     (void)reinserted;  // A failed re-insert still counts as a modify op:

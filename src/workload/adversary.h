@@ -99,6 +99,15 @@ struct AdversaryResult {
   std::int64_t rejected = 0;     ///< Write-path refusals (racing traffic
                                  ///< took the planned key first).
   std::int64_t skipped = 0;      ///< Ops with no feasible candidate.
+  /// Attacker inserts shed with kResourceExhausted by a degraded shard
+  /// (overlay hard cap). Unlike a duplicate rejection the key was NOT
+  /// stored, so nothing is committed into the attacker's view. Counted
+  /// into `adversary.shed` — the bench's shed telescoping identity sums
+  /// this with the driver's inserts_shed against the backend total.
+  std::int64_t shed = 0;
+  /// Injected attacker-channel faults (FAULT_POINT("adversary.write")):
+  /// ops dropped before reaching the victim; no state committed.
+  std::int64_t write_faults = 0;
   std::int64_t replans = 0;      ///< Replans executed after retrains.
   std::int64_t retrains_observed = 0;  ///< serving.compactions movement
                                        ///< seen at the poll points.

@@ -42,6 +42,8 @@ struct ShardStats {
   std::int64_t read_found = 0;
   std::int64_t scanned_keys = 0;
   std::int64_t insert_failures = 0;
+  std::int64_t inserts_shed = 0;
+  std::int64_t maintenance_deadline_hits = 0;
   std::int64_t total_work = 0;
   std::int64_t max_work = 0;
   LatencyHistogram latency;
@@ -100,7 +102,15 @@ void ExecuteOp(SearchBackend* backend, const Operation& op, bool timed,
       const std::int64_t ns =
           RunTimed(timed, [&] { st = backend->Insert(op.key); });
       s->inserts += 1;
-      if (!st.ok()) s->insert_failures += 1;
+      if (!st.ok()) {
+        s->insert_failures += 1;
+        // Degraded-mode sheds are split out from duplicate rejections:
+        // the chaos harness's telescoping identity needs the exact
+        // kResourceExhausted count.
+        if (st.code() == StatusCode::kResourceExhausted) {
+          s->inserts_shed += 1;
+        }
+      }
       // Inserts contribute measured latency but not work: the work
       // model tracks read-path probes, which is what poisoning inflates.
       if (ns >= 0) {
@@ -230,6 +240,14 @@ Result<DriverResult> RunWorkload(SearchBackend* backend,
         tl.reads->Add(s->reads - reads_before);
         tl.scans->Add(s->scans - scans_before);
         tl.inserts->Add(s->inserts - inserts_before);
+        // Deadline check, batch-granular so the per-op loop pays
+        // nothing: count every boundary at which pending maintenance
+        // has been wedged past the caller's deadline.
+        if (options.maintenance_deadline_ms > 0 &&
+            backend->MaintenanceStallNanos() >
+                options.maintenance_deadline_ms * std::int64_t{1000000}) {
+          s->maintenance_deadline_hits += 1;
+        }
       }
     });
   }
@@ -247,6 +265,8 @@ Result<DriverResult> RunWorkload(SearchBackend* backend,
     result.read_found += s.read_found;
     result.scanned_keys += s.scanned_keys;
     result.insert_failures += s.insert_failures;
+    result.inserts_shed += s.inserts_shed;
+    result.maintenance_deadline_hits += s.maintenance_deadline_hits;
     result.total_work += s.total_work;
     result.max_work = std::max(result.max_work, s.max_work);
     result.latency.Merge(s.latency);

@@ -59,6 +59,14 @@ struct DriverOptions {
   /// size). Clamped to SearchBackend::kMaxLookupBatch; must be >= 1.
   /// 1 = scalar dispatch (the pre-PR-6 behaviour).
   int read_group = 1;
+
+  /// Maintenance deadline check: at every batch boundary the shard task
+  /// polls SearchBackend::MaintenanceStallNanos(); a stall longer than
+  /// this many milliseconds counts one maintenance_deadline_hits. The
+  /// driver keeps running — the hit count is the overload signal a
+  /// caller (bench arm, chaos harness) alarms on, paired with the
+  /// backend watchdog's `serving.maintenance_stalled` gauge. 0 = off.
+  std::int64_t maintenance_deadline_ms = 0;
 };
 
 /// \brief Aggregated outcome of one driver run.
@@ -70,7 +78,15 @@ struct DriverResult {
 
   std::int64_t read_found = 0;       ///< Reads that located their key.
   std::int64_t scanned_keys = 0;     ///< Sum of scan range counts.
-  std::int64_t insert_failures = 0;  ///< Rejected inserts (duplicates).
+  /// Rejected inserts: duplicates *plus* degraded-mode sheds.
+  std::int64_t insert_failures = 0;
+  /// The kResourceExhausted subset of insert_failures — inserts shed by
+  /// a degraded shard's overlay hard cap. Telescopes against the
+  /// backend's shed_inserts() in the chaos/bench accounting identities.
+  std::int64_t inserts_shed = 0;
+  /// Batch boundaries at which the maintenance stall exceeded
+  /// DriverOptions::maintenance_deadline_ms (0 when the check is off).
+  std::int64_t maintenance_deadline_hits = 0;
 
   /// Exact work (probes/comparisons/nodes) across all ops; the
   /// implementation-independent latency proxy.

@@ -1,12 +1,15 @@
 #include "workload/search_backend.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <iterator>
+#include <thread>
 #include <utility>
 
 #include "common/epoch.h"
+#include "common/fault.h"
 #include "index/binary_search_index.h"
 #include "index/btree.h"
 #include "index/learned_index.h"
@@ -90,6 +93,13 @@ std::vector<Key> WithInserted(const std::vector<Key>& v, std::size_t pos,
   out.push_back(k);
   out.insert(out.end(), v.begin() + static_cast<std::ptrdiff_t>(pos), v.end());
   return out;
+}
+
+/// Steady-clock nanoseconds for the maintenance watchdog heartbeat.
+std::int64_t NowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
 }
 
 }  // namespace
@@ -336,6 +346,10 @@ Status SearchBackend::InitShards(const KeySet& keyset) {
     shard->snapshot.store(snap, std::memory_order_release);
     shard->domain = keyset.domain();
     shard->threshold = options_.compact_threshold;
+    // Per-shard jitter stream: forked so shard i's delay sequence never
+    // depends on how often other shards back off.
+    shard->backoff_rng =
+        Rng(options_.backoff_seed).Fork(static_cast<std::uint64_t>(i));
     // The merged key list is only needed when compaction can trigger.
     if (shard->threshold > 0) shard->base_keys = part.keys();
     shards_.push_back(std::move(shard));
@@ -356,6 +370,11 @@ Status SearchBackend::InitShards(const KeySet& keyset) {
   tl_compactions_ = telemetry.GetCounter("serving.compactions");
   tl_rebuild_failures_ = telemetry.GetCounter("serving.rebuild_failures");
   tl_removes_ = telemetry.GetCounter("serving.removes");
+  tl_shed_inserts_ = telemetry.GetCounter("serving.shed_inserts");
+  tl_rebuild_retries_ = telemetry.GetCounter("serving.rebuild_retries");
+  tl_compaction_giveups_ =
+      telemetry.GetCounter("serving.compaction_giveups");
+  maintenance_beat_ns_.store(NowNanos(), std::memory_order_relaxed);
 
   // Poll-at-snapshot levels. Several backends may coexist (the bench
   // matrix builds one per config); same-name observables sum in the
@@ -380,7 +399,40 @@ Status SearchBackend::InitShards(const KeySet& keyset) {
       return maintenance_->queue_depth();
     });
   }
+  observables_.emplace_back("serving.degraded_shards",
+                            [this] { return degraded_shards(); });
+  observables_.emplace_back("serving.maintenance_stalled", [this] {
+    return maintenance_stalled() ? std::int64_t{1} : std::int64_t{0};
+  });
   return Status::OK();
+}
+
+void SearchBackend::TouchMaintenanceBeat() {
+  maintenance_beat_ns_.store(NowNanos(), std::memory_order_relaxed);
+}
+
+void SearchBackend::SetCompactionPending(Shard* shard, bool pending) {
+  if (shard->compaction_pending == pending) return;
+  shard->compaction_pending = pending;
+  if (pending) {
+    TouchMaintenanceBeat();
+    maintenance_inflight_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    maintenance_inflight_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+std::int64_t SearchBackend::MaintenanceStallNanos() const {
+  if (maintenance_inflight_.load(std::memory_order_relaxed) == 0) return 0;
+  const std::int64_t gap =
+      NowNanos() - maintenance_beat_ns_.load(std::memory_order_relaxed);
+  return gap > 0 ? gap : 0;
+}
+
+bool SearchBackend::maintenance_stalled() const {
+  if (options_.watchdog_stall_ms <= 0) return false;
+  return MaintenanceStallNanos() >
+         options_.watchdog_stall_ms * std::int64_t{1000000};
 }
 
 int SearchBackend::RouteShard(Key k) const {
@@ -515,10 +567,34 @@ std::int64_t SearchBackend::shard_threshold(int shard) const {
   return s.threshold;
 }
 
+bool SearchBackend::shard_degraded(int shard) const {
+  Shard& s = *shards_[static_cast<std::size_t>(shard)];
+  std::lock_guard<WriterMutex> lock(s.write_mu);
+  return s.degraded;
+}
+
+std::int64_t SearchBackend::shard_overlay_size(int shard) const {
+  ReadPathScope read_scope;
+  EpochDomain::Guard guard(EpochDomain::Global());
+  return static_cast<std::int64_t>(
+      shards_[static_cast<std::size_t>(shard)]
+          ->snapshot.load(std::memory_order_acquire)
+          ->overlay.size());
+}
+
+std::vector<std::int64_t> SearchBackend::shard_backoff_history_ns(
+    int shard) const {
+  Shard& s = *shards_[static_cast<std::size_t>(shard)];
+  std::lock_guard<WriterMutex> lock(s.write_mu);
+  return s.backoff_history_ns;
+}
+
 Status SearchBackend::Insert(Key k) {
-  Shard& shard = *shards_[static_cast<std::size_t>(RouteShard(k))];
+  const int shard_index = RouteShard(k);
+  Shard& shard = *shards_[static_cast<std::size_t>(shard_index)];
   const ShardSnapshot* retired = nullptr;
   bool trigger_compaction = false;
+  bool shed = false;
   {
     std::lock_guard<WriterMutex> lock(shard.write_mu);
     // The snapshot pointer is stable under the writer mutex (every
@@ -535,7 +611,8 @@ Status SearchBackend::Insert(Key k) {
             "key already stored in the base index");
       }
       // Resurrection: the base key was removed earlier; clearing its
-      // tombstone makes it live again. The overlay is unchanged.
+      // tombstone makes it live again. The overlay is unchanged (so the
+      // hard cap does not apply — resurrections shrink pending work).
       fresh->substrate = snap->substrate;
       fresh->overlay = snap->overlay;
       fresh->tombstones = WithErased(snap->tombstones, tpos);
@@ -546,38 +623,74 @@ Status SearchBackend::Insert(Key k) {
         delete fresh;
         return Status::InvalidArgument("key already stored in the overlay");
       }
-      // Publish a fresh snapshot: same substrate, overlay copied with
-      // the key spliced in. O(overlay) — bounded by the compaction
-      // threshold plus whatever accumulates during one off-thread
-      // rebuild; never a rebuild on this thread.
-      fresh->substrate = snap->substrate;
-      fresh->overlay = WithInserted(snap->overlay, pos, k);
-      fresh->tombstones = snap->tombstones;
+      if (options_.overlay_hard_cap > 0 &&
+          static_cast<std::int64_t>(snap->overlay.size()) >=
+              options_.overlay_hard_cap) {
+        // Admission control: the overlay is at its hard cap, so this
+        // shard sheds brand-new inserts until compaction catches up.
+        // Reads stay lock-free and fully available; the rejection is
+        // explicit (kResourceExhausted), never silent.
+        delete fresh;
+        if (!shard.degraded) {
+          shard.degraded = true;
+          degraded_shards_.fetch_add(1, std::memory_order_relaxed);
+          TraceInstant(TraceCategory::kServing, "shard_degraded",
+                       shard_index);
+        }
+        // Still (re)kick maintenance, unconditionally: with every
+        // insert shed, nothing else would re-trigger the compaction
+        // that un-degrades the shard after a storm of give-ups cleared
+        // compaction_pending — and the give-ups may have backed the
+        // threshold off *above* the overlay cap, so gating this kick on
+        // the threshold would deadlock recovery (capped overlay can
+        // never reach the backed-off trigger).
+        if (!shard.compaction_pending) {
+          SetCompactionPending(&shard, true);
+          trigger_compaction = true;
+        }
+        shed = true;
+      } else {
+        // Publish a fresh snapshot: same substrate, overlay copied with
+        // the key spliced in. O(overlay) — bounded by the compaction
+        // threshold plus whatever accumulates during one off-thread
+        // rebuild; never a rebuild on this thread.
+        fresh->substrate = snap->substrate;
+        fresh->overlay = WithInserted(snap->overlay, pos, k);
+        fresh->tombstones = snap->tombstones;
+      }
     }
-    const std::int64_t published =
-        static_cast<std::int64_t>(fresh->overlay.size());
-    const std::int64_t pending_keys =
-        published + static_cast<std::int64_t>(fresh->tombstones.size());
-    // Release publish: pairs with the read path's acquire loads (see
-    // the ShardSnapshot contract).
-    shard.snapshot.store(fresh, std::memory_order_release);
-    retired = snap;
+    if (!shed) {
+      const std::int64_t published =
+          static_cast<std::int64_t>(fresh->overlay.size());
+      const std::int64_t pending_keys =
+          published + static_cast<std::int64_t>(fresh->tombstones.size());
+      // Release publish: pairs with the read path's acquire loads (see
+      // the ShardSnapshot contract).
+      shard.snapshot.store(fresh, std::memory_order_release);
+      retired = snap;
 
-    std::int64_t prev = max_publish_overlay_.load(std::memory_order_relaxed);
-    while (published > prev &&
-           !max_publish_overlay_.compare_exchange_weak(
-               prev, published, std::memory_order_relaxed)) {
-    }
+      std::int64_t prev =
+          max_publish_overlay_.load(std::memory_order_relaxed);
+      while (published > prev &&
+             !max_publish_overlay_.compare_exchange_weak(
+                 prev, published, std::memory_order_relaxed)) {
+      }
 
-    if (shard.threshold > 0 && pending_keys >= shard.threshold &&
-        !shard.compaction_pending) {
-      shard.compaction_pending = true;
-      trigger_compaction = true;
+      if (shard.threshold > 0 && pending_keys >= shard.threshold &&
+          !shard.compaction_pending) {
+        SetCompactionPending(&shard, true);
+        trigger_compaction = true;
+      }
     }
   }
-  EpochDomain::Global().RetireDelete(retired);
-  tl_publishes_->Add(1);
-  tl_retires_->Add(1);
+  if (!shed) {
+    EpochDomain::Global().RetireDelete(retired);
+    tl_publishes_->Add(1);
+    tl_retires_->Add(1);
+  } else {
+    shed_inserts_.fetch_add(1, std::memory_order_relaxed);
+    tl_shed_inserts_->Add(1);
+  }
   if (trigger_compaction) {
     if (options_.sync_compaction || maintenance_ == nullptr) {
       CompactShard(&shard, /*inline_call=*/true);
@@ -586,6 +699,10 @@ Status SearchBackend::Insert(Key k) {
       maintenance_->Submit(
           [this, target] { CompactShard(target, /*inline_call=*/false); });
     }
+  }
+  if (shed) {
+    return Status::ResourceExhausted(
+        "insert shed: shard degraded at overlay hard cap");
   }
   return Status::OK();
 }
@@ -628,7 +745,7 @@ Status SearchBackend::Remove(Key k) {
     retired = snap;
     if (shard.threshold > 0 && pending_keys >= shard.threshold &&
         !shard.compaction_pending) {
-      shard.compaction_pending = true;
+      SetCompactionPending(&shard, true);
       trigger_compaction = true;
     }
   }
@@ -661,6 +778,7 @@ void SearchBackend::CompactShard(Shard* shard, bool inline_call) {
     TraceSpan span(TraceCategory::kServing,
                    refill_pass ? "compact(refill)" : "compact(threshold)",
                    shard_index);
+    TouchMaintenanceBeat();
     std::vector<Key> compacted_overlay;
     std::vector<Key> compacted_tombstones;
     std::vector<Key> base;
@@ -669,11 +787,17 @@ void SearchBackend::CompactShard(Shard* shard, bool inline_call) {
       std::lock_guard<WriterMutex> lock(shard->write_mu);
       const ShardSnapshot* snap =
           shard->snapshot.load(std::memory_order_acquire);
+      // A degraded shard compacts regardless of the trigger count:
+      // give-ups may have backed the threshold off *above* the overlay
+      // hard cap, and a capped overlay can never reach that trigger —
+      // re-checking it here would turn every recovery kick into a
+      // no-op and deadlock the shard in degraded mode.
       if (shard->threshold <= 0 ||
-          static_cast<std::int64_t>(snap->overlay.size() +
-                                    snap->tombstones.size()) <
-              shard->threshold) {
-        shard->compaction_pending = false;
+          (!shard->degraded &&
+           static_cast<std::int64_t>(snap->overlay.size() +
+                                     snap->tombstones.size()) <
+               shard->threshold)) {
+        SetCompactionPending(shard, false);
         return;
       }
       compacted_overlay = snap->overlay;
@@ -702,16 +826,58 @@ void SearchBackend::CompactShard(Shard* shard, bool inline_call) {
       if (merged.front() < domain.lo) domain.lo = merged.front();
       if (merged.back() > domain.hi) domain.hi = merged.back();
     }
+
+    // Bounded-retry rebuild loop: every failed attempt is counted; the
+    // retries sleep a jittered exponential backoff first (drawn from
+    // the shard's private seeded stream, so a fixed backoff_seed
+    // replays the same delays). The consumed overlay/tombstone copies
+    // stay valid across retries — the publish algebra below reconciles
+    // whatever landed meanwhile, exactly as for a slow clean rebuild.
     std::shared_ptr<const IndexSubstrate> built;
-    const bool injected_fault =
-        options_.rebuild_fault_injector != nullptr &&
-        options_.rebuild_fault_injector(static_cast<int>(shard_index));
-    if (!injected_fault && !merged.empty()) {
-      auto keyset = KeySet::Create(merged, domain);  // Copies; merged kept.
-      if (keyset.ok()) {
-        auto substrate = BuildSubstrate(kind_, *keyset, options_);
-        if (substrate.ok()) built = std::move(*substrate);
+    for (int attempt = 0;; ++attempt) {
+      const bool injected_fault = FAULT_POINT("compaction.rebuild");
+      if (!injected_fault && !merged.empty()) {
+        auto keyset = KeySet::Create(merged, domain);  // Copies; merged kept.
+        if (keyset.ok()) {
+          auto substrate = BuildSubstrate(kind_, *keyset, options_);
+          if (substrate.ok()) built = std::move(*substrate);
+        }
       }
+      if (built != nullptr) break;
+      tl_rebuild_failures_->Add(1);
+      TraceInstant(TraceCategory::kServing, "rebuild_failure", shard_index);
+      // An empty merge can never build a substrate — retrying is
+      // pointless, so it goes straight to the give-up fallback (the
+      // pre-retry behaviour).
+      if (merged.empty() || attempt >= options_.compaction_max_retries) {
+        break;
+      }
+      std::int64_t delay_ns = 0;
+      {
+        std::lock_guard<WriterMutex> lock(shard->write_mu);
+        std::int64_t exp_us = options_.compaction_backoff_base_us;
+        for (int i = 0; i < attempt && exp_us < options_.compaction_backoff_max_us;
+             ++i) {
+          exp_us *= 2;
+        }
+        exp_us = std::min(exp_us, options_.compaction_backoff_max_us);
+        if (exp_us < 0) exp_us = 0;
+        const std::int64_t half = exp_us / 2;
+        delay_ns =
+            (half + shard->backoff_rng.UniformInt(0, exp_us - half)) * 1000;
+        shard->backoff_history_ns.push_back(delay_ns);
+      }
+      rebuild_retries_.fetch_add(1, std::memory_order_relaxed);
+      tl_rebuild_retries_->Add(1);
+      TraceInstant(TraceCategory::kServing, "rebuild_retry", shard_index);
+      // The backoff itself is progress as far as the watchdog is
+      // concerned — a stall means nothing is advancing, not that the
+      // policy chose to wait.
+      TouchMaintenanceBeat();
+      if (delay_ns > 0) {
+        std::this_thread::sleep_for(std::chrono::nanoseconds(delay_ns));
+      }
+      TouchMaintenanceBeat();
     }
 
     const ShardSnapshot* retired = nullptr;
@@ -719,15 +885,17 @@ void SearchBackend::CompactShard(Shard* shard, bool inline_call) {
     {
       std::lock_guard<WriterMutex> lock(shard->write_mu);
       if (built == nullptr) {
-        // A failed rebuild keeps serving from the intact overlay.
-        // Back off the threshold (so later writes do not retry the
-        // O(n) merge on every call), capped at 8x the configured
-        // value; the next successful compaction restores it.
+        // Every retry failed: keep serving from the intact overlay and
+        // back off the *trigger* so later writes do not re-enter the
+        // O(n) merge on every call — doubled, capped at 8x the
+        // configured value; the next successful compaction restores
+        // it. The shard stays degraded if the cap already tripped.
         const std::int64_t cap = options_.compact_threshold * 8;
         shard->threshold = std::min(shard->threshold * 2, cap);
-        shard->compaction_pending = false;
-        tl_rebuild_failures_->Add(1);
-        TraceInstant(TraceCategory::kServing, "rebuild_failure",
+        SetCompactionPending(shard, false);
+        compaction_giveups_.fetch_add(1, std::memory_order_relaxed);
+        tl_compaction_giveups_->Add(1);
+        TraceInstant(TraceCategory::kServing, "compaction_giveup",
                      shard_index);
         return;
       }
@@ -787,16 +955,28 @@ void SearchBackend::CompactShard(Shard* shard, bool inline_call) {
                  dead_overlay.begin(), dead_overlay.end(),
                  std::back_inserter(fresh->tombstones));
       // A successful compaction restores the configured cadence after
-      // any failure backoff.
+      // any give-up backoff.
       shard->threshold = options_.compact_threshold;
       refill = static_cast<std::int64_t>(fresh->overlay.size() +
                                          fresh->tombstones.size()) >=
                shard->threshold;
+      // Degraded-mode exit with hysteresis: re-admit inserts only once
+      // the drained overlay sits at or below half the cap, so a shard
+      // hovering at the cap does not flap between modes.
+      if (shard->degraded &&
+          static_cast<std::int64_t>(fresh->overlay.size()) <=
+              options_.overlay_hard_cap / 2) {
+        shard->degraded = false;
+        degraded_shards_.fetch_sub(1, std::memory_order_relaxed);
+        TraceInstant(TraceCategory::kServing, "shard_recovered",
+                     shard_index);
+      }
       shard->snapshot.store(fresh, std::memory_order_release);
       retired = cur;
       shard->base_keys = std::move(merged);
       shard->domain = domain;
-      if (!refill) shard->compaction_pending = false;
+      if (!refill) SetCompactionPending(shard, false);
+      TouchMaintenanceBeat();
     }
     compactions_.fetch_add(1, std::memory_order_relaxed);
     if (inline_call) {
@@ -811,6 +991,32 @@ void SearchBackend::CompactShard(Shard* shard, bool inline_call) {
     // the backlog before going idle (compaction_pending stays set, so
     // no duplicate task was queued meanwhile).
   }
+}
+
+std::int64_t SearchBackend::KickDegradedShards() {
+  std::int64_t kicked = 0;
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    bool trigger = false;
+    {
+      std::lock_guard<WriterMutex> lock(shard.write_mu);
+      if (shard.degraded && shard.threshold > 0 &&
+          !shard.compaction_pending) {
+        SetCompactionPending(&shard, true);
+        trigger = true;
+      }
+    }
+    if (!trigger) continue;
+    ++kicked;
+    if (options_.sync_compaction || maintenance_ == nullptr) {
+      CompactShard(&shard, /*inline_call=*/true);
+    } else {
+      Shard* target = &shard;
+      maintenance_->Submit(
+          [this, target] { CompactShard(target, /*inline_call=*/false); });
+    }
+  }
+  return kicked;
 }
 
 void SearchBackend::WaitForMaintenance() {

@@ -50,6 +50,7 @@
 #include <string>
 #include <vector>
 
+#include "common/rng.h"
 #include "common/status.h"
 #include "common/telemetry.h"
 #include "common/thread_pool.h"
@@ -102,13 +103,42 @@ struct BackendOptions {
   /// rebuild.
   bool sync_compaction = false;
 
-  /// Test-only fault injection: when set, CompactShard consults it (on
-  /// the compacting thread, no locks held) once per substrate rebuild
-  /// attempt with the shard index. Returning true makes that rebuild
-  /// fail exactly as a substrate build error would, exercising the
-  /// threshold backoff / restore-on-success recovery path. Must be
-  /// thread-safe; never set in production configs.
-  std::function<bool(int shard)> rebuild_fault_injector;
+  /// \name Compaction failure policy (RocksDB-style retry discipline).
+  ///
+  /// A failed substrate rebuild (I/O fault, build error — injected in
+  /// tests through FAULT_POINT("compaction.rebuild")) is retried up to
+  /// `compaction_max_retries` times on the compacting thread, each
+  /// retry preceded by a jittered exponential backoff drawn from the
+  /// shard's private Rng (seeded Rng(backoff_seed).Fork(shard), so the
+  /// delay sequence is reproducible under a fixed seed). Attempt k
+  /// sleeps uniform([e/2, e]) where e = min(base << k, max). Only when
+  /// every retry is exhausted does the shard fall back to threshold
+  /// doubling (capped at 8x the configured value; the next successful
+  /// compaction restores it). 0 retries reproduces the bare
+  /// give-up-immediately behaviour the regression tests pin against.
+  /// @{
+  int compaction_max_retries = 3;
+  std::int64_t compaction_backoff_base_us = 200;
+  std::int64_t compaction_backoff_max_us = 20000;
+  std::uint64_t backoff_seed = 0x0fa0175eedull;
+  /// @}
+
+  /// Admission control: a shard whose insert overlay has reached this
+  /// many keys enters DEGRADED mode — further brand-new inserts are
+  /// shed with kResourceExhausted (reads, removes, resurrections, and
+  /// duplicate detection all keep working; the read path stays
+  /// lock-free) until a successful compaction drains the overlay to
+  /// half the cap. 0 disables the cap. Bounds the O(overlay) publish
+  /// copy — and the per-read overlay probe — when maintenance cannot
+  /// keep up (storm of rebuild failures, wedged pool).
+  std::int64_t overlay_hard_cap = 0;
+
+  /// Maintenance watchdog: with compaction work pending, a gap of more
+  /// than this many milliseconds since the maintenance thread's last
+  /// heartbeat (pass start, publish, backoff draw) reports the pool as
+  /// stalled via maintenance_stalled() and the
+  /// `serving.maintenance_stalled` observable gauge. 0 disables.
+  std::int64_t watchdog_stall_ms = 1000;
 };
 
 /// Internal immutable per-shard index structure (defined in the .cc).
@@ -253,9 +283,10 @@ class SearchBackend {
   }
 
   /// \brief The *effective* compaction threshold of one shard right
-  /// now. Equals compact_threshold() except transiently after a failed
-  /// rebuild: each failure doubles it (capped at 8x the configured
-  /// value) and the next successful compaction restores it. Takes the
+  /// now. Equals compact_threshold() except transiently after a
+  /// compaction gave up (every retry failed): each give-up doubles it
+  /// (capped at 8x the configured value) and the next successful
+  /// compaction restores it. Takes the
   /// shard's writer mutex — test/diagnostic accessor, not a read-path
   /// call.
   std::int64_t shard_threshold(int shard) const;
@@ -264,6 +295,65 @@ class SearchBackend {
   std::int64_t removes() const {
     return removes_.load(std::memory_order_relaxed);
   }
+
+  /// \brief Inserts shed with kResourceExhausted by degraded shards
+  /// (all shards, since construction). Telescopes exactly against the
+  /// `serving.shed_inserts` telemetry counter and the callers'
+  /// per-source shed counts — the chaos harness's accounting identity.
+  std::int64_t shed_inserts() const {
+    return shed_inserts_.load(std::memory_order_relaxed);
+  }
+
+  /// \brief Shards currently in degraded (insert-shedding) mode.
+  std::int64_t degraded_shards() const {
+    return degraded_shards_.load(std::memory_order_relaxed);
+  }
+
+  /// \brief Whether one shard is degraded right now (writer mutex;
+  /// test/diagnostic accessor).
+  bool shard_degraded(int shard) const;
+
+  /// \brief Current overlay key count of one shard. Lock-free (epoch
+  /// guard + snapshot load) — the chaos harness polls it under churn to
+  /// assert the overlay_hard_cap bound.
+  std::int64_t shard_overlay_size(int shard) const;
+
+  /// \brief Rebuild retries attempted after a compaction failure (all
+  /// shards). Each retry slept one jittered backoff first.
+  std::int64_t rebuild_retries() const {
+    return rebuild_retries_.load(std::memory_order_relaxed);
+  }
+
+  /// \brief Compactions abandoned after exhausting every retry (the
+  /// threshold-doubling fallback path).
+  std::int64_t compaction_giveups() const {
+    return compaction_giveups_.load(std::memory_order_relaxed);
+  }
+
+  /// \brief The backoff delays (ns) one shard has slept, in draw order.
+  /// Deterministic under a fixed BackendOptions::backoff_seed and fault
+  /// schedule — the jitter-determinism regression test's probe. Writer
+  /// mutex; returns a copy.
+  std::vector<std::int64_t> shard_backoff_history_ns(int shard) const;
+
+  /// \brief Nanoseconds since the maintenance heartbeat last advanced,
+  /// or 0 when no compaction work is pending. Lock-free.
+  std::int64_t MaintenanceStallNanos() const;
+
+  /// \brief True when pending maintenance has not made progress for
+  /// longer than BackendOptions::watchdog_stall_ms (and the watchdog is
+  /// enabled). Exported as the `serving.maintenance_stalled` gauge; the
+  /// QueryDriver's deadline check polls it too.
+  bool maintenance_stalled() const;
+
+  /// \brief Schedules a compaction for every degraded shard with no
+  /// compaction in flight; returns how many were kicked. The organic
+  /// recovery path re-kicks on each shed insert, but a shard whose
+  /// traffic stops while degraded (give-up cleared the in-flight flag,
+  /// then the stream moved elsewhere) has nothing left to nudge it —
+  /// this is the operational drain primitive for that state. Pair with
+  /// WaitForMaintenance() and repeat until degraded_shards() == 0.
+  std::int64_t KickDegradedShards();
 
   /// \brief Blocks until every queued background compaction (including
   /// follow-ups triggered by overlays that refilled during a rebuild)
@@ -281,10 +371,18 @@ class SearchBackend {
     mutable WriterMutex write_mu;
     std::vector<Key> base_keys;   // Compaction input; threshold > 0 only.
     KeyDomain domain{0, 0};
-    // Effective threshold: doubles after a failed rebuild (capped at 8x
-    // the configured value), restored by the next successful compaction.
+    // Effective threshold: doubles only after a compaction exhausts its
+    // retries (capped at 8x the configured value), restored by the next
+    // successful compaction.
     std::int64_t threshold = 0;
     bool compaction_pending = false;
+    // Admission control: set when the overlay hits overlay_hard_cap,
+    // cleared by a successful compaction that drains it to cap/2.
+    bool degraded = false;
+    // Private jittered-backoff stream: Rng(backoff_seed).Fork(shard).
+    Rng backoff_rng{0};
+    // Every backoff slept, in draw order (test probe).
+    std::vector<std::int64_t> backoff_history_ns;
   };
 
   SearchBackend(BackendKind kind, const BackendOptions& options)
@@ -306,10 +404,29 @@ class SearchBackend {
   std::vector<Key> shard_splits_;  // splits_[i] = first key of shard i+1.
   std::vector<std::unique_ptr<Shard>> shards_;
 
+  /// Records a maintenance heartbeat (now) — called at every trigger,
+  /// pass boundary, and backoff draw so the watchdog only reports a
+  /// stall when nothing is advancing.
+  void TouchMaintenanceBeat();
+
+  /// Flips compaction_pending for \p shard (under its writer mutex,
+  /// which the caller holds) and keeps the watchdog's pending-work
+  /// count in sync.
+  void SetCompactionPending(Shard* shard, bool pending);
+
   std::atomic<std::int64_t> compactions_{0};
   std::atomic<std::int64_t> inline_compactions_{0};
   std::atomic<std::int64_t> max_publish_overlay_{0};
   std::atomic<std::int64_t> removes_{0};
+  std::atomic<std::int64_t> shed_inserts_{0};
+  std::atomic<std::int64_t> degraded_shards_{0};
+  std::atomic<std::int64_t> rebuild_retries_{0};
+  std::atomic<std::int64_t> compaction_giveups_{0};
+
+  // Watchdog state: shards with compaction work pending, and the last
+  // time maintenance demonstrably advanced (steady-clock ns).
+  std::atomic<std::int64_t> maintenance_inflight_{0};
+  std::atomic<std::int64_t> maintenance_beat_ns_{0};
 
   // Telemetry instruments (process-lived registry objects; the pointers
   // are cached here so the hot paths skip the registry's name map).
@@ -323,6 +440,9 @@ class SearchBackend {
   TelemetryCounter* tl_compactions_ = nullptr;
   TelemetryCounter* tl_rebuild_failures_ = nullptr;
   TelemetryCounter* tl_removes_ = nullptr;
+  TelemetryCounter* tl_shed_inserts_ = nullptr;
+  TelemetryCounter* tl_rebuild_retries_ = nullptr;
+  TelemetryCounter* tl_compaction_giveups_ = nullptr;
 
   // Declared last: destroyed first, draining queued compactions before
   // the shards they reference go away.

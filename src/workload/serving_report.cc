@@ -399,6 +399,8 @@ void AdversarialReport::WriteJson(std::ostream* os) const {
   w.KV("modifies", adversary.modifies);
   w.KV("rejected", adversary.rejected);
   w.KV("skipped", adversary.skipped);
+  w.KV("shed", adversary.shed);
+  w.KV("write_faults", adversary.write_faults);
   w.KV("replans", adversary.replans);
   w.KV("retrains_observed", adversary.retrains_observed);
   w.KV("live_poison_keys",
@@ -416,6 +418,42 @@ void AdversarialReport::WriteJson(std::ostream* os) const {
   w.KV("pruned_gaps", adversary.argmax_stats.pruned_gaps);
   w.EndObject();
   w.EndObject();
+
+  if (degraded.present) {
+    // The overload-resilience arm: the same streams against a backend
+    // whose maintenance path is fault-armed into collapse. The gate
+    // checks the shed telescoping identity, full recovery, and that
+    // reads stayed available.
+    w.Key("degraded");
+    w.BeginObject();
+    w.KV("fault_seed", static_cast<std::int64_t>(degraded.fault_seed));
+    w.KV("overlay_hard_cap", degraded.overlay_hard_cap);
+    w.KV("compact_threshold", degraded.compact_threshold);
+    WriteAdversarialArm(&w, degraded.result);
+    w.KV("inserts_shed", degraded.driver_inserts_shed);
+    w.KV("maintenance_deadline_hits", degraded.maintenance_deadline_hits);
+    w.Key("adversary");
+    w.BeginObject();
+    w.KV("ops_planned", degraded.adversary.ops_planned);
+    w.KV("inserts", degraded.adversary.inserts);
+    w.KV("deletes", degraded.adversary.deletes);
+    w.KV("modifies", degraded.adversary.modifies);
+    w.KV("rejected", degraded.adversary.rejected);
+    w.KV("skipped", degraded.adversary.skipped);
+    w.KV("shed", degraded.adversary.shed);
+    w.KV("write_faults", degraded.adversary.write_faults);
+    w.EndObject();
+    w.Key("backend");
+    w.BeginObject();
+    w.KV("shed_inserts", degraded.shed_inserts);
+    w.KV("rebuild_retries", degraded.rebuild_retries);
+    w.KV("compaction_giveups", degraded.compaction_giveups);
+    w.KV("rebuild_failures", degraded.rebuild_failures);
+    w.KV("compactions", degraded.compactions);
+    w.KV("degraded_shards_end", degraded.degraded_shards_end);
+    w.EndObject();
+    w.EndObject();
+  }
 
   // The headline: what the attack cost the victim's readers, per
   // attacker op, interval by interval.

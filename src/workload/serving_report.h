@@ -180,6 +180,36 @@ struct AdversarialReport {
 
   AdversaryResult adversary;
 
+  /// \brief The degraded-mode arm (--fault-plan=<seed>, ISSUE 10): the
+  /// same driver stream and attacker against a backend whose rebuild
+  /// path is fault-armed into maintenance collapse, with the overlay
+  /// hard cap shedding inserts. The committed counters pin the
+  /// overload-resilience contract: reads stay fully available, sheds
+  /// telescope exactly across the callers
+  /// (backend.shed_inserts == driver.inserts_shed + adversary.shed),
+  /// and after the storm is disarmed every shard recovers
+  /// (degraded_shards_end == 0).
+  struct DegradedArm {
+    bool present = false;
+    std::uint64_t fault_seed = 0;
+    std::int64_t overlay_hard_cap = 0;
+    std::int64_t compact_threshold = 0;
+    DriverResult result;
+    std::int64_t driver_inserts_shed = 0;
+    std::int64_t maintenance_deadline_hits = 0;
+    AdversaryResult adversary;
+    /// Backend counters snapshotted BEFORE the recovery drain (the
+    /// drain's own nudge inserts may shed and are nobody's caller).
+    std::int64_t shed_inserts = 0;
+    std::int64_t rebuild_retries = 0;
+    std::int64_t compaction_giveups = 0;
+    std::int64_t rebuild_failures = 0;
+    std::int64_t compactions = 0;
+    /// Degraded shards after the post-storm drain: must be 0.
+    std::int64_t degraded_shards_end = 0;
+  };
+  DegradedArm degraded;
+
   /// The sampler's rows over the attack window (sampler started at the
   /// attack arm's first op, stopped after quiescence), with the totals
   /// they telescope to.

@@ -1,0 +1,289 @@
+// Seeded chaos storms against the serving engine: every failure-capable
+// subsystem is armed at once (rebuild faults, pool stalls, reclamation
+// skips) while writer threads churn and a reader hammers the lock-free
+// path, and the harness asserts the invariants the overload-resilience
+// design promises:
+//
+//   1. Membership: every key a writer observed committed is found,
+//      every key it removed — or that was shed — is absent. A shed
+//      (kResourceExhausted) commits NOTHING.
+//   2. Admission control: no shard's overlay ever exceeds
+//      overlay_hard_cap, storm or not.
+//   3. Availability: reads never block (the WriterMutex tripwire aborts
+//      the process if the read path ever takes a lock) and keep
+//      completing throughout the storm.
+//   4. Accounting: the backend's shed_inserts() telescopes exactly
+//      against the sheds its callers observed.
+//   5. Recovery: once the storm is disarmed, degraded shards drain back
+//      to zero and every compaction threshold is restored to the
+//      configured value — the storm leaves no permanent scar.
+//
+// Same seed => same injected fault sequence (each point's decision
+// stream is forked from the plan seed and the point name), so a failing
+// seed from CI replays locally. CHAOS_TEST_SEEDS scales the sweep: the
+// default is a quick smoke; CI runs 200 (500 under sanitizers).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/fault.h"
+#include "common/rng.h"
+#include "data/generators.h"
+#include "data/keyset.h"
+#include "workload/query_driver.h"
+#include "workload/search_backend.h"
+#include "workload/workload.h"
+
+namespace lispoison {
+namespace {
+
+int ChaosSeeds() {
+  const char* env = std::getenv("CHAOS_TEST_SEEDS");
+  if (env == nullptr) return 20;
+  const int n = std::atoi(env);
+  return n > 0 ? n : 20;
+}
+
+KeySet TestKeys(std::int64_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  auto ks = GenerateUniform(n, KeyDomain{0, 100 * n}, &rng);
+  EXPECT_TRUE(ks.ok());
+  return *ks;
+}
+
+/// One writer's ground truth, built purely from observed op outcomes.
+struct WriterOracle {
+  std::map<Key, bool> present;  // Every key ever touched -> live now?
+  std::int64_t sheds = 0;
+  std::int64_t commits = 0;
+};
+
+/// Churns a disjoint key stripe: inserts fresh keys, removes and
+/// re-inserts its own committed ones. Every outcome updates the oracle;
+/// a shed leaves membership untouched by definition.
+void WriterLoop(SearchBackend* backend, std::uint64_t seed, Key stripe_start,
+                int ops, std::int64_t overlay_cap, WriterOracle* oracle) {
+  Rng rng(seed);
+  Key next_fresh = stripe_start;
+  std::vector<Key> live;  // Committed and not since removed.
+  for (int op = 0; op < ops; ++op) {
+    const bool do_insert = live.empty() || rng.NextDouble() < 0.6;
+    if (do_insert) {
+      const Key k = next_fresh++;
+      const Status st = backend->Insert(k);
+      if (st.ok()) {
+        oracle->present[k] = true;
+        oracle->commits += 1;
+        live.push_back(k);
+      } else {
+        // The only legal refusal on a brand-new key is a degraded-mode
+        // shed; the key must NOT have been stored.
+        ASSERT_EQ(st.code(), StatusCode::kResourceExhausted)
+            << st.message();
+        oracle->present[k] = false;
+        oracle->sheds += 1;
+      }
+    } else {
+      const auto idx = static_cast<std::size_t>(
+          rng.UniformInt(0, static_cast<std::int64_t>(live.size()) - 1));
+      const Key k = live[idx];
+      ASSERT_TRUE(backend->Remove(k).ok()) << "remove of committed key " << k;
+      oracle->present[k] = false;
+      live[idx] = live.back();
+      live.pop_back();
+    }
+    if (op % 32 == 0) {
+      // Invariant 2, probed mid-storm from the lock-free read path.
+      for (int s = 0; s < backend->num_shards(); ++s) {
+        ASSERT_LE(backend->shard_overlay_size(s), overlay_cap);
+      }
+    }
+  }
+}
+
+TEST(ChaosServingTest, SeededStormsPreserveInvariants) {
+  const int seeds = ChaosSeeds();
+  for (int storm = 0; storm < seeds; ++storm) {
+    const std::uint64_t seed = 1000 + static_cast<std::uint64_t>(storm);
+    SCOPED_TRACE("storm seed " + std::to_string(seed));
+
+    const std::int64_t n = 4000;
+    const KeySet base = TestKeys(n, seed);
+    BackendOptions opts;
+    opts.rmi.target_model_size = 200;
+    opts.num_shards = 2;
+    opts.compact_threshold = 48;
+    opts.overlay_hard_cap = 96;
+    opts.compaction_max_retries = 2;
+    opts.compaction_backoff_base_us = 50;
+    opts.compaction_backoff_max_us = 400;
+    opts.watchdog_stall_ms = 0;  // The watchdog has its own test below.
+    auto made = CreateBackend(BackendKind::kRmi, base, opts);
+    ASSERT_TRUE(made.ok()) << made.status().message();
+    auto backend = std::move(*made);
+
+    // Arm everything at once: failing rebuilds, a stalling maintenance
+    // pool, and skipped reclamation passes.
+    FaultSpec rebuild;
+    rebuild.probability = 0.3;
+    FaultSpec stall;
+    stall.probability = 0.2;
+    stall.latency_ns = 200'000;  // 0.2ms wedges, not wall-clock blowup.
+    stall.fail = false;
+    FaultSpec reclaim_skip;
+    reclaim_skip.probability = 0.5;
+    FaultPlan(seed)
+        .Arm("compaction.rebuild", rebuild)
+        .Arm("pool.task", stall)
+        .Arm("epoch.reclaim", reclaim_skip)
+        .Activate();
+
+    // Two writers on disjoint stripes above the base key domain, one
+    // reader proving availability (invariant 3: if the read path ever
+    // blocked on a writer lock the tripwire aborts the binary).
+    constexpr int kWriters = 2;
+    constexpr int kOpsPerWriter = 800;
+    WriterOracle oracles[kWriters];
+    std::atomic<bool> done{false};
+    std::atomic<std::int64_t> reads{0};
+    std::thread reader([&] {
+      std::size_t i = 0;
+      while (!done.load(std::memory_order_acquire)) {
+        (void)backend->Lookup(base.keys()[i % base.keys().size()]);
+        reads.fetch_add(1, std::memory_order_relaxed);
+        i += 17;
+      }
+    });
+    std::vector<std::thread> writers;
+    for (int w = 0; w < kWriters; ++w) {
+      const Key stripe = 100 * n + 1000 + static_cast<Key>(w) * 10'000'000;
+      writers.emplace_back([&, w, stripe] {
+        WriterLoop(backend.get(), seed * 31 + static_cast<std::uint64_t>(w),
+                   stripe, kOpsPerWriter, opts.overlay_hard_cap, &oracles[w]);
+      });
+    }
+    for (auto& t : writers) t.join();
+    done.store(true, std::memory_order_release);
+    reader.join();
+    backend->WaitForMaintenance();
+    FaultRegistry::Global().DisarmAll();
+    EXPECT_GT(reads.load(), 0);
+
+    // Invariant 4: the backend's shed counter telescopes exactly
+    // against what the writers observed — before any recovery traffic.
+    std::int64_t observed_sheds = 0;
+    for (const WriterOracle& o : oracles) observed_sheds += o.sheds;
+    EXPECT_EQ(backend->shed_inserts(), observed_sheds);
+
+    // Invariant 1: membership matches the per-op oracle. No lost
+    // commits, no resurrected sheds or removes.
+    for (const WriterOracle& o : oracles) {
+      for (const auto& [k, live] : o.present) {
+        EXPECT_EQ(backend->Lookup(k).found, live) << "key " << k;
+      }
+    }
+    for (int s = 0; s < backend->num_shards(); ++s) {
+      EXPECT_LE(backend->shard_overlay_size(s), opts.overlay_hard_cap);
+    }
+
+    // Invariant 5: with the storm disarmed, fresh traffic drains every
+    // degraded shard and a successful compaction per shard restores the
+    // configured threshold. The nudge inserts may themselves shed while
+    // a shard is still degraded — shedding re-kicks compaction, which
+    // is exactly the recovery mechanism under test.
+    auto recovered = [&] {
+      if (backend->degraded_shards() != 0) return false;
+      for (int s = 0; s < backend->num_shards(); ++s) {
+        if (backend->shard_threshold(s) != opts.compact_threshold) {
+          return false;
+        }
+      }
+      return true;
+    };
+    Key nudge = 100 * n + 1000 + kWriters * 10'000'000;
+    for (int round = 0; round < 100 && !recovered(); ++round) {
+      for (int i = 0; i < 2 * static_cast<int>(opts.compact_threshold); ++i) {
+        (void)backend->Insert(nudge++);
+      }
+      backend->WaitForMaintenance();
+    }
+    EXPECT_EQ(backend->degraded_shards(), 0);
+    for (int s = 0; s < backend->num_shards(); ++s) {
+      EXPECT_EQ(backend->shard_threshold(s), opts.compact_threshold);
+      EXPECT_FALSE(backend->shard_degraded(s));
+    }
+  }
+}
+
+TEST(ChaosServingTest, WatchdogFlagsAStalledMaintenancePool) {
+  const std::int64_t n = 3000;
+  const KeySet base = TestKeys(n, /*seed=*/7);
+  BackendOptions opts;
+  opts.rmi.target_model_size = 200;
+  opts.num_shards = 1;
+  opts.compact_threshold = 32;
+  opts.sync_compaction = false;  // Real maintenance worker to wedge.
+  opts.watchdog_stall_ms = 50;
+  auto made = CreateBackend(BackendKind::kRmi, base, opts);
+  ASSERT_TRUE(made.ok()) << made.status().message();
+  auto backend = std::move(*made);
+  EXPECT_FALSE(backend->maintenance_stalled());
+  EXPECT_EQ(backend->MaintenanceStallNanos(), 0);
+
+  // Wedge the pool between dequeue and execution, then trigger a
+  // compaction: work is pending but the pass never starts, which is
+  // precisely the gap the watchdog measures.
+  FaultSpec wedge;
+  wedge.probability = 1.0;
+  wedge.latency_ns = 500'000'000;  // 0.5s
+  wedge.fail = false;
+  wedge.max_fires = 1;
+  FaultPlan(/*seed=*/7).Arm("pool.task", wedge).Activate();
+  Key k = 100 * n + 1;
+  for (int i = 0; i < static_cast<int>(opts.compact_threshold); ++i) {
+    ASSERT_TRUE(backend->Insert(k++).ok());
+  }
+
+  // The stall gauge must cross the 50ms watchdog line well before the
+  // 0.5s wedge releases.
+  bool stalled = false;
+  for (int i = 0; i < 200 && !stalled; ++i) {
+    stalled = backend->maintenance_stalled();
+    if (!stalled) std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_TRUE(stalled);
+  EXPECT_GT(backend->MaintenanceStallNanos(), 0);
+
+  // The driver's deadline check surfaces the same stall to serving:
+  // read-only traffic keeps completing, but every batch boundary past
+  // the deadline counts a hit — the overload signal, not an abort.
+  const WorkloadSpec spec = ReadOnlyUniformWorkload(/*seed=*/3);
+  auto ops = GenerateOperations(spec, base, 20000);
+  ASSERT_TRUE(ops.ok());
+  DriverOptions driver_opts;
+  driver_opts.num_threads = 2;
+  driver_opts.read_group = 8;
+  driver_opts.maintenance_deadline_ms = 10;
+  auto result = RunWorkload(backend.get(), *ops, driver_opts);
+  ASSERT_TRUE(result.ok()) << result.status().message();
+  EXPECT_EQ(result->reads, static_cast<std::int64_t>(ops->size()));
+  EXPECT_GE(result->maintenance_deadline_hits, 1);
+
+  // Once the wedge releases and the pass publishes, the stall clears.
+  backend->WaitForMaintenance();
+  FaultRegistry::Global().DisarmAll();
+  EXPECT_EQ(backend->MaintenanceStallNanos(), 0);
+  EXPECT_FALSE(backend->maintenance_stalled());
+  EXPECT_EQ(backend->compactions(), 1);
+}
+
+}  // namespace
+}  // namespace lispoison

@@ -1,24 +1,34 @@
-// Compaction-recovery coverage: the threshold backoff/restore state
+// Compaction-recovery coverage: the bounded-retry/backoff/give-up state
 // machine under injected rebuild failures, and the remove/tombstone
 // membership semantics the adversary's delete stream rides on.
 //
-// The headline regression: a failed substrate rebuild doubles the
-// shard's compaction threshold (backoff so the maintenance thread does
-// not spin on a failing rebuild), and the next *successful* compaction
-// must restore the configured threshold. Before the fix the doubled
-// value stuck forever — every transient failure permanently degraded
-// the shard into overlay binary search. The backoff is also capped at
-// 8x the configured threshold so repeated failures cannot push the
-// trigger out of reach.
+// Two regression layers are pinned here:
+//
+//  1. The give-up path (all retries exhausted — or retries disabled via
+//     compaction_max_retries=0, which reproduces the old immediate
+//     give-up behavior exactly): a failed compaction doubles the
+//     shard's trigger threshold, capped at 8x, and the next successful
+//     compaction restores the *configured* threshold. Before the
+//     original fix the doubled value stuck forever.
+//
+//  2. The retry path (this PR): transient rebuild failures are retried
+//     on the maintenance thread with jittered exponential backoff
+//     *before* any threshold doubling, so a fault that clears within
+//     the retry budget costs latency, never degraded thresholds. The
+//     jitter is drawn from a per-shard Rng forked from backoff_seed, so
+//     a fixed seed replays the exact backoff schedule.
+//
+// Faults are injected through the seeded FAULT_POINT registry
+// ("compaction.rebuild"), the same plumbing the chaos harness storms.
 
 #include <gtest/gtest.h>
 
-#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <set>
 #include <vector>
 
+#include "common/fault.h"
 #include "common/rng.h"
 #include "data/generators.h"
 #include "data/keyset.h"
@@ -34,16 +44,19 @@ KeySet TestKeys(std::int64_t n, std::uint64_t seed = 17) {
   return *ks;
 }
 
-std::unique_ptr<SearchBackend> MakeBackend(
-    const KeySet& ks, std::int64_t compact_threshold,
-    std::function<bool(int)> injector = nullptr,
-    bool sync_compaction = true) {
+std::unique_ptr<SearchBackend> MakeBackend(const KeySet& ks,
+                                           std::int64_t compact_threshold,
+                                           int max_retries = 0,
+                                           bool sync_compaction = true) {
   BackendOptions opts;
   opts.rmi.target_model_size = 200;
   opts.num_shards = 1;  // One shard: deterministic trigger accounting.
   opts.compact_threshold = compact_threshold;
   opts.sync_compaction = sync_compaction;
-  opts.rebuild_fault_injector = std::move(injector);
+  opts.compaction_max_retries = max_retries;
+  // Tiny backoffs: the ladder shape is what is under test, not the wait.
+  opts.compaction_backoff_base_us = 50;
+  opts.compaction_backoff_max_us = 400;
   auto backend = CreateBackend(BackendKind::kRmi, ks, opts);
   EXPECT_TRUE(backend.ok()) << backend.status().message();
   return std::move(*backend);
@@ -62,25 +75,35 @@ void InsertFresh(SearchBackend* backend, const KeySet& base, int count,
   }
 }
 
+/// Arms "compaction.rebuild" alone with \p spec under \p seed.
+void ArmRebuildFault(std::uint64_t seed, const FaultSpec& spec) {
+  FaultPlan(seed).Arm("compaction.rebuild", spec).Activate();
+}
+
 TEST(CompactionRecoveryTest, FailedCompactionDoublesThenRestoresThreshold) {
   const KeySet base = TestKeys(2000);
   const std::int64_t threshold = 16;
-  std::atomic<bool> fail{true};
-  auto backend = MakeBackend(
-      base, threshold, [&fail](int) { return fail.load(); });
+  // Retries disabled: the first failure is an immediate give-up, the
+  // pre-retry backoff behavior this test has always pinned.
+  auto backend = MakeBackend(base, threshold, /*max_retries=*/0);
+  FaultSpec always_fail;
+  always_fail.probability = 1.0;
+  ArmRebuildFault(/*seed=*/17, always_fail);
 
   // Fill the overlay to the trigger: the inline compaction attempt hits
   // the injected rebuild failure and backs the threshold off to 2x.
   InsertFresh(backend.get(), base, static_cast<int>(threshold),
               /*start=*/1);
   EXPECT_EQ(backend->compactions(), 0);
+  EXPECT_EQ(backend->compaction_giveups(), 1);
+  EXPECT_EQ(backend->rebuild_retries(), 0);  // max_retries=0: no retry.
   EXPECT_EQ(backend->shard_threshold(0), 2 * threshold);
   EXPECT_EQ(backend->overlay_size(), threshold);
 
   // Heal the substrate build and grow the overlay to the backed-off
   // trigger: the compaction succeeds and must restore the *configured*
   // threshold, not keep the doubled one (the pre-fix regression).
-  fail.store(false);
+  FaultRegistry::Global().DisarmAll();
   InsertFresh(backend.get(), base, static_cast<int>(threshold),
               /*start=*/1000000);
   EXPECT_EQ(backend->compactions(), 1);
@@ -91,19 +114,152 @@ TEST(CompactionRecoveryTest, FailedCompactionDoublesThenRestoresThreshold) {
 TEST(CompactionRecoveryTest, RepeatedFailuresCapThresholdAtEightTimes) {
   const KeySet base = TestKeys(2000);
   const std::int64_t threshold = 8;
-  std::atomic<int> attempts{0};
-  auto backend = MakeBackend(base, threshold, [&attempts](int) {
-    attempts.fetch_add(1);
-    return true;  // Every rebuild fails.
-  });
+  auto backend = MakeBackend(base, threshold, /*max_retries=*/0);
+  FaultSpec always_fail;
+  always_fail.probability = 1.0;
+  ArmRebuildFault(/*seed=*/18, always_fail);
 
   // Enough inserts to walk the backoff ladder past the cap:
-  // 8 -> 16 -> 32 -> 64 (= 8x), then attempts keep firing at 64 without
+  // 8 -> 16 -> 32 -> 64 (= 8x), then give-ups keep firing at 64 without
   // doubling further.
   InsertFresh(backend.get(), base, 80, /*start=*/1);
-  EXPECT_GE(attempts.load(), 4);
+  FaultRegistry::Global().DisarmAll();
+  EXPECT_GE(backend->compaction_giveups(), 4);
   EXPECT_EQ(backend->compactions(), 0);
   EXPECT_EQ(backend->shard_threshold(0), 8 * threshold);
+}
+
+TEST(CompactionRecoveryTest, BoundedRetriesAbsorbTransientFailures) {
+  const KeySet base = TestKeys(2000);
+  const std::int64_t threshold = 16;
+  // Retry budget of 3; the fault fires on exactly the first two rebuild
+  // evaluations, then clears — a transient the retry loop must absorb
+  // within the *same* maintenance pass.
+  auto backend = MakeBackend(base, threshold, /*max_retries=*/3);
+  FaultSpec transient;
+  transient.fire_on_hits = {1, 2};
+  ArmRebuildFault(/*seed=*/19, transient);
+
+  InsertFresh(backend.get(), base, static_cast<int>(threshold),
+              /*start=*/1);
+  FaultRegistry::Global().DisarmAll();
+
+  // The compaction completed despite the failures, and the threshold
+  // was NEVER doubled: under the old bare threshold-doubling code the
+  // first failure gave up immediately (compactions()==0, threshold 2x,
+  // overlay still full) and this block fails.
+  EXPECT_EQ(backend->compactions(), 1);
+  EXPECT_EQ(backend->overlay_size(), 0);
+  EXPECT_EQ(backend->shard_threshold(0), threshold);
+  EXPECT_EQ(backend->rebuild_retries(), 2);
+  EXPECT_EQ(backend->compaction_giveups(), 0);
+  EXPECT_EQ(static_cast<int>(backend->shard_backoff_history_ns(0).size()), 2);
+}
+
+TEST(CompactionRecoveryTest, RetryExhaustionFallsBackToGiveUp) {
+  const KeySet base = TestKeys(2000);
+  const std::int64_t threshold = 16;
+  auto backend = MakeBackend(base, threshold, /*max_retries=*/2);
+  FaultSpec always_fail;
+  always_fail.probability = 1.0;
+  ArmRebuildFault(/*seed=*/20, always_fail);
+
+  // One trigger, three failed attempts (initial + 2 retries), then the
+  // give-up path: threshold doubles exactly once for the whole pass.
+  InsertFresh(backend.get(), base, static_cast<int>(threshold),
+              /*start=*/1);
+  FaultRegistry::Global().DisarmAll();
+  EXPECT_EQ(backend->compactions(), 0);
+  EXPECT_EQ(backend->rebuild_retries(), 2);
+  EXPECT_EQ(backend->compaction_giveups(), 1);
+  EXPECT_EQ(backend->shard_threshold(0), 2 * threshold);
+
+  // Restore-on-success still holds after an exhausted retry budget.
+  InsertFresh(backend.get(), base, static_cast<int>(threshold),
+              /*start=*/1000000);
+  EXPECT_EQ(backend->compactions(), 1);
+  EXPECT_EQ(backend->shard_threshold(0), threshold);
+}
+
+TEST(CompactionRecoveryTest, BackoffJitterIsDeterministicUnderFixedSeed) {
+  const KeySet base = TestKeys(2000);
+  const std::int64_t threshold = 16;
+  FaultSpec three_failures;
+  three_failures.fire_on_hits = {1, 2, 3};
+
+  // Two identically configured backends, each driven through the same
+  // three-failure schedule under the same plan seed: the per-shard
+  // backoff Rng (forked from backoff_seed) must replay the exact jitter
+  // sequence — the chaos harness's reproducibility contract.
+  std::vector<std::int64_t> histories[2];
+  for (int run = 0; run < 2; ++run) {
+    auto backend = MakeBackend(base, threshold, /*max_retries=*/3);
+    ArmRebuildFault(/*seed=*/21, three_failures);
+    InsertFresh(backend.get(), base, static_cast<int>(threshold),
+                /*start=*/1);
+    FaultRegistry::Global().DisarmAll();
+    EXPECT_EQ(backend->compactions(), 1);
+    EXPECT_EQ(backend->rebuild_retries(), 3);
+    histories[run] = backend->shard_backoff_history_ns(0);
+  }
+  ASSERT_EQ(histories[0].size(), 3u);
+  EXPECT_EQ(histories[0], histories[1]);
+
+  // Jittered-exponential envelope: retry k waits within
+  // [e/2, e] for e = min(base << k, max) — with base=50us:
+  // [25,50], [50,100], [100,200] microseconds.
+  const std::int64_t expected_us[3] = {50, 100, 200};
+  for (int k = 0; k < 3; ++k) {
+    EXPECT_GE(histories[0][k], expected_us[k] * 1000 / 2) << "retry " << k;
+    EXPECT_LE(histories[0][k], expected_us[k] * 1000) << "retry " << k;
+  }
+}
+
+TEST(CompactionRecoveryTest, KickDegradedShardsDrainsAnIdleDegradedShard) {
+  const KeySet base = TestKeys(2000);
+  const std::int64_t threshold = 16;
+  BackendOptions opts;
+  opts.rmi.target_model_size = 200;
+  opts.num_shards = 1;
+  opts.compact_threshold = threshold;
+  opts.overlay_hard_cap = threshold + 8;
+  opts.sync_compaction = true;
+  opts.compaction_max_retries = 0;
+  opts.compaction_backoff_base_us = 50;
+  opts.compaction_backoff_max_us = 400;
+  auto backend_or = CreateBackend(BackendKind::kRmi, base, opts);
+  ASSERT_TRUE(backend_or.ok()) << backend_or.status().message();
+  auto backend = std::move(*backend_or);
+
+  // Collapse maintenance entirely, fill the overlay to the hard cap,
+  // and shed once: the shard is now degraded with its give-up having
+  // cleared the in-flight flag — the state where no further traffic
+  // would ever un-degrade it on its own.
+  FaultSpec always_fail;
+  always_fail.probability = 1.0;
+  ArmRebuildFault(/*seed=*/29, always_fail);
+  InsertFresh(backend.get(), base,
+              static_cast<int>(opts.overlay_hard_cap), /*start=*/1);
+  EXPECT_EQ(backend->Insert(90'000'000).code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(backend->degraded_shards(), 1);
+  EXPECT_TRUE(backend->shard_degraded(0));
+  EXPECT_GE(backend->compaction_giveups(), 1);
+
+  // The drain primitive: disarm, kick, done. One shard kicked, one
+  // compaction, degraded mode exited, configured threshold restored;
+  // a second kick finds nothing to do.
+  FaultRegistry::Global().DisarmAll();
+  EXPECT_EQ(backend->KickDegradedShards(), 1);
+  backend->WaitForMaintenance();
+  EXPECT_EQ(backend->degraded_shards(), 0);
+  EXPECT_FALSE(backend->shard_degraded(0));
+  EXPECT_EQ(backend->shard_threshold(0), threshold);
+  EXPECT_EQ(backend->overlay_size(), 0);
+  EXPECT_EQ(backend->KickDegradedShards(), 0);
+
+  // And the shard admits brand-new inserts again.
+  EXPECT_TRUE(backend->Insert(90'000'001).ok());
 }
 
 TEST(CompactionRecoveryTest, RemoveTombstonesScanAndResurrection) {
@@ -171,12 +327,13 @@ TEST(CompactionRecoveryTest, CompactionFoldsTombstonesAway) {
 TEST(CompactionRecoveryTest, ChurnWithFailuresMatchesMembershipOracle) {
   const KeySet base = TestKeys(1500, /*seed=*/23);
   const std::int64_t threshold = 24;
-  // Every third rebuild attempt fails: the run interleaves successful
-  // compactions, backoffs, and restores while the oracle watches.
-  std::atomic<int> attempts{0};
-  auto backend = MakeBackend(base, threshold, [&attempts](int) {
-    return attempts.fetch_add(1) % 3 == 2;
-  });
+  // A third of rebuild evaluations fail under a seeded coin, with a
+  // small retry budget: the run interleaves successful compactions,
+  // retries, give-ups, and restores while the oracle watches.
+  auto backend = MakeBackend(base, threshold, /*max_retries=*/2);
+  FaultSpec coin;
+  coin.probability = 1.0 / 3.0;
+  ArmRebuildFault(/*seed=*/23, coin);
 
   std::set<Key> oracle(base.keys().begin(), base.keys().end());
   Rng rng(99);
@@ -206,6 +363,7 @@ TEST(CompactionRecoveryTest, ChurnWithFailuresMatchesMembershipOracle) {
       EXPECT_EQ(backend->Lookup(probe).found, oracle.count(probe) == 1);
     }
   }
+  FaultRegistry::Global().DisarmAll();
   EXPECT_GE(backend->compactions(), 1);
   EXPECT_LE(backend->shard_threshold(0), 8 * threshold);
 

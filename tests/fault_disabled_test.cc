@@ -1,0 +1,105 @@
+// Compile-time kill-switch coverage for the fault registry: every
+// object in this binary is built with -DLISPOISON_FAULT_DISABLED, so
+// each FAULT_POINT expansion is the literal `(false)` — no registry
+// lookup, no atomic, no point name in the binary's string table.
+//
+// The proof is behavioral: arm a probability-1.0 plan over every
+// production fault point, then drive the instrumented subsystems
+// (snapshot I/O, the thread pool, epoch reclamation). Nothing fires,
+// nothing stalls, and the registry records ZERO hits — the production
+// code never consulted it. This is the overhead-free guarantee the
+// header promises for fault-disabled builds, the exact analogue of
+// telemetry_disabled_test for the telemetry switch.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/epoch.h"
+#include "common/fault.h"
+#include "common/snapshot.h"
+#include "common/thread_pool.h"
+
+namespace lispoison {
+namespace {
+
+#if !defined(LISPOISON_FAULT_DISABLED)
+#error "fault_disabled_test must be compiled with LISPOISON_FAULT_DISABLED"
+#endif
+
+/// Arms every production fault point with a certain, hard failure.
+void ArmEverythingToFail() {
+  FaultSpec always;
+  always.probability = 1.0;
+  FaultPlan(/*seed=*/1)
+      .Arm("compaction.rebuild", always)
+      .Arm("snapshot.write", always)
+      .Arm("snapshot.read", always)
+      .Arm("epoch.reclaim", always)
+      .Arm("pool.task", always)
+      .Arm("adversary.write", always)
+      .Activate();
+}
+
+TEST(FaultDisabledTest, MacroIsAConstantAndRegistersNothing) {
+  // The expansion is `(false)`: no evaluation, and — decisively — no
+  // point ever materializes in the registry for the probed name.
+  EXPECT_FALSE(FAULT_POINT("disabled.macro.probe"));
+  for (FaultPoint* p : FaultRegistry::Global().Points()) {
+    EXPECT_NE(p->name(), "disabled.macro.probe");
+  }
+}
+
+TEST(FaultDisabledTest, SnapshotIoIgnoresAnArmedPlan) {
+  ArmEverythingToFail();
+  const std::string path = ::testing::TempDir() + "/fault_disabled.snap";
+  SnapshotWriter writer;
+  const std::uint64_t payload[4] = {1, 2, 3, 4};
+  writer.AddSection("keys", payload, sizeof(payload));
+  // With the switch off an armed "snapshot.write" would fail this; the
+  // disabled build must not even notice the plan.
+  ASSERT_TRUE(writer.WriteToFile(path).ok());
+
+  auto reader = SnapshotReader::Open(path);
+  ASSERT_TRUE(reader.ok()) << reader.status().message();
+  auto section = reader->Find("keys");
+  ASSERT_TRUE(section.ok());
+  EXPECT_EQ(section->size, sizeof(payload));
+  FaultRegistry::Global().DisarmAll();
+}
+
+TEST(FaultDisabledTest, ThreadPoolAndEpochReclaimIgnoreAnArmedPlan) {
+  ArmEverythingToFail();
+  {
+    ThreadPool pool(2, /*inline_when_single=*/false);
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 16; ++i) {
+      pool.Submit([&ran] { ran.fetch_add(1); });
+    }
+    pool.Wait();
+    EXPECT_EQ(ran.load(), 16);  // An armed "pool.task" dropped nothing.
+  }
+  // An armed "epoch.reclaim" would skip every reclamation pass; the
+  // disabled build frees the retired object as usual (no live guards).
+  std::atomic<bool> freed{false};
+  EpochDomain::Global().Retire([&freed] { freed.store(true); });
+  EpochDomain::Global().TryReclaim();
+  EXPECT_TRUE(freed.load());
+  FaultRegistry::Global().DisarmAll();
+}
+
+TEST(FaultDisabledTest, ArmedPointsRecordZeroHits) {
+  // Runs after the subsystems above exercised snapshot I/O, the pool,
+  // and reclamation under a fully armed plan: had ANY production site
+  // consulted the registry, its point would have counted a hit.
+  for (FaultPoint* p : FaultRegistry::Global().Points()) {
+    EXPECT_EQ(p->hits(), 0) << p->name();
+    EXPECT_EQ(p->fires(), 0) << p->name();
+  }
+}
+
+}  // namespace
+}  // namespace lispoison

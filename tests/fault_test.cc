@@ -1,0 +1,193 @@
+// Fault-registry semantics: the determinism contract the chaos harness
+// and the retry/backoff regression tests stand on.
+//
+//  - Same plan seed => the same decision sequence at every point, no
+//    matter which *other* points are armed (per-point streams are
+//    forked from (seed, name), never shared).
+//  - fire_on_hits schedules are 1-based and exact; probability draws
+//    are consumed on EVERY armed evaluation, so adding or removing a
+//    scheduled fire never shifts the probabilistic tail.
+//  - max_fires caps total fires; latency_ns with fail=false stalls
+//    without reporting failure; Disarm preserves counters for
+//    post-storm asserts while Arm resets them.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/fault.h"
+
+namespace lispoison {
+namespace {
+
+/// Evaluates \p point n times and returns the fired/clean pattern.
+std::vector<bool> Drive(FaultPoint* point, int n) {
+  std::vector<bool> fired;
+  fired.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) fired.push_back(point->Evaluate());
+  return fired;
+}
+
+TEST(FaultTest, DisarmedPointNeverFiresOrCounts) {
+  FaultPoint* p = FaultRegistry::Global().GetPoint("fault_test.disarmed");
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(p->Evaluate());
+  EXPECT_EQ(p->hits(), 0);
+  EXPECT_EQ(p->fires(), 0);
+  EXPECT_FALSE(p->armed());
+}
+
+TEST(FaultTest, RegistryReturnsStablePointers) {
+  FaultPoint* a = FaultRegistry::Global().GetPoint("fault_test.stable");
+  FaultPoint* b = FaultRegistry::Global().GetPoint("fault_test.stable");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a->name(), "fault_test.stable");
+}
+
+TEST(FaultTest, SameSeedReplaysTheSameDecisionSequence) {
+  FaultPoint* p = FaultRegistry::Global().GetPoint("fault_test.replay");
+  FaultSpec coin;
+  coin.probability = 0.4;
+
+  FaultPlan(/*seed=*/77).Arm("fault_test.replay", coin).Activate();
+  const std::vector<bool> first = Drive(p, 200);
+  FaultPlan(/*seed=*/77).Arm("fault_test.replay", coin).Activate();
+  const std::vector<bool> second = Drive(p, 200);
+  EXPECT_EQ(first, second);
+  // Sanity: a 0.4 coin over 200 draws fires some and clears some.
+  EXPECT_GT(p->fires(), 0);
+  EXPECT_LT(p->fires(), 200);
+
+  // A different seed diverges somewhere in the window.
+  FaultPlan(/*seed=*/78).Arm("fault_test.replay", coin).Activate();
+  EXPECT_NE(Drive(p, 200), first);
+  FaultRegistry::Global().DisarmAll();
+}
+
+TEST(FaultTest, ArmingOtherPointsDoesNotPerturbAStream) {
+  FaultPoint* p = FaultRegistry::Global().GetPoint("fault_test.isolated");
+  FaultSpec coin;
+  coin.probability = 0.4;
+
+  FaultPlan(/*seed=*/91).Arm("fault_test.isolated", coin).Activate();
+  const std::vector<bool> solo = Drive(p, 100);
+
+  // Re-activate under the same seed with an extra armed point: the
+  // isolated point's stream is forked from (seed, name), so the
+  // neighbor cannot shift it.
+  FaultPlan(/*seed=*/91)
+      .Arm("fault_test.isolated", coin)
+      .Arm("fault_test.neighbor", coin)
+      .Activate();
+  EXPECT_EQ(Drive(p, 100), solo);
+  FaultRegistry::Global().DisarmAll();
+}
+
+TEST(FaultTest, FireScheduleIsExactAndOneBased) {
+  FaultPoint* p = FaultRegistry::Global().GetPoint("fault_test.schedule");
+  FaultSpec spec;
+  spec.fire_on_hits = {1, 4};
+  FaultPlan(/*seed=*/5).Arm("fault_test.schedule", spec).Activate();
+
+  const std::vector<bool> fired = Drive(p, 6);
+  const std::vector<bool> expected = {true, false, false, true, false, false};
+  EXPECT_EQ(fired, expected);
+  EXPECT_EQ(p->hits(), 6);
+  EXPECT_EQ(p->fires(), 2);
+  FaultRegistry::Global().DisarmAll();
+}
+
+TEST(FaultTest, ScheduledFiresDoNotShiftTheProbabilisticTail) {
+  // The replay-stability clause: a probability draw happens on every
+  // armed evaluation, including ones a schedule already decided, so
+  // tweaking fire_on_hits cannot shift which LATER evaluations the coin
+  // fires. Compare the tails beyond the scheduled prefix.
+  FaultPoint* p = FaultRegistry::Global().GetPoint("fault_test.tail");
+  FaultSpec coin_only;
+  coin_only.probability = 0.3;
+  FaultPlan(/*seed=*/55).Arm("fault_test.tail", coin_only).Activate();
+  const std::vector<bool> base = Drive(p, 50);
+
+  FaultSpec with_schedule = coin_only;
+  with_schedule.fire_on_hits = {2};
+  FaultPlan(/*seed=*/55).Arm("fault_test.tail", with_schedule).Activate();
+  const std::vector<bool> shifted = Drive(p, 50);
+
+  EXPECT_TRUE(shifted[1]);  // The scheduled fire landed.
+  for (int i = 2; i < 50; ++i) {
+    EXPECT_EQ(shifted[i], base[i]) << "tail diverged at evaluation " << i;
+  }
+  FaultRegistry::Global().DisarmAll();
+}
+
+TEST(FaultTest, MaxFiresCapsTheStorm) {
+  FaultPoint* p = FaultRegistry::Global().GetPoint("fault_test.capped");
+  FaultSpec spec;
+  spec.probability = 1.0;
+  spec.max_fires = 3;
+  FaultPlan(/*seed=*/6).Arm("fault_test.capped", spec).Activate();
+
+  const std::vector<bool> fired = Drive(p, 10);
+  int count = 0;
+  for (bool f : fired) count += f ? 1 : 0;
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(fired[0] && fired[1] && fired[2], true);
+  EXPECT_EQ(p->fires(), 3);
+  EXPECT_EQ(p->hits(), 10);
+  FaultRegistry::Global().DisarmAll();
+}
+
+TEST(FaultTest, LatencyOnlySpecStallsWithoutFailing) {
+  FaultPoint* p = FaultRegistry::Global().GetPoint("fault_test.stall");
+  FaultSpec spec;
+  spec.probability = 1.0;
+  spec.latency_ns = 5'000'000;  // 5ms, comfortably above timer noise.
+  spec.fail = false;
+  FaultPlan(/*seed=*/7).Arm("fault_test.stall", spec).Activate();
+
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_FALSE(p->Evaluate());  // Stalls, but reports no failure.
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_GE(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count(),
+      spec.latency_ns);
+  EXPECT_EQ(p->fires(), 1);  // The stall still counts as a fire.
+  FaultRegistry::Global().DisarmAll();
+}
+
+TEST(FaultTest, DisarmPreservesCountersAndArmResets) {
+  FaultPoint* p = FaultRegistry::Global().GetPoint("fault_test.counters");
+  FaultSpec spec;
+  spec.probability = 1.0;
+  FaultPlan(/*seed=*/8).Arm("fault_test.counters", spec).Activate();
+  Drive(p, 5);
+  FaultRegistry::Global().DisarmAll();
+
+  // Post-storm accounting reads the frozen counters...
+  EXPECT_FALSE(p->armed());
+  EXPECT_EQ(p->hits(), 5);
+  EXPECT_EQ(p->fires(), 5);
+  for (int i = 0; i < 10; ++i) EXPECT_FALSE(p->Evaluate());
+  EXPECT_EQ(p->hits(), 5);  // Disarmed evaluations do not count.
+
+  // ...and the next arming starts a fresh storm from zero.
+  FaultPlan(/*seed=*/8).Arm("fault_test.counters", spec).Activate();
+  EXPECT_EQ(p->hits(), 0);
+  EXPECT_EQ(p->fires(), 0);
+  FaultRegistry::Global().DisarmAll();
+}
+
+TEST(FaultTest, FaultPointMacroRoutesThroughTheRegistry) {
+  FaultSpec spec;
+  spec.probability = 1.0;
+  FaultPlan(/*seed=*/9).Arm("fault_test.macro", spec).Activate();
+  EXPECT_TRUE(FAULT_POINT("fault_test.macro"));
+  FaultRegistry::Global().DisarmAll();
+  EXPECT_FALSE(FAULT_POINT("fault_test.macro"));
+  EXPECT_EQ(FaultRegistry::Global().GetPoint("fault_test.macro")->fires(), 1);
+}
+
+}  // namespace
+}  // namespace lispoison

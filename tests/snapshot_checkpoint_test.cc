@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "attack/greedy_poisoner.h"
+#include "common/fault.h"
 #include "common/rng.h"
 #include "data/generators.h"
 #include "data/io.h"
@@ -275,6 +276,108 @@ TEST(GreedyCheckpointTest, ResumeAcrossMultipleKills) {
   auto resumed = GreedyPoisonCdfCheckpointed(*ks, p, {}, ckpt);
   ASSERT_TRUE(resumed.ok()) << resumed.status().message();
   ExpectSameResult(*resumed, *uninterrupted);
+}
+
+// ---------------------------------------------------------------------------
+// Fault-point and durability coverage: the snapshot write path routes
+// through FAULT_POINT("snapshot.write") (modeling any syscall-level
+// write failure — short write, ENOSPC, EIO) and the read path through
+// FAULT_POINT("snapshot.read") (an EIO between open and mmap). The
+// taxonomy the callers dispatch on must stay disjoint: NotFound =
+// missing file, FailedPrecondition = present-but-malformed,
+// IOError = the environment failed us (retryable).
+// ---------------------------------------------------------------------------
+
+bool FileExists(const std::string& path) {
+  std::ifstream f(path);
+  return f.good();
+}
+
+TEST(SnapshotFaultTest, WriteFaultUnlinksTmpAndReportsIoError) {
+  const RemoveOnExit file(TempPath("write_fault.snap"));
+  const RemoveOnExit tmp(file.path + ".tmp");
+  SnapshotWriter writer;
+  const std::vector<std::int64_t> keys = {1, 2, 3};
+  writer.AddVectorSection("keys", keys);
+
+  FaultSpec always;
+  always.probability = 1.0;
+  FaultPlan(/*seed=*/101).Arm("snapshot.write", always).Activate();
+  const Status st = writer.WriteToFile(file.path);
+  FaultRegistry::Global().DisarmAll();
+
+  // The failed publish left NOTHING behind: no tmp turd, no partial
+  // destination — the invariant that makes the write path retryable.
+  EXPECT_EQ(st.code(), StatusCode::kIOError) << st.message();
+  EXPECT_FALSE(FileExists(tmp.path));
+  EXPECT_FALSE(FileExists(file.path));
+
+  // The identical writer succeeds once the fault clears (the transient
+  // ENOSPC story), and the published file round-trips.
+  ASSERT_TRUE(writer.WriteToFile(file.path).ok());
+  auto reader = SnapshotReader::Open(file.path);
+  ASSERT_TRUE(reader.ok()) << reader.status().message();
+  auto got = reader->ReadVector<std::int64_t>("keys");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, keys);
+}
+
+TEST(SnapshotFaultTest, ScheduledWriteFaultFiresExactlyOnce) {
+  const RemoveOnExit file(TempPath("write_fault_once.snap"));
+  SnapshotWriter writer;
+  const double pod = 4.25;
+  writer.AddPodSection("pod", pod);
+
+  FaultSpec first_only;
+  first_only.fire_on_hits = {1};
+  FaultPlan(/*seed=*/102).Arm("snapshot.write", first_only).Activate();
+  EXPECT_EQ(writer.WriteToFile(file.path).code(), StatusCode::kIOError);
+  EXPECT_TRUE(writer.WriteToFile(file.path).ok());  // Hit 2: clean.
+  FaultRegistry::Global().DisarmAll();
+  EXPECT_EQ(FaultRegistry::Global().GetPoint("snapshot.write")->fires(), 1);
+}
+
+TEST(SnapshotFaultTest, ReadFaultIsIoErrorDistinctFromTheTaxonomy) {
+  const RemoveOnExit file(TempPath("read_fault.snap"));
+  SnapshotWriter writer;
+  const int x = 7;
+  writer.AddPodSection("pod", x);
+  ASSERT_TRUE(writer.WriteToFile(file.path).ok());
+
+  FaultSpec always;
+  always.probability = 1.0;
+  FaultPlan(/*seed=*/103).Arm("snapshot.read", always).Activate();
+  const Status st = SnapshotReader::Open(file.path).status();
+  FaultRegistry::Global().DisarmAll();
+
+  // A disk-level read error is IOError: NOT NotFound (the file exists)
+  // and NOT FailedPrecondition (the bytes are fine) — callers retry
+  // IOError but treat the other two as permanent.
+  EXPECT_EQ(st.code(), StatusCode::kIOError) << st.message();
+  EXPECT_TRUE(SnapshotReader::Open(file.path).ok());
+}
+
+TEST(SnapshotFaultTest, FailureTaxonomyStaysDisjoint) {
+  const RemoveOnExit file(TempPath("taxonomy.snap"));
+  SnapshotWriter writer;
+  const int x = 9;
+  writer.AddPodSection("pod", x);
+  ASSERT_TRUE(writer.WriteToFile(file.path).ok());
+
+  // Missing file: NotFound.
+  EXPECT_EQ(SnapshotReader::Open(TempPath("taxonomy_missing.snap"))
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+  // Malformed file (bad magic): FailedPrecondition.
+  {
+    std::ofstream corrupt(file.path, std::ios::binary | std::ios::in);
+    corrupt.seekp(0);
+    corrupt.write("XXXXXXXX", 8);
+  }
+  EXPECT_EQ(SnapshotReader::Open(file.path).status().code(),
+            StatusCode::kFailedPrecondition);
+  // Environment failure (injected): IOError — asserted disjoint above.
 }
 
 }  // namespace

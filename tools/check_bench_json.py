@@ -91,6 +91,17 @@ adversary.* telemetry counter totals. Wall-clock checks (skipped with
 --live, for fresh smoke runs on noisy CI boxes): attacked read p99 >=
 clean read p99, attacked mean work/op >= clean, and the attack was
 sustained (>= 2 ROI rows with attacker ops in them).
+
+The degraded-mode arm (ISSUE 10, --fault-plan=SEED on the bench;
+required in the committed artifact, checked when present on --live
+smokes): with every rebuild fault-armed to fail, the backend must have
+shed inserts at the overlay hard cap with the telescoping identity
+exact (backend.shed_inserts == driver.inserts_shed + adversary.shed),
+reads must have stayed fully available (read count matches the clean
+arm's stream), and after the storm was disarmed every shard recovered
+(degraded_shards_end == 0). Committed-only wall-clock floor: degraded
+read throughput >= 0.25x the clean arm — availability priced, not
+promised.
 """
 
 import json
@@ -440,11 +451,14 @@ def check_serving_timeseries(path):
 
 
 def check_adversarial(path, live):
-    """Gate for the committed BENCH_adversarial.json (PR 8).
+    """Gate for the committed BENCH_adversarial.json (PR 8 + ISSUE 10).
 
     With live=True (a fresh smoke run on a CI box) only the structural
     and accounting identities are asserted; the wall-clock degradation
-    floors are reserved for the committed artifact.
+    floors are reserved for the committed artifact. The committed
+    artifact must additionally carry the --fault-plan degraded arm,
+    whose shed-telescoping / read-availability / full-recovery
+    invariants are checked whenever the section is present.
     """
     with open(path) as f:
         report = json.load(f)
@@ -539,6 +553,59 @@ def check_adversarial(path, live):
         f"to the attack-window total ({attacked['compactions']})"
     )
 
+    # The degraded-mode arm (ISSUE 10): required on the committed
+    # artifact, checked whenever present. Reads must never shed — the
+    # degraded arm serves the exact same read stream as the clean arm —
+    # and the shed ledger must telescope exactly across every caller.
+    degraded = report.get("degraded")
+    if not live:
+        assert degraded is not None, (
+            "committed report lacks the --fault-plan degraded arm"
+        )
+    if degraded is not None:
+        assert int(degraded["reads"]) > 0, "degraded arm served no reads"
+        assert int(degraded["reads"]) == int(report["clean"]["reads"]), (
+            f"degraded arm served {degraded['reads']} reads vs the clean "
+            f"arm's {report['clean']['reads']} — reads are never shed, so "
+            "the full stream must have been answered"
+        )
+        backend = degraded["backend"]
+        deg_adv = degraded["adversary"]
+        shed_total = int(backend["shed_inserts"])
+        assert shed_total > 0, (
+            "degraded arm shed nothing — the fault plan never drove the "
+            "overlay into its hard cap, so admission control went untested"
+        )
+        assert shed_total == (
+            int(degraded["inserts_shed"]) + int(deg_adv["shed"])
+        ), (
+            f"shed ledger does not telescope: backend shed {shed_total} "
+            f"but driver+adversary account for "
+            f"{int(degraded['inserts_shed']) + int(deg_adv['shed'])}"
+        )
+        assert int(degraded["insert_failures"]) >= int(
+            degraded["inserts_shed"]
+        ), (
+            "driver recorded fewer insert failures than sheds — a shed "
+            "insert must surface as a failed op, not a silent success"
+        )
+        assert int(backend["degraded_shards_end"]) == 0, (
+            f"{backend['degraded_shards_end']} shard(s) still degraded "
+            "after the storm was disarmed and drained — recovery is broken"
+        )
+        if not live:
+            assert int(backend["compaction_giveups"]) >= 1, (
+                "committed degraded arm recorded no compaction give-ups — "
+                "the fault plan never collapsed maintenance"
+            )
+            clean_tput = float(report["clean"]["throughput_ops_per_sec"])
+            deg_tput = float(degraded["throughput_ops_per_sec"])
+            assert deg_tput >= 0.25 * clean_tput, (
+                f"committed degraded arm throughput ({deg_tput:.0f} ops/s) "
+                f"fell below the 0.25x availability floor vs the clean arm "
+                f"({clean_tput:.0f} ops/s)"
+            )
+
     if not live:
         clean_p99 = int(report["roi"]["clean_read_p99_ns"])
         attacked_p99 = int(report["roi"]["attacked_read_p99_ns"])
@@ -557,11 +624,17 @@ def check_adversarial(path, live):
         )
 
     mode = "live" if live else "committed"
+    deg_note = (
+        f", degraded arm: {degraded['backend']['shed_inserts']} sheds "
+        f"telescoping, full recovery"
+        if degraded is not None
+        else ""
+    )
     print(
         f"adversarial {mode} OK: {len(rows)} ROI rows, {op_total} attacker "
         f"ops telescoping (rows == result == telemetry), "
         f"{row_compactions} mid-attack retrains, {adv['replans']} replans, "
-        f"p99 ratio {float(report['roi']['p99_ratio']):.2f}"
+        f"p99 ratio {float(report['roi']['p99_ratio']):.2f}{deg_note}"
     )
 
 
